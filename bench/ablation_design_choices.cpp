@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Ablation benches for the modeling choices DESIGN.md Sec. 7 calls
+ * out, all on the Case Study I context (Megatron 145B, 1024 A100s,
+ * batch 8192):
+ *
+ *   1. bubble-overlap ratio R (naive GPipe vs interleaved),
+ *   2. ZeRO-DP overhead factor,
+ *   3. hierarchical vs flat gradient all-reduce,
+ *   4. efficiency floor (the Fig. 8 kink),
+ *   5. pipeline schedules with derived R / hop-traffic parameters,
+ *   6. analytical model vs discrete-event simulator agreement.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "case_study_util.hpp"
+#include "core/pipeline_schedule.hpp"
+#include "explore/ablation.hpp"
+#include "net/system_config.hpp"
+#include "sim/training_sim.hpp"
+
+int
+main()
+{
+    using namespace amped;
+
+    std::cout << "=== Ablations: modeling-choice sensitivity "
+                 "(Megatron 145B, 1024 A100s, B = 8192) ===\n\n";
+
+    const auto system = net::presets::a100Cluster1024();
+    explore::AblationRunner runner(
+        model::presets::megatron145B(), hw::presets::a100(),
+        validate::calibrations::caseStudy1(), system,
+        validate::calibrations::caseStudyOptions());
+    const auto job = bench::caseStudyJob(8192.0);
+
+    {
+        std::cout << "--- 1. bubble-overlap ratio R (TP8 | PP16*DP8) "
+                     "---\n";
+        const auto m = mapping::makeMapping(8, 1, 1, 1, 16, 8);
+        TextTable table({"R", "days", "bubble share"});
+        for (const auto &point : runner.sweepBubbleOverlap(
+                 {0.0, 0.1, 0.25, 0.5, 1.0}, m, job)) {
+            table.addRow(
+                {point.label,
+                 units::formatFixed(point.result.trainingDays(), 1),
+                 units::formatFixed(100.0 * point.result.perBatch.bubble /
+                                        point.result.perBatch.total(),
+                                    1) +
+                     " %"});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "--- 2. ZeRO-DP overhead factor (TP8 | DP128) "
+                     "---\n";
+        const auto m = mapping::makeMapping(8, 1, 1, 1, 1, 128);
+        TextTable table({"M_f_DP", "days", "comm share"});
+        for (const auto &point : runner.sweepZeroOverhead(
+                 {0.0, 0.25, 0.5, 1.0}, m, job)) {
+            table.addRow(
+                {point.label,
+                 units::formatFixed(point.result.trainingDays(), 1),
+                 units::formatFixed(
+                     100.0 * point.result.perBatch.communication() /
+                         point.result.perBatch.total(),
+                     1) +
+                     " %"});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "--- 3. hierarchical vs flat gradient all-reduce "
+                     "(DP8 | PP16*DP8) ---\n";
+        const auto m = mapping::makeMapping(1, 1, 8, 1, 16, 8);
+        TextTable table({"scheme", "days", "grad comm / batch"});
+        for (const auto &point : runner.compareGradAllReduce(m, job)) {
+            table.addRow(
+                {point.label,
+                 units::formatFixed(point.result.trainingDays(), 1),
+                 units::formatDuration(
+                     point.result.perBatch.commGradIntra +
+                     point.result.perBatch.commGradInter)});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "--- 4. efficiency floor (DP8 | TP2*DP64, "
+                     "B = 4096: the Fig. 8 kink region) ---\n";
+        const auto m = mapping::makeMapping(1, 1, 8, 2, 1, 64);
+        const auto kink_job = bench::caseStudyJob(4096.0);
+        TextTable table({"floor", "days", "eff(ub)"});
+        for (const auto &point : runner.sweepEfficiencyFloor(
+                 {0.0, 0.1, 0.25}, m, kink_job)) {
+            table.addRow(
+                {point.label,
+                 units::formatFixed(point.result.trainingDays(), 1),
+                 units::formatFixed(point.result.efficiency, 3)});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "--- 5. pipeline schedules (TP8 | PP16*DP8, "
+                     "derived R and hop traffic) ---\n";
+        const auto m = mapping::makeMapping(8, 1, 1, 1, 16, 8);
+        TextTable table({"schedule", "R", "PP-comm x", "days",
+                         "bubble share"});
+        std::vector<core::PipelineSchedule> schedules;
+        schedules.push_back({core::PipelineScheduleKind::gpipe, 1});
+        schedules.push_back({core::PipelineScheduleKind::oneFOneB, 1});
+        schedules.push_back(
+            {core::PipelineScheduleKind::interleaved, 2});
+        schedules.push_back(
+            {core::PipelineScheduleKind::interleaved, 4});
+        for (const auto &schedule : schedules) {
+            core::ModelOptions options =
+                validate::calibrations::nvswitchOptions(8);
+            core::applySchedule(schedule, options);
+            const auto result =
+                runner.evaluateWith(options, m, job);
+            table.addRow(
+                {schedule.name(),
+                 units::formatFixed(schedule.bubbleOverlapRatio(), 2),
+                 units::formatFixed(schedule.ppCommMultiplier(), 0),
+                 units::formatFixed(result.trainingDays(), 1),
+                 units::formatFixed(100.0 * result.perBatch.bubble /
+                                        result.perBatch.total(),
+                                    1) +
+                     " %"});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "--- 6. analytical vs discrete-event simulator "
+                     "(minGPT DP / GPipe on HGX-2) ---\n";
+        const auto eff = validate::calibrations::minGptHgx2();
+        TextTable table({"schedule", "analytic/batch", "sim/batch",
+                         "disagreement (%)"});
+
+        // DP x 8.
+        {
+            core::AmpedModel analytic(
+                model::presets::minGpt85M(), hw::presets::v100Sxm3(),
+                eff, net::presets::hgx2(8),
+                validate::calibrations::nvswitchOptions(8));
+            core::TrainingJob small_job;
+            small_job.batchSize = 8.0 * 32.0;
+            small_job.numBatchesOverride = 1.0;
+            const double a =
+                analytic
+                    .evaluate(mapping::makeMapping(1, 1, 8, 1, 1, 1),
+                              small_job)
+                    .timePerBatch;
+            sim::TrainingSimulator simulator(
+                model::presets::minGpt85M(), hw::presets::v100Sxm3(),
+                eff, net::presets::nvlinkV100());
+            simulator.setBackwardMultiplier(3.0);
+            const double s =
+                simulator.simulateDataParallelStep(8, 32.0).stepTime;
+            table.addRow({"DP x 8", units::formatDuration(a),
+                          units::formatDuration(s),
+                          units::formatFixed((a - s) / s * 100.0, 2)});
+        }
+        // GPipe x 8.
+        {
+            core::AmpedModel analytic(
+                model::presets::minGptPipeline(),
+                hw::presets::v100Sxm3(), eff, net::presets::hgx2(8),
+                validate::calibrations::nvswitchOptions(8));
+            core::TrainingJob small_job;
+            small_job.batchSize = 64.0;
+            small_job.numBatchesOverride = 1.0;
+            const double a =
+                analytic
+                    .evaluate(mapping::makeMapping(1, 8, 1, 1, 1, 1),
+                              small_job)
+                    .timePerBatch;
+            sim::TrainingSimulator simulator(
+                model::presets::minGptPipeline(),
+                hw::presets::v100Sxm3(), eff,
+                net::presets::nvlinkV100());
+            simulator.setBackwardMultiplier(3.0);
+            const double s =
+                simulator.simulateGPipeStep(8, 8.0, 8).stepTime;
+            table.addRow({"GPipe x 8", units::formatDuration(a),
+                          units::formatDuration(s),
+                          units::formatFixed((a - s) / s * 100.0, 2)});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Baseline comparison: AMPeD vs a naive roofline estimator vs the
+ * discrete-event simulator on configurations where the mapping
+ * matters.  The roofline predicts the *same* time for any placement
+ * of a given parallelism product; AMPeD (validated against the DES
+ * and published data elsewhere in this repo) separates them — the
+ * reason a mapping-aware model is needed at all (paper Sec. I/III).
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "case_study_util.hpp"
+#include "core/roofline_baseline.hpp"
+#include "net/system_config.hpp"
+
+int
+main()
+{
+    using namespace amped;
+
+    std::cout << "=== AMPeD vs roofline baseline (Megatron 145B, "
+                 "1024 A100s, B = 8192) ===\n\n";
+
+    const auto system = net::presets::a100Cluster1024();
+    const auto amped_model = bench::caseStudyModel(system);
+    core::RooflineBaseline roofline(
+        model::OpCounter(model::presets::megatron145B()),
+        hw::presets::a100(), system);
+    const auto job = bench::caseStudyJob(8192.0);
+
+    struct Config
+    {
+        const char *label;
+        mapping::ParallelismConfig mapping;
+    };
+    const Config configs[] = {
+        {"TP8 intra | DP128 inter",
+         mapping::makeMapping(8, 1, 1, 1, 1, 128)},
+        {"TP8 intra | PP128 inter",
+         mapping::makeMapping(8, 1, 1, 1, 128, 1)},
+        {"TP8 intra | TP2*DP64 inter",
+         mapping::makeMapping(8, 1, 1, 2, 1, 64)},
+        {"DP8 intra | DP128 inter",
+         mapping::makeMapping(1, 1, 8, 1, 1, 128)},
+        {"DP8 intra | TP128 inter",
+         mapping::makeMapping(1, 1, 8, 128, 1, 1)},
+    };
+
+    TextTable table({"configuration", "AMPeD (days)",
+                     "roofline (days)", "roofline error vs AMPeD"});
+    const double batches = job.numBatches(2048);
+    for (const auto &config : configs) {
+        const auto result =
+            amped_model.evaluate(config.mapping, job);
+        const double roof =
+            roofline.timePerBatch(config.mapping, job) * batches /
+            units::day;
+        const double amped_days = result.trainingDays();
+        table.addRow(
+            {config.label, units::formatFixed(amped_days, 1),
+             units::formatFixed(roof, 1),
+             units::formatFixed((roof - amped_days) / amped_days *
+                                    100.0,
+                                1) +
+                 " %"});
+    }
+    table.print(std::cout);
+    std::cout
+        << "\nreading: the roofline cannot distinguish placements — "
+           "it predicts nearly identical times\nfor mappings whose "
+           "real costs differ by an order of magnitude (TP across "
+           "nodes!), and it\nmisses the microbatch-efficiency "
+           "dependence entirely.  AMPeD's mapping-aware terms\nare "
+           "what make design-space exploration meaningful.\n";
+    return 0;
+}

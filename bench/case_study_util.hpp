@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared setup for the Case Study I/II benches: the Megatron-145B on
+ * 1024-A100 evaluation context and small helpers to evaluate one
+ * mapping in days of training time.
+ */
+
+#ifndef AMPED_BENCH_CASE_STUDY_UTIL_HPP
+#define AMPED_BENCH_CASE_STUDY_UTIL_HPP
+
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/amped_model.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "validate/calibrations.hpp"
+
+namespace amped {
+namespace bench {
+
+/** Builds the Case Study I evaluator for a given system. */
+inline core::AmpedModel
+caseStudyModel(const net::SystemConfig &system)
+{
+    return core::AmpedModel(model::presets::megatron145B(),
+                            hw::presets::a100(),
+                            validate::calibrations::caseStudy1(),
+                            system,
+                            validate::calibrations::caseStudyOptions());
+}
+
+/** The 300 B-token training job used for the day figures. */
+inline core::TrainingJob
+caseStudyJob(double batch)
+{
+    core::TrainingJob job;
+    job.batchSize = batch;
+    job.totalTrainingTokens = 300e9;
+    return job;
+}
+
+/**
+ * Evaluates one mapping; returns days, or nullopt when the point is
+ * infeasible (batch too small for the mapping).
+ */
+inline std::optional<core::EvaluationResult>
+tryEvaluate(const core::AmpedModel &model,
+            const mapping::ParallelismConfig &mapping, double batch)
+{
+    try {
+        return model.evaluate(mapping, caseStudyJob(batch));
+    } catch (const UserError &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace bench
+} // namespace amped
+
+#endif // AMPED_BENCH_CASE_STUDY_UTIL_HPP

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Case Study II (Fig. 10): DP vs PP for inter-node
+ * parallelism on low-end systems — Megatron 145B, batch 8192, 1024
+ * A100s total, with 1 / 2 / 4 / 8 accelerators + EDR NICs per node
+ * and TP spanning each node.
+ *
+ * Expected shape (paper Sec. VII): PP wins big at 1 accelerator/NIC
+ * per node (DP's all-reduce saturates the single EDR NIC), the gap
+ * narrows at 2, and DP wins from 4 upward.  The paper also notes the
+ * ~11 % pipeline-bubble idle time at 4 accelerators/node as an
+ * energy-saving opportunity.
+ *
+ * The PP configuration tunes the microbatch size per point (the
+ * paper tunes microbatches throughout) by trying powers of two and
+ * keeping the best.
+ */
+
+#include <iostream>
+#include <optional>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "case_study_util.hpp"
+#include "net/system_config.hpp"
+
+namespace {
+
+using namespace amped;
+
+/** Best PP-inter evaluation over power-of-two microbatch sizes. */
+std::optional<core::EvaluationResult>
+bestPipelinePoint(const core::AmpedModel &model,
+                  const mapping::ParallelismConfig &m, double batch)
+{
+    std::optional<core::EvaluationResult> best;
+    for (double ub = 1.0; ub <= batch; ub *= 2.0) {
+        core::TrainingJob job = bench::caseStudyJob(batch);
+        job.microbatching.microbatchSizeOverride = ub;
+        try {
+            const auto result = model.evaluate(m, job);
+            if (!best || result.totalTime < best->totalTime)
+                best = result;
+        } catch (const UserError &) {
+            // ub incompatible with the mapping; try the next one.
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Case Study II (Fig. 10): DP vs PP inter-node "
+                 "on low-end systems (Megatron 145B, B = 8192, EDR) "
+                 "===\n\n";
+
+    const double batch = 8192.0;
+    TextTable table({"acc+NICs/node", "DP-inter (days)",
+                     "PP-inter (days)", "PP microbatch",
+                     "PP bubble share", "winner"});
+
+    for (std::int64_t per_node : {1, 2, 4, 8}) {
+        const auto system = net::presets::lowEndCluster(per_node);
+        const auto model = bench::caseStudyModel(system);
+        const std::int64_t nodes = system.numNodes;
+
+        // Pure DP across nodes, TP inside each node.
+        const auto dp_mapping =
+            mapping::makeMapping(per_node, 1, 1, 1, 1, nodes);
+        const auto dp_result =
+            bench::tryEvaluate(model, dp_mapping, batch);
+
+        // Pure PP across nodes, TP inside each node, tuned ub.
+        const auto pp_mapping =
+            mapping::makeMapping(per_node, 1, 1, 1, nodes, 1);
+        const auto pp_result =
+            bestPipelinePoint(model, pp_mapping, batch);
+
+        if (!dp_result || !pp_result) {
+            table.addRow({std::to_string(per_node), "infeasible",
+                          "infeasible", "-", "-", "-"});
+            continue;
+        }
+        const double dp_days = dp_result->trainingDays();
+        const double pp_days = pp_result->trainingDays();
+        const double bubble_share =
+            pp_result->perBatch.bubble / pp_result->perBatch.total();
+        table.addRow(
+            {std::to_string(per_node),
+             units::formatFixed(dp_days, 1),
+             units::formatFixed(pp_days, 1),
+             units::formatFixed(pp_result->microbatchSize, 0),
+             units::formatFixed(100.0 * bubble_share, 1) + " %",
+             pp_days < dp_days ? "PP" : "DP"});
+    }
+    table.print(std::cout);
+    std::cout << "\nshape check (paper Sec. VII): PP wins at 1 "
+                 "acc/node, the gap narrows at 2, DP wins from 4-8; "
+                 "the optimal inter-node strategy flips on low-end "
+                 "systems.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Fig. 1: accelerator utilization during the DP and PP
+ * validation runs (8-GPU DP and 4-GPU PP on one HGX-2 node).
+ *
+ * The paper shows nvidia-smi GPU-usage traces; this repository
+ * renders the discrete-event simulator's per-device busy timeline
+ * (DESIGN.md Sec. 1): DP devices stay near-fully busy, pipeline
+ * stages show the characteristic fill/drain ramps.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+#include "sim/trace.hpp"
+#include "sim/training_sim.hpp"
+#include "validate/calibrations.hpp"
+
+int
+main()
+{
+    using namespace amped;
+
+    std::cout << "=== Fig. 1: device utilization during validation "
+                 "runs (simulated HGX-2) ===\n\n";
+
+    const auto eff = validate::calibrations::minGptHgx2();
+
+    {
+        std::cout << "--- DP x 8, minGPT 85M (one training step) ---\n";
+        sim::TrainingSimulator simulator(
+            model::presets::minGpt85M(), hw::presets::v100Sxm3(), eff,
+            net::presets::nvlinkV100());
+        simulator.setBackwardMultiplier(3.0);
+        const auto outcome =
+            simulator.simulateDataParallelStep(8, 32.0);
+        std::vector<std::string> names;
+        for (int d = 0; d < 8; ++d)
+            names.push_back("gpu" + std::to_string(d));
+        std::cout << renderUtilizationTimeline(
+            outcome.raw, outcome.deviceIds, names, 64);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "--- PP x 4, minGPT-PP (one training step, "
+                     "N_ub = 4) ---\n";
+        sim::TrainingSimulator simulator(
+            model::presets::minGptPipeline(), hw::presets::v100Sxm3(),
+            eff, net::presets::nvlinkV100());
+        simulator.setBackwardMultiplier(3.0);
+        const auto outcome = simulator.simulateGPipeStep(4, 8.0, 4);
+        std::vector<std::string> names;
+        for (int d = 0; d < 4; ++d)
+            names.push_back("stage" + std::to_string(d));
+        std::cout << renderUtilizationTimeline(
+            outcome.raw, outcome.deviceIds, names, 64);
+        std::cout << "\npipeline fill/drain bubbles are visible as "
+                     "idle ('.') leading/trailing buckets per stage\n";
+    }
+    return 0;
+}

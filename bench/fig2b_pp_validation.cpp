@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces Fig. 2b: normalized pipeline-parallel training time of
+ * the minGPT PP variant (16 layers, hidden 1024) on 2 / 4 / 8 / 16
+ * V100s of one HGX-2 node, with N_ub = N_PP microbatches.
+ *
+ * The "Experimental" series is the discrete-event GPipe simulation.
+ * The paper's implementation was memory-bottlenecked by the last GPU
+ * gathering all microbatches, which prevented scaling the global
+ * batch past the 8-GPU point — reproduced here by capping the global
+ * batch, which shrinks the microbatch (and its efficiency) at 16
+ * GPUs and yields the published 8 -> 16 saturation.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/amped_model.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "sim/training_sim.hpp"
+#include "validate/calibrations.hpp"
+#include "validate/validation.hpp"
+
+int
+main()
+{
+    using namespace amped;
+
+    std::cout << "=== Fig. 2b: normalized PP training time, minGPT-PP "
+                 "(1024 hidden, 16 layers) on HGX-2 V100s ===\n\n";
+
+    const auto model_cfg = model::presets::minGptPipeline();
+    const auto accel = hw::presets::v100Sxm3();
+    const auto eff = validate::calibrations::minGptHgx2();
+    const double base_microbatch = 8.0;
+    const double max_global_batch = 64.0; // last-GPU memory cap
+    const double total_samples = 64.0 * 200.0; // fixed dataset
+
+    struct Point
+    {
+        std::int64_t gpus;
+        double predicted;
+        double simulated;
+    };
+    std::vector<Point> points;
+
+    for (std::int64_t gpus : {2, 4, 8, 16}) {
+        // Batch scales with the pipeline depth until the memory cap.
+        const double batch =
+            std::min(base_microbatch * static_cast<double>(gpus),
+                     max_global_batch);
+        const double microbatch = batch / static_cast<double>(gpus);
+        const double batches = total_samples / batch;
+
+        core::AmpedModel amped_model(
+            model_cfg, accel, eff, net::presets::hgx2(gpus),
+            validate::calibrations::nvswitchOptions(gpus));
+        core::TrainingJob job;
+        job.batchSize = batch;
+        job.numBatchesOverride = batches;
+        // N_ub = N_PP (paper Sec. V-B).
+        const auto mapping =
+            mapping::makeMapping(1, gpus, 1, 1, 1, 1);
+        const double predicted =
+            amped_model.evaluate(mapping, job).totalTime;
+
+        sim::TrainingSimulator simulator(
+            model_cfg, accel, eff, net::presets::nvlinkV100());
+        simulator.setBackwardMultiplier(3.0);
+        const double simulated =
+            simulator.simulateGPipeStep(gpus, microbatch, gpus)
+                .stepTime *
+            batches;
+
+        points.push_back({gpus, predicted, simulated});
+    }
+
+    TextTable table({"GPUs", "Experimental (sim)", "Predicted (AMPeD)",
+                     "disagreement (%)"});
+    std::vector<validate::ValidationRow> rows;
+    for (const auto &p : points) {
+        const double norm_sim = p.simulated / points[0].simulated;
+        const double norm_pred = p.predicted / points[0].predicted;
+        rows.push_back(validate::makeRow(
+            std::to_string(p.gpus) + " GPUs", norm_pred, norm_sim));
+        table.addRow({std::to_string(p.gpus),
+                      units::formatFixed(norm_sim, 3),
+                      units::formatFixed(norm_pred, 3),
+                      units::formatFixed(rows.back().errorPercent(),
+                                         2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nshape check: time falls to 8 GPUs, saturates "
+                 "8 -> 16 (memory-capped batch);\nmax |disagreement| "
+                 "analytic vs simulator: "
+              << units::formatFixed(
+                     validate::maxAbsErrorPercent(rows), 2)
+              << " %\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Fig. 2c: TFLOP/s/GPU as a function of the (micro)batch
+ * size for GPT-3 175B on 96 GPUs with pipeline parallelism only.
+ *
+ * Setup: 12 nodes x 8 A100, PP = 96 (one layer per stage), DP = TP
+ * = 1, 96 microbatches per batch, batch = 96 x microbatch size.
+ * The "published" series is reconstructed from the paper's error
+ * statements (~11 % at ub = 12, ~2 % at ub = 60) — see
+ * EXPERIMENTS.md and validate/reference_data.cpp.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/amped_model.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "validate/calibrations.hpp"
+#include "validate/reference_data.hpp"
+#include "validate/validation.hpp"
+
+int
+main()
+{
+    using namespace amped;
+
+    std::cout << "=== Fig. 2c: TFLOP/s/GPU vs microbatch size "
+                 "(GPT-3 175B, 96 GPUs, PP only) ===\n\n";
+
+    net::SystemConfig system;
+    system.name = "12x8 A100";
+    system.numNodes = 12;
+    system.acceleratorsPerNode = 8;
+    system.intraLink = net::presets::nvlinkA100();
+    system.interLink = net::presets::hdrInfiniband();
+    system.nicsPerNode = 8;
+
+    core::AmpedModel amped_model(
+        model::presets::gpt3_175B(), hw::presets::a100(),
+        validate::calibrations::fig2cSweep(), system,
+        validate::calibrations::nvswitchOptions(8));
+
+    // PP = 96: 8 stages inside each node, 12 across nodes.
+    const auto mapping = mapping::makeMapping(1, 8, 1, 1, 12, 1);
+    const double num_microbatches = 96.0;
+
+    TextTable table({"microbatch", "batch", "this-repo TFLOP/s",
+                     "published (reconstr.)", "error (%)",
+                     "paper error (%)"});
+    std::vector<validate::ValidationRow> rows;
+
+    for (const auto &point : validate::fig2cPoints()) {
+        core::TrainingJob job;
+        job.batchSize = point.microbatch * num_microbatches;
+        job.numBatchesOverride = 1.0;
+        job.microbatching.numMicrobatchesOverride = num_microbatches;
+
+        const auto result = amped_model.evaluate(mapping, job);
+        const double tflops =
+            result.achievedFlopsPerGpu / units::tera;
+        rows.push_back(validate::makeRow(
+            "ub=" + units::formatFixed(point.microbatch, 0), tflops,
+            point.publishedTflops));
+        table.addRow({units::formatFixed(point.microbatch, 0),
+                      units::formatFixed(job.batchSize, 0),
+                      units::formatFixed(tflops, 1),
+                      units::formatFixed(point.publishedTflops, 1),
+                      units::formatFixed(rows.back().errorPercent(), 1),
+                      "-" + units::formatFixed(point.paperErrorPercent,
+                                               1)});
+    }
+    table.print(std::cout);
+    std::cout
+        << "\nshape check: saturating curve, error shrinking with "
+           "microbatch size;\nmax |error| vs reconstructed published: "
+        << units::formatFixed(validate::maxAbsErrorPercent(rows), 2)
+        << " %\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 3: the per-phase training-time breakdown for two
+ * example Case-Study-I configurations on 1024 A100s (128 x 8, HDR):
+ *
+ *   config 1: DP8 intra | PP2 * DP64 inter
+ *   config 2: DP8 intra | TP2 * DP64 inter
+ *
+ * The paper's observation: config 1's pipeline-bubble time is
+ * negligible compared with config 2's inter-node TP communication.
+ */
+
+#include <iostream>
+
+#include "common/units.hpp"
+#include "core/amped_model.hpp"
+#include "explore/explorer.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "validate/calibrations.hpp"
+
+int
+main()
+{
+    using namespace amped;
+
+    std::cout << "=== Fig. 3: training-time breakdown, Megatron 145B "
+                 "on 1024 A100s (batch 8192) ===\n\n";
+
+    core::AmpedModel amped_model(
+        model::presets::megatron145B(), hw::presets::a100(),
+        validate::calibrations::caseStudy1(),
+        net::presets::a100Cluster1024(),
+        validate::calibrations::caseStudyOptions());
+
+    core::TrainingJob job;
+    job.batchSize = 8192.0;
+    job.totalTrainingTokens = 300e9;
+
+    const auto config1 = mapping::makeMapping(1, 1, 8, 1, 2, 64);
+    const auto config2 = mapping::makeMapping(1, 1, 8, 2, 1, 64);
+
+    const auto r1 = amped_model.evaluate(config1, job);
+    const auto r2 = amped_model.evaluate(config2, job);
+
+    std::cout << "--- config 1: " << config1.toString() << " ---\n"
+              << explore::breakdownTable(r1) << "training time: "
+              << units::formatDuration(r1.totalTime) << "\n\n";
+    std::cout << "--- config 2: " << config2.toString() << " ---\n"
+              << explore::breakdownTable(r2) << "training time: "
+              << units::formatDuration(r2.totalTime) << "\n\n";
+
+    std::cout << "paper's observation check: config-1 bubble ("
+              << units::formatDuration(r1.perBatch.bubble)
+              << "/batch) is "
+              << (r1.perBatch.bubble <
+                          r2.perBatch.commTpInter
+                      ? "indeed"
+                      : "NOT")
+              << " small vs config-2 inter-node TP comm ("
+              << units::formatDuration(r2.perBatch.commTpInter)
+              << "/batch)\n";
+    return 0;
+}

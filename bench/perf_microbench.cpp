@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library itself: evaluator
+ * latency, mapping-space enumeration and full sweeps, and the
+ * discrete-event engine's task throughput.  These quantify the claim
+ * that AMPeD makes exhaustive design-space exploration practical
+ * (one evaluation is microseconds; a full 360-mapping sweep is
+ * milliseconds).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/amped_model.hpp"
+#include "explore/explorer.hpp"
+#include "hw/presets.hpp"
+#include "mapping/parallelism.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+#include "sim/training_sim.hpp"
+#include "validate/calibrations.hpp"
+
+namespace {
+
+using namespace amped;
+
+core::AmpedModel
+caseStudyModel()
+{
+    return core::AmpedModel(model::presets::megatron145B(),
+                            hw::presets::a100(),
+                            validate::calibrations::caseStudy1(),
+                            net::presets::a100Cluster1024(),
+                            validate::calibrations::caseStudyOptions());
+}
+
+void
+BM_EvaluateOneMapping(benchmark::State &state)
+{
+    const auto model = caseStudyModel();
+    const auto mapping = mapping::makeMapping(8, 1, 1, 1, 2, 64);
+    core::TrainingJob job;
+    job.batchSize = 8192.0;
+    job.totalTrainingTokens = 300e9;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.evaluate(mapping, job));
+    }
+}
+BENCHMARK(BM_EvaluateOneMapping);
+
+void
+BM_EnumerateMappingSpace(benchmark::State &state)
+{
+    const auto system = net::presets::a100Cluster1024();
+    for (auto _ : state) {
+        mapping::MappingSpace space(system);
+        benchmark::DoNotOptimize(space.enumerate());
+    }
+}
+BENCHMARK(BM_EnumerateMappingSpace);
+
+void
+BM_FullSweep360Mappings(benchmark::State &state)
+{
+    explore::Explorer explorer(caseStudyModel());
+    core::TrainingJob job;
+    job.batchSize = 8192.0;
+    job.totalTrainingTokens = 300e9;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(explorer.sweepAll({8192.0}, job));
+    }
+}
+BENCHMARK(BM_FullSweep360Mappings);
+
+void
+BM_SimulateDataParallelStep(benchmark::State &state)
+{
+    const std::int64_t devices = state.range(0);
+    sim::TrainingSimulator simulator(
+        model::presets::minGpt85M(), hw::presets::v100Sxm3(),
+        validate::calibrations::minGptHgx2(),
+        net::presets::nvlinkV100());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulator.simulateDataParallelStep(devices, 32.0));
+    }
+}
+BENCHMARK(BM_SimulateDataParallelStep)->Arg(2)->Arg(8)->Arg(16);
+
+void
+BM_SimulateGPipeStep(benchmark::State &state)
+{
+    const std::int64_t microbatches = state.range(0);
+    sim::TrainingSimulator simulator(
+        model::presets::minGptPipeline(), hw::presets::v100Sxm3(),
+        validate::calibrations::minGptHgx2(),
+        net::presets::nvlinkV100());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulator.simulateGPipeStep(8, 8.0, microbatches));
+    }
+}
+BENCHMARK(BM_SimulateGPipeStep)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_EfficiencyFit(benchmark::State &state)
+{
+    hw::EfficiencyFitter fitter;
+    const hw::MicrobatchEfficiency truth(0.85, 12.0);
+    for (double ub = 1.0; ub <= 512.0; ub *= 2.0)
+        fitter.addSample(ub, truth(ub));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fitter.fit());
+    }
+}
+BENCHMARK(BM_EfficiencyFit);
+
+} // namespace
+
+BENCHMARK_MAIN();

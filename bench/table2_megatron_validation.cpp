@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Table II: AMPeD vs published Megatron-LM TFLOP/s/GPU
+ * for the 145B / 310B / 530B / 1T GPT models.
+ *
+ * Setup per row: TP = 8 inside 8-accelerator A100 nodes (the
+ * Megatron/Selene configuration), PP x DP across nodes, R = 1 (no
+ * bubble overlap, exactly as the paper states for this table), and
+ * the published per-GPU microbatch size.  Calibration:
+ * validate::calibrations::megatronTable2() — see EXPERIMENTS.md.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/amped_model.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "validate/calibrations.hpp"
+#include "validate/reference_data.hpp"
+#include "validate/validation.hpp"
+
+namespace {
+
+amped::model::TransformerConfig
+modelFor(const std::string &name)
+{
+    using namespace amped::model::presets;
+    if (name == "145B")
+        return megatron145B();
+    if (name == "310B")
+        return megatron310B();
+    if (name == "530B")
+        return megatron530B();
+    return megatron1T();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace amped;
+
+    std::cout << "=== Table II: AMPeD vs published Megatron-LM "
+                 "TFLOP/s/GPU ===\n\n";
+
+    TextTable table({"Model", "TP", "PP", "DP", "this-repo TFLOP/s",
+                     "paper-AMPeD", "published", "err vs published "
+                     "(%)"});
+    std::vector<validate::ValidationRow> rows;
+
+    for (const auto &row : validate::table2Rows()) {
+        const auto model_cfg = modelFor(row.modelName);
+
+        net::SystemConfig system;
+        system.name = "Selene-like A100";
+        system.numNodes = row.pp * row.dp;
+        system.acceleratorsPerNode = 8;
+        system.intraLink = net::presets::nvlinkA100();
+        system.interLink = net::presets::hdrInfiniband();
+        system.nicsPerNode = 8;
+
+        core::AmpedModel amped_model(
+            model_cfg, hw::presets::a100(),
+            validate::calibrations::megatronTable2(), system,
+            validate::calibrations::nvswitchOptions(8));
+
+        core::TrainingJob job;
+        job.batchSize = row.batchSize;
+        job.numBatchesOverride = 1.0;
+        job.microbatching.microbatchSizeOverride = row.microbatch;
+
+        const auto mapping = mapping::makeMapping(
+            8, 1, 1, 1, row.pp, row.dp);
+        const auto result = amped_model.evaluate(mapping, job);
+        const double tflops =
+            result.achievedFlopsPerGpu / units::tera;
+
+        rows.push_back(validate::makeRow(row.modelName, tflops,
+                                         row.publishedTflops));
+        table.addRow({row.modelName, std::to_string(row.tp),
+                      std::to_string(row.pp), std::to_string(row.dp),
+                      units::formatFixed(tflops, 1),
+                      units::formatFixed(row.paperAmpedTflops, 1),
+                      units::formatFixed(row.publishedTflops, 1),
+                      units::formatFixed(
+                          rows.back().errorPercent(), 2)});
+    }
+
+    table.print(std::cout);
+    std::cout << "\nmax |error| vs published: "
+              << units::formatFixed(
+                     validate::maxAbsErrorPercent(rows), 2)
+              << " % (paper reports <= 12 %)\n";
+    return 0;
+}

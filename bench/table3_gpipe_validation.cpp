@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reproduces Table III: normalized GPipe training throughput for a
+ * 24-layer transformer on 2 / 4 / 8 P100 GPUs over PCIe 3.0 with
+ * M = 32 microbatches.
+ *
+ * Two reproduction columns: the analytical AMPeD prediction and the
+ * discrete-event GPipe simulation (this repository's stand-in for
+ * the real measurement).  Both are normalized to the 2-GPU value, as
+ * in the paper.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/amped_model.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "sim/training_sim.hpp"
+#include "validate/calibrations.hpp"
+#include "validate/reference_data.hpp"
+#include "validate/validation.hpp"
+
+int
+main()
+{
+    using namespace amped;
+
+    std::cout << "=== Table III: GPipe normalized throughput "
+                 "(24-layer transformer, P100 / PCIe, M = 32) ===\n\n";
+
+    const auto model_cfg = model::presets::gpipeTransformer24();
+    const auto accel = hw::presets::p100Pcie();
+    const auto eff = validate::calibrations::gpipeP100();
+    // PCIe has no NVSwitch: unidirectional ring default.
+    const auto options = validate::calibrations::validationOptions();
+
+    // Microbatch tuned to P100 memory as in the paper; fixed across
+    // GPU counts so the per-step work per microbatch is constant.
+    const double microbatch = 4.0;
+    const double num_microbatches = 32.0;
+
+    struct Point
+    {
+        std::int64_t gpus;
+        double analyticTime;
+        double simTime;
+    };
+    std::vector<Point> points;
+
+    for (std::int64_t gpus : {2, 4, 8}) {
+        net::SystemConfig system;
+        system.name = "P100 PCIe node";
+        system.numNodes = 1;
+        system.acceleratorsPerNode = gpus;
+        system.intraLink = net::presets::pcie3();
+        system.interLink = net::presets::edrInfiniband(); // unused
+        system.nicsPerNode = 1;
+
+        core::AmpedModel amped_model(model_cfg, accel, eff, system,
+                                     options);
+        core::TrainingJob job;
+        job.batchSize = microbatch * num_microbatches;
+        job.numBatchesOverride = 1.0;
+        job.microbatching.numMicrobatchesOverride = num_microbatches;
+
+        const auto mapping =
+            mapping::makeMapping(1, gpus, 1, 1, 1, 1);
+        const double analytic =
+            amped_model.evaluate(mapping, job).timePerBatch;
+
+        sim::TrainingSimulator simulator(model_cfg, accel, eff,
+                                         net::presets::pcie3());
+        simulator.setBackwardMultiplier(
+            options.backwardComputeMultiplier);
+        const double simulated =
+            simulator
+                .simulateGPipeStep(gpus, microbatch,
+                                   static_cast<std::int64_t>(
+                                       num_microbatches))
+                .stepTime;
+        points.push_back({gpus, analytic, simulated});
+    }
+
+    TextTable table({"GPUs", "published [26]", "paper-AMPeD",
+                     "this-repo analytic", "this-repo simulator"});
+    std::vector<validate::ValidationRow> rows;
+    const auto reference = validate::table3Rows();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        // Throughput normalized to the 2-GPU configuration (same
+        // batch per step, so speedup = time(2) / time(n)).
+        const double analytic_speedup =
+            points[0].analyticTime / points[i].analyticTime;
+        const double sim_speedup =
+            points[0].simTime / points[i].simTime;
+        rows.push_back(validate::makeRow(
+            std::to_string(points[i].gpus) + " GPUs",
+            analytic_speedup, reference[i].publishedSpeedup));
+        table.addRow({std::to_string(points[i].gpus),
+                      units::formatFixed(reference[i].publishedSpeedup,
+                                         2),
+                      units::formatFixed(reference[i].paperPredicted, 2),
+                      units::formatFixed(analytic_speedup, 2),
+                      units::formatFixed(sim_speedup, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nmax |error| analytic vs published: "
+              << units::formatFixed(
+                     validate::maxAbsErrorPercent(rows), 2)
+              << " % (paper reports within 12 %)\n";
+    return 0;
+}

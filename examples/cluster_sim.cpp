@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cluster-simulator walkthrough: run the discrete-event simulator on
+ * DP / GPipe / TP training steps of minGPT, compare each against the
+ * analytical prediction, and render the device-utilization timeline
+ * that corresponds to the paper's Fig. 1.
+ *
+ * Usage:
+ *   cluster_sim [devices] [microbatch]
+ *     devices: accelerators in the node (default 8)
+ *     microbatch: per-device batch (default 16)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/amped_model.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+#include "sim/trace.hpp"
+#include "sim/training_sim.hpp"
+#include "validate/calibrations.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace amped;
+
+    const std::int64_t devices = argc > 1 ? std::atoll(argv[1]) : 8;
+    const double microbatch = argc > 2 ? std::atof(argv[2]) : 16.0;
+
+    const auto model_cfg = model::presets::minGptPipeline();
+    const auto accel = hw::presets::v100Sxm3();
+    const auto eff = validate::calibrations::minGptHgx2();
+
+    try {
+        sim::TrainingSimulator simulator(model_cfg, accel, eff,
+                                         net::presets::nvlinkV100());
+        simulator.setBackwardMultiplier(3.0);
+
+        core::AmpedModel analytic(
+            model_cfg, accel, eff, net::presets::hgx2(devices),
+            validate::calibrations::nvswitchOptions(devices));
+
+        auto report = [](const char *name, double sim_time,
+                         double analytic_time) {
+            std::cout << name << ": simulated "
+                      << units::formatDuration(sim_time)
+                      << ", analytical "
+                      << units::formatDuration(analytic_time) << " ("
+                      << units::formatFixed(
+                             (analytic_time - sim_time) / sim_time *
+                                 100.0,
+                             2)
+                      << " % apart)\n";
+        };
+
+        // Data parallelism.
+        {
+            const auto outcome = simulator.simulateDataParallelStep(
+                devices, microbatch);
+            core::TrainingJob job;
+            job.batchSize = microbatch * static_cast<double>(devices);
+            job.numBatchesOverride = 1.0;
+            const auto result = analytic.evaluate(
+                mapping::makeMapping(1, 1, devices, 1, 1, 1), job);
+            report("DP   ", outcome.stepTime, result.timePerBatch);
+        }
+
+        // GPipe pipeline parallelism (N_ub = devices).
+        {
+            const auto outcome = simulator.simulateGPipeStep(
+                devices, microbatch, devices);
+            core::TrainingJob job;
+            job.batchSize = microbatch * static_cast<double>(devices);
+            job.numBatchesOverride = 1.0;
+            const auto result = analytic.evaluate(
+                mapping::makeMapping(1, devices, 1, 1, 1, 1), job);
+            report("GPipe", outcome.stepTime, result.timePerBatch);
+
+            std::cout << "\nGPipe utilization timeline (the Fig. 1 "
+                         "view):\n";
+            std::vector<std::string> names;
+            for (std::int64_t d = 0; d < devices; ++d)
+                names.push_back("stage" + std::to_string(d));
+            std::cout << sim::renderUtilizationTimeline(
+                outcome.raw, outcome.deviceIds, names, 64);
+        }
+
+        // Tensor parallelism.
+        {
+            const auto outcome = simulator.simulateTensorParallelStep(
+                devices, microbatch * static_cast<double>(devices));
+            core::TrainingJob job;
+            job.batchSize = microbatch * static_cast<double>(devices);
+            job.numBatchesOverride = 1.0;
+            core::ModelOptions tp_options =
+                validate::calibrations::nvswitchOptions(devices);
+            // The simulator's TP step has no weight update and the
+            // same ring factor as its explicit transfer chain.
+            tp_options.intraTopologyFactorOverride = -1.0;
+            core::AmpedModel tp_analytic(model_cfg, accel, eff,
+                                         net::presets::hgx2(devices),
+                                         tp_options);
+            const auto result = tp_analytic.evaluate(
+                mapping::makeMapping(devices, 1, 1, 1, 1, 1), job);
+            report("\nTP   ", outcome.stepTime,
+                   result.timePerBatch - result.perBatch.weightUpdate);
+        }
+    } catch (const UserError &error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

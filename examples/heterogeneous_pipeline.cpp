@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Heterogeneous-pipeline walkthrough (the extension named in the
+ * paper's conclusion): mix V100 and P100 stages in one pipeline,
+ * compare the naive even layer split against the optimizer's
+ * balanced split, and show the bottleneck analysis.
+ *
+ * Usage:
+ *   heterogeneous_pipeline [fast_stages] [slow_stages]
+ *     default: 2 V100 stages + 2 P100 stages.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/heterogeneous.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace amped;
+
+    const std::int64_t fast = argc > 1 ? std::atoll(argv[1]) : 2;
+    const std::int64_t slow = argc > 2 ? std::atoll(argv[2]) : 2;
+
+    try {
+        require(fast + slow >= 1, "need at least one stage");
+        const auto model_cfg = model::presets::minGptPipeline();
+        model::OpCounter counter(model_cfg);
+        require(fast + slow <= model_cfg.numLayers,
+                "more stages than layers");
+
+        auto make_stage = [](const hw::AcceleratorConfig &accel,
+                             std::int64_t layers) {
+            core::HeterogeneousStage stage;
+            stage.accelerator = accel;
+            stage.efficiency = hw::MicrobatchEfficiency(0.8, 8.0);
+            stage.numLayers = layers;
+            return stage;
+        };
+
+        // Naive even split.
+        std::vector<core::HeterogeneousStage> stages;
+        const std::int64_t per_stage =
+            model_cfg.numLayers / (fast + slow);
+        std::int64_t assigned = 0;
+        for (std::int64_t i = 0; i < fast + slow; ++i) {
+            const std::int64_t layers =
+                (i + 1 == fast + slow)
+                    ? model_cfg.numLayers - assigned
+                    : per_stage;
+            stages.push_back(make_stage(
+                i < fast ? hw::presets::v100Sxm3()
+                         : hw::presets::p100Pcie(),
+                layers));
+            assigned += layers;
+        }
+
+        core::TrainingJob job;
+        job.batchSize = 64.0;
+        job.numBatchesOverride = 1000.0;
+
+        const net::LinkConfig hop{"hop", 2e-6, 2.4e12};
+        core::HeterogeneousPipelineModel even_model(counter, stages,
+                                                    hop);
+        const auto even = even_model.evaluate(job);
+
+        const auto balanced_stages =
+            core::HeterogeneousPipelineModel::balanceLayers(
+                counter, stages, 8.0);
+        core::HeterogeneousPipelineModel balanced_model(
+            counter, balanced_stages, hop);
+        const auto balanced = balanced_model.evaluate(job);
+
+        std::cout << "=== heterogeneous pipeline: " << fast
+                  << " x V100 + " << slow << " x P100, "
+                  << model_cfg.name << " ===\n\n";
+        TextTable table({"stage", "device", "even layers",
+                         "even f+b/ub", "balanced layers",
+                         "balanced f+b/ub"});
+        for (std::size_t s = 0; s < stages.size(); ++s) {
+            table.addRow(
+                {std::to_string(s), stages[s].accelerator.name,
+                 std::to_string(stages[s].numLayers),
+                 units::formatDuration(even.stageTimes[s]),
+                 std::to_string(balanced_stages[s].numLayers),
+                 units::formatDuration(balanced.stageTimes[s])});
+        }
+        table.print(std::cout);
+        std::cout << "\neven split:     "
+                  << units::formatDuration(even.timePerBatch)
+                  << "/batch (bottleneck stage "
+                  << even.bottleneckStage << ")\n"
+                  << "balanced split: "
+                  << units::formatDuration(balanced.timePerBatch)
+                  << "/batch ("
+                  << units::formatFixed(
+                         (even.timePerBatch - balanced.timePerBatch) /
+                             even.timePerBatch * 100.0,
+                         1)
+                  << " % faster)\n";
+    } catch (const UserError &error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

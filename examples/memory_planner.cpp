@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Memory planner: for a model and cluster, show which parallelism
+ * mappings actually fit device memory, how ZeRO stages change that,
+ * and the fastest *feasible* configuration — the memory-constraint
+ * extension the paper names as future work (Sec. IX).
+ *
+ * Usage:
+ *   memory_planner [model] [batch]
+ *     model: 145B (default) | gpt3 | 1T
+ *     batch: global batch size (default 2048)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/memory_model.hpp"
+#include "explore/explorer.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+#include "validate/calibrations.hpp"
+
+namespace {
+
+amped::model::TransformerConfig
+pickModel(const std::string &name)
+{
+    using namespace amped::model::presets;
+    if (name == "gpt3")
+        return gpt3_175B();
+    if (name == "1T")
+        return megatron1T();
+    return megatron145B();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace amped;
+
+    const std::string model_name = argc > 1 ? argv[1] : "145B";
+    const double batch = argc > 2 ? std::atof(argv[2]) : 2048.0;
+    const auto model_cfg = pickModel(model_name);
+    const auto accel = hw::presets::a100();
+    const auto system = net::presets::a100Cluster1024();
+
+    try {
+        core::AmpedModel amped(
+            model_cfg, accel, validate::calibrations::caseStudy1(),
+            system, validate::calibrations::caseStudyOptions());
+
+        core::TrainingJob job;
+        job.batchSize = batch;
+        job.totalTrainingTokens = 300e9;
+
+        std::cout << "=== memory-aware mapping search: "
+                  << model_cfg.name << " ("
+                  << units::formatCount(model_cfg.parameterCount())
+                  << " params), batch " << batch << ", "
+                  << system.name << " ===\n\n";
+
+        // Footprint of a few representative mappings.
+        {
+            core::MemoryModel mm(model::OpCounter(model_cfg), accel);
+            TextTable table({"mapping", "params", "grads", "optimizer",
+                             "activations", "total", "fits 80 GB?"});
+            for (const auto &m :
+                 {mapping::makeMapping(1, 1, 8, 1, 1, 128),
+                  mapping::makeMapping(8, 1, 1, 1, 1, 128),
+                  mapping::makeMapping(8, 1, 1, 1, 16, 8),
+                  mapping::makeMapping(8, 1, 1, 1, 128, 1)}) {
+                const double ub =
+                    job.microbatching.microbatchSize(batch, m);
+                const auto fp = mm.footprint(m, batch, ub);
+                auto gb = [](double bytes) {
+                    return units::formatFixed(bytes / 1e9, 1) + " GB";
+                };
+                table.addRow({m.toString(), gb(fp.parameterBytes),
+                              gb(fp.gradientBytes),
+                              gb(fp.optimizerBytes),
+                              gb(fp.activationBytes),
+                              gb(fp.totalBytes()),
+                              mm.fits(m, batch, ub) ? "yes" : "NO"});
+            }
+            table.print(std::cout);
+            std::cout << '\n';
+        }
+
+        // ZeRO-stage impact on one DP-heavy mapping.
+        {
+            const auto m = mapping::makeMapping(8, 1, 1, 1, 1, 128);
+            const double ub =
+                job.microbatching.microbatchSize(batch, m);
+            TextTable table({"ZeRO stage", "total footprint",
+                             "fits 80 GB?"});
+            for (auto stage :
+                 {core::ZeroStage::none, core::ZeroStage::optimizer,
+                  core::ZeroStage::gradients,
+                  core::ZeroStage::parameters}) {
+                core::MemoryOptions options;
+                options.zeroStage = stage;
+                core::MemoryModel mm(model::OpCounter(model_cfg),
+                                     accel, options);
+                const auto fp = mm.footprint(m, batch, ub);
+                table.addRow(
+                    {core::zeroStageName(stage),
+                     units::formatFixed(fp.totalBytes() / 1e9, 1) +
+                         " GB",
+                     mm.fits(m, batch, ub) ? "yes" : "NO"});
+            }
+            std::cout << "ZeRO on " << m.toString() << ":\n";
+            table.print(std::cout);
+            std::cout << '\n';
+        }
+
+        // Fastest mapping with and without the memory screen.
+        explore::Explorer explorer(amped);
+        auto unscreened = explorer.sweepAll({batch}, job);
+        explorer.setMemoryModel(
+            core::MemoryModel(model::OpCounter(model_cfg), accel));
+        auto screened = explorer.sweepAll({batch}, job);
+
+        const auto best_any = explore::Explorer::best(unscreened);
+        const auto best_fit = explore::Explorer::best(screened);
+        std::cout << "mappings: " << unscreened.entries.size()
+                  << " evaluable, " << screened.entries.size()
+                  << " fit device memory (" << screened.memorySkipped
+                  << " rejected by the memory screen)\n";
+        if (best_any) {
+            std::cout << "fastest ignoring memory:    "
+                      << best_any->mapping.toString() << "  ("
+                      << units::formatDuration(
+                             best_any->result.totalTime)
+                      << ")\n";
+        }
+        if (best_fit) {
+            std::cout << "fastest that actually fits: "
+                      << best_fit->mapping.toString() << "  ("
+                      << units::formatDuration(
+                             best_fit->result.totalTime)
+                      << ")\n";
+        } else {
+            std::cout << "no mapping fits at this batch size - raise "
+                         "TP/PP, enable ZeRO, or shrink the batch\n";
+        }
+    } catch (const UserError &error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

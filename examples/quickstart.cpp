@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: predict the training time of GPT-3 175B on a 1024-GPU
+ * A100 cluster with the canonical Megatron mapping (TP inside each
+ * node, pipeline and data parallelism across nodes), and print the
+ * per-phase breakdown.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "common/units.hpp"
+#include "core/amped_model.hpp"
+#include "explore/explorer.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+
+int
+main()
+{
+    using namespace amped;
+
+    // 1. What is being trained: GPT-3 175B, 300 B tokens, batch 1536.
+    const auto gpt3 = model::presets::gpt3_175B();
+    core::TrainingJob job;
+    job.batchSize = 1536.0;
+    job.totalTrainingTokens = 300e9;
+
+    // 2. On what: 128 nodes x 8 A100, NVLink inside, HDR InfiniBand
+    //    between nodes.
+    const auto system = net::presets::a100Cluster1024();
+    const auto a100 = hw::presets::a100();
+
+    // 3. Compute efficiency vs microbatch size: eff(ub) =
+    //    a ub / (b + ub), fitted from measurements in practice.
+    const hw::MicrobatchEfficiency efficiency(0.9, 4.0);
+
+    // 4. The parallelism mapping: TP8 intra-node, PP16 x DP8 across
+    //    the 128 nodes.
+    const auto mapping = mapping::makeMapping(8, 1, 1, 1, 16, 8);
+
+    // 5. Evaluate.
+    core::AmpedModel amped(gpt3, a100, efficiency, system);
+    const auto result = amped.evaluate(mapping, job);
+
+    std::cout << "model:           " << gpt3.name << " ("
+              << units::formatCount(gpt3.parameterCount())
+              << " parameters)\n"
+              << "system:          " << system.name << " ("
+              << system.totalAccelerators() << " accelerators)\n"
+              << "mapping:         " << mapping.toString() << "\n"
+              << "microbatch size: " << result.microbatchSize
+              << " (eff "
+              << units::formatFixed(result.efficiency, 2) << ")\n"
+              << "time per batch:  "
+              << units::formatDuration(result.timePerBatch) << "\n"
+              << "training time:   "
+              << units::formatDuration(result.totalTime) << " for "
+              << units::formatCount(job.totalTrainingTokens)
+              << " tokens\n"
+              << "throughput:      "
+              << units::formatFlops(result.achievedFlopsPerGpu)
+              << " per GPU ("
+              << units::formatCount(result.tokensPerSecond)
+              << " tokens/s)\n\n"
+              << "per-batch breakdown:\n"
+              << explore::breakdownTable(result);
+    return 0;
+}

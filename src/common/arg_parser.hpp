@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal command-line option parser for the amped tool: one
+ * positional subcommand followed by "--key value" options and
+ * "--flag" switches.  No external dependencies; unknown options are
+ * user errors with a helpful message.
+ */
+
+#ifndef AMPED_COMMON_ARG_PARSER_HPP
+#define AMPED_COMMON_ARG_PARSER_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace amped {
+
+/**
+ * Declarative option specification + parser.
+ */
+class ArgParser
+{
+  public:
+    /**
+     * Declares a valued option.
+     *
+     * @param name Option name without dashes ("batch").
+     * @param description Help text.
+     * @param default_value Value when the option is absent.
+     */
+    void addOption(const std::string &name,
+                   const std::string &description,
+                   const std::string &default_value);
+
+    /** Declares a boolean switch (present/absent). */
+    void addFlag(const std::string &name,
+                 const std::string &description);
+
+    /**
+     * Parses argv after the subcommand.
+     *
+     * @param args Tokens to parse.
+     * @throws UserError on unknown options or missing values.
+     */
+    void parse(const std::vector<std::string> &args);
+
+    /** String value of an option (default when not given). */
+    std::string get(const std::string &name) const;
+
+    /** Double value of an option. */
+    double getDouble(const std::string &name) const;
+
+    /** Integer value of an option. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** True when a declared flag was present. */
+    bool getFlag(const std::string &name) const;
+
+    /** True when the user explicitly provided the option. */
+    bool wasProvided(const std::string &name) const;
+
+    /** Renders a help block listing every option and flag. */
+    std::string helpText() const;
+
+  private:
+    struct Option
+    {
+        std::string description;
+        std::string defaultValue;
+    };
+    std::map<std::string, Option> options_;
+    std::map<std::string, std::string> flagDescriptions_;
+    std::map<std::string, std::string> values_;
+    std::set<std::string> flagsSet_;
+    std::set<std::string> provided_;
+};
+
+} // namespace amped
+
+#endif // AMPED_COMMON_ARG_PARSER_HPP

@@ -1,0 +1,18 @@
+#include "error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amped {
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file,
+                 line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace amped

@@ -1,0 +1,153 @@
+#include "keyval.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "error.hpp"
+
+namespace amped {
+
+namespace {
+
+std::string
+trimmed(const std::string &text)
+{
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return {};
+    const auto last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+} // namespace
+
+KeyValueConfig
+KeyValueConfig::fromString(const std::string &text)
+{
+    KeyValueConfig config;
+    std::istringstream stream(text);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(stream, line)) {
+        ++line_number;
+        // Strip comments.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        require(eq != std::string::npos, "config line ", line_number,
+                ": expected 'key = value', got '", line, "'");
+        const std::string key = trimmed(line.substr(0, eq));
+        const std::string value = trimmed(line.substr(eq + 1));
+        require(!key.empty(), "config line ", line_number,
+                ": empty key");
+        require(config.values_.find(key) == config.values_.end(),
+                "config line ", line_number, ": duplicate key '",
+                key, "'");
+        config.values_[key] = value;
+    }
+    return config;
+}
+
+KeyValueConfig
+KeyValueConfig::fromFile(const std::string &path)
+{
+    std::ifstream file(path);
+    require(file.good(), "cannot open config file '", path, "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return fromString(buffer.str());
+}
+
+bool
+KeyValueConfig::has(const std::string &key) const
+{
+    return values_.find(key) != values_.end();
+}
+
+std::string
+KeyValueConfig::getString(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    require(it != values_.end(), "config: missing required key '",
+            key, "'");
+    return it->second;
+}
+
+std::string
+KeyValueConfig::getString(const std::string &key,
+                          const std::string &fallback) const
+{
+    return has(key) ? values_.at(key) : fallback;
+}
+
+double
+KeyValueConfig::getDouble(const std::string &key) const
+{
+    const std::string text = getString(key);
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    require(end != nullptr && *end == '\0' && !text.empty(),
+            "config key '", key, "': '", text, "' is not a number");
+    return value;
+}
+
+double
+KeyValueConfig::getDouble(const std::string &key,
+                          double fallback) const
+{
+    return has(key) ? getDouble(key) : fallback;
+}
+
+std::int64_t
+KeyValueConfig::getInt(const std::string &key) const
+{
+    const std::string text = getString(key);
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    require(end != nullptr && *end == '\0' && !text.empty(),
+            "config key '", key, "': '", text,
+            "' is not an integer");
+    return static_cast<std::int64_t>(value);
+}
+
+std::int64_t
+KeyValueConfig::getInt(const std::string &key,
+                       std::int64_t fallback) const
+{
+    return has(key) ? getInt(key) : fallback;
+}
+
+std::vector<std::string>
+KeyValueConfig::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[key, value] : values_) {
+        (void)value;
+        out.push_back(key);
+    }
+    return out;
+}
+
+void
+KeyValueConfig::requireOnly(const std::set<std::string> &allowed) const
+{
+    for (const auto &[key, value] : values_) {
+        (void)value;
+        if (!allowed.count(key)) {
+            std::ostringstream oss;
+            oss << "config: unknown key '" << key
+                << "'; allowed keys:";
+            for (const auto &name : allowed)
+                oss << ' ' << name;
+            fatal(oss.str());
+        }
+    }
+}
+
+} // namespace amped

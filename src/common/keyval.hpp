@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal key = value configuration-file reader (no external
+ * dependencies): '#' comments, blank lines, whitespace-trimmed keys
+ * and values, typed accessors with defaults, and unknown-key
+ * detection so typos fail loudly.
+ */
+
+#ifndef AMPED_COMMON_KEYVAL_HPP
+#define AMPED_COMMON_KEYVAL_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace amped {
+
+/**
+ * A parsed key = value document.
+ */
+class KeyValueConfig
+{
+  public:
+    /** Parses text; throws UserError on malformed lines. */
+    static KeyValueConfig fromString(const std::string &text);
+
+    /** Reads and parses a file; throws UserError if unreadable. */
+    static KeyValueConfig fromFile(const std::string &path);
+
+    /** True when the key is present. */
+    bool has(const std::string &key) const;
+
+    /** String value; throws UserError when absent. */
+    std::string getString(const std::string &key) const;
+
+    /** String value with a default. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /** Double value; throws UserError when absent or malformed. */
+    double getDouble(const std::string &key) const;
+
+    /** Double value with a default. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Integer value; throws UserError when absent or malformed. */
+    std::int64_t getInt(const std::string &key) const;
+
+    /** Integer value with a default. */
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+
+    /** All keys, sorted (for diagnostics). */
+    std::vector<std::string> keys() const;
+
+    /**
+     * Throws UserError when the document contains keys outside
+     * @p allowed — catches typos in user config files.
+     */
+    void requireOnly(const std::set<std::string> &allowed) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace amped
+
+#endif // AMPED_COMMON_KEYVAL_HPP

@@ -1,0 +1,36 @@
+#include "log.hpp"
+
+namespace amped {
+namespace log {
+
+namespace {
+bool g_enabled = true;
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled;
+}
+
+bool
+setEnabled(bool on)
+{
+    const bool previous = g_enabled;
+    g_enabled = on;
+    return previous;
+}
+
+namespace detail {
+
+void
+emit(const char *prefix, const std::string &message)
+{
+    if (!g_enabled)
+        return;
+    std::cerr << prefix << ": " << message << '\n';
+}
+
+} // namespace detail
+} // namespace log
+} // namespace amped

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status-message helpers in the spirit of gem5's inform()/warn():
+ * purely informational, never terminate the program.  Output can be
+ * silenced globally (used by tests and benchmark harnesses).
+ */
+
+#ifndef AMPED_COMMON_LOG_HPP
+#define AMPED_COMMON_LOG_HPP
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace amped {
+namespace log {
+
+/** Global verbosity switch; defaults to enabled. */
+bool enabled();
+
+/** Enables or disables inform/warn output; returns previous state. */
+bool setEnabled(bool on);
+
+namespace detail {
+void emit(const char *prefix, const std::string &message);
+} // namespace detail
+
+/** Prints an informational status message ("info: ..."). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    detail::emit("info", oss.str());
+}
+
+/**
+ * Prints a warning: something works but is approximated or suspect
+ * (e.g. an efficiency fit clamped at its floor).
+ */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    detail::emit("warn", oss.str());
+}
+
+/** RAII guard that silences logging within a scope. */
+class Silencer
+{
+  public:
+    Silencer() : previous_(setEnabled(false)) {}
+    ~Silencer() { setEnabled(previous_); }
+    Silencer(const Silencer &) = delete;
+    Silencer &operator=(const Silencer &) = delete;
+
+  private:
+    bool previous_;
+};
+
+} // namespace log
+} // namespace amped
+
+#endif // AMPED_COMMON_LOG_HPP

@@ -1,0 +1,126 @@
+#include "math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "error.hpp"
+
+namespace amped {
+namespace math {
+
+std::int64_t
+ceilDiv(std::int64_t numerator, std::int64_t denominator)
+{
+    require(numerator >= 0, "ceilDiv: negative numerator ", numerator);
+    require(denominator > 0, "ceilDiv: non-positive denominator ",
+            denominator);
+    return (numerator + denominator - 1) / denominator;
+}
+
+bool
+approxEqual(double a, double b, double tol)
+{
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    return std::fabs(a - b) <= tol * scale;
+}
+
+double
+relativeError(double measured, double reference)
+{
+    require(reference != 0.0, "relativeError: zero reference value");
+    return std::fabs(measured - reference) / std::fabs(reference);
+}
+
+bool
+isPowerOfTwo(std::int64_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+std::vector<std::int64_t>
+divisorsOf(std::int64_t n)
+{
+    require(n >= 1, "divisorsOf: n must be positive, got ", n);
+    std::vector<std::int64_t> low, high;
+    for (std::int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            low.push_back(d);
+            if (d != n / d)
+                high.push_back(n / d);
+        }
+    }
+    low.insert(low.end(), high.rbegin(), high.rend());
+    return low;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+factorPairs(std::int64_t n)
+{
+    std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+    for (std::int64_t d : divisorsOf(n))
+        pairs.emplace_back(d, n / d);
+    return pairs;
+}
+
+namespace {
+
+double
+residual(const std::vector<Sample> &samples,
+         const std::function<double(double, double, double)> &model,
+         double a, double b)
+{
+    double sse = 0.0;
+    for (const auto &s : samples) {
+        const double err = model(a, b, s.x) - s.y;
+        sse += err * err;
+    }
+    return sse;
+}
+
+} // namespace
+
+FitResult
+fitTwoParam(const std::vector<Sample> &samples,
+            const std::function<double(double, double, double)> &model,
+            std::pair<double, double> a_range,
+            std::pair<double, double> b_range, int grid, int levels)
+{
+    require(!samples.empty(), "fitTwoParam: no samples");
+    require(grid >= 3, "fitTwoParam: grid must be >= 3");
+    require(levels >= 1, "fitTwoParam: levels must be >= 1");
+    require(a_range.first <= a_range.second,
+            "fitTwoParam: invalid a range");
+    require(b_range.first <= b_range.second,
+            "fitTwoParam: invalid b range");
+
+    double a_lo = a_range.first, a_hi = a_range.second;
+    double b_lo = b_range.first, b_hi = b_range.second;
+
+    FitResult best;
+    best.sumSquaredError = std::numeric_limits<double>::infinity();
+
+    for (int level = 0; level < levels; ++level) {
+        const double a_step = (a_hi - a_lo) / (grid - 1);
+        const double b_step = (b_hi - b_lo) / (grid - 1);
+        for (int i = 0; i < grid; ++i) {
+            for (int j = 0; j < grid; ++j) {
+                const double a = a_lo + i * a_step;
+                const double b = b_lo + j * b_step;
+                const double sse = residual(samples, model, a, b);
+                if (sse < best.sumSquaredError)
+                    best = FitResult{a, b, sse};
+            }
+        }
+        // Zoom the search window around the current optimum.
+        const double a_span = std::max(a_step * 2.0, 1e-12);
+        const double b_span = std::max(b_step * 2.0, 1e-12);
+        a_lo = std::max(a_range.first, best.a - a_span);
+        a_hi = std::min(a_range.second, best.a + a_span);
+        b_lo = std::max(b_range.first, best.b - b_span);
+        b_hi = std::min(b_range.second, best.b + b_span);
+    }
+    return best;
+}
+
+} // namespace math
+} // namespace amped

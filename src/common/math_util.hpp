@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Small math helpers shared across AMPeD modules: integer ceiling
+ * division, approximate floating-point comparison, divisor
+ * enumeration, and a grid-refinement least-squares fitter used to
+ * calibrate the microbatch-efficiency curve.
+ */
+
+#ifndef AMPED_COMMON_MATH_UTIL_HPP
+#define AMPED_COMMON_MATH_UTIL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace amped {
+namespace math {
+
+/** Integer ceiling division; both operands must be positive. */
+std::int64_t ceilDiv(std::int64_t numerator, std::int64_t denominator);
+
+/**
+ * Relative approximate equality.
+ *
+ * @retval true when |a - b| <= tol * max(|a|, |b|, 1).
+ */
+bool approxEqual(double a, double b, double tol = 1e-9);
+
+/** Relative error |measured - reference| / |reference| (in [0, inf)). */
+double relativeError(double measured, double reference);
+
+/** Returns true iff @p n is a power of two (n >= 1). */
+bool isPowerOfTwo(std::int64_t n);
+
+/** All positive divisors of @p n in ascending order. */
+std::vector<std::int64_t> divisorsOf(std::int64_t n);
+
+/** All ways to write n = a * b with a, b >= 1, as (a, b) pairs. */
+std::vector<std::pair<std::int64_t, std::int64_t>>
+factorPairs(std::int64_t n);
+
+/**
+ * A 2-D sample point for curve fitting.
+ */
+struct Sample
+{
+    double x = 0.0; ///< Independent variable (e.g. microbatch size).
+    double y = 0.0; ///< Observed value (e.g. measured efficiency).
+};
+
+/**
+ * Result of a two-parameter least-squares fit.
+ */
+struct FitResult
+{
+    double a = 0.0;           ///< First fitted parameter.
+    double b = 0.0;           ///< Second fitted parameter.
+    double sumSquaredError = 0.0; ///< Residual at the optimum.
+};
+
+/**
+ * Fits parameters (a, b) of an arbitrary two-parameter model to
+ * samples by coarse grid search followed by iterative refinement.
+ *
+ * Robust for the smooth, low-dimensional fits AMPeD needs (the
+ * a*ub/(b+ub) efficiency form); not intended as a general optimizer.
+ *
+ * @param samples Observed (x, y) points; must be non-empty.
+ * @param model Callable model(a, b, x) -> predicted y.
+ * @param a_range Inclusive search interval for a.
+ * @param b_range Inclusive search interval for b.
+ * @param grid Points per axis per refinement level (>= 3).
+ * @param levels Number of refinement levels (>= 1).
+ */
+FitResult fitTwoParam(
+    const std::vector<Sample> &samples,
+    const std::function<double(double, double, double)> &model,
+    std::pair<double, double> a_range, std::pair<double, double> b_range,
+    int grid = 33, int levels = 6);
+
+} // namespace math
+} // namespace amped
+
+#endif // AMPED_COMMON_MATH_UTIL_HPP

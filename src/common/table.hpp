@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text-table and CSV writers used by the benchmark harness to print
+ * the paper's tables and figure series.
+ */
+
+#ifndef AMPED_COMMON_TABLE_HPP
+#define AMPED_COMMON_TABLE_HPP
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace amped {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Model", "TFLOP/s/GPU", "Error (%)"});
+ *   t.addRow({"145B", "147.0", "0.6"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Renders the table with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Renders the table as RFC-4180-style CSV (quoting when needed). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Escapes a CSV cell: wraps in quotes when it contains a comma,
+ * quote, or newline; doubles embedded quotes.
+ */
+std::string csvEscape(const std::string &cell);
+
+} // namespace amped
+
+#endif // AMPED_COMMON_TABLE_HPP

@@ -1,0 +1,93 @@
+#include "units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace amped {
+namespace units {
+
+namespace {
+
+std::string
+printfString(const char *fmt, double value, const char *suffix)
+{
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), fmt, value, suffix);
+    return std::string(buf.data());
+}
+
+} // namespace
+
+std::string
+formatDuration(double seconds)
+{
+    const double abs = std::fabs(seconds);
+    if (abs < 1e-6)
+        return printfString("%.3g %s", seconds * 1e9, "ns");
+    if (abs < 1e-3)
+        return printfString("%.3g %s", seconds * 1e6, "us");
+    if (abs < 1.0)
+        return printfString("%.3g %s", seconds * 1e3, "ms");
+    if (abs < minute)
+        return printfString("%.3g %s", seconds, "s");
+    if (abs < hour)
+        return printfString("%.3g %s", seconds / minute, "min");
+    if (abs < day)
+        return printfString("%.3g %s", seconds / hour, "hours");
+    return printfString("%.3g %s", seconds / day, "days");
+}
+
+std::string
+formatFlops(double flops_per_second)
+{
+    const double abs = std::fabs(flops_per_second);
+    if (abs >= peta)
+        return printfString("%.1f %s", flops_per_second / peta, "PFLOP/s");
+    if (abs >= tera)
+        return printfString("%.1f %s", flops_per_second / tera, "TFLOP/s");
+    if (abs >= giga)
+        return printfString("%.1f %s", flops_per_second / giga, "GFLOP/s");
+    return printfString("%.1f %s", flops_per_second, "FLOP/s");
+}
+
+std::string
+formatBandwidth(double bits_per_second)
+{
+    const double abs = std::fabs(bits_per_second);
+    if (abs >= tera)
+        return printfString("%.2f %s", bits_per_second / tera, "Tbit/s");
+    if (abs >= giga)
+        return printfString("%.2f %s", bits_per_second / giga, "Gbit/s");
+    if (abs >= mega)
+        return printfString("%.2f %s", bits_per_second / mega, "Mbit/s");
+    return printfString("%.2f %s", bits_per_second, "bit/s");
+}
+
+std::string
+formatCount(double count)
+{
+    const double abs = std::fabs(count);
+    if (abs >= peta)
+        return printfString("%.1f %s", count / peta, "P");
+    if (abs >= tera)
+        return printfString("%.1f %s", count / tera, "T");
+    if (abs >= giga)
+        return printfString("%.1f %s", count / giga, "G");
+    if (abs >= mega)
+        return printfString("%.1f %s", count / mega, "M");
+    if (abs >= kilo)
+        return printfString("%.1f %s", count / kilo, "K");
+    return printfString("%.0f%s", count, "");
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+    return std::string(buf.data());
+}
+
+} // namespace units
+} // namespace amped

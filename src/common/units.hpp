@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Physical-unit conventions and human-readable formatting.
+ *
+ * Throughout AMPeD:
+ *  - time is in seconds (double),
+ *  - bandwidth is in bits per second (matching Table IV of the paper),
+ *  - data sizes are in bits,
+ *  - compute rates are in FLOP per second,
+ *  - frequencies are in cycles per second (Hz).
+ */
+
+#ifndef AMPED_COMMON_UNITS_HPP
+#define AMPED_COMMON_UNITS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace amped {
+namespace units {
+
+// ---------------------------------------------------------------------
+// Multipliers.
+// ---------------------------------------------------------------------
+
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+inline constexpr double tera = 1e12;
+inline constexpr double peta = 1e15;
+
+/** Seconds in a minute/hour/day, for training-time reporting. */
+inline constexpr double minute = 60.0;
+inline constexpr double hour = 3600.0;
+inline constexpr double day = 86400.0;
+
+/** Bits per byte; link bandwidths are specified in bits/s. */
+inline constexpr double bitsPerByte = 8.0;
+
+/** Converts GB/s (common in vendor datasheets) to bits/s. */
+constexpr double
+gigabytesPerSecond(double gbps)
+{
+    return gbps * giga * bitsPerByte;
+}
+
+/** Converts Gb/s (network-card convention) to bits/s. */
+constexpr double
+gigabitsPerSecond(double gbps)
+{
+    return gbps * giga;
+}
+
+// ---------------------------------------------------------------------
+// Formatting helpers (for reports and bench output).
+// ---------------------------------------------------------------------
+
+/**
+ * Formats a duration with an adaptive unit.
+ *
+ * Examples: "532 us", "1.24 s", "3.5 hours", "18.2 days".
+ */
+std::string formatDuration(double seconds);
+
+/** Formats a rate as e.g. "312.0 TFLOP/s". */
+std::string formatFlops(double flops_per_second);
+
+/** Formats a bandwidth as e.g. "2.40 Tbit/s". */
+std::string formatBandwidth(double bits_per_second);
+
+/** Formats a count with SI suffix, e.g. "145.0 G" for 1.45e11. */
+std::string formatCount(double count);
+
+/** Formats a fixed-precision double (printf "%.*f"). */
+std::string formatFixed(double value, int decimals);
+
+} // namespace units
+} // namespace amped
+
+#endif // AMPED_COMMON_UNITS_HPP

@@ -1,0 +1,287 @@
+#include "amped_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/compute_cost.hpp"
+#include "net/collectives.hpp"
+
+namespace amped {
+namespace core {
+
+double
+EvaluationResult::trainingDays() const
+{
+    return totalTime / units::day;
+}
+
+AmpedModel::AmpedModel(model::TransformerConfig model_config,
+                       hw::AcceleratorConfig accelerator,
+                       hw::MicrobatchEfficiency efficiency,
+                       net::SystemConfig system, ModelOptions options,
+                       model::OpCountOptions op_options)
+    : opCounter_(std::move(model_config), op_options),
+      accel_(std::move(accelerator)), efficiency_(efficiency),
+      system_(std::move(system)), options_(options)
+{
+    accel_.validate();
+    system_.validate();
+    require(options_.bubbleOverlapRatio >= 0.0,
+            "bubbleOverlapRatio R must be non-negative, got ",
+            options_.bubbleOverlapRatio);
+    require(options_.zeroDpOverhead >= 0.0,
+            "zeroDpOverhead must be non-negative, got ",
+            options_.zeroDpOverhead);
+    require(options_.backwardComputeMultiplier >= 0.0,
+            "backwardComputeMultiplier must be non-negative");
+    require(options_.backwardCommMultiplier >= 0.0,
+            "backwardCommMultiplier must be non-negative");
+    require(options_.ppCommMultiplier >= 1.0,
+            "ppCommMultiplier must be >= 1, got ",
+            options_.ppCommMultiplier);
+}
+
+net::LinkConfig
+AmpedModel::interLinkEffective() const
+{
+    return net::LinkConfig{"inter-effective",
+                           system_.interLatencySeconds(),
+                           system_.perStreamInterBandwidthBits()};
+}
+
+double
+AmpedModel::forwardComputeTime(std::int64_t layer, double batch,
+                               double efficiency_value) const
+{
+    return layerForwardComputeTime(opCounter_, accel_,
+                                   efficiency_value, layer, batch);
+}
+
+double
+AmpedModel::weightUpdateTime(std::int64_t layer,
+                             double efficiency_value) const
+{
+    return layerWeightUpdateTime(opCounter_, accel_, efficiency_value,
+                                 layer);
+}
+
+double
+AmpedModel::tpIntraCommTime(const mapping::ParallelismConfig &mapping,
+                            double replica_batch) const
+{
+    if (mapping.tpIntra <= 1)
+        return 0.0;
+    const double n_act =
+        opCounter_.activationsTensorParallel(replica_batch);
+    const double s_act = accel_.precisions.activationBits;
+    return net::allReduceTime(mapping.tpIntra, n_act, s_act,
+                              system_.intraLink,
+                              options_.intraTopologyFactorOverride);
+}
+
+double
+AmpedModel::tpInterCommTime(const mapping::ParallelismConfig &mapping,
+                            double replica_batch) const
+{
+    if (mapping.tpInter <= 1)
+        return 0.0;
+    const double n_act =
+        opCounter_.activationsTensorParallel(replica_batch);
+    const double s_act = accel_.precisions.activationBits;
+    return net::allReduceTime(mapping.tpInter, n_act, s_act,
+                              interLinkEffective(),
+                              options_.interTopologyFactorOverride);
+}
+
+double
+AmpedModel::ppCommTime(const mapping::ParallelismConfig &mapping,
+                       double replica_batch) const
+{
+    const double layers =
+        static_cast<double>(opCounter_.config().numLayers);
+    const double n_act =
+        opCounter_.activationsPipelineParallel(replica_batch);
+    const double s_act = accel_.precisions.activationBits;
+
+    double intra = 0.0;
+    if (mapping.ppIntra > 1) {
+        intra = net::pointToPointTime(n_act, s_act, system_.intraLink) /
+                layers;
+    }
+    double inter = 0.0;
+    if (mapping.ppInter > 1) {
+        // A pipeline hop is node-to-node: every NIC participates
+        // (scatter-gather of the activation slices), so the hop sees
+        // the node-aggregate bandwidth rather than one stream's
+        // share.
+        const net::LinkConfig hop{"inter-hop",
+                                  system_.interLatencySeconds(),
+                                  system_.interBandwidthBits()};
+        inter = net::pointToPointTime(n_act, s_act, hop) / layers;
+    }
+    return std::max(intra, inter);
+}
+
+double
+AmpedModel::moeCommTime(std::int64_t layer, double replica_batch) const
+{
+    if (!options_.enableMoeComm)
+        return 0.0;
+    const double n_act = opCounter_.activationsMoe(layer, replica_batch);
+    if (n_act == 0.0)
+        return 0.0;
+    const double s_act = accel_.precisions.activationBits;
+    // Two all-to-all exchanges per expert layer (dispatch +
+    // combine).  On a pooled fabric (photonic substrate) the
+    // exchange sees the node-aggregate bandwidth; with conventional
+    // per-accelerator NICs each exchange stream rides its own NIC.
+    const double inter_bw = system_.interIsPooledFabric
+                                ? system_.interBandwidthBits()
+                                : system_.perStreamInterBandwidthBits();
+    return 2.0 * net::allToAllTime(system_.numNodes, n_act, s_act,
+                                   system_.intraLink,
+                                   system_.interLatencySeconds(),
+                                   inter_bw);
+}
+
+double
+AmpedModel::gradCommTime(const mapping::ParallelismConfig &mapping,
+                         std::int64_t layer, double &intra_part,
+                         double &inter_part) const
+{
+    intra_part = 0.0;
+    inter_part = 0.0;
+    if (mapping.dp() <= 1)
+        return 0.0;
+
+    // Gradients of layer l are sharded across TP ranks and live on a
+    // single pipeline stage; stages reduce concurrently, so the
+    // per-layer share is N_g / (N_TP N_PP) (DESIGN.md Sec. 3), with
+    // N_g accounting for expert-parallel sharding on MoE layers.
+    const double n_g = opCounter_.gradientsPerLayer(layer) /
+                       static_cast<double>(mapping.tp() * mapping.pp());
+    const double s_g = options_.gradientBits > 0.0
+                           ? options_.gradientBits
+                           : accel_.precisions.parameterBits;
+
+    if (options_.hierarchicalGradAllReduce) {
+        intra_part = net::allReduceTime(
+            mapping.dpIntra, n_g, s_g, system_.intraLink,
+            options_.intraTopologyFactorOverride);
+        inter_part = net::allReduceTime(
+            mapping.dpInter, n_g, s_g, interLinkEffective(),
+            options_.interTopologyFactorOverride);
+    } else {
+        // Ablation: one flat all-reduce over every DP rank on the
+        // slower inter-node tier.
+        inter_part = net::allReduceTime(
+            mapping.dp(), n_g, s_g, interLinkEffective(),
+            options_.interTopologyFactorOverride);
+    }
+    return intra_part + inter_part;
+}
+
+EvaluationResult
+AmpedModel::evaluate(const mapping::ParallelismConfig &mapping,
+                     const TrainingJob &job) const
+{
+    mapping.validateFor(system_);
+    job.validate();
+
+    const auto &cfg = opCounter_.config();
+    const double batch = job.batchSize;
+    const double ub = job.microbatching.microbatchSize(batch, mapping);
+    const double n_ub =
+        job.microbatching.numMicrobatches(batch, mapping);
+    const double eff = efficiency_(ub);
+    const double workers = static_cast<double>(mapping.totalWorkers());
+
+    // Activation traffic is per DP replica: replicas communicate in
+    // parallel (DESIGN.md Sec. 3).
+    const double replica_batch =
+        batch / static_cast<double>(mapping.dp());
+
+    Breakdown bd;
+
+    // --- Computation (Eq. 2-4, Eq. 12), scaled by all workers (Eq. 1).
+    double fwd_total = 0.0;
+    double update_total = 0.0;
+    for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
+        fwd_total += forwardComputeTime(l, batch, eff);
+        update_total += weightUpdateTime(l, eff);
+    }
+    bd.computeForward = fwd_total / workers;
+    bd.computeBackward =
+        options_.backwardComputeMultiplier * fwd_total / workers;
+    bd.weightUpdate = update_total / workers;
+
+    // --- Forward communication (Eq. 5-7, 9) summed over layers.
+    const double zero_factor = 1.0 + options_.zeroDpOverhead;
+    const double bwd_factor = options_.backwardCommMultiplier;
+    const double layers = static_cast<double>(cfg.numLayers);
+
+    const double tp_intra_layer = tpIntraCommTime(mapping, replica_batch);
+    const double tp_inter_layer = tpInterCommTime(mapping, replica_batch);
+    const double pp_layer = ppCommTime(mapping, replica_batch);
+
+    double moe_total_fwd = 0.0;
+    for (std::int64_t l = 0; l < cfg.numLayers; ++l)
+        moe_total_fwd += moeCommTime(l, replica_batch);
+
+    // With pipelining, each stage owns L / N_PP layers and the
+    // stages' per-layer all-reduces run concurrently, so the
+    // wall-clock sum over layers is scaled by 1 / N_PP — the same
+    // concurrency the paper's Eq. 7 encodes via its 1/L factor
+    // (DESIGN.md Sec. 3).  PP hop communication is already a single
+    // boundary's traffic after the 1/L scaling, so it is not scaled
+    // again.
+    const double stage_overlap =
+        1.0 / static_cast<double>(mapping.pp());
+    const double fb = zero_factor * (1.0 + bwd_factor);
+    bd.commTpIntra = fb * tp_intra_layer * layers * stage_overlap;
+    bd.commTpInter = fb * tp_inter_layer * layers * stage_overlap;
+    bd.commPp =
+        fb * pp_layer * layers * options_.ppCommMultiplier;
+    bd.commMoe = fb * moe_total_fwd * stage_overlap;
+
+    // --- Gradient all-reduce (Eq. 10-11) summed over layers.
+    for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
+        double intra = 0.0, inter = 0.0;
+        gradCommTime(mapping, l, intra, inter);
+        bd.commGradIntra += intra;
+        bd.commGradInter += inter;
+    }
+
+    // --- Pipeline bubble (Eq. 8): R (N_PP - 1)/N_ub times the useful
+    // per-batch step work (compute already scaled by all workers,
+    // plus forward+backward communication).
+    if (mapping.pp() > 1) {
+        const double useful =
+            bd.computeForward + bd.computeBackward + bd.commTpIntra +
+            bd.commTpInter + bd.commPp + bd.commMoe;
+        bd.bubble = options_.bubbleOverlapRatio *
+                    (static_cast<double>(mapping.pp()) - 1.0) / n_ub *
+                    useful;
+    }
+
+    EvaluationResult result;
+    result.perBatch = bd;
+    result.timePerBatch = bd.total();
+    result.numBatches = job.numBatches(cfg.seqLength);
+    result.totalTime = result.numBatches * result.timePerBatch;
+    result.microbatchSize = ub;
+    result.numMicrobatches = n_ub;
+    result.efficiency = eff;
+    result.achievedFlopsPerGpu =
+        opCounter_.modelFlopsPerBatch(batch) /
+        (result.timePerBatch * workers);
+    result.tokensPerSecond =
+        batch * static_cast<double>(cfg.seqLength) /
+        result.timePerBatch;
+    return result;
+}
+
+} // namespace core
+} // namespace amped

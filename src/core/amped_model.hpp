@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The AMPeD analytical performance model (paper Sec. IV, Eq. 1-12).
+ *
+ * Given a transformer configuration, an accelerator design, a
+ * microbatch-efficiency curve, a system architecture, a parallelism
+ * mapping, and a training job, the evaluator produces the per-batch
+ * time breakdown, the end-to-end training time, and the achieved
+ * TFLOP/s/GPU metric used throughout the paper's validation.
+ */
+
+#ifndef AMPED_CORE_AMPED_MODEL_HPP
+#define AMPED_CORE_AMPED_MODEL_HPP
+
+#include "core/breakdown.hpp"
+#include "core/options.hpp"
+#include "core/training_job.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/efficiency.hpp"
+#include "mapping/parallelism.hpp"
+#include "model/op_counter.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace core {
+
+/**
+ * Everything AMPeD predicts for one (mapping, job) evaluation.
+ */
+struct EvaluationResult
+{
+    Breakdown perBatch;          ///< Per-batch phase times (seconds).
+    double timePerBatch = 0.0;   ///< perBatch.total().
+    double numBatches = 0.0;     ///< N_batch of Eq. 1.
+    double totalTime = 0.0;      ///< N_batch * timePerBatch (seconds).
+    double microbatchSize = 0.0; ///< ub used for eff(ub).
+    double numMicrobatches = 0.0; ///< N_ub of Eq. 8.
+    double efficiency = 0.0;     ///< eff(ub) applied to the MAC peak.
+    double achievedFlopsPerGpu = 0.0; ///< Model FLOP/s per accelerator.
+    double tokensPerSecond = 0.0; ///< End-to-end training throughput.
+
+    /** Total training time in days (case-study reporting unit). */
+    double trainingDays() const;
+};
+
+/**
+ * The analytical evaluator.
+ *
+ * Immutable after construction; evaluate() is const and cheap
+ * (microseconds), which is what makes the exhaustive design-space
+ * exploration of the case studies practical.
+ */
+class AmpedModel
+{
+  public:
+    /**
+     * @param model_config Transformer architecture (validated).
+     * @param accelerator Accelerator design (validated).
+     * @param efficiency Microbatch-efficiency curve eff(ub).
+     * @param system Cluster description (validated).
+     * @param options Evaluator knobs (R, ZeRO, topology overrides...).
+     * @param op_options Operation-count cost constants.
+     */
+    AmpedModel(model::TransformerConfig model_config,
+               hw::AcceleratorConfig accelerator,
+               hw::MicrobatchEfficiency efficiency,
+               net::SystemConfig system, ModelOptions options = {},
+               model::OpCountOptions op_options = {});
+
+    /**
+     * Evaluates Eq. 1 for a mapping and a job.
+     *
+     * @throws UserError when the mapping does not fit the system or
+     *         the batch does not fit the mapping.
+     */
+    EvaluationResult evaluate(const mapping::ParallelismConfig &mapping,
+                              const TrainingJob &job) const;
+
+    // -----------------------------------------------------------------
+    // Fine-grained model terms, exposed for tests and ablations.
+    // All times are seconds; batch arguments are global batch sizes.
+    // -----------------------------------------------------------------
+
+    /** U_f(l) of Eq. 2 for the full global batch. */
+    double forwardComputeTime(std::int64_t layer, double batch,
+                              double efficiency_value) const;
+
+    /** U_w(l) of Eq. 12. */
+    double weightUpdateTime(std::int64_t layer,
+                            double efficiency_value) const;
+
+    /** M_f,TP,intra(l) of Eq. 6 (per-replica batch passed in). */
+    double tpIntraCommTime(const mapping::ParallelismConfig &mapping,
+                           double replica_batch) const;
+
+    /** M_f,TP,inter(l): Eq. 6 on the inter-node tier. */
+    double tpInterCommTime(const mapping::ParallelismConfig &mapping,
+                           double replica_batch) const;
+
+    /** max(M_f,PP,intra, M_f,PP,inter)(l) of Eq. 5/7. */
+    double ppCommTime(const mapping::ParallelismConfig &mapping,
+                      double replica_batch) const;
+
+    /** M_f,MoE(l) of Eq. 9. */
+    double moeCommTime(std::int64_t layer, double replica_batch) const;
+
+    /** M_g(l) of Eq. 10-11 (both tiers summed). */
+    double gradCommTime(const mapping::ParallelismConfig &mapping,
+                        std::int64_t layer, double &intra_part,
+                        double &inter_part) const;
+
+    /** The operation counter (model-side knob access). */
+    const model::OpCounter &opCounter() const { return opCounter_; }
+
+    /** The accelerator description. */
+    const hw::AcceleratorConfig &accelerator() const { return accel_; }
+
+    /** The system description. */
+    const net::SystemConfig &system() const { return system_; }
+
+    /** The evaluator options. */
+    const ModelOptions &options() const { return options_; }
+
+  private:
+    /** Effective inter-node link (NIC-aggregated bandwidth). */
+    net::LinkConfig interLinkEffective() const;
+
+    model::OpCounter opCounter_;
+    hw::AcceleratorConfig accel_;
+    hw::MicrobatchEfficiency efficiency_;
+    net::SystemConfig system_;
+    ModelOptions options_;
+};
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_AMPED_MODEL_HPP

@@ -1,0 +1,43 @@
+#include "breakdown.hpp"
+
+namespace amped {
+namespace core {
+
+double
+Breakdown::total() const
+{
+    return computation() + communication() + bubble;
+}
+
+double
+Breakdown::communication() const
+{
+    return commTpIntra + commTpInter + commPp + commMoe +
+           commGradIntra + commGradInter;
+}
+
+double
+Breakdown::computation() const
+{
+    return computeForward + computeBackward + weightUpdate;
+}
+
+std::vector<std::pair<std::string, double>>
+Breakdown::phases() const
+{
+    return {
+        {"compute-forward", computeForward},
+        {"compute-backward", computeBackward},
+        {"weight-update", weightUpdate},
+        {"comm-TP-intra", commTpIntra},
+        {"comm-TP-inter", commTpInter},
+        {"comm-PP", commPp},
+        {"comm-MoE", commMoe},
+        {"comm-grad-intra", commGradIntra},
+        {"comm-grad-inter", commGradInter},
+        {"pipeline-bubble", bubble},
+    };
+}
+
+} // namespace core
+} // namespace amped

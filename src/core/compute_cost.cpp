@@ -1,0 +1,39 @@
+#include "compute_cost.hpp"
+
+namespace amped {
+namespace core {
+
+double
+layerForwardComputeTime(const model::OpCounter &counter,
+                        const hw::AcceleratorConfig &accel,
+                        double efficiency, std::int64_t layer,
+                        double batch)
+{
+    const double c_mac = hw::cMac(accel, efficiency);
+    const double c_non = hw::cNonlin(accel);
+    const double mac_factor = hw::macPrecisionFactor(accel.precisions);
+    const double non_factor =
+        hw::nonlinPrecisionFactor(accel.precisions);
+
+    double time = 0.0;
+    for (const auto &op : counter.layerOps(layer, batch)) {
+        // One MAC = 2 FLOPs against the FLOP-rate peak (DESIGN.md
+        // Sec. 3).
+        time += 2.0 * op.macs * c_mac * mac_factor;
+        time += op.nonlinear * c_non * non_factor;
+    }
+    return time;
+}
+
+double
+layerWeightUpdateTime(const model::OpCounter &counter,
+                      const hw::AcceleratorConfig &accel,
+                      double efficiency, std::int64_t layer)
+{
+    const double c_mac = hw::cMac(accel, efficiency);
+    const double mac_factor = hw::macPrecisionFactor(accel.precisions);
+    return 2.0 * counter.weightsPerLayer(layer) * c_mac * mac_factor;
+}
+
+} // namespace core
+} // namespace amped

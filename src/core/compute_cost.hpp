@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Free-function compute-cost helpers shared by the analytical
+ * evaluator (core::AmpedModel) and the discrete-event simulator:
+ * both must price a layer's forward pass identically so that their
+ * disagreement isolates *scheduling* effects (bubbles, overlap,
+ * serialization), not arithmetic differences.
+ */
+
+#ifndef AMPED_CORE_COMPUTE_COST_HPP
+#define AMPED_CORE_COMPUTE_COST_HPP
+
+#include <cstdint>
+
+#include "hw/accelerator.hpp"
+#include "model/op_counter.hpp"
+
+namespace amped {
+namespace core {
+
+/**
+ * U_f(l) of Eq. 2: forward compute time of one layer for @p batch
+ * sequences on one accelerator running at eff = @p efficiency.
+ */
+double layerForwardComputeTime(const model::OpCounter &counter,
+                               const hw::AcceleratorConfig &accel,
+                               double efficiency, std::int64_t layer,
+                               double batch);
+
+/** U_w(l) of Eq. 12: weight-update time of one layer. */
+double layerWeightUpdateTime(const model::OpCounter &counter,
+                             const hw::AcceleratorConfig &accel,
+                             double efficiency, std::int64_t layer);
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_COMPUTE_COST_HPP

@@ -1,0 +1,86 @@
+#include "energy_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace core {
+
+void
+PowerSpec::validate() const
+{
+    require(tdpWatts > 0.0, "PowerSpec: tdpWatts must be positive");
+    require(idleFraction >= 0.0 && idleFraction <= 1.0,
+            "PowerSpec: idleFraction must be in [0, 1], got ",
+            idleFraction);
+}
+
+EnergyModel::EnergyModel(PowerSpec spec) : spec_(spec)
+{
+    spec_.validate();
+}
+
+double
+EnergyModel::energyPerBatchJoules(const EvaluationResult &result,
+                                  std::int64_t workers) const
+{
+    require(workers >= 1, "energy: workers must be >= 1, got ",
+            workers);
+    const double idle = result.perBatch.bubble;
+    const double busy = result.timePerBatch - idle;
+    AMPED_ASSERT(busy >= -1e-12, "negative busy time in breakdown");
+    const double per_device =
+        spec_.tdpWatts * (busy + spec_.idleFraction * idle);
+    return per_device * static_cast<double>(workers);
+}
+
+double
+EnergyModel::trainingEnergyJoules(const EvaluationResult &result,
+                                  std::int64_t workers) const
+{
+    return energyPerBatchJoules(result, workers) * result.numBatches;
+}
+
+double
+EnergyModel::averagePowerWatts(const EvaluationResult &result) const
+{
+    require(result.timePerBatch > 0.0,
+            "energy: result has zero batch time");
+    const double idle = result.perBatch.bubble;
+    const double busy = result.timePerBatch - idle;
+    return spec_.tdpWatts *
+           (busy + spec_.idleFraction * idle) / result.timePerBatch;
+}
+
+double
+EnergyModel::breakEvenIdleFraction(const EvaluationResult &bubbly,
+                                   const EvaluationResult &reference)
+{
+    require(bubbly.numBatches > 0.0 && reference.numBatches > 0.0,
+            "energy: results lack batch counts");
+    // Per-job per-device seconds (same worker count on both sides,
+    // TDP cancels).
+    const double bubbly_idle =
+        bubbly.perBatch.bubble * bubbly.numBatches;
+    const double bubbly_busy =
+        bubbly.totalTime - bubbly_idle;
+    const double ref_idle =
+        reference.perBatch.bubble * reference.numBatches;
+    const double ref_busy = reference.totalTime - ref_idle;
+
+    // Energy(bubbly) <= Energy(reference):
+    //   busy_b + f * idle_b <= busy_r + f * idle_r
+    //   f <= (busy_r - busy_b) / (idle_b - idle_r)
+    const double idle_delta = bubbly_idle - ref_idle;
+    const double busy_delta = ref_busy - bubbly_busy;
+    if (idle_delta <= 0.0) {
+        // The "bubbly" config does not idle more: it wins iff its
+        // busy energy is lower, independent of the idle power.
+        return busy_delta >= 0.0 ? 1.0 : 0.0;
+    }
+    return std::clamp(busy_delta / idle_delta, 0.0, 1.0);
+}
+
+} // namespace core
+} // namespace amped

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Training-energy model.
+ *
+ * Case Study II observes that a pipeline configuration that trains
+ * slightly *slower* can still be more energy-efficient: during
+ * pipeline bubbles the accelerators idle at reduced power, and "if
+ * the power savings of the system during these bubbles is larger
+ * than the extra energy cost due to the increased training time,
+ * this is still a more energy-efficient configuration" — the paper
+ * estimates the break-even low-power state at ~30 % of full power
+ * and leaves power modeling as future work.  This module is that
+ * model: busy phases draw TDP, bubble (idle) phases draw
+ * idleFraction x TDP, and the break-even idle fraction between two
+ * configurations is computed in closed form.
+ */
+
+#ifndef AMPED_CORE_ENERGY_MODEL_HPP
+#define AMPED_CORE_ENERGY_MODEL_HPP
+
+#include <cstdint>
+
+#include "core/amped_model.hpp"
+
+namespace amped {
+namespace core {
+
+/** Accelerator power characteristics. */
+struct PowerSpec
+{
+    /** Full-execution power draw per accelerator in watts. */
+    double tdpWatts = 400.0;
+
+    /** Idle (low-power state) draw as a fraction of TDP, in [0, 1]. */
+    double idleFraction = 0.3;
+
+    /** Validates the spec. */
+    void validate() const;
+};
+
+/**
+ * Converts evaluation results into energy figures.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(PowerSpec spec);
+
+    /**
+     * Energy of one training batch across @p workers accelerators:
+     * busy time (everything except the pipeline bubble) at TDP,
+     * bubble time at idle power.
+     */
+    double energyPerBatchJoules(const EvaluationResult &result,
+                                std::int64_t workers) const;
+
+    /** Whole-job energy: per-batch energy x batch count. */
+    double trainingEnergyJoules(const EvaluationResult &result,
+                                std::int64_t workers) const;
+
+    /** Mean power draw per accelerator over a batch, watts. */
+    double averagePowerWatts(const EvaluationResult &result) const;
+
+    /**
+     * Break-even idle fraction between a bubbly configuration and a
+     * busier reference: the idle fraction below which @p bubbly
+     * consumes less total energy than @p reference despite taking
+     * longer (the paper's "~30 % of the power of the system"
+     * threshold).  Both results must use the same worker count.
+     *
+     * @return Fraction in [0, 1]; 0 when @p bubbly can never win
+     *         (its busy energy alone exceeds the reference), 1 when
+     *         it wins even with no power savings.
+     */
+    static double breakEvenIdleFraction(const EvaluationResult &bubbly,
+                                        const EvaluationResult &reference);
+
+    /** The power spec in use. */
+    const PowerSpec &spec() const { return spec_; }
+
+  private:
+    PowerSpec spec_;
+};
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_ENERGY_MODEL_HPP

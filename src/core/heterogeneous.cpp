@@ -1,0 +1,209 @@
+#include "heterogeneous.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/compute_cost.hpp"
+#include "net/collectives.hpp"
+
+namespace amped {
+namespace core {
+
+HeterogeneousPipelineModel::HeterogeneousPipelineModel(
+    model::OpCounter counter, std::vector<HeterogeneousStage> stages,
+    net::LinkConfig hop_link, double backward_multiplier)
+    : counter_(std::move(counter)), stages_(std::move(stages)),
+      hopLink_(std::move(hop_link)),
+      backwardMultiplier_(backward_multiplier)
+{
+    require(!stages_.empty(),
+            "heterogeneous pipeline: need at least one stage");
+    require(backwardMultiplier_ >= 0.0,
+            "heterogeneous pipeline: backward multiplier must be "
+            "non-negative");
+    hopLink_.validate();
+    std::int64_t layers = 0;
+    for (const auto &stage : stages_) {
+        stage.accelerator.validate();
+        require(stage.numLayers >= 1,
+                "heterogeneous pipeline: every stage needs >= 1 "
+                "layer");
+        require(stage.tpDegree >= 1,
+                "heterogeneous pipeline: tpDegree must be >= 1");
+        layers += stage.numLayers;
+    }
+    require(layers == counter_.config().numLayers,
+            "heterogeneous pipeline: stage layers sum to ", layers,
+            " but the model has ", counter_.config().numLayers);
+}
+
+double
+HeterogeneousPipelineModel::stageTime(std::size_t stage_index,
+                                      std::int64_t first_layer,
+                                      double microbatch) const
+{
+    const auto &stage = stages_[stage_index];
+    const double eff = stage.efficiency(microbatch);
+    double fwd = 0.0;
+    for (std::int64_t l = 0; l < stage.numLayers; ++l) {
+        fwd += layerForwardComputeTime(counter_, stage.accelerator,
+                                       eff, first_layer + l,
+                                       microbatch);
+    }
+    // TP inside the stage shards the compute; its all-reduce cost is
+    // charged per layer on the stage's off-chip link.
+    double tp_comm = 0.0;
+    if (stage.tpDegree > 1) {
+        fwd /= static_cast<double>(stage.tpDegree);
+        const net::LinkConfig intra{
+            "stage-intra", 1e-6,
+            stage.accelerator.offChipBandwidthBits};
+        tp_comm = static_cast<double>(stage.numLayers) *
+                  net::allReduceTime(
+                      stage.tpDegree,
+                      counter_.activationsTensorParallel(microbatch),
+                      stage.accelerator.precisions.activationBits,
+                      intra);
+    }
+    return (1.0 + backwardMultiplier_) * (fwd + tp_comm);
+}
+
+HeterogeneousResult
+HeterogeneousPipelineModel::evaluate(const TrainingJob &job) const
+{
+    job.validate();
+    const auto &cfg = counter_.config();
+
+    // Microbatching with DP = 1 and PP = stage count.
+    mapping::ParallelismConfig pseudo;
+    pseudo.ppIntra = static_cast<std::int64_t>(stages_.size());
+    const double ub =
+        job.microbatching.microbatchSize(job.batchSize, pseudo);
+    const double n_ub =
+        job.microbatching.numMicrobatches(job.batchSize, pseudo);
+
+    HeterogeneousResult result;
+    std::int64_t first_layer = 0;
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        const double t = stageTime(s, first_layer, ub);
+        result.stageTimes.push_back(t);
+        if (t > result.bottleneckTime) {
+            result.bottleneckTime = t;
+            result.bottleneckStage = static_cast<std::int64_t>(s);
+        }
+        first_layer += stages_[s].numLayers;
+    }
+
+    // Steady state: N_ub slots of the bottleneck; ramp: one pass of
+    // every other stage (fill + drain).
+    double ramp = 0.0;
+    for (double t : result.stageTimes)
+        ramp += t;
+    ramp -= result.bottleneckTime;
+
+    // Hop communication: each boundary moves the whole per-batch
+    // activation volume once (forward + backward).
+    if (stages_.size() > 1) {
+        const double act_bits =
+            counter_.activationsPipelineParallel(job.batchSize) *
+            stages_.front().accelerator.precisions.activationBits;
+        result.hopCommTime =
+            2.0 * (hopLink_.latencySeconds * n_ub +
+                   act_bits / hopLink_.bandwidthBits);
+    }
+
+    result.timePerBatch = n_ub * result.bottleneckTime + ramp +
+                          result.hopCommTime;
+    result.totalTime =
+        result.timePerBatch * job.numBatches(cfg.seqLength);
+    return result;
+}
+
+std::vector<HeterogeneousStage>
+HeterogeneousPipelineModel::balanceLayers(
+    const model::OpCounter &counter,
+    std::vector<HeterogeneousStage> stages, double microbatch)
+{
+    require(!stages.empty(), "balanceLayers: need stages");
+    require(microbatch >= 1.0,
+            "balanceLayers: microbatch must be >= 1");
+    const std::int64_t layers = counter.config().numLayers;
+    require(layers >= static_cast<std::int64_t>(stages.size()),
+            "balanceLayers: more stages than layers");
+
+    // Per-layer cost on each stage's hardware.
+    std::vector<std::vector<double>> cost(stages.size());
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        const double eff = stages[s].efficiency(microbatch);
+        const double tp = static_cast<double>(stages[s].tpDegree);
+        cost[s].resize(layers);
+        for (std::int64_t l = 0; l < layers; ++l) {
+            cost[s][l] = layerForwardComputeTime(
+                             counter, stages[s].accelerator, eff, l,
+                             microbatch) /
+                         tp;
+        }
+    }
+
+    // Feasibility: can contiguous blocks with per-stage sums
+    // <= bound cover all layers (every stage gets >= 1 layer)?
+    auto assign = [&](double bound,
+                      std::vector<std::int64_t> &out) -> bool {
+        out.assign(stages.size(), 0);
+        std::int64_t layer = 0;
+        for (std::size_t s = 0; s < stages.size(); ++s) {
+            const std::int64_t remaining_stages =
+                static_cast<std::int64_t>(stages.size() - s - 1);
+            double sum = 0.0;
+            std::int64_t taken = 0;
+            while (layer < layers - remaining_stages) {
+                if (taken >= 1 && sum + cost[s][layer] > bound)
+                    break;
+                sum += cost[s][layer];
+                ++taken;
+                ++layer;
+                if (taken == 1 && sum > bound) {
+                    // A single layer may exceed the bound; it still
+                    // must be placed somewhere, so only stop here if
+                    // more layers would make it worse.
+                    break;
+                }
+            }
+            if (taken == 0)
+                return false;
+            out[s] = taken;
+        }
+        return layer == layers;
+    };
+
+    // Binary search over the bottleneck bound.
+    double lo = 0.0, hi = 0.0;
+    for (std::size_t s = 0; s < stages.size(); ++s)
+        for (std::int64_t l = 0; l < layers; ++l)
+            hi = std::max(hi, cost[s][l]);
+    hi *= static_cast<double>(layers);
+    std::vector<std::int64_t> best;
+    {
+        std::vector<std::int64_t> trial;
+        AMPED_ASSERT(assign(hi, trial),
+                     "maximal bound must be feasible");
+        best = trial;
+    }
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        std::vector<std::int64_t> trial;
+        if (assign(mid, trial)) {
+            hi = mid;
+            best = trial;
+        } else {
+            lo = mid;
+        }
+    }
+    for (std::size_t s = 0; s < stages.size(); ++s)
+        stages[s].numLayers = best[s];
+    return stages;
+}
+
+} // namespace core
+} // namespace amped

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Heterogeneous-pipeline extension.
+ *
+ * The paper's conclusion states "AMPeD can be easily extended for
+ * heterogeneous accelerators"; this module is that extension for the
+ * pipeline dimension, the natural place for heterogeneity (each
+ * stage is an independent device group): every pipeline stage may
+ * run a different accelerator type with its own efficiency curve and
+ * tensor-parallel width.
+ *
+ * A pipeline's steady-state throughput is set by its slowest stage:
+ * time/batch ~ N_ub x bottleneck-stage time plus the fill/drain ramp
+ * of (sum of all stage times) and inter-stage hop communication.
+ * The module also provides a layer-partitioning optimizer that
+ * assigns contiguous layer blocks to stages to minimize the
+ * bottleneck (binary search over the bottleneck value with a greedy
+ * feasibility check).
+ */
+
+#ifndef AMPED_CORE_HETEROGENEOUS_HPP
+#define AMPED_CORE_HETEROGENEOUS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/training_job.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/efficiency.hpp"
+#include "model/op_counter.hpp"
+#include "net/link.hpp"
+
+namespace amped {
+namespace core {
+
+/** One stage of a heterogeneous pipeline. */
+struct HeterogeneousStage
+{
+    hw::AcceleratorConfig accelerator; ///< Device type of the stage.
+    hw::MicrobatchEfficiency efficiency{0.9, 4.0}; ///< Its eff(ub).
+    std::int64_t numLayers = 0; ///< Contiguous layers assigned.
+    std::int64_t tpDegree = 1;  ///< Tensor-parallel width inside.
+};
+
+/** Prediction for one heterogeneous-pipeline training batch. */
+struct HeterogeneousResult
+{
+    double timePerBatch = 0.0;   ///< Seconds per global batch.
+    double totalTime = 0.0;      ///< Over the whole token budget.
+    double bottleneckTime = 0.0; ///< Slowest stage, per microbatch.
+    std::int64_t bottleneckStage = 0; ///< Index of that stage.
+    std::vector<double> stageTimes;   ///< Per-microbatch f+b times.
+    double hopCommTime = 0.0;    ///< Inter-stage transfer total.
+};
+
+/**
+ * Evaluator for pipelines whose stages differ in hardware.
+ */
+class HeterogeneousPipelineModel
+{
+  public:
+    /**
+     * @param counter Model op counter (copied).
+     * @param stages Stage descriptions; layer counts must sum to the
+     *        model's layer count.
+     * @param hop_link Link between consecutive stages.
+     * @param backward_multiplier U_b / U_f ratio.
+     */
+    HeterogeneousPipelineModel(model::OpCounter counter,
+                               std::vector<HeterogeneousStage> stages,
+                               net::LinkConfig hop_link,
+                               double backward_multiplier = 3.0);
+
+    /**
+     * Evaluates one job: the batch is split into N_ub microbatches
+     * (job.microbatching rules with DP = 1, PP = stage count).
+     */
+    HeterogeneousResult evaluate(const TrainingJob &job) const;
+
+    /**
+     * Balances the layer assignment: finds the contiguous partition
+     * of the model's layers over the given stage hardware that
+     * minimizes the bottleneck stage time for microbatch size
+     * @p microbatch, and returns the stages with numLayers filled
+     * in.  Uses binary search on the bottleneck value with a greedy
+     * prefix-assignment feasibility test.
+     */
+    static std::vector<HeterogeneousStage>
+    balanceLayers(const model::OpCounter &counter,
+                  std::vector<HeterogeneousStage> stages,
+                  double microbatch);
+
+    /** The stage descriptions in use. */
+    const std::vector<HeterogeneousStage> &stages() const
+    {
+        return stages_;
+    }
+
+  private:
+    /** Forward+backward time of one stage for one microbatch. */
+    double stageTime(std::size_t stage_index, std::int64_t first_layer,
+                     double microbatch) const;
+
+    model::OpCounter counter_;
+    std::vector<HeterogeneousStage> stages_;
+    net::LinkConfig hopLink_;
+    double backwardMultiplier_;
+};
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_HETEROGENEOUS_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tunable knobs of the AMPeD evaluator that are neither model, nor
+ * hardware, nor mapping parameters.
+ */
+
+#ifndef AMPED_CORE_OPTIONS_HPP
+#define AMPED_CORE_OPTIONS_HPP
+
+namespace amped {
+namespace core {
+
+/**
+ * Evaluator options.
+ *
+ * Defaults reproduce the paper's published settings: R = 1 (no
+ * bubble overlap, Table II), plain DP (no ZeRO overhead), U_b = 2
+ * U_f, hierarchical gradient all-reduce, ring topology factors.
+ */
+struct ModelOptions
+{
+    /**
+     * R in Eq. 8: ratio of non-overlapping bubbles of the deployed
+     * pipeline scheme to naive pipelining.  1 = naive (GPipe-style),
+     * < 1 approximates interleaved schedules.
+     */
+    double bubbleOverlapRatio = 1.0;
+
+    /**
+     * M_f_DP in Eq. 5: multiplicative forward/backward communication
+     * overhead of ZeRO-powered data parallelism; 0 = plain DP.
+     */
+    double zeroDpOverhead = 0.0;
+
+    /**
+     * U_b / U_f ratio.  2.0 is the standard backward cost; set 3.0
+     * to include activation recomputation in the backward pass
+     * (Megatron's accounting; pair with
+     * OpCountOptions::activationRecompute so the achieved-TFLOP
+     * metric stays consistent).
+     */
+    double backwardComputeMultiplier = 3.0;
+
+    /**
+     * M_b / M_f ratio (Sec. IV-E: backward communication mirrors the
+     * forward with errors/gradients instead of activations).
+     */
+    double backwardCommMultiplier = 1.0;
+
+    /**
+     * Pipeline-hop traffic multiplier: interleaved schedules send
+     * activations between devices once per model chunk
+     * (PipelineSchedule::ppCommMultiplier); 1 for GPipe / 1F1B.
+     */
+    double ppCommMultiplier = 1.0;
+
+    /**
+     * Gradient element precision S_g in bits; 0 = use the parameter
+     * precision of the accelerator.
+     */
+    double gradientBits = 0.0;
+
+    /**
+     * Use the two-stage hierarchical gradient all-reduce of Eq. 10;
+     * false collapses it to a single flat all-reduce over N_DP ranks
+     * on the (slower) inter-node tier — an ablation knob.
+     */
+    bool hierarchicalGradAllReduce = true;
+
+    /**
+     * Topology-factor overrides: negative selects the paper's
+     * defaults (ring for all-reduce, pairwise for all-to-all).
+     */
+    double intraTopologyFactorOverride = -1.0;
+    double interTopologyFactorOverride = -1.0;
+
+    /** Master switch for MoE communication (paper: parameterizable). */
+    bool enableMoeComm = true;
+};
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_OPTIONS_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Pipeline-schedule models.
+ *
+ * The paper exposes pipeline efficiency through two knobs: the
+ * bubble-overlap ratio R of Eq. 8 ("allowing to easily estimate more
+ * efficient pipeline strategies") and the number of in-flight
+ * microbatches that drive memory pressure.  This module derives both
+ * from the actual schedule instead of hand-tuning:
+ *
+ *  - GPipe: all forwards, then all backwards.  Bubble fraction
+ *    (P-1)/M of the useful work (R = 1); every microbatch's
+ *    activations are alive simultaneously.
+ *  - 1F1B (PipeDream-flush): same bubble as GPipe (R = 1) but at
+ *    most P microbatches in flight — the memory win.
+ *  - Interleaved 1F1B (Megatron): each device hosts v model chunks;
+ *    the bubble shrinks by v (R = 1/v) at the cost of v x more
+ *    pipeline communication.
+ */
+
+#ifndef AMPED_CORE_PIPELINE_SCHEDULE_HPP
+#define AMPED_CORE_PIPELINE_SCHEDULE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace amped {
+namespace core {
+
+/** Which pipeline schedule the deployment runs. */
+enum class PipelineScheduleKind
+{
+    gpipe,      ///< All-forward-then-all-backward.
+    oneFOneB,   ///< 1F1B with flush (PipeDream-style).
+    interleaved ///< Interleaved 1F1B with v chunks per device.
+};
+
+/**
+ * A pipeline schedule and its derived model parameters.
+ */
+struct PipelineSchedule
+{
+    PipelineScheduleKind kind = PipelineScheduleKind::gpipe;
+
+    /** Model chunks per device, v (interleaved only; >= 1). */
+    std::int64_t interleaveDegree = 1;
+
+    /** Display name ("GPipe", "1F1B", "interleaved-1F1B(v=4)"). */
+    std::string name() const;
+
+    /**
+     * Bubble-overlap ratio R for Eq. 8: 1 for GPipe and 1F1B, 1/v
+     * for the interleaved schedule.
+     *
+     * @throws UserError when interleaveDegree is invalid.
+     */
+    double bubbleOverlapRatio() const;
+
+    /**
+     * Pipeline-communication multiplier: the interleaved schedule
+     * sends activations between devices once per chunk, so hop
+     * traffic scales by v.
+     */
+    double ppCommMultiplier() const;
+
+    /**
+     * Microbatches whose activations are simultaneously alive on a
+     * stage, given pipeline depth @p pp and @p n_ub microbatches —
+     * the memory-model input.
+     */
+    double activationsInFlight(std::int64_t pp, double n_ub) const;
+
+    /** Validates the schedule parameters. */
+    void validate() const;
+};
+
+// Forward declaration: defined in core/options.hpp.
+struct ModelOptions;
+
+/**
+ * Applies a schedule to evaluator options: sets the bubble-overlap
+ * ratio R and the pipeline-communication multiplier.
+ */
+void applySchedule(const PipelineSchedule &schedule,
+                   ModelOptions &options);
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_PIPELINE_SCHEDULE_HPP

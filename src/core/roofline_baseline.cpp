@@ -1,0 +1,73 @@
+#include "roofline_baseline.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace amped {
+namespace core {
+
+RooflineBaseline::RooflineBaseline(model::OpCounter counter,
+                                   hw::AcceleratorConfig accel,
+                                   net::SystemConfig system)
+    : counter_(std::move(counter)), accel_(std::move(accel)),
+      system_(std::move(system))
+{
+    accel_.validate();
+    system_.validate();
+}
+
+double
+RooflineBaseline::computeTime(double batch) const
+{
+    require(batch > 0.0, "roofline: batch must be positive");
+    const double total_flops = counter_.modelFlopsPerBatch(batch);
+    const double aggregate_peak =
+        accel_.peakMacFlops() *
+        static_cast<double>(system_.totalAccelerators());
+    return total_flops / aggregate_peak;
+}
+
+double
+RooflineBaseline::communicationTime(
+    const mapping::ParallelismConfig &mapping, double batch) const
+{
+    mapping.validate();
+    const auto &cfg = counter_.config();
+    const double s_act = accel_.precisions.activationBits;
+    const double s_g = accel_.precisions.parameterBits;
+
+    // Every byte the training step moves, lumped together.
+    double bits = 0.0;
+    if (mapping.tp() > 1) {
+        bits += counter_.activationsTensorParallel(batch) * s_act *
+                static_cast<double>(cfg.numLayers) * 2.0; // fwd+bwd
+    }
+    if (mapping.pp() > 1) {
+        bits += counter_.activationsPipelineParallel(batch) * s_act *
+                2.0;
+    }
+    if (mapping.dp() > 1) {
+        for (std::int64_t l = 0; l < cfg.numLayers; ++l)
+            bits += counter_.gradientsPerLayer(l) * s_g;
+    }
+
+    // Everything flows through "the network": aggregate inter-node
+    // bandwidth of the whole system (the roofline's single number).
+    const double network_bits_per_second =
+        system_.interBandwidthBits() *
+        static_cast<double>(system_.numNodes);
+    return bits / network_bits_per_second;
+}
+
+double
+RooflineBaseline::timePerBatch(
+    const mapping::ParallelismConfig &mapping,
+    const TrainingJob &job) const
+{
+    job.validate();
+    return computeTime(job.batchSize) +
+           communicationTime(mapping, job.batchSize);
+}
+
+} // namespace core
+} // namespace amped

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A deliberately naive roofline baseline estimator.
+ *
+ * The related-work section positions AMPeD against simpler
+ * predictors; this class is the strawman they all reduce to: total
+ * model FLOPs over aggregate peak compute, plus total communicated
+ * bytes over bisection bandwidth — no microbatch efficiency, no
+ * topology factors, no intra/inter distinction, no pipeline
+ * bubbles.  The baseline-comparison bench shows exactly which
+ * effects each of AMPeD's extra terms captures (mapping-dependent
+ * cost differences the roofline cannot see).
+ */
+
+#ifndef AMPED_CORE_ROOFLINE_BASELINE_HPP
+#define AMPED_CORE_ROOFLINE_BASELINE_HPP
+
+#include "core/training_job.hpp"
+#include "hw/accelerator.hpp"
+#include "mapping/parallelism.hpp"
+#include "model/op_counter.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace core {
+
+/**
+ * Roofline estimate of the per-batch training time.
+ */
+class RooflineBaseline
+{
+  public:
+    /**
+     * @param counter Model op counter (copied).
+     * @param accel Accelerator (peak FLOP/s).
+     * @param system System (bandwidths).
+     */
+    RooflineBaseline(model::OpCounter counter,
+                     hw::AcceleratorConfig accel,
+                     net::SystemConfig system);
+
+    /**
+     * Per-batch time estimate: compute at full peak across all
+     * workers, plus every communicated byte (TP activations,
+     * pipeline hops, gradients) at the aggregate inter-node
+     * bandwidth — ignoring who communicates with whom.
+     */
+    double timePerBatch(const mapping::ParallelismConfig &mapping,
+                        const TrainingJob &job) const;
+
+    /** Compute-only component of the estimate. */
+    double computeTime(double batch) const;
+
+    /** Communication component of the estimate. */
+    double communicationTime(const mapping::ParallelismConfig &mapping,
+                             double batch) const;
+
+  private:
+    model::OpCounter counter_;
+    hw::AcceleratorConfig accel_;
+    net::SystemConfig system_;
+};
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_ROOFLINE_BASELINE_HPP

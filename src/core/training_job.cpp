@@ -1,0 +1,31 @@
+#include "training_job.hpp"
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace core {
+
+double
+TrainingJob::numBatches(std::int64_t seq_length) const
+{
+    validate();
+    if (numBatchesOverride > 0.0)
+        return numBatchesOverride;
+    require(seq_length > 0, "numBatches: sequence length must be "
+            "positive, got ", seq_length);
+    return totalTrainingTokens /
+           (batchSize * static_cast<double>(seq_length));
+}
+
+void
+TrainingJob::validate() const
+{
+    require(batchSize > 0.0, "TrainingJob: batchSize must be positive, "
+            "got ", batchSize);
+    require(totalTrainingTokens > 0.0 || numBatchesOverride > 0.0,
+            "TrainingJob: need a token budget or an explicit batch "
+            "count");
+}
+
+} // namespace core
+} // namespace amped

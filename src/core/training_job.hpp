@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload description: what is being trained, for how long.
+ */
+
+#ifndef AMPED_CORE_TRAINING_JOB_HPP
+#define AMPED_CORE_TRAINING_JOB_HPP
+
+#include <cstdint>
+
+#include "mapping/parallelism.hpp"
+
+namespace amped {
+namespace core {
+
+/**
+ * One training job: global batch size, training length, and the
+ * microbatching policy.
+ *
+ * The paper's Eq. 1 multiplies the per-batch time by N_batch; the
+ * case studies fix a token budget instead (DESIGN.md: 300 B tokens,
+ * the GPT-3 convention), from which N_batch = tokens / (B * s).
+ */
+struct TrainingJob
+{
+    /** Global batch size B in sequences. */
+    double batchSize = 0.0;
+
+    /**
+     * Total training tokens; used to derive the number of batches
+     * when numBatchesOverride is 0.
+     */
+    double totalTrainingTokens = 300e9;
+
+    /** Direct batch-count override (validation runs fix N_batch). */
+    double numBatchesOverride = 0.0;
+
+    /** Microbatch policy (size / count overrides). */
+    mapping::Microbatching microbatching;
+
+    /**
+     * Number of batches N_batch for a model with sequence length
+     * @p seq_length.
+     */
+    double numBatches(std::int64_t seq_length) const;
+
+    /** Validates the job parameters. */
+    void validate() const;
+};
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_TRAINING_JOB_HPP

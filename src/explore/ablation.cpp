@@ -1,0 +1,104 @@
+#include "ablation.hpp"
+
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace amped {
+namespace explore {
+
+AblationRunner::AblationRunner(model::TransformerConfig model_config,
+                               hw::AcceleratorConfig accelerator,
+                               hw::MicrobatchEfficiency efficiency,
+                               net::SystemConfig system,
+                               core::ModelOptions base_options,
+                               model::OpCountOptions op_options)
+    : modelConfig_(std::move(model_config)),
+      accel_(std::move(accelerator)), efficiency_(efficiency),
+      system_(std::move(system)), baseOptions_(base_options),
+      opOptions_(op_options)
+{}
+
+core::EvaluationResult
+AblationRunner::evaluateWith(const core::ModelOptions &options,
+                             const mapping::ParallelismConfig &mapping,
+                             const core::TrainingJob &job) const
+{
+    core::AmpedModel model(modelConfig_, accel_, efficiency_, system_,
+                           options, opOptions_);
+    return model.evaluate(mapping, job);
+}
+
+std::vector<AblationPoint>
+AblationRunner::sweepBubbleOverlap(
+    const std::vector<double> &ratios,
+    const mapping::ParallelismConfig &mapping,
+    const core::TrainingJob &job) const
+{
+    std::vector<AblationPoint> points;
+    for (double r : ratios) {
+        core::ModelOptions options = baseOptions_;
+        options.bubbleOverlapRatio = r;
+        std::ostringstream label;
+        label << "R=" << units::formatFixed(r, 2);
+        points.push_back(
+            {label.str(), evaluateWith(options, mapping, job)});
+    }
+    return points;
+}
+
+std::vector<AblationPoint>
+AblationRunner::sweepZeroOverhead(
+    const std::vector<double> &overheads,
+    const mapping::ParallelismConfig &mapping,
+    const core::TrainingJob &job) const
+{
+    std::vector<AblationPoint> points;
+    for (double z : overheads) {
+        core::ModelOptions options = baseOptions_;
+        options.zeroDpOverhead = z;
+        std::ostringstream label;
+        label << "ZeRO-overhead=" << units::formatFixed(z, 2);
+        points.push_back(
+            {label.str(), evaluateWith(options, mapping, job)});
+    }
+    return points;
+}
+
+std::vector<AblationPoint>
+AblationRunner::compareGradAllReduce(
+    const mapping::ParallelismConfig &mapping,
+    const core::TrainingJob &job) const
+{
+    std::vector<AblationPoint> points;
+    for (bool hierarchical : {true, false}) {
+        core::ModelOptions options = baseOptions_;
+        options.hierarchicalGradAllReduce = hierarchical;
+        points.push_back({hierarchical ? "hierarchical-allreduce"
+                                       : "flat-allreduce",
+                          evaluateWith(options, mapping, job)});
+    }
+    return points;
+}
+
+std::vector<AblationPoint>
+AblationRunner::sweepEfficiencyFloor(
+    const std::vector<double> &floors,
+    const mapping::ParallelismConfig &mapping,
+    const core::TrainingJob &job) const
+{
+    std::vector<AblationPoint> points;
+    for (double floor : floors) {
+        hw::MicrobatchEfficiency eff(efficiency_.a(), efficiency_.b(),
+                                     floor);
+        core::AmpedModel model(modelConfig_, accel_, eff, system_,
+                               baseOptions_, opOptions_);
+        std::ostringstream label;
+        label << "floor=" << units::formatFixed(floor, 2);
+        points.push_back({label.str(), model.evaluate(mapping, job)});
+    }
+    return points;
+}
+
+} // namespace explore
+} // namespace amped

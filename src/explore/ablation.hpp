@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation harness for the design choices DESIGN.md calls out:
+ * bubble-overlap ratio R, ZeRO-DP overhead, hierarchical vs flat
+ * gradient all-reduce, and the efficiency floor.
+ *
+ * Each ablation rebuilds the evaluator with one knob changed and
+ * reports the resulting prediction, so benches can show how
+ * sensitive the paper's conclusions are to each modeling choice.
+ */
+
+#ifndef AMPED_EXPLORE_ABLATION_HPP
+#define AMPED_EXPLORE_ABLATION_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/amped_model.hpp"
+
+namespace amped {
+namespace explore {
+
+/** One ablation data point. */
+struct AblationPoint
+{
+    std::string label;             ///< Knob setting ("R=0.5", ...).
+    core::EvaluationResult result; ///< Prediction with that setting.
+};
+
+/**
+ * Rebuilds AmpedModel instances with varied options around a fixed
+ * (model, accelerator, efficiency, system) base.
+ */
+class AblationRunner
+{
+  public:
+    AblationRunner(model::TransformerConfig model_config,
+                   hw::AcceleratorConfig accelerator,
+                   hw::MicrobatchEfficiency efficiency,
+                   net::SystemConfig system,
+                   core::ModelOptions base_options = {},
+                   model::OpCountOptions op_options = {});
+
+    /** Evaluates with explicit options (base otherwise). */
+    core::EvaluationResult
+    evaluateWith(const core::ModelOptions &options,
+                 const mapping::ParallelismConfig &mapping,
+                 const core::TrainingJob &job) const;
+
+    /** Sweeps the bubble-overlap ratio R of Eq. 8. */
+    std::vector<AblationPoint>
+    sweepBubbleOverlap(const std::vector<double> &ratios,
+                       const mapping::ParallelismConfig &mapping,
+                       const core::TrainingJob &job) const;
+
+    /** Sweeps the ZeRO-DP overhead factor M_f_DP of Eq. 5. */
+    std::vector<AblationPoint>
+    sweepZeroOverhead(const std::vector<double> &overheads,
+                      const mapping::ParallelismConfig &mapping,
+                      const core::TrainingJob &job) const;
+
+    /** Hierarchical (Eq. 10) vs flat gradient all-reduce. */
+    std::vector<AblationPoint>
+    compareGradAllReduce(const mapping::ParallelismConfig &mapping,
+                         const core::TrainingJob &job) const;
+
+    /**
+     * Sweeps the efficiency floor (the knob behind the Fig. 8 kink:
+     * "the efficiency curve has a fixed lower limit of 25% in our
+     * case").
+     */
+    std::vector<AblationPoint>
+    sweepEfficiencyFloor(const std::vector<double> &floors,
+                         const mapping::ParallelismConfig &mapping,
+                         const core::TrainingJob &job) const;
+
+  private:
+    model::TransformerConfig modelConfig_;
+    hw::AcceleratorConfig accel_;
+    hw::MicrobatchEfficiency efficiency_;
+    net::SystemConfig system_;
+    core::ModelOptions baseOptions_;
+    model::OpCountOptions opOptions_;
+};
+
+} // namespace explore
+} // namespace amped
+
+#endif // AMPED_EXPLORE_ABLATION_HPP

@@ -1,0 +1,109 @@
+#include "config_io.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace amped {
+namespace explore {
+
+model::TransformerConfig
+modelFromConfig(const KeyValueConfig &config)
+{
+    config.requireOnly({"name", "layers", "hidden", "heads", "seq",
+                        "vocab", "ffn", "experts",
+                        "experts-per-token", "moe-interval"});
+    model::TransformerConfig cfg;
+    cfg.name = config.getString("name", "custom-model");
+    cfg.numLayers = config.getInt("layers");
+    cfg.hiddenSize = config.getInt("hidden");
+    cfg.numHeads = config.getInt("heads");
+    cfg.seqLength = config.getInt("seq");
+    cfg.vocabSize = config.getInt("vocab");
+    cfg.ffnHiddenSize = config.getInt("ffn", 4 * cfg.hiddenSize);
+    cfg.moe.numExperts = config.getInt("experts", 0);
+    cfg.moe.expertsPerToken = config.getInt("experts-per-token", 2);
+    cfg.moe.moeLayerInterval = config.getInt("moe-interval", 2);
+    cfg.validate();
+    return cfg;
+}
+
+model::TransformerConfig
+modelFromFile(const std::string &path)
+{
+    return modelFromConfig(KeyValueConfig::fromFile(path));
+}
+
+hw::AcceleratorConfig
+acceleratorFromConfig(const KeyValueConfig &config)
+{
+    config.requireOnly({"name", "frequency-ghz", "cores", "mac-units",
+                        "mac-width", "nonlin-units", "nonlin-width",
+                        "memory-gb", "offchip-gbits",
+                        "precision-param", "precision-act",
+                        "precision-nonlin", "precision-mac-unit",
+                        "precision-nonlin-unit"});
+    hw::AcceleratorConfig cfg;
+    cfg.name = config.getString("name", "custom-accelerator");
+    cfg.frequency = config.getDouble("frequency-ghz") * units::giga;
+    cfg.numCores = config.getInt("cores");
+    cfg.numMacUnits = config.getInt("mac-units");
+    cfg.macUnitWidth = config.getInt("mac-width");
+    cfg.numNonlinUnits = config.getInt("nonlin-units");
+    cfg.nonlinUnitWidth = config.getInt("nonlin-width");
+    cfg.memoryBytes = config.getDouble("memory-gb") * units::giga;
+    cfg.offChipBandwidthBits =
+        units::gigabitsPerSecond(config.getDouble("offchip-gbits"));
+    cfg.precisions.parameterBits =
+        config.getDouble("precision-param", 16.0);
+    cfg.precisions.activationBits =
+        config.getDouble("precision-act", 16.0);
+    cfg.precisions.nonlinearBits =
+        config.getDouble("precision-nonlin", 16.0);
+    cfg.precisions.macUnitBits =
+        config.getDouble("precision-mac-unit", 16.0);
+    cfg.precisions.nonlinearUnitBits =
+        config.getDouble("precision-nonlin-unit", 16.0);
+    cfg.validate();
+    return cfg;
+}
+
+hw::AcceleratorConfig
+acceleratorFromFile(const std::string &path)
+{
+    return acceleratorFromConfig(KeyValueConfig::fromFile(path));
+}
+
+net::SystemConfig
+systemFromConfig(const KeyValueConfig &config)
+{
+    config.requireOnly({"name", "nodes", "per-node", "nics",
+                        "intra-latency-us", "intra-gbits",
+                        "inter-latency-us", "inter-gbits",
+                        "pooled-fabric"});
+    net::SystemConfig sys;
+    sys.name = config.getString("name", "custom-system");
+    sys.numNodes = config.getInt("nodes");
+    sys.acceleratorsPerNode = config.getInt("per-node");
+    sys.nicsPerNode = config.getInt("nics", sys.acceleratorsPerNode);
+    sys.intraLink = net::LinkConfig{
+        "intra",
+        config.getDouble("intra-latency-us", 2.0) * 1e-6,
+        units::gigabitsPerSecond(config.getDouble("intra-gbits"))};
+    sys.interLink = net::LinkConfig{
+        "inter",
+        config.getDouble("inter-latency-us", 1.2) * 1e-6,
+        units::gigabitsPerSecond(config.getDouble("inter-gbits"))};
+    sys.interIsPooledFabric =
+        config.getInt("pooled-fabric", 0) != 0;
+    sys.validate();
+    return sys;
+}
+
+net::SystemConfig
+systemFromFile(const std::string &path)
+{
+    return systemFromConfig(KeyValueConfig::fromFile(path));
+}
+
+} // namespace explore
+} // namespace amped

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Configuration-file loaders: build transformer models, accelerators
+ * and systems from user-written key = value files, so new design
+ * points do not require recompiling the library.
+ *
+ * Model file keys:
+ *   name, layers, hidden, heads, seq, vocab,
+ *   ffn (default 4 x hidden),
+ *   experts, experts-per-token, moe-interval (MoE, optional)
+ *
+ * Accelerator file keys:
+ *   name, frequency-ghz, cores, mac-units, mac-width,
+ *   nonlin-units, nonlin-width, memory-gb, offchip-gbits,
+ *   precision-param, precision-act, precision-nonlin,
+ *   precision-mac-unit, precision-nonlin-unit (bits, default 16)
+ *
+ * System file keys:
+ *   name, nodes, per-node, nics (default per-node),
+ *   intra-latency-us, intra-gbits, inter-latency-us, inter-gbits,
+ *   pooled-fabric (0/1, default 0)
+ */
+
+#ifndef AMPED_EXPLORE_CONFIG_IO_HPP
+#define AMPED_EXPLORE_CONFIG_IO_HPP
+
+#include <string>
+
+#include "common/keyval.hpp"
+#include "hw/accelerator.hpp"
+#include "model/transformer_config.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace explore {
+
+/** Builds a validated TransformerConfig from a parsed document. */
+model::TransformerConfig
+modelFromConfig(const KeyValueConfig &config);
+
+/** Loads a model config file. */
+model::TransformerConfig modelFromFile(const std::string &path);
+
+/** Builds a validated AcceleratorConfig from a parsed document. */
+hw::AcceleratorConfig
+acceleratorFromConfig(const KeyValueConfig &config);
+
+/** Loads an accelerator config file. */
+hw::AcceleratorConfig acceleratorFromFile(const std::string &path);
+
+/** Builds a validated SystemConfig from a parsed document. */
+net::SystemConfig systemFromConfig(const KeyValueConfig &config);
+
+/** Loads a system config file. */
+net::SystemConfig systemFromFile(const std::string &path);
+
+} // namespace explore
+} // namespace amped
+
+#endif // AMPED_EXPLORE_CONFIG_IO_HPP

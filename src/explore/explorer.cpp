@@ -1,0 +1,167 @@
+#include "explorer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace amped {
+namespace explore {
+
+Explorer::Explorer(core::AmpedModel model) : model_(std::move(model)) {}
+
+void
+Explorer::setMemoryModel(core::MemoryModel memory_model)
+{
+    memoryModel_.emplace(std::move(memory_model));
+}
+
+SweepResult
+Explorer::sweep(const std::vector<mapping::ParallelismConfig> &mappings,
+                const std::vector<double> &batch_sizes,
+                const core::TrainingJob &job_template) const
+{
+    SweepResult out;
+    for (const auto &m : mappings) {
+        for (double batch : batch_sizes) {
+            core::TrainingJob job = job_template;
+            job.batchSize = batch;
+            try {
+                if (memoryModel_) {
+                    const double ub =
+                        job.microbatching.microbatchSize(batch, m);
+                    if (!memoryModel_->fits(m, batch, ub)) {
+                        ++out.memorySkipped;
+                        continue;
+                    }
+                }
+                SweepEntry entry;
+                entry.mapping = m;
+                entry.batchSize = batch;
+                entry.result = model_.evaluate(m, job);
+                out.entries.push_back(std::move(entry));
+            } catch (const UserError &) {
+                // Infeasible point (batch too small, bad mapping):
+                // skip it, keep sweeping.
+                ++out.skipped;
+            }
+        }
+    }
+    return out;
+}
+
+SweepResult
+Explorer::sweepAll(const std::vector<double> &batch_sizes,
+                   const core::TrainingJob &job_template) const
+{
+    mapping::MappingSpace space(model_.system());
+    const std::int64_t max_pp = model_.opCounter().config().numLayers;
+    return sweep(space.enumerate(max_pp), batch_sizes, job_template);
+}
+
+std::optional<SweepEntry>
+Explorer::best(const SweepResult &sweep_result)
+{
+    if (sweep_result.entries.empty())
+        return std::nullopt;
+    const auto it = std::min_element(
+        sweep_result.entries.begin(), sweep_result.entries.end(),
+        [](const SweepEntry &a, const SweepEntry &b) {
+            return a.result.totalTime < b.result.totalTime;
+        });
+    return *it;
+}
+
+void
+Explorer::sortByTime(std::vector<SweepEntry> &entries)
+{
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const SweepEntry &a, const SweepEntry &b) {
+                         return a.result.totalTime < b.result.totalTime;
+                     });
+}
+
+std::string
+sweepTable(const std::vector<SweepEntry> &entries)
+{
+    TextTable table({"mapping", "batch", "ub", "eff", "time/batch",
+                     "training", "TFLOP/s/GPU"});
+    for (const auto &e : entries) {
+        table.addRow({
+            e.mapping.toString(),
+            units::formatFixed(e.batchSize, 0),
+            units::formatFixed(e.result.microbatchSize, 1),
+            units::formatFixed(e.result.efficiency, 3),
+            units::formatDuration(e.result.timePerBatch),
+            units::formatDuration(e.result.totalTime),
+            units::formatFixed(e.result.achievedFlopsPerGpu /
+                                   units::tera,
+                               1),
+        });
+    }
+    std::ostringstream oss;
+    table.print(oss);
+    return oss.str();
+}
+
+std::string
+sweepCsv(const std::vector<SweepEntry> &entries)
+{
+    std::vector<std::string> headers = {
+        "mapping", "tp",         "pp",          "dp",
+        "batch",   "microbatch", "efficiency",  "seconds_per_batch",
+        "total_seconds", "tflops_per_gpu"};
+    for (const auto &[label, seconds] :
+         core::Breakdown{}.phases()) {
+        (void)seconds;
+        std::string key = label;
+        for (char &ch : key)
+            if (ch == '-')
+                ch = '_';
+        headers.push_back(key + "_seconds");
+    }
+    TextTable table(std::move(headers));
+    for (const auto &e : entries) {
+        std::vector<std::string> row = {
+            e.mapping.toString(),
+            std::to_string(e.mapping.tp()),
+            std::to_string(e.mapping.pp()),
+            std::to_string(e.mapping.dp()),
+            units::formatFixed(e.batchSize, 0),
+            units::formatFixed(e.result.microbatchSize, 4),
+            units::formatFixed(e.result.efficiency, 6),
+            units::formatFixed(e.result.timePerBatch, 6),
+            units::formatFixed(e.result.totalTime, 3),
+            units::formatFixed(
+                e.result.achievedFlopsPerGpu / units::tera, 3)};
+        for (const auto &[label, seconds] : e.result.perBatch.phases()) {
+            (void)label;
+            row.push_back(units::formatFixed(seconds, 9));
+        }
+        table.addRow(std::move(row));
+    }
+    std::ostringstream oss;
+    table.printCsv(oss);
+    return oss.str();
+}
+
+std::string
+breakdownTable(const core::EvaluationResult &result)
+{
+    TextTable table({"phase", "time/batch", "share"});
+    const double total = result.perBatch.total();
+    for (const auto &[label, seconds] : result.perBatch.phases()) {
+        const double share = total > 0.0 ? seconds / total : 0.0;
+        table.addRow({label, units::formatDuration(seconds),
+                      units::formatFixed(100.0 * share, 2) + " %"});
+    }
+    table.addRow({"total", units::formatDuration(total), "100.00 %"});
+    std::ostringstream oss;
+    table.print(oss);
+    return oss.str();
+}
+
+} // namespace explore
+} // namespace amped

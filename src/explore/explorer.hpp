@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Design-space exploration engine (paper Sec. VI: "exhaustive
+ * exploration ... all possible combinations of data, pipeline, and
+ * tensor parallelism in intra-node and inter-node accelerators").
+ *
+ * The Explorer evaluates a set of (mapping, batch) points with one
+ * AmpedModel, skips points that are infeasible (batch too small for
+ * the mapping, pipeline deeper than the layer count), ranks the
+ * rest, and renders report tables.
+ */
+
+#ifndef AMPED_EXPLORE_EXPLORER_HPP
+#define AMPED_EXPLORE_EXPLORER_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/amped_model.hpp"
+#include "core/memory_model.hpp"
+
+namespace amped {
+namespace explore {
+
+/** One evaluated design point. */
+struct SweepEntry
+{
+    mapping::ParallelismConfig mapping; ///< The parallelism choice.
+    double batchSize = 0.0;             ///< Global batch size.
+    core::EvaluationResult result;      ///< AMPeD prediction.
+};
+
+/** Outcome of a sweep: feasible points plus skip counts. */
+struct SweepResult
+{
+    std::vector<SweepEntry> entries; ///< Feasible, evaluated points.
+    std::size_t skipped = 0;         ///< Infeasible points dropped.
+    std::size_t memorySkipped = 0;   ///< Dropped by the memory check.
+};
+
+/**
+ * Evaluates mapping/batch sweeps against one model instance.
+ */
+class Explorer
+{
+  public:
+    /** @param model The evaluator to drive (copied; it is cheap). */
+    explicit Explorer(core::AmpedModel model);
+
+    /**
+     * Evaluates every mapping at every batch size.  Infeasible
+     * combinations are counted in SweepResult::skipped instead of
+     * aborting the sweep.
+     *
+     * @param mappings Candidate mappings (each must fit the system).
+     * @param batch_sizes Global batch sizes to cross with them.
+     * @param job_template Job whose batchSize is overwritten per
+     *        point (token budget and microbatching carry over).
+     */
+    SweepResult sweep(const std::vector<mapping::ParallelismConfig>
+                          &mappings,
+                      const std::vector<double> &batch_sizes,
+                      const core::TrainingJob &job_template) const;
+
+    /**
+     * Evaluates the full mapping space of the model's system (every
+     * intra x inter factorization), capped at a pipeline degree of
+     * the model's layer count.
+     */
+    SweepResult sweepAll(const std::vector<double> &batch_sizes,
+                         const core::TrainingJob &job_template) const;
+
+    /** The entry with the lowest total training time, if any. */
+    static std::optional<SweepEntry>
+    best(const SweepResult &sweep_result);
+
+    /** Sorts entries ascending by total training time. */
+    static void sortByTime(std::vector<SweepEntry> &entries);
+
+    /** The underlying model. */
+    const core::AmpedModel &model() const { return model_; }
+
+    /**
+     * Enables per-accelerator memory screening: sweep points whose
+     * footprint exceeds the device capacity are counted in
+     * SweepResult::memorySkipped instead of being evaluated
+     * (paper future work; DESIGN.md Sec. 7).
+     */
+    void setMemoryModel(core::MemoryModel memory_model);
+
+    /** Disables memory screening. */
+    void clearMemoryModel() { memoryModel_.reset(); }
+
+  private:
+    core::AmpedModel model_;
+    std::optional<core::MemoryModel> memoryModel_;
+};
+
+/**
+ * Renders a sweep as an aligned text table (mapping, batch,
+ * microbatch size, efficiency, time/batch, training days,
+ * TFLOP/s/GPU).
+ */
+std::string sweepTable(const std::vector<SweepEntry> &entries);
+
+/**
+ * Renders a per-phase breakdown table for one result (Fig. 3 style),
+ * with each phase's share of the total.
+ */
+std::string breakdownTable(const core::EvaluationResult &result);
+
+/**
+ * Renders a sweep as CSV with machine-friendly numeric columns
+ * (mapping string, degrees, batch, microbatch, efficiency, seconds
+ * per batch, total seconds, TFLOP/s/GPU, per-phase seconds).
+ */
+std::string sweepCsv(const std::vector<SweepEntry> &entries);
+
+} // namespace explore
+} // namespace amped
+
+#endif // AMPED_EXPLORE_EXPLORER_HPP

@@ -1,0 +1,126 @@
+#include "registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace explore {
+
+namespace {
+
+std::string
+lowered(std::string text)
+{
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    return text;
+}
+
+[[noreturn]] void
+unknownName(const char *what, const std::string &name,
+            const std::vector<std::string> &valid)
+{
+    std::ostringstream oss;
+    oss << "unknown " << what << " '" << name << "'; valid names:";
+    for (const auto &v : valid)
+        oss << ' ' << v;
+    fatal(oss.str());
+}
+
+} // namespace
+
+model::TransformerConfig
+modelByName(const std::string &name)
+{
+    const std::string key = lowered(name);
+    using namespace model::presets;
+    if (key == "tiny")
+        return tinyTest();
+    if (key == "mingpt")
+        return minGpt85M();
+    if (key == "mingpt-pp")
+        return minGptPipeline();
+    if (key == "gpt3")
+        return gpt3_175B();
+    if (key == "145b")
+        return megatron145B();
+    if (key == "310b")
+        return megatron310B();
+    if (key == "530b")
+        return megatron530B();
+    if (key == "1t")
+        return megatron1T();
+    if (key == "gpipe24")
+        return gpipeTransformer24();
+    if (key == "glam")
+        return glamMoE();
+    unknownName("model", name, modelNames());
+}
+
+std::vector<std::string>
+modelNames()
+{
+    return {"tiny",  "mingpt", "mingpt-pp", "gpt3",    "145b",
+            "310b",  "530b",   "1t",        "gpipe24", "glam"};
+}
+
+hw::AcceleratorConfig
+acceleratorByName(const std::string &name)
+{
+    const std::string key = lowered(name);
+    using namespace hw::presets;
+    if (key == "tiny")
+        return tinyTest();
+    if (key == "p100")
+        return p100Pcie();
+    if (key == "v100")
+        return v100Sxm3();
+    if (key == "a100")
+        return a100();
+    if (key == "h100")
+        return h100();
+    unknownName("accelerator", name, acceleratorNames());
+}
+
+std::vector<std::string>
+acceleratorNames()
+{
+    return {"tiny", "p100", "v100", "a100", "h100"};
+}
+
+net::LinkConfig
+interconnectByName(const std::string &name)
+{
+    const std::string key = lowered(name);
+    using namespace net::presets;
+    if (key == "nvlink-v100")
+        return nvlinkV100();
+    if (key == "nvlink-a100")
+        return nvlinkA100();
+    if (key == "nvlink-h100")
+        return nvlinkH100();
+    if (key == "pcie3")
+        return pcie3();
+    if (key == "edr")
+        return edrInfiniband();
+    if (key == "hdr")
+        return hdrInfiniband();
+    if (key == "ndr")
+        return ndrInfiniband();
+    unknownName("interconnect", name, interconnectNames());
+}
+
+std::vector<std::string>
+interconnectNames()
+{
+    return {"nvlink-v100", "nvlink-a100", "nvlink-h100", "pcie3",
+            "edr",         "hdr",         "ndr"};
+}
+
+} // namespace explore
+} // namespace amped

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Name-based preset registries used by the command-line tool and
+ * example programs: look up models, accelerators and interconnects
+ * by the short names a user types.
+ */
+
+#ifndef AMPED_EXPLORE_REGISTRY_HPP
+#define AMPED_EXPLORE_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+#include "model/transformer_config.hpp"
+#include "net/link.hpp"
+
+namespace amped {
+namespace explore {
+
+/**
+ * Model preset by name: mingpt, mingpt-pp, gpt3, 145b, 310b, 530b,
+ * 1t, gpipe24, glam, tiny (case-insensitive).
+ *
+ * @throws UserError listing the valid names on a miss.
+ */
+model::TransformerConfig modelByName(const std::string &name);
+
+/** Valid model names for help text. */
+std::vector<std::string> modelNames();
+
+/**
+ * Accelerator preset by name: p100, v100, a100, h100, tiny.
+ *
+ * @throws UserError listing the valid names on a miss.
+ */
+hw::AcceleratorConfig acceleratorByName(const std::string &name);
+
+/** Valid accelerator names. */
+std::vector<std::string> acceleratorNames();
+
+/**
+ * Interconnect preset by name: nvlink-v100, nvlink-a100,
+ * nvlink-h100, pcie3, edr, hdr, ndr.
+ *
+ * @throws UserError listing the valid names on a miss.
+ */
+net::LinkConfig interconnectByName(const std::string &name);
+
+/** Valid interconnect names. */
+std::vector<std::string> interconnectNames();
+
+} // namespace explore
+} // namespace amped
+
+#endif // AMPED_EXPLORE_REGISTRY_HPP

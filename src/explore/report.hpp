@@ -1,0 +1,50 @@
+/**
+ * @file
+ * One-stop markdown report generator: combines the performance
+ * prediction, per-phase breakdown, memory footprint, and energy
+ * estimate for a single (model, system, mapping, job) design point
+ * into a document a team can attach to a capacity-planning request.
+ */
+
+#ifndef AMPED_EXPLORE_REPORT_HPP
+#define AMPED_EXPLORE_REPORT_HPP
+
+#include <string>
+
+#include "core/amped_model.hpp"
+#include "core/energy_model.hpp"
+#include "core/memory_model.hpp"
+
+namespace amped {
+namespace explore {
+
+/** Everything a report needs beyond the evaluator itself. */
+struct ReportOptions
+{
+    /** Memory-model knobs (ZeRO stage, recompute...). */
+    core::MemoryOptions memory;
+
+    /** Power characteristics for the energy section. */
+    core::PowerSpec power;
+
+    /** Report title; empty derives one from model + system names. */
+    std::string title;
+};
+
+/**
+ * Renders the full markdown report.
+ *
+ * @param model The evaluator (provides model/accel/system context).
+ * @param mapping The parallelism mapping under review.
+ * @param job The training job.
+ * @param options Report add-ons.
+ */
+std::string generateReport(const core::AmpedModel &model,
+                           const mapping::ParallelismConfig &mapping,
+                           const core::TrainingJob &job,
+                           const ReportOptions &options = {});
+
+} // namespace explore
+} // namespace amped
+
+#endif // AMPED_EXPLORE_REPORT_HPP

@@ -1,0 +1,82 @@
+#include "accelerator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace hw {
+
+void
+Precisions::validate() const
+{
+    require(parameterBits > 0.0, "parameterBits must be positive");
+    require(activationBits > 0.0, "activationBits must be positive");
+    require(nonlinearBits > 0.0, "nonlinearBits must be positive");
+    require(macUnitBits > 0.0, "macUnitBits must be positive");
+    require(nonlinearUnitBits > 0.0, "nonlinearUnitBits must be positive");
+}
+
+void
+AcceleratorConfig::validate() const
+{
+    require(frequency > 0.0, name, ": frequency must be positive");
+    require(numCores > 0, name, ": numCores must be positive");
+    require(numMacUnits > 0, name, ": numMacUnits must be positive");
+    require(macUnitWidth > 0, name, ": macUnitWidth must be positive");
+    require(numNonlinUnits > 0, name,
+            ": numNonlinUnits must be positive");
+    require(nonlinUnitWidth > 0, name,
+            ": nonlinUnitWidth must be positive");
+    require(memoryBytes > 0.0, name, ": memoryBytes must be positive");
+    require(offChipBandwidthBits > 0.0, name,
+            ": offChipBandwidthBits must be positive");
+    precisions.validate();
+}
+
+double
+AcceleratorConfig::peakMacFlops() const
+{
+    return frequency * static_cast<double>(numCores) *
+           static_cast<double>(numMacUnits) *
+           static_cast<double>(macUnitWidth);
+}
+
+double
+AcceleratorConfig::peakNonlinOps() const
+{
+    return frequency * static_cast<double>(numNonlinUnits) *
+           static_cast<double>(nonlinUnitWidth);
+}
+
+double
+macPrecisionFactor(const Precisions &p)
+{
+    const double ratio =
+        std::max(p.parameterBits, p.activationBits) / p.macUnitBits;
+    return std::max(1.0, std::ceil(ratio));
+}
+
+double
+nonlinPrecisionFactor(const Precisions &p)
+{
+    const double ratio = p.nonlinearBits / p.nonlinearUnitBits;
+    return std::max(1.0, std::ceil(ratio));
+}
+
+double
+cMac(const AcceleratorConfig &accel, double efficiency)
+{
+    require(efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1], got ", efficiency);
+    return 1.0 / (accel.peakMacFlops() * efficiency);
+}
+
+double
+cNonlin(const AcceleratorConfig &accel)
+{
+    return 1.0 / accel.peakNonlinOps();
+}
+
+} // namespace hw
+} // namespace amped

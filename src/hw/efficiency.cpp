@@ -1,0 +1,80 @@
+#include "efficiency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace hw {
+
+namespace {
+/// Efficiency may never reach exactly zero (it divides the peak).
+constexpr double kMinEfficiency = 1e-6;
+} // namespace
+
+MicrobatchEfficiency::MicrobatchEfficiency(double a, double b,
+                                           double floor)
+    : a_(a), b_(b), floor_(floor)
+{
+    require(a > 0.0 && a <= 1.0,
+            "efficiency parameter a must be in (0, 1], got ", a);
+    require(b > 0.0, "efficiency parameter b must be positive, got ", b);
+    require(floor >= 0.0 && floor <= a,
+            "efficiency floor must be in [0, a], got ", floor);
+}
+
+void
+MicrobatchEfficiency::setDecay(double critical_ub, double decay_per_ub)
+{
+    require(critical_ub > 0.0,
+            "critical microbatch size must be positive, got ",
+            critical_ub);
+    require(decay_per_ub >= 0.0,
+            "decay rate must be non-negative, got ", decay_per_ub);
+    criticalUb_ = critical_ub;
+    decayPerUb_ = decay_per_ub;
+}
+
+double
+MicrobatchEfficiency::operator()(double ub) const
+{
+    require(ub > 0.0, "microbatch size must be positive, got ", ub);
+    double eff = a_ * ub / (b_ + ub);
+    if (criticalUb_ > 0.0 && ub > criticalUb_)
+        eff -= decayPerUb_ * (ub - criticalUb_);
+    eff = std::clamp(eff, std::max(floor_, kMinEfficiency), 1.0);
+    return eff;
+}
+
+void
+EfficiencyFitter::addSample(double ub, double efficiency)
+{
+    require(ub > 0.0, "sample microbatch size must be positive, got ",
+            ub);
+    require(efficiency > 0.0 && efficiency <= 1.0,
+            "sample efficiency must be in (0, 1], got ", efficiency);
+    samples_.push_back(math::Sample{ub, efficiency});
+}
+
+MicrobatchEfficiency
+EfficiencyFitter::fit(double floor) const
+{
+    require(samples_.size() >= 2,
+            "efficiency fit needs at least 2 samples, have ",
+            samples_.size());
+    // b spans several orders of magnitude (sub-1 to thousands of
+    // samples), so search it on a log scale.
+    const auto model = [](double a, double log_b, double x) {
+        return a * x / (std::exp(log_b) + x);
+    };
+    const auto result = math::fitTwoParam(
+        samples_, model, {1e-3, 1.0},
+        {std::log(1e-3), std::log(4096.0)});
+    lastResidual_ = result.sumSquaredError;
+    return MicrobatchEfficiency(result.a, std::exp(result.b),
+                                std::min(floor, result.a));
+}
+
+} // namespace hw
+} // namespace amped

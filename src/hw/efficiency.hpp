@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Microbatch-efficiency model eff(ub) (paper Sec. IV-A).
+ *
+ * The peak MAC throughput is scaled by eff(ub) to capture compute
+ * utilization at a given microbatch size.  The paper uses the
+ * empirical form  eff(ub) = a * ub / (b + ub)  fitted to measured
+ * data, with a floor (Case Study I fixes a 25 % lower limit) and an
+ * optional decay past a critical microbatch size (large microbatches
+ * can lose efficiency, Sec. IV-A / [24]).
+ */
+
+#ifndef AMPED_HW_EFFICIENCY_HPP
+#define AMPED_HW_EFFICIENCY_HPP
+
+#include <vector>
+
+#include "common/math_util.hpp"
+
+namespace amped {
+namespace hw {
+
+/**
+ * eff(ub) = clamp(a * ub / (b + ub), floor, 1), with an optional
+ * linear decay beyond a critical microbatch size.
+ */
+class MicrobatchEfficiency
+{
+  public:
+    /**
+     * @param a Saturation efficiency (asymptote); in (0, 1].
+     * @param b Half-saturation microbatch size; > 0.
+     * @param floor Lower clamp (Case Study I uses 0.25); in [0, a].
+     */
+    MicrobatchEfficiency(double a, double b, double floor = 0.0);
+
+    /**
+     * Enables a decay region: beyond @p critical_ub the efficiency
+     * decreases by @p decay_per_ub per unit of microbatch size
+     * (still clamped to the floor).
+     */
+    void setDecay(double critical_ub, double decay_per_ub);
+
+    /**
+     * Evaluates eff(ub).
+     *
+     * @param ub Microbatch size; must be positive.
+     * @return Efficiency in [max(floor, epsilon), 1].
+     */
+    double operator()(double ub) const;
+
+    double a() const { return a_; }
+    double b() const { return b_; }
+    double floor() const { return floor_; }
+
+  private:
+    double a_;
+    double b_;
+    double floor_;
+    double criticalUb_ = 0.0;  // 0 = decay disabled
+    double decayPerUb_ = 0.0;
+};
+
+/**
+ * Fits the (a, b) parameters of eff(ub) = a * ub / (b + ub) to
+ * measured (ub, efficiency) samples, as the paper does with
+ * experimental runtime data.
+ */
+class EfficiencyFitter
+{
+  public:
+    /** Adds a measured sample (microbatch size, observed efficiency). */
+    void addSample(double ub, double efficiency);
+
+    /** Number of samples added. */
+    std::size_t sampleCount() const { return samples_.size(); }
+
+    /**
+     * Runs the fit.
+     *
+     * @param floor Floor applied to the returned model.
+     * @return Fitted efficiency model.
+     * @throws UserError when fewer than two samples were added.
+     */
+    MicrobatchEfficiency fit(double floor = 0.0) const;
+
+    /** Residual sum of squared errors of the last fit. */
+    double lastResidual() const { return lastResidual_; }
+
+  private:
+    std::vector<math::Sample> samples_;
+    mutable double lastResidual_ = 0.0;
+};
+
+} // namespace hw
+} // namespace amped
+
+#endif // AMPED_HW_EFFICIENCY_HPP

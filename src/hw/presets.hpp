@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Accelerator presets covering every device the paper uses.
+ *
+ * A100 and H100 parameters come verbatim from Table IV; V100 follows
+ * Table I (the HGX-2 validation node); P100 follows the GPipe
+ * validation setup (Table III).  For devices without tensor cores
+ * (P100) the MAC-unit array is sized so that f N_cores N_FU W_FU
+ * equals the vendor peak FP16 FLOP/s, consistent with the Table IV
+ * convention.
+ */
+
+#ifndef AMPED_HW_PRESETS_HPP
+#define AMPED_HW_PRESETS_HPP
+
+#include "hw/accelerator.hpp"
+
+namespace amped {
+namespace hw {
+namespace presets {
+
+/** Tiny accelerator for fast unit tests (not from the paper). */
+AcceleratorConfig tinyTest();
+
+/** NVIDIA V100 SXM3 (Table I: HGX-2 validation node). */
+AcceleratorConfig v100Sxm3();
+
+/** NVIDIA P100 with PCIe 3.0 (Table III: GPipe validation). */
+AcceleratorConfig p100Pcie();
+
+/** NVIDIA A100 (Table IV row 1). */
+AcceleratorConfig a100();
+
+/** NVIDIA H100 (Table IV row 2). */
+AcceleratorConfig h100();
+
+} // namespace presets
+} // namespace hw
+} // namespace amped
+
+#endif // AMPED_HW_PRESETS_HPP

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Parallelism mapping (paper Sec. II-B, Sec. IV).
+ *
+ * AMPeD distinguishes where each parallelism dimension lives: tensor
+ * (TP), pipeline (PP), and data (DP) parallelism each have an
+ * intra-node and an inter-node degree, because the two tiers use
+ * different links.  A mapping is valid for a system when the product
+ * of intra degrees equals the accelerators per node and the product
+ * of inter degrees equals the node count (all accelerators are
+ * used).
+ *
+ * Mixture-of-Experts expert placement follows the paper's Sec. IV-D
+ * model: experts are spread uniformly over all nodes, so the
+ * all-to-all term is driven by the system's node count, and MoE is
+ * enabled purely by the model configuration (numExperts > 0).
+ */
+
+#ifndef AMPED_MAPPING_PARALLELISM_HPP
+#define AMPED_MAPPING_PARALLELISM_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace mapping {
+
+/**
+ * Degrees of TP / PP / DP split across the two system tiers.
+ */
+struct ParallelismConfig
+{
+    std::int64_t tpIntra = 1; ///< Tensor-parallel ranks inside a node.
+    std::int64_t tpInter = 1; ///< Tensor-parallel ranks across nodes.
+    std::int64_t ppIntra = 1; ///< Pipeline stages inside a node.
+    std::int64_t ppInter = 1; ///< Pipeline stages across nodes.
+    std::int64_t dpIntra = 1; ///< Data-parallel replicas inside a node.
+    std::int64_t dpInter = 1; ///< Data-parallel replicas across nodes.
+
+    /** Total tensor-parallel degree N_TP. */
+    std::int64_t tp() const { return tpIntra * tpInter; }
+
+    /** Total pipeline-parallel degree N_PP. */
+    std::int64_t pp() const { return ppIntra * ppInter; }
+
+    /** Total data-parallel degree N_DP. */
+    std::int64_t dp() const { return dpIntra * dpInter; }
+
+    /** Total workers N_TP * N_PP * N_DP. */
+    std::int64_t totalWorkers() const { return tp() * pp() * dp(); }
+
+    /** All degrees positive? (throws otherwise). */
+    void validate() const;
+
+    /**
+     * Validates this mapping against a system: intra product must
+     * equal accelerators-per-node and inter product must equal the
+     * node count.
+     *
+     * @throws UserError describing the mismatch.
+     */
+    void validateFor(const net::SystemConfig &system) const;
+
+    /** Compact display string like "TP8 | PP2*DP64 (intra|inter)". */
+    std::string toString() const;
+};
+
+/** Named constructors for the common mappings in the case studies. */
+ParallelismConfig makeMapping(std::int64_t tp_intra, std::int64_t pp_intra,
+                              std::int64_t dp_intra, std::int64_t tp_inter,
+                              std::int64_t pp_inter,
+                              std::int64_t dp_inter);
+
+/**
+ * Microbatch bookkeeping (paper Sec. IV-C, Sec. VI-B).
+ *
+ * Default rule (used by the case studies): the microbatch size is the
+ * global batch shrunk by every DP and PP degree, ub = B / (N_DP *
+ * N_PP), which makes the number of microbatches per minibatch equal
+ * to the pipeline degree (N_ub = N_PP), exactly as the validation
+ * experiments set it.  Either quantity can be overridden: Table II
+ * uses the published microbatch sizes (then N_ub = (B / N_DP) / ub),
+ * and GPipe's Table III fixes N_ub = M = 32.
+ */
+struct Microbatching
+{
+    /** Microbatch size ub; 0 selects the default B / (N_DP * N_PP). */
+    double microbatchSizeOverride = 0.0;
+
+    /**
+     * Microbatches per minibatch, N_ub; 0 derives it as the
+     * per-replica batch divided by the microbatch size.
+     */
+    double numMicrobatchesOverride = 0.0;
+
+    /**
+     * Microbatch size for a batch and mapping.
+     *
+     * @throws UserError when the resulting size is below one sample.
+     */
+    double microbatchSize(double batch, const ParallelismConfig &p) const;
+
+    /**
+     * Effective N_ub = (B / N_DP) / ub (or the override).
+     *
+     * @throws UserError when fewer than one microbatch results.
+     */
+    double numMicrobatches(double batch, const ParallelismConfig &p) const;
+};
+
+/**
+ * Enumerates every valid mapping of a system (paper Sec. VI:
+ * "all possible combinations of data, pipeline, and tensor
+ * parallelism in intra-node and inter-node accelerators").
+ */
+class MappingSpace
+{
+  public:
+    /**
+     * @param system The cluster being mapped.
+     */
+    explicit MappingSpace(net::SystemConfig system);
+
+    /**
+     * All ordered (tp, pp, dp) factorizations of the intra- and
+     * inter-node device counts, combined.
+     *
+     * @param max_pp Optional cap on the total pipeline degree (a
+     *        model with L layers supports at most L stages);
+     *        0 = uncapped.
+     */
+    std::vector<ParallelismConfig>
+    enumerate(std::int64_t max_pp = 0) const;
+
+    /** The underlying system. */
+    const net::SystemConfig &system() const { return system_; }
+
+  private:
+    net::SystemConfig system_;
+};
+
+/**
+ * All ordered triples (a, b, c) with a * b * c == n, n >= 1.
+ */
+std::vector<std::array<std::int64_t, 3>>
+threeWayFactorizations(std::int64_t n);
+
+} // namespace mapping
+} // namespace amped
+
+#endif // AMPED_MAPPING_PARALLELISM_HPP

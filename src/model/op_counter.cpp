@@ -1,0 +1,241 @@
+#include "op_counter.hpp"
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace model {
+
+std::string
+sublayerName(Sublayer kind)
+{
+    switch (kind) {
+      case Sublayer::attention:
+        return "attention";
+      case Sublayer::feedForward:
+        return "feed-forward";
+      case Sublayer::layerNorm:
+        return "layernorm";
+      case Sublayer::moeGating:
+        return "moe-gating";
+    }
+    AMPED_ASSERT(false, "unknown Sublayer enumerator");
+    return {};
+}
+
+OpCounter::OpCounter(TransformerConfig config, OpCountOptions options)
+    : config_(std::move(config)), options_(options)
+{
+    config_.validate();
+}
+
+double
+OpCounter::attentionMacs(double batch) const
+{
+    const double s = static_cast<double>(config_.seqLength);
+    const double h = static_cast<double>(config_.hiddenSize);
+    // QKV projections (3 b s h^2) + output projection (b s h^2)
+    // + score matmul (b s^2 h) + context matmul (b s^2 h).
+    return batch * s * (4.0 * h * h + 2.0 * s * h);
+}
+
+double
+OpCounter::feedForwardMacs(std::int64_t layer, double batch) const
+{
+    const double s = static_cast<double>(config_.seqLength);
+    const double h = static_cast<double>(config_.hiddenSize);
+    const double ffn = static_cast<double>(config_.ffnHiddenSize);
+    // Two projections: h -> ffn and ffn -> h.
+    double macs = batch * s * 2.0 * h * ffn;
+    if (config_.isMoeLayer(layer)) {
+        // Each token is processed by top-k experts.
+        macs *= static_cast<double>(config_.moe.expertsPerToken);
+    }
+    return macs;
+}
+
+std::vector<SublayerOps>
+OpCounter::layerOps(std::int64_t layer, double batch) const
+{
+    require(layer >= 0 && layer < config_.numLayers, config_.name,
+            ": layer index ", layer, " out of range [0, ",
+            config_.numLayers, ")");
+    require(batch > 0.0, "batch size must be positive, got ", batch);
+
+    const double s = static_cast<double>(config_.seqLength);
+    const double h = static_cast<double>(config_.hiddenSize);
+    const double a = static_cast<double>(config_.numHeads);
+    const double ffn = static_cast<double>(config_.ffnHiddenSize);
+
+    std::vector<SublayerOps> ops;
+
+    // Attention: matmuls plus the softmax over the b a s^2 scores.
+    SublayerOps attn;
+    attn.kind = Sublayer::attention;
+    attn.macs = attentionMacs(batch);
+    attn.nonlinear = options_.softmaxOpsPerScore * batch * a * s * s;
+    ops.push_back(attn);
+
+    // Feed-forward: matmuls plus GeLU on the inner activations.
+    SublayerOps ff;
+    ff.kind = Sublayer::feedForward;
+    ff.macs = feedForwardMacs(layer, batch);
+    double gelu_elements = batch * s * ffn;
+    if (config_.isMoeLayer(layer))
+        gelu_elements *= static_cast<double>(config_.moe.expertsPerToken);
+    ff.nonlinear = options_.geluOpsPerElement * gelu_elements;
+    ops.push_back(ff);
+
+    // Two LayerNorms plus two residual additions per layer.
+    SublayerOps ln;
+    ln.kind = Sublayer::layerNorm;
+    ln.macs = 0.0;
+    ln.nonlinear = 2.0 * options_.layerNormOpsPerElement * batch * s * h +
+                   2.0 * options_.residualOpsPerElement * batch * s * h;
+    ops.push_back(ln);
+
+    // MoE gating: router matmul b s h E and a softmax over E scores.
+    if (config_.isMoeLayer(layer)) {
+        const double experts =
+            static_cast<double>(config_.moe.numExperts);
+        SublayerOps gate;
+        gate.kind = Sublayer::moeGating;
+        gate.macs = batch * s * h * experts;
+        gate.nonlinear =
+            options_.softmaxOpsPerScore * batch * s * experts;
+        ops.push_back(gate);
+    }
+    return ops;
+}
+
+double
+OpCounter::layerMacsForward(std::int64_t layer, double batch) const
+{
+    double total = 0.0;
+    for (const auto &op : layerOps(layer, batch))
+        total += op.macs;
+    return total;
+}
+
+double
+OpCounter::layerNonlinForward(std::int64_t layer, double batch) const
+{
+    double total = 0.0;
+    for (const auto &op : layerOps(layer, batch))
+        total += op.nonlinear;
+    return total;
+}
+
+double
+OpCounter::modelMacsForward(double batch) const
+{
+    double total = 0.0;
+    for (std::int64_t l = 0; l < config_.numLayers; ++l)
+        total += layerMacsForward(l, batch);
+    return total;
+}
+
+double
+OpCounter::embeddingMacs(double batch) const
+{
+    // Token-embedding lookup is a gather (no MACs); the final logit
+    // projection is a b s h V matmul.
+    const double s = static_cast<double>(config_.seqLength);
+    const double h = static_cast<double>(config_.hiddenSize);
+    const double v = static_cast<double>(config_.vocabSize);
+    return batch * s * h * v;
+}
+
+double
+OpCounter::activationsTensorParallel(double batch) const
+{
+    // Two all-reduce steps per layer, each of b s h elements (Eq. 6).
+    const double s = static_cast<double>(config_.seqLength);
+    const double h = static_cast<double>(config_.hiddenSize);
+    return 2.0 * batch * s * h;
+}
+
+double
+OpCounter::activationsPipelineParallel(double batch) const
+{
+    const double s = static_cast<double>(config_.seqLength);
+    const double h = static_cast<double>(config_.hiddenSize);
+    return batch * s * h;
+}
+
+double
+OpCounter::activationsMoe(std::int64_t layer, double batch) const
+{
+    require(layer >= 0 && layer < config_.numLayers, config_.name,
+            ": layer index ", layer, " out of range [0, ",
+            config_.numLayers, ")");
+    if (!config_.isMoeLayer(layer))
+        return 0.0;
+    // Top-k routing dispatches every token to k experts, multiplying
+    // the all-to-all payload accordingly.
+    return activationsPipelineParallel(batch) *
+           static_cast<double>(config_.moe.expertsPerToken);
+}
+
+double
+OpCounter::weightsPerLayer(std::int64_t layer) const
+{
+    require(layer >= 0 && layer < config_.numLayers, config_.name,
+            ": layer index ", layer, " out of range [0, ",
+            config_.numLayers, ")");
+    const double h = static_cast<double>(config_.hiddenSize);
+    const double ffn = static_cast<double>(config_.ffnHiddenSize);
+
+    const double attention = 4.0 * h * h + 4.0 * h;
+    const double layernorm = 4.0 * h;
+    const double ffn_dense = 2.0 * h * ffn + ffn + h;
+
+    double weights = attention + layernorm;
+    if (config_.isMoeLayer(layer)) {
+        const double experts = static_cast<double>(config_.moe.numExperts);
+        weights += experts * ffn_dense + h * experts;
+    } else {
+        weights += ffn_dense;
+    }
+    return weights;
+}
+
+double
+OpCounter::totalLayerWeights() const
+{
+    double total = 0.0;
+    for (std::int64_t l = 0; l < config_.numLayers; ++l)
+        total += weightsPerLayer(l);
+    return total;
+}
+
+double
+OpCounter::gradientsPerLayer(std::int64_t layer) const
+{
+    const double weights = weightsPerLayer(layer);
+    if (!config_.isMoeLayer(layer))
+        return weights;
+    const double h = static_cast<double>(config_.hiddenSize);
+    const double ffn = static_cast<double>(config_.ffnHiddenSize);
+    const double experts = static_cast<double>(config_.moe.numExperts);
+    const double expert_weights =
+        experts * (2.0 * h * ffn + ffn + h);
+    // Dense share (attention, LayerNorms, router) is replicated and
+    // fully reduced; expert weights are sharded 1/E per rank.
+    return (weights - expert_weights) + expert_weights / experts;
+}
+
+double
+OpCounter::modelFlopsPerBatch(double batch) const
+{
+    require(batch > 0.0, "batch size must be positive, got ", batch);
+    double fwd_macs = modelMacsForward(batch);
+    if (options_.includeEmbeddingFlops)
+        fwd_macs += embeddingMacs(batch);
+    // Backward is 2x forward; activation recompute adds another
+    // forward.  One MAC = 2 FLOPs.
+    const double multiplier = options_.activationRecompute ? 4.0 : 3.0;
+    return 2.0 * fwd_macs * multiplier;
+}
+
+} // namespace model
+} // namespace amped

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Operation counting for transformer training.
+ *
+ * The paper's compute-time equations (Eq. 2) need, per layer l and
+ * sublayer i, the number of MAC operations N_MAC(l, i) and nonlinear
+ * operations N_nonlin(l, i); the communication equations need the
+ * activation counts N_act_TP = 2 b s h, N_act_PP = b s h, and the
+ * gradient count N_g (weights per layer).  This module derives all of
+ * them deterministically from a TransformerConfig, which is exactly
+ * the "inherent determinism" the paper exploits (Sec. III).
+ *
+ * All counts are returned as double: models at the 1 T-parameter
+ * scale overflow std::int64_t op counts per batch.
+ */
+
+#ifndef AMPED_MODEL_OP_COUNTER_HPP
+#define AMPED_MODEL_OP_COUNTER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/transformer_config.hpp"
+
+namespace amped {
+namespace model {
+
+/** Sublayer kinds within a transformer layer. */
+enum class Sublayer
+{
+    attention,  ///< Self-attention (QKV, scores, context, out-proj).
+    feedForward, ///< Dense MLP or routed expert FFN.
+    layerNorm,  ///< The two per-layer LayerNorms plus residual adds.
+    moeGating   ///< Router matmul + top-k softmax (MoE layers only).
+};
+
+/** Returns a short display name ("attention", ...). */
+std::string sublayerName(Sublayer kind);
+
+/** Operation counts for a single sublayer, for one forward pass. */
+struct SublayerOps
+{
+    Sublayer kind = Sublayer::attention;
+    double macs = 0.0;      ///< Multiply-accumulate operations.
+    double nonlinear = 0.0; ///< Element-wise / reduction operations.
+};
+
+/**
+ * Cost-model constants for nonlinear operations.
+ *
+ * These capture how many scalar operations each element-wise
+ * primitive costs on the nonlinear functional units; the defaults
+ * follow common practice (tanh-approximated GeLU ~ 8 ops, softmax ~ 5
+ * ops per score including max-subtraction, exp, sum, divide).
+ */
+struct OpCountOptions
+{
+    double softmaxOpsPerScore = 5.0;
+    double geluOpsPerElement = 8.0;
+    double layerNormOpsPerElement = 5.0;
+    double residualOpsPerElement = 1.0;
+
+    /**
+     * When true, modelFlopsPerBatch uses the activation-recompute
+     * convention (4x forward FLOPs: forward + recompute + 2x
+     * backward), matching how Megatron-LM reports achieved
+     * TFLOP/s/GPU; otherwise 3x forward.
+     */
+    bool activationRecompute = true;
+
+    /** Include embedding + logit FLOPs in the model total. */
+    bool includeEmbeddingFlops = true;
+};
+
+/**
+ * Derives every operation / element count AMPeD needs from a
+ * transformer configuration.
+ *
+ * Batch sizes are passed per call (they are workload knobs, swept by
+ * the case studies), so a single OpCounter can serve a whole design
+ * space exploration.
+ */
+class OpCounter
+{
+  public:
+    /**
+     * @param config Validated transformer architecture.
+     * @param options Nonlinear-op cost constants.
+     */
+    explicit OpCounter(TransformerConfig config,
+                       OpCountOptions options = {});
+
+    /** The architecture this counter describes. */
+    const TransformerConfig &config() const { return config_; }
+
+    /** The cost constants in use. */
+    const OpCountOptions &options() const { return options_; }
+
+    // -----------------------------------------------------------------
+    // Per-layer forward-pass counts (Eq. 2 inputs).
+    // -----------------------------------------------------------------
+
+    /**
+     * Per-sublayer forward-pass op counts of layer @p layer for a
+     * global batch of @p batch sequences.
+     */
+    std::vector<SublayerOps> layerOps(std::int64_t layer,
+                                      double batch) const;
+
+    /** Total forward MACs of one layer for a batch. */
+    double layerMacsForward(std::int64_t layer, double batch) const;
+
+    /** Total forward nonlinear ops of one layer for a batch. */
+    double layerNonlinForward(std::int64_t layer, double batch) const;
+
+    /** Forward MACs summed over all layers (excludes embeddings). */
+    double modelMacsForward(double batch) const;
+
+    /** Embedding-lookup + final-logit MACs for a batch. */
+    double embeddingMacs(double batch) const;
+
+    // -----------------------------------------------------------------
+    // Element counts for the communication model.
+    // -----------------------------------------------------------------
+
+    /** N_act_TP(l) = 2 b s h (Eq. 6). */
+    double activationsTensorParallel(double batch) const;
+
+    /** N_act_PP(l) = b s h (Eq. 7). */
+    double activationsPipelineParallel(double batch) const;
+
+    /**
+     * N_act_MoE(l): b s h on MoE layers, 0 elsewhere (Sec. IV-D).
+     */
+    double activationsMoe(std::int64_t layer, double batch) const;
+
+    /**
+     * Weights (and hence gradients N_g and weight-update MACs, Eq. 12)
+     * of layer @p layer.
+     */
+    double weightsPerLayer(std::int64_t layer) const;
+
+    /** Weights summed over all layers (excludes embeddings). */
+    double totalLayerWeights() const;
+
+    /**
+     * Gradient elements of layer @p layer that a data-parallel rank
+     * contributes to the all-reduce (N_g of Eq. 11, before TP/PP
+     * sharding).  For dense layers this equals weightsPerLayer; on
+     * MoE layers the experts are sharded across the cluster (expert
+     * parallelism, Sec. II-B4), so each rank only reduces its
+     * 1/numExperts share of the expert weights plus the replicated
+     * dense part (attention, LayerNorms, router).
+     */
+    double gradientsPerLayer(std::int64_t layer) const;
+
+    // -----------------------------------------------------------------
+    // Whole-model FLOP accounting (TFLOP/s/GPU metric).
+    // -----------------------------------------------------------------
+
+    /**
+     * Model FLOPs for one training batch, using the configured
+     * forward/backward convention.  One MAC counts as 2 FLOPs.
+     */
+    double modelFlopsPerBatch(double batch) const;
+
+  private:
+    /** MACs of the attention sublayer: 4 b s h^2 + 2 b s^2 h. */
+    double attentionMacs(double batch) const;
+
+    /** MACs of the FFN sublayer, respecting MoE routing. */
+    double feedForwardMacs(std::int64_t layer, double batch) const;
+
+    TransformerConfig config_;
+    OpCountOptions options_;
+};
+
+} // namespace model
+} // namespace amped
+
+#endif // AMPED_MODEL_OP_COUNTER_HPP

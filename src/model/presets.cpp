@@ -1,0 +1,80 @@
+#include "presets.hpp"
+
+namespace amped {
+namespace model {
+namespace presets {
+
+TransformerConfig
+tinyTest()
+{
+    return makeGptConfig("tiny-test", 4, 64, 4, 32, 1000);
+}
+
+TransformerConfig
+minGpt85M()
+{
+    return makeGptConfig("minGPT-85M", 12, 768, 12, 1024, 50257);
+}
+
+TransformerConfig
+minGptPipeline()
+{
+    return makeGptConfig("minGPT-PP", 16, 1024, 8, 1024, 50257);
+}
+
+TransformerConfig
+gpt3_175B()
+{
+    return makeGptConfig("GPT-3 175B", 96, 12288, 96, 2048, 51200);
+}
+
+TransformerConfig
+megatron145B()
+{
+    return makeGptConfig("Megatron 145B", 80, 12288, 96, 2048, 51200);
+}
+
+TransformerConfig
+megatron310B()
+{
+    return makeGptConfig("Megatron 310B", 96, 16384, 128, 2048, 51200);
+}
+
+TransformerConfig
+megatron530B()
+{
+    return makeGptConfig("Megatron 530B", 105, 20480, 128, 2048, 51200);
+}
+
+TransformerConfig
+megatron1T()
+{
+    return makeGptConfig("Megatron 1T", 128, 25600, 160, 2048, 51200);
+}
+
+TransformerConfig
+gpipeTransformer24()
+{
+    // 24-layer transformer from the GPipe paper's NMT experiments;
+    // hidden 1024, 16 heads, sequence length 128 (token-level NMT
+    // batches), vocabulary 32k.
+    return makeGptConfig("GPipe-T24", 24, 1024, 16, 128, 32000);
+}
+
+TransformerConfig
+glamMoE()
+{
+    // GLaM (64B/64E scale point): 64 layers, hidden 8192, FFN 32768,
+    // 64 experts on every other layer with top-2 gating.
+    TransformerConfig cfg =
+        makeGptConfig("GLaM-MoE", 64, 8192, 128, 1024, 256000);
+    cfg.moe.numExperts = 64;
+    cfg.moe.expertsPerToken = 2;
+    cfg.moe.moeLayerInterval = 2;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace presets
+} // namespace model
+} // namespace amped

@@ -1,0 +1,116 @@
+#include "transformer_config.hpp"
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace model {
+
+void
+TransformerConfig::validate() const
+{
+    require(numLayers > 0, name, ": numLayers must be positive, got ",
+            numLayers);
+    require(hiddenSize > 0, name, ": hiddenSize must be positive, got ",
+            hiddenSize);
+    require(numHeads > 0, name, ": numHeads must be positive, got ",
+            numHeads);
+    require(hiddenSize % numHeads == 0, name, ": hiddenSize ",
+            hiddenSize, " not divisible by numHeads ", numHeads);
+    require(seqLength > 0, name, ": seqLength must be positive, got ",
+            seqLength);
+    require(vocabSize > 0, name, ": vocabSize must be positive, got ",
+            vocabSize);
+    require(ffnHiddenSize > 0, name,
+            ": ffnHiddenSize must be positive, got ", ffnHiddenSize);
+    if (moe.enabled()) {
+        require(moe.moeLayerInterval >= 1, name,
+                ": moeLayerInterval must be >= 1, got ",
+                moe.moeLayerInterval);
+        require(moe.expertsPerToken >= 1, name,
+                ": expertsPerToken must be >= 1, got ",
+                moe.expertsPerToken);
+        require(moe.expertsPerToken <= moe.numExperts, name,
+                ": expertsPerToken ", moe.expertsPerToken,
+                " exceeds numExperts ", moe.numExperts);
+    }
+}
+
+std::int64_t
+TransformerConfig::headDim() const
+{
+    return hiddenSize / numHeads;
+}
+
+bool
+TransformerConfig::isMoeLayer(std::int64_t layer) const
+{
+    if (!moe.enabled())
+        return false;
+    // Convention: layers 1, 3, 5, ... are MoE for interval 2 (GLaM
+    // style "every other layer"), i.e. layer % interval ==
+    // interval - 1.
+    return layer % moe.moeLayerInterval == moe.moeLayerInterval - 1;
+}
+
+std::int64_t
+TransformerConfig::numMoeLayers() const
+{
+    if (!moe.enabled())
+        return 0;
+    std::int64_t count = 0;
+    for (std::int64_t l = 0; l < numLayers; ++l)
+        if (isMoeLayer(l))
+            ++count;
+    return count;
+}
+
+double
+TransformerConfig::parameterCount(bool include_embeddings) const
+{
+    const double h = static_cast<double>(hiddenSize);
+    const double ffn = static_cast<double>(ffnHiddenSize);
+
+    // Attention: Q, K, V and output projections plus biases.
+    const double attention = 4.0 * h * h + 4.0 * h;
+    // Two LayerNorms per layer (scale + shift).
+    const double layernorm = 4.0 * h;
+    // Dense feed-forward: two projections plus biases.
+    const double ffn_dense = 2.0 * h * ffn + ffn + h;
+
+    double total = 0.0;
+    for (std::int64_t l = 0; l < numLayers; ++l) {
+        total += attention + layernorm;
+        if (isMoeLayer(l)) {
+            const double experts = static_cast<double>(moe.numExperts);
+            // Every expert holds a full FFN; router is h x E.
+            total += experts * ffn_dense + h * experts;
+        } else {
+            total += ffn_dense;
+        }
+    }
+    if (include_embeddings) {
+        total += static_cast<double>(vocabSize) * h; // token embedding
+        total += static_cast<double>(seqLength) * h; // position embedding
+    }
+    return total;
+}
+
+TransformerConfig
+makeGptConfig(std::string name, std::int64_t layers, std::int64_t hidden,
+              std::int64_t heads, std::int64_t seq_length,
+              std::int64_t vocab)
+{
+    TransformerConfig cfg;
+    cfg.name = std::move(name);
+    cfg.numLayers = layers;
+    cfg.hiddenSize = hidden;
+    cfg.numHeads = heads;
+    cfg.seqLength = seq_length;
+    cfg.vocabSize = vocab;
+    cfg.ffnHiddenSize = 4 * hidden;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace model
+} // namespace amped

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Transformer architecture description.
+ *
+ * AMPeD exposes "all the transformer model parameters" as tunable
+ * knobs (paper Sec. I); this struct is that knob set.  It covers
+ * dense decoder-only / encoder-only stacks and Mixture-of-Experts
+ * (MoE) variants where every @c moeLayerInterval -th layer replaces
+ * its feed-forward sublayer with a bank of routed experts.
+ */
+
+#ifndef AMPED_MODEL_TRANSFORMER_CONFIG_HPP
+#define AMPED_MODEL_TRANSFORMER_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace amped {
+namespace model {
+
+/**
+ * Mixture-of-Experts configuration (paper Sec. II-B4).
+ *
+ * A zero @c numExperts means a dense model; MoE communication and
+ * compute terms then vanish, matching the paper's statement that the
+ * MoE feature can be "turned off".
+ */
+struct MoEConfig
+{
+    /** Number of experts per MoE layer; 0 disables MoE entirely. */
+    std::int64_t numExperts = 0;
+
+    /** Experts activated per token (top-k gating; GLaM uses 2). */
+    std::int64_t expertsPerToken = 2;
+
+    /**
+     * Every @c moeLayerInterval -th layer is an MoE layer (GLaM uses
+     * 2: every other layer).  Must be >= 1 when numExperts > 0.
+     */
+    std::int64_t moeLayerInterval = 2;
+
+    /** True when this configuration enables any experts. */
+    bool enabled() const { return numExperts > 0; }
+};
+
+/**
+ * Complete architectural description of a transformer model.
+ *
+ * Symbol correspondence with the paper: L = numLayers, h =
+ * hiddenSize, s = seqLength, b = (global) batch size which is a
+ * *workload* parameter and therefore not stored here.
+ */
+struct TransformerConfig
+{
+    /** Human-readable name used in reports ("GPT 145B", ...). */
+    std::string name = "unnamed";
+
+    /** Number of transformer layers, L. */
+    std::int64_t numLayers = 0;
+
+    /** Hidden (embedding) dimensionality, h. */
+    std::int64_t hiddenSize = 0;
+
+    /** Number of attention heads, a; must divide hiddenSize. */
+    std::int64_t numHeads = 0;
+
+    /** Sequence length, s (tokens per sample). */
+    std::int64_t seqLength = 0;
+
+    /** Vocabulary size, V (for embedding / logit layers). */
+    std::int64_t vocabSize = 0;
+
+    /** Feed-forward inner dimensionality (typically 4 h). */
+    std::int64_t ffnHiddenSize = 0;
+
+    /** Mixture-of-Experts settings; default-disabled. */
+    MoEConfig moe;
+
+    /**
+     * Validates all invariants (positive sizes, head divisibility,
+     * MoE interval bounds).
+     *
+     * @throws UserError describing the first violated constraint.
+     */
+    void validate() const;
+
+    /** Per-head dimensionality h / a. */
+    std::int64_t headDim() const;
+
+    /** True when layer @p layer (0-based) hosts experts. */
+    bool isMoeLayer(std::int64_t layer) const;
+
+    /** Number of MoE layers in the whole stack. */
+    std::int64_t numMoeLayers() const;
+
+    /**
+     * Total trainable parameters.
+     *
+     * Dense layer: 4 h^2 + 4 h (attention) + 2 h ffn + ffn + h (MLP)
+     * + 4 h (two LayerNorms).  MoE layers multiply the FFN weights by
+     * the expert count and add the h x E router.  Embeddings add
+     * (V + s) h when requested.
+     *
+     * @param include_embeddings Count token + position embeddings.
+     */
+    double parameterCount(bool include_embeddings = true) const;
+};
+
+/**
+ * Convenience factory for a dense GPT-style configuration with
+ * ffnHiddenSize = 4 h.
+ */
+TransformerConfig makeGptConfig(std::string name, std::int64_t layers,
+                                std::int64_t hidden, std::int64_t heads,
+                                std::int64_t seq_length,
+                                std::int64_t vocab);
+
+} // namespace model
+} // namespace amped
+
+#endif // AMPED_MODEL_TRANSFORMER_CONFIG_HPP

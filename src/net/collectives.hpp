@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Analytical cost models for the collective operations AMPeD uses.
+ *
+ * These are the generic alpha-beta-style building blocks behind the
+ * paper's communication equations:
+ *
+ *  - allReduceTime: Eq. 6 / Eq. 11 form
+ *      C * T * N  +  elements * bits / BW * T
+ *  - pointToPointTime: Eq. 7 form (pipeline hops)
+ *  - allToAllTime: Eq. 9 form (MoE dispatch / combine)
+ *  - hierarchicalAllReduceTime: intra-node stage + inter-node stage
+ *    (Eq. 10)
+ *
+ * Keeping them separate from the core model lets the simulator, the
+ * core equations, and ablation benches share one audited
+ * implementation.
+ */
+
+#ifndef AMPED_NET_COLLECTIVES_HPP
+#define AMPED_NET_COLLECTIVES_HPP
+
+#include <cstdint>
+
+#include "net/link.hpp"
+
+namespace amped {
+namespace net {
+
+/**
+ * All-reduce over @p participants ranks connected by @p link.
+ *
+ * Cost = C * T * participants + elements * bits_per_element / BW * T,
+ * where T is the topology factor (ring by default).  Zero when
+ * participants <= 1.
+ *
+ * @param participants Communicating accelerators.
+ * @param elements Elements reduced per rank.
+ * @param bits_per_element Precision of each element (S_act or S_g).
+ * @param link Link used for every step.
+ * @param topology_factor Pass a custom T; negative selects the ring
+ *        default 2 (N-1)/N.
+ */
+double allReduceTime(std::int64_t participants, double elements,
+                     double bits_per_element, const LinkConfig &link,
+                     double topology_factor = -1.0);
+
+/**
+ * One point-to-point transfer (pipeline hop): C + bits / BW.
+ *
+ * @param elements Elements transferred.
+ * @param bits_per_element Precision of each element.
+ * @param link Link traversed.
+ */
+double pointToPointTime(double elements, double bits_per_element,
+                        const LinkConfig &link);
+
+/**
+ * Pairwise-exchange all-to-all across @p num_nodes nodes (paper
+ * Eq. 9, one of the two exchanges).
+ *
+ * Cost = C_inter * T_MoE * N_nodes
+ *      + elements * bits * T_MoE * [ 1 / (N_nodes * BW_intra)
+ *      + (N_nodes - 1) / (N_nodes * BW_inter) ],
+ * with T_MoE = (N-1)/N: tokens stay on-node with probability
+ * 1/N_nodes and cross nodes otherwise (uniform routing, perfect load
+ * balance).
+ */
+double allToAllTime(std::int64_t num_nodes, double elements,
+                    double bits_per_element, const LinkConfig &intra,
+                    double inter_latency, double inter_bandwidth_bits);
+
+/**
+ * Hierarchical all-reduce: reduce within each node over @p intra,
+ * then across nodes over the aggregate inter-node bandwidth
+ * (Eq. 10 = Eq. 11 intra stage + inter stage).
+ *
+ * @param intra_participants Ranks inside one node.
+ * @param inter_participants Node-level ranks.
+ * @param elements Elements reduced.
+ * @param bits_per_element Precision of each element.
+ * @param intra Intra-node link.
+ * @param inter_latency Inter-node latency in seconds.
+ * @param inter_bandwidth_bits Aggregate inter-node bandwidth.
+ */
+double hierarchicalAllReduceTime(std::int64_t intra_participants,
+                                 std::int64_t inter_participants,
+                                 double elements,
+                                 double bits_per_element,
+                                 const LinkConfig &intra,
+                                 double inter_latency,
+                                 double inter_bandwidth_bits);
+
+} // namespace net
+} // namespace amped
+
+#endif // AMPED_NET_COLLECTIVES_HPP

@@ -1,0 +1,86 @@
+#include "link.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace net {
+
+void
+LinkConfig::validate() const
+{
+    require(latencySeconds >= 0.0, name,
+            ": link latency must be non-negative, got ", latencySeconds);
+    require(bandwidthBits > 0.0, name,
+            ": link bandwidth must be positive, got ", bandwidthBits);
+}
+
+double
+LinkConfig::transferTime(double bits) const
+{
+    require(bits >= 0.0, name, ": transfer size must be non-negative");
+    return bits / bandwidthBits;
+}
+
+LinkConfig
+LinkConfig::scaledBandwidth(double factor) const
+{
+    require(factor > 0.0, name,
+            ": bandwidth scale factor must be positive, got ", factor);
+    LinkConfig scaled = *this;
+    scaled.bandwidthBits *= factor;
+    return scaled;
+}
+
+namespace topology {
+
+double
+ringAllReduce(std::int64_t n)
+{
+    require(n >= 1, "ringAllReduce: need at least one rank, got ", n);
+    if (n == 1)
+        return 0.0; // no communication with a single participant
+    const double nd = static_cast<double>(n);
+    return 2.0 * (nd - 1.0) / nd;
+}
+
+double
+pairwiseAllToAll(std::int64_t n)
+{
+    require(n >= 1, "pairwiseAllToAll: need at least one rank, got ", n);
+    if (n == 1)
+        return 0.0;
+    const double nd = static_cast<double>(n);
+    return (nd - 1.0) / nd;
+}
+
+double
+treeAllReduce(std::int64_t n)
+{
+    require(n >= 1, "treeAllReduce: need at least one rank, got ", n);
+    if (n == 1)
+        return 0.0;
+    const double nd = static_cast<double>(n);
+    return 2.0 * std::log2(nd) / nd;
+}
+
+double
+bidirectionalRingAllReduce(std::int64_t n)
+{
+    return ringAllReduce(n) / 2.0;
+}
+
+double
+hierarchicalRingAllReduce(std::int64_t a, std::int64_t b)
+{
+    require(a >= 1 && b >= 1,
+            "hierarchicalRingAllReduce: dimensions must be >= 1, got ",
+            a, " x ", b);
+    return ringAllReduce(a) +
+           ringAllReduce(b) / static_cast<double>(a);
+}
+
+} // namespace topology
+} // namespace net
+} // namespace amped

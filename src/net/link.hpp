@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Communication-link description and topology factors (paper
+ * Sec. IV-B).
+ *
+ * AMPeD separates intra-node links (NVLink-class) and inter-node
+ * links (InfiniBand-class, or optical substrates in Case Study III),
+ * each with a latency C and a bandwidth BW.  A topology factor T
+ * converts an algorithm + topology pair into "effective traversals
+ * of the link per element" (ring all-reduce: 2 (N-1)/N; pairwise
+ * all-to-all: (N-1)/N).
+ */
+
+#ifndef AMPED_NET_LINK_HPP
+#define AMPED_NET_LINK_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace amped {
+namespace net {
+
+/**
+ * A point-to-point communication link.
+ */
+struct LinkConfig
+{
+    /** Display name ("NVLink3", "HDR InfiniBand", ...). */
+    std::string name = "unnamed";
+
+    /** Per-message latency C in seconds. */
+    double latencySeconds = 0.0;
+
+    /** Bandwidth BW in bits per second. */
+    double bandwidthBits = 0.0;
+
+    /**
+     * Validates the link (latency >= 0, bandwidth > 0).
+     * @throws UserError on violation.
+     */
+    void validate() const;
+
+    /** Pure serialization time for @p bits over this link. */
+    double transferTime(double bits) const;
+
+    /** Returns a copy with the bandwidth scaled by @p factor. */
+    LinkConfig scaledBandwidth(double factor) const;
+};
+
+namespace topology {
+
+/**
+ * Ring all-reduce topology factor 2 (N - 1) / N (paper Sec. IV-B1):
+ * a reduce-scatter plus an all-gather, each moving (N-1)/N of the
+ * data per rank.
+ *
+ * @param n Number of communicating accelerators; n >= 1.
+ */
+double ringAllReduce(std::int64_t n);
+
+/**
+ * Pairwise-exchange all-to-all topology factor (N - 1) / N (paper
+ * Sec. IV-D).
+ *
+ * @param n Number of participants; n >= 1.
+ */
+double pairwiseAllToAll(std::int64_t n);
+
+/**
+ * Tree all-reduce topology factor 2 log2(N) / N: fewer steps than a
+ * ring at large N at the cost of bandwidth efficiency at small N.
+ * Provided as an alternative knob; the paper's defaults use the ring.
+ */
+double treeAllReduce(std::int64_t n);
+
+/**
+ * Bidirectional-ring all-reduce factor (N - 1) / N: half the
+ * unidirectional factor, modeling NVSwitch-class fabrics whose links
+ * move data in both directions at full rate simultaneously (the
+ * per-direction bandwidth is what Table IV quotes).  Used as the
+ * intra-node topology override on NVSwitch systems (EXPERIMENTS.md).
+ */
+double bidirectionalRingAllReduce(std::int64_t n);
+
+/**
+ * Hierarchical (2-D) ring all-reduce factor for n = a x b ranks:
+ * reduce-scatter/all-gather rings of size @p a first, then rings of
+ * size @p b over the already 1/a-sized shards —
+ * ring(a) + ring(b) / a.  Algebraically this equals the flat
+ * ring(a b) factor (the hierarchy wins by putting the size-a stage
+ * on the *faster* tier, not by moving less data); the function
+ * exists so callers can price the two stages against different
+ * links, and to document that identity.  Degenerates to the plain
+ * ring when either dimension is 1.
+ */
+double hierarchicalRingAllReduce(std::int64_t a, std::int64_t b);
+
+} // namespace topology
+} // namespace net
+} // namespace amped
+
+#endif // AMPED_NET_LINK_HPP

@@ -1,0 +1,143 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace sim {
+
+double
+SimResult::utilization(ResourceId id) const
+{
+    require(id >= 0 && id < static_cast<ResourceId>(resources.size()),
+            "utilization: invalid resource id ", id);
+    if (makespan <= 0.0)
+        return 0.0;
+    return resources[id].busyTime / makespan;
+}
+
+namespace {
+
+/** Event kinds processed by the run loop. */
+enum class EventKind
+{
+    taskReady,    ///< All dependencies delivered; enqueue on resource.
+    resourceFree, ///< Occupancy ended; start the next queued task.
+    delivery      ///< Task output delivered; notify successors.
+};
+
+struct Event
+{
+    double time = 0.0;
+    EventKind kind = EventKind::taskReady;
+    TaskId task = -1;
+    ResourceId resource = -1;
+    std::uint64_t sequence = 0; ///< Deterministic tiebreak.
+};
+
+struct EventLater
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.sequence > b.sequence;
+    }
+};
+
+struct ResourceState
+{
+    bool busy = false;
+    std::deque<TaskId> readyQueue;
+};
+
+} // namespace
+
+SimResult
+Engine::run(TaskGraph &graph) const
+{
+    const std::size_t n_tasks = graph.taskCount();
+    const std::size_t n_resources = graph.resourceCount();
+
+    // Rebuild dependency counters so a graph can be run repeatedly.
+    std::vector<std::int32_t> remaining(n_tasks, 0);
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+        for (TaskId succ : graph.task(static_cast<TaskId>(t)).successors)
+            ++remaining[succ];
+    }
+
+    std::priority_queue<Event, std::vector<Event>, EventLater> events;
+    std::uint64_t sequence = 0;
+    auto push = [&](double time, EventKind kind, TaskId task,
+                    ResourceId resource) {
+        events.push(Event{time, kind, task, resource, sequence++});
+    };
+
+    // Seed: every task with no dependencies is ready at t = 0.
+    // Seeding in task-id order keeps FIFO queues deterministic.
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+        if (remaining[t] == 0)
+            push(0.0, EventKind::taskReady, static_cast<TaskId>(t),
+                 graph.task(static_cast<TaskId>(t)).resource);
+    }
+
+    SimResult result;
+    result.resources.resize(n_resources);
+    std::vector<ResourceState> states(n_resources);
+    std::size_t completed = 0;
+
+    auto start_task = [&](ResourceId rid, double now) {
+        ResourceState &state = states[rid];
+        if (state.busy || state.readyQueue.empty())
+            return;
+        const TaskId tid = state.readyQueue.front();
+        state.readyQueue.pop_front();
+        state.busy = true;
+        const Task &task = graph.task(tid);
+        const double end = now + task.duration;
+        result.resources[rid].busyTime += task.duration;
+        result.resources[rid].intervals.push_back(
+            BusyInterval{now, end, tid});
+        push(end, EventKind::resourceFree, tid, rid);
+        push(end + task.latency, EventKind::delivery, tid, rid);
+    };
+
+    while (!events.empty()) {
+        const Event ev = events.top();
+        events.pop();
+        switch (ev.kind) {
+          case EventKind::taskReady:
+            states[ev.resource].readyQueue.push_back(ev.task);
+            start_task(ev.resource, ev.time);
+            break;
+          case EventKind::resourceFree:
+            states[ev.resource].busy = false;
+            start_task(ev.resource, ev.time);
+            break;
+          case EventKind::delivery: {
+            ++completed;
+            result.makespan = std::max(result.makespan, ev.time);
+            for (TaskId succ : graph.task(ev.task).successors) {
+                AMPED_ASSERT(remaining[succ] > 0,
+                             "dependency counter underflow");
+                if (--remaining[succ] == 0)
+                    push(ev.time, EventKind::taskReady, succ,
+                         graph.task(succ).resource);
+            }
+            break;
+          }
+        }
+    }
+
+    require(completed == n_tasks, "task graph did not complete: ",
+            completed, " of ", n_tasks,
+            " tasks ran (dependency cycle?)");
+    return result;
+}
+
+} // namespace sim
+} // namespace amped

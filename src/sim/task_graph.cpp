@@ -1,0 +1,107 @@
+#include "task_graph.hpp"
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace sim {
+
+ResourceId
+TaskGraph::addDevice(std::string name)
+{
+    resources_.push_back(
+        Resource{ResourceKind::device, std::move(name)});
+    return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+ResourceId
+TaskGraph::addChannel(std::string name)
+{
+    resources_.push_back(
+        Resource{ResourceKind::channel, std::move(name)});
+    return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+TaskId
+TaskGraph::addCompute(ResourceId device, double duration,
+                      std::string label)
+{
+    require(device >= 0 &&
+                device < static_cast<ResourceId>(resources_.size()),
+            "addCompute: invalid resource id ", device);
+    require(resources_[device].kind == ResourceKind::device,
+            "addCompute: resource ", device, " is not a device");
+    require(duration >= 0.0, "addCompute: negative duration");
+    Task task;
+    task.kind = TaskKind::compute;
+    task.resource = device;
+    task.duration = duration;
+    task.label = std::move(label);
+    tasks_.push_back(std::move(task));
+    return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+TaskId
+TaskGraph::addTransfer(ResourceId channel, double bits,
+                       double bandwidth_bits, double latency,
+                       std::string label)
+{
+    require(channel >= 0 &&
+                channel < static_cast<ResourceId>(resources_.size()),
+            "addTransfer: invalid resource id ", channel);
+    require(resources_[channel].kind == ResourceKind::channel,
+            "addTransfer: resource ", channel, " is not a channel");
+    require(bits >= 0.0, "addTransfer: negative size");
+    require(bandwidth_bits > 0.0,
+            "addTransfer: bandwidth must be positive");
+    require(latency >= 0.0, "addTransfer: negative latency");
+    Task task;
+    task.kind = TaskKind::transfer;
+    task.resource = channel;
+    task.duration = bits / bandwidth_bits;
+    task.latency = latency;
+    task.label = std::move(label);
+    tasks_.push_back(std::move(task));
+    return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void
+TaskGraph::addDependency(TaskId predecessor, TaskId successor)
+{
+    require(predecessor >= 0 &&
+                predecessor < static_cast<TaskId>(tasks_.size()),
+            "addDependency: invalid predecessor ", predecessor);
+    require(successor >= 0 &&
+                successor < static_cast<TaskId>(tasks_.size()),
+            "addDependency: invalid successor ", successor);
+    require(predecessor != successor,
+            "addDependency: task cannot depend on itself");
+    tasks_[predecessor].successors.push_back(successor);
+    ++tasks_[successor].dependencyCount;
+}
+
+const Task &
+TaskGraph::task(TaskId id) const
+{
+    require(id >= 0 && id < static_cast<TaskId>(tasks_.size()),
+            "task: invalid id ", id);
+    return tasks_[id];
+}
+
+const Resource &
+TaskGraph::resource(ResourceId id) const
+{
+    require(id >= 0 && id < static_cast<ResourceId>(resources_.size()),
+            "resource: invalid id ", id);
+    return resources_[id];
+}
+
+Task &
+TaskGraph::mutableTask(TaskId id)
+{
+    require(id >= 0 && id < static_cast<TaskId>(tasks_.size()),
+            "mutableTask: invalid id ", id);
+    return tasks_[id];
+}
+
+} // namespace sim
+} // namespace amped

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Task-graph representation for the discrete-event cluster
+ * simulator.
+ *
+ * A training step (DP, GPipe PP, TP, MoE) is lowered to a DAG of
+ * tasks.  Two task kinds exist:
+ *
+ *  - compute: occupies one device for a fixed duration;
+ *  - transfer: occupies one channel for its serialization time
+ *    (bits / bandwidth) and delivers to its successors one link
+ *    latency later (cut-through semantics: the channel is free for
+ *    the next message while the last one is still in flight).
+ *
+ * Dependencies are explicit edges; resources additionally serialize
+ * their tasks FIFO, which is what makes pipeline bubbles and
+ * all-reduce step chains emerge from the simulation rather than from
+ * a closed-form formula.
+ */
+
+#ifndef AMPED_SIM_TASK_GRAPH_HPP
+#define AMPED_SIM_TASK_GRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amped {
+namespace sim {
+
+/** Identifies a task within its graph. */
+using TaskId = std::int32_t;
+
+/** Identifies a resource (device or channel) within its graph. */
+using ResourceId = std::int32_t;
+
+/** What a task does. */
+enum class TaskKind
+{
+    compute, ///< Occupies a device.
+    transfer ///< Occupies a channel, then adds latency.
+};
+
+/** What a resource models. */
+enum class ResourceKind
+{
+    device, ///< An accelerator (utilization is traced).
+    channel ///< A link (serializes transfers).
+};
+
+/** One node of the DAG. */
+struct Task
+{
+    TaskKind kind = TaskKind::compute;
+    ResourceId resource = -1;  ///< Owning device / channel.
+    double duration = 0.0;     ///< Occupancy time in seconds.
+    double latency = 0.0;      ///< Post-occupancy delivery delay.
+    std::string label;         ///< For traces and debugging.
+    std::vector<TaskId> successors; ///< Dependent tasks.
+    std::int32_t dependencyCount = 0; ///< Incoming edge count.
+};
+
+/** One resource of the graph. */
+struct Resource
+{
+    ResourceKind kind = ResourceKind::device;
+    std::string name;
+};
+
+/**
+ * A DAG of tasks bound to resources.  Build once, run with Engine.
+ */
+class TaskGraph
+{
+  public:
+    /** Adds a device resource; returns its id. */
+    ResourceId addDevice(std::string name);
+
+    /** Adds a channel resource; returns its id. */
+    ResourceId addChannel(std::string name);
+
+    /**
+     * Adds a compute task.
+     *
+     * @param device A device resource id.
+     * @param duration Seconds of occupancy; >= 0.
+     * @param label Trace label.
+     */
+    TaskId addCompute(ResourceId device, double duration,
+                      std::string label);
+
+    /**
+     * Adds a transfer task.
+     *
+     * @param channel A channel resource id.
+     * @param bits Message size; >= 0.
+     * @param bandwidth_bits Channel bandwidth in bits/s; > 0.
+     * @param latency Link latency in seconds; >= 0.
+     * @param label Trace label.
+     */
+    TaskId addTransfer(ResourceId channel, double bits,
+                       double bandwidth_bits, double latency,
+                       std::string label);
+
+    /**
+     * Adds a dependency: @p successor cannot start before
+     * @p predecessor has delivered.
+     */
+    void addDependency(TaskId predecessor, TaskId successor);
+
+    /** Task count. */
+    std::size_t taskCount() const { return tasks_.size(); }
+
+    /** Resource count. */
+    std::size_t resourceCount() const { return resources_.size(); }
+
+    /** Task access (Engine and tests). */
+    const Task &task(TaskId id) const;
+
+    /** Resource access. */
+    const Resource &resource(ResourceId id) const;
+
+    /** Mutable task access (Engine resets dependency counters). */
+    Task &mutableTask(TaskId id);
+
+  private:
+    std::vector<Task> tasks_;
+    std::vector<Resource> resources_;
+};
+
+} // namespace sim
+} // namespace amped
+
+#endif // AMPED_SIM_TASK_GRAPH_HPP

@@ -1,0 +1,72 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace amped {
+namespace sim {
+
+double
+busyFraction(const ResourceStats &stats, double bucket_start,
+             double bucket_end)
+{
+    require(bucket_end > bucket_start, "busyFraction: empty bucket");
+    double busy = 0.0;
+    for (const auto &interval : stats.intervals) {
+        const double lo = std::max(interval.start, bucket_start);
+        const double hi = std::min(interval.end, bucket_end);
+        if (hi > lo)
+            busy += hi - lo;
+    }
+    return busy / (bucket_end - bucket_start);
+}
+
+std::string
+renderUtilizationTimeline(const SimResult &result,
+                          const std::vector<ResourceId> &devices,
+                          const std::vector<std::string> &names,
+                          int width)
+{
+    require(width >= 1, "renderUtilizationTimeline: width must be >= 1");
+    require(devices.size() == names.size(),
+            "renderUtilizationTimeline: need one name per device");
+    if (result.makespan <= 0.0)
+        return "(empty trace)\n";
+
+    std::size_t label_width = 0;
+    for (const auto &name : names)
+        label_width = std::max(label_width, name.size());
+
+    std::ostringstream oss;
+    const double bucket = result.makespan / width;
+    for (std::size_t row = 0; row < devices.size(); ++row) {
+        oss << names[row]
+            << std::string(label_width - names[row].size(), ' ')
+            << " |";
+        const auto &stats = result.resources[devices[row]];
+        for (int b = 0; b < width; ++b) {
+            const double frac =
+                busyFraction(stats, b * bucket, (b + 1) * bucket);
+            if (frac <= 0.005) {
+                oss << '.';
+            } else {
+                const int digit = std::min(
+                    9, static_cast<int>(frac * 10.0));
+                oss << static_cast<char>('0' + digit);
+            }
+        }
+        oss << "| "
+            << units::formatFixed(
+                   100.0 * stats.busyTime / result.makespan, 1)
+            << " % busy\n";
+    }
+    oss << "timeline: 0 .. " << units::formatDuration(result.makespan)
+        << " (" << width << " buckets; digit = busy tenths)\n";
+    return oss.str();
+}
+
+} // namespace sim
+} // namespace amped

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Utilization-trace rendering (the repository's analogue of the
+ * paper's Fig. 1 GPU-usage plots).
+ *
+ * Converts a SimResult's per-device busy intervals into a bucketed
+ * ASCII timeline: one row per device, one character per time bucket,
+ * '0'-'9' encoding 0-100 % busy within the bucket ('.' = fully
+ * idle).
+ */
+
+#ifndef AMPED_SIM_TRACE_HPP
+#define AMPED_SIM_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace amped {
+namespace sim {
+
+/**
+ * Busy fraction of one resource within [bucket_start, bucket_end).
+ */
+double busyFraction(const ResourceStats &stats, double bucket_start,
+                    double bucket_end);
+
+/**
+ * Renders the utilization timeline of the given devices.
+ *
+ * @param result A completed simulation.
+ * @param devices Device resource ids to show (row order).
+ * @param names Row labels, same length as @p devices.
+ * @param width Number of time buckets (columns).
+ */
+std::string renderUtilizationTimeline(
+    const SimResult &result, const std::vector<ResourceId> &devices,
+    const std::vector<std::string> &names, int width = 72);
+
+} // namespace sim
+} // namespace amped
+
+#endif // AMPED_SIM_TRACE_HPP

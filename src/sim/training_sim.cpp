@@ -1,0 +1,827 @@
+#include "training_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/compute_cost.hpp"
+
+namespace amped {
+namespace sim {
+
+TrainingSimulator::TrainingSimulator(
+    model::TransformerConfig model_config, hw::AcceleratorConfig accel,
+    hw::MicrobatchEfficiency efficiency, net::LinkConfig link,
+    model::OpCountOptions op_options)
+    : opCounter_(std::move(model_config), op_options),
+      accel_(std::move(accel)), efficiency_(efficiency),
+      link_(std::move(link))
+{
+    accel_.validate();
+    link_.validate();
+}
+
+void
+TrainingSimulator::setBackwardMultiplier(double multiplier)
+{
+    require(multiplier >= 0.0,
+            "backward multiplier must be non-negative, got ",
+            multiplier);
+    backwardMultiplier_ = multiplier;
+}
+
+void
+TrainingSimulator::setGradientBits(double bits)
+{
+    require(bits > 0.0, "gradient bits must be positive, got ", bits);
+    gradientBits_ = bits;
+}
+
+double
+TrainingSimulator::layerForwardTime(std::int64_t layer, double batch,
+                                    double eff) const
+{
+    return core::layerForwardComputeTime(opCounter_, accel_, eff,
+                                         layer, batch);
+}
+
+SimOutcome
+TrainingSimulator::makeOutcome(SimResult result,
+                               const std::vector<ResourceId> &devices)
+{
+    SimOutcome outcome;
+    outcome.stepTime = result.makespan;
+    outcome.deviceIds = devices;
+    outcome.deviceUtilization.reserve(devices.size());
+    for (ResourceId id : devices)
+        outcome.deviceUtilization.push_back(result.utilization(id));
+    outcome.raw = std::move(result);
+    return outcome;
+}
+
+std::vector<TaskId>
+TrainingSimulator::appendRingAllReduce(
+    TaskGraph &graph, std::int64_t device_count,
+    const std::vector<ResourceId> &channels, double bits,
+    const std::vector<TaskId> &entry_tasks,
+    const std::string &label_prefix) const
+{
+    AMPED_ASSERT(entry_tasks.size() ==
+                     static_cast<std::size_t>(device_count),
+                 "one entry task per ring member required");
+    if (device_count == 1)
+        return entry_tasks;
+    AMPED_ASSERT(channels.size() ==
+                     static_cast<std::size_t>(device_count),
+                 "one channel per ring hop required");
+
+    const double chunk_bits =
+        bits / static_cast<double>(device_count);
+    const std::int64_t steps = 2 * (device_count - 1);
+
+    // previous[i]: the task device i must finish before sending in
+    // the next step (initially its entry task; afterwards its last
+    // received chunk).
+    std::vector<TaskId> previous = entry_tasks;
+    for (std::int64_t step = 0; step < steps; ++step) {
+        std::vector<TaskId> received(device_count);
+        for (std::int64_t d = 0; d < device_count; ++d) {
+            const std::int64_t to = (d + 1) % device_count;
+            std::ostringstream label;
+            label << label_prefix << "-step" << step << "-d" << d;
+            const TaskId transfer = graph.addTransfer(
+                channels[d], chunk_bits, link_.bandwidthBits,
+                link_.latencySeconds, label.str());
+            // The sender must hold the chunk from the previous step.
+            graph.addDependency(previous[d], transfer);
+            received[to] = transfer;
+        }
+        previous = std::move(received);
+    }
+    return previous;
+}
+
+SimOutcome
+TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
+                                            double per_device_batch) const
+{
+    require(devices >= 1, "simulateDataParallelStep: need >= 1 device, "
+            "got ", devices);
+    require(per_device_batch >= 1.0,
+            "simulateDataParallelStep: per-device batch must be >= 1, "
+            "got ", per_device_batch);
+
+    const auto &cfg = opCounter_.config();
+    const double eff = efficiency_(per_device_batch);
+
+    TaskGraph graph;
+    std::vector<ResourceId> device_ids;
+    std::vector<ResourceId> channel_ids;
+    for (std::int64_t d = 0; d < devices; ++d) {
+        device_ids.push_back(graph.addDevice("gpu" + std::to_string(d)));
+        channel_ids.push_back(graph.addChannel(
+            "link" + std::to_string(d) + "->" +
+            std::to_string((d + 1) % devices)));
+    }
+
+    // Per-device forward then backward, layer by layer.
+    std::vector<TaskId> last_bwd(devices);
+    for (std::int64_t d = 0; d < devices; ++d) {
+        TaskId prev = -1;
+        for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
+            const double fwd =
+                layerForwardTime(l, per_device_batch, eff);
+            const TaskId task = graph.addCompute(
+                device_ids[d], fwd,
+                "fwd-l" + std::to_string(l) + "-d" + std::to_string(d));
+            if (prev >= 0)
+                graph.addDependency(prev, task);
+            prev = task;
+        }
+        for (std::int64_t l = cfg.numLayers - 1; l >= 0; --l) {
+            const double bwd =
+                backwardMultiplier_ *
+                layerForwardTime(l, per_device_batch, eff);
+            const TaskId task = graph.addCompute(
+                device_ids[d], bwd,
+                "bwd-l" + std::to_string(l) + "-d" + std::to_string(d));
+            graph.addDependency(prev, task);
+            prev = task;
+        }
+        last_bwd[d] = prev;
+    }
+
+    // Chunked ring all-reduce of all gradients.
+    const double grad_bits =
+        opCounter_.totalLayerWeights() * gradientBits_;
+    const auto reduced = appendRingAllReduce(
+        graph, devices, channel_ids, grad_bits, last_bwd, "allreduce");
+
+    // Weight update once gradients are in.
+    for (std::int64_t d = 0; d < devices; ++d) {
+        double update = 0.0;
+        for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
+            update += core::layerWeightUpdateTime(opCounter_, accel_,
+                                                  eff, l);
+        }
+        const TaskId task = graph.addCompute(
+            device_ids[d], update, "update-d" + std::to_string(d));
+        graph.addDependency(reduced[d], task);
+    }
+
+    Engine engine;
+    return makeOutcome(engine.run(graph), device_ids);
+}
+
+SimOutcome
+TrainingSimulator::simulateHierarchicalDataParallelStep(
+    std::int64_t nodes, std::int64_t devices_per_node,
+    double per_device_batch, const net::LinkConfig &inter_link) const
+{
+    require(nodes >= 1, "hierarchical DP: need >= 1 node, got ",
+            nodes);
+    require(devices_per_node >= 1,
+            "hierarchical DP: need >= 1 device per node, got ",
+            devices_per_node);
+    require(per_device_batch >= 1.0,
+            "hierarchical DP: per-device batch must be >= 1, got ",
+            per_device_batch);
+    inter_link.validate();
+
+    const auto &cfg = opCounter_.config();
+    const double eff = efficiency_(per_device_batch);
+    const double grad_bits =
+        opCounter_.totalLayerWeights() * gradientBits_;
+
+    TaskGraph graph;
+    // devices[n][d], intra channels per node, inter channels among
+    // node leaders.
+    std::vector<std::vector<ResourceId>> devices(nodes);
+    std::vector<std::vector<ResourceId>> intra_channels(nodes);
+    std::vector<ResourceId> inter_channels;
+    std::vector<ResourceId> all_devices;
+    for (std::int64_t n = 0; n < nodes; ++n) {
+        for (std::int64_t d = 0; d < devices_per_node; ++d) {
+            devices[n].push_back(graph.addDevice(
+                "n" + std::to_string(n) + "g" + std::to_string(d)));
+            all_devices.push_back(devices[n].back());
+            intra_channels[n].push_back(graph.addChannel(
+                "intra-n" + std::to_string(n) + "-" +
+                std::to_string(d)));
+        }
+        inter_channels.push_back(
+            graph.addChannel("inter-n" + std::to_string(n)));
+    }
+
+    // Per-device forward + backward (single fused tasks keep the
+    // graph small at cluster scale).
+    std::vector<std::vector<TaskId>> done(
+        nodes, std::vector<TaskId>(devices_per_node));
+    for (std::int64_t n = 0; n < nodes; ++n) {
+        for (std::int64_t d = 0; d < devices_per_node; ++d) {
+            double fwd = 0.0;
+            for (std::int64_t l = 0; l < cfg.numLayers; ++l)
+                fwd += layerForwardTime(l, per_device_batch, eff);
+            const TaskId task = graph.addCompute(
+                devices[n][d], (1.0 + backwardMultiplier_) * fwd,
+                "fwd+bwd-n" + std::to_string(n) + "g" +
+                    std::to_string(d));
+            done[n][d] = task;
+        }
+    }
+
+    // Stage 1: intra-node ring all-reduce per node.
+    std::vector<std::vector<TaskId>> reduced(nodes);
+    for (std::int64_t n = 0; n < nodes; ++n) {
+        reduced[n] = appendRingAllReduce(
+            graph, devices_per_node, intra_channels[n], grad_bits,
+            done[n], "intra-ar-n" + std::to_string(n));
+    }
+
+    // Stage 2: inter-node ring among the node leaders (device 0 of
+    // each node), moving the full gradient payload.
+    std::vector<TaskId> leader_entry(nodes);
+    for (std::int64_t n = 0; n < nodes; ++n)
+        leader_entry[n] = reduced[n][0];
+    std::vector<TaskId> leader_done = leader_entry;
+    if (nodes > 1) {
+        const double chunk = grad_bits / static_cast<double>(nodes);
+        std::vector<TaskId> previous = leader_entry;
+        for (std::int64_t step = 0; step < 2 * (nodes - 1); ++step) {
+            std::vector<TaskId> received(nodes);
+            for (std::int64_t n = 0; n < nodes; ++n) {
+                const TaskId transfer = graph.addTransfer(
+                    inter_channels[n], chunk,
+                    inter_link.bandwidthBits,
+                    inter_link.latencySeconds,
+                    "inter-ar-s" + std::to_string(step) + "-n" +
+                        std::to_string(n));
+                graph.addDependency(previous[n], transfer);
+                received[(n + 1) % nodes] = transfer;
+            }
+            previous = std::move(received);
+        }
+        leader_done = previous;
+    }
+
+    // Stage 3: intra-node broadcast of the final gradients (one
+    // ring pass: (N-1)/N of the payload per hop).
+    for (std::int64_t n = 0; n < nodes; ++n) {
+        if (devices_per_node == 1)
+            continue;
+        TaskId previous = leader_done[n];
+        for (std::int64_t d = 0; d + 1 < devices_per_node; ++d) {
+            const TaskId transfer = graph.addTransfer(
+                intra_channels[n][d],
+                grad_bits / static_cast<double>(devices_per_node),
+                link_.bandwidthBits, link_.latencySeconds,
+                "bcast-n" + std::to_string(n) + "-" +
+                    std::to_string(d));
+            graph.addDependency(previous, transfer);
+            previous = transfer;
+        }
+    }
+
+    Engine engine;
+    return makeOutcome(engine.run(graph), all_devices);
+}
+
+SimOutcome
+TrainingSimulator::simulateDataPipelineStep(
+    std::int64_t replicas, std::int64_t stages, double microbatch,
+    std::int64_t num_microbatches,
+    const net::LinkConfig &dp_link) const
+{
+    const auto &cfg = opCounter_.config();
+    require(replicas >= 1, "DPxPP: need >= 1 replica, got ", replicas);
+    require(stages >= 1 && stages <= cfg.numLayers,
+            "DPxPP: stages must be in [1, ", cfg.numLayers, "], got ",
+            stages);
+    require(microbatch >= 1.0,
+            "DPxPP: microbatch must be >= 1, got ", microbatch);
+    require(num_microbatches >= 1,
+            "DPxPP: need >= 1 microbatch, got ", num_microbatches);
+    dp_link.validate();
+
+    const double eff = efficiency_(microbatch);
+
+    TaskGraph graph;
+    // devices[r][s]; forward/backward channels inside each replica;
+    // one DP ring per stage index across replicas.
+    std::vector<std::vector<ResourceId>> devices(replicas);
+    std::vector<std::vector<ResourceId>> fwd_ch(replicas);
+    std::vector<std::vector<ResourceId>> bwd_ch(replicas);
+    std::vector<std::vector<ResourceId>> dp_ch(stages);
+    std::vector<ResourceId> all_devices;
+    for (std::int64_t r = 0; r < replicas; ++r) {
+        for (std::int64_t s = 0; s < stages; ++s) {
+            devices[r].push_back(graph.addDevice(
+                "r" + std::to_string(r) + "s" + std::to_string(s)));
+            all_devices.push_back(devices[r].back());
+            if (s + 1 < stages) {
+                fwd_ch[r].push_back(graph.addChannel(
+                    "f-r" + std::to_string(r) + "s" +
+                    std::to_string(s)));
+                bwd_ch[r].push_back(graph.addChannel(
+                    "b-r" + std::to_string(r) + "s" +
+                    std::to_string(s)));
+            }
+        }
+    }
+    for (std::int64_t s = 0; s < stages; ++s) {
+        for (std::int64_t r = 0; r < replicas; ++r) {
+            dp_ch[s].push_back(graph.addChannel(
+                "dp-s" + std::to_string(s) + "r" + std::to_string(r)));
+        }
+    }
+
+    // Stage compute times and gradient shards.
+    const std::int64_t base = cfg.numLayers / stages;
+    const std::int64_t extra = cfg.numLayers % stages;
+    std::vector<double> stage_fwd(stages, 0.0);
+    std::vector<double> stage_grad_bits(stages, 0.0);
+    std::int64_t layer = 0;
+    for (std::int64_t s = 0; s < stages; ++s) {
+        const std::int64_t count = base + (s < extra ? 1 : 0);
+        for (std::int64_t i = 0; i < count; ++i, ++layer) {
+            stage_fwd[s] += layerForwardTime(layer, microbatch, eff);
+            stage_grad_bits[s] +=
+                opCounter_.gradientsPerLayer(layer) * gradientBits_;
+        }
+    }
+    const double act_bits =
+        opCounter_.activationsPipelineParallel(microbatch) *
+        accel_.precisions.activationBits;
+
+    // GPipe schedule per replica.
+    std::vector<std::vector<TaskId>> last_bwd(
+        replicas, std::vector<TaskId>(stages));
+    for (std::int64_t r = 0; r < replicas; ++r) {
+        std::vector<std::vector<TaskId>> fwd(
+            stages, std::vector<TaskId>(num_microbatches));
+        for (std::int64_t m = 0; m < num_microbatches; ++m) {
+            for (std::int64_t s = 0; s < stages; ++s) {
+                const TaskId task = graph.addCompute(
+                    devices[r][s], stage_fwd[s],
+                    "f-r" + std::to_string(r) + "m" +
+                        std::to_string(m) + "s" + std::to_string(s));
+                fwd[s][m] = task;
+                if (s > 0) {
+                    const TaskId transfer = graph.addTransfer(
+                        fwd_ch[r][s - 1], act_bits,
+                        link_.bandwidthBits, link_.latencySeconds,
+                        "fx-r" + std::to_string(r) + "m" +
+                            std::to_string(m) + "s" +
+                            std::to_string(s - 1));
+                    graph.addDependency(fwd[s - 1][m], transfer);
+                    graph.addDependency(transfer, task);
+                }
+            }
+        }
+        std::vector<std::vector<TaskId>> bwd(
+            stages, std::vector<TaskId>(num_microbatches));
+        for (std::int64_t m = 0; m < num_microbatches; ++m) {
+            for (std::int64_t s = stages - 1; s >= 0; --s) {
+                const TaskId task = graph.addCompute(
+                    devices[r][s],
+                    backwardMultiplier_ * stage_fwd[s],
+                    "b-r" + std::to_string(r) + "m" +
+                        std::to_string(m) + "s" + std::to_string(s));
+                bwd[s][m] = task;
+                graph.addDependency(fwd[s][m], task);
+                if (s < stages - 1) {
+                    const TaskId transfer = graph.addTransfer(
+                        bwd_ch[r][s], act_bits, link_.bandwidthBits,
+                        link_.latencySeconds,
+                        "bx-r" + std::to_string(r) + "m" +
+                            std::to_string(m) + "s" +
+                            std::to_string(s + 1));
+                    graph.addDependency(bwd[s + 1][m], transfer);
+                    graph.addDependency(transfer, task);
+                }
+            }
+        }
+        for (std::int64_t s = 0; s < stages; ++s)
+            last_bwd[r][s] = bwd[s][num_microbatches - 1];
+    }
+
+    // Per-stage DP ring all-reduce across replicas, then the weight
+    // update on every device.
+    for (std::int64_t s = 0; s < stages; ++s) {
+        std::vector<TaskId> entries(replicas);
+        for (std::int64_t r = 0; r < replicas; ++r)
+            entries[r] = last_bwd[r][s];
+        std::vector<TaskId> reduced = entries;
+        if (replicas > 1) {
+            const double chunk =
+                stage_grad_bits[s] / static_cast<double>(replicas);
+            std::vector<TaskId> previous = entries;
+            for (std::int64_t step = 0; step < 2 * (replicas - 1);
+                 ++step) {
+                std::vector<TaskId> received(replicas);
+                for (std::int64_t r = 0; r < replicas; ++r) {
+                    const TaskId transfer = graph.addTransfer(
+                        dp_ch[s][r], chunk, dp_link.bandwidthBits,
+                        dp_link.latencySeconds,
+                        "dpar-s" + std::to_string(s) + "-" +
+                            std::to_string(step) + "-" +
+                            std::to_string(r));
+                    graph.addDependency(previous[r], transfer);
+                    received[(r + 1) % replicas] = transfer;
+                }
+                previous = std::move(received);
+            }
+            reduced = previous;
+        }
+        layer = 0;
+        for (std::int64_t q = 0; q < s; ++q)
+            layer += base + (q < extra ? 1 : 0);
+        const std::int64_t count = base + (s < extra ? 1 : 0);
+        double update = 0.0;
+        for (std::int64_t i = 0; i < count; ++i) {
+            update += core::layerWeightUpdateTime(opCounter_, accel_,
+                                                  eff, layer + i);
+        }
+        for (std::int64_t r = 0; r < replicas; ++r) {
+            const TaskId task = graph.addCompute(
+                devices[r][s], update,
+                "upd-r" + std::to_string(r) + "s" +
+                    std::to_string(s));
+            graph.addDependency(reduced[r], task);
+        }
+    }
+
+    Engine engine;
+    return makeOutcome(engine.run(graph), all_devices);
+}
+
+SimOutcome
+TrainingSimulator::simulateAllToAll(std::int64_t participants,
+                                    double elements,
+                                    double bits_per_element,
+                                    const net::LinkConfig &link) const
+{
+    require(participants >= 1,
+            "all-to-all: need >= 1 participant, got ", participants);
+    require(elements >= 0.0, "all-to-all: negative element count");
+    require(bits_per_element > 0.0,
+            "all-to-all: bits per element must be positive");
+    link.validate();
+
+    TaskGraph graph;
+    std::vector<ResourceId> device_ids;
+    std::vector<ResourceId> egress;
+    for (std::int64_t p = 0; p < participants; ++p) {
+        device_ids.push_back(
+            graph.addDevice("rank" + std::to_string(p)));
+        egress.push_back(
+            graph.addChannel("egress" + std::to_string(p)));
+    }
+
+    // Each rank starts ready (zero-length compute anchors the
+    // device trace) and exchanges 1/N of its payload with every
+    // peer in N-1 pairwise rounds.
+    std::vector<TaskId> previous(participants);
+    for (std::int64_t p = 0; p < participants; ++p) {
+        previous[p] = graph.addCompute(device_ids[p], 0.0,
+                                       "ready" + std::to_string(p));
+    }
+    const double chunk_bits = participants > 1
+                                  ? elements * bits_per_element /
+                                        static_cast<double>(participants)
+                                  : 0.0;
+    for (std::int64_t round = 1; round < participants; ++round) {
+        std::vector<TaskId> received(participants);
+        for (std::int64_t p = 0; p < participants; ++p) {
+            const std::int64_t to = (p + round) % participants;
+            const TaskId transfer = graph.addTransfer(
+                egress[p], chunk_bits, link.bandwidthBits,
+                link.latencySeconds,
+                "a2a-r" + std::to_string(round) + "-p" +
+                    std::to_string(p));
+            graph.addDependency(previous[p], transfer);
+            received[to] = transfer;
+        }
+        previous = std::move(received);
+    }
+
+    Engine engine;
+    return makeOutcome(engine.run(graph), device_ids);
+}
+
+SimOutcome
+TrainingSimulator::simulateMoeStep(
+    std::int64_t nodes, double per_node_batch,
+    const net::LinkConfig &inter_link) const
+{
+    const auto &cfg = opCounter_.config();
+    require(cfg.moe.enabled(),
+            "simulateMoeStep: the model has no experts");
+    require(nodes >= 1, "simulateMoeStep: need >= 1 node, got ",
+            nodes);
+    require(per_node_batch >= 1.0,
+            "simulateMoeStep: per-node batch must be >= 1, got ",
+            per_node_batch);
+    inter_link.validate();
+
+    const double eff = efficiency_(per_node_batch);
+
+    TaskGraph graph;
+    std::vector<ResourceId> device_ids;
+    std::vector<ResourceId> egress;
+    for (std::int64_t n = 0; n < nodes; ++n) {
+        device_ids.push_back(
+            graph.addDevice("node" + std::to_string(n)));
+        egress.push_back(
+            graph.addChannel("egress" + std::to_string(n)));
+    }
+
+    // Appends one pairwise all-to-all round set; returns the tasks
+    // each node waits on afterwards.
+    auto all_to_all = [&](std::vector<TaskId> entry, double bits,
+                          const std::string &tag) {
+        if (nodes == 1)
+            return entry;
+        const double chunk = bits / static_cast<double>(nodes);
+        std::vector<TaskId> previous = std::move(entry);
+        for (std::int64_t round = 1; round < nodes; ++round) {
+            std::vector<TaskId> received(nodes);
+            for (std::int64_t n = 0; n < nodes; ++n) {
+                const std::int64_t to = (n + round) % nodes;
+                const TaskId transfer = graph.addTransfer(
+                    egress[n], chunk, inter_link.bandwidthBits,
+                    inter_link.latencySeconds,
+                    tag + "-r" + std::to_string(round) + "-n" +
+                        std::to_string(n));
+                graph.addDependency(previous[n], transfer);
+                received[to] = transfer;
+            }
+            previous = std::move(received);
+        }
+        return previous;
+    };
+
+    const double moe_bits =
+        opCounter_.activationsMoe(
+            cfg.moe.moeLayerInterval - 1, per_node_batch) *
+        accel_.precisions.activationBits;
+
+    // Frontier per node; fwd then bwd passes with per-layer tasks.
+    std::vector<TaskId> frontier(nodes, -1);
+    auto add_pass = [&](double multiplier, const std::string &tag) {
+        for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
+            if (cfg.isMoeLayer(l)) {
+                // Dispatch tokens to their experts before the FFN.
+                if (frontier[0] >= 0) {
+                    frontier = all_to_all(
+                        frontier, moe_bits,
+                        tag + "-disp-l" + std::to_string(l));
+                }
+            }
+            std::vector<TaskId> computes(nodes);
+            for (std::int64_t n = 0; n < nodes; ++n) {
+                const TaskId task = graph.addCompute(
+                    device_ids[n],
+                    multiplier *
+                        layerForwardTime(l, per_node_batch, eff),
+                    tag + "-l" + std::to_string(l) + "-n" +
+                        std::to_string(n));
+                if (frontier[n] >= 0)
+                    graph.addDependency(frontier[n], task);
+                computes[n] = task;
+            }
+            frontier = std::move(computes);
+            if (cfg.isMoeLayer(l)) {
+                // Combine expert outputs back to the token owners.
+                frontier = all_to_all(
+                    frontier, moe_bits,
+                    tag + "-comb-l" + std::to_string(l));
+            }
+        }
+    };
+    add_pass(1.0, "fwd");
+    add_pass(backwardMultiplier_, "bwd");
+
+    Engine engine;
+    return makeOutcome(engine.run(graph), device_ids);
+}
+
+SimOutcome
+TrainingSimulator::simulateGPipeStep(std::int64_t stages,
+                                     double microbatch,
+                                     std::int64_t num_microbatches) const
+{
+    const auto &cfg = opCounter_.config();
+    require(stages >= 1, "simulateGPipeStep: need >= 1 stage, got ",
+            stages);
+    require(stages <= cfg.numLayers, "simulateGPipeStep: ", stages,
+            " stages exceed ", cfg.numLayers, " layers");
+    require(microbatch >= 1.0,
+            "simulateGPipeStep: microbatch must be >= 1, got ",
+            microbatch);
+    require(num_microbatches >= 1,
+            "simulateGPipeStep: need >= 1 microbatch, got ",
+            num_microbatches);
+
+    const double eff = efficiency_(microbatch);
+
+    TaskGraph graph;
+    std::vector<ResourceId> device_ids;
+    std::vector<ResourceId> fwd_channels; // stage s -> s+1
+    std::vector<ResourceId> bwd_channels; // stage s+1 -> s
+    for (std::int64_t s = 0; s < stages; ++s) {
+        device_ids.push_back(
+            graph.addDevice("stage" + std::to_string(s)));
+        if (s + 1 < stages) {
+            fwd_channels.push_back(graph.addChannel(
+                "fwd" + std::to_string(s) + "->" +
+                std::to_string(s + 1)));
+            bwd_channels.push_back(graph.addChannel(
+                "bwd" + std::to_string(s + 1) + "->" +
+                std::to_string(s)));
+        }
+    }
+
+    // Contiguous layer blocks, remainder spread over the first
+    // stages.
+    const std::int64_t base = cfg.numLayers / stages;
+    const std::int64_t extra = cfg.numLayers % stages;
+    std::vector<double> stage_fwd_time(stages, 0.0);
+    std::int64_t layer = 0;
+    for (std::int64_t s = 0; s < stages; ++s) {
+        const std::int64_t count = base + (s < extra ? 1 : 0);
+        for (std::int64_t i = 0; i < count; ++i, ++layer) {
+            stage_fwd_time[s] +=
+                layerForwardTime(layer, microbatch, eff);
+        }
+    }
+
+    const double act_bits =
+        opCounter_.activationsPipelineParallel(microbatch) *
+        accel_.precisions.activationBits;
+
+    // Forward: microbatch m flows stage 0 -> stages-1.
+    std::vector<std::vector<TaskId>> fwd(
+        stages, std::vector<TaskId>(num_microbatches));
+    for (std::int64_t m = 0; m < num_microbatches; ++m) {
+        for (std::int64_t s = 0; s < stages; ++s) {
+            const TaskId task = graph.addCompute(
+                device_ids[s], stage_fwd_time[s],
+                "fwd-m" + std::to_string(m) + "-s" + std::to_string(s));
+            fwd[s][m] = task;
+            if (s > 0) {
+                const TaskId transfer = graph.addTransfer(
+                    fwd_channels[s - 1], act_bits, link_.bandwidthBits,
+                    link_.latencySeconds,
+                    "fwd-xfer-m" + std::to_string(m) + "-s" +
+                        std::to_string(s - 1));
+                graph.addDependency(fwd[s - 1][m], transfer);
+                graph.addDependency(transfer, task);
+            }
+        }
+    }
+
+    // Backward: microbatch m flows stages-1 -> 0 after the full
+    // forward wave (GPipe schedule).
+    std::vector<std::vector<TaskId>> bwd(
+        stages, std::vector<TaskId>(num_microbatches));
+    for (std::int64_t m = 0; m < num_microbatches; ++m) {
+        for (std::int64_t s = stages - 1; s >= 0; --s) {
+            const TaskId task = graph.addCompute(
+                device_ids[s], backwardMultiplier_ * stage_fwd_time[s],
+                "bwd-m" + std::to_string(m) + "-s" + std::to_string(s));
+            bwd[s][m] = task;
+            // The stage's own forward of this microbatch must be done.
+            graph.addDependency(fwd[s][m], task);
+            if (s < stages - 1) {
+                const TaskId transfer = graph.addTransfer(
+                    bwd_channels[s], act_bits, link_.bandwidthBits,
+                    link_.latencySeconds,
+                    "bwd-xfer-m" + std::to_string(m) + "-s" +
+                        std::to_string(s + 1));
+                graph.addDependency(bwd[s + 1][m], transfer);
+                graph.addDependency(transfer, task);
+            }
+        }
+    }
+
+    // Per-stage weight update after its last backward.
+    layer = 0;
+    for (std::int64_t s = 0; s < stages; ++s) {
+        const std::int64_t count = base + (s < extra ? 1 : 0);
+        double update = 0.0;
+        for (std::int64_t i = 0; i < count; ++i, ++layer) {
+            update += core::layerWeightUpdateTime(opCounter_, accel_,
+                                                  eff, layer);
+        }
+        const TaskId task = graph.addCompute(
+            device_ids[s], update, "update-s" + std::to_string(s));
+        graph.addDependency(bwd[s][num_microbatches - 1], task);
+    }
+
+    Engine engine;
+    auto outcome = makeOutcome(engine.run(graph), device_ids);
+
+    // Activation residency: a microbatch is live on a stage from its
+    // forward's end to its backward's start.  Sweep start/end events
+    // per stage for the peak overlap.
+    outcome.peakMicrobatchesInFlight.assign(stages, 0);
+    for (std::int64_t s = 0; s < stages; ++s) {
+        std::map<TaskId, std::pair<double, double>> times;
+        for (const auto &interval :
+             outcome.raw.resources[device_ids[s]].intervals)
+            times[interval.task] = {interval.start, interval.end};
+        std::vector<std::pair<double, int>> events;
+        for (std::int64_t m = 0; m < num_microbatches; ++m) {
+            const double live_from = times.at(fwd[s][m]).second;
+            const double live_to = times.at(bwd[s][m]).first;
+            events.push_back({live_from, +1});
+            events.push_back({live_to, -1});
+        }
+        std::sort(events.begin(), events.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second < b.second; // close before open
+                  });
+        std::int64_t live = 0, peak = 0;
+        for (const auto &[time, delta] : events) {
+            (void)time;
+            live += delta;
+            peak = std::max(peak, live);
+        }
+        outcome.peakMicrobatchesInFlight[s] = peak;
+    }
+    return outcome;
+}
+
+SimOutcome
+TrainingSimulator::simulateTensorParallelStep(std::int64_t devices,
+                                              double batch) const
+{
+    require(devices >= 1,
+            "simulateTensorParallelStep: need >= 1 device, got ",
+            devices);
+    require(batch >= 1.0,
+            "simulateTensorParallelStep: batch must be >= 1, got ",
+            batch);
+
+    const auto &cfg = opCounter_.config();
+    const double eff = efficiency_(batch);
+
+    TaskGraph graph;
+    std::vector<ResourceId> device_ids;
+    std::vector<ResourceId> channel_ids;
+    for (std::int64_t d = 0; d < devices; ++d) {
+        device_ids.push_back(graph.addDevice("gpu" + std::to_string(d)));
+        channel_ids.push_back(graph.addChannel(
+            "link" + std::to_string(d) + "->" +
+            std::to_string((d + 1) % devices)));
+    }
+
+    // Each all-reduce moves b s h activation elements (half of
+    // N_act_TP = 2 b s h, which covers both per-layer reductions).
+    const double act_bits =
+        opCounter_.activationsPipelineParallel(batch) *
+        accel_.precisions.activationBits;
+
+    // frontier[d]: last task of device d.
+    std::vector<TaskId> frontier(devices, -1);
+    auto add_sharded_pass = [&](double multiplier,
+                                const std::string &tag) {
+        for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
+            const double shard =
+                multiplier * layerForwardTime(l, batch, eff) /
+                static_cast<double>(devices);
+            // Half the layer (attention), all-reduce, second half
+            // (MLP), all-reduce — the Megatron pattern.
+            for (int half = 0; half < 2; ++half) {
+                std::vector<TaskId> computes(devices);
+                for (std::int64_t d = 0; d < devices; ++d) {
+                    const TaskId task = graph.addCompute(
+                        device_ids[d], shard / 2.0,
+                        tag + "-l" + std::to_string(l) + "-h" +
+                            std::to_string(half) + "-d" +
+                            std::to_string(d));
+                    if (frontier[d] >= 0)
+                        graph.addDependency(frontier[d], task);
+                    computes[d] = task;
+                }
+                frontier = appendRingAllReduce(
+                    graph, devices, channel_ids, act_bits, computes,
+                    tag + "-ar-l" + std::to_string(l) + "-h" +
+                        std::to_string(half));
+            }
+        }
+    };
+
+    add_sharded_pass(1.0, "fwd");
+    add_sharded_pass(backwardMultiplier_, "bwd");
+
+    Engine engine;
+    return makeOutcome(engine.run(graph), device_ids);
+}
+
+} // namespace sim
+} // namespace amped

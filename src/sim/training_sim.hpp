@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Training-schedule simulator.
+ *
+ * Lowers one training step of each parallelization strategy to a
+ * task graph and executes it with the discrete-event engine:
+ *
+ *  - Data parallelism: per-device forward/backward compute followed
+ *    by a chunked ring all-reduce of the gradients and the weight
+ *    update.  The 2 (N-1) ring steps are individual transfer tasks,
+ *    so the all-reduce cost *emerges* instead of being a formula.
+ *  - GPipe pipeline parallelism: stages hold contiguous layer
+ *    blocks; microbatches flow forward then backward through
+ *    point-to-point channels.  Pipeline bubbles emerge from resource
+ *    serialization.
+ *  - Tensor parallelism: per-layer sharded compute with two ring
+ *    all-reduces of the activations per layer (Megatron pattern).
+ *
+ * This module is the repository's stand-in for the paper's
+ * real-hardware validation runs (DESIGN.md Sec. 1): the simulator
+ * executes the schedules AMPeD summarizes in closed form, providing
+ * an independent "Experimental" series for Figs. 1 and 2a/2b.
+ */
+
+#ifndef AMPED_SIM_TRAINING_SIM_HPP
+#define AMPED_SIM_TRAINING_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+#include "hw/efficiency.hpp"
+#include "model/op_counter.hpp"
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+
+namespace amped {
+namespace sim {
+
+/** Outcome of one simulated training step. */
+struct SimOutcome
+{
+    double stepTime = 0.0;        ///< Makespan of the step (seconds).
+    std::vector<double> deviceUtilization; ///< Busy fraction per device.
+    SimResult raw;                ///< Full engine result (traces).
+    std::vector<ResourceId> deviceIds; ///< Device resource ids.
+
+    /**
+     * Peak simultaneously-live microbatches per pipeline stage
+     * (activation residency): a microbatch is live on a stage from
+     * the end of its forward until the start of its backward.  Only
+     * filled by pipeline schedules; cross-checks
+     * core::PipelineSchedule::activationsInFlight.
+     */
+    std::vector<std::int64_t> peakMicrobatchesInFlight;
+};
+
+/**
+ * Builds and runs training-step task graphs.
+ */
+class TrainingSimulator
+{
+  public:
+    /**
+     * @param model_config Transformer architecture.
+     * @param accel Accelerator pricing compute tasks.
+     * @param efficiency eff(ub) applied at the simulated microbatch.
+     * @param link Link connecting the devices (intra-node for the
+     *        HGX-2 validation runs).
+     * @param op_options Operation-count constants.
+     */
+    TrainingSimulator(model::TransformerConfig model_config,
+                      hw::AcceleratorConfig accel,
+                      hw::MicrobatchEfficiency efficiency,
+                      net::LinkConfig link,
+                      model::OpCountOptions op_options = {});
+
+    /**
+     * One data-parallel step: every device computes
+     * forward + backward on @p per_device_batch sequences, then a
+     * chunked ring all-reduce of all gradients, then the weight
+     * update.
+     *
+     * @param devices Number of DP replicas (>= 1).
+     * @param per_device_batch Per-replica batch (= the microbatch
+     *        whose eff(ub) prices the compute).
+     */
+    SimOutcome simulateDataParallelStep(std::int64_t devices,
+                                        double per_device_batch) const;
+
+    /**
+     * One GPipe step: @p stages pipeline stages over contiguous
+     * layer blocks; @p num_microbatches microbatches of
+     * @p microbatch sequences flow forward then backward.
+     */
+    SimOutcome simulateGPipeStep(std::int64_t stages,
+                                 double microbatch,
+                                 std::int64_t num_microbatches) const;
+
+    /**
+     * One tensor-parallel step: each layer's compute is sharded over
+     * @p devices, followed by two ring all-reduces of the layer
+     * activations (attention + MLP), forward and backward.
+     *
+     * @param batch The (replica) batch processed by the TP group.
+     */
+    SimOutcome simulateTensorParallelStep(std::int64_t devices,
+                                          double batch) const;
+
+    /**
+     * One *hierarchical* data-parallel step across @p nodes nodes of
+     * @p devices_per_node accelerators: per-device compute, an
+     * intra-node ring all-reduce inside every node over the
+     * (fast) construction link, an inter-node ring among the node
+     * leaders over @p inter_link, and a final intra-node broadcast
+     * ring — the schedule behind the paper's Eq. 10.
+     */
+    SimOutcome simulateHierarchicalDataParallelStep(
+        std::int64_t nodes, std::int64_t devices_per_node,
+        double per_device_batch, const net::LinkConfig &inter_link) const;
+
+    /**
+     * One combined DP x PP training step: @p replicas independent
+     * GPipe pipelines of @p stages stages run the microbatch
+     * schedule, then corresponding stages of all replicas ring-
+     * all-reduce their gradient shards over @p dp_link — the 2-D
+     * schedule whose closed form is Eq. 1 with both N_DP and N_PP
+     * set, including the bubble x all-reduce interaction.
+     */
+    SimOutcome simulateDataPipelineStep(
+        std::int64_t replicas, std::int64_t stages, double microbatch,
+        std::int64_t num_microbatches,
+        const net::LinkConfig &dp_link) const;
+
+    /**
+     * A pairwise-exchange all-to-all among @p participants ranks,
+     * each contributing @p elements elements of
+     * @p bits_per_element bits distributed uniformly over the peers
+     * (the MoE dispatch pattern of Eq. 9).  Uses one egress channel
+     * per rank on @p link.
+     */
+    SimOutcome simulateAllToAll(std::int64_t participants,
+                                double elements,
+                                double bits_per_element,
+                                const net::LinkConfig &link) const;
+
+    /**
+     * One expert-parallel MoE training step over @p nodes
+     * single-accelerator nodes connected by @p inter_link: every
+     * node computes each layer for its @p per_node_batch sequences;
+     * on MoE layers the forward (and backward) pass inserts the
+     * dispatch and combine all-to-alls of Eq. 9.  The model must
+     * have MoE enabled.
+     */
+    SimOutcome simulateMoeStep(std::int64_t nodes,
+                               double per_node_batch,
+                               const net::LinkConfig &inter_link) const;
+
+    /** The operation counter (for tests). */
+    const model::OpCounter &opCounter() const { return opCounter_; }
+
+    /** Backward/forward compute ratio (default 2.0). */
+    void setBackwardMultiplier(double multiplier);
+
+    /** Gradient element precision in bits (default 32). */
+    void setGradientBits(double bits);
+
+  private:
+    /**
+     * Appends a chunked ring all-reduce over @p devices to @p graph.
+     *
+     * @param graph Graph under construction.
+     * @param device_count Ring size.
+     * @param channels Per-hop channels, channels[i]: i -> (i+1)%N.
+     * @param bits Payload per device (full tensor).
+     * @param entry_tasks entry_tasks[i] must complete before device i
+     *        joins the ring.
+     * @param label_prefix Trace label prefix.
+     * @return Per-device task that completes when its reduced copy is
+     *         available (equal to entry task when device_count == 1).
+     */
+    std::vector<TaskId>
+    appendRingAllReduce(TaskGraph &graph, std::int64_t device_count,
+                        const std::vector<ResourceId> &channels,
+                        double bits,
+                        const std::vector<TaskId> &entry_tasks,
+                        const std::string &label_prefix) const;
+
+    /** Forward compute seconds of one layer at a given batch. */
+    double layerForwardTime(std::int64_t layer, double batch,
+                            double eff) const;
+
+    /** Builds the SimOutcome from an engine run. */
+    static SimOutcome
+    makeOutcome(SimResult result,
+                const std::vector<ResourceId> &devices);
+
+    model::OpCounter opCounter_;
+    hw::AcceleratorConfig accel_;
+    hw::MicrobatchEfficiency efficiency_;
+    net::LinkConfig link_;
+    double backwardMultiplier_ = 2.0;
+    double gradientBits_ = 32.0;
+};
+
+} // namespace sim
+} // namespace amped
+
+#endif // AMPED_SIM_TRAINING_SIM_HPP

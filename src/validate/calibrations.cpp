@@ -1,0 +1,81 @@
+#include "calibrations.hpp"
+
+#include "net/link.hpp"
+
+namespace amped {
+namespace validate {
+namespace calibrations {
+
+hw::MicrobatchEfficiency
+megatronTable2()
+{
+    // eff(1) = 0.655 / 1.055 = 0.621: Megatron's large matmuls keep
+    // the tensor cores ~62 % utilized even at per-GPU microbatch 1
+    // (2048-token sequences).
+    return hw::MicrobatchEfficiency(0.655, 0.055);
+}
+
+hw::MicrobatchEfficiency
+fig2cSweep()
+{
+    // eff(12) = 0.73, eff(60) = 0.91: still climbing at 12, nearly
+    // saturated at 60.
+    return hw::MicrobatchEfficiency(0.97, 4.0);
+}
+
+hw::MicrobatchEfficiency
+gpipeP100()
+{
+    return hw::MicrobatchEfficiency(0.70, 4.0);
+}
+
+hw::MicrobatchEfficiency
+minGptHgx2()
+{
+    return hw::MicrobatchEfficiency(0.80, 8.0);
+}
+
+hw::MicrobatchEfficiency
+caseStudy1()
+{
+    // Paper Sec. VI: 25 % floor ("fixed lower limit of 25% in our
+    // case"), ~31 % at microbatch 16, up to ~80 % with intra-node TP.
+    return hw::MicrobatchEfficiency(0.90, 30.0, 0.25);
+}
+
+hw::MicrobatchEfficiency
+caseStudy3()
+{
+    return hw::MicrobatchEfficiency(0.85, 16.0, 0.25);
+}
+
+core::ModelOptions
+validationOptions()
+{
+    core::ModelOptions options;
+    options.bubbleOverlapRatio = 1.0; // R = 1 (paper, Table II).
+    options.backwardComputeMultiplier = 3.0; // with recompute.
+    return options;
+}
+
+core::ModelOptions
+nvswitchOptions(std::int64_t intra_ring_size)
+{
+    core::ModelOptions options = validationOptions();
+    options.intraTopologyFactorOverride =
+        net::topology::bidirectionalRingAllReduce(intra_ring_size);
+    return options;
+}
+
+core::ModelOptions
+caseStudyOptions()
+{
+    core::ModelOptions options = nvswitchOptions(8);
+    options.bubbleOverlapRatio = 0.1; // interleaved pipeline schedule
+    options.gradientBits = 32.0;      // fp32 gradient all-reduce
+    return options;
+}
+
+} // namespace calibrations
+} // namespace validate
+} // namespace amped

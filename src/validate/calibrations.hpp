@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-experiment calibrations.
+ *
+ * The paper calibrates eff(ub) = a ub / (b + ub) "by fitting the
+ * experimental data based on the application and the underlying
+ * hardware" (Sec. IV-A) — a and b are explicitly functions of the
+ * application AND the system.  Each experiment therefore carries its
+ * own fitted curve; this header centralizes them so every bench and
+ * test uses one audited set.  EXPERIMENTS.md records the calibration
+ * used per table/figure.
+ */
+
+#ifndef AMPED_VALIDATE_CALIBRATIONS_HPP
+#define AMPED_VALIDATE_CALIBRATIONS_HPP
+
+#include "core/options.hpp"
+#include "hw/efficiency.hpp"
+
+namespace amped {
+namespace validate {
+namespace calibrations {
+
+/**
+ * Table II (Megatron on A100 clusters): microbatch size 1-2 per GPU
+ * at scale; eff(1) ~ 0.53 reproduces the published ~47 % MFU.
+ */
+hw::MicrobatchEfficiency megatronTable2();
+
+/**
+ * Fig. 2c (GPT-3 175B, 96 GPUs, pipeline only): the saturating
+ * batch-size sweep needs a curve that is still climbing at ub = 12
+ * and nearly flat at ub = 60.
+ */
+hw::MicrobatchEfficiency fig2cSweep();
+
+/** Table III (GPipe 24-layer transformer on P100 / PCIe). */
+hw::MicrobatchEfficiency gpipeP100();
+
+/** Fig. 2a/2b (minGPT on the HGX-2 validation node). */
+hw::MicrobatchEfficiency minGptHgx2();
+
+/**
+ * Case Studies I and II (Megatron 145B on 1024 A100s): the paper
+ * states a 25 % efficiency floor, ~31 % at microbatch 16 and up to
+ * ~80 % when TP keeps the microbatch large.
+ */
+hw::MicrobatchEfficiency caseStudy1();
+
+/** Case Study III (GLaM on 3072 H100s, 8-bit). */
+hw::MicrobatchEfficiency caseStudy3();
+
+/** Default evaluator options used by the validation benches (R=1). */
+core::ModelOptions validationOptions();
+
+/**
+ * validationOptions() plus the NVSwitch intra-node topology
+ * override: NVSwitch fabrics sustain both ring directions at full
+ * rate, halving the effective all-reduce factor to (N-1)/N for the
+ * @p intra_ring_size accelerators inside a node.  Used by every
+ * experiment on NVSwitch systems (HGX-2, Selene-like A100/H100
+ * nodes); PCIe systems (GPipe, Table III) keep the unidirectional
+ * default.
+ */
+core::ModelOptions nvswitchOptions(std::int64_t intra_ring_size = 8);
+
+/**
+ * Options for the Case Study I/II explorations: nvswitchOptions plus
+ * a bubble-overlap ratio R = 0.1.
+ *
+ * The case studies pair the microbatch rule ub = B / (N_DP N_PP)
+ * (so N_ub = N_PP) with moderate bubble costs (Fig. 3 shows a
+ * negligible bubble at PP_inter = 2; Sec. VI-C reports PP only
+ * slightly slower than DP at PP_inter = 128).  Under naive
+ * pipelining (R = 1) N_ub = N_PP would make the bubble as large as
+ * the useful work itself, contradicting those numbers, so the
+ * deployed schedule must overlap bubbles aggressively — exactly what
+ * the paper's R knob models.  R = 0.1 reproduces the paper's
+ * 18-vs-21-day DP/PP gap (EXPERIMENTS.md).
+ */
+core::ModelOptions caseStudyOptions();
+
+} // namespace calibrations
+} // namespace validate
+} // namespace amped
+
+#endif // AMPED_VALIDATE_CALIBRATIONS_HPP

@@ -1,0 +1,52 @@
+#include "reference_data.hpp"
+
+namespace amped {
+namespace validate {
+
+std::vector<Table2Row>
+table2Rows()
+{
+    // TP/PP/DP, AMPeD and published TFLOP/s/GPU, error %: verbatim
+    // from the paper's Table II.  Batch sizes follow Megatron-LM
+    // Table 1; microbatch sizes are the small per-GPU microbatches
+    // Megatron uses at scale (DESIGN.md Sec. 3).
+    return {
+        {"145B", 8, 8, 24, 2304.0, 1.0, 147.0, 148.0, 0.6},
+        {"310B", 8, 16, 12, 2160.0, 1.0, 162.0, 155.0, 4.5},
+        {"530B", 8, 35, 9, 2520.0, 1.0, 148.6, 163.0, 8.8},
+        {"1T", 8, 64, 6, 3072.0, 1.0, 144.3, 163.0, 11.47},
+    };
+}
+
+std::vector<Table3Row>
+table3Rows()
+{
+    return {
+        {2, 1.0, 1.0},
+        {4, 1.8, 1.84},
+        {8, 3.3, 3.19},
+    };
+}
+
+std::vector<Fig2cPoint>
+fig2cPoints()
+{
+    // Published values reconstructed (the paper shows this series
+    // only as a plot): pipeline-only 175B training saturates in the
+    // 115-130 TFLOP/s/GPU band, and the paper states the AMPeD error
+    // is ~11 % at microbatch 12 converging to ~2 % at 60
+    // (interpolated in between).  The reconstruction anchors the
+    // published series to those error statements on top of the known
+    // saturating shape.
+    return {
+        {12.0, 115.0, 11.0},
+        {18.0, 122.0, 9.0},
+        {24.0, 124.0, 7.0},
+        {36.0, 127.0, 5.0},
+        {48.0, 127.5, 3.0},
+        {60.0, 128.0, 2.0},
+    };
+}
+
+} // namespace validate
+} // namespace amped

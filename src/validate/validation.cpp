@@ -1,0 +1,56 @@
+#include "validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace amped {
+namespace validate {
+
+double
+ValidationRow::errorPercent() const
+{
+    require(reference != 0.0, "ValidationRow '", label,
+            "': zero reference value");
+    return (predicted - reference) / std::fabs(reference) * 100.0;
+}
+
+ValidationRow
+makeRow(std::string label, double predicted, double reference)
+{
+    return ValidationRow{std::move(label), predicted, reference};
+}
+
+double
+maxAbsErrorPercent(const std::vector<ValidationRow> &rows)
+{
+    double worst = 0.0;
+    for (const auto &row : rows)
+        worst = std::max(worst, std::fabs(row.errorPercent()));
+    return worst;
+}
+
+std::string
+validationTable(const std::vector<ValidationRow> &rows,
+                const std::string &value_header)
+{
+    TextTable table({"case", value_header + " (model)",
+                     value_header + " (reference)", "error (%)"});
+    for (const auto &row : rows) {
+        table.addRow({row.label, units::formatFixed(row.predicted, 2),
+                      units::formatFixed(row.reference, 2),
+                      units::formatFixed(row.errorPercent(), 2)});
+    }
+    std::ostringstream oss;
+    table.print(oss);
+    oss << "max |error|: "
+        << units::formatFixed(maxAbsErrorPercent(rows), 2) << " %\n";
+    return oss.str();
+}
+
+} // namespace validate
+} // namespace amped

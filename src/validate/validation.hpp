@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Validation-report helpers: model-vs-reference rows, error
+ * computation, and the "max observed error" summary the paper
+ * reports (<= 12 %).
+ */
+
+#ifndef AMPED_VALIDATE_VALIDATION_HPP
+#define AMPED_VALIDATE_VALIDATION_HPP
+
+#include <string>
+#include <vector>
+
+namespace amped {
+namespace validate {
+
+/** One predicted-vs-reference comparison. */
+struct ValidationRow
+{
+    std::string label;      ///< What is being compared.
+    double predicted = 0.0; ///< Our model's value.
+    double reference = 0.0; ///< Published / simulated value.
+
+    /** Signed error (predicted - reference) / reference * 100. */
+    double errorPercent() const;
+};
+
+/** Builds a row (convenience). */
+ValidationRow makeRow(std::string label, double predicted,
+                      double reference);
+
+/** Largest |error| (%) over all rows; 0 for an empty set. */
+double maxAbsErrorPercent(const std::vector<ValidationRow> &rows);
+
+/**
+ * Renders rows as an aligned table with a max-error footer line,
+ * mirroring the paper's "maximal error of 12%" summaries.
+ *
+ * @param value_header Column title for the compared quantity
+ *        ("TFLOP/s/GPU", "normalized time", ...).
+ */
+std::string validationTable(const std::vector<ValidationRow> &rows,
+                            const std::string &value_header);
+
+} // namespace validate
+} // namespace amped
+
+#endif // AMPED_VALIDATE_VALIDATION_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the error machinery: UserError/fatal/require semantics
+ * and the panic assertion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace amped {
+namespace {
+
+TEST(ErrorTest, FatalThrowsUserError)
+{
+    EXPECT_THROW(fatal("bad value ", 42), UserError);
+}
+
+TEST(ErrorTest, FatalMessageConcatenatesParts)
+{
+    try {
+        fatal("alpha ", 1, " beta ", 2.5);
+        FAIL() << "fatal did not throw";
+    } catch (const UserError &e) {
+        EXPECT_STREQ(e.what(), "alpha 1 beta 2.5");
+    }
+}
+
+TEST(ErrorTest, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(require(true, "never shown"));
+}
+
+TEST(ErrorTest, RequireThrowsOnFalse)
+{
+    EXPECT_THROW(require(false, "condition failed"), UserError);
+}
+
+TEST(ErrorTest, RequireMessageIsPreserved)
+{
+    try {
+        require(1 > 2, "one is not greater than ", 2);
+        FAIL() << "require did not throw";
+    } catch (const UserError &e) {
+        EXPECT_STREQ(e.what(), "one is not greater than 2");
+    }
+}
+
+TEST(ErrorTest, UserErrorIsRuntimeError)
+{
+    // Callers may catch std::runtime_error generically.
+    EXPECT_THROW(fatal("generic"), std::runtime_error);
+}
+
+TEST(ErrorDeathTest, AssertAbortsOnViolation)
+{
+    EXPECT_DEATH(
+        { AMPED_ASSERT(false, "internal invariant broken"); },
+        "internal invariant broken");
+}
+
+TEST(ErrorTest, AssertPassesOnTrue)
+{
+    AMPED_ASSERT(true, "not triggered");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace amped

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the key = value configuration reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/keyval.hpp"
+
+namespace amped {
+namespace {
+
+TEST(KeyValueTest, ParsesBasicDocument)
+{
+    const auto config = KeyValueConfig::fromString(
+        "# comment line\n"
+        "name = my-model   # trailing comment\n"
+        "layers=48\n"
+        "\n"
+        "  hidden  =  7168  \n");
+    EXPECT_TRUE(config.has("name"));
+    EXPECT_EQ(config.getString("name"), "my-model");
+    EXPECT_EQ(config.getInt("layers"), 48);
+    EXPECT_DOUBLE_EQ(config.getDouble("hidden"), 7168.0);
+    EXPECT_FALSE(config.has("missing"));
+}
+
+TEST(KeyValueTest, DefaultsForMissingKeys)
+{
+    const auto config = KeyValueConfig::fromString("a = 1\n");
+    EXPECT_EQ(config.getString("b", "fallback"), "fallback");
+    EXPECT_DOUBLE_EQ(config.getDouble("b", 2.5), 2.5);
+    EXPECT_EQ(config.getInt("b", 7), 7);
+    // Present keys ignore the fallback.
+    EXPECT_EQ(config.getInt("a", 99), 1);
+}
+
+TEST(KeyValueTest, MissingRequiredKeysThrow)
+{
+    const auto config = KeyValueConfig::fromString("");
+    EXPECT_THROW(config.getString("x"), UserError);
+    EXPECT_THROW(config.getDouble("x"), UserError);
+    EXPECT_THROW(config.getInt("x"), UserError);
+}
+
+TEST(KeyValueTest, MalformedValuesThrow)
+{
+    const auto config =
+        KeyValueConfig::fromString("n = not-a-number\n");
+    EXPECT_THROW(config.getDouble("n"), UserError);
+    EXPECT_THROW(config.getInt("n"), UserError);
+}
+
+TEST(KeyValueTest, MalformedLinesThrow)
+{
+    EXPECT_THROW(KeyValueConfig::fromString("no equals sign\n"),
+                 UserError);
+    EXPECT_THROW(KeyValueConfig::fromString(" = value\n"), UserError);
+    EXPECT_THROW(KeyValueConfig::fromString("a = 1\na = 2\n"),
+                 UserError);
+}
+
+TEST(KeyValueTest, ScientificNotationDoubles)
+{
+    const auto config =
+        KeyValueConfig::fromString("tokens = 300e9\n");
+    EXPECT_DOUBLE_EQ(config.getDouble("tokens"), 300e9);
+}
+
+TEST(KeyValueTest, RequireOnlyCatchesTypos)
+{
+    const auto config =
+        KeyValueConfig::fromString("layes = 48\n"); // typo
+    try {
+        config.requireOnly({"layers", "hidden"});
+        FAIL() << "no exception";
+    } catch (const UserError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("layes"), std::string::npos);
+        EXPECT_NE(what.find("layers"), std::string::npos);
+    }
+    EXPECT_NO_THROW(config.requireOnly({"layes"}));
+}
+
+TEST(KeyValueTest, MissingFileThrows)
+{
+    EXPECT_THROW(KeyValueConfig::fromFile("/nonexistent/path.cfg"),
+                 UserError);
+}
+
+TEST(KeyValueTest, KeysAreSorted)
+{
+    const auto config =
+        KeyValueConfig::fromString("b = 2\na = 1\nc = 3\n");
+    EXPECT_EQ(config.keys(),
+              (std::vector<std::string>{"a", "b", "c"}));
+}
+
+} // namespace
+} // namespace amped

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the inform/warn status-message helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace amped {
+namespace log {
+namespace {
+
+/** Captures std::cerr for the scope of a test. */
+class CerrCapture
+{
+  public:
+    CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+    ~CerrCapture() { std::cerr.rdbuf(old_); }
+    std::string text() const { return buffer_.str(); }
+
+  private:
+    std::ostringstream buffer_;
+    std::streambuf *old_;
+};
+
+TEST(LogTest, InformAndWarnArePrefixed)
+{
+    CerrCapture capture;
+    setEnabled(true);
+    inform("loaded ", 3, " presets");
+    warn("efficiency clamped at floor ", 0.25);
+    EXPECT_NE(capture.text().find("info: loaded 3 presets"),
+              std::string::npos);
+    EXPECT_NE(capture.text().find(
+                  "warn: efficiency clamped at floor 0.25"),
+              std::string::npos);
+}
+
+TEST(LogTest, DisablingSilencesOutput)
+{
+    CerrCapture capture;
+    const bool previous = setEnabled(false);
+    inform("hidden");
+    warn("also hidden");
+    EXPECT_TRUE(capture.text().empty());
+    setEnabled(previous);
+}
+
+TEST(LogTest, SilencerRestoresState)
+{
+    setEnabled(true);
+    {
+        Silencer silencer;
+        EXPECT_FALSE(enabled());
+        CerrCapture capture;
+        inform("silenced");
+        EXPECT_TRUE(capture.text().empty());
+    }
+    EXPECT_TRUE(enabled());
+}
+
+TEST(LogTest, SetEnabledReturnsPreviousState)
+{
+    setEnabled(true);
+    EXPECT_TRUE(setEnabled(false));
+    EXPECT_FALSE(setEnabled(true));
+}
+
+} // namespace
+} // namespace log
+} // namespace amped

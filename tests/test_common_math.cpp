@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for math helpers, including a parameterized property sweep
+ * of divisor enumeration and a recovery test for the two-parameter
+ * fitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace amped {
+namespace math {
+namespace {
+
+TEST(CeilDivTest, ExactAndInexact)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+    EXPECT_EQ(ceilDiv(1, 1), 1);
+}
+
+TEST(CeilDivTest, RejectsInvalidOperands)
+{
+    EXPECT_THROW(ceilDiv(-1, 5), UserError);
+    EXPECT_THROW(ceilDiv(5, 0), UserError);
+    EXPECT_THROW(ceilDiv(5, -2), UserError);
+}
+
+TEST(ApproxEqualTest, WithinAndBeyondTolerance)
+{
+    EXPECT_TRUE(approxEqual(1.0, 1.0));
+    EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(approxEqual(1.0, 1.1));
+    EXPECT_TRUE(approxEqual(1e12, 1e12 + 1.0, 1e-9));
+    EXPECT_TRUE(approxEqual(0.0, 1e-10));
+}
+
+TEST(RelativeErrorTest, BasicValues)
+{
+    EXPECT_DOUBLE_EQ(relativeError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(90.0, 100.0), 0.1);
+    EXPECT_THROW(relativeError(1.0, 0.0), UserError);
+}
+
+TEST(PowerOfTwoTest, Classification)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(-4));
+}
+
+TEST(DivisorsTest, KnownValues)
+{
+    EXPECT_EQ(divisorsOf(1), (std::vector<std::int64_t>{1}));
+    EXPECT_EQ(divisorsOf(12),
+              (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisorsOf(8), (std::vector<std::int64_t>{1, 2, 4, 8}));
+    EXPECT_THROW(divisorsOf(0), UserError);
+}
+
+/** Property sweep: every reported divisor divides n, in order. */
+class DivisorProperty : public ::testing::TestWithParam<std::int64_t>
+{};
+
+TEST_P(DivisorProperty, AllDivideAndSorted)
+{
+    const std::int64_t n = GetParam();
+    const auto divisors = divisorsOf(n);
+    ASSERT_FALSE(divisors.empty());
+    EXPECT_EQ(divisors.front(), 1);
+    EXPECT_EQ(divisors.back(), n);
+    for (std::size_t i = 0; i < divisors.size(); ++i) {
+        EXPECT_EQ(n % divisors[i], 0) << "divisor " << divisors[i];
+        if (i > 0) {
+            EXPECT_LT(divisors[i - 1], divisors[i]);
+        }
+    }
+}
+
+TEST_P(DivisorProperty, FactorPairsMultiplyBack)
+{
+    const std::int64_t n = GetParam();
+    for (const auto &[a, b] : factorPairs(n))
+        EXPECT_EQ(a * b, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepSmallAndPow2, DivisorProperty,
+                         ::testing::Values(1, 2, 7, 8, 12, 16, 36, 128,
+                                           1024, 2520));
+
+TEST(FitTwoParamTest, RecoversHyperbolicSaturation)
+{
+    // Generate samples from eff(ub) = 0.85 ub / (12 + ub) and check
+    // the fitter recovers the parameters.
+    const double true_a = 0.85, true_b = 12.0;
+    std::vector<Sample> samples;
+    for (double ub : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+        samples.push_back({ub, true_a * ub / (true_b + ub)});
+
+    const auto model = [](double a, double b, double x) {
+        return a * x / (b + x);
+    };
+    const auto fit =
+        fitTwoParam(samples, model, {0.01, 1.0}, {0.01, 100.0});
+    EXPECT_NEAR(fit.a, true_a, 0.02);
+    EXPECT_NEAR(fit.b, true_b, 0.5);
+    EXPECT_LT(fit.sumSquaredError, 1e-4);
+}
+
+TEST(FitTwoParamTest, RecoversLinearModel)
+{
+    // y = a x + b is also a two-parameter model.
+    std::vector<Sample> samples;
+    for (double x : {0.0, 1.0, 2.0, 3.0, 4.0})
+        samples.push_back({x, 2.0 * x + 1.0});
+    const auto model = [](double a, double b, double x) {
+        return a * x + b;
+    };
+    const auto fit =
+        fitTwoParam(samples, model, {0.0, 5.0}, {0.0, 5.0});
+    EXPECT_NEAR(fit.a, 2.0, 0.01);
+    EXPECT_NEAR(fit.b, 1.0, 0.01);
+}
+
+TEST(FitTwoParamTest, RejectsBadArguments)
+{
+    const auto model = [](double, double, double) { return 0.0; };
+    EXPECT_THROW(fitTwoParam({}, model, {0, 1}, {0, 1}), UserError);
+    std::vector<Sample> one = {{1.0, 1.0}};
+    EXPECT_THROW(fitTwoParam(one, model, {1, 0}, {0, 1}), UserError);
+    EXPECT_THROW(fitTwoParam(one, model, {0, 1}, {0, 1}, 2), UserError);
+    EXPECT_THROW(fitTwoParam(one, model, {0, 1}, {0, 1}, 10, 0),
+                 UserError);
+}
+
+} // namespace
+} // namespace math
+} // namespace amped

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the text-table and CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace amped {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeadersAndRaggedRows)
+{
+    EXPECT_THROW(TextTable({}), UserError);
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), UserError);
+    EXPECT_THROW(table.addRow({"1", "2", "3"}), UserError);
+}
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer-name", "22"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name         value"), std::string::npos);
+    EXPECT_NE(out.find("longer-name  22"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTableTest, CsvOutputHasHeaderAndRows)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("has,comma"), "\"has,comma\"");
+    EXPECT_EQ(csvEscape("has\"quote"), "\"has\"\"quote\"");
+    EXPECT_EQ(csvEscape("has\nnewline"), "\"has\nnewline\"");
+}
+
+TEST(TextTableTest, CsvEscapesCells)
+{
+    TextTable table({"k"});
+    table.addRow({"v,w"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    EXPECT_EQ(oss.str(), "k\n\"v,w\"\n");
+}
+
+} // namespace
+} // namespace amped

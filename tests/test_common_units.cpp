@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for unit conversions and adaptive formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace amped {
+namespace units {
+namespace {
+
+TEST(UnitsTest, BandwidthConversions)
+{
+    EXPECT_DOUBLE_EQ(gigabytesPerSecond(1.0), 8e9);
+    EXPECT_DOUBLE_EQ(gigabitsPerSecond(100.0), 1e11);
+    // 300 GB/s NVLink2 = 2.4 Tbit/s.
+    EXPECT_DOUBLE_EQ(gigabytesPerSecond(300.0), 2.4e12);
+}
+
+TEST(UnitsTest, DurationFormatsPickAdaptiveUnit)
+{
+    EXPECT_EQ(formatDuration(5e-9), "5 ns");
+    EXPECT_EQ(formatDuration(5e-6), "5 us");
+    EXPECT_EQ(formatDuration(5e-3), "5 ms");
+    EXPECT_EQ(formatDuration(5.0), "5 s");
+    EXPECT_EQ(formatDuration(120.0), "2 min");
+    EXPECT_EQ(formatDuration(7200.0), "2 hours");
+    EXPECT_EQ(formatDuration(2.0 * day), "2 days");
+}
+
+TEST(UnitsTest, FlopsFormatsScaleCorrectly)
+{
+    EXPECT_EQ(formatFlops(312e12), "312.0 TFLOP/s");
+    EXPECT_EQ(formatFlops(1.5e15), "1.5 PFLOP/s");
+    EXPECT_EQ(formatFlops(2e9), "2.0 GFLOP/s");
+}
+
+TEST(UnitsTest, BandwidthFormats)
+{
+    EXPECT_EQ(formatBandwidth(2.4e12), "2.40 Tbit/s");
+    EXPECT_EQ(formatBandwidth(1e11), "100.00 Gbit/s");
+    EXPECT_EQ(formatBandwidth(5e6), "5.00 Mbit/s");
+}
+
+TEST(UnitsTest, CountFormats)
+{
+    EXPECT_EQ(formatCount(1.45e11), "145.0 G");
+    EXPECT_EQ(formatCount(1e12), "1.0 T");
+    EXPECT_EQ(formatCount(2500.0), "2.5 K");
+    EXPECT_EQ(formatCount(12.0), "12");
+}
+
+TEST(UnitsTest, FormatFixedControlsDecimals)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(3.14159, 0), "3");
+    EXPECT_EQ(formatFixed(-1.5, 1), "-1.5");
+}
+
+TEST(UnitsTest, DayConstantsAreConsistent)
+{
+    EXPECT_DOUBLE_EQ(day, 24.0 * hour);
+    EXPECT_DOUBLE_EQ(hour, 60.0 * minute);
+}
+
+} // namespace
+} // namespace units
+} // namespace amped

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the heterogeneous-pipeline extension: evaluation,
+ * bottleneck identification, and the layer-balancing optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/heterogeneous.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+
+namespace amped {
+namespace core {
+namespace {
+
+model::OpCounter
+counter()
+{
+    return model::OpCounter(model::presets::minGptPipeline());
+}
+
+net::LinkConfig
+hopLink()
+{
+    return net::LinkConfig{"hop", 2e-6, 2.4e12};
+}
+
+HeterogeneousStage
+stageOf(const hw::AcceleratorConfig &accel, std::int64_t layers)
+{
+    HeterogeneousStage stage;
+    stage.accelerator = accel;
+    stage.efficiency = hw::MicrobatchEfficiency(0.8, 8.0);
+    stage.numLayers = layers;
+    return stage;
+}
+
+TEST(HeterogeneousTest, HomogeneousStagesShareTimeEvenly)
+{
+    // 16 layers over 4 identical V100 stages.
+    std::vector<HeterogeneousStage> stages(
+        4, stageOf(hw::presets::v100Sxm3(), 4));
+    HeterogeneousPipelineModel model(counter(), stages, hopLink());
+    TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 1.0;
+    const auto result = model.evaluate(job);
+    ASSERT_EQ(result.stageTimes.size(), 4u);
+    for (double t : result.stageTimes)
+        EXPECT_NEAR(t, result.stageTimes[0], 1e-12);
+    EXPECT_GT(result.timePerBatch, 0.0);
+}
+
+TEST(HeterogeneousTest, SlowerDeviceBecomesBottleneck)
+{
+    // Stage 1 runs on a P100 (~6x slower than V100): even with the
+    // same layer count it dominates.
+    std::vector<HeterogeneousStage> stages = {
+        stageOf(hw::presets::v100Sxm3(), 8),
+        stageOf(hw::presets::p100Pcie(), 8),
+    };
+    HeterogeneousPipelineModel model(counter(), stages, hopLink());
+    TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 1.0;
+    const auto result = model.evaluate(job);
+    EXPECT_EQ(result.bottleneckStage, 1);
+    EXPECT_GT(result.stageTimes[1], 4.0 * result.stageTimes[0]);
+}
+
+TEST(HeterogeneousTest, MixedClusterBeatsAllSlowCluster)
+{
+    std::vector<HeterogeneousStage> slow(
+        4, stageOf(hw::presets::p100Pcie(), 4));
+    std::vector<HeterogeneousStage> mixed = {
+        stageOf(hw::presets::v100Sxm3(), 4),
+        stageOf(hw::presets::v100Sxm3(), 4),
+        stageOf(hw::presets::p100Pcie(), 4),
+        stageOf(hw::presets::p100Pcie(), 4),
+    };
+    TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 1.0;
+    const double t_slow =
+        HeterogeneousPipelineModel(counter(), slow, hopLink())
+            .evaluate(job)
+            .timePerBatch;
+    const double t_mixed =
+        HeterogeneousPipelineModel(counter(), mixed, hopLink())
+            .evaluate(job)
+            .timePerBatch;
+    EXPECT_LT(t_mixed, t_slow);
+}
+
+TEST(HeterogeneousTest, BalancerGivesFastDevicesMoreLayers)
+{
+    std::vector<HeterogeneousStage> stages = {
+        stageOf(hw::presets::v100Sxm3(), 0),
+        stageOf(hw::presets::p100Pcie(), 0),
+    };
+    const auto balanced = HeterogeneousPipelineModel::balanceLayers(
+        counter(), stages, 8.0);
+    ASSERT_EQ(balanced.size(), 2u);
+    EXPECT_EQ(balanced[0].numLayers + balanced[1].numLayers, 16);
+    // V100 is ~6x faster: it should carry clearly more layers.
+    EXPECT_GT(balanced[0].numLayers, balanced[1].numLayers);
+    EXPECT_GE(balanced[1].numLayers, 1);
+}
+
+TEST(HeterogeneousTest, BalancedSplitBeatsNaiveEvenSplit)
+{
+    std::vector<HeterogeneousStage> even = {
+        stageOf(hw::presets::v100Sxm3(), 8),
+        stageOf(hw::presets::p100Pcie(), 8),
+    };
+    auto balanced = HeterogeneousPipelineModel::balanceLayers(
+        counter(), even, 8.0);
+    TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 1.0;
+    const double t_even =
+        HeterogeneousPipelineModel(counter(), even, hopLink())
+            .evaluate(job)
+            .timePerBatch;
+    const double t_balanced =
+        HeterogeneousPipelineModel(counter(), balanced, hopLink())
+            .evaluate(job)
+            .timePerBatch;
+    EXPECT_LT(t_balanced, t_even);
+}
+
+TEST(HeterogeneousTest, BalancerHandlesHomogeneousStagesEvenly)
+{
+    std::vector<HeterogeneousStage> stages(
+        4, stageOf(hw::presets::v100Sxm3(), 0));
+    const auto balanced = HeterogeneousPipelineModel::balanceLayers(
+        counter(), stages, 8.0);
+    for (const auto &stage : balanced)
+        EXPECT_EQ(stage.numLayers, 4);
+}
+
+TEST(HeterogeneousTest, TpInsideAStageSpeedsItUp)
+{
+    auto narrow = stageOf(hw::presets::v100Sxm3(), 16);
+    auto wide = narrow;
+    wide.tpDegree = 8;
+    TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 1.0;
+    const double t_narrow =
+        HeterogeneousPipelineModel(counter(), {narrow}, hopLink())
+            .evaluate(job)
+            .timePerBatch;
+    const double t_wide =
+        HeterogeneousPipelineModel(counter(), {wide}, hopLink())
+            .evaluate(job)
+            .timePerBatch;
+    EXPECT_LT(t_wide, t_narrow);
+    EXPECT_GT(t_wide, t_narrow / 8.0); // all-reduce overhead
+}
+
+TEST(HeterogeneousTest, ValidatesConstruction)
+{
+    // Layer counts must sum to the model's layers.
+    std::vector<HeterogeneousStage> bad = {
+        stageOf(hw::presets::v100Sxm3(), 8),
+        stageOf(hw::presets::v100Sxm3(), 4),
+    };
+    EXPECT_THROW(
+        HeterogeneousPipelineModel(counter(), bad, hopLink()),
+        UserError);
+    EXPECT_THROW(
+        HeterogeneousPipelineModel(counter(), {}, hopLink()),
+        UserError);
+    std::vector<HeterogeneousStage> zero_layers = {
+        stageOf(hw::presets::v100Sxm3(), 16),
+        stageOf(hw::presets::v100Sxm3(), 0),
+    };
+    EXPECT_THROW(
+        HeterogeneousPipelineModel(counter(), zero_layers, hopLink()),
+        UserError);
+}
+
+} // namespace
+} // namespace core
+} // namespace amped

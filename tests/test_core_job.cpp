@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for TrainingJob batch-count derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/training_job.hpp"
+
+namespace amped {
+namespace core {
+namespace {
+
+TEST(TrainingJobTest, NumBatchesFromTokenBudget)
+{
+    TrainingJob job;
+    job.batchSize = 1024.0;
+    job.totalTrainingTokens = 300e9;
+    // 300e9 / (1024 * 2048).
+    EXPECT_NEAR(job.numBatches(2048), 143051.15, 0.5);
+}
+
+TEST(TrainingJobTest, OverrideWins)
+{
+    TrainingJob job;
+    job.batchSize = 1024.0;
+    job.totalTrainingTokens = 300e9;
+    job.numBatchesOverride = 42.0;
+    EXPECT_DOUBLE_EQ(job.numBatches(2048), 42.0);
+}
+
+TEST(TrainingJobTest, ValidateRejectsBadFields)
+{
+    TrainingJob job;
+    job.batchSize = 0.0;
+    EXPECT_THROW(job.validate(), UserError);
+    job.batchSize = 16.0;
+    job.totalTrainingTokens = 0.0;
+    job.numBatchesOverride = 0.0;
+    EXPECT_THROW(job.validate(), UserError);
+    job.numBatchesOverride = 10.0;
+    EXPECT_NO_THROW(job.validate());
+}
+
+TEST(TrainingJobTest, RejectsBadSequenceLength)
+{
+    TrainingJob job;
+    job.batchSize = 16.0;
+    EXPECT_THROW(job.numBatches(0), UserError);
+}
+
+} // namespace
+} // namespace core
+} // namespace amped

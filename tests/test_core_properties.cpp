@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Property tests of the evaluator over the *entire* mapping space of
+ * a system: invariants that must hold for every valid mapping, every
+ * batch size, and randomized model/system parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/amped_model.hpp"
+#include "hw/presets.hpp"
+#include "mapping/parallelism.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace core {
+namespace {
+
+net::SystemConfig
+propertySystem()
+{
+    net::SystemConfig sys;
+    sys.name = "prop-8x4";
+    sys.numNodes = 8;
+    sys.acceleratorsPerNode = 4;
+    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
+    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.nicsPerNode = 4;
+    return sys;
+}
+
+AmpedModel
+propertyModel(net::SystemConfig sys = propertySystem())
+{
+    return AmpedModel(model::presets::tinyTest(),
+                      hw::presets::tinyTest(),
+                      hw::MicrobatchEfficiency(0.8, 4.0),
+                      std::move(sys));
+}
+
+TrainingJob
+propertyJob(double batch)
+{
+    TrainingJob job;
+    job.batchSize = batch;
+    job.numBatchesOverride = 10.0;
+    return job;
+}
+
+/** Parameterized over every mapping of the 8x4 system. */
+class MappingInvariants
+    : public ::testing::TestWithParam<mapping::ParallelismConfig>
+{};
+
+TEST_P(MappingInvariants, BreakdownComponentsAreFiniteNonNegative)
+{
+    const auto result =
+        propertyModel().evaluate(GetParam(), propertyJob(512.0));
+    for (const auto &[label, seconds] : result.perBatch.phases()) {
+        EXPECT_GE(seconds, 0.0) << label;
+        EXPECT_TRUE(std::isfinite(seconds)) << label;
+    }
+    EXPECT_GT(result.timePerBatch, 0.0);
+    EXPECT_GT(result.achievedFlopsPerGpu, 0.0);
+    EXPECT_GT(result.efficiency, 0.0);
+    EXPECT_LE(result.efficiency, 1.0);
+}
+
+TEST_P(MappingInvariants, AchievedThroughputBelowEffectivePeak)
+{
+    const auto model = propertyModel();
+    const auto result =
+        model.evaluate(GetParam(), propertyJob(512.0));
+    // Model FLOPs (4x fwd incl. embeddings) can slightly exceed the
+    // time-charged FLOPs (embeddings are metric-only), so allow 5 %.
+    EXPECT_LT(result.achievedFlopsPerGpu,
+              1.05 * model.accelerator().peakMacFlops());
+}
+
+TEST_P(MappingInvariants, FasterLinksNeverSlowTraining)
+{
+    const auto &m = GetParam();
+    const auto base =
+        propertyModel().evaluate(m, propertyJob(512.0));
+
+    auto fast_sys = propertySystem();
+    fast_sys.intraLink.bandwidthBits *= 4.0;
+    fast_sys.interLink.bandwidthBits *= 4.0;
+    const auto fast =
+        propertyModel(fast_sys).evaluate(m, propertyJob(512.0));
+    EXPECT_LE(fast.timePerBatch, base.timePerBatch + 1e-15);
+}
+
+TEST_P(MappingInvariants, LargerBatchNeverLowersThroughput)
+{
+    // With a monotone eff(ub) and fixed mapping, tokens/s never
+    // drops when the batch grows.
+    const auto model = propertyModel();
+    const auto &m = GetParam();
+    const auto small = model.evaluate(m, propertyJob(512.0));
+    const auto large = model.evaluate(m, propertyJob(1024.0));
+    EXPECT_GE(large.tokensPerSecond,
+              small.tokensPerSecond * (1.0 - 1e-12));
+}
+
+TEST_P(MappingInvariants, MicrobatchRuleConsistency)
+{
+    const auto &m = GetParam();
+    const auto result =
+        propertyModel().evaluate(m, propertyJob(512.0));
+    // Default rule: ub * N_ub * DP == batch.
+    EXPECT_NEAR(result.microbatchSize * result.numMicrobatches *
+                    static_cast<double>(m.dp()),
+                512.0, 1e-6);
+    // N_ub = PP under the default rule.
+    EXPECT_DOUBLE_EQ(result.numMicrobatches,
+                     static_cast<double>(m.pp()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullMappingSpace, MappingInvariants,
+    ::testing::ValuesIn(
+        mapping::MappingSpace(propertySystem()).enumerate(4)),
+    [](const ::testing::TestParamInfo<mapping::ParallelismConfig>
+           &info) {
+        std::string name = info.param.toString();
+        std::string out;
+        for (char ch : name)
+            if (std::isalnum(static_cast<unsigned char>(ch)))
+                out += ch;
+        return out + "_" + std::to_string(info.index);
+    });
+
+TEST(RandomizedInvariants, RandomModelsAndSystemsStayConsistent)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        // Random small transformer.
+        const std::int64_t heads = rng.uniformInt(1, 8);
+        const std::int64_t head_dim = 8 * rng.uniformInt(1, 8);
+        model::TransformerConfig cfg = model::makeGptConfig(
+            "random", rng.uniformInt(1, 12), heads * head_dim, heads,
+            16 * rng.uniformInt(1, 8), 1000 * rng.uniformInt(1, 50));
+
+        // Random 2-tier system.
+        net::SystemConfig sys = propertySystem();
+        sys.numNodes = 1 << rng.uniformInt(0, 3);
+        sys.acceleratorsPerNode = 1 << rng.uniformInt(0, 3);
+        sys.nicsPerNode = sys.acceleratorsPerNode;
+        sys.intraLink.bandwidthBits =
+            rng.uniformReal(1e11, 5e12);
+        sys.interLink.bandwidthBits = rng.uniformReal(5e10, 1e12);
+
+        AmpedModel model(cfg, hw::presets::tinyTest(),
+                         hw::MicrobatchEfficiency(
+                             rng.uniformReal(0.3, 1.0),
+                             rng.uniformReal(0.5, 64.0)),
+                         sys);
+
+        // Random valid mapping.
+        mapping::MappingSpace space(sys);
+        const auto mappings = space.enumerate();
+        const auto &m = mappings[static_cast<std::size_t>(
+            rng.uniformInt(0,
+                           static_cast<std::int64_t>(mappings.size()) -
+                               1))];
+
+        TrainingJob job;
+        job.batchSize =
+            static_cast<double>(m.dp() * m.pp()) *
+            static_cast<double>(rng.uniformInt(1, 16));
+        job.numBatchesOverride = 5.0;
+
+        const auto result = model.evaluate(m, job);
+        EXPECT_TRUE(std::isfinite(result.timePerBatch)) << trial;
+        EXPECT_GT(result.timePerBatch, 0.0) << trial;
+        double sum = 0.0;
+        for (const auto &[label, seconds] : result.perBatch.phases()) {
+            EXPECT_GE(seconds, 0.0) << trial << " " << label;
+            sum += seconds;
+        }
+        EXPECT_NEAR(sum, result.timePerBatch,
+                    1e-9 * result.timePerBatch)
+            << trial;
+    }
+}
+
+TEST(RandomizedInvariants, SimulatorDeterminismAcrossRuns)
+{
+    // The deterministic RNG itself: same seed, same stream.
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+        EXPECT_DOUBLE_EQ(a.uniformReal(0.0, 1.0),
+                         b.uniformReal(0.0, 1.0));
+    }
+    Rng c(8);
+    bool any_different = false;
+    Rng a2(7);
+    for (int i = 0; i < 100; ++i) {
+        if (a2.uniformInt(0, 1000) != c.uniformInt(0, 1000))
+            any_different = true;
+    }
+    EXPECT_TRUE(any_different);
+}
+
+} // namespace
+} // namespace core
+} // namespace amped

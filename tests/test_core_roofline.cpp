@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the roofline baseline: it must be mapping-blind (that is
+ * its defining property) and always optimistic vs AMPeD.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/amped_model.hpp"
+#include "core/roofline_baseline.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace core {
+namespace {
+
+net::SystemConfig
+testSystem()
+{
+    net::SystemConfig sys;
+    sys.name = "rf-4x4";
+    sys.numNodes = 4;
+    sys.acceleratorsPerNode = 4;
+    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
+    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.nicsPerNode = 4;
+    return sys;
+}
+
+RooflineBaseline
+makeRoofline()
+{
+    return RooflineBaseline(
+        model::OpCounter(model::presets::tinyTest()),
+        hw::presets::tinyTest(), testSystem());
+}
+
+TEST(RooflineTest, ComputeTimeIsFlopsOverAggregatePeak)
+{
+    const auto rf = makeRoofline();
+    model::OpCounter counter(model::presets::tinyTest());
+    const double expected =
+        counter.modelFlopsPerBatch(64.0) /
+        (hw::presets::tinyTest().peakMacFlops() * 16.0);
+    EXPECT_DOUBLE_EQ(rf.computeTime(64.0), expected);
+}
+
+TEST(RooflineTest, MappingBlindWithinSameParallelismKinds)
+{
+    const auto rf = makeRoofline();
+    TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 1.0;
+    // Same kinds (TP+DP), different placement: identical estimate.
+    const double a = rf.timePerBatch(
+        mapping::makeMapping(4, 1, 1, 1, 1, 4), job);
+    const double b = rf.timePerBatch(
+        mapping::makeMapping(1, 1, 4, 4, 1, 1), job);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(RooflineTest, AlwaysOptimisticVsAmped)
+{
+    const auto rf = makeRoofline();
+    AmpedModel amped(model::presets::tinyTest(),
+                     hw::presets::tinyTest(),
+                     hw::MicrobatchEfficiency(0.8, 4.0), testSystem());
+    TrainingJob job;
+    job.batchSize = 256.0;
+    job.numBatchesOverride = 1.0;
+    for (const auto &m :
+         mapping::MappingSpace(testSystem()).enumerate(4)) {
+        const double roof = rf.timePerBatch(m, job);
+        const double full = amped.evaluate(m, job).timePerBatch;
+        EXPECT_LT(roof, full) << m.toString();
+    }
+}
+
+TEST(RooflineTest, CommunicationGrowsWithParallelKinds)
+{
+    const auto rf = makeRoofline();
+    const double none = rf.communicationTime(
+        mapping::makeMapping(4, 1, 1, 4, 1, 1), 64.0); // TP only
+    const double with_dp = rf.communicationTime(
+        mapping::makeMapping(4, 1, 1, 1, 1, 4), 64.0); // TP + DP
+    EXPECT_GT(with_dp, none);
+}
+
+} // namespace
+} // namespace core
+} // namespace amped

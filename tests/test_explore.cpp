@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the design-space exploration engine and the ablation
+ * harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "explore/ablation.hpp"
+#include "explore/explorer.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+
+namespace amped {
+namespace explore {
+namespace {
+
+net::SystemConfig
+testSystem()
+{
+    net::SystemConfig sys;
+    sys.name = "test-4x4";
+    sys.numNodes = 4;
+    sys.acceleratorsPerNode = 4;
+    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
+    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.nicsPerNode = 4;
+    return sys;
+}
+
+core::AmpedModel
+testModel()
+{
+    return core::AmpedModel(model::presets::tinyTest(),
+                            hw::presets::tinyTest(),
+                            hw::MicrobatchEfficiency(0.8, 4.0),
+                            testSystem());
+}
+
+core::TrainingJob
+testJob()
+{
+    core::TrainingJob job;
+    job.batchSize = 256.0;
+    job.numBatchesOverride = 10.0;
+    return job;
+}
+
+TEST(ExplorerTest, SweepAllEvaluatesEveryFeasibleMapping)
+{
+    Explorer explorer(testModel());
+    const auto result = explorer.sweepAll({256.0}, testJob());
+    // 4 = 2^2 -> 6 splits per tier, 36 total; PP capped at 4 layers
+    // filters some; batch 256 is large enough for all.
+    EXPECT_GT(result.entries.size(), 20u);
+    EXPECT_EQ(result.skipped, 0u);
+    for (const auto &entry : result.entries) {
+        EXPECT_GT(entry.result.timePerBatch, 0.0);
+        EXPECT_EQ(entry.batchSize, 256.0);
+    }
+}
+
+TEST(ExplorerTest, InfeasiblePointsAreSkippedNotFatal)
+{
+    Explorer explorer(testModel());
+    // Batch 4 is too small for mappings with DP * PP = 16.
+    const auto result = explorer.sweepAll({4.0}, testJob());
+    EXPECT_GT(result.skipped, 0u);
+    EXPECT_GT(result.entries.size(), 0u);
+}
+
+TEST(ExplorerTest, BestPicksMinimumTime)
+{
+    Explorer explorer(testModel());
+    auto result = explorer.sweepAll({256.0}, testJob());
+    const auto best = Explorer::best(result);
+    ASSERT_TRUE(best.has_value());
+    for (const auto &entry : result.entries)
+        EXPECT_LE(best->result.totalTime, entry.result.totalTime);
+    EXPECT_FALSE(Explorer::best(SweepResult{}).has_value());
+}
+
+TEST(ExplorerTest, SortOrdersAscending)
+{
+    Explorer explorer(testModel());
+    auto result = explorer.sweepAll({256.0}, testJob());
+    Explorer::sortByTime(result.entries);
+    for (std::size_t i = 1; i < result.entries.size(); ++i) {
+        EXPECT_LE(result.entries[i - 1].result.totalTime,
+                  result.entries[i].result.totalTime);
+    }
+}
+
+TEST(ExplorerTest, MultipleBatchSizesCrossProduct)
+{
+    Explorer explorer(testModel());
+    const std::vector<mapping::ParallelismConfig> mappings = {
+        mapping::makeMapping(4, 1, 1, 1, 1, 4),
+        mapping::makeMapping(1, 1, 4, 1, 1, 4),
+    };
+    const auto result =
+        explorer.sweep(mappings, {64.0, 128.0, 256.0}, testJob());
+    EXPECT_EQ(result.entries.size(), 6u);
+}
+
+TEST(ExplorerTest, TablesContainMappingsAndPhases)
+{
+    Explorer explorer(testModel());
+    auto result = explorer.sweepAll({256.0}, testJob());
+    Explorer::sortByTime(result.entries);
+    const std::string table = sweepTable(result.entries);
+    EXPECT_NE(table.find("mapping"), std::string::npos);
+    EXPECT_NE(table.find("TFLOP/s/GPU"), std::string::npos);
+
+    const std::string breakdown =
+        breakdownTable(result.entries.front().result);
+    EXPECT_NE(breakdown.find("compute-forward"), std::string::npos);
+    EXPECT_NE(breakdown.find("pipeline-bubble"), std::string::npos);
+    EXPECT_NE(breakdown.find("100.00 %"), std::string::npos);
+}
+
+TEST(ExplorerTest, SweepCsvIsMachineReadable)
+{
+    Explorer explorer(testModel());
+    auto result = explorer.sweepAll({256.0}, testJob());
+    Explorer::sortByTime(result.entries);
+    result.entries.resize(2);
+    const std::string csv = sweepCsv(result.entries);
+    // Header + 2 data rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+    EXPECT_NE(csv.find("mapping,tp,pp,dp,batch,microbatch"),
+              std::string::npos);
+    EXPECT_NE(csv.find("pipeline_bubble_seconds"),
+              std::string::npos);
+    // Mapping strings contain no comma, so no quoting is needed,
+    // and every row has the same column count as the header.
+    const auto columns = [](const std::string &line) {
+        return std::count(line.begin(), line.end(), ',');
+    };
+    std::istringstream lines(csv);
+    std::string header, row;
+    std::getline(lines, header);
+    while (std::getline(lines, row))
+        EXPECT_EQ(columns(row), columns(header));
+}
+
+TEST(ExplorerTest, MemoryScreeningDropsOversizedPoints)
+{
+    // A 175B model on a tiny 16-accelerator system: almost nothing
+    // fits in 80 GB per device.
+    net::SystemConfig sys = testSystem();
+    core::AmpedModel amped(model::presets::gpt3_175B(),
+                           hw::presets::a100(),
+                           hw::MicrobatchEfficiency(0.8, 4.0), sys);
+    Explorer explorer(amped);
+    core::TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 1.0;
+
+    const auto unscreened = explorer.sweepAll({64.0}, job);
+    explorer.setMemoryModel(core::MemoryModel(
+        model::OpCounter(model::presets::gpt3_175B()),
+        hw::presets::a100()));
+    const auto screened = explorer.sweepAll({64.0}, job);
+
+    EXPECT_EQ(unscreened.memorySkipped, 0u);
+    EXPECT_GT(screened.memorySkipped, 0u);
+    EXPECT_LT(screened.entries.size(), unscreened.entries.size());
+    // Every surviving point actually fits.
+    core::MemoryModel checker(
+        model::OpCounter(model::presets::gpt3_175B()),
+        hw::presets::a100());
+    for (const auto &entry : screened.entries) {
+        EXPECT_TRUE(checker.fits(entry.mapping, entry.batchSize,
+                                 entry.result.microbatchSize));
+    }
+
+    explorer.clearMemoryModel();
+    const auto cleared = explorer.sweepAll({64.0}, job);
+    EXPECT_EQ(cleared.memorySkipped, 0u);
+}
+
+TEST(AblationTest, BubbleOverlapSweepIsMonotonic)
+{
+    AblationRunner runner(model::presets::tinyTest(),
+                          hw::presets::tinyTest(),
+                          hw::MicrobatchEfficiency(0.8, 4.0),
+                          testSystem());
+    const auto m = mapping::makeMapping(1, 4, 1, 1, 2, 2); // PP = 8
+    const auto points =
+        runner.sweepBubbleOverlap({0.0, 0.5, 1.0}, m, testJob());
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_DOUBLE_EQ(points[0].result.perBatch.bubble, 0.0);
+    EXPECT_LT(points[1].result.perBatch.bubble,
+              points[2].result.perBatch.bubble);
+    EXPECT_EQ(points[1].label, "R=0.50");
+}
+
+TEST(AblationTest, ZeroOverheadSweepGrowsComm)
+{
+    AblationRunner runner(model::presets::tinyTest(),
+                          hw::presets::tinyTest(),
+                          hw::MicrobatchEfficiency(0.8, 4.0),
+                          testSystem());
+    const auto m = mapping::makeMapping(4, 1, 1, 1, 1, 4);
+    const auto points =
+        runner.sweepZeroOverhead({0.0, 1.0}, m, testJob());
+    EXPECT_LT(points[0].result.perBatch.communication(),
+              points[1].result.perBatch.communication());
+}
+
+TEST(AblationTest, GradAllReduceComparisonHasTwoPoints)
+{
+    AblationRunner runner(model::presets::tinyTest(),
+                          hw::presets::tinyTest(),
+                          hw::MicrobatchEfficiency(0.8, 4.0),
+                          testSystem());
+    const auto m = mapping::makeMapping(1, 1, 4, 1, 1, 4);
+    const auto points = runner.compareGradAllReduce(m, testJob());
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].label, "hierarchical-allreduce");
+    // Flat all-reduce over the slow inter tier is slower.
+    EXPECT_LT(points[0].result.timePerBatch,
+              points[1].result.timePerBatch);
+}
+
+TEST(AblationTest, EfficiencyFloorChangesSmallMicrobatchPoints)
+{
+    AblationRunner runner(model::presets::tinyTest(),
+                          hw::presets::tinyTest(),
+                          hw::MicrobatchEfficiency(0.8, 64.0),
+                          testSystem());
+    // DP*PP = 16 with batch 64 -> ub = 4: raw eff ~ 0.047.
+    const auto m = mapping::makeMapping(1, 1, 4, 1, 1, 4);
+    core::TrainingJob job = testJob();
+    job.batchSize = 64.0;
+    const auto points =
+        runner.sweepEfficiencyFloor({0.0, 0.25}, m, job);
+    ASSERT_EQ(points.size(), 2u);
+    // A floor of 25 % speeds up the floored configuration.
+    EXPECT_GT(points[0].result.timePerBatch,
+              points[1].result.timePerBatch);
+}
+
+} // namespace
+} // namespace explore
+} // namespace amped

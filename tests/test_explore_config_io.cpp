@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the configuration-file loaders: model, accelerator and
+ * system construction from key = value documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "explore/config_io.hpp"
+
+namespace amped {
+namespace explore {
+namespace {
+
+TEST(ConfigIoTest, ModelFromDocument)
+{
+    const auto config = KeyValueConfig::fromString(
+        "name = doc-model\n"
+        "layers = 24\n"
+        "hidden = 1024\n"
+        "heads = 16\n"
+        "seq = 2048\n"
+        "vocab = 50000\n");
+    const auto model = modelFromConfig(config);
+    EXPECT_EQ(model.name, "doc-model");
+    EXPECT_EQ(model.numLayers, 24);
+    EXPECT_EQ(model.ffnHiddenSize, 4096); // default 4 x hidden
+    EXPECT_FALSE(model.moe.enabled());
+}
+
+TEST(ConfigIoTest, MoeModelFromDocument)
+{
+    const auto config = KeyValueConfig::fromString(
+        "layers = 8\nhidden = 512\nheads = 8\nseq = 128\n"
+        "vocab = 1000\nffn = 2048\nexperts = 16\n"
+        "experts-per-token = 1\nmoe-interval = 4\n");
+    const auto model = modelFromConfig(config);
+    EXPECT_EQ(model.moe.numExperts, 16);
+    EXPECT_EQ(model.moe.expertsPerToken, 1);
+    EXPECT_EQ(model.numMoeLayers(), 2); // layers 3 and 7
+}
+
+TEST(ConfigIoTest, ModelRejectsTyposAndInvalid)
+{
+    EXPECT_THROW(modelFromConfig(KeyValueConfig::fromString(
+                     "layres = 8\nhidden = 512\nheads = 8\n"
+                     "seq = 128\nvocab = 1000\n")),
+                 UserError); // typo "layres"
+    EXPECT_THROW(modelFromConfig(KeyValueConfig::fromString(
+                     "layers = 8\nhidden = 500\nheads = 7\n"
+                     "seq = 128\nvocab = 1000\n")),
+                 UserError); // heads do not divide hidden
+}
+
+TEST(ConfigIoTest, AcceleratorFromDocument)
+{
+    const auto config = KeyValueConfig::fromString(
+        "name = doc-accel\n"
+        "frequency-ghz = 1.41\n"
+        "cores = 108\n"
+        "mac-units = 4\n"
+        "mac-width = 512\n"
+        "nonlin-units = 192\n"
+        "nonlin-width = 4\n"
+        "memory-gb = 80\n"
+        "offchip-gbits = 2400\n");
+    const auto accel = acceleratorFromConfig(config);
+    EXPECT_EQ(accel.name, "doc-accel");
+    // Reconstructs the A100's 312 TFLOP/s peak.
+    EXPECT_NEAR(accel.peakMacFlops() / 1e12, 312.0, 1.0);
+    EXPECT_DOUBLE_EQ(accel.precisions.parameterBits, 16.0); // default
+    EXPECT_DOUBLE_EQ(accel.offChipBandwidthBits, 2.4e12);
+}
+
+TEST(ConfigIoTest, AcceleratorPrecisionOverrides)
+{
+    const auto config = KeyValueConfig::fromString(
+        "frequency-ghz = 1.8\ncores = 132\nmac-units = 4\n"
+        "mac-width = 1024\nnonlin-units = 320\nnonlin-width = 4\n"
+        "memory-gb = 80\noffchip-gbits = 3600\n"
+        "precision-param = 8\nprecision-act = 8\n");
+    const auto accel = acceleratorFromConfig(config);
+    EXPECT_DOUBLE_EQ(accel.precisions.parameterBits, 8.0);
+    EXPECT_DOUBLE_EQ(accel.precisions.activationBits, 8.0);
+    EXPECT_DOUBLE_EQ(accel.precisions.nonlinearBits, 16.0);
+}
+
+TEST(ConfigIoTest, SystemFromDocument)
+{
+    const auto config = KeyValueConfig::fromString(
+        "name = doc-sys\n"
+        "nodes = 16\n"
+        "per-node = 4\n"
+        "intra-gbits = 2400\n"
+        "inter-gbits = 200\n"
+        "pooled-fabric = 1\n");
+    const auto sys = systemFromConfig(config);
+    EXPECT_EQ(sys.totalAccelerators(), 64);
+    EXPECT_EQ(sys.nicsPerNode, 4); // defaults to per-node
+    EXPECT_TRUE(sys.interIsPooledFabric);
+    EXPECT_DOUBLE_EQ(sys.intraBandwidthBits(), 2.4e12);
+    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidthBits(), 2e11);
+    // Default latencies applied.
+    EXPECT_DOUBLE_EQ(sys.interLatencySeconds(), 1.2e-6);
+}
+
+TEST(ConfigIoTest, SystemRejectsMissingBandwidth)
+{
+    EXPECT_THROW(systemFromConfig(KeyValueConfig::fromString(
+                     "nodes = 4\nper-node = 4\nintra-gbits = 100\n")),
+                 UserError); // no inter-gbits
+}
+
+} // namespace
+} // namespace explore
+} // namespace amped

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the name-based preset registries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "explore/registry.hpp"
+
+namespace amped {
+namespace explore {
+namespace {
+
+TEST(RegistryTest, EveryListedModelResolves)
+{
+    for (const auto &name : modelNames()) {
+        const auto cfg = modelByName(name);
+        EXPECT_NO_THROW(cfg.validate()) << name;
+    }
+}
+
+TEST(RegistryTest, ModelLookupIsCaseInsensitive)
+{
+    EXPECT_EQ(modelByName("GPT3").name, modelByName("gpt3").name);
+    EXPECT_EQ(modelByName("145B").name, "Megatron 145B");
+    EXPECT_EQ(modelByName("glam").moe.numExperts, 64);
+}
+
+TEST(RegistryTest, EveryListedAcceleratorResolves)
+{
+    for (const auto &name : acceleratorNames()) {
+        const auto cfg = acceleratorByName(name);
+        EXPECT_NO_THROW(cfg.validate()) << name;
+    }
+    EXPECT_NEAR(acceleratorByName("A100").peakMacFlops() / 1e12,
+                312.0, 1.0);
+}
+
+TEST(RegistryTest, EveryListedInterconnectResolves)
+{
+    for (const auto &name : interconnectNames()) {
+        const auto link = interconnectByName(name);
+        EXPECT_NO_THROW(link.validate()) << name;
+    }
+    EXPECT_DOUBLE_EQ(interconnectByName("hdr").bandwidthBits, 2e11);
+}
+
+TEST(RegistryTest, UnknownNamesListAlternatives)
+{
+    try {
+        modelByName("gpt5");
+        FAIL() << "no exception";
+    } catch (const UserError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("gpt5"), std::string::npos);
+        EXPECT_NE(what.find("145b"), std::string::npos);
+    }
+    EXPECT_THROW(acceleratorByName("tpu"), UserError);
+    EXPECT_THROW(interconnectByName("ethernet"), UserError);
+}
+
+} // namespace
+} // namespace explore
+} // namespace amped

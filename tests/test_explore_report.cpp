@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the markdown report generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "explore/report.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace explore {
+namespace {
+
+core::AmpedModel
+reportModel()
+{
+    net::SystemConfig sys;
+    sys.name = "report-4x4";
+    sys.numNodes = 4;
+    sys.acceleratorsPerNode = 4;
+    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
+    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.nicsPerNode = 4;
+    return core::AmpedModel(model::presets::minGpt85M(),
+                            hw::presets::v100Sxm3(),
+                            hw::MicrobatchEfficiency(0.8, 8.0), sys);
+}
+
+core::TrainingJob
+reportJob()
+{
+    core::TrainingJob job;
+    job.batchSize = 256.0;
+    job.numBatchesOverride = 100.0;
+    return job;
+}
+
+TEST(ReportTest, ContainsEverySection)
+{
+    const auto report = generateReport(
+        reportModel(), mapping::makeMapping(4, 1, 1, 1, 1, 4),
+        reportJob());
+    for (const char *needle :
+         {"# minGPT-85M on report-4x4", "## Configuration",
+          "## Prediction", "## Per-batch breakdown",
+          "## Memory per accelerator", "## Energy",
+          "compute-forward", "pipeline-bubble",
+          "| training time |", "| optimizer state |",
+          "| training energy |"}) {
+        EXPECT_NE(report.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(ReportTest, CustomTitleAndZeroStage)
+{
+    ReportOptions options;
+    options.title = "capacity plan Q3";
+    options.memory.zeroStage = core::ZeroStage::gradients;
+    const auto report = generateReport(
+        reportModel(), mapping::makeMapping(4, 1, 1, 1, 1, 4),
+        reportJob(), options);
+    EXPECT_NE(report.find("# capacity plan Q3"), std::string::npos);
+    EXPECT_NE(report.find("(ZeRO-2)"), std::string::npos);
+}
+
+TEST(ReportTest, FitsVerdictIsStated)
+{
+    // minGPT on a V100 fits comfortably.
+    const auto report = generateReport(
+        reportModel(), mapping::makeMapping(4, 1, 1, 1, 1, 4),
+        reportJob());
+    EXPECT_NE(report.find("(fits)"), std::string::npos);
+    EXPECT_EQ(report.find("DOES NOT FIT"), std::string::npos);
+}
+
+TEST(ReportTest, PowerSpecFlowsIntoEnergySection)
+{
+    ReportOptions options;
+    options.power.tdpWatts = 250.0; // V100 TDP
+    const auto report = generateReport(
+        reportModel(), mapping::makeMapping(4, 1, 1, 1, 1, 4),
+        reportJob(), options);
+    EXPECT_NE(report.find("TDP 250 W"), std::string::npos);
+}
+
+} // namespace
+} // namespace explore
+} // namespace amped

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the microbatch-efficiency curve and its fitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/efficiency.hpp"
+
+namespace amped {
+namespace hw {
+namespace {
+
+TEST(EfficiencyTest, HyperbolicFormExactValues)
+{
+    MicrobatchEfficiency eff(0.8, 8.0);
+    EXPECT_DOUBLE_EQ(eff(8.0), 0.4);   // a/2 at ub = b
+    EXPECT_DOUBLE_EQ(eff(24.0), 0.6);  // 0.8 * 24/32
+    EXPECT_NEAR(eff(8000.0), 0.8, 1e-3); // asymptote
+}
+
+TEST(EfficiencyTest, MonotonicallyIncreasingWithoutDecay)
+{
+    MicrobatchEfficiency eff(0.9, 16.0);
+    double previous = 0.0;
+    for (double ub = 1.0; ub <= 4096.0; ub *= 2.0) {
+        const double value = eff(ub);
+        EXPECT_GE(value, previous);
+        previous = value;
+    }
+}
+
+TEST(EfficiencyTest, FloorClampsSmallMicrobatches)
+{
+    MicrobatchEfficiency eff(0.9, 30.0, 0.25);
+    EXPECT_DOUBLE_EQ(eff(1.0), 0.25);  // raw value 0.029 -> floor
+    EXPECT_DOUBLE_EQ(eff(4.0), 0.25);
+    EXPECT_GT(eff(64.0), 0.25);
+}
+
+TEST(EfficiencyTest, NeverExceedsOne)
+{
+    MicrobatchEfficiency eff(1.0, 0.001);
+    EXPECT_LE(eff(1e9), 1.0);
+}
+
+TEST(EfficiencyTest, DecayReducesBeyondCriticalSize)
+{
+    MicrobatchEfficiency eff(0.9, 4.0);
+    eff.setDecay(64.0, 0.001);
+    const double at_critical = eff(64.0);
+    EXPECT_LT(eff(128.0), at_critical);
+    // Decay never drops below the floor / epsilon clamp.
+    EXPECT_GT(eff(10000.0), 0.0);
+}
+
+TEST(EfficiencyTest, RejectsBadParameters)
+{
+    EXPECT_THROW(MicrobatchEfficiency(0.0, 1.0), UserError);
+    EXPECT_THROW(MicrobatchEfficiency(1.5, 1.0), UserError);
+    EXPECT_THROW(MicrobatchEfficiency(0.5, 0.0), UserError);
+    EXPECT_THROW(MicrobatchEfficiency(0.5, 1.0, 0.6), UserError);
+    EXPECT_THROW(MicrobatchEfficiency(0.5, 1.0, -0.1), UserError);
+    MicrobatchEfficiency eff(0.5, 1.0);
+    EXPECT_THROW(eff(0.0), UserError);
+    EXPECT_THROW(eff.setDecay(0.0, 0.1), UserError);
+    EXPECT_THROW(eff.setDecay(10.0, -0.1), UserError);
+}
+
+TEST(EfficiencyFitterTest, RecoversKnownCurve)
+{
+    EfficiencyFitter fitter;
+    const MicrobatchEfficiency truth(0.85, 12.0);
+    for (double ub : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+        fitter.addSample(ub, truth(ub));
+    const auto fitted = fitter.fit();
+    EXPECT_NEAR(fitted.a(), 0.85, 0.02);
+    EXPECT_NEAR(fitted.b(), 12.0, 0.5);
+    EXPECT_LT(fitter.lastResidual(), 1e-4);
+}
+
+TEST(EfficiencyFitterTest, FitWithNoiseStaysClose)
+{
+    EfficiencyFitter fitter;
+    const MicrobatchEfficiency truth(0.7, 6.0);
+    // Deterministic +-2 % perturbation.
+    double sign = 1.0;
+    for (double ub : {1.0, 3.0, 6.0, 12.0, 24.0, 48.0, 96.0}) {
+        fitter.addSample(ub, truth(ub) * (1.0 + sign * 0.02));
+        sign = -sign;
+    }
+    const auto fitted = fitter.fit();
+    EXPECT_NEAR(fitted.a(), 0.7, 0.07);
+    EXPECT_NEAR(fitted.b(), 6.0, 1.5);
+}
+
+TEST(EfficiencyFitterTest, RequiresTwoSamples)
+{
+    EfficiencyFitter fitter;
+    EXPECT_THROW(fitter.fit(), UserError);
+    fitter.addSample(1.0, 0.1);
+    EXPECT_THROW(fitter.fit(), UserError);
+    fitter.addSample(2.0, 0.2);
+    EXPECT_NO_THROW(fitter.fit());
+}
+
+TEST(EfficiencyFitterTest, RejectsBadSamples)
+{
+    EfficiencyFitter fitter;
+    EXPECT_THROW(fitter.addSample(0.0, 0.5), UserError);
+    EXPECT_THROW(fitter.addSample(1.0, 0.0), UserError);
+    EXPECT_THROW(fitter.addSample(1.0, 1.5), UserError);
+}
+
+TEST(EfficiencyFitterTest, FloorIsAppliedToFittedModel)
+{
+    EfficiencyFitter fitter;
+    const MicrobatchEfficiency truth(0.9, 30.0);
+    for (double ub : {1.0, 8.0, 64.0, 512.0})
+        fitter.addSample(ub, truth(ub));
+    const auto fitted = fitter.fit(/*floor=*/0.25);
+    EXPECT_DOUBLE_EQ(fitted(1.0), 0.25);
+}
+
+/** Parameterized property: curve stays within (0, a] for all a, b. */
+struct CurveParams
+{
+    double a, b;
+};
+
+class EfficiencyProperty
+    : public ::testing::TestWithParam<CurveParams>
+{};
+
+TEST_P(EfficiencyProperty, BoundedAndIncreasing)
+{
+    const auto [a, b] = GetParam();
+    MicrobatchEfficiency eff(a, b);
+    double previous = 0.0;
+    for (double ub = 1.0; ub <= 16384.0; ub *= 4.0) {
+        const double value = eff(ub);
+        EXPECT_GT(value, 0.0);
+        EXPECT_LE(value, a + 1e-12);
+        EXPECT_GE(value, previous);
+        previous = value;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CurveSweep, EfficiencyProperty,
+    ::testing::Values(CurveParams{0.5, 1.0}, CurveParams{0.85, 12.0},
+                      CurveParams{0.9, 30.0}, CurveParams{0.97, 4.0},
+                      CurveParams{1.0, 100.0},
+                      CurveParams{0.25, 0.5}));
+
+} // namespace
+} // namespace hw
+} // namespace amped

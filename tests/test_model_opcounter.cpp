@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for OpCounter: exact MAC formulas, nonlinear counts, MoE
+ * scaling, activation / weight element counts, and FLOP conventions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "model/op_counter.hpp"
+#include "model/presets.hpp"
+
+namespace amped {
+namespace model {
+namespace {
+
+TransformerConfig
+tiny()
+{
+    return presets::tinyTest(); // L=4, h=64, a=4, s=32, ffn=256
+}
+
+TEST(OpCounterTest, AttentionMacsMatchClosedForm)
+{
+    OpCounter counter(tiny());
+    const double b = 8.0, s = 32.0, h = 64.0;
+    const auto ops = counter.layerOps(0, b);
+    ASSERT_GE(ops.size(), 1u);
+    EXPECT_EQ(ops[0].kind, Sublayer::attention);
+    // 4 b s h^2 + 2 b s^2 h.
+    const double expected =
+        4.0 * b * s * h * h + 2.0 * b * s * s * h;
+    EXPECT_DOUBLE_EQ(ops[0].macs, expected);
+}
+
+TEST(OpCounterTest, FeedForwardMacsMatchClosedForm)
+{
+    OpCounter counter(tiny());
+    const double b = 8.0, s = 32.0, h = 64.0, ffn = 256.0;
+    const auto ops = counter.layerOps(0, b);
+    ASSERT_GE(ops.size(), 2u);
+    EXPECT_EQ(ops[1].kind, Sublayer::feedForward);
+    EXPECT_DOUBLE_EQ(ops[1].macs, b * s * 2.0 * h * ffn);
+}
+
+TEST(OpCounterTest, SoftmaxNonlinearScalesWithScores)
+{
+    OpCountOptions options;
+    options.softmaxOpsPerScore = 5.0;
+    OpCounter counter(tiny(), options);
+    const double b = 2.0, s = 32.0, a = 4.0;
+    const auto ops = counter.layerOps(0, b);
+    EXPECT_DOUBLE_EQ(ops[0].nonlinear, 5.0 * b * a * s * s);
+}
+
+TEST(OpCounterTest, DenseLayerHasNoGatingSublayer)
+{
+    OpCounter counter(tiny());
+    const auto ops = counter.layerOps(0, 4.0);
+    EXPECT_EQ(ops.size(), 3u); // attention, ffn, layernorm
+}
+
+TEST(OpCounterTest, MoeLayerAddsGatingAndScalesFfn)
+{
+    auto cfg = tiny();
+    cfg.moe.numExperts = 8;
+    cfg.moe.expertsPerToken = 2;
+    cfg.moe.moeLayerInterval = 2;
+    OpCounter counter(cfg);
+
+    const auto dense_ops = counter.layerOps(0, 4.0);  // dense layer
+    const auto moe_ops = counter.layerOps(1, 4.0);    // expert layer
+    EXPECT_EQ(dense_ops.size(), 3u);
+    ASSERT_EQ(moe_ops.size(), 4u);
+    EXPECT_EQ(moe_ops[3].kind, Sublayer::moeGating);
+    // Top-2 routing doubles the per-token FFN work.
+    EXPECT_DOUBLE_EQ(moe_ops[1].macs, 2.0 * dense_ops[1].macs);
+    EXPECT_GT(moe_ops[3].macs, 0.0);
+}
+
+TEST(OpCounterTest, LayerMacsAreLinearInBatch)
+{
+    OpCounter counter(tiny());
+    const double m1 = counter.layerMacsForward(0, 4.0);
+    const double m2 = counter.layerMacsForward(0, 8.0);
+    EXPECT_DOUBLE_EQ(m2, 2.0 * m1);
+    const double n1 = counter.layerNonlinForward(0, 4.0);
+    const double n2 = counter.layerNonlinForward(0, 8.0);
+    EXPECT_DOUBLE_EQ(n2, 2.0 * n1);
+}
+
+TEST(OpCounterTest, ModelMacsSumOverLayers)
+{
+    OpCounter counter(tiny());
+    double per_layer_sum = 0.0;
+    for (std::int64_t l = 0; l < 4; ++l)
+        per_layer_sum += counter.layerMacsForward(l, 4.0);
+    EXPECT_DOUBLE_EQ(counter.modelMacsForward(4.0), per_layer_sum);
+}
+
+TEST(OpCounterTest, ActivationCountsMatchPaper)
+{
+    OpCounter counter(tiny());
+    const double b = 8.0, s = 32.0, h = 64.0;
+    // N_act_TP = 2 b s h (Eq. 6); N_act_PP = b s h (Eq. 7).
+    EXPECT_DOUBLE_EQ(counter.activationsTensorParallel(b),
+                     2.0 * b * s * h);
+    EXPECT_DOUBLE_EQ(counter.activationsPipelineParallel(b),
+                     b * s * h);
+}
+
+TEST(OpCounterTest, MoeActivationsOnlyOnExpertLayers)
+{
+    auto cfg = tiny();
+    cfg.moe.numExperts = 4;
+    cfg.moe.moeLayerInterval = 2;
+    cfg.moe.expertsPerToken = 2;
+    OpCounter counter(cfg);
+    EXPECT_DOUBLE_EQ(counter.activationsMoe(0, 8.0), 0.0);
+    // Top-2 routing doubles the dispatched token payload.
+    EXPECT_DOUBLE_EQ(counter.activationsMoe(1, 8.0),
+                     2.0 * counter.activationsPipelineParallel(8.0));
+}
+
+TEST(OpCounterTest, ExpertGradientsAreSharded)
+{
+    auto cfg = tiny();
+    cfg.moe.numExperts = 8;
+    cfg.moe.moeLayerInterval = 2;
+    OpCounter counter(cfg);
+    // Dense layer: gradients equal weights.
+    EXPECT_DOUBLE_EQ(counter.gradientsPerLayer(0),
+                     counter.weightsPerLayer(0));
+    // MoE layer: far fewer gradients than weights (experts sharded),
+    // but more than zero and at least the dense share.
+    EXPECT_LT(counter.gradientsPerLayer(1),
+              counter.weightsPerLayer(1) / 2.0);
+    EXPECT_GT(counter.gradientsPerLayer(1), 0.0);
+}
+
+TEST(OpCounterTest, WeightsMatchParameterCount)
+{
+    const auto cfg = presets::minGpt85M();
+    OpCounter counter(cfg);
+    EXPECT_NEAR(counter.totalLayerWeights(),
+                cfg.parameterCount(/*include_embeddings=*/false),
+                1.0);
+}
+
+TEST(OpCounterTest, EmbeddingMacsAreLogitProjection)
+{
+    OpCounter counter(tiny());
+    const double b = 4.0;
+    EXPECT_DOUBLE_EQ(counter.embeddingMacs(b),
+                     b * 32.0 * 64.0 * 1000.0);
+}
+
+TEST(OpCounterTest, FlopConventionRecomputeVsPlain)
+{
+    OpCountOptions with, without;
+    with.activationRecompute = true;
+    without.activationRecompute = false;
+    OpCounter c_with(tiny(), with);
+    OpCounter c_without(tiny(), without);
+    const double f_with = c_with.modelFlopsPerBatch(4.0);
+    const double f_without = c_without.modelFlopsPerBatch(4.0);
+    // 4x forward vs 3x forward.
+    EXPECT_NEAR(f_with / f_without, 4.0 / 3.0, 1e-12);
+}
+
+TEST(OpCounterTest, FlopsExcludeEmbeddingsWhenDisabled)
+{
+    OpCountOptions with, without;
+    without.includeEmbeddingFlops = false;
+    OpCounter c_with(tiny(), with);
+    OpCounter c_without(tiny(), without);
+    EXPECT_GT(c_with.modelFlopsPerBatch(4.0),
+              c_without.modelFlopsPerBatch(4.0));
+}
+
+TEST(OpCounterTest, Gpt3FlopsPerTokenMatchSixNRule)
+{
+    // Standard check: forward+backward FLOPs/token of a dense model
+    // ~ 6 x parameters (without recompute).
+    OpCountOptions options;
+    options.activationRecompute = false;
+    options.includeEmbeddingFlops = false;
+    const auto cfg = presets::gpt3_175B();
+    OpCounter counter(cfg, options);
+    const double batch = 1.0;
+    const double tokens = static_cast<double>(cfg.seqLength);
+    const double flops_per_token =
+        counter.modelFlopsPerBatch(batch) / tokens;
+    const double six_n = 6.0 * cfg.parameterCount(false);
+    EXPECT_NEAR(flops_per_token / six_n, 1.0, 0.15);
+}
+
+TEST(OpCounterTest, RejectsBadArguments)
+{
+    OpCounter counter(tiny());
+    EXPECT_THROW(counter.layerOps(-1, 4.0), UserError);
+    EXPECT_THROW(counter.layerOps(4, 4.0), UserError);
+    EXPECT_THROW(counter.layerOps(0, 0.0), UserError);
+    EXPECT_THROW(counter.weightsPerLayer(99), UserError);
+    EXPECT_THROW(counter.modelFlopsPerBatch(-1.0), UserError);
+}
+
+TEST(OpCounterTest, SublayerNamesAreStable)
+{
+    EXPECT_EQ(sublayerName(Sublayer::attention), "attention");
+    EXPECT_EQ(sublayerName(Sublayer::feedForward), "feed-forward");
+    EXPECT_EQ(sublayerName(Sublayer::layerNorm), "layernorm");
+    EXPECT_EQ(sublayerName(Sublayer::moeGating), "moe-gating");
+}
+
+} // namespace
+} // namespace model
+} // namespace amped

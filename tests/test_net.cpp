@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for links, topology factors, collective cost models, and
+ * system configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "net/collectives.hpp"
+#include "net/link.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace net {
+namespace {
+
+TEST(LinkTest, TransferTimeAndScaling)
+{
+    LinkConfig link{"t", 1e-6, 1e9};
+    EXPECT_DOUBLE_EQ(link.transferTime(1e9), 1.0);
+    EXPECT_DOUBLE_EQ(link.transferTime(0.0), 0.0);
+    const auto doubled = link.scaledBandwidth(2.0);
+    EXPECT_DOUBLE_EQ(doubled.bandwidthBits, 2e9);
+    EXPECT_DOUBLE_EQ(doubled.latencySeconds, 1e-6);
+    EXPECT_THROW(link.scaledBandwidth(0.0), UserError);
+    EXPECT_THROW(link.transferTime(-1.0), UserError);
+}
+
+TEST(LinkTest, ValidationCatchesBadFields)
+{
+    LinkConfig bad{"b", -1.0, 1e9};
+    EXPECT_THROW(bad.validate(), UserError);
+    bad = LinkConfig{"b", 1e-6, 0.0};
+    EXPECT_THROW(bad.validate(), UserError);
+}
+
+TEST(TopologyTest, RingAllReduceFactor)
+{
+    EXPECT_DOUBLE_EQ(topology::ringAllReduce(1), 0.0);
+    EXPECT_DOUBLE_EQ(topology::ringAllReduce(2), 1.0);
+    EXPECT_DOUBLE_EQ(topology::ringAllReduce(4), 1.5);
+    EXPECT_DOUBLE_EQ(topology::ringAllReduce(8), 1.75);
+    // Approaches 2 for large rings.
+    EXPECT_NEAR(topology::ringAllReduce(1024), 2.0, 0.01);
+    EXPECT_THROW(topology::ringAllReduce(0), UserError);
+}
+
+TEST(TopologyTest, PairwiseAllToAllFactor)
+{
+    EXPECT_DOUBLE_EQ(topology::pairwiseAllToAll(1), 0.0);
+    EXPECT_DOUBLE_EQ(topology::pairwiseAllToAll(2), 0.5);
+    EXPECT_DOUBLE_EQ(topology::pairwiseAllToAll(4), 0.75);
+    EXPECT_NEAR(topology::pairwiseAllToAll(1024), 1.0, 0.01);
+}
+
+TEST(TopologyTest, TreeAllReduceFactor)
+{
+    EXPECT_DOUBLE_EQ(topology::treeAllReduce(1), 0.0);
+    EXPECT_DOUBLE_EQ(topology::treeAllReduce(2), 1.0);
+    // Tree beats ring in factor for large N.
+    EXPECT_LT(topology::treeAllReduce(1024),
+              topology::ringAllReduce(1024));
+}
+
+TEST(TopologyTest, BidirectionalRingHalvesTheFactor)
+{
+    EXPECT_DOUBLE_EQ(topology::bidirectionalRingAllReduce(8),
+                     topology::ringAllReduce(8) / 2.0);
+    EXPECT_DOUBLE_EQ(topology::bidirectionalRingAllReduce(1), 0.0);
+}
+
+TEST(TopologyTest, HierarchicalRingComposesDimensions)
+{
+    // Degenerates to the plain ring when a dimension is 1.
+    EXPECT_DOUBLE_EQ(topology::hierarchicalRingAllReduce(8, 1),
+                     topology::ringAllReduce(8));
+    EXPECT_DOUBLE_EQ(topology::hierarchicalRingAllReduce(1, 8),
+                     topology::ringAllReduce(8));
+    // Identity: the 2-D composition moves exactly as much data as a
+    // flat ring over all a x b ranks — hierarchy pays off only
+    // because the size-a stage runs on the faster tier.
+    EXPECT_DOUBLE_EQ(topology::hierarchicalRingAllReduce(4, 4),
+                     topology::ringAllReduce(16));
+    // Exact composition: ring(4) + ring(4)/4.
+    EXPECT_DOUBLE_EQ(topology::hierarchicalRingAllReduce(4, 4),
+                     1.5 + 1.5 / 4.0);
+    EXPECT_THROW(topology::hierarchicalRingAllReduce(0, 4),
+                 UserError);
+}
+
+TEST(CollectivesTest, AllReduceZeroForSingleRank)
+{
+    LinkConfig link{"t", 1e-6, 1e12};
+    EXPECT_DOUBLE_EQ(allReduceTime(1, 1e9, 16.0, link), 0.0);
+}
+
+TEST(CollectivesTest, AllReduceMatchesEqSixForm)
+{
+    LinkConfig link{"t", 2e-6, 2.4e12};
+    const std::int64_t n = 8;
+    const double elements = 1e9, bits = 16.0;
+    const double factor = topology::ringAllReduce(n);
+    const double expected =
+        2e-6 * factor * 8.0 + elements * bits / 2.4e12 * factor;
+    EXPECT_DOUBLE_EQ(allReduceTime(n, elements, bits, link), expected);
+}
+
+TEST(CollectivesTest, AllReduceHonorsTopologyOverride)
+{
+    LinkConfig link{"t", 0.0, 1e12};
+    const double with_ring = allReduceTime(4, 1e9, 16.0, link);
+    const double with_override =
+        allReduceTime(4, 1e9, 16.0, link, 1.0);
+    EXPECT_DOUBLE_EQ(with_override / with_ring, 1.0 / 1.5);
+}
+
+TEST(CollectivesTest, AllReduceDecreasesWithBandwidth)
+{
+    LinkConfig slow{"s", 1e-6, 1e11};
+    LinkConfig fast{"f", 1e-6, 1e12};
+    EXPECT_GT(allReduceTime(8, 1e9, 16.0, slow),
+              allReduceTime(8, 1e9, 16.0, fast));
+}
+
+TEST(CollectivesTest, PointToPointIsAlphaBeta)
+{
+    LinkConfig link{"t", 5e-6, 1e9};
+    EXPECT_DOUBLE_EQ(pointToPointTime(1e9, 1.0, link), 5e-6 + 1.0);
+    EXPECT_DOUBLE_EQ(pointToPointTime(0.0, 16.0, link), 5e-6);
+}
+
+TEST(CollectivesTest, AllToAllZeroForSingleNode)
+{
+    LinkConfig intra{"i", 1e-6, 1e12};
+    EXPECT_DOUBLE_EQ(allToAllTime(1, 1e9, 16.0, intra, 1e-6, 1e11),
+                     0.0);
+}
+
+TEST(CollectivesTest, AllToAllMatchesEqNineForm)
+{
+    LinkConfig intra{"i", 1e-6, 2.4e12};
+    const std::int64_t nodes = 4;
+    const double elements = 1e8, bits = 16.0;
+    const double inter_lat = 1.2e-6, inter_bw = 2e11;
+    const double t_moe = topology::pairwiseAllToAll(nodes);
+    const double expected =
+        inter_lat * t_moe * 4.0 +
+        elements * bits * t_moe *
+            (1.0 / (4.0 * 2.4e12) + 3.0 / (4.0 * 2e11));
+    EXPECT_DOUBLE_EQ(
+        allToAllTime(nodes, elements, bits, intra, inter_lat, inter_bw),
+        expected);
+}
+
+TEST(CollectivesTest, HierarchicalIsSumOfStages)
+{
+    LinkConfig intra{"i", 1e-6, 2.4e12};
+    const double inter_lat = 1.2e-6, inter_bw = 2e11;
+    const double elements = 1e8, bits = 16.0;
+    const double total = hierarchicalAllReduceTime(
+        8, 16, elements, bits, intra, inter_lat, inter_bw);
+    const double intra_only = allReduceTime(8, elements, bits, intra);
+    const LinkConfig inter{"x", inter_lat, inter_bw};
+    const double inter_only =
+        allReduceTime(16, elements, bits, inter);
+    EXPECT_DOUBLE_EQ(total, intra_only + inter_only);
+}
+
+TEST(CollectivesTest, HierarchicalSingleTierDegenerates)
+{
+    LinkConfig intra{"i", 1e-6, 2.4e12};
+    EXPECT_DOUBLE_EQ(
+        hierarchicalAllReduceTime(8, 1, 1e8, 16.0, intra, 1e-6, 1e11),
+        allReduceTime(8, 1e8, 16.0, intra));
+    EXPECT_DOUBLE_EQ(
+        hierarchicalAllReduceTime(1, 1, 1e8, 16.0, intra, 1e-6, 1e11),
+        0.0);
+}
+
+TEST(SystemTest, TotalsAndBandwidths)
+{
+    auto sys = presets::a100Cluster1024();
+    EXPECT_EQ(sys.totalAccelerators(), 1024);
+    EXPECT_EQ(sys.numNodes, 128);
+    EXPECT_DOUBLE_EQ(sys.intraBandwidthBits(), 2.4e12);
+    // 8 HDR NICs * 200 Gbit/s = 1.6 Tbit/s aggregate.
+    EXPECT_DOUBLE_EQ(sys.interBandwidthBits(), 1.6e12);
+    // Shared by 8 accelerators -> 200 Gbit/s per stream.
+    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidthBits(), 2e11);
+}
+
+TEST(SystemTest, LowEndClusterKeeps1024Accelerators)
+{
+    for (std::int64_t per_node : {1, 2, 4, 8}) {
+        const auto sys = presets::lowEndCluster(per_node);
+        EXPECT_EQ(sys.totalAccelerators(), 1024);
+        EXPECT_EQ(sys.acceleratorsPerNode, per_node);
+        EXPECT_EQ(sys.nicsPerNode, per_node);
+        // 1 EDR NIC per accelerator -> per-stream 100 Gbit/s.
+        EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidthBits(),
+                         units::gigabitsPerSecond(100.0));
+    }
+    EXPECT_THROW(presets::lowEndCluster(3), UserError);
+    EXPECT_THROW(presets::lowEndCluster(0), UserError);
+}
+
+TEST(SystemTest, Hgx2Bounds)
+{
+    EXPECT_EQ(presets::hgx2(16).acceleratorsPerNode, 16);
+    EXPECT_EQ(presets::hgx2(1).numNodes, 1);
+    EXPECT_THROW(presets::hgx2(0), UserError);
+    EXPECT_THROW(presets::hgx2(17), UserError);
+}
+
+TEST(SystemTest, H100ClusterMatchesCaseStudyIII)
+{
+    const auto sys = presets::h100Cluster3072();
+    EXPECT_EQ(sys.totalAccelerators(), 3072);
+    // 8 NDR NICs shared by 8 H100s: 400 Gbit/s per stream.
+    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidthBits(), 4e11);
+}
+
+TEST(SystemTest, OpticalFiberLinkCarriesOffChipBandwidth)
+{
+    const auto fiber = presets::opticalFiber(3.6e12);
+    EXPECT_DOUBLE_EQ(fiber.bandwidthBits, 3.6e12);
+    EXPECT_LT(fiber.latencySeconds,
+              presets::ndrInfiniband().latencySeconds);
+    EXPECT_THROW(presets::opticalFiber(0.0), UserError);
+}
+
+TEST(SystemTest, ValidationCatchesBadFields)
+{
+    auto check = [](auto mutate) {
+        auto bad = presets::tinyTest();
+        mutate(bad);
+        EXPECT_THROW(bad.validate(), UserError);
+    };
+    check([](SystemConfig &s) { s.numNodes = 0; });
+    check([](SystemConfig &s) { s.acceleratorsPerNode = 0; });
+    check([](SystemConfig &s) { s.nicsPerNode = 0; });
+    check([](SystemConfig &s) { s.intraLink.bandwidthBits = 0.0; });
+    check([](SystemConfig &s) { s.interLink.latencySeconds = -1.0; });
+}
+
+TEST(SystemTest, InterconnectPresetBandwidthOrdering)
+{
+    // EDR < HDR < NDR < NVLink3 < NVLink4.
+    EXPECT_LT(presets::edrInfiniband().bandwidthBits,
+              presets::hdrInfiniband().bandwidthBits);
+    EXPECT_LT(presets::hdrInfiniband().bandwidthBits,
+              presets::ndrInfiniband().bandwidthBits);
+    EXPECT_LT(presets::ndrInfiniband().bandwidthBits,
+              presets::nvlinkA100().bandwidthBits);
+    EXPECT_LT(presets::nvlinkA100().bandwidthBits,
+              presets::nvlinkH100().bandwidthBits);
+    EXPECT_LT(presets::pcie3().bandwidthBits,
+              presets::nvlinkV100().bandwidthBits);
+}
+
+} // namespace
+} // namespace net
+} // namespace amped

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the discrete-event engine: serialization, dependencies,
+ * transfer latency semantics, determinism, and cycle detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+#include "sim/task_graph.hpp"
+
+namespace amped {
+namespace sim {
+namespace {
+
+TEST(EngineTest, SingleComputeTask)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    graph.addCompute(dev, 2.5, "work");
+    Engine engine;
+    const auto result = engine.run(graph);
+    EXPECT_DOUBLE_EQ(result.makespan, 2.5);
+    EXPECT_DOUBLE_EQ(result.resources[dev].busyTime, 2.5);
+    EXPECT_DOUBLE_EQ(result.utilization(dev), 1.0);
+}
+
+TEST(EngineTest, IndependentTasksOnOneResourceSerialize)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    graph.addCompute(dev, 1.0, "a");
+    graph.addCompute(dev, 2.0, "b");
+    Engine engine;
+    EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 3.0);
+}
+
+TEST(EngineTest, IndependentTasksOnTwoResourcesOverlap)
+{
+    TaskGraph graph;
+    const auto d0 = graph.addDevice("d0");
+    const auto d1 = graph.addDevice("d1");
+    graph.addCompute(d0, 1.0, "a");
+    graph.addCompute(d1, 2.0, "b");
+    Engine engine;
+    EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 2.0);
+}
+
+TEST(EngineTest, DependencyChainsAddUp)
+{
+    TaskGraph graph;
+    const auto d0 = graph.addDevice("d0");
+    const auto d1 = graph.addDevice("d1");
+    const auto a = graph.addCompute(d0, 1.0, "a");
+    const auto b = graph.addCompute(d1, 2.0, "b");
+    graph.addDependency(a, b);
+    Engine engine;
+    EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 3.0);
+}
+
+TEST(EngineTest, TransferAddsSerializationAndLatency)
+{
+    TaskGraph graph;
+    const auto d0 = graph.addDevice("d0");
+    const auto ch = graph.addChannel("c");
+    const auto d1 = graph.addDevice("d1");
+    const auto produce = graph.addCompute(d0, 1.0, "produce");
+    // 1e9 bits over 1e9 bits/s = 1 s serialization + 0.5 s latency.
+    const auto transfer =
+        graph.addTransfer(ch, 1e9, 1e9, 0.5, "xfer");
+    const auto consume = graph.addCompute(d1, 1.0, "consume");
+    graph.addDependency(produce, transfer);
+    graph.addDependency(transfer, consume);
+    Engine engine;
+    EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 3.5);
+}
+
+TEST(EngineTest, CutThroughFreesChannelBeforeDelivery)
+{
+    // Two back-to-back transfers on the same channel: the second can
+    // start as soon as the first's serialization ends, so its
+    // delivery is at 2 * serialization + latency, not 2 * (s + l).
+    TaskGraph graph;
+    const auto ch = graph.addChannel("c");
+    graph.addTransfer(ch, 1e9, 1e9, 0.5, "t0");
+    graph.addTransfer(ch, 1e9, 1e9, 0.5, "t1");
+    Engine engine;
+    EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 2.5);
+}
+
+TEST(EngineTest, DiamondDependencies)
+{
+    TaskGraph graph;
+    const auto d = graph.addDevice("d0");
+    const auto e = graph.addDevice("d1");
+    const auto a = graph.addCompute(d, 1.0, "a");
+    const auto b = graph.addCompute(d, 1.0, "b");
+    const auto c = graph.addCompute(e, 1.0, "c");
+    const auto join = graph.addCompute(d, 1.0, "join");
+    graph.addDependency(a, b);
+    graph.addDependency(a, c);
+    graph.addDependency(b, join);
+    graph.addDependency(c, join);
+    Engine engine;
+    // a: [0,1]; b: [1,2] on d; c: [1,2] on e; join: [2,3].
+    EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 3.0);
+}
+
+TEST(EngineTest, FifoOrderIsDeterministic)
+{
+    // Ten equal tasks on one device: intervals must be back-to-back
+    // in task-id order on every run.
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        TaskGraph graph;
+        const auto dev = graph.addDevice("d0");
+        for (int i = 0; i < 10; ++i)
+            graph.addCompute(dev, 1.0, "t" + std::to_string(i));
+        Engine engine;
+        const auto result = engine.run(graph);
+        ASSERT_EQ(result.resources[dev].intervals.size(), 10u);
+        for (int i = 0; i < 10; ++i) {
+            EXPECT_DOUBLE_EQ(result.resources[dev].intervals[i].start,
+                             static_cast<double>(i));
+            EXPECT_EQ(result.resources[dev].intervals[i].task, i);
+        }
+    }
+}
+
+TEST(EngineTest, CycleIsReportedNotHung)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    const auto a = graph.addCompute(dev, 1.0, "a");
+    const auto b = graph.addCompute(dev, 1.0, "b");
+    graph.addDependency(a, b);
+    graph.addDependency(b, a);
+    Engine engine;
+    EXPECT_THROW(engine.run(graph), UserError);
+}
+
+TEST(EngineTest, RerunningAGraphGivesSameResult)
+{
+    TaskGraph graph;
+    const auto d0 = graph.addDevice("d0");
+    const auto a = graph.addCompute(d0, 1.0, "a");
+    const auto b = graph.addCompute(d0, 2.0, "b");
+    graph.addDependency(a, b);
+    Engine engine;
+    const double first = engine.run(graph).makespan;
+    const double second = engine.run(graph).makespan;
+    EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(EngineTest, UtilizationReflectsIdleTime)
+{
+    TaskGraph graph;
+    const auto d0 = graph.addDevice("d0");
+    const auto d1 = graph.addDevice("d1");
+    const auto a = graph.addCompute(d0, 3.0, "a");
+    const auto b = graph.addCompute(d1, 1.0, "b");
+    graph.addDependency(a, b);
+    Engine engine;
+    const auto result = engine.run(graph);
+    EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+    EXPECT_DOUBLE_EQ(result.utilization(d0), 0.75);
+    EXPECT_DOUBLE_EQ(result.utilization(d1), 0.25);
+}
+
+TEST(TaskGraphTest, ValidationOfBuilders)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    const auto ch = graph.addChannel("c");
+    EXPECT_THROW(graph.addCompute(ch, 1.0, "on-channel"), UserError);
+    EXPECT_THROW(graph.addTransfer(dev, 1.0, 1.0, 0.0, "on-device"),
+                 UserError);
+    EXPECT_THROW(graph.addCompute(dev, -1.0, "negative"), UserError);
+    EXPECT_THROW(graph.addTransfer(ch, 1.0, 0.0, 0.0, "no-bw"),
+                 UserError);
+    EXPECT_THROW(graph.addCompute(99, 1.0, "bad-id"), UserError);
+    const auto t = graph.addCompute(dev, 1.0, "ok");
+    EXPECT_THROW(graph.addDependency(t, t), UserError);
+    EXPECT_THROW(graph.addDependency(t, 99), UserError);
+}
+
+TEST(TaskGraphTest, ZeroDurationTasksComplete)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    const auto a = graph.addCompute(dev, 0.0, "a");
+    const auto b = graph.addCompute(dev, 0.0, "b");
+    graph.addDependency(a, b);
+    Engine engine;
+    EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 0.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace amped

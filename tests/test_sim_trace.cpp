@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for utilization-trace rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace amped {
+namespace sim {
+namespace {
+
+ResourceStats
+statsWith(std::vector<BusyInterval> intervals)
+{
+    ResourceStats stats;
+    for (const auto &iv : intervals)
+        stats.busyTime += iv.end - iv.start;
+    stats.intervals = std::move(intervals);
+    return stats;
+}
+
+TEST(BusyFractionTest, FullPartialAndEmptyBuckets)
+{
+    const auto stats = statsWith({{0.0, 1.0, 0}, {2.0, 3.0, 1}});
+    EXPECT_DOUBLE_EQ(busyFraction(stats, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(busyFraction(stats, 1.0, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(busyFraction(stats, 0.5, 2.5), 0.5);
+    EXPECT_DOUBLE_EQ(busyFraction(stats, 0.0, 4.0), 0.5);
+    EXPECT_THROW(busyFraction(stats, 1.0, 1.0), UserError);
+}
+
+TEST(TimelineTest, RendersOneRowPerDevice)
+{
+    TaskGraph graph;
+    const auto d0 = graph.addDevice("gpu0");
+    const auto d1 = graph.addDevice("gpu1");
+    const auto a = graph.addCompute(d0, 2.0, "a");
+    const auto b = graph.addCompute(d1, 2.0, "b");
+    graph.addDependency(a, b);
+    Engine engine;
+    const auto result = engine.run(graph);
+
+    const std::string out = renderUtilizationTimeline(
+        result, {d0, d1}, {"gpu0", "gpu1"}, 10);
+    // Two device rows plus the timeline footer.
+    EXPECT_NE(out.find("gpu0"), std::string::npos);
+    EXPECT_NE(out.find("gpu1"), std::string::npos);
+    EXPECT_NE(out.find("50.0 % busy"), std::string::npos);
+    EXPECT_NE(out.find("timeline: 0 .. "), std::string::npos);
+    // gpu0 is busy in the first half: its row starts with '9's and
+    // ends with '.'s; gpu1 mirrors it.
+    EXPECT_NE(out.find("gpu0 |99999....."), std::string::npos);
+    EXPECT_NE(out.find("gpu1 |.....99999"), std::string::npos);
+}
+
+TEST(TimelineTest, ValidatesArguments)
+{
+    SimResult empty;
+    EXPECT_EQ(renderUtilizationTimeline(empty, {}, {}, 10),
+              "(empty trace)\n");
+    SimResult result;
+    result.makespan = 1.0;
+    result.resources.resize(1);
+    EXPECT_THROW(
+        renderUtilizationTimeline(result, {0}, {"a", "b"}, 10),
+        UserError);
+    EXPECT_THROW(renderUtilizationTimeline(result, {0}, {"a"}, 0),
+                 UserError);
+}
+
+} // namespace
+} // namespace sim
+} // namespace amped

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the training-schedule simulator: agreement with the
+ * analytical collective costs, emergence of pipeline bubbles, and
+ * scaling behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/compute_cost.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/collectives.hpp"
+#include "sim/training_sim.hpp"
+
+namespace amped {
+namespace sim {
+namespace {
+
+TrainingSimulator
+makeSim()
+{
+    return TrainingSimulator(
+        model::presets::tinyTest(), hw::presets::tinyTest(),
+        hw::MicrobatchEfficiency(0.8, 4.0),
+        net::LinkConfig{"intra", 1e-6, 2.4e12});
+}
+
+/** Pure compute time of forward+backward+update on one device. */
+double
+singleDeviceComputeTime(const TrainingSimulator &sim, double batch,
+                        double backward_multiplier = 2.0)
+{
+    const auto &counter = sim.opCounter();
+    const auto accel = hw::presets::tinyTest();
+    const hw::MicrobatchEfficiency eff(0.8, 4.0);
+    double total = 0.0;
+    for (std::int64_t l = 0; l < counter.config().numLayers; ++l) {
+        total += (1.0 + backward_multiplier) *
+                 core::layerForwardComputeTime(counter, accel,
+                                               eff(batch), l, batch);
+        total += core::layerWeightUpdateTime(counter, accel,
+                                             eff(batch), l);
+    }
+    return total;
+}
+
+TEST(DataParallelSimTest, SingleDeviceIsComputeOnly)
+{
+    const auto sim = makeSim();
+    const auto outcome = sim.simulateDataParallelStep(1, 8.0);
+    EXPECT_NEAR(outcome.stepTime, singleDeviceComputeTime(sim, 8.0),
+                1e-12);
+    ASSERT_EQ(outcome.deviceUtilization.size(), 1u);
+    EXPECT_NEAR(outcome.deviceUtilization[0], 1.0, 1e-9);
+}
+
+TEST(DataParallelSimTest, StepTimeIsComputePlusRing)
+{
+    const auto sim = makeSim();
+    const std::int64_t n = 4;
+    const auto outcome = sim.simulateDataParallelStep(n, 8.0);
+    const double compute = singleDeviceComputeTime(sim, 8.0);
+    // Ring all-reduce lower bound from the analytical model (chunked
+    // ring, gradients at 32 bits).
+    const double grad_bits = sim.opCounter().totalLayerWeights() * 32.0;
+    const net::LinkConfig link{"intra", 1e-6, 2.4e12};
+    const double ring =
+        net::allReduceTime(n, grad_bits / 32.0, 32.0, link);
+    EXPECT_GT(outcome.stepTime, compute);
+    // The simulated ring should be close to the analytic form (the
+    // analytic latency term counts N hops vs 2(N-1) simulated, so
+    // allow a loose band).
+    EXPECT_NEAR(outcome.stepTime, compute + ring,
+                0.2 * ring + 1e-6);
+}
+
+TEST(DataParallelSimTest, AllReduceCostGrowsWithDevices)
+{
+    const auto sim = makeSim();
+    const double t2 = sim.simulateDataParallelStep(2, 8.0).stepTime;
+    const double t8 = sim.simulateDataParallelStep(8, 8.0).stepTime;
+    // Same per-device batch: compute identical, ring cost grows.
+    EXPECT_GT(t8, t2);
+}
+
+TEST(DataParallelSimTest, ThroughputScalesWithDevices)
+{
+    // Fixed total data: n devices process n x the batch per step.
+    const auto sim = makeSim();
+    const double t1 = sim.simulateDataParallelStep(1, 8.0).stepTime;
+    const double t8 = sim.simulateDataParallelStep(8, 8.0).stepTime;
+    const double speedup = (8.0 / t8) / (1.0 / t1);
+    EXPECT_GT(speedup, 4.0); // well above half of ideal
+    EXPECT_LE(speedup, 8.0 + 1e-9);
+}
+
+TEST(DataParallelSimTest, RejectsBadArguments)
+{
+    const auto sim = makeSim();
+    EXPECT_THROW(sim.simulateDataParallelStep(0, 8.0), UserError);
+    EXPECT_THROW(sim.simulateDataParallelStep(2, 0.5), UserError);
+}
+
+TEST(GPipeSimTest, SingleStageHasNoBubble)
+{
+    const auto sim = makeSim();
+    const auto outcome = sim.simulateGPipeStep(1, 8.0, 4);
+    // 4 microbatches of pure compute, no transfers.
+    const double per_ub = singleDeviceComputeTime(sim, 8.0) -
+                          /* update counted once */ 0.0;
+    EXPECT_GT(outcome.stepTime, 0.0);
+    EXPECT_NEAR(outcome.deviceUtilization[0], 1.0, 1e-9);
+    (void)per_ub;
+}
+
+TEST(GPipeSimTest, BubbleMatchesGPipeFormula)
+{
+    const auto sim = makeSim();
+    const std::int64_t stages = 4;
+    // Many microbatches: utilization approaches M / (M + S - 1).
+    for (std::int64_t m : {4, 8, 32}) {
+        const auto outcome = sim.simulateGPipeStep(stages, 4.0, m);
+        const double expected_busy =
+            static_cast<double>(m) / static_cast<double>(m + stages - 1);
+        // First stage is the busiest; its utilization tracks the
+        // GPipe bound (weight update + transfers smear it slightly).
+        EXPECT_NEAR(outcome.deviceUtilization[0], expected_busy, 0.08)
+            << "microbatches=" << m;
+    }
+}
+
+TEST(GPipeSimTest, PeakInFlightMatchesGPipeResidency)
+{
+    // GPipe runs all forwards before any backward: every microbatch
+    // is simultaneously live on stage 0 — the assumption behind
+    // PipelineSchedule::activationsInFlight (GPipe = N_ub).
+    const auto sim = makeSim();
+    for (std::int64_t m : {4, 8, 16}) {
+        const auto outcome = sim.simulateGPipeStep(4, 4.0, m);
+        ASSERT_EQ(outcome.peakMicrobatchesInFlight.size(), 4u);
+        // The first backward may start exactly when the last forward
+        // ends (back-to-back slots), so the peak is m or m - 1.
+        EXPECT_GE(outcome.peakMicrobatchesInFlight[0], m - 1)
+            << "microbatches=" << m;
+        EXPECT_LE(outcome.peakMicrobatchesInFlight[0], m)
+            << "microbatches=" << m;
+        // Later stages hold fewer (their backwards start earlier).
+        EXPECT_LE(outcome.peakMicrobatchesInFlight[3],
+                  outcome.peakMicrobatchesInFlight[0]);
+        EXPECT_GE(outcome.peakMicrobatchesInFlight[3], 1);
+    }
+}
+
+TEST(GPipeSimTest, MoreMicrobatchesImproveUtilization)
+{
+    const auto sim = makeSim();
+    const auto few = sim.simulateGPipeStep(4, 4.0, 4);
+    const auto many = sim.simulateGPipeStep(4, 4.0, 32);
+    EXPECT_GT(many.deviceUtilization[2], few.deviceUtilization[2]);
+}
+
+TEST(GPipeSimTest, ThroughputImprovesWithStages)
+{
+    // Same total work (batch = ub * M), more stages -> shorter step.
+    const auto sim = makeSim();
+    const double t2 = sim.simulateGPipeStep(2, 4.0, 8).stepTime;
+    const double t4 = sim.simulateGPipeStep(4, 4.0, 8).stepTime;
+    EXPECT_LT(t4, t2);
+    // But not super-linear.
+    EXPECT_GT(t4, t2 / 2.0 * 0.9);
+}
+
+TEST(GPipeSimTest, StagesCappedByLayers)
+{
+    const auto sim = makeSim(); // tiny model: 4 layers
+    EXPECT_THROW(sim.simulateGPipeStep(5, 4.0, 4), UserError);
+    EXPECT_NO_THROW(sim.simulateGPipeStep(4, 4.0, 4));
+}
+
+TEST(GPipeSimTest, UnevenLayerSplitStillRuns)
+{
+    const auto sim = makeSim(); // 4 layers over 3 stages: 2+1+1
+    const auto outcome = sim.simulateGPipeStep(3, 4.0, 6);
+    EXPECT_GT(outcome.stepTime, 0.0);
+    EXPECT_EQ(outcome.deviceUtilization.size(), 3u);
+}
+
+TEST(TensorParallelSimTest, ShardedComputePlusAllReduces)
+{
+    const auto sim = makeSim();
+    const auto solo = sim.simulateTensorParallelStep(1, 8.0);
+    const auto quad = sim.simulateTensorParallelStep(4, 8.0);
+    // Sharding divides compute by 4, but all-reduces add overhead:
+    // still faster than solo, slower than ideal.
+    EXPECT_LT(quad.stepTime, solo.stepTime);
+    EXPECT_GT(quad.stepTime, solo.stepTime / 4.0);
+}
+
+TEST(TensorParallelSimTest, SingleDeviceMatchesComputeOnly)
+{
+    const auto sim = makeSim();
+    const auto outcome = sim.simulateTensorParallelStep(1, 8.0);
+    // No weight update in the TP step builder: fwd + bwd only.
+    const auto &counter = sim.opCounter();
+    const auto accel = hw::presets::tinyTest();
+    const hw::MicrobatchEfficiency eff(0.8, 4.0);
+    double compute = 0.0;
+    for (std::int64_t l = 0; l < 4; ++l) {
+        compute += 3.0 * core::layerForwardComputeTime(
+                             counter, accel, eff(8.0), l, 8.0);
+    }
+    EXPECT_NEAR(outcome.stepTime, compute, 1e-12);
+}
+
+TEST(TrainingSimTest, BackwardMultiplierIsHonored)
+{
+    auto sim = makeSim();
+    const double base = sim.simulateDataParallelStep(1, 8.0).stepTime;
+    sim.setBackwardMultiplier(3.0);
+    const double heavier =
+        sim.simulateDataParallelStep(1, 8.0).stepTime;
+    EXPECT_GT(heavier, base);
+    EXPECT_THROW(sim.setBackwardMultiplier(-1.0), UserError);
+}
+
+TEST(TrainingSimTest, GradientBitsScaleRingCost)
+{
+    auto sim = makeSim();
+    const double t32 = sim.simulateDataParallelStep(4, 8.0).stepTime;
+    sim.setGradientBits(16.0);
+    const double t16 = sim.simulateDataParallelStep(4, 8.0).stepTime;
+    EXPECT_LT(t16, t32);
+    EXPECT_THROW(sim.setGradientBits(0.0), UserError);
+}
+
+} // namespace
+} // namespace sim
+} // namespace amped

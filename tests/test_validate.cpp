@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the validation helpers and reference data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "validate/calibrations.hpp"
+#include "validate/reference_data.hpp"
+#include "validate/validation.hpp"
+
+namespace amped {
+namespace validate {
+namespace {
+
+TEST(ValidationRowTest, SignedErrorPercent)
+{
+    EXPECT_DOUBLE_EQ(makeRow("a", 110.0, 100.0).errorPercent(), 10.0);
+    EXPECT_DOUBLE_EQ(makeRow("b", 90.0, 100.0).errorPercent(), -10.0);
+    EXPECT_THROW(makeRow("c", 1.0, 0.0).errorPercent(), UserError);
+}
+
+TEST(ValidationRowTest, MaxAbsError)
+{
+    std::vector<ValidationRow> rows = {
+        makeRow("a", 105.0, 100.0),
+        makeRow("b", 88.0, 100.0),
+        makeRow("c", 100.0, 100.0),
+    };
+    EXPECT_DOUBLE_EQ(maxAbsErrorPercent(rows), 12.0);
+    EXPECT_DOUBLE_EQ(maxAbsErrorPercent({}), 0.0);
+}
+
+TEST(ValidationTableTest, ContainsRowsAndFooter)
+{
+    std::vector<ValidationRow> rows = {makeRow("145B", 147.0, 148.0)};
+    const std::string table = validationTable(rows, "TFLOP/s/GPU");
+    EXPECT_NE(table.find("145B"), std::string::npos);
+    EXPECT_NE(table.find("TFLOP/s/GPU (model)"), std::string::npos);
+    EXPECT_NE(table.find("max |error|: 0.68 %"), std::string::npos);
+}
+
+TEST(ReferenceDataTest, Table2MatchesPaper)
+{
+    const auto rows = table2Rows();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].modelName, "145B");
+    EXPECT_EQ(rows[0].tp, 8);
+    EXPECT_EQ(rows[0].pp, 8);
+    EXPECT_EQ(rows[0].dp, 24);
+    EXPECT_DOUBLE_EQ(rows[0].paperAmpedTflops, 147.0);
+    EXPECT_DOUBLE_EQ(rows[0].publishedTflops, 148.0);
+    EXPECT_EQ(rows[3].modelName, "1T");
+    EXPECT_EQ(rows[3].pp, 64);
+    EXPECT_DOUBLE_EQ(rows[3].paperErrorPercent, 11.47);
+    // The paper's own error column is consistent with its two value
+    // columns.
+    for (const auto &row : rows) {
+        const double err = std::abs(row.paperAmpedTflops -
+                                    row.publishedTflops) /
+                           row.publishedTflops * 100.0;
+        EXPECT_NEAR(err, row.paperErrorPercent, 0.35)
+            << row.modelName;
+    }
+}
+
+TEST(ReferenceDataTest, Table3MatchesPaper)
+{
+    const auto rows = table3Rows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].gpus, 2);
+    EXPECT_DOUBLE_EQ(rows[0].publishedSpeedup, 1.0);
+    EXPECT_DOUBLE_EQ(rows[2].publishedSpeedup, 3.3);
+    EXPECT_DOUBLE_EQ(rows[2].paperPredicted, 3.19);
+}
+
+TEST(ReferenceDataTest, Fig2cIsMonotoneSaturating)
+{
+    const auto points = fig2cPoints();
+    ASSERT_GE(points.size(), 4u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].microbatch, points[i - 1].microbatch);
+        EXPECT_GE(points[i].publishedTflops,
+                  points[i - 1].publishedTflops);
+        // Error shrinks as the microbatch grows (paper: 11 % -> 2 %).
+        EXPECT_LE(points[i].paperErrorPercent,
+                  points[i - 1].paperErrorPercent);
+    }
+    EXPECT_NEAR(points.front().paperErrorPercent, 11.0, 0.5);
+    EXPECT_NEAR(points.back().paperErrorPercent, 2.0, 0.5);
+}
+
+TEST(CalibrationsTest, CurvesMatchDocumentedAnchors)
+{
+    // Table II anchor: eff(1) ~ 0.62 (Megatron matmul utilization at
+    // microbatch 1 with 2048-token sequences).
+    EXPECT_NEAR(calibrations::megatronTable2()(1.0), 0.62, 0.01);
+    // Case Study I anchors: floor 25 %, ~31 % at ub = 16.
+    const auto cs1 = calibrations::caseStudy1();
+    EXPECT_DOUBLE_EQ(cs1(1.0), 0.25);
+    EXPECT_NEAR(cs1(16.0), 0.31, 0.02);
+    EXPECT_GT(cs1(128.0), 0.68);
+    // Fig. 2c anchor: still climbing at 12, high at 60.
+    const auto f2c = calibrations::fig2cSweep();
+    EXPECT_LT(f2c(12.0), f2c(60.0));
+    EXPECT_GT(f2c(60.0), 0.85);
+}
+
+TEST(CalibrationsTest, ValidationOptionsUseNaivePipelining)
+{
+    const auto options = calibrations::validationOptions();
+    EXPECT_DOUBLE_EQ(options.bubbleOverlapRatio, 1.0);
+    EXPECT_DOUBLE_EQ(options.backwardComputeMultiplier, 3.0);
+    EXPECT_DOUBLE_EQ(options.zeroDpOverhead, 0.0);
+}
+
+} // namespace
+} // namespace validate
+} // namespace amped

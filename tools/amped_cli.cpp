@@ -1,0 +1,415 @@
+/**
+ * @file
+ * `amped` — the command-line front end to the model.
+ *
+ * Subcommands:
+ *   evaluate   predict training time/throughput for one mapping
+ *   explore    rank every valid mapping of a cluster
+ *   breakdown  per-phase time split for one mapping (Fig. 3 view)
+ *   memory     per-device memory footprint and ZeRO comparison
+ *   scale      strong-scaling sweep: best mapping per node count
+ *   report     full markdown report (prediction+memory+energy)
+ *   presets    list the built-in model/accelerator/interconnect names
+ *
+ * Custom hardware/models load from key = value files via
+ * --model-file / --accel-file / --system-file (see
+ * explore/config_io.hpp for the schemas).
+ *
+ * Examples:
+ *   amped evaluate --model gpt3 --batch 1536 --nodes 128 \
+ *       --per-node 8 --tp-intra 8 --pp-inter 16 --dp-inter 8
+ *   amped explore --model 145b --batch 8192 --top 10 --memory-check
+ *   amped memory --model 1t --batch 3072 --tp-intra 8 --pp-inter 64 \
+ *       --dp-inter 6 --zero 2
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/arg_parser.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/amped_model.hpp"
+#include "core/memory_model.hpp"
+#include "explore/explorer.hpp"
+#include "explore/report.hpp"
+#include "explore/config_io.hpp"
+#include "explore/registry.hpp"
+#include "net/system_config.hpp"
+#include "validate/calibrations.hpp"
+
+namespace {
+
+using namespace amped;
+
+/** Options shared by every subcommand. */
+void
+addCommonOptions(ArgParser &parser)
+{
+    parser.addOption("model", "model preset name", "145b");
+    parser.addOption("model-file",
+                     "model config file (overrides --model)", "");
+    parser.addOption("accel", "accelerator preset name", "a100");
+    parser.addOption("accel-file",
+                     "accelerator config file (overrides --accel)",
+                     "");
+    parser.addOption("system-file",
+                     "system config file (overrides the cluster "
+                     "options)", "");
+    parser.addOption("intra", "intra-node interconnect preset",
+                     "nvlink-a100");
+    parser.addOption("inter", "inter-node interconnect preset",
+                     "hdr");
+    parser.addOption("nodes", "number of nodes", "128");
+    parser.addOption("per-node", "accelerators per node", "8");
+    parser.addOption("nics", "NICs per node (0 = one per "
+                             "accelerator)", "0");
+    parser.addOption("batch", "global batch size", "8192");
+    parser.addOption("tokens", "training-token budget", "300e9");
+    parser.addOption("eff-a", "efficiency curve parameter a", "0.9");
+    parser.addOption("eff-b", "efficiency curve parameter b", "30");
+    parser.addOption("eff-floor", "efficiency floor", "0.25");
+    parser.addOption("bubble-r", "bubble-overlap ratio R", "0.1");
+    parser.addOption("microbatch",
+                     "microbatch size (0 = B/(DP*PP))", "0");
+}
+
+void
+addMappingOptions(ArgParser &parser)
+{
+    parser.addOption("tp-intra", "tensor parallel, intra-node", "1");
+    parser.addOption("pp-intra", "pipeline parallel, intra-node", "1");
+    parser.addOption("dp-intra", "data parallel, intra-node", "1");
+    parser.addOption("tp-inter", "tensor parallel, inter-node", "1");
+    parser.addOption("pp-inter", "pipeline parallel, inter-node", "1");
+    parser.addOption("dp-inter", "data parallel, inter-node", "1");
+}
+
+model::TransformerConfig
+modelConfigFrom(const ArgParser &parser)
+{
+    if (!parser.get("model-file").empty())
+        return explore::modelFromFile(parser.get("model-file"));
+    return explore::modelByName(parser.get("model"));
+}
+
+hw::AcceleratorConfig
+acceleratorConfigFrom(const ArgParser &parser)
+{
+    if (!parser.get("accel-file").empty())
+        return explore::acceleratorFromFile(parser.get("accel-file"));
+    return explore::acceleratorByName(parser.get("accel"));
+}
+
+net::SystemConfig
+systemFrom(const ArgParser &parser)
+{
+    if (!parser.get("system-file").empty())
+        return explore::systemFromFile(parser.get("system-file"));
+    net::SystemConfig sys;
+    sys.numNodes = parser.getInt("nodes");
+    sys.acceleratorsPerNode = parser.getInt("per-node");
+    sys.intraLink = explore::interconnectByName(parser.get("intra"));
+    sys.interLink = explore::interconnectByName(parser.get("inter"));
+    const std::int64_t nics = parser.getInt("nics");
+    sys.nicsPerNode = nics > 0 ? nics : sys.acceleratorsPerNode;
+    sys.name = std::to_string(sys.numNodes) + "x" +
+               std::to_string(sys.acceleratorsPerNode) + " " +
+               parser.get("accel") + " / " + parser.get("inter");
+    sys.validate();
+    return sys;
+}
+
+core::AmpedModel
+modelFrom(const ArgParser &parser)
+{
+    core::ModelOptions options = validate::calibrations::
+        nvswitchOptions(parser.getInt("per-node"));
+    options.bubbleOverlapRatio = parser.getDouble("bubble-r");
+    const double a = parser.getDouble("eff-a");
+    const double floor =
+        std::min(parser.getDouble("eff-floor"), a);
+    return core::AmpedModel(
+        modelConfigFrom(parser), acceleratorConfigFrom(parser),
+        hw::MicrobatchEfficiency(a, parser.getDouble("eff-b"), floor),
+        systemFrom(parser), options);
+}
+
+core::TrainingJob
+jobFrom(const ArgParser &parser)
+{
+    core::TrainingJob job;
+    job.batchSize = parser.getDouble("batch");
+    job.totalTrainingTokens = parser.getDouble("tokens");
+    const double ub = parser.getDouble("microbatch");
+    if (ub > 0.0)
+        job.microbatching.microbatchSizeOverride = ub;
+    return job;
+}
+
+mapping::ParallelismConfig
+mappingFrom(const ArgParser &parser)
+{
+    return mapping::makeMapping(
+        parser.getInt("tp-intra"), parser.getInt("pp-intra"),
+        parser.getInt("dp-intra"), parser.getInt("tp-inter"),
+        parser.getInt("pp-inter"), parser.getInt("dp-inter"));
+}
+
+int
+cmdEvaluate(const std::vector<std::string> &args, bool breakdown)
+{
+    ArgParser parser;
+    addCommonOptions(parser);
+    addMappingOptions(parser);
+    parser.parse(args);
+
+    const auto model = modelFrom(parser);
+    const auto result =
+        model.evaluate(mappingFrom(parser), jobFrom(parser));
+
+    std::cout << "mapping:        "
+              << mappingFrom(parser).toString() << "\n"
+              << "microbatch:     " << result.microbatchSize
+              << " (eff "
+              << units::formatFixed(result.efficiency, 3) << ")\n"
+              << "time per batch: "
+              << units::formatDuration(result.timePerBatch) << "\n"
+              << "training time:  "
+              << units::formatDuration(result.totalTime) << "\n"
+              << "throughput:     "
+              << units::formatFlops(result.achievedFlopsPerGpu)
+              << " per GPU, "
+              << units::formatCount(result.tokensPerSecond)
+              << " tokens/s\n";
+    if (breakdown) {
+        std::cout << "\n" << explore::breakdownTable(result);
+    }
+    return 0;
+}
+
+int
+cmdExplore(const std::vector<std::string> &args)
+{
+    ArgParser parser;
+    addCommonOptions(parser);
+    parser.addOption("top", "how many mappings to print", "10");
+    parser.addFlag("memory-check",
+                   "drop mappings that exceed device memory");
+    parser.addFlag("csv", "emit CSV instead of an aligned table");
+    parser.parse(args);
+
+    explore::Explorer explorer(modelFrom(parser));
+    if (parser.getFlag("memory-check")) {
+        explorer.setMemoryModel(core::MemoryModel(
+            model::OpCounter(modelConfigFrom(parser)),
+            acceleratorConfigFrom(parser)));
+    }
+    auto sweep = explorer.sweepAll({parser.getDouble("batch")},
+                                   jobFrom(parser));
+    explore::Explorer::sortByTime(sweep.entries);
+    const auto top =
+        static_cast<std::size_t>(parser.getInt("top"));
+    if (sweep.entries.size() > top)
+        sweep.entries.resize(top);
+
+    std::cerr << sweep.entries.size() << " mappings shown; skipped "
+              << sweep.skipped << " infeasible";
+    if (parser.getFlag("memory-check"))
+        std::cerr << ", " << sweep.memorySkipped << " over memory";
+    std::cerr << "\n";
+    if (parser.getFlag("csv"))
+        std::cout << explore::sweepCsv(sweep.entries);
+    else
+        std::cout << explore::sweepTable(sweep.entries);
+    return 0;
+}
+
+int
+cmdMemory(const std::vector<std::string> &args)
+{
+    ArgParser parser;
+    addCommonOptions(parser);
+    addMappingOptions(parser);
+    parser.addOption("zero", "ZeRO stage (0-3)", "0");
+    parser.parse(args);
+
+    const auto model_cfg = modelConfigFrom(parser);
+    const auto accel = acceleratorConfigFrom(parser);
+    const auto m = mappingFrom(parser);
+    const auto job = jobFrom(parser);
+    const double ub = job.microbatching.microbatchSize(
+        job.batchSize, m);
+
+    core::MemoryOptions options;
+    const std::int64_t stage = parser.getInt("zero");
+    require(stage >= 0 && stage <= 3, "--zero must be 0..3, got ",
+            stage);
+    options.zeroStage = static_cast<core::ZeroStage>(stage);
+    core::MemoryModel mm(model::OpCounter(model_cfg), accel, options);
+    const auto fp = mm.footprint(m, job.batchSize, ub);
+
+    auto gb = [](double bytes) {
+        return units::formatFixed(bytes / 1e9, 2) + " GB";
+    };
+    std::cout << "mapping:     " << m.toString() << " ("
+              << core::zeroStageName(options.zeroStage) << ")\n"
+              << "parameters:  " << gb(fp.parameterBytes) << "\n"
+              << "gradients:   " << gb(fp.gradientBytes) << "\n"
+              << "optimizer:   " << gb(fp.optimizerBytes) << "\n"
+              << "activations: " << gb(fp.activationBytes) << "\n"
+              << "workspace:   " << gb(fp.workspaceBytes) << "\n"
+              << "total:       " << gb(fp.totalBytes()) << " of "
+              << gb(accel.memoryBytes) << " -> "
+              << (mm.fits(m, job.batchSize, ub) ? "fits"
+                                                : "DOES NOT FIT")
+              << "\n";
+    return 0;
+}
+
+int
+cmdReport(const std::vector<std::string> &args)
+{
+    ArgParser parser;
+    addCommonOptions(parser);
+    addMappingOptions(parser);
+    parser.addOption("zero", "ZeRO stage (0-3)", "0");
+    parser.addOption("tdp", "accelerator TDP in watts", "400");
+    parser.addOption("idle-fraction",
+                     "idle power as a fraction of TDP", "0.3");
+    parser.parse(args);
+
+    explore::ReportOptions options;
+    const std::int64_t stage = parser.getInt("zero");
+    require(stage >= 0 && stage <= 3, "--zero must be 0..3, got ",
+            stage);
+    options.memory.zeroStage = static_cast<core::ZeroStage>(stage);
+    options.power.tdpWatts = parser.getDouble("tdp");
+    options.power.idleFraction = parser.getDouble("idle-fraction");
+
+    std::cout << explore::generateReport(modelFrom(parser),
+                                         mappingFrom(parser),
+                                         jobFrom(parser), options);
+    return 0;
+}
+
+int
+cmdScale(const std::vector<std::string> &args)
+{
+    ArgParser parser;
+    addCommonOptions(parser);
+    parser.addOption("max-nodes", "largest node count to sweep",
+                     "256");
+    parser.parse(args);
+
+    std::cout << "strong scaling: best mapping per node count, "
+              << parser.get("model") << ", batch "
+              << parser.get("batch") << "\n";
+    TextTable table({"nodes", "accelerators", "best mapping", "days",
+                     "speedup", "efficiency"});
+    double base_time = 0.0;
+    std::int64_t base_nodes = 0;
+    for (std::int64_t nodes = 1;
+         nodes <= parser.getInt("max-nodes"); nodes *= 2) {
+        net::SystemConfig sys = systemFrom(parser);
+        sys.numNodes = nodes;
+        core::ModelOptions options = validate::calibrations::
+            nvswitchOptions(sys.acceleratorsPerNode);
+        options.bubbleOverlapRatio = parser.getDouble("bubble-r");
+        const double a = parser.getDouble("eff-a");
+        core::AmpedModel amped(
+            modelConfigFrom(parser), acceleratorConfigFrom(parser),
+            hw::MicrobatchEfficiency(
+                a, parser.getDouble("eff-b"),
+                std::min(parser.getDouble("eff-floor"), a)),
+            sys, options);
+        explore::Explorer explorer(amped);
+        auto sweep = explorer.sweepAll(
+            {parser.getDouble("batch")}, jobFrom(parser));
+        const auto best = explore::Explorer::best(sweep);
+        if (!best) {
+            table.addRow({std::to_string(nodes),
+                          std::to_string(sys.totalAccelerators()),
+                          "(none feasible)", "-", "-", "-"});
+            continue;
+        }
+        if (base_time == 0.0) {
+            base_time = best->result.totalTime;
+            base_nodes = nodes;
+        }
+        const double speedup = base_time / best->result.totalTime;
+        const double ideal =
+            static_cast<double>(nodes) /
+            static_cast<double>(base_nodes);
+        table.addRow(
+            {std::to_string(nodes),
+             std::to_string(sys.totalAccelerators()),
+             best->mapping.toString(),
+             units::formatFixed(best->result.totalTime / 86400.0, 1),
+             units::formatFixed(speedup, 2) + "x",
+             units::formatFixed(100.0 * speedup / ideal, 1) + " %"});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdPresets()
+{
+    auto print = [](const char *label,
+                    const std::vector<std::string> &names) {
+        std::cout << label << ":";
+        for (const auto &name : names)
+            std::cout << ' ' << name;
+        std::cout << '\n';
+    };
+    print("models", explore::modelNames());
+    print("accelerators", explore::acceleratorNames());
+    print("interconnects", explore::interconnectNames());
+    return 0;
+}
+
+int
+usage()
+{
+    std::cout
+        << "usage: amped <evaluate|breakdown|explore|memory|scale|report|presets> "
+           "[options]\n"
+           "run 'amped <subcommand> --help' style options are shown "
+           "on any parse error.\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (command == "evaluate")
+            return cmdEvaluate(args, /*breakdown=*/false);
+        if (command == "breakdown")
+            return cmdEvaluate(args, /*breakdown=*/true);
+        if (command == "explore")
+            return cmdExplore(args);
+        if (command == "memory")
+            return cmdMemory(args);
+        if (command == "scale")
+            return cmdScale(args);
+        if (command == "report")
+            return cmdReport(args);
+        if (command == "presets")
+            return cmdPresets();
+        std::cerr << "unknown subcommand '" << command << "'\n";
+        return usage();
+    } catch (const amped::UserError &error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 1;
+    }
+}
