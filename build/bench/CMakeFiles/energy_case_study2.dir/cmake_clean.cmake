@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_case_study2.dir/energy_case_study2.cpp.o"
+  "CMakeFiles/energy_case_study2.dir/energy_case_study2.cpp.o.d"
+  "energy_case_study2"
+  "energy_case_study2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_case_study2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for energy_case_study2.
+# This may be replaced when dependencies are built.

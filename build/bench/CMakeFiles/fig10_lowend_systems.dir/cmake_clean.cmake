@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lowend_systems.dir/fig10_lowend_systems.cpp.o"
+  "CMakeFiles/fig10_lowend_systems.dir/fig10_lowend_systems.cpp.o.d"
+  "fig10_lowend_systems"
+  "fig10_lowend_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lowend_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

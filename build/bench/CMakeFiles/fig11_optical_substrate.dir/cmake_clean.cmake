@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_optical_substrate.dir/fig11_optical_substrate.cpp.o"
+  "CMakeFiles/fig11_optical_substrate.dir/fig11_optical_substrate.cpp.o.d"
+  "fig11_optical_substrate"
+  "fig11_optical_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_optical_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_utilization.cpp" "bench/CMakeFiles/fig1_utilization.dir/fig1_utilization.cpp.o" "gcc" "bench/CMakeFiles/fig1_utilization.dir/fig1_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/amped_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/amped_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amped_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/validate/CMakeFiles/amped_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/amped_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/amped_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/amped_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amped_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amped_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_dp_validation.dir/fig2a_dp_validation.cpp.o"
+  "CMakeFiles/fig2a_dp_validation.dir/fig2a_dp_validation.cpp.o.d"
+  "fig2a_dp_validation"
+  "fig2a_dp_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_dp_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

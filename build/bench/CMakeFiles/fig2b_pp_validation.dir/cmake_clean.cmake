@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_pp_validation.dir/fig2b_pp_validation.cpp.o"
+  "CMakeFiles/fig2b_pp_validation.dir/fig2b_pp_validation.cpp.o.d"
+  "fig2b_pp_validation"
+  "fig2b_pp_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_pp_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

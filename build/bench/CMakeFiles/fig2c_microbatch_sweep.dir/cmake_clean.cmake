@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_microbatch_sweep.dir/fig2c_microbatch_sweep.cpp.o"
+  "CMakeFiles/fig2c_microbatch_sweep.dir/fig2c_microbatch_sweep.cpp.o.d"
+  "fig2c_microbatch_sweep"
+  "fig2c_microbatch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_microbatch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

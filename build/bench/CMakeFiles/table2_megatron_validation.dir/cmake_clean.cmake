@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_megatron_validation.dir/table2_megatron_validation.cpp.o"
+  "CMakeFiles/table2_megatron_validation.dir/table2_megatron_validation.cpp.o.d"
+  "table2_megatron_validation"
+  "table2_megatron_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_megatron_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_efficiency.dir/calibrate_efficiency.cpp.o"
+  "CMakeFiles/calibrate_efficiency.dir/calibrate_efficiency.cpp.o.d"
+  "calibrate_efficiency"
+  "calibrate_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_pipeline.dir/heterogeneous_pipeline.cpp.o"
+  "CMakeFiles/heterogeneous_pipeline.dir/heterogeneous_pipeline.cpp.o.d"
+  "heterogeneous_pipeline"
+  "heterogeneous_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

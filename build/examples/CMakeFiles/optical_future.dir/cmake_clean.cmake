@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_future.dir/optical_future.cpp.o"
+  "CMakeFiles/optical_future.dir/optical_future.cpp.o.d"
+  "optical_future"
+  "optical_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_common.dir/arg_parser.cpp.o"
+  "CMakeFiles/amped_common.dir/arg_parser.cpp.o.d"
+  "CMakeFiles/amped_common.dir/error.cpp.o"
+  "CMakeFiles/amped_common.dir/error.cpp.o.d"
+  "CMakeFiles/amped_common.dir/keyval.cpp.o"
+  "CMakeFiles/amped_common.dir/keyval.cpp.o.d"
+  "CMakeFiles/amped_common.dir/log.cpp.o"
+  "CMakeFiles/amped_common.dir/log.cpp.o.d"
+  "CMakeFiles/amped_common.dir/math_util.cpp.o"
+  "CMakeFiles/amped_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/amped_common.dir/table.cpp.o"
+  "CMakeFiles/amped_common.dir/table.cpp.o.d"
+  "CMakeFiles/amped_common.dir/units.cpp.o"
+  "CMakeFiles/amped_common.dir/units.cpp.o.d"
+  "libamped_common.a"
+  "libamped_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

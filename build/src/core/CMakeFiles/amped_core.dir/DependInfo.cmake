@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amped_model.cpp" "src/core/CMakeFiles/amped_core.dir/amped_model.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/amped_model.cpp.o.d"
+  "/root/repo/src/core/breakdown.cpp" "src/core/CMakeFiles/amped_core.dir/breakdown.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/breakdown.cpp.o.d"
+  "/root/repo/src/core/compute_cost.cpp" "src/core/CMakeFiles/amped_core.dir/compute_cost.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/compute_cost.cpp.o.d"
+  "/root/repo/src/core/energy_model.cpp" "src/core/CMakeFiles/amped_core.dir/energy_model.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/energy_model.cpp.o.d"
+  "/root/repo/src/core/heterogeneous.cpp" "src/core/CMakeFiles/amped_core.dir/heterogeneous.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/amped_core.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/pipeline_schedule.cpp" "src/core/CMakeFiles/amped_core.dir/pipeline_schedule.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/pipeline_schedule.cpp.o.d"
+  "/root/repo/src/core/roofline_baseline.cpp" "src/core/CMakeFiles/amped_core.dir/roofline_baseline.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/roofline_baseline.cpp.o.d"
+  "/root/repo/src/core/training_job.cpp" "src/core/CMakeFiles/amped_core.dir/training_job.cpp.o" "gcc" "src/core/CMakeFiles/amped_core.dir/training_job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amped_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/amped_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/amped_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amped_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/amped_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_core.dir/amped_model.cpp.o"
+  "CMakeFiles/amped_core.dir/amped_model.cpp.o.d"
+  "CMakeFiles/amped_core.dir/breakdown.cpp.o"
+  "CMakeFiles/amped_core.dir/breakdown.cpp.o.d"
+  "CMakeFiles/amped_core.dir/compute_cost.cpp.o"
+  "CMakeFiles/amped_core.dir/compute_cost.cpp.o.d"
+  "CMakeFiles/amped_core.dir/energy_model.cpp.o"
+  "CMakeFiles/amped_core.dir/energy_model.cpp.o.d"
+  "CMakeFiles/amped_core.dir/heterogeneous.cpp.o"
+  "CMakeFiles/amped_core.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/amped_core.dir/memory_model.cpp.o"
+  "CMakeFiles/amped_core.dir/memory_model.cpp.o.d"
+  "CMakeFiles/amped_core.dir/pipeline_schedule.cpp.o"
+  "CMakeFiles/amped_core.dir/pipeline_schedule.cpp.o.d"
+  "CMakeFiles/amped_core.dir/roofline_baseline.cpp.o"
+  "CMakeFiles/amped_core.dir/roofline_baseline.cpp.o.d"
+  "CMakeFiles/amped_core.dir/training_job.cpp.o"
+  "CMakeFiles/amped_core.dir/training_job.cpp.o.d"
+  "libamped_core.a"
+  "libamped_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

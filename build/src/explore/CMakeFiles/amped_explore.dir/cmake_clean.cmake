@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_explore.dir/ablation.cpp.o"
+  "CMakeFiles/amped_explore.dir/ablation.cpp.o.d"
+  "CMakeFiles/amped_explore.dir/config_io.cpp.o"
+  "CMakeFiles/amped_explore.dir/config_io.cpp.o.d"
+  "CMakeFiles/amped_explore.dir/explorer.cpp.o"
+  "CMakeFiles/amped_explore.dir/explorer.cpp.o.d"
+  "CMakeFiles/amped_explore.dir/registry.cpp.o"
+  "CMakeFiles/amped_explore.dir/registry.cpp.o.d"
+  "CMakeFiles/amped_explore.dir/report.cpp.o"
+  "CMakeFiles/amped_explore.dir/report.cpp.o.d"
+  "libamped_explore.a"
+  "libamped_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cpp" "src/hw/CMakeFiles/amped_hw.dir/accelerator.cpp.o" "gcc" "src/hw/CMakeFiles/amped_hw.dir/accelerator.cpp.o.d"
+  "/root/repo/src/hw/efficiency.cpp" "src/hw/CMakeFiles/amped_hw.dir/efficiency.cpp.o" "gcc" "src/hw/CMakeFiles/amped_hw.dir/efficiency.cpp.o.d"
+  "/root/repo/src/hw/presets.cpp" "src/hw/CMakeFiles/amped_hw.dir/presets.cpp.o" "gcc" "src/hw/CMakeFiles/amped_hw.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amped_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_hw.dir/accelerator.cpp.o"
+  "CMakeFiles/amped_hw.dir/accelerator.cpp.o.d"
+  "CMakeFiles/amped_hw.dir/efficiency.cpp.o"
+  "CMakeFiles/amped_hw.dir/efficiency.cpp.o.d"
+  "CMakeFiles/amped_hw.dir/presets.cpp.o"
+  "CMakeFiles/amped_hw.dir/presets.cpp.o.d"
+  "libamped_hw.a"
+  "libamped_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_mapping.dir/parallelism.cpp.o"
+  "CMakeFiles/amped_mapping.dir/parallelism.cpp.o.d"
+  "libamped_mapping.a"
+  "libamped_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

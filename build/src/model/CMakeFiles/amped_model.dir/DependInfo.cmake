@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/op_counter.cpp" "src/model/CMakeFiles/amped_model.dir/op_counter.cpp.o" "gcc" "src/model/CMakeFiles/amped_model.dir/op_counter.cpp.o.d"
+  "/root/repo/src/model/presets.cpp" "src/model/CMakeFiles/amped_model.dir/presets.cpp.o" "gcc" "src/model/CMakeFiles/amped_model.dir/presets.cpp.o.d"
+  "/root/repo/src/model/transformer_config.cpp" "src/model/CMakeFiles/amped_model.dir/transformer_config.cpp.o" "gcc" "src/model/CMakeFiles/amped_model.dir/transformer_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amped_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_model.dir/op_counter.cpp.o"
+  "CMakeFiles/amped_model.dir/op_counter.cpp.o.d"
+  "CMakeFiles/amped_model.dir/presets.cpp.o"
+  "CMakeFiles/amped_model.dir/presets.cpp.o.d"
+  "CMakeFiles/amped_model.dir/transformer_config.cpp.o"
+  "CMakeFiles/amped_model.dir/transformer_config.cpp.o.d"
+  "libamped_model.a"
+  "libamped_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

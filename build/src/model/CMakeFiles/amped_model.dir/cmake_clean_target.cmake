@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamped_model.a"
+)

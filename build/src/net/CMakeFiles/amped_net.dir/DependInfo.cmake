@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/collectives.cpp" "src/net/CMakeFiles/amped_net.dir/collectives.cpp.o" "gcc" "src/net/CMakeFiles/amped_net.dir/collectives.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/amped_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/amped_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/system_config.cpp" "src/net/CMakeFiles/amped_net.dir/system_config.cpp.o" "gcc" "src/net/CMakeFiles/amped_net.dir/system_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amped_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

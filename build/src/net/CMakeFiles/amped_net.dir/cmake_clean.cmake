@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_net.dir/collectives.cpp.o"
+  "CMakeFiles/amped_net.dir/collectives.cpp.o.d"
+  "CMakeFiles/amped_net.dir/link.cpp.o"
+  "CMakeFiles/amped_net.dir/link.cpp.o.d"
+  "CMakeFiles/amped_net.dir/system_config.cpp.o"
+  "CMakeFiles/amped_net.dir/system_config.cpp.o.d"
+  "libamped_net.a"
+  "libamped_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

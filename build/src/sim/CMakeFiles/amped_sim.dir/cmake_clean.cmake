@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_sim.dir/engine.cpp.o"
+  "CMakeFiles/amped_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/amped_sim.dir/task_graph.cpp.o"
+  "CMakeFiles/amped_sim.dir/task_graph.cpp.o.d"
+  "CMakeFiles/amped_sim.dir/trace.cpp.o"
+  "CMakeFiles/amped_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/amped_sim.dir/training_sim.cpp.o"
+  "CMakeFiles/amped_sim.dir/training_sim.cpp.o.d"
+  "libamped_sim.a"
+  "libamped_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped_validate.dir/calibrations.cpp.o"
+  "CMakeFiles/amped_validate.dir/calibrations.cpp.o.d"
+  "CMakeFiles/amped_validate.dir/reference_data.cpp.o"
+  "CMakeFiles/amped_validate.dir/reference_data.cpp.o.d"
+  "CMakeFiles/amped_validate.dir/validation.cpp.o"
+  "CMakeFiles/amped_validate.dir/validation.cpp.o.d"
+  "libamped_validate.a"
+  "libamped_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common_args.cpp" "tests/CMakeFiles/amped_tests.dir/test_common_args.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_common_args.cpp.o.d"
+  "/root/repo/tests/test_common_error.cpp" "tests/CMakeFiles/amped_tests.dir/test_common_error.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_common_error.cpp.o.d"
+  "/root/repo/tests/test_common_keyval.cpp" "tests/CMakeFiles/amped_tests.dir/test_common_keyval.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_common_keyval.cpp.o.d"
+  "/root/repo/tests/test_common_log.cpp" "tests/CMakeFiles/amped_tests.dir/test_common_log.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_common_log.cpp.o.d"
+  "/root/repo/tests/test_common_math.cpp" "tests/CMakeFiles/amped_tests.dir/test_common_math.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_common_math.cpp.o.d"
+  "/root/repo/tests/test_common_table.cpp" "tests/CMakeFiles/amped_tests.dir/test_common_table.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_common_table.cpp.o.d"
+  "/root/repo/tests/test_common_units.cpp" "tests/CMakeFiles/amped_tests.dir/test_common_units.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_common_units.cpp.o.d"
+  "/root/repo/tests/test_core_energy.cpp" "tests/CMakeFiles/amped_tests.dir/test_core_energy.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_core_energy.cpp.o.d"
+  "/root/repo/tests/test_core_heterogeneous.cpp" "tests/CMakeFiles/amped_tests.dir/test_core_heterogeneous.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_core_heterogeneous.cpp.o.d"
+  "/root/repo/tests/test_core_job.cpp" "tests/CMakeFiles/amped_tests.dir/test_core_job.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_core_job.cpp.o.d"
+  "/root/repo/tests/test_core_memory.cpp" "tests/CMakeFiles/amped_tests.dir/test_core_memory.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_core_memory.cpp.o.d"
+  "/root/repo/tests/test_core_model.cpp" "tests/CMakeFiles/amped_tests.dir/test_core_model.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_core_model.cpp.o.d"
+  "/root/repo/tests/test_core_properties.cpp" "tests/CMakeFiles/amped_tests.dir/test_core_properties.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_core_properties.cpp.o.d"
+  "/root/repo/tests/test_core_roofline.cpp" "tests/CMakeFiles/amped_tests.dir/test_core_roofline.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_core_roofline.cpp.o.d"
+  "/root/repo/tests/test_core_schedule.cpp" "tests/CMakeFiles/amped_tests.dir/test_core_schedule.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_core_schedule.cpp.o.d"
+  "/root/repo/tests/test_explore.cpp" "tests/CMakeFiles/amped_tests.dir/test_explore.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_explore.cpp.o.d"
+  "/root/repo/tests/test_explore_config_io.cpp" "tests/CMakeFiles/amped_tests.dir/test_explore_config_io.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_explore_config_io.cpp.o.d"
+  "/root/repo/tests/test_explore_registry.cpp" "tests/CMakeFiles/amped_tests.dir/test_explore_registry.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_explore_registry.cpp.o.d"
+  "/root/repo/tests/test_explore_report.cpp" "tests/CMakeFiles/amped_tests.dir/test_explore_report.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_explore_report.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/amped_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_hw_efficiency.cpp" "tests/CMakeFiles/amped_tests.dir/test_hw_efficiency.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_hw_efficiency.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/amped_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_mapping.cpp" "tests/CMakeFiles/amped_tests.dir/test_mapping.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_mapping.cpp.o.d"
+  "/root/repo/tests/test_model_config.cpp" "tests/CMakeFiles/amped_tests.dir/test_model_config.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_model_config.cpp.o.d"
+  "/root/repo/tests/test_model_opcounter.cpp" "tests/CMakeFiles/amped_tests.dir/test_model_opcounter.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_model_opcounter.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/amped_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_sim_2d.cpp" "tests/CMakeFiles/amped_tests.dir/test_sim_2d.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_sim_2d.cpp.o.d"
+  "/root/repo/tests/test_sim_collectives.cpp" "tests/CMakeFiles/amped_tests.dir/test_sim_collectives.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_sim_collectives.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/amped_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_sim_random_dags.cpp" "tests/CMakeFiles/amped_tests.dir/test_sim_random_dags.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_sim_random_dags.cpp.o.d"
+  "/root/repo/tests/test_sim_trace.cpp" "tests/CMakeFiles/amped_tests.dir/test_sim_trace.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_sim_trace.cpp.o.d"
+  "/root/repo/tests/test_sim_training.cpp" "tests/CMakeFiles/amped_tests.dir/test_sim_training.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_sim_training.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/amped_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/amped_tests.dir/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/amped_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/amped_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amped_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/validate/CMakeFiles/amped_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/amped_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/amped_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/amped_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amped_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amped_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

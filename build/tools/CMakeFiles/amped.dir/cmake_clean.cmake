@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amped.dir/amped_cli.cpp.o"
+  "CMakeFiles/amped.dir/amped_cli.cpp.o.d"
+  "amped"
+  "amped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_presets "/root/repo/build/tools/amped" "presets")
+set_tests_properties(cli_presets PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate "/root/repo/build/tools/amped" "evaluate" "--model" "tiny" "--accel" "tiny" "--nodes" "2" "--per-node" "2" "--batch" "64" "--tp-intra" "2" "--dp-intra" "1" "--dp-inter" "2")
+set_tests_properties(cli_evaluate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_breakdown "/root/repo/build/tools/amped" "breakdown" "--model" "tiny" "--accel" "tiny" "--nodes" "2" "--per-node" "2" "--batch" "64" "--tp-intra" "2" "--pp-inter" "2")
+set_tests_properties(cli_breakdown PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explore "/root/repo/build/tools/amped" "explore" "--model" "tiny" "--accel" "tiny" "--nodes" "2" "--per-node" "2" "--batch" "64" "--top" "5")
+set_tests_properties(cli_explore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_memory "/root/repo/build/tools/amped" "memory" "--model" "tiny" "--accel" "tiny" "--nodes" "2" "--per-node" "2" "--batch" "64" "--tp-intra" "2" "--dp-inter" "2" "--zero" "2")
+set_tests_properties(cli_memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/amped" "report" "--model" "tiny" "--accel" "tiny" "--nodes" "2" "--per-node" "2" "--batch" "64" "--tp-intra" "2" "--pp-inter" "2")
+set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_subcommand_fails "/root/repo/build/tools/amped" "frobnicate")
+set_tests_properties(cli_unknown_subcommand_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_option_fails "/root/repo/build/tools/amped" "evaluate" "--no-such-option" "1")
+set_tests_properties(cli_bad_option_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
