@@ -8,11 +8,15 @@
 #ifndef AMPED_BENCH_CASE_STUDY_UTIL_HPP
 #define AMPED_BENCH_CASE_STUDY_UTIL_HPP
 
+#include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/units.hpp"
 #include "core/amped_model.hpp"
+#include "explore/explorer.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
 #include "validate/calibrations.hpp"
@@ -55,6 +59,46 @@ tryEvaluate(const core::AmpedModel &model,
         return std::nullopt;
     }
 }
+
+/**
+ * Evaluates a (mapping x batch) family in one parallel Explorer
+ * sweep and serves the results by point; infeasible points come
+ * back as nullptr (the sweep counts them as skipped).  The figure
+ * harnesses render their tables from this instead of evaluating
+ * serially point by point.
+ */
+class SweepIndex
+{
+  public:
+    SweepIndex(const explore::Explorer &explorer,
+               const std::vector<mapping::ParallelismConfig> &mappings,
+               const std::vector<double> &batches)
+    {
+        const auto sweep = explorer.sweep(
+            mappings, batches, caseStudyJob(batches.front()));
+        for (const auto &entry : sweep.entries)
+            results_[key(entry.mapping, entry.batchSize)] =
+                entry.result;
+    }
+
+    /** The evaluated point, or nullptr when it was infeasible. */
+    const core::EvaluationResult *
+    find(const mapping::ParallelismConfig &mapping, double batch) const
+    {
+        const auto it = results_.find(key(mapping, batch));
+        return it == results_.end() ? nullptr : &it->second;
+    }
+
+  private:
+    static std::string
+    key(const mapping::ParallelismConfig &mapping, double batch)
+    {
+        return mapping.toString() + "@" +
+               units::formatFixed(batch, 0);
+    }
+
+    std::map<std::string, core::EvaluationResult> results_;
+};
 
 } // namespace bench
 } // namespace amped

@@ -18,6 +18,7 @@
 
 #include <iostream>
 #include <optional>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -28,24 +29,26 @@ namespace {
 
 using namespace amped;
 
-/** Best PP-inter evaluation over power-of-two microbatch sizes. */
+/**
+ * Best PP-inter evaluation over power-of-two microbatch sizes,
+ * evaluated as one parallel sweep over microbatch-override jobs
+ * (incompatible sizes count as skipped).
+ */
 std::optional<core::EvaluationResult>
-bestPipelinePoint(const core::AmpedModel &model,
+bestPipelinePoint(const explore::Explorer &explorer,
                   const mapping::ParallelismConfig &m, double batch)
 {
-    std::optional<core::EvaluationResult> best;
+    std::vector<core::TrainingJob> jobs;
     for (double ub = 1.0; ub <= batch; ub *= 2.0) {
         core::TrainingJob job = bench::caseStudyJob(batch);
         job.microbatching.microbatchSizeOverride = ub;
-        try {
-            const auto result = model.evaluate(m, job);
-            if (!best || result.totalTime < best->totalTime)
-                best = result;
-        } catch (const UserError &) {
-            // ub incompatible with the mapping; try the next one.
-        }
+        jobs.push_back(job);
     }
-    return best;
+    const auto sweep = explorer.sweepJobs({m}, jobs);
+    const auto best = explore::Explorer::best(sweep);
+    if (!best)
+        return std::nullopt;
+    return best->result;
 }
 
 } // namespace
@@ -64,20 +67,24 @@ main()
 
     for (std::int64_t per_node : {1, 2, 4, 8}) {
         const auto system = net::presets::lowEndCluster(per_node);
-        const auto model = bench::caseStudyModel(system);
+        const explore::Explorer explorer(
+            bench::caseStudyModel(system));
         const std::int64_t nodes = system.numNodes;
 
         // Pure DP across nodes, TP inside each node.
         const auto dp_mapping =
             mapping::makeMapping(per_node, 1, 1, 1, 1, nodes);
+        const auto dp_sweep = explorer.sweep(
+            {dp_mapping}, {batch}, bench::caseStudyJob(batch));
+        const auto dp_best = explore::Explorer::best(dp_sweep);
         const auto dp_result =
-            bench::tryEvaluate(model, dp_mapping, batch);
+            dp_best ? std::optional(dp_best->result) : std::nullopt;
 
         // Pure PP across nodes, TP inside each node, tuned ub.
         const auto pp_mapping =
             mapping::makeMapping(per_node, 1, 1, 1, nodes, 1);
         const auto pp_result =
-            bestPipelinePoint(model, pp_mapping, batch);
+            bestPipelinePoint(explorer, pp_mapping, batch);
 
         if (!dp_result || !pp_result) {
             table.addRow({std::to_string(per_node), "infeasible",

@@ -28,26 +28,32 @@ namespace {
 using namespace amped;
 
 void
-sweepFamily(const core::AmpedModel &model, const std::string &title,
-            std::int64_t tp_intra, std::int64_t pp_intra,
-            std::int64_t dp_intra,
+sweepFamily(const explore::Explorer &explorer,
+            const std::string &title, std::int64_t tp_intra,
+            std::int64_t pp_intra, std::int64_t dp_intra,
             const std::vector<std::array<std::int64_t, 3>>
                 &inter_configs /* tp, pp, dp */)
 {
+    std::vector<mapping::ParallelismConfig> mappings;
+    mappings.reserve(inter_configs.size());
+    for (const auto &[tp, pp, dp] : inter_configs)
+        mappings.push_back(mapping::makeMapping(
+            tp_intra, pp_intra, dp_intra, tp, pp, dp));
+    const std::vector<double> batches = {4096.0, 8192.0, 16384.0};
+    const bench::SweepIndex index(explorer, mappings, batches);
+
     std::cout << "--- " << title << " ---\n";
     TextTable table({"inter config", "B=4096 (days)", "B=8192 (days)",
                      "B=16384 (days)", "eff @16384"});
-    for (const auto &[tp, pp, dp] : inter_configs) {
-        const auto m =
-            mapping::makeMapping(tp_intra, pp_intra, dp_intra, tp, pp,
-                                 dp);
+    for (std::size_t i = 0; i < inter_configs.size(); ++i) {
+        const auto &[tp, pp, dp] = inter_configs[i];
         std::vector<std::string> cells;
         cells.push_back(
             "TP" + std::to_string(tp) + " PP" + std::to_string(pp) +
             " DP" + std::to_string(dp));
         std::string eff_cell = "-";
-        for (double batch : {4096.0, 8192.0, 16384.0}) {
-            const auto result = bench::tryEvaluate(model, m, batch);
+        for (double batch : batches) {
+            const auto *result = index.find(mappings[i], batch);
             if (result) {
                 cells.push_back(units::formatFixed(
                     result->trainingDays(), 1));
@@ -74,8 +80,8 @@ main()
     std::cout << "=== Case Study I (Figs. 4-6): Megatron 145B, 1024 "
                  "A100s, TP in intra-node ===\n\n";
 
-    const auto model =
-        bench::caseStudyModel(net::presets::a100Cluster1024());
+    const explore::Explorer model(
+        bench::caseStudyModel(net::presets::a100Cluster1024()));
 
     // Fig. 4: TP x PP across nodes.
     sweepFamily(model, "Fig. 4: TP8 intra | TP_inter x PP_inter", 8,

@@ -29,22 +29,30 @@ namespace {
 using namespace amped;
 
 void
-sweepFamily(const core::AmpedModel &model, const std::string &title,
+sweepFamily(const explore::Explorer &explorer,
+            const std::string &title,
             const std::vector<std::array<std::int64_t, 3>>
                 &inter_configs /* tp, pp, dp */)
 {
+    std::vector<mapping::ParallelismConfig> mappings;
+    mappings.reserve(inter_configs.size());
+    for (const auto &[tp, pp, dp] : inter_configs)
+        mappings.push_back(mapping::makeMapping(1, 1, 8, tp, pp, dp));
+    const std::vector<double> batches = {4096.0, 8192.0, 16384.0};
+    const bench::SweepIndex index(explorer, mappings, batches);
+
     std::cout << "--- " << title << " ---\n";
     TextTable table({"inter config", "B=4096 (days)", "B=8192 (days)",
                      "B=16384 (days)", "eff @4096", "eff @16384"});
-    for (const auto &[tp, pp, dp] : inter_configs) {
-        const auto m = mapping::makeMapping(1, 1, 8, tp, pp, dp);
+    for (std::size_t i = 0; i < inter_configs.size(); ++i) {
+        const auto &[tp, pp, dp] = inter_configs[i];
         std::vector<std::string> cells;
         cells.push_back(
             "TP" + std::to_string(tp) + " PP" + std::to_string(pp) +
             " DP" + std::to_string(dp));
         std::string eff4 = "-", eff16 = "-";
-        for (double batch : {4096.0, 8192.0, 16384.0}) {
-            const auto result = bench::tryEvaluate(model, m, batch);
+        for (double batch : batches) {
+            const auto *result = index.find(mappings[i], batch);
             if (result) {
                 cells.push_back(units::formatFixed(
                     result->trainingDays(), 1));
@@ -72,8 +80,8 @@ main()
     std::cout << "=== Case Study I (Figs. 7-9): Megatron 145B, 1024 "
                  "A100s, DP8 in intra-node ===\n\n";
 
-    const auto model =
-        bench::caseStudyModel(net::presets::a100Cluster1024());
+    const explore::Explorer model(
+        bench::caseStudyModel(net::presets::a100Cluster1024()));
 
     sweepFamily(model, "Fig. 7: DP8 intra | TP_inter x PP_inter",
                 {{1, 128, 1},

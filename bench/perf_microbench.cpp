@@ -10,6 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "common/thread_pool.hpp"
 #include "core/amped_model.hpp"
 #include "explore/explorer.hpp"
 #include "hw/presets.hpp"
@@ -62,6 +65,7 @@ void
 BM_FullSweep360Mappings(benchmark::State &state)
 {
     explore::Explorer explorer(caseStudyModel());
+    explorer.setThreads(1); // The serial baseline.
     core::TrainingJob job;
     job.batchSize = 8192.0;
     job.totalTrainingTokens = 300e9;
@@ -70,6 +74,82 @@ BM_FullSweep360Mappings(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullSweep360Mappings);
+
+/** The >= 200-point grid used by the parallel-sweep benchmarks. */
+const std::vector<double> &
+sweepBatches()
+{
+    static const std::vector<double> batches = {2048.0, 4096.0,
+                                                8192.0, 16384.0};
+    return batches;
+}
+
+/**
+ * Parallel sweepAll at a fixed thread count (arg; 0 = AMPED_THREADS
+ * or all cores).  Compare against BM_FullSweepParallel/1 for the
+ * scaling curve.
+ */
+void
+BM_FullSweepParallel(benchmark::State &state)
+{
+    explore::Explorer explorer(caseStudyModel());
+    explorer.setThreads(static_cast<unsigned>(state.range(0)));
+    core::TrainingJob job;
+    job.batchSize = 8192.0;
+    job.totalTrainingTokens = 300e9;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            explorer.sweepAll(sweepBatches(), job));
+    }
+}
+BENCHMARK(BM_FullSweepParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->UseRealTime();
+
+/**
+ * Serial-vs-parallel sweep on the same grid in one benchmark; the
+ * "speedup" counter is the headline number (expect ~min(cores,
+ * threads)x on a multi-core host, 1x where AMPED_THREADS=1).
+ */
+void
+BM_ParallelSweepSpeedup(benchmark::State &state)
+{
+    explore::Explorer serial(caseStudyModel());
+    serial.setThreads(1);
+    explore::Explorer parallel(caseStudyModel());
+    parallel.setThreads(0); // AMPED_THREADS or all cores.
+    core::TrainingJob job;
+    job.batchSize = 8192.0;
+    job.totalTrainingTokens = 300e9;
+
+    using clock = std::chrono::steady_clock;
+    double serial_seconds = 0.0;
+    double parallel_seconds = 0.0;
+    std::size_t points = 0;
+    for (auto _ : state) {
+        const auto t0 = clock::now();
+        const auto serial_sweep =
+            serial.sweepAll(sweepBatches(), job);
+        const auto t1 = clock::now();
+        const auto parallel_sweep =
+            parallel.sweepAll(sweepBatches(), job);
+        const auto t2 = clock::now();
+        benchmark::DoNotOptimize(&serial_sweep);
+        benchmark::DoNotOptimize(&parallel_sweep);
+        serial_seconds +=
+            std::chrono::duration<double>(t1 - t0).count();
+        parallel_seconds +=
+            std::chrono::duration<double>(t2 - t1).count();
+        points = serial_sweep.entries.size() + serial_sweep.skipped +
+                 serial_sweep.memorySkipped;
+    }
+    state.counters["points"] = static_cast<double>(points);
+    state.counters["threads"] =
+        static_cast<double>(ThreadPool::defaultThreadCount());
+    state.counters["speedup"] =
+        parallel_seconds > 0.0 ? serial_seconds / parallel_seconds
+                               : 0.0;
+}
+BENCHMARK(BM_ParallelSweepSpeedup)->UseRealTime();
 
 void
 BM_SimulateDataParallelStep(benchmark::State &state)

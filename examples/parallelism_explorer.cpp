@@ -6,11 +6,14 @@
  * paper's Case Study I workflow as a command-line tool.
  *
  * Usage:
- *   parallelism_explorer [model] [batch] [nodes] [accs_per_node] [top_k]
+ *   parallelism_explorer [model] [batch] [nodes] [accs_per_node]
+ *                        [top_k] [threads]
  *     model: 145B | 310B | 530B | 1T | gpt3 (default 145B)
  *     batch: global batch size (default 8192)
  *     nodes / accs_per_node: cluster shape (default 128 x 8)
  *     top_k: how many mappings to print (default 10)
+ *     threads: sweep worker threads (default 0 = AMPED_THREADS or
+ *              all cores; the ranking is identical either way)
  */
 
 #include <cstdlib>
@@ -55,6 +58,8 @@ main(int argc, char **argv)
     const std::int64_t per_node = argc > 4 ? std::atoll(argv[4]) : 8;
     const std::size_t top_k =
         argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5])) : 10;
+    const unsigned threads =
+        argc > 6 ? static_cast<unsigned>(std::atoll(argv[6])) : 0;
 
     const auto model_cfg = pickModel(model_name);
 
@@ -73,6 +78,7 @@ main(int argc, char **argv)
             validate::calibrations::caseStudy1(), system,
             validate::calibrations::caseStudyOptions());
         explore::Explorer explorer(amped);
+        explorer.setThreads(threads);
 
         core::TrainingJob job;
         job.batchSize = batch;

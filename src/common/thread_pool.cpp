@@ -1,0 +1,164 @@
+#include "thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace amped {
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("AMPED_THREADS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed >= 1)
+            return static_cast<unsigned>(parsed);
+        // Malformed values fall through to hardware detection.
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? hardware : 1;
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threadCount_(threads > 0 ? threads : defaultThreadCount())
+{
+    workers_.reserve(threadCount_ - 1);
+    for (unsigned i = 1; i < threadCount_; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerMain()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(
+                lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain.
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t max_workers)
+{
+    if (n == 0)
+        return;
+    if (chunk == 0)
+        chunk = 1;
+
+    const std::size_t task_count = (n + chunk - 1) / chunk;
+    std::size_t parallelism = threadCount_;
+    if (max_workers > 0)
+        parallelism = std::min(parallelism, max_workers);
+    parallelism = std::min(parallelism, task_count);
+
+    if (parallelism <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Shared loop state.  Helpers may still be queued when the
+    // caller returns only if an exception fired; even then the
+    // caller waits for pending == 0, so state and fn outlive every
+    // helper.  shared_ptr keeps the queued closures safe regardless.
+    struct LoopState
+    {
+        std::atomic<std::size_t> cursor{0};
+        std::atomic<std::size_t> pending{0};
+        std::atomic<bool> abort{false};
+        std::mutex doneMutex;
+        std::condition_variable done;
+        std::mutex errorMutex;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<LoopState>();
+    const std::function<void(std::size_t)> *body = &fn;
+
+    auto drain = [state, n, chunk, body] {
+        while (!state->abort.load(std::memory_order_relaxed)) {
+            const std::size_t begin =
+                state->cursor.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= n)
+                return;
+            const std::size_t end = std::min(begin + chunk, n);
+            for (std::size_t i = begin; i < end; ++i) {
+                try {
+                    (*body)(i);
+                } catch (...) {
+                    {
+                        std::lock_guard<std::mutex> lock(
+                            state->errorMutex);
+                        if (!state->error)
+                            state->error = std::current_exception();
+                    }
+                    state->abort.store(true,
+                                       std::memory_order_relaxed);
+                    return;
+                }
+            }
+        }
+    };
+
+    const std::size_t helpers = parallelism - 1;
+    state->pending.store(helpers, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < helpers; ++i) {
+            queue_.emplace_back([state, drain] {
+                drain();
+                // Release-ordered so the caller's acquire load of
+                // pending publishes every per-index write.
+                if (state->pending.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1) {
+                    std::lock_guard<std::mutex> lock(state->doneMutex);
+                    state->done.notify_all();
+                }
+            });
+        }
+    }
+    workAvailable_.notify_all();
+
+    drain(); // The caller works too.
+
+    std::unique_lock<std::mutex> lock(state->doneMutex);
+    state->done.wait(lock, [&state] {
+        return state->pending.load(std::memory_order_acquire) == 0;
+    });
+    lock.unlock();
+
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace amped

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reusable fixed-size worker pool with a deterministic parallel-for
+ * primitive.
+ *
+ * The design-space sweeps of the case studies evaluate hundreds to
+ * thousands of independent (mapping, batch) points; each evaluation
+ * is const and takes microseconds, so the natural scaling axis is
+ * host cores.  ThreadPool provides exactly the primitive those
+ * sweeps need: parallelFor(n, chunk, fn) invokes fn(i) once for
+ * every index in [0, n), handing out contiguous chunks to workers
+ * from an atomic cursor.  Callers write results into pre-sized
+ * vectors by index, so the output of a parallel run is byte-
+ * identical to a serial run regardless of the thread count or
+ * scheduling order.
+ *
+ * Thread-count selection (first match wins):
+ *
+ *  1. an explicit count passed to the constructor / parallelFor's
+ *     max_workers cap (e.g. from a --threads CLI flag);
+ *  2. the AMPED_THREADS environment variable (positive integer);
+ *  3. std::thread::hardware_concurrency().
+ *
+ * A count of 1 (or n <= chunk) degrades to a plain serial loop on
+ * the calling thread — no queueing, no synchronization — so the
+ * pool is safe to use unconditionally.
+ */
+
+#ifndef AMPED_COMMON_THREAD_POOL_HPP
+#define AMPED_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amped {
+
+/**
+ * Fixed-size worker pool.  Threads are spawned once in the
+ * constructor and joined in the destructor; every parallelFor call
+ * reuses them.
+ *
+ * The calling thread always participates in the loop it issues, so
+ * a pool constructed with @c threads == k runs loops at parallelism
+ * k using k - 1 pooled workers plus the caller.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total parallelism including the calling thread;
+     *        0 selects defaultThreadCount().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers.  Outstanding loops must have completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Parallelism of this pool (pooled workers + the caller). */
+    unsigned threadCount() const { return threadCount_; }
+
+    /**
+     * Invokes @p fn(i) exactly once for every i in [0, n).
+     *
+     * Work is handed out in contiguous index chunks of @p chunk
+     * (0 is treated as 1) from an atomic cursor.  Determinism
+     * contract: fn must only write to per-index state (e.g. slot i
+     * of a pre-sized vector); under that contract the results are
+     * independent of thread count and scheduling.
+     *
+     * The first exception thrown by fn is captured, remaining
+     * chunks are abandoned at the next chunk boundary, and the
+     * exception is rethrown on the calling thread after all workers
+     * quiesce.
+     *
+     * Runs serially inline when the effective parallelism —
+     * min(threadCount(), max_workers if nonzero, number of chunks)
+     * — is 1.  Must not be called from inside fn (no nesting).
+     *
+     * @param n Number of indices.
+     * @param chunk Indices per work grab (amortizes the cursor).
+     * @param fn Body, invoked as fn(index).
+     * @param max_workers Optional cap on parallelism for this call
+     *        (0 = use the whole pool); lets one shared pool serve
+     *        callers with different --threads settings.
+     */
+    void parallelFor(std::size_t n, std::size_t chunk,
+                     const std::function<void(std::size_t)> &fn,
+                     std::size_t max_workers = 0);
+
+    /**
+     * AMPED_THREADS when set to a positive integer, otherwise
+     * hardware_concurrency() (at least 1).
+     */
+    static unsigned defaultThreadCount();
+
+    /**
+     * Process-wide pool, created on first use with
+     * defaultThreadCount() threads.  Sweep callers share it instead
+     * of spawning threads per sweep; per-call max_workers caps keep
+     * different --threads settings independent.
+     */
+    static ThreadPool &shared();
+
+  private:
+    void workerMain();
+
+    unsigned threadCount_;
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+};
+
+} // namespace amped
+
+#endif // AMPED_COMMON_THREAD_POOL_HPP

@@ -49,6 +49,14 @@ struct EvaluationResult
  * Immutable after construction; evaluate() is const and cheap
  * (microseconds), which is what makes the exhaustive design-space
  * exploration of the case studies practical.
+ *
+ * Thread safety: every const member function may be called
+ * concurrently on one instance from multiple threads.  The
+ * evaluator and everything it reaches (OpCounter,
+ * AcceleratorConfig, MicrobatchEfficiency, SystemConfig,
+ * ModelOptions, the collective cost functions) hold no mutable or
+ * static state; explore::Explorer relies on this to evaluate sweep
+ * points in parallel against one shared model.
  */
 class AmpedModel
 {

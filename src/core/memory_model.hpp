@@ -102,6 +102,10 @@ struct MemoryFootprint
 /**
  * Computes per-accelerator memory footprints for mappings of a
  * transformer model.
+ *
+ * Thread safety: immutable after construction; footprint() / fits()
+ * are const with no hidden state and safe to call concurrently
+ * (the parallel Explorer screens points on a shared instance).
  */
 class MemoryModel
 {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 
 namespace amped {
@@ -23,30 +24,82 @@ Explorer::sweep(const std::vector<mapping::ParallelismConfig> &mappings,
                 const std::vector<double> &batch_sizes,
                 const core::TrainingJob &job_template) const
 {
+    std::vector<core::TrainingJob> jobs;
+    jobs.reserve(batch_sizes.size());
+    for (double batch : batch_sizes) {
+        core::TrainingJob job = job_template;
+        job.batchSize = batch;
+        jobs.push_back(job);
+    }
+    return sweepJobs(mappings, jobs);
+}
+
+SweepResult
+Explorer::sweepJobs(
+    const std::vector<mapping::ParallelismConfig> &mappings,
+    const std::vector<core::TrainingJob> &jobs) const
+{
     SweepResult out;
-    for (const auto &m : mappings) {
-        for (double batch : batch_sizes) {
-            core::TrainingJob job = job_template;
-            job.batchSize = batch;
-            try {
-                if (memoryModel_) {
-                    const double ub =
-                        job.microbatching.microbatchSize(batch, m);
-                    if (!memoryModel_->fits(m, batch, ub)) {
-                        ++out.memorySkipped;
-                        continue;
-                    }
+    const std::size_t count = mappings.size() * jobs.size();
+    if (count == 0)
+        return out;
+
+    // Grid order is mapping-major (all jobs of mapping 0, then
+    // mapping 1, ...), matching the historical serial double loop.
+    // Every point writes only its own slot; the reduction below
+    // walks the slots in grid order, so entries and skip counters
+    // come out identical to a serial run at any thread count.
+    enum class PointStatus : unsigned char
+    {
+        infeasible,
+        overMemory,
+        feasible
+    };
+    std::vector<PointStatus> status(count, PointStatus::infeasible);
+    std::vector<core::EvaluationResult> results(count);
+
+    const auto evaluatePoint = [&](std::size_t index) {
+        const auto &m = mappings[index / jobs.size()];
+        const core::TrainingJob &job = jobs[index % jobs.size()];
+        try {
+            if (memoryModel_) {
+                const double ub = job.microbatching.microbatchSize(
+                    job.batchSize, m);
+                if (!memoryModel_->fits(m, job.batchSize, ub)) {
+                    status[index] = PointStatus::overMemory;
+                    return;
                 }
-                SweepEntry entry;
-                entry.mapping = m;
-                entry.batchSize = batch;
-                entry.result = model_.evaluate(m, job);
-                out.entries.push_back(std::move(entry));
-            } catch (const UserError &) {
-                // Infeasible point (batch too small, bad mapping):
-                // skip it, keep sweeping.
-                ++out.skipped;
             }
+            results[index] = model_.evaluate(m, job);
+            status[index] = PointStatus::feasible;
+        } catch (const UserError &) {
+            // Infeasible point (batch too small, bad mapping):
+            // skip it, keep sweeping.
+            status[index] = PointStatus::infeasible;
+        }
+    };
+
+    // A point costs microseconds; chunks of 8 keep the cursor cold.
+    ThreadPool::shared().parallelFor(
+        count, /*chunk=*/8, evaluatePoint,
+        threads_ > 0 ? threads_ : ThreadPool::defaultThreadCount());
+
+    for (std::size_t index = 0; index < count; ++index) {
+        switch (status[index]) {
+        case PointStatus::feasible: {
+            SweepEntry entry;
+            entry.mapping = mappings[index / jobs.size()];
+            entry.batchSize = jobs[index % jobs.size()].batchSize;
+            entry.result = std::move(results[index]);
+            out.entries.push_back(std::move(entry));
+            break;
+        }
+        case PointStatus::infeasible:
+            ++out.skipped;
+            break;
+        case PointStatus::overMemory:
+            ++out.memorySkipped;
+            break;
         }
     }
     return out;
@@ -113,8 +166,14 @@ sweepCsv(const std::vector<SweepEntry> &entries)
         "mapping", "tp",         "pp",          "dp",
         "batch",   "microbatch", "efficiency",  "seconds_per_batch",
         "total_seconds", "tflops_per_gpu"};
-    for (const auto &[label, seconds] :
-         core::Breakdown{}.phases()) {
+    // Derive the phase columns from the first entry so headers and
+    // data rows can never silently misalign; every entry must carry
+    // the same phase set (checked below).
+    const auto reference_phases = entries.empty()
+                                      ? core::Breakdown{}.phases()
+                                      : entries.front()
+                                            .result.perBatch.phases();
+    for (const auto &[label, seconds] : reference_phases) {
         (void)seconds;
         std::string key = label;
         for (char &ch : key)
@@ -136,9 +195,18 @@ sweepCsv(const std::vector<SweepEntry> &entries)
             units::formatFixed(e.result.totalTime, 3),
             units::formatFixed(
                 e.result.achievedFlopsPerGpu / units::tera, 3)};
-        for (const auto &[label, seconds] : e.result.perBatch.phases()) {
-            (void)label;
-            row.push_back(units::formatFixed(seconds, 9));
+        const auto entry_phases = e.result.perBatch.phases();
+        require(entry_phases.size() == reference_phases.size(),
+                "sweepCsv: entry for ", e.mapping.toString(),
+                " has ", entry_phases.size(), " phases, header has ",
+                reference_phases.size());
+        for (std::size_t i = 0; i < entry_phases.size(); ++i) {
+            require(entry_phases[i].first == reference_phases[i].first,
+                    "sweepCsv: phase mismatch at column ", i, ": '",
+                    entry_phases[i].first, "' vs header '",
+                    reference_phases[i].first, "'");
+            row.push_back(
+                units::formatFixed(entry_phases[i].second, 9));
         }
         table.addRow(std::move(row));
     }

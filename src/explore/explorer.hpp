@@ -8,6 +8,17 @@
  * AmpedModel, skips points that are infeasible (batch too small for
  * the mapping, pipeline deeper than the layer count), ranks the
  * rest, and renders report tables.
+ *
+ * Sweeps run in parallel on the shared ThreadPool: the (mapping x
+ * job) grid is enumerated up front, each point is evaluated into a
+ * slot indexed by its grid position, and the slots are reduced in
+ * grid order afterwards — so entry order, skip counters, tables and
+ * CSVs are byte-identical to a serial run at any thread count.
+ * AmpedModel::evaluate and MemoryModel::fits are const and touch no
+ * shared mutable state (audited: the only mutable member in the
+ * library, hw::EfficiencyFitter::lastResidual_, is not reachable
+ * from an evaluation), which is what makes the concurrent
+ * evaluation of one shared model instance safe.
  */
 
 #ifndef AMPED_EXPLORE_EXPLORER_HPP
@@ -64,12 +75,33 @@ class Explorer
                       const core::TrainingJob &job_template) const;
 
     /**
+     * Evaluates every mapping under every fully-specified job (the
+     * general grid: jobs may differ in batch size, microbatching
+     * overrides, token budget...).  sweep() is the common case of
+     * jobs that differ only in batch size; Case Study II uses this
+     * directly to tune the pipeline microbatch per mapping.
+     */
+    SweepResult
+    sweepJobs(const std::vector<mapping::ParallelismConfig> &mappings,
+              const std::vector<core::TrainingJob> &jobs) const;
+
+    /**
      * Evaluates the full mapping space of the model's system (every
      * intra x inter factorization), capped at a pipeline degree of
      * the model's layer count.
      */
     SweepResult sweepAll(const std::vector<double> &batch_sizes,
                          const core::TrainingJob &job_template) const;
+
+    /**
+     * Caps sweep parallelism.  0 (the default) uses AMPED_THREADS
+     * or every hardware thread; 1 forces the serial path.  Results
+     * are identical at any setting — this only trades wall clock.
+     */
+    void setThreads(unsigned threads) { threads_ = threads; }
+
+    /** The configured parallelism cap (0 = automatic). */
+    unsigned threads() const { return threads_; }
 
     /** The entry with the lowest total training time, if any. */
     static std::optional<SweepEntry>
@@ -95,6 +127,7 @@ class Explorer
   private:
     core::AmpedModel model_;
     std::optional<core::MemoryModel> memoryModel_;
+    unsigned threads_ = 0;
 };
 
 /**

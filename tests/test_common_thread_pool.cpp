@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the worker pool behind the parallel design-space
+ * sweeps: full index coverage, serial fallback, exception
+ * propagation, clean shutdown, and the AMPED_THREADS override.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace amped {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(4u, pool.threadCount());
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, 7, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(1, hits[i].load()) << "index " << i;
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsOnCaller)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(1u, pool.threadCount());
+    std::vector<std::thread::id> ids(64);
+    pool.parallelFor(64, 8,
+                     [&](std::size_t i) {
+                         ids[i] = std::this_thread::get_id();
+                     });
+    for (const auto &id : ids)
+        EXPECT_EQ(std::this_thread::get_id(), id);
+}
+
+TEST(ThreadPoolTest, MaxWorkersOneForcesSerial)
+{
+    ThreadPool pool(4);
+    std::vector<std::thread::id> ids(64);
+    pool.parallelFor(
+        64, 4,
+        [&](std::size_t i) { ids[i] = std::this_thread::get_id(); },
+        /*max_workers=*/1);
+    for (const auto &id : ids)
+        EXPECT_EQ(std::this_thread::get_id(), id);
+}
+
+TEST(ThreadPoolTest, ParallelEqualsSerialByIndex)
+{
+    const std::size_t n = 500;
+    auto value = [](std::size_t i) {
+        return static_cast<double>(i) * 1.25 + 3.0;
+    };
+    std::vector<double> serial(n, 0.0), parallel(n, 0.0);
+    ThreadPool one(1), many(4);
+    one.parallelFor(n, 16,
+                    [&](std::size_t i) { serial[i] = value(i); });
+    many.parallelFor(n, 16,
+                     [&](std::size_t i) { parallel[i] = value(i); });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(1000, 4,
+                                  [](std::size_t i) {
+                                      if (i == 137)
+                                          throw std::runtime_error(
+                                              "boom at 137");
+                                  }),
+                 std::runtime_error);
+
+    // The pool keeps working after a failed loop.
+    std::atomic<int> count{0};
+    pool.parallelFor(100, 4, [&](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(100, count.load());
+}
+
+TEST(ThreadPoolTest, ExceptionOnSerialPathPropagates)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(10, 1,
+                                  [](std::size_t i) {
+                                      if (i == 3)
+                                          throw std::runtime_error(
+                                              "serial boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownJoinsCleanly)
+{
+    // Destroy an idle pool...
+    { ThreadPool pool(8); }
+    // ...and one that just ran work; both must join without hanging.
+    {
+        ThreadPool pool(3);
+        std::atomic<int> count{0};
+        pool.parallelFor(10, 1, [&](std::size_t) {
+            count.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(10, count.load());
+    }
+    SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroItemsAndZeroChunkAreHandled)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, 8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(0, calls);
+
+    std::atomic<int> count{0};
+    pool.parallelFor(10, 0, [&](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    }); // chunk 0 behaves as 1
+    EXPECT_EQ(10, count.load());
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride)
+{
+    setenv("AMPED_THREADS", "3", 1);
+    EXPECT_EQ(3u, ThreadPool::defaultThreadCount());
+    ThreadPool pool; // picks up the override
+    EXPECT_EQ(3u, pool.threadCount());
+
+    setenv("AMPED_THREADS", "not-a-number", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    setenv("AMPED_THREADS", "0", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+
+    unsetenv("AMPED_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+} // namespace
+} // namespace amped

@@ -183,6 +183,90 @@ TEST(ExplorerTest, MemoryScreeningDropsOversizedPoints)
     EXPECT_EQ(cleared.memorySkipped, 0u);
 }
 
+TEST(ExplorerTest, ParallelSweepMatchesSerialExactly)
+{
+    // A memory-screened minGPT grid on the tiny system exercises
+    // all three point outcomes (feasible, infeasible, over-memory):
+    // without activation recomputation the low-parallelism points
+    // blow the 4 GB device, batch 4 starves the DP*PP = 16 points.
+    core::AmpedModel amped(model::presets::minGpt85M(),
+                           hw::presets::tinyTest(),
+                           hw::MicrobatchEfficiency(0.8, 4.0),
+                           testSystem());
+    core::MemoryOptions screen_options;
+    screen_options.activationRecompute = false;
+    const core::MemoryModel screen(
+        model::OpCounter(model::presets::minGpt85M()),
+        hw::presets::tinyTest(), screen_options);
+    core::TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 1.0;
+    const std::vector<double> batches = {4.0, 64.0, 256.0};
+
+    Explorer serial(amped);
+    serial.setThreads(1);
+    serial.setMemoryModel(screen);
+    Explorer parallel(amped);
+    parallel.setThreads(4);
+    parallel.setMemoryModel(screen);
+
+    const auto a = serial.sweepAll(batches, job);
+    const auto b = parallel.sweepAll(batches, job);
+
+    EXPECT_GT(a.skipped, 0u);
+    EXPECT_GT(a.memorySkipped, 0u);
+    EXPECT_EQ(a.skipped, b.skipped);
+    EXPECT_EQ(a.memorySkipped, b.memorySkipped);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    ASSERT_GT(a.entries.size(), 0u);
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_EQ(a.entries[i].mapping.toString(),
+                  b.entries[i].mapping.toString());
+        EXPECT_EQ(a.entries[i].batchSize, b.entries[i].batchSize);
+        EXPECT_EQ(a.entries[i].result.totalTime,
+                  b.entries[i].result.totalTime);
+        EXPECT_EQ(a.entries[i].result.timePerBatch,
+                  b.entries[i].result.timePerBatch);
+    }
+    // The rendered artifacts are byte-identical.
+    EXPECT_EQ(sweepTable(a.entries), sweepTable(b.entries));
+    EXPECT_EQ(sweepCsv(a.entries), sweepCsv(b.entries));
+}
+
+TEST(ExplorerTest, SweepJobsCrossesMappingsWithJobVariants)
+{
+    Explorer explorer(testModel());
+    const std::vector<mapping::ParallelismConfig> mappings = {
+        mapping::makeMapping(1, 1, 4, 1, 1, 4), // DP 16
+        mapping::makeMapping(4, 1, 1, 1, 1, 4), // TP 4 x DP 4
+    };
+    std::vector<core::TrainingJob> jobs;
+    for (double ub : {8.0, 32.0}) {
+        core::TrainingJob job = testJob(); // batch 256
+        job.microbatching.microbatchSizeOverride = ub;
+        jobs.push_back(job);
+    }
+    const auto result = explorer.sweepJobs(mappings, jobs);
+    // DP 16 leaves a per-replica batch of 16: ub = 32 does not fit
+    // (half a microbatch), every other point does.
+    EXPECT_EQ(result.skipped, 1u);
+    ASSERT_EQ(result.entries.size(), 3u);
+    // Grid order is mapping-major with job order preserved.
+    EXPECT_EQ(result.entries[0].result.microbatchSize, 8.0);
+    EXPECT_EQ(result.entries[1].result.microbatchSize, 8.0);
+    EXPECT_EQ(result.entries[2].result.microbatchSize, 32.0);
+}
+
+TEST(ExplorerTest, SweepCsvWithNoEntriesStillHasPhaseHeaders)
+{
+    const std::string csv = sweepCsv({});
+    EXPECT_NE(csv.find("mapping,tp,pp,dp,batch,microbatch"),
+              std::string::npos);
+    EXPECT_NE(csv.find("pipeline_bubble_seconds"),
+              std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+}
+
 TEST(AblationTest, BubbleOverlapSweepIsMonotonic)
 {
     AblationRunner runner(model::presets::tinyTest(),

@@ -74,6 +74,9 @@ addCommonOptions(ArgParser &parser)
     parser.addOption("bubble-r", "bubble-overlap ratio R", "0.1");
     parser.addOption("microbatch",
                      "microbatch size (0 = B/(DP*PP))", "0");
+    parser.addOption("threads",
+                     "sweep worker threads (0 = AMPED_THREADS env "
+                     "or all cores, 1 = serial)", "0");
 }
 
 void
@@ -202,6 +205,8 @@ cmdExplore(const std::vector<std::string> &args)
     parser.parse(args);
 
     explore::Explorer explorer(modelFrom(parser));
+    explorer.setThreads(
+        static_cast<unsigned>(parser.getInt("threads")));
     if (parser.getFlag("memory-check")) {
         explorer.setMemoryModel(core::MemoryModel(
             model::OpCounter(modelConfigFrom(parser)),
@@ -326,6 +331,8 @@ cmdScale(const std::vector<std::string> &args)
                 std::min(parser.getDouble("eff-floor"), a)),
             sys, options);
         explore::Explorer explorer(amped);
+        explorer.setThreads(
+            static_cast<unsigned>(parser.getInt("threads")));
         auto sweep = explorer.sweepAll(
             {parser.getDouble("batch")}, jobFrom(parser));
         const auto best = explore::Explorer::best(sweep);
