@@ -23,9 +23,10 @@
 #include "sim/training_sim.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== Ablations: modeling-choice sensitivity "
                  "(Megatron 145B, 1024 A100s, B = 8192) ===\n\n";
@@ -44,6 +45,9 @@ main()
         TextTable table({"R", "days", "bubble share"});
         for (const auto &point : runner.sweepBubbleOverlap(
                  {0.0, 0.1, 0.25, 0.5, 1.0}, m, job)) {
+            golden.add("ablation/bubble_overlap/" + point.label +
+                           "/days",
+                       point.result.trainingDays());
             table.addRow(
                 {point.label,
                  units::formatFixed(point.result.trainingDays(), 1),
@@ -63,6 +67,9 @@ main()
         TextTable table({"M_f_DP", "days", "comm share"});
         for (const auto &point : runner.sweepZeroOverhead(
                  {0.0, 0.25, 0.5, 1.0}, m, job)) {
+            golden.add("ablation/zero_overhead/" + point.label +
+                           "/days",
+                       point.result.trainingDays());
             table.addRow(
                 {point.label,
                  units::formatFixed(point.result.trainingDays(), 1),
@@ -82,6 +89,13 @@ main()
         const auto m = mapping::makeMapping(1, 1, 8, 1, 16, 8);
         TextTable table({"scheme", "days", "grad comm / batch"});
         for (const auto &point : runner.compareGradAllReduce(m, job)) {
+            golden.add("ablation/gradreduce/" + point.label +
+                           "/days",
+                       point.result.trainingDays());
+            golden.add("ablation/gradreduce/" + point.label +
+                           "/grad_comm_s",
+                       point.result.perBatch.commGradIntra +
+                           point.result.perBatch.commGradInter);
             table.addRow(
                 {point.label,
                  units::formatFixed(point.result.trainingDays(), 1),
@@ -101,6 +115,10 @@ main()
         TextTable table({"floor", "days", "eff(ub)"});
         for (const auto &point : runner.sweepEfficiencyFloor(
                  {0.0, 0.1, 0.25}, m, kink_job)) {
+            golden.add("ablation/eff_floor/" + point.label + "/days",
+                       point.result.trainingDays());
+            golden.add("ablation/eff_floor/" + point.label + "/eff",
+                       point.result.efficiency);
             table.addRow(
                 {point.label,
                  units::formatFixed(point.result.trainingDays(), 1),
@@ -129,6 +147,13 @@ main()
             core::applySchedule(schedule, options);
             const auto result =
                 runner.evaluateWith(options, m, job);
+            golden.add("ablation/schedule/" + schedule.name() +
+                           "/days",
+                       result.trainingDays());
+            golden.add("ablation/schedule/" + schedule.name() +
+                           "/bubble_share",
+                       result.perBatch.bubble /
+                           result.perBatch.total());
             table.addRow(
                 {schedule.name(),
                  units::formatFixed(schedule.bubbleOverlapRatio(), 2),
@@ -170,6 +195,8 @@ main()
             simulator.setBackwardMultiplier(3.0);
             const double s =
                 simulator.simulateDataParallelStep(8, 32.0).stepTime;
+            golden.add("ablation/sim_vs_analytic/dp8/analytic_s", a);
+            golden.add("ablation/sim_vs_analytic/dp8/sim_s", s);
             table.addRow({"DP x 8", units::formatDuration(a),
                           units::formatDuration(s),
                           units::formatFixed((a - s) / s * 100.0, 2)});
@@ -195,11 +222,14 @@ main()
             simulator.setBackwardMultiplier(3.0);
             const double s =
                 simulator.simulateGPipeStep(8, 8.0, 8).stepTime;
+            golden.add("ablation/sim_vs_analytic/gpipe8/analytic_s",
+                       a);
+            golden.add("ablation/sim_vs_analytic/gpipe8/sim_s", s);
             table.addRow({"GPipe x 8", units::formatDuration(a),
                           units::formatDuration(s),
                           units::formatFixed((a - s) / s * 100.0, 2)});
         }
         table.print(std::cout);
     }
-    return 0;
+    return golden.finish();
 }

@@ -17,9 +17,10 @@
 #include "net/system_config.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== AMPeD vs roofline baseline (Megatron 145B, "
                  "1024 A100s, B = 8192) ===\n\n";
@@ -52,6 +53,7 @@ main()
     TextTable table({"configuration", "AMPeD (days)",
                      "roofline (days)", "roofline error vs AMPeD"});
     const double batches = job.numBatches(2048);
+    std::size_t config_index = 0;
     for (const auto &config : configs) {
         const auto result =
             amped_model.evaluate(config.mapping, job);
@@ -59,6 +61,10 @@ main()
             roofline.timePerBatch(config.mapping, job) * batches /
             units::day;
         const double amped_days = result.trainingDays();
+        const std::string prefix =
+            "baseline/config" + std::to_string(config_index++);
+        golden.add(prefix + "/amped_days", amped_days);
+        golden.add(prefix + "/roofline_days", roof);
         table.addRow(
             {config.label, units::formatFixed(amped_days, 1),
              units::formatFixed(roof, 1),
@@ -75,5 +81,5 @@ main()
            "nodes!), and it\nmisses the microbatch-efficiency "
            "dependence entirely.  AMPeD's mapping-aware terms\nare "
            "what make design-space exploration meaningful.\n";
-    return 0;
+    return golden.finish();
 }

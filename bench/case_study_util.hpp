@@ -1,13 +1,17 @@
 /**
  * @file
  * Shared setup for the Case Study I/II benches: the Megatron-145B on
- * 1024-A100 evaluation context and small helpers to evaluate one
- * mapping in days of training time.
+ * 1024-A100 evaluation context, small helpers to evaluate one
+ * mapping in days of training time, and the --golden-out plumbing
+ * every figure/table harness uses to emit machine-readable metrics
+ * for the golden-file regression suite (tools/golden_check).
  */
 
 #ifndef AMPED_BENCH_CASE_STUDY_UTIL_HPP
 #define AMPED_BENCH_CASE_STUDY_UTIL_HPP
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <optional>
 #include <string>
@@ -19,10 +23,88 @@
 #include "explore/explorer.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
+#include "testing/golden.hpp"
 #include "validate/calibrations.hpp"
 
 namespace amped {
 namespace bench {
+
+/**
+ * The harness side of the golden workflow: parses the bench's
+ * command line (the only supported option is `--golden-out <path>`),
+ * collects metrics during the run, and writes the canonical golden
+ * record on finish().  Without --golden-out the collected record is
+ * simply dropped, so harnesses call add() unconditionally.
+ *
+ * Usage in a harness main:
+ * @code
+ *   int main(int argc, char **argv) {
+ *       bench::GoldenOut golden(argc, argv);
+ *       ...
+ *       golden.add("table2/145B/tflops", tflops);
+ *       ...
+ *       return golden.finish();
+ *   }
+ * @endcode
+ */
+class GoldenOut
+{
+  public:
+    GoldenOut(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--golden-out") {
+                require(i + 1 < argc,
+                        "--golden-out needs a file path");
+                path_ = argv[++i];
+            } else {
+                fatal("unknown bench option '", arg,
+                      "' (supported: --golden-out <path>)");
+            }
+        }
+    }
+
+    /** True when --golden-out was given. */
+    bool enabled() const { return !path_.empty(); }
+
+    /** Records one metric (NaN = infeasible point). */
+    void
+    add(const std::string &key, double value)
+    {
+        record_.add(key, value);
+    }
+
+    /** Records an optional evaluation's days, or NaN if infeasible. */
+    void
+    addDays(const std::string &key,
+            const std::optional<core::EvaluationResult> &result)
+    {
+        record_.add(key, result ? result->trainingDays()
+                                : std::nan(""));
+    }
+
+    /** Writes the record when enabled; the harness's exit status. */
+    int
+    finish() const
+    {
+        if (enabled())
+            record_.writeFile(path_);
+        return 0;
+    }
+
+  private:
+    std::string path_;
+    ::amped::testing::GoldenRecord record_;
+};
+
+/** Canonical golden key fragment for an inter-node (tp, pp, dp). */
+inline std::string
+interKey(std::int64_t tp, std::int64_t pp, std::int64_t dp)
+{
+    return "TP" + std::to_string(tp) + "_PP" + std::to_string(pp) +
+           "_DP" + std::to_string(dp);
+}
 
 /** Builds the Case Study I evaluator for a given system. */
 inline core::AmpedModel

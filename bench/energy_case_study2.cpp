@@ -44,8 +44,9 @@ bestPipelinePoint(const core::AmpedModel &model,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::GoldenOut golden(argc, argv);
     std::cout << "=== Case Study II energy analysis (Megatron 145B, "
                  "B = 8192, EDR, A100 TDP 400 W) ===\n\n";
 
@@ -84,6 +85,13 @@ main()
         const double bubble_share =
             pp->perBatch.bubble / pp->perBatch.total();
 
+        const std::string prefix =
+            "energy2/per_node" + std::to_string(per_node);
+        golden.add(prefix + "/dp_mwh", dp_mwh);
+        golden.add(prefix + "/pp_mwh", pp_mwh);
+        golden.add(prefix + "/pp_bubble_share", bubble_share);
+        golden.add(prefix + "/break_even", break_even);
+
         table.addRow(
             {std::to_string(per_node),
              units::formatFixed(dp_mwh, 1),
@@ -100,5 +108,5 @@ main()
            "than the break-even fraction of TDP\n(the paper "
            "estimates that threshold at ~0.3 for its 4-acc/node "
            "configuration).\n";
-    return 0;
+    return golden.finish();
 }

@@ -54,8 +54,9 @@ bestPipelinePoint(const explore::Explorer &explorer,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::GoldenOut golden(argc, argv);
     std::cout << "=== Case Study II (Fig. 10): DP vs PP inter-node "
                  "on low-end systems (Megatron 145B, B = 8192, EDR) "
                  "===\n\n";
@@ -86,6 +87,10 @@ main()
         const auto pp_result =
             bestPipelinePoint(explorer, pp_mapping, batch);
 
+        const std::string prefix =
+            "fig10/per_node" + std::to_string(per_node);
+        golden.addDays(prefix + "/dp_days", dp_result);
+        golden.addDays(prefix + "/pp_days", pp_result);
         if (!dp_result || !pp_result) {
             table.addRow({std::to_string(per_node), "infeasible",
                           "infeasible", "-", "-", "-"});
@@ -95,6 +100,9 @@ main()
         const double pp_days = pp_result->trainingDays();
         const double bubble_share =
             pp_result->perBatch.bubble / pp_result->perBatch.total();
+        golden.add(prefix + "/pp_microbatch",
+                   pp_result->microbatchSize);
+        golden.add(prefix + "/pp_bubble_share", bubble_share);
         table.addRow(
             {std::to_string(per_node),
              units::formatFixed(dp_days, 1),
@@ -108,5 +116,5 @@ main()
                  "acc/node, the gap narrows at 2, DP wins from 4-8; "
                  "the optimal inter-node strategy flips on low-end "
                  "systems.\n";
-    return 0;
+    return golden.finish();
 }

@@ -25,6 +25,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "case_study_util.hpp"
 #include "core/amped_model.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
@@ -94,8 +95,9 @@ evaluateBar(const Bar &bar)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::GoldenOut golden(argc, argv);
     std::cout << "=== Case Study III (Fig. 11): GLaM MoE on 3072 "
                  "H100s with optical substrates ===\n\n";
 
@@ -113,12 +115,25 @@ main()
                      "MoE comm share", "compute share", "eff"});
     double reference_time = 0.0;
     double reference_moe = 0.0;
+    std::size_t bar_index = 0;
     for (const auto &bar : bars) {
         const auto result = evaluateBar(bar);
         if (reference_time == 0.0) {
             reference_time = result.totalTime;
             reference_moe = result.perBatch.commMoe;
         }
+        const std::string prefix =
+            "fig11/bar" + std::to_string(bar_index++);
+        golden.add(prefix + "/days", result.trainingDays());
+        golden.add(prefix + "/rel_performance",
+                   reference_time / result.totalTime);
+        golden.add(prefix + "/moe_comm_share",
+                   result.perBatch.commMoe /
+                       result.perBatch.total());
+        golden.add(prefix + "/compute_share",
+                   result.perBatch.computation() /
+                       result.perBatch.total());
+        golden.add(prefix + "/eff", result.efficiency);
         table.addRow(
             {bar.label, units::formatFixed(result.trainingDays(), 1),
              units::formatFixed(reference_time / result.totalTime, 2) +
@@ -139,6 +154,8 @@ main()
                              reference_moe / result.perBatch.commMoe,
                              1)
                       << "x (paper: ~6x)\n\n";
+            golden.add("fig11/opt1_moe_comm_reduction",
+                       reference_moe / result.perBatch.commMoe);
         }
     }
     table.print(std::cout);
@@ -146,5 +163,5 @@ main()
                  "Opt.2 adds ~ +29 %, Opt.3 +54 % and +110 % more "
                  "(~4x total); compute share grows until it "
                  "dominates.\n";
-    return 0;
+    return golden.finish();
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <vector>
 
+#include "case_study_util.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
 #include "net/system_config.hpp"
@@ -20,9 +21,10 @@
 #include "validate/calibrations.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== Fig. 1: device utilization during validation "
                  "runs (simulated HGX-2) ===\n\n";
@@ -43,6 +45,11 @@ main()
         std::cout << renderUtilizationTimeline(
             outcome.raw, outcome.deviceIds, names, 64);
         std::cout << '\n';
+        golden.add("fig1/dp8/step_time_s", outcome.stepTime);
+        for (std::size_t d = 0;
+             d < outcome.deviceUtilization.size(); ++d)
+            golden.add("fig1/dp8/gpu" + std::to_string(d) + "/util",
+                       outcome.deviceUtilization[d]);
     }
 
     {
@@ -60,6 +67,11 @@ main()
             outcome.raw, outcome.deviceIds, names, 64);
         std::cout << "\npipeline fill/drain bubbles are visible as "
                      "idle ('.') leading/trailing buckets per stage\n";
+        golden.add("fig1/pp4/step_time_s", outcome.stepTime);
+        for (std::size_t d = 0;
+             d < outcome.deviceUtilization.size(); ++d)
+            golden.add("fig1/pp4/stage" + std::to_string(d) + "/util",
+                       outcome.deviceUtilization[d]);
     }
-    return 0;
+    return golden.finish();
 }

@@ -16,6 +16,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "case_study_util.hpp"
 #include "core/amped_model.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
@@ -24,9 +25,10 @@
 #include "validate/validation.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== Fig. 2a: normalized DP training time, minGPT "
                  "85M on HGX-2 V100s ===\n\n";
@@ -82,6 +84,10 @@ main()
         const double norm_pred = p.predicted / points[0].predicted;
         rows.push_back(validate::makeRow(
             std::to_string(p.gpus) + " GPUs", norm_pred, norm_sim));
+        const std::string prefix =
+            "fig2a/gpus" + std::to_string(p.gpus);
+        golden.add(prefix + "/norm_sim", norm_sim);
+        golden.add(prefix + "/norm_predicted", norm_pred);
         table.addRow({std::to_string(p.gpus),
                       units::formatFixed(norm_sim, 3),
                       units::formatFixed(norm_pred, 3),
@@ -95,5 +101,7 @@ main()
               << units::formatFixed(
                      validate::maxAbsErrorPercent(rows), 2)
               << " % (paper reports <= 12 % vs hardware)\n";
-    return 0;
+    golden.add("fig2a/max_abs_disagreement_pct",
+               validate::maxAbsErrorPercent(rows));
+    return golden.finish();
 }

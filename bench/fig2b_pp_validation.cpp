@@ -17,6 +17,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "case_study_util.hpp"
 #include "core/amped_model.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
@@ -25,9 +26,10 @@
 #include "validate/validation.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== Fig. 2b: normalized PP training time, minGPT-PP "
                  "(1024 hidden, 16 layers) on HGX-2 V100s ===\n\n";
@@ -86,6 +88,10 @@ main()
         const double norm_pred = p.predicted / points[0].predicted;
         rows.push_back(validate::makeRow(
             std::to_string(p.gpus) + " GPUs", norm_pred, norm_sim));
+        const std::string prefix =
+            "fig2b/gpus" + std::to_string(p.gpus);
+        golden.add(prefix + "/norm_sim", norm_sim);
+        golden.add(prefix + "/norm_predicted", norm_pred);
         table.addRow({std::to_string(p.gpus),
                       units::formatFixed(norm_sim, 3),
                       units::formatFixed(norm_pred, 3),
@@ -99,5 +105,7 @@ main()
               << units::formatFixed(
                      validate::maxAbsErrorPercent(rows), 2)
               << " %\n";
-    return 0;
+    golden.add("fig2b/max_abs_disagreement_pct",
+               validate::maxAbsErrorPercent(rows));
+    return golden.finish();
 }

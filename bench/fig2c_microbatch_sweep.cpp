@@ -14,6 +14,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "case_study_util.hpp"
 #include "core/amped_model.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
@@ -22,9 +23,10 @@
 #include "validate/validation.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== Fig. 2c: TFLOP/s/GPU vs microbatch size "
                  "(GPT-3 175B, 96 GPUs, PP only) ===\n\n";
@@ -63,6 +65,10 @@ main()
         rows.push_back(validate::makeRow(
             "ub=" + units::formatFixed(point.microbatch, 0), tflops,
             point.publishedTflops));
+        golden.add("fig2c/ub" +
+                       units::formatFixed(point.microbatch, 0) +
+                       "/tflops_per_gpu",
+                   tflops);
         table.addRow({units::formatFixed(point.microbatch, 0),
                       units::formatFixed(job.batchSize, 0),
                       units::formatFixed(tflops, 1),
@@ -77,5 +83,7 @@ main()
            "microbatch size;\nmax |error| vs reconstructed published: "
         << units::formatFixed(validate::maxAbsErrorPercent(rows), 2)
         << " %\n";
-    return 0;
+    golden.add("fig2c/max_abs_err_pct",
+               validate::maxAbsErrorPercent(rows));
+    return golden.finish();
 }

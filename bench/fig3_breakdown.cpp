@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "common/units.hpp"
+#include "case_study_util.hpp"
 #include "core/amped_model.hpp"
 #include "explore/explorer.hpp"
 #include "hw/presets.hpp"
@@ -20,9 +21,10 @@
 #include "validate/calibrations.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== Fig. 3: training-time breakdown, Megatron 145B "
                  "on 1024 A100s (batch 8192) ===\n\n";
@@ -50,6 +52,22 @@ main()
               << explore::breakdownTable(r2) << "training time: "
               << units::formatDuration(r2.totalTime) << "\n\n";
 
+    const auto emit = [&golden](const std::string &name,
+                                const core::EvaluationResult &result) {
+        const std::string prefix = "fig3/" + name;
+        golden.add(prefix + "/training_days", result.trainingDays());
+        golden.add(prefix + "/time_per_batch_s", result.timePerBatch);
+        golden.add(prefix + "/bubble_s", result.perBatch.bubble);
+        golden.add(prefix + "/comm_tp_inter_s",
+                   result.perBatch.commTpInter);
+        golden.add(prefix + "/compute_s",
+                   result.perBatch.computation());
+        golden.add(prefix + "/comm_s",
+                   result.perBatch.communication());
+    };
+    emit("config1", r1);
+    emit("config2", r2);
+
     std::cout << "paper's observation check: config-1 bubble ("
               << units::formatDuration(r1.perBatch.bubble)
               << "/batch) is "
@@ -60,5 +78,5 @@ main()
               << " small vs config-2 inter-node TP comm ("
               << units::formatDuration(r2.perBatch.commTpInter)
               << "/batch)\n";
-    return 0;
+    return golden.finish();
 }

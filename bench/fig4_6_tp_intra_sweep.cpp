@@ -29,6 +29,7 @@ using namespace amped;
 
 void
 sweepFamily(const explore::Explorer &explorer,
+            bench::GoldenOut &golden, const std::string &family_key,
             const std::string &title, std::int64_t tp_intra,
             std::int64_t pp_intra, std::int64_t dp_intra,
             const std::vector<std::array<std::int64_t, 3>>
@@ -51,15 +52,24 @@ sweepFamily(const explore::Explorer &explorer,
         cells.push_back(
             "TP" + std::to_string(tp) + " PP" + std::to_string(pp) +
             " DP" + std::to_string(dp));
+        const std::string point_key =
+            family_key + "/" + bench::interKey(tp, pp, dp);
         std::string eff_cell = "-";
         for (double batch : batches) {
             const auto *result = index.find(mappings[i], batch);
+            const std::string batch_key =
+                point_key + "/b" + units::formatFixed(batch, 0);
+            golden.add(batch_key + "/days",
+                       result ? result->trainingDays()
+                              : std::nan(""));
             if (result) {
                 cells.push_back(units::formatFixed(
                     result->trainingDays(), 1));
                 if (batch == 16384.0) {
                     eff_cell =
                         units::formatFixed(result->efficiency, 2);
+                    golden.add(point_key + "/eff_b16384",
+                               result->efficiency);
                 }
             } else {
                 cells.push_back("infeasible");
@@ -75,8 +85,9 @@ sweepFamily(const explore::Explorer &explorer,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::GoldenOut golden(argc, argv);
     std::cout << "=== Case Study I (Figs. 4-6): Megatron 145B, 1024 "
                  "A100s, TP in intra-node ===\n\n";
 
@@ -84,7 +95,8 @@ main()
         bench::caseStudyModel(net::presets::a100Cluster1024()));
 
     // Fig. 4: TP x PP across nodes.
-    sweepFamily(model, "Fig. 4: TP8 intra | TP_inter x PP_inter", 8,
+    sweepFamily(model, golden, "fig4",
+                "Fig. 4: TP8 intra | TP_inter x PP_inter", 8,
                 1, 1,
                 {{1, 128, 1},
                  {2, 64, 1},
@@ -93,7 +105,8 @@ main()
                  {16, 8, 1}});
 
     // Fig. 5: TP x DP across nodes.
-    sweepFamily(model, "Fig. 5: TP8 intra | TP_inter x DP_inter", 8,
+    sweepFamily(model, golden, "fig5",
+                "Fig. 5: TP8 intra | TP_inter x DP_inter", 8,
                 1, 1,
                 {{1, 1, 128},
                  {2, 1, 64},
@@ -102,7 +115,8 @@ main()
                  {16, 1, 8}});
 
     // Fig. 6: PP x DP across nodes.
-    sweepFamily(model, "Fig. 6: TP8 intra | PP_inter x DP_inter", 8,
+    sweepFamily(model, golden, "fig6",
+                "Fig. 6: TP8 intra | PP_inter x DP_inter", 8,
                 1, 1,
                 {{1, 128, 1},
                  {1, 64, 2},
@@ -115,7 +129,7 @@ main()
 
     // Sec. VI-B: PP in intra-node accelerators, full TP across nodes
     // vs PP/DP combinations across nodes.
-    sweepFamily(model,
+    sweepFamily(model, golden, "sec6b",
                 "Sec. VI-B: PP8 intra | TP128_inter vs PP/DP_inter",
                 1, 8, 1,
                 {{128, 1, 1},
@@ -131,5 +145,5 @@ main()
            "  3. DP_inter slightly faster than PP_inter;\n"
            "  4. PP-intra + TP-inter slowest (~90 days); replacing "
            "TP-inter with PP/DP-inter halves it.\n";
-    return 0;
+    return golden.finish();
 }

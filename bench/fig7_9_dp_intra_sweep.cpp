@@ -30,6 +30,7 @@ using namespace amped;
 
 void
 sweepFamily(const explore::Explorer &explorer,
+            bench::GoldenOut &golden, const std::string &family_key,
             const std::string &title,
             const std::vector<std::array<std::int64_t, 3>>
                 &inter_configs /* tp, pp, dp */)
@@ -50,16 +51,28 @@ sweepFamily(const explore::Explorer &explorer,
         cells.push_back(
             "TP" + std::to_string(tp) + " PP" + std::to_string(pp) +
             " DP" + std::to_string(dp));
+        const std::string point_key =
+            family_key + "/" + bench::interKey(tp, pp, dp);
         std::string eff4 = "-", eff16 = "-";
         for (double batch : batches) {
             const auto *result = index.find(mappings[i], batch);
+            golden.add(point_key + "/b" +
+                           units::formatFixed(batch, 0) + "/days",
+                       result ? result->trainingDays()
+                              : std::nan(""));
             if (result) {
                 cells.push_back(units::formatFixed(
                     result->trainingDays(), 1));
-                if (batch == 4096.0)
+                if (batch == 4096.0) {
                     eff4 = units::formatFixed(result->efficiency, 2);
-                if (batch == 16384.0)
+                    golden.add(point_key + "/eff_b4096",
+                               result->efficiency);
+                }
+                if (batch == 16384.0) {
                     eff16 = units::formatFixed(result->efficiency, 2);
+                    golden.add(point_key + "/eff_b16384",
+                               result->efficiency);
+                }
             } else {
                 cells.push_back("infeasible");
             }
@@ -75,15 +88,17 @@ sweepFamily(const explore::Explorer &explorer,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::GoldenOut golden(argc, argv);
     std::cout << "=== Case Study I (Figs. 7-9): Megatron 145B, 1024 "
                  "A100s, DP8 in intra-node ===\n\n";
 
     const explore::Explorer model(
         bench::caseStudyModel(net::presets::a100Cluster1024()));
 
-    sweepFamily(model, "Fig. 7: DP8 intra | TP_inter x PP_inter",
+    sweepFamily(model, golden, "fig7",
+                "Fig. 7: DP8 intra | TP_inter x PP_inter",
                 {{1, 128, 1},
                  {2, 64, 1},
                  {4, 32, 1},
@@ -91,7 +106,8 @@ main()
                  {16, 8, 1},
                  {32, 4, 1}});
 
-    sweepFamily(model, "Fig. 8: DP8 intra | TP_inter x DP_inter",
+    sweepFamily(model, golden, "fig8",
+                "Fig. 8: DP8 intra | TP_inter x DP_inter",
                 {{128, 1, 1},
                  {64, 1, 2},
                  {32, 1, 4},
@@ -101,7 +117,8 @@ main()
                  {2, 1, 64},
                  {1, 1, 128}});
 
-    sweepFamily(model, "Fig. 9: DP8 intra | PP_inter x DP_inter",
+    sweepFamily(model, golden, "fig9",
+                "Fig. 9: DP8 intra | PP_inter x DP_inter",
                 {{1, 128, 1},
                  {1, 64, 2},
                  {1, 32, 4},
@@ -120,5 +137,5 @@ main()
            "  3. Fig. 9 vs Fig. 6: DP-intra ~ 36-38 days at 16384, "
            "~ 2x the TP-intra time (microbatch efficiency 30 % vs "
            "up to 80 %).\n";
-    return 0;
+    return golden.finish();
 }

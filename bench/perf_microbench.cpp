@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string_view>
 
+#include "case_study_util.hpp"
 #include "common/thread_pool.hpp"
 #include "core/amped_model.hpp"
 #include "explore/explorer.hpp"
@@ -194,6 +196,82 @@ BM_EfficiencyFit(benchmark::State &state)
 }
 BENCHMARK(BM_EfficiencyFit);
 
+/**
+ * Golden mode: instead of timings (which are machine-dependent),
+ * emit the deterministic *outputs* of the code paths the
+ * microbenchmarks exercise — evaluator result, mapping-space size,
+ * sweep totals, simulator step times, efficiency fit — so the
+ * golden harness pins their behaviour too.
+ */
+int
+runGoldenMode(int argc, char **argv)
+{
+    bench::GoldenOut golden(argc, argv);
+
+    const auto model = caseStudyModel();
+    core::TrainingJob job;
+    job.batchSize = 8192.0;
+    job.totalTrainingTokens = 300e9;
+
+    const auto one = model.evaluate(
+        mapping::makeMapping(8, 1, 1, 1, 2, 64), job);
+    golden.add("perf/evaluate/days", one.trainingDays());
+    golden.add("perf/evaluate/tflops_per_gpu",
+               one.achievedFlopsPerGpu / 1e12);
+
+    mapping::MappingSpace space(net::presets::a100Cluster1024());
+    golden.add("perf/mapping_space/count",
+               static_cast<double>(space.enumerate().size()));
+
+    explore::Explorer explorer(caseStudyModel());
+    explorer.setThreads(1);
+    const auto sweep = explorer.sweepAll(sweepBatches(), job);
+    golden.add("perf/sweep/entries",
+               static_cast<double>(sweep.entries.size()));
+    golden.add("perf/sweep/skipped",
+               static_cast<double>(sweep.skipped));
+    const auto best = explore::Explorer::best(sweep);
+    golden.add("perf/sweep/best_days",
+               best ? best->result.trainingDays() : std::nan(""));
+
+    sim::TrainingSimulator simulator(
+        model::presets::minGpt85M(), hw::presets::v100Sxm3(),
+        validate::calibrations::minGptHgx2(),
+        net::presets::nvlinkV100());
+    golden.add("perf/sim/dp8_step_s",
+               simulator.simulateDataParallelStep(8, 32.0).stepTime);
+    sim::TrainingSimulator pipe_simulator(
+        model::presets::minGptPipeline(), hw::presets::v100Sxm3(),
+        validate::calibrations::minGptHgx2(),
+        net::presets::nvlinkV100());
+    golden.add(
+        "perf/sim/gpipe8_step_s",
+        pipe_simulator.simulateGPipeStep(8, 8.0, 32).stepTime);
+
+    hw::EfficiencyFitter fitter;
+    const hw::MicrobatchEfficiency truth(0.85, 12.0);
+    for (double ub = 1.0; ub <= 512.0; ub *= 2.0)
+        fitter.addSample(ub, truth(ub));
+    const auto fitted = fitter.fit();
+    golden.add("perf/eff_fit/a", fitted.a());
+    golden.add("perf/eff_fit/b", fitted.b());
+
+    return golden.finish();
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--golden-out")
+            return runGoldenMode(argc, argv);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -14,6 +14,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "case_study_util.hpp"
 #include "core/amped_model.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
@@ -39,9 +40,10 @@ modelFor(const std::string &name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== Table II: AMPeD vs published Megatron-LM "
                  "TFLOP/s/GPU ===\n\n";
@@ -80,6 +82,10 @@ main()
 
         rows.push_back(validate::makeRow(row.modelName, tflops,
                                          row.publishedTflops));
+        golden.add("table2/" + row.modelName + "/tflops_per_gpu",
+                   tflops);
+        golden.add("table2/" + row.modelName + "/err_vs_published_pct",
+                   rows.back().errorPercent());
         table.addRow({row.modelName, std::to_string(row.tp),
                       std::to_string(row.pp), std::to_string(row.dp),
                       units::formatFixed(tflops, 1),
@@ -94,5 +100,7 @@ main()
               << units::formatFixed(
                      validate::maxAbsErrorPercent(rows), 2)
               << " % (paper reports <= 12 %)\n";
-    return 0;
+    golden.add("table2/max_abs_err_pct",
+               validate::maxAbsErrorPercent(rows));
+    return golden.finish();
 }

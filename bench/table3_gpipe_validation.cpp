@@ -15,6 +15,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "case_study_util.hpp"
 #include "core/amped_model.hpp"
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
@@ -24,9 +25,10 @@
 #include "validate/validation.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amped;
+    bench::GoldenOut golden(argc, argv);
 
     std::cout << "=== Table III: GPipe normalized throughput "
                  "(24-layer transformer, P100 / PCIe, M = 32) ===\n\n";
@@ -98,6 +100,10 @@ main()
         rows.push_back(validate::makeRow(
             std::to_string(points[i].gpus) + " GPUs",
             analytic_speedup, reference[i].publishedSpeedup));
+        const std::string prefix =
+            "table3/gpus" + std::to_string(points[i].gpus);
+        golden.add(prefix + "/analytic_speedup", analytic_speedup);
+        golden.add(prefix + "/sim_speedup", sim_speedup);
         table.addRow({std::to_string(points[i].gpus),
                       units::formatFixed(reference[i].publishedSpeedup,
                                          2),
@@ -110,5 +116,7 @@ main()
               << units::formatFixed(
                      validate::maxAbsErrorPercent(rows), 2)
               << " % (paper reports within 12 %)\n";
-    return 0;
+    golden.add("table3/max_abs_err_pct",
+               validate::maxAbsErrorPercent(rows));
+    return golden.finish();
 }

@@ -24,6 +24,22 @@ approxEqual(double a, double b, double tol)
     return std::fabs(a - b) <= tol * scale;
 }
 
+bool
+almostEqual(double a, double b, double abs_tol, double rel_tol)
+{
+    require(abs_tol >= 0.0 && rel_tol >= 0.0 &&
+                !std::isnan(abs_tol) && !std::isnan(rel_tol),
+            "almostEqual: tolerances must be non-negative, got abs ",
+            abs_tol, " rel ", rel_tol);
+    if (std::isnan(a) || std::isnan(b))
+        return std::isnan(a) && std::isnan(b);
+    if (std::isinf(a) || std::isinf(b))
+        return a == b;
+    const double diff = std::fabs(a - b);
+    return diff <= abs_tol ||
+           diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
 double
 relativeError(double measured, double reference)
 {

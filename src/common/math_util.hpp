@@ -26,6 +26,20 @@ std::int64_t ceilDiv(std::int64_t numerator, std::int64_t denominator);
  */
 bool approxEqual(double a, double b, double tol = 1e-9);
 
+/**
+ * Absolute-or-relative approximate equality (the golden-diff
+ * criterion): values agree when |a - b| <= abs_tol OR
+ * |a - b| <= rel_tol * max(|a|, |b|).
+ *
+ * Non-finite conventions: two NaNs compare equal (a pinned
+ * infeasible point stays pinned); a NaN never equals a number;
+ * infinities agree only when identical.
+ *
+ * @throws UserError when either tolerance is negative or NaN.
+ */
+bool almostEqual(double a, double b, double abs_tol = 1e-9,
+                 double rel_tol = 1e-6);
+
 /** Relative error |measured - reference| / |reference| (in [0, inf)). */
 double relativeError(double measured, double reference);
 

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tolerance-aware comparison of golden records.
+ *
+ * The diff engine pairs two GoldenRecords by key and classifies
+ * every difference: a value outside the abs/rel tolerance envelope
+ * (math::almostEqual), a key present only in the expected record, or
+ * a key present only in the actual record.  NaN expected values
+ * match only NaN actual values, so infeasible design points are
+ * pinned exactly like numbers.  Reports render human-readable
+ * mismatch lines with both values and the observed errors.
+ */
+
+#ifndef AMPED_TESTING_DIFF_HPP
+#define AMPED_TESTING_DIFF_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "testing/golden.hpp"
+
+namespace amped {
+namespace testing {
+
+/** Tolerance envelope: a value passes on either criterion. */
+struct DiffOptions
+{
+    double absTol = 1e-9; ///< Absolute tolerance |a - b|.
+    double relTol = 1e-6; ///< Relative tolerance vs max(|a|, |b|).
+};
+
+/** What went wrong with one key. */
+enum class DiffKind
+{
+    valueMismatch, ///< Both present, outside tolerance.
+    missingKey,    ///< In expected only (metric disappeared).
+    extraKey,      ///< In actual only (new, unpinned metric).
+};
+
+/** One difference between two records. */
+struct DiffEntry
+{
+    DiffKind kind = DiffKind::valueMismatch;
+    std::string key;
+    double expected = 0.0; ///< Meaningful unless kind == extraKey.
+    double actual = 0.0;   ///< Meaningful unless kind == missingKey.
+};
+
+/** Outcome of diffing one record pair. */
+struct DiffReport
+{
+    std::size_t compared = 0;       ///< Keys present in both records.
+    std::vector<DiffEntry> entries; ///< All differences, golden order.
+
+    /** True when the records agree within tolerance. */
+    bool clean() const { return entries.empty(); }
+
+    /**
+     * Renders the mismatches: one line per difference with expected
+     * and actual values, absolute and relative error, and the
+     * tolerances that were applied, plus a summary line.
+     */
+    std::string render(const std::string &label,
+                       const DiffOptions &options) const;
+};
+
+/**
+ * Compares @p actual against @p expected within @p options.
+ * Differences come back in the expected record's key order with
+ * extra keys appended.
+ */
+DiffReport diffRecords(const GoldenRecord &expected,
+                       const GoldenRecord &actual,
+                       const DiffOptions &options = {});
+
+} // namespace testing
+} // namespace amped
+
+#endif // AMPED_TESTING_DIFF_HPP

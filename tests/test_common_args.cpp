@@ -85,6 +85,54 @@ TEST(ArgParserTest, UndeclaredAccessIsAnError)
     EXPECT_THROW(parser.getFlag("missing"), UserError);
 }
 
+/** Runs @p fn, returning the UserError text it must throw. */
+template <typename Fn>
+std::string
+diagnosticOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const UserError &error) {
+        return error.what();
+    }
+    ADD_FAILURE() << "expected a UserError";
+    return "";
+}
+
+TEST(ArgParserTest, DiagnosticsNameTheProblem)
+{
+    auto parser = makeParser();
+
+    const auto unknown =
+        diagnosticOf([&] { parser.parse({"--nope", "1"}); });
+    EXPECT_NE(unknown.find("unknown option --nope"),
+              std::string::npos)
+        << unknown;
+    // The unknown-option message embeds the help text so the user
+    // sees what *is* accepted.
+    EXPECT_NE(unknown.find("--batch"), std::string::npos) << unknown;
+
+    EXPECT_NE(diagnosticOf([&] { parser.parse({"--batch"}); })
+                  .find("option --batch needs a value"),
+              std::string::npos);
+
+    EXPECT_NE(
+        diagnosticOf([&] { parser.parse({"positional"}); })
+            .find("expected an option starting with --, got "
+                  "'positional'"),
+        std::string::npos);
+
+    parser.parse({"--batch", "abc"});
+    EXPECT_NE(diagnosticOf([&] { parser.getDouble("batch"); })
+                  .find("option --batch: 'abc' is not a number"),
+              std::string::npos);
+
+    parser.parse({"--batch", "3e2"});
+    EXPECT_NE(diagnosticOf([&] { parser.getInt("batch"); })
+                  .find("option --batch: '3e2' is not an integer"),
+              std::string::npos);
+}
+
 TEST(ArgParserTest, HelpTextListsEverything)
 {
     const auto parser = makeParser();

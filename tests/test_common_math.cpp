@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
@@ -38,6 +39,46 @@ TEST(ApproxEqualTest, WithinAndBeyondTolerance)
     EXPECT_FALSE(approxEqual(1.0, 1.1));
     EXPECT_TRUE(approxEqual(1e12, 1e12 + 1.0, 1e-9));
     EXPECT_TRUE(approxEqual(0.0, 1e-10));
+}
+
+TEST(AlmostEqualTest, AbsoluteTolerance)
+{
+    EXPECT_TRUE(almostEqual(1.0, 1.0));
+    EXPECT_TRUE(almostEqual(0.0, 5e-10));
+    EXPECT_FALSE(almostEqual(0.0, 5e-9));
+    EXPECT_TRUE(almostEqual(0.0, 5e-9, 1e-8));
+}
+
+TEST(AlmostEqualTest, RelativeTolerance)
+{
+    // |1e12 - (1e12+1)| = 1 fails the absolute test but passes the
+    // relative one (1e-12 vs rel tol 1e-6).
+    EXPECT_TRUE(almostEqual(1e12, 1e12 + 1.0));
+    EXPECT_FALSE(almostEqual(1e12, 1.001e12));
+    EXPECT_TRUE(almostEqual(1e12, 1.001e12, 1e-9, 0.01));
+    // Symmetric: scaled by max(|a|, |b|).
+    EXPECT_EQ(almostEqual(100.0, 101.0, 0.0, 0.01),
+              almostEqual(101.0, 100.0, 0.0, 0.01));
+}
+
+TEST(AlmostEqualTest, SpecialValues)
+{
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(almostEqual(nan, nan));   // both-NaN pins a point
+    EXPECT_FALSE(almostEqual(nan, 1.0));
+    EXPECT_FALSE(almostEqual(1.0, nan));
+    EXPECT_TRUE(almostEqual(inf, inf));
+    EXPECT_TRUE(almostEqual(-inf, -inf));
+    EXPECT_FALSE(almostEqual(inf, -inf));
+    EXPECT_FALSE(almostEqual(inf, 1e308));
+}
+
+TEST(AlmostEqualTest, RejectsBadTolerances)
+{
+    EXPECT_THROW(almostEqual(1.0, 1.0, -1.0, 0.0), UserError);
+    EXPECT_THROW(almostEqual(1.0, 1.0, 0.0, -1.0), UserError);
+    EXPECT_THROW(almostEqual(1.0, 1.0, std::nan(""), 0.0), UserError);
 }
 
 TEST(RelativeErrorTest, BasicValues)

@@ -113,6 +113,59 @@ TEST(ConfigIoTest, SystemRejectsMissingBandwidth)
                  UserError); // no inter-gbits
 }
 
+/** Runs @p fn, returning the UserError text it must throw. */
+template <typename Fn>
+std::string
+diagnosticOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const UserError &error) {
+        return error.what();
+    }
+    ADD_FAILURE() << "expected a UserError";
+    return "";
+}
+
+TEST(ConfigIoTest, DiagnosticsNameTheProblem)
+{
+    // A missing required key is named.
+    EXPECT_NE(
+        diagnosticOf([] {
+            modelFromConfig(KeyValueConfig::fromString(
+                "hidden = 512\nheads = 8\nseq = 128\nvocab = 1000\n"));
+        }).find("config: missing required key 'layers'"),
+        std::string::npos);
+
+    // A typo is rejected with the allowed-key list.
+    const auto typo = diagnosticOf([] {
+        modelFromConfig(KeyValueConfig::fromString(
+            "layres = 8\nhidden = 512\nheads = 8\nseq = 128\n"
+            "vocab = 1000\n"));
+    });
+    EXPECT_NE(typo.find("config: unknown key 'layres'"),
+              std::string::npos)
+        << typo;
+    EXPECT_NE(typo.find("allowed keys:"), std::string::npos) << typo;
+    EXPECT_NE(typo.find("layers"), std::string::npos) << typo;
+
+    // A non-numeric value reports the key and the offending text.
+    EXPECT_NE(
+        diagnosticOf([] {
+            modelFromConfig(KeyValueConfig::fromString(
+                "layers = twelve\nhidden = 512\nheads = 8\n"
+                "seq = 128\nvocab = 1000\n"));
+        }).find("config key 'layers': 'twelve' is not an integer"),
+        std::string::npos);
+
+    // An unreadable file reports its path.
+    EXPECT_NE(
+        diagnosticOf([] {
+            KeyValueConfig::fromFile("/nonexistent/model.conf");
+        }).find("cannot open config file '/nonexistent/model.conf'"),
+        std::string::npos);
+}
+
 } // namespace
 } // namespace explore
 } // namespace amped

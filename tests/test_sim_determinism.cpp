@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Seed-determinism tests: the same common/rng.hpp seed must yield
+ * the same random task graph and the same engine trace on every run
+ * (the property the golden-file harness relies on), while different
+ * seeds must actually explore different graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/task_graph.hpp"
+
+#include "sim_test_util.hpp"
+
+namespace amped {
+namespace sim {
+namespace {
+
+/** Canonical string form of a run: every interval of every resource. */
+std::string
+traceFingerprint(const SimResult &result)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << result.makespan << '\n';
+    for (std::size_t r = 0; r < result.resources.size(); ++r) {
+        for (const auto &interval : result.resources[r].intervals) {
+            oss << r << ' ' << interval.task << ' '
+                << interval.start << ' ' << interval.end << '\n';
+        }
+    }
+    return oss.str();
+}
+
+/** Structural fingerprint of a generated graph. */
+std::string
+graphFingerprint(const testutil::RandomGraph &rg)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << rg.numResources << '\n';
+    for (std::size_t t = 0; t < rg.graph.taskCount(); ++t) {
+        oss << rg.taskOwner[t] << ' ' << rg.durations[t] << ' '
+            << rg.latencies[t];
+        for (TaskId succ :
+             rg.graph.task(static_cast<TaskId>(t)).successors)
+            oss << ' ' << succ;
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+TEST(SeedDeterminism, SameSeedSameRandomGraph)
+{
+    for (std::uint64_t seed : {1ULL, 7ULL, 0x5eed5eedULL}) {
+        Rng first_rng(seed);
+        Rng second_rng(seed);
+        const auto first = testutil::makeRandomGraph(first_rng);
+        const auto second = testutil::makeRandomGraph(second_rng);
+        EXPECT_EQ(graphFingerprint(first), graphFingerprint(second))
+            << "seed " << seed;
+    }
+}
+
+TEST(SeedDeterminism, SameSeedSameEngineTrace)
+{
+    for (std::uint64_t seed : {1ULL, 7ULL, 0x5eed5eedULL}) {
+        Rng first_rng(seed);
+        Rng second_rng(seed);
+        auto first_graph = testutil::makeRandomGraph(first_rng);
+        auto second_graph = testutil::makeRandomGraph(second_rng);
+        Engine engine;
+        const auto first = engine.run(first_graph.graph);
+        const auto second = engine.run(second_graph.graph);
+        EXPECT_EQ(traceFingerprint(first), traceFingerprint(second))
+            << "seed " << seed;
+    }
+}
+
+TEST(SeedDeterminism, DifferentSeedsDifferentGraphs)
+{
+    // Any fixed pair could collide in principle; over five seeds the
+    // generator must produce at least two distinct graphs (in
+    // practice all five differ).
+    std::vector<std::string> fingerprints;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed);
+        fingerprints.push_back(
+            graphFingerprint(testutil::makeRandomGraph(rng)));
+    }
+    bool any_differ = false;
+    for (std::size_t i = 1; i < fingerprints.size(); ++i)
+        any_differ |= fingerprints[i] != fingerprints[0];
+    EXPECT_TRUE(any_differ);
+    // And the default-seed graph differs from seed-1 (regression
+    // guard for the documented default 0x5eed5eed).
+    Rng default_rng;
+    EXPECT_NE(graphFingerprint(testutil::makeRandomGraph(default_rng)),
+              fingerprints[0]);
+}
+
+TEST(SeedDeterminism, RngSequenceIsReproducible)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+        EXPECT_EQ(a.uniformReal(0.0, 1.0), b.uniformReal(0.0, 1.0));
+        EXPECT_EQ(a.bernoulli(0.5), b.bernoulli(0.5));
+    }
+    // Diverging draws desynchronize the streams.
+    (void)a.uniformInt(0, 1);
+    bool diverged = false;
+    for (int i = 0; i < 10 && !diverged; ++i)
+        diverged = a.uniformInt(0, 1000000) != b.uniformInt(0, 1000000);
+    EXPECT_TRUE(diverged);
+}
+
+TEST(SeedDeterminism, EngineRerunIsIdentical)
+{
+    Rng rng(1234);
+    auto rg = testutil::makeRandomGraph(rng);
+    Engine engine;
+    const auto first = engine.run(rg.graph);
+    const auto second = engine.run(rg.graph);
+    EXPECT_EQ(traceFingerprint(first), traceFingerprint(second));
+}
+
+} // namespace
+} // namespace sim
+} // namespace amped

@@ -15,91 +15,11 @@
 #include "sim/engine.hpp"
 #include "sim/task_graph.hpp"
 
+#include "sim_test_util.hpp"
+
 namespace amped {
 namespace sim {
 namespace {
-
-struct RandomGraph
-{
-    TaskGraph graph;
-    std::vector<double> durations;      ///< Per task.
-    std::vector<double> latencies;      ///< Per task.
-    std::vector<ResourceId> taskOwner;  ///< Resource per task.
-    std::size_t numResources = 0;
-};
-
-/** Random layered DAG: edges only go to later tasks (acyclic). */
-RandomGraph
-makeRandomGraph(Rng &rng)
-{
-    RandomGraph out;
-    const std::int64_t n_devices = rng.uniformInt(1, 4);
-    const std::int64_t n_channels = rng.uniformInt(1, 3);
-    std::vector<ResourceId> devices, channels;
-    for (std::int64_t d = 0; d < n_devices; ++d)
-        devices.push_back(
-            out.graph.addDevice("d" + std::to_string(d)));
-    for (std::int64_t c = 0; c < n_channels; ++c)
-        channels.push_back(
-            out.graph.addChannel("c" + std::to_string(c)));
-    out.numResources =
-        static_cast<std::size_t>(n_devices + n_channels);
-
-    const std::int64_t n_tasks = rng.uniformInt(2, 40);
-    for (std::int64_t t = 0; t < n_tasks; ++t) {
-        if (rng.bernoulli(0.7)) {
-            const double duration = rng.uniformReal(0.0, 2.0);
-            const auto device = devices[static_cast<std::size_t>(
-                rng.uniformInt(0, n_devices - 1))];
-            out.graph.addCompute(device, duration,
-                                 "t" + std::to_string(t));
-            out.durations.push_back(duration);
-            out.latencies.push_back(0.0);
-            out.taskOwner.push_back(device);
-        } else {
-            const double bits = rng.uniformReal(0.0, 1e9);
-            const double bw = rng.uniformReal(1e8, 1e10);
-            const double latency = rng.uniformReal(0.0, 0.01);
-            const auto channel = channels[static_cast<std::size_t>(
-                rng.uniformInt(0, n_channels - 1))];
-            out.graph.addTransfer(channel, bits, bw, latency,
-                                  "t" + std::to_string(t));
-            out.durations.push_back(bits / bw);
-            out.latencies.push_back(latency);
-            out.taskOwner.push_back(channel);
-        }
-        // Random backward edges (guaranteed acyclic).
-        const std::int64_t max_edges = std::min<std::int64_t>(t, 3);
-        for (std::int64_t e = 0; e < max_edges; ++e) {
-            if (rng.bernoulli(0.4)) {
-                const TaskId pred = static_cast<TaskId>(
-                    rng.uniformInt(0, t - 1));
-                out.graph.addDependency(
-                    pred, static_cast<TaskId>(t));
-            }
-        }
-    }
-    return out;
-}
-
-/** Longest dependency path (durations + latencies), resource-free. */
-double
-criticalPath(const RandomGraph &rg)
-{
-    const std::size_t n = rg.graph.taskCount();
-    std::vector<double> finish(n, -1.0);
-    // Tasks are topologically ordered by construction (edges go from
-    // lower to higher ids), so one forward pass suffices.
-    std::vector<double> start(n, 0.0);
-    for (std::size_t t = 0; t < n; ++t) {
-        finish[t] = start[t] + rg.durations[t] + rg.latencies[t];
-        for (TaskId succ :
-             rg.graph.task(static_cast<TaskId>(t)).successors) {
-            start[succ] = std::max(start[succ], finish[t]);
-        }
-    }
-    return *std::max_element(finish.begin(), finish.end());
-}
 
 class RandomDagProperty : public ::testing::TestWithParam<int>
 {};
@@ -107,11 +27,11 @@ class RandomDagProperty : public ::testing::TestWithParam<int>
 TEST_P(RandomDagProperty, MakespanWithinBounds)
 {
     Rng rng(static_cast<std::uint64_t>(GetParam()));
-    auto rg = makeRandomGraph(rng);
+    auto rg = testutil::makeRandomGraph(rng);
     Engine engine;
     const auto result = engine.run(rg.graph);
 
-    const double lower = criticalPath(rg);
+    const double lower = testutil::criticalPath(rg);
     double upper = 0.0;
     for (std::size_t t = 0; t < rg.durations.size(); ++t)
         upper += rg.durations[t] + rg.latencies[t];
@@ -122,7 +42,7 @@ TEST_P(RandomDagProperty, MakespanWithinBounds)
 TEST_P(RandomDagProperty, BusyTimeMatchesTaskDurations)
 {
     Rng rng(static_cast<std::uint64_t>(GetParam()));
-    auto rg = makeRandomGraph(rng);
+    auto rg = testutil::makeRandomGraph(rng);
     Engine engine;
     const auto result = engine.run(rg.graph);
 
@@ -144,7 +64,7 @@ TEST_P(RandomDagProperty, BusyTimeMatchesTaskDurations)
 TEST_P(RandomDagProperty, RunsAreDeterministic)
 {
     Rng rng(static_cast<std::uint64_t>(GetParam()));
-    auto rg = makeRandomGraph(rng);
+    auto rg = testutil::makeRandomGraph(rng);
     Engine engine;
     const auto first = engine.run(rg.graph);
     const auto second = engine.run(rg.graph);
