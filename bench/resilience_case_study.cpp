@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Resilience case study: expected time-to-train for Megatron-145B on
+ * the 1024-A100 Case Study I cluster once device failures and
+ * checkpoint/restart costs are priced in (core/resilience.hpp) — a
+ * dimension the paper's failure-free model leaves out.
+ *
+ * Grid: per-device failure rate x checkpoint interval x DP degree
+ * (TP fixed at 8 intra-node; PP picks up the rest of the 1024
+ * accelerators).  Each device persists its resident parameters and
+ * optimizer state over its HDR InfiniBand NIC (DP replicas shard the
+ * write, so one device's footprint is the per-checkpoint unit).
+ * A seeded Monte-Carlo replication of one grid point cross-checks
+ * the closed form; its statistics are byte-identical at any thread
+ * count, so they golden-check like everything else.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "case_study_util.hpp"
+#include "core/memory_model.hpp"
+#include "core/resilience.hpp"
+#include "net/system_config.hpp"
+
+namespace {
+
+using namespace amped;
+
+/** Grid axis: per-device failure rate (label, failures/s). */
+struct RateAxis
+{
+    const char *label;
+    double perDeviceRate;
+};
+
+/** Grid axis: checkpoint interval (label, seconds; 0 = Daly). */
+struct IntervalAxis
+{
+    const char *label;
+    double seconds;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::GoldenOut golden(argc, argv);
+    std::cout << "=== Resilience: expected time-to-train under "
+                 "failures (Megatron 145B, 1024 x A100, B = 8192) "
+                 "===\n\n";
+
+    const auto system = net::presets::a100Cluster1024();
+    const auto model = bench::caseStudyModel(system);
+    const core::MemoryModel memory(model.opCounter(),
+                                   model.accelerator());
+    const double batch = 8192.0;
+    const std::int64_t devices = system.totalAccelerators();
+    // Each device checkpoints over its own HDR NIC share.
+    const auto storage_link = net::presets::hdrInfiniband();
+
+    const RateAxis rates[] = {
+        {"none", 0.0},
+        // ~1 failure per device per 116 days; ~9 cluster failures/day.
+        {"1e-7", 1e-7},
+        // Pessimistic: ~1 per device per 11.6 days.
+        {"1e-6", 1e-6},
+    };
+    const IntervalAxis intervals[] = {
+        {"daly", 0.0},
+        {"1h", 3600.0},
+        {"4h", 4.0 * 3600.0},
+    };
+
+    TextTable table({"DP", "mapping", "ckpt GB", "write s",
+                     "rate/dev", "interval", "tau s", "E[days]",
+                     "overhead", "E[failures]"});
+
+    for (std::int64_t dp : {4, 8, 16}) {
+        const std::int64_t pp = devices / (8 * dp);
+        const auto m = mapping::makeMapping(8, 1, 1, 1, pp, dp);
+        const auto result = bench::tryEvaluate(model, m, batch);
+        if (!result) {
+            std::cout << "skipping infeasible mapping "
+                      << m.toString() << "\n";
+            continue;
+        }
+        const double solve = result->totalTime;
+        const auto footprint =
+            memory.footprint(m, batch, result->microbatchSize);
+        const double ckpt_bytes = core::checkpointBytes(footprint);
+        const double delta =
+            core::checkpointWriteSeconds(ckpt_bytes, storage_link);
+
+        const std::string base = "resilience/DP" + std::to_string(dp);
+        golden.add(base + "/solve_days", solve / 86400.0);
+        golden.add(base + "/ckpt_gb", ckpt_bytes / 1e9);
+        golden.add(base + "/ckpt_write_s", delta);
+
+        for (const auto &rate : rates) {
+            core::ResilienceConfig config;
+            config.mtbfSeconds =
+                core::clusterMtbfSeconds(rate.perDeviceRate, devices);
+            config.checkpointWriteSeconds = delta;
+            config.restartSeconds = 600.0; // detect + reload + rewind
+            for (const auto &interval : intervals) {
+                config.checkpointIntervalSeconds = interval.seconds;
+                if (interval.seconds == 0.0
+                    && !std::isfinite(config.mtbfSeconds)) {
+                    // Daly on a failure-free cluster = never
+                    // checkpoint; the estimate is just the solve
+                    // time, so skip the degenerate cell.
+                    continue;
+                }
+                const auto estimate =
+                    core::estimateTimeToTrain(solve, config);
+                const std::string key = base + "/rate_" + rate.label
+                    + "/tau_" + interval.label;
+                golden.add(key + "/expected_days",
+                           estimate.expectedSeconds / 86400.0);
+                golden.add(key + "/overhead_pct",
+                           100.0 * estimate.overheadFraction());
+                golden.add(key + "/expected_failures",
+                           estimate.expectedFailures);
+                table.addRow(
+                    {std::to_string(dp), m.toString(),
+                     units::formatFixed(ckpt_bytes / 1e9, 1),
+                     units::formatFixed(delta, 1), rate.label,
+                     interval.label,
+                     units::formatFixed(estimate.intervalSeconds, 0),
+                     units::formatFixed(
+                         estimate.expectedSeconds / 86400.0, 2),
+                     units::formatFixed(
+                         100.0 * estimate.overheadFraction(), 2)
+                         + " %",
+                     units::formatFixed(estimate.expectedFailures,
+                                        1)});
+            }
+        }
+    }
+    table.print(std::cout);
+
+    // Monte-Carlo cross-check of one representative point (DP = 16,
+    // pessimistic rate, Daly interval): the closed form should land
+    // within a few standard errors of the replicated renewal
+    // process.  Seeded and slot-reduced, so the statistics are the
+    // same bytes at every AMPED_THREADS setting.
+    {
+        const auto m = mapping::makeMapping(8, 1, 1, 1,
+                                            devices / (8 * 16), 16);
+        const auto result = bench::tryEvaluate(model, m, batch);
+        require(result.has_value(),
+                "MC cross-check mapping must be feasible");
+        const auto footprint =
+            memory.footprint(m, batch, result->microbatchSize);
+        core::ResilienceConfig config;
+        config.mtbfSeconds = core::clusterMtbfSeconds(1e-6, devices);
+        config.checkpointWriteSeconds = core::checkpointWriteSeconds(
+            core::checkpointBytes(footprint), storage_link);
+        config.restartSeconds = 600.0;
+        const auto estimate =
+            core::estimateTimeToTrain(result->totalTime, config);
+        const auto stats = core::monteCarloTimeToTrain(
+            result->totalTime, config, 256, 0x5eed5eedULL,
+            ThreadPool::shared());
+        std::cout << "\nMC cross-check (DP16, rate 1e-6, Daly tau): "
+                  << "analytic "
+                  << units::formatFixed(
+                         estimate.expectedSeconds / 86400.0, 2)
+                  << " days vs MC "
+                  << units::formatFixed(stats.meanSeconds / 86400.0, 2)
+                  << " +/- "
+                  << units::formatFixed(
+                         stats.standardError / 86400.0, 2)
+                  << " days (" << stats.replications
+                  << " replications)\n";
+        golden.add("resilience/mc/analytic_days",
+                   estimate.expectedSeconds / 86400.0);
+        golden.add("resilience/mc/mean_days",
+                   stats.meanSeconds / 86400.0);
+        golden.add("resilience/mc/stddev_days",
+                   stats.stddevSeconds / 86400.0);
+        golden.add("resilience/mc/gap_in_std_errors",
+                   std::abs(stats.meanSeconds
+                            - estimate.expectedSeconds)
+                       / stats.standardError);
+    }
+    std::cout
+        << "\nreading: at the optimistic rate the Daly interval "
+           "keeps the failure overhead in the low\npercent range; at "
+           "the pessimistic rate a mischosen fixed interval (4h) is "
+           "ruinous while the\nDaly interval stays moderate — the "
+           "analytic layer makes that trade-off visible before\n"
+           "committing a cluster.\n";
+    return golden.finish();
+}

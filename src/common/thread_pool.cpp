@@ -101,6 +101,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
         std::condition_variable done;
         std::mutex errorMutex;
         std::exception_ptr error;
+        std::size_t errorIndex = 0;
     };
     auto state = std::make_shared<LoopState>();
     const std::function<void(std::size_t)> *body = &fn;
@@ -117,10 +118,19 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
                     (*body)(i);
                 } catch (...) {
                     {
+                        // Keep the lowest-index failure: chunks are
+                        // handed out in index order and abort is only
+                        // checked at chunk boundaries, so the chunk
+                        // holding the globally lowest throwing index
+                        // is always drained far enough to throw —
+                        // making the rethrown exception deterministic
+                        // at every thread count.
                         std::lock_guard<std::mutex> lock(
                             state->errorMutex);
-                        if (!state->error)
+                        if (!state->error || i < state->errorIndex) {
                             state->error = std::current_exception();
+                            state->errorIndex = i;
+                        }
                     }
                     state->abort.store(true,
                                        std::memory_order_relaxed);

@@ -75,10 +75,11 @@ class ThreadPool
      * of a pre-sized vector); under that contract the results are
      * independent of thread count and scheduling.
      *
-     * The first exception thrown by fn is captured, remaining
-     * chunks are abandoned at the next chunk boundary, and the
-     * exception is rethrown on the calling thread after all workers
-     * quiesce.
+     * When fn throws, remaining chunks are abandoned at the next
+     * chunk boundary and the exception thrown at the *lowest index*
+     * is rethrown on the calling thread after all workers quiesce —
+     * the same exception a serial run would surface, independent of
+     * thread count and scheduling.
      *
      * Runs serially inline when the effective parallelism —
      * min(threadCount(), max_workers if nonzero, number of chunks)

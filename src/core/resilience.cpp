@@ -1,0 +1,269 @@
+#include "resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace amped {
+namespace core {
+
+namespace {
+
+/**
+ * Resolves the segmentation of @p solve seconds of work at interval
+ * @p tau with checkpoint cost @p delta: count k and the wall length
+ * of the (shorter, checkpoint-free) final segment.
+ */
+struct Segmentation
+{
+    std::size_t count = 1;
+    double fullWall = 0.0; ///< tau + delta (segments 0 .. k-2).
+    double lastWall = 0.0; ///< W - (k-1) tau, no checkpoint.
+};
+
+Segmentation
+segment(double solve, double tau, double delta)
+{
+    Segmentation s;
+    if (solve <= 0.0) {
+        s.count = 1;
+        s.lastWall = 0.0;
+        return s;
+    }
+    if (!std::isfinite(tau) || tau >= solve) {
+        // One segment, never checkpointed.
+        s.count = 1;
+        s.lastWall = solve;
+        return s;
+    }
+    s.count = static_cast<std::size_t>(std::ceil(solve / tau));
+    AMPED_ASSERT(s.count >= 1, "segment count underflow");
+    s.fullWall = tau + delta;
+    s.lastWall =
+        solve - static_cast<double>(s.count - 1) * tau;
+    // Guard against ceil() landing exactly on a boundary plus
+    // floating-point dust: the last segment carries (0, tau] work.
+    if (s.lastWall <= 0.0) {
+        --s.count;
+        s.lastWall = solve - static_cast<double>(s.count - 1) * tau;
+    }
+    return s;
+}
+
+/** The checkpoint interval a config resolves to for a given run. */
+double
+resolveInterval(const ResilienceConfig &config)
+{
+    if (config.checkpointIntervalSeconds > 0.0)
+        return config.checkpointIntervalSeconds;
+    if (!std::isfinite(config.mtbfSeconds))
+        return std::numeric_limits<double>::infinity();
+    require(config.checkpointWriteSeconds > 0.0,
+            "ResilienceConfig: cannot derive a Daly interval with a "
+            "zero checkpoint write cost under a finite MTBF; set "
+            "checkpointIntervalSeconds explicitly");
+    return dalyOptimalInterval(config.checkpointWriteSeconds,
+                               config.mtbfSeconds);
+}
+
+} // namespace
+
+void
+ResilienceConfig::validate() const
+{
+    require(mtbfSeconds > 0.0 && !std::isnan(mtbfSeconds),
+            "ResilienceConfig.mtbfSeconds must be > 0 (infinity = "
+            "failure-free), got ", mtbfSeconds);
+    require(std::isfinite(checkpointWriteSeconds)
+            && checkpointWriteSeconds >= 0.0,
+            "ResilienceConfig.checkpointWriteSeconds must be finite "
+            "and >= 0, got ", checkpointWriteSeconds);
+    require(std::isfinite(restartSeconds) && restartSeconds >= 0.0,
+            "ResilienceConfig.restartSeconds must be finite and "
+            ">= 0, got ", restartSeconds);
+    require(!std::isnan(checkpointIntervalSeconds)
+            && checkpointIntervalSeconds >= 0.0,
+            "ResilienceConfig.checkpointIntervalSeconds must be >= 0 "
+            "(0 = Daly optimal), got ", checkpointIntervalSeconds);
+}
+
+double
+ResilienceEstimate::overheadFraction() const
+{
+    if (solveSeconds <= 0.0)
+        return 0.0;
+    return (expectedSeconds - solveSeconds) / solveSeconds;
+}
+
+double
+checkpointBytes(const MemoryFootprint &footprint)
+{
+    return footprint.parameterBytes + footprint.optimizerBytes;
+}
+
+double
+checkpointWriteSeconds(double bytes,
+                       const net::LinkConfig &storage_link)
+{
+    require(std::isfinite(bytes) && bytes >= 0.0,
+            "checkpointWriteSeconds: bytes must be finite and >= 0, "
+            "got ", bytes);
+    storage_link.validate();
+    return bytes * 8.0 / storage_link.bandwidthBits
+        + storage_link.latencySeconds;
+}
+
+double
+clusterMtbfSeconds(double device_failures_per_second,
+                   std::int64_t devices)
+{
+    require(std::isfinite(device_failures_per_second)
+            && device_failures_per_second >= 0.0,
+            "clusterMtbfSeconds: failure rate must be finite and "
+            ">= 0, got ", device_failures_per_second);
+    require(devices >= 1, "clusterMtbfSeconds: need >= 1 device, "
+            "got ", devices);
+    if (device_failures_per_second == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0
+        / (device_failures_per_second
+           * static_cast<double>(devices));
+}
+
+double
+dalyOptimalInterval(double delta, double mtbf)
+{
+    require(std::isfinite(delta) && delta > 0.0,
+            "dalyOptimalInterval: checkpoint cost must be > 0, got ",
+            delta);
+    require(mtbf > 0.0 && !std::isnan(mtbf),
+            "dalyOptimalInterval: MTBF must be > 0, got ", mtbf);
+    if (!std::isfinite(mtbf))
+        return std::numeric_limits<double>::infinity();
+    if (delta >= 2.0 * mtbf)
+        return mtbf;
+    const double half = delta / (2.0 * mtbf);
+    return std::sqrt(2.0 * delta * mtbf)
+        * (1.0 + std::sqrt(half) / 3.0 + half / 9.0)
+        - delta;
+}
+
+double
+expectedSegmentSeconds(double wall, double mtbf, double restart)
+{
+    AMPED_ASSERT(wall >= 0.0 && restart >= 0.0 && mtbf > 0.0,
+                 "expectedSegmentSeconds preconditions violated");
+    if (!std::isfinite(mtbf) || wall == 0.0)
+        return wall;
+    return (mtbf + restart) * std::expm1(wall / mtbf);
+}
+
+ResilienceEstimate
+estimateTimeToTrain(double solve_seconds,
+                    const ResilienceConfig &config)
+{
+    config.validate();
+    require(std::isfinite(solve_seconds) && solve_seconds >= 0.0,
+            "estimateTimeToTrain: solve time must be finite and "
+            ">= 0, got ", solve_seconds);
+
+    const double tau = resolveInterval(config);
+    const Segmentation seg =
+        segment(solve_seconds, tau, config.checkpointWriteSeconds);
+    const auto full = static_cast<double>(seg.count - 1);
+
+    ResilienceEstimate est;
+    est.solveSeconds = solve_seconds;
+    est.intervalSeconds = tau;
+    est.segmentCount = seg.count;
+    est.failureFreeSeconds =
+        solve_seconds + full * config.checkpointWriteSeconds;
+    est.expectedSeconds =
+        full
+            * expectedSegmentSeconds(seg.fullWall, config.mtbfSeconds,
+                                     config.restartSeconds)
+        + expectedSegmentSeconds(seg.lastWall, config.mtbfSeconds,
+                                 config.restartSeconds);
+    if (std::isfinite(config.mtbfSeconds)) {
+        // Retries per segment follow e^{L/M} - 1 in expectation.
+        est.expectedFailures =
+            full * std::expm1(seg.fullWall / config.mtbfSeconds)
+            + std::expm1(seg.lastWall / config.mtbfSeconds);
+    }
+    return est;
+}
+
+MonteCarloStats
+monteCarloTimeToTrain(double solve_seconds,
+                      const ResilienceConfig &config,
+                      std::size_t replications, std::uint64_t seed,
+                      ThreadPool &pool, std::size_t max_workers)
+{
+    config.validate();
+    require(std::isfinite(solve_seconds) && solve_seconds >= 0.0,
+            "monteCarloTimeToTrain: solve time must be finite and "
+            ">= 0, got ", solve_seconds);
+    require(replications >= 1,
+            "monteCarloTimeToTrain: need >= 1 replication");
+
+    const double tau = resolveInterval(config);
+    const Segmentation seg =
+        segment(solve_seconds, tau, config.checkpointWriteSeconds);
+    const double mtbf = config.mtbfSeconds;
+    const double restart = config.restartSeconds;
+
+    // Walks one segment to completion under exponential failures.
+    const auto run_segment = [&](double wall, Rng &rng) {
+        if (!std::isfinite(mtbf) || wall == 0.0)
+            return wall;
+        double elapsed = 0.0;
+        for (;;) {
+            const double u = rng.uniformReal(0.0, 1.0);
+            const double failure = -mtbf * std::log1p(-u);
+            if (failure >= wall)
+                return elapsed + wall;
+            elapsed += failure + restart;
+        }
+    };
+
+    // Per-replication slots keep the reduction independent of
+    // scheduling; Rng(seed + r) decouples replications.
+    std::vector<double> totals(replications, 0.0);
+    pool.parallelFor(
+        replications, 16,
+        [&](std::size_t r) {
+            Rng rng(seed + static_cast<std::uint64_t>(r));
+            double total = 0.0;
+            for (std::size_t s = 0; s + 1 < seg.count; ++s)
+                total += run_segment(seg.fullWall, rng);
+            total += run_segment(seg.lastWall, rng);
+            totals[r] = total;
+        },
+        max_workers);
+
+    double sum = 0.0;
+    for (double t : totals)
+        sum += t;
+    const double mean = sum / static_cast<double>(replications);
+    double var = 0.0;
+    for (double t : totals)
+        var += (t - mean) * (t - mean);
+    if (replications > 1)
+        var /= static_cast<double>(replications - 1);
+
+    MonteCarloStats stats;
+    stats.replications = replications;
+    stats.meanSeconds = mean;
+    stats.stddevSeconds = std::sqrt(var);
+    stats.standardError =
+        stats.stddevSeconds
+        / std::sqrt(static_cast<double>(replications));
+    return stats;
+}
+
+} // namespace core
+} // namespace amped

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Checkpoint/restart cost model: expected time-to-train under
+ * failures.
+ *
+ * AMPeD predicts failure-free training time; at the cluster scales
+ * the ROADMAP targets, device failures and the checkpoints that
+ * guard against them add a first-class term.  This module prices it
+ * analytically:
+ *
+ *  - checkpoint size from the memory model (resident parameters +
+ *    optimizer state) and write time over a storage link;
+ *  - Daly's optimal checkpoint interval for a write cost and MTBF;
+ *  - expected completion time of a training run partitioned into
+ *    checkpointed segments under exponential failures, using the
+ *    classic renewal result
+ *        E[segment of wall length L] = (M + R) (e^{L/M} - 1)
+ *    for MTBF M and restart cost R (each failed attempt costs the
+ *    time to the failure plus R, then the segment restarts from its
+ *    checkpoint);
+ *  - a seeded Monte-Carlo replication of exactly that renewal
+ *    process, run in parallel on the shared thread pool, which the
+ *    differential tests compare against the closed form (and against
+ *    fault-injected simulator runs).
+ *
+ * The segmentation convention shared by the analytic and Monte-Carlo
+ * paths: solve time W at interval tau yields k = ceil(W / tau)
+ * segments — the first k - 1 of wall length tau + delta (work plus
+ * checkpoint write), the last of length W - (k - 1) tau with no
+ * trailing checkpoint.
+ */
+
+#ifndef AMPED_CORE_RESILIENCE_HPP
+#define AMPED_CORE_RESILIENCE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "core/memory_model.hpp"
+#include "net/link.hpp"
+
+namespace amped {
+
+class ThreadPool;
+
+namespace core {
+
+/** Failure and checkpoint/restart cost knobs. */
+struct ResilienceConfig
+{
+    /**
+     * Cluster mean time between failures in seconds (> 0).  May be
+     * infinity for a failure-free cluster.  For homogeneous devices
+     * use clusterMtbfSeconds().
+     */
+    double mtbfSeconds = std::numeric_limits<double>::infinity();
+
+    /** Checkpoint write cost delta in seconds (>= 0). */
+    double checkpointWriteSeconds = 0.0;
+
+    /** Restart cost R in seconds (>= 0): detect, reload, rewind. */
+    double restartSeconds = 0.0;
+
+    /**
+     * Checkpoint interval tau in work seconds (> 0), or 0 to use
+     * dalyOptimalInterval(checkpointWriteSeconds, mtbfSeconds).
+     */
+    double checkpointIntervalSeconds = 0.0;
+
+    /** @throws UserError on out-of-range knobs. */
+    void validate() const;
+};
+
+/** Expected-time-to-train estimate. */
+struct ResilienceEstimate
+{
+    double expectedSeconds = 0.0;     ///< E[completion] with failures.
+    double failureFreeSeconds = 0.0;  ///< Work + checkpoint writes.
+    double solveSeconds = 0.0;        ///< Pure work W (no overheads).
+    double intervalSeconds = 0.0;     ///< Interval tau actually used.
+    double expectedFailures = 0.0;    ///< E[failure count].
+    std::size_t segmentCount = 0;     ///< Checkpointed segments k.
+
+    /** (expected - solve) / solve; 0 when solve is 0. */
+    double overheadFraction() const;
+};
+
+/** Monte-Carlo statistics over replications of the renewal process. */
+struct MonteCarloStats
+{
+    double meanSeconds = 0.0;
+    double stddevSeconds = 0.0;
+    double standardError = 0.0; ///< stddev / sqrt(replications).
+    std::size_t replications = 0;
+};
+
+/**
+ * Bytes a device must persist per checkpoint: resident parameters
+ * plus optimizer state (gradients and activations are recomputed,
+ * not restored).
+ */
+double checkpointBytes(const MemoryFootprint &footprint);
+
+/**
+ * Seconds to write @p bytes over @p storage_link
+ * (bytes * 8 / bandwidth + latency).
+ *
+ * @throws UserError when bytes is negative or the link is invalid.
+ */
+double checkpointWriteSeconds(double bytes,
+                              const net::LinkConfig &storage_link);
+
+/**
+ * Cluster MTBF for @p devices homogeneous devices failing
+ * independently at @p device_failures_per_second each:
+ * 1 / (rate * devices).  Infinity when the rate is 0.
+ *
+ * @throws UserError when the rate is negative or devices < 1.
+ */
+double clusterMtbfSeconds(double device_failures_per_second,
+                          std::int64_t devices);
+
+/**
+ * Daly's higher-order optimum checkpoint interval for write cost
+ * @p delta and MTBF @p mtbf (J. T. Daly, FGCS 2006):
+ *
+ *   tau = sqrt(2 delta M) [1 + (1/3) sqrt(delta / 2M)
+ *                            + (1/9) (delta / 2M)] - delta
+ *
+ * for delta < 2M, and tau = M otherwise.  Returns infinity for an
+ * infinite MTBF (checkpoint never).
+ *
+ * @throws UserError unless delta > 0 and mtbf > 0.
+ */
+double dalyOptimalInterval(double delta, double mtbf);
+
+/**
+ * Expected wall time to complete a segment of fault-free wall length
+ * @p wall under exponential failures (MTBF @p mtbf) with restart
+ * cost @p restart: (M + R)(e^{L/M} - 1); @p wall when the MTBF is
+ * infinite.
+ */
+double expectedSegmentSeconds(double wall, double mtbf,
+                              double restart);
+
+/**
+ * Expected time-to-train for @p solve_seconds of work under
+ * @p config, using the segmentation convention in the file header.
+ *
+ * @throws UserError when the config is invalid, solve_seconds is
+ *         negative/non-finite, or no checkpoint interval is usable
+ *         (interval 0 with zero write cost and finite MTBF).
+ */
+ResilienceEstimate estimateTimeToTrain(double solve_seconds,
+                                       const ResilienceConfig &config);
+
+/**
+ * Monte-Carlo replications of the renewal process that
+ * estimateTimeToTrain sums in closed form: each replication walks
+ * the same segments, drawing exponential failure times from
+ * Rng(seed + replication) until a draw survives the segment.
+ *
+ * Runs on @p pool via parallelFor with per-replication slots and an
+ * index-order reduction, so the statistics are byte-identical for
+ * every thread count / @p max_workers cap.
+ *
+ * @param replications Number of replications (>= 1).
+ * @param seed Base seed; replication r uses Rng(seed + r).
+ * @param pool Worker pool (e.g. ThreadPool::shared()).
+ * @param max_workers Optional per-call parallelism cap (0 = pool).
+ */
+MonteCarloStats
+monteCarloTimeToTrain(double solve_seconds,
+                      const ResilienceConfig &config,
+                      std::size_t replications, std::uint64_t seed,
+                      ThreadPool &pool, std::size_t max_workers = 0);
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_RESILIENCE_HPP

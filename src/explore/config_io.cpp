@@ -1,10 +1,57 @@
 #include "config_io.hpp"
 
+#include <cmath>
+#include <optional>
+
 #include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace amped {
 namespace explore {
+
+namespace {
+
+// Field-named range checks: a NaN bandwidth or a zero core count in
+// a config file must fail here, naming the key, instead of
+// surfacing later as a NaN training time or a division by zero.
+
+/** A count/frequency/bandwidth key: finite and strictly positive. */
+double
+getPositiveDouble(const KeyValueConfig &config, const std::string &key,
+                  std::optional<double> fallback = std::nullopt)
+{
+    const double value = fallback ? config.getDouble(key, *fallback)
+                                  : config.getDouble(key);
+    require(std::isfinite(value) && value > 0.0, "config key '", key,
+            "': value must be a positive finite number, got ", value);
+    return value;
+}
+
+/** A duration/offset key: finite and non-negative. */
+double
+getNonNegativeDouble(const KeyValueConfig &config,
+                     const std::string &key, double fallback)
+{
+    const double value = config.getDouble(key, fallback);
+    require(std::isfinite(value) && value >= 0.0, "config key '", key,
+            "': value must be a non-negative finite number, got ",
+            value);
+    return value;
+}
+
+/** An integer count key: strictly positive. */
+std::int64_t
+getPositiveInt(const KeyValueConfig &config, const std::string &key,
+               std::optional<std::int64_t> fallback = std::nullopt)
+{
+    const std::int64_t value = fallback ? config.getInt(key, *fallback)
+                                        : config.getInt(key);
+    require(value > 0, "config key '", key,
+            "': value must be a positive integer, got ", value);
+    return value;
+}
+
+} // namespace
 
 model::TransformerConfig
 modelFromConfig(const KeyValueConfig &config)
@@ -14,15 +61,20 @@ modelFromConfig(const KeyValueConfig &config)
                         "experts-per-token", "moe-interval"});
     model::TransformerConfig cfg;
     cfg.name = config.getString("name", "custom-model");
-    cfg.numLayers = config.getInt("layers");
-    cfg.hiddenSize = config.getInt("hidden");
-    cfg.numHeads = config.getInt("heads");
-    cfg.seqLength = config.getInt("seq");
-    cfg.vocabSize = config.getInt("vocab");
-    cfg.ffnHiddenSize = config.getInt("ffn", 4 * cfg.hiddenSize);
-    cfg.moe.numExperts = config.getInt("experts", 0);
-    cfg.moe.expertsPerToken = config.getInt("experts-per-token", 2);
-    cfg.moe.moeLayerInterval = config.getInt("moe-interval", 2);
+    cfg.numLayers = getPositiveInt(config, "layers");
+    cfg.hiddenSize = getPositiveInt(config, "hidden");
+    cfg.numHeads = getPositiveInt(config, "heads");
+    cfg.seqLength = getPositiveInt(config, "seq");
+    cfg.vocabSize = getPositiveInt(config, "vocab");
+    cfg.ffnHiddenSize =
+        getPositiveInt(config, "ffn", 4 * cfg.hiddenSize);
+    cfg.moe.numExperts = config.getInt("experts", 0); // 0 = dense
+    require(cfg.moe.numExperts >= 0, "config key 'experts': value "
+            "must be >= 0, got ", cfg.moe.numExperts);
+    cfg.moe.expertsPerToken =
+        getPositiveInt(config, "experts-per-token", 2);
+    cfg.moe.moeLayerInterval =
+        getPositiveInt(config, "moe-interval", 2);
     cfg.validate();
     return cfg;
 }
@@ -44,25 +96,27 @@ acceleratorFromConfig(const KeyValueConfig &config)
                         "precision-nonlin-unit"});
     hw::AcceleratorConfig cfg;
     cfg.name = config.getString("name", "custom-accelerator");
-    cfg.frequency = config.getDouble("frequency-ghz") * units::giga;
-    cfg.numCores = config.getInt("cores");
-    cfg.numMacUnits = config.getInt("mac-units");
-    cfg.macUnitWidth = config.getInt("mac-width");
-    cfg.numNonlinUnits = config.getInt("nonlin-units");
-    cfg.nonlinUnitWidth = config.getInt("nonlin-width");
-    cfg.memoryBytes = config.getDouble("memory-gb") * units::giga;
-    cfg.offChipBandwidthBits =
-        units::gigabitsPerSecond(config.getDouble("offchip-gbits"));
+    cfg.frequency =
+        getPositiveDouble(config, "frequency-ghz") * units::giga;
+    cfg.numCores = getPositiveInt(config, "cores");
+    cfg.numMacUnits = getPositiveInt(config, "mac-units");
+    cfg.macUnitWidth = getPositiveInt(config, "mac-width");
+    cfg.numNonlinUnits = getPositiveInt(config, "nonlin-units");
+    cfg.nonlinUnitWidth = getPositiveInt(config, "nonlin-width");
+    cfg.memoryBytes =
+        getPositiveDouble(config, "memory-gb") * units::giga;
+    cfg.offChipBandwidthBits = units::gigabitsPerSecond(
+        getPositiveDouble(config, "offchip-gbits"));
     cfg.precisions.parameterBits =
-        config.getDouble("precision-param", 16.0);
+        getPositiveDouble(config, "precision-param", 16.0);
     cfg.precisions.activationBits =
-        config.getDouble("precision-act", 16.0);
+        getPositiveDouble(config, "precision-act", 16.0);
     cfg.precisions.nonlinearBits =
-        config.getDouble("precision-nonlin", 16.0);
+        getPositiveDouble(config, "precision-nonlin", 16.0);
     cfg.precisions.macUnitBits =
-        config.getDouble("precision-mac-unit", 16.0);
+        getPositiveDouble(config, "precision-mac-unit", 16.0);
     cfg.precisions.nonlinearUnitBits =
-        config.getDouble("precision-nonlin-unit", 16.0);
+        getPositiveDouble(config, "precision-nonlin-unit", 16.0);
     cfg.validate();
     return cfg;
 }
@@ -82,17 +136,20 @@ systemFromConfig(const KeyValueConfig &config)
                         "pooled-fabric"});
     net::SystemConfig sys;
     sys.name = config.getString("name", "custom-system");
-    sys.numNodes = config.getInt("nodes");
-    sys.acceleratorsPerNode = config.getInt("per-node");
-    sys.nicsPerNode = config.getInt("nics", sys.acceleratorsPerNode);
+    sys.numNodes = getPositiveInt(config, "nodes");
+    sys.acceleratorsPerNode = getPositiveInt(config, "per-node");
+    sys.nicsPerNode =
+        getPositiveInt(config, "nics", sys.acceleratorsPerNode);
     sys.intraLink = net::LinkConfig{
         "intra",
-        config.getDouble("intra-latency-us", 2.0) * 1e-6,
-        units::gigabitsPerSecond(config.getDouble("intra-gbits"))};
+        getNonNegativeDouble(config, "intra-latency-us", 2.0) * 1e-6,
+        units::gigabitsPerSecond(
+            getPositiveDouble(config, "intra-gbits"))};
     sys.interLink = net::LinkConfig{
         "inter",
-        config.getDouble("inter-latency-us", 1.2) * 1e-6,
-        units::gigabitsPerSecond(config.getDouble("inter-gbits"))};
+        getNonNegativeDouble(config, "inter-latency-us", 1.2) * 1e-6,
+        units::gigabitsPerSecond(
+            getPositiveDouble(config, "inter-gbits"))};
     sys.interIsPooledFabric =
         config.getInt("pooled-fabric", 0) != 0;
     sys.validate();

@@ -1,15 +1,62 @@
 #include "explorer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 
 namespace amped {
 namespace explore {
+
+namespace {
+
+/**
+ * Pins every numeric field of a result to NaN — the golden layer's
+ * marker for "this point has no value" — so a degraded sweep point
+ * renders as `nan` in tables/CSVs instead of a bogus number.
+ */
+core::EvaluationResult
+nanPinnedResult()
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    core::EvaluationResult result;
+    result.perBatch.computeForward = nan;
+    result.perBatch.computeBackward = nan;
+    result.perBatch.weightUpdate = nan;
+    result.perBatch.commTpIntra = nan;
+    result.perBatch.commTpInter = nan;
+    result.perBatch.commPp = nan;
+    result.perBatch.commMoe = nan;
+    result.perBatch.commGradIntra = nan;
+    result.perBatch.commGradInter = nan;
+    result.perBatch.bubble = nan;
+    result.timePerBatch = nan;
+    result.numBatches = nan;
+    result.totalTime = nan;
+    result.microbatchSize = nan;
+    result.numMicrobatches = nan;
+    result.efficiency = nan;
+    result.achievedFlopsPerGpu = nan;
+    result.tokensPerSecond = nan;
+    return result;
+}
+
+/** Sort key mapping NaN to +infinity (strict weak ordering safe). */
+double
+timeKey(const SweepEntry &entry)
+{
+    const double t = entry.result.totalTime;
+    return std::isnan(t) ? std::numeric_limits<double>::infinity()
+                         : t;
+}
+
+} // namespace
 
 Explorer::Explorer(core::AmpedModel model) : model_(std::move(model)) {}
 
@@ -53,10 +100,12 @@ Explorer::sweepJobs(
     {
         infeasible,
         overMemory,
-        feasible
+        feasible,
+        failedPoint
     };
     std::vector<PointStatus> status(count, PointStatus::infeasible);
     std::vector<core::EvaluationResult> results(count);
+    std::vector<std::string> failures(count);
 
     const auto evaluatePoint = [&](std::size_t index) {
         const auto &m = mappings[index / jobs.size()];
@@ -71,11 +120,23 @@ Explorer::sweepJobs(
                 }
             }
             results[index] = model_.evaluate(m, job);
+            if (!std::isfinite(results[index].totalTime)) {
+                // Evaluation "succeeded" but produced garbage —
+                // degrade the point instead of poisoning rankings.
+                status[index] = PointStatus::failedPoint;
+                failures[index] = "non-finite total time";
+                return;
+            }
             status[index] = PointStatus::feasible;
         } catch (const UserError &) {
             // Infeasible point (batch too small, bad mapping):
             // skip it, keep sweeping.
             status[index] = PointStatus::infeasible;
+        } catch (const std::exception &e) {
+            // Anything else is a real evaluation failure; NaN-pin
+            // the point so one broken point cannot kill the sweep.
+            status[index] = PointStatus::failedPoint;
+            failures[index] = e.what();
         }
     };
 
@@ -100,6 +161,22 @@ Explorer::sweepJobs(
         case PointStatus::overMemory:
             ++out.memorySkipped;
             break;
+        case PointStatus::failedPoint: {
+            // Serial reduction loop: warnings come out in grid order
+            // at every thread count.
+            const auto &m = mappings[index / jobs.size()];
+            const double batch = jobs[index % jobs.size()].batchSize;
+            log::warn("sweep point ", m.toString(), " batch ", batch,
+                      " failed (", failures[index],
+                      "); pinning it to nan");
+            SweepEntry entry;
+            entry.mapping = m;
+            entry.batchSize = batch;
+            entry.result = nanPinnedResult();
+            out.entries.push_back(std::move(entry));
+            ++out.failed;
+            break;
+        }
         }
     }
     return out;
@@ -122,7 +199,7 @@ Explorer::best(const SweepResult &sweep_result)
     const auto it = std::min_element(
         sweep_result.entries.begin(), sweep_result.entries.end(),
         [](const SweepEntry &a, const SweepEntry &b) {
-            return a.result.totalTime < b.result.totalTime;
+            return timeKey(a) < timeKey(b);
         });
     return *it;
 }
@@ -132,7 +209,7 @@ Explorer::sortByTime(std::vector<SweepEntry> &entries)
 {
     std::stable_sort(entries.begin(), entries.end(),
                      [](const SweepEntry &a, const SweepEntry &b) {
-                         return a.result.totalTime < b.result.totalTime;
+                         return timeKey(a) < timeKey(b);
                      });
 }
 

@@ -48,6 +48,16 @@ struct SweepResult
     std::vector<SweepEntry> entries; ///< Feasible, evaluated points.
     std::size_t skipped = 0;         ///< Infeasible points dropped.
     std::size_t memorySkipped = 0;   ///< Dropped by the memory check.
+
+    /**
+     * Points that degraded instead of aborting the sweep: the model
+     * threw a non-UserError exception or produced a non-finite total
+     * time.  Each such point stays in entries with every numeric
+     * result NaN-pinned (the golden layer's marker for "no value
+     * here") and one warning logged, so a single broken point cannot
+     * kill a design-space exploration.
+     */
+    std::size_t failed = 0;
 };
 
 /**
@@ -103,11 +113,19 @@ class Explorer
     /** The configured parallelism cap (0 = automatic). */
     unsigned threads() const { return threads_; }
 
-    /** The entry with the lowest total training time, if any. */
+    /**
+     * The entry with the lowest total training time, if any.
+     * NaN-pinned (failed) entries rank last, so they are only
+     * returned when nothing real was evaluated.
+     */
     static std::optional<SweepEntry>
     best(const SweepResult &sweep_result);
 
-    /** Sorts entries ascending by total training time. */
+    /**
+     * Sorts entries ascending by total training time; NaN-pinned
+     * entries sort to the end (NaN compares as +infinity, keeping
+     * the comparator a strict weak ordering).
+     */
     static void sortByTime(std::vector<SweepEntry> &entries);
 
     /** The underlying model. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <queue>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -26,7 +27,8 @@ enum class EventKind
 {
     taskReady,    ///< All dependencies delivered; enqueue on resource.
     resourceFree, ///< Occupancy ended; start the next queued task.
-    delivery      ///< Task output delivered; notify successors.
+    delivery,     ///< Task output delivered; notify successors.
+    resourceFail  ///< Injected fault: the resource dies.
 };
 
 struct Event
@@ -52,13 +54,63 @@ struct EventLater
 struct ResourceState
 {
     bool busy = false;
+    TaskId current = -1; ///< In-flight task (valid while busy).
     std::deque<TaskId> readyQueue;
 };
+
+/**
+ * Names the first few tasks whose dependencies never delivered, for
+ * the cycle diagnostic: "#3 'bwd mb0', #4 'bwd mb1' (+7 more)".
+ */
+std::string
+describeNeverReady(const TaskGraph &graph,
+                   const std::vector<std::int32_t> &remaining)
+{
+    constexpr std::size_t max_listed = 4;
+    std::string described;
+    std::size_t listed = 0;
+    std::size_t never_ready = 0;
+    for (std::size_t t = 0; t < remaining.size(); ++t) {
+        if (remaining[t] <= 0)
+            continue;
+        ++never_ready;
+        if (listed == max_listed)
+            continue;
+        if (listed > 0)
+            described += ", ";
+        described += "#" + std::to_string(t) + " '"
+            + graph.task(static_cast<TaskId>(t)).label + "'";
+        ++listed;
+    }
+    if (never_ready > listed) {
+        described += " (+" + std::to_string(never_ready - listed)
+            + " more)";
+    }
+    return described;
+}
 
 } // namespace
 
 SimResult
 Engine::run(TaskGraph &graph) const
+{
+    return runImpl(graph, nullptr, nullptr);
+}
+
+FaultSimResult
+Engine::run(TaskGraph &graph, const FaultPlan &plan) const
+{
+    require(plan.resourceCount() == graph.resourceCount(),
+            "FaultPlan was generated for ", plan.resourceCount(),
+            " resources but the graph has ", graph.resourceCount());
+    FaultSimResult out;
+    out.result = runImpl(graph, &plan, &out.failure);
+    return out;
+}
+
+SimResult
+Engine::runImpl(TaskGraph &graph, const FaultPlan *plan,
+                FailureOutcome *outcome) const
 {
     const std::size_t n_tasks = graph.taskCount();
     const std::size_t n_resources = graph.resourceCount();
@@ -77,6 +129,17 @@ Engine::run(TaskGraph &graph) const
         events.push(Event{time, kind, task, resource, sequence++});
     };
 
+    // Failure events enter the queue first: at an equal timestamp a
+    // failure outranks every ready/free/delivery event (lower
+    // sequence pops first), so a task cannot slip through a resource
+    // in the same instant it dies.  A zero plan pushes nothing, which
+    // keeps all sequence numbers — and hence the whole run —
+    // identical to the fault-free path.
+    if (plan != nullptr) {
+        for (const FailureEvent &f : plan->failures())
+            push(f.time, EventKind::resourceFail, -1, f.resource);
+    }
+
     // Seed: every task with no dependencies is ready at t = 0.
     // Seeding in task-id order keeps FIFO queues deterministic.
     for (std::size_t t = 0; t < n_tasks; ++t) {
@@ -88,22 +151,37 @@ Engine::run(TaskGraph &graph) const
     SimResult result;
     result.resources.resize(n_resources);
     std::vector<ResourceState> states(n_resources);
+    std::vector<char> dead(n_resources, 0);
+    std::vector<char> aborted(plan != nullptr ? n_tasks : 0, 0);
     std::size_t completed = 0;
+    std::size_t aborted_count = 0;
+    double lost_busy = 0.0;
+    double last_fail_time = 0.0;
 
     auto start_task = [&](ResourceId rid, double now) {
         ResourceState &state = states[rid];
-        if (state.busy || state.readyQueue.empty())
+        if (state.busy || state.readyQueue.empty() || dead[rid])
             return;
         const TaskId tid = state.readyQueue.front();
         state.readyQueue.pop_front();
         state.busy = true;
+        state.current = tid;
         const Task &task = graph.task(tid);
-        const double end = now + task.duration;
-        result.resources[rid].busyTime += task.duration;
+        double duration = task.duration;
+        double latency = task.latency;
+        if (plan != nullptr) {
+            // Multiplying by an exactly-1.0 zero plan is a bitwise
+            // no-op for every finite double, preserving bit-identity
+            // with the fault-free path.
+            duration *= plan->durationMultiplier(rid);
+            latency *= plan->latencyMultiplier(rid);
+        }
+        const double end = now + duration;
+        result.resources[rid].busyTime += duration;
         result.resources[rid].intervals.push_back(
             BusyInterval{now, end, tid});
         push(end, EventKind::resourceFree, tid, rid);
-        push(end + task.latency, EventKind::delivery, tid, rid);
+        push(end + latency, EventKind::delivery, tid, rid);
     };
 
     while (!events.empty()) {
@@ -111,14 +189,24 @@ Engine::run(TaskGraph &graph) const
         events.pop();
         switch (ev.kind) {
           case EventKind::taskReady:
+            if (dead[ev.resource]) {
+                aborted[ev.task] = 1;
+                ++aborted_count;
+                break;
+            }
             states[ev.resource].readyQueue.push_back(ev.task);
             start_task(ev.resource, ev.time);
             break;
           case EventKind::resourceFree:
+            if (dead[ev.resource])
+                break;
             states[ev.resource].busy = false;
+            states[ev.resource].current = -1;
             start_task(ev.resource, ev.time);
             break;
           case EventKind::delivery: {
+            if (plan != nullptr && aborted[ev.task])
+                break;
             ++completed;
             result.makespan = std::max(result.makespan, ev.time);
             for (TaskId succ : graph.task(ev.task).successors) {
@@ -130,12 +218,69 @@ Engine::run(TaskGraph &graph) const
             }
             break;
           }
+          case EventKind::resourceFail: {
+            const ResourceId rid = ev.resource;
+            if (dead[rid])
+                break;
+            dead[rid] = 1;
+            ++outcome->failuresApplied;
+            if (outcome->failuresApplied == 1) {
+                outcome->firstFailureTime = ev.time;
+                outcome->firstFailedResource = rid;
+            }
+            last_fail_time = std::max(last_fail_time, ev.time);
+            ResourceState &state = states[rid];
+            if (state.busy) {
+                // Abort the in-flight task: truncate its busy
+                // interval at the failure instant and charge the
+                // partially executed occupancy as lost work.  Its
+                // already-queued resourceFree/delivery events are
+                // neutralized by the dead/aborted checks above.
+                auto &intervals = result.resources[rid].intervals;
+                AMPED_ASSERT(!intervals.empty()
+                             && intervals.back().task == state.current,
+                             "busy resource has no matching interval");
+                BusyInterval &interval = intervals.back();
+                result.resources[rid].busyTime -=
+                    interval.end - ev.time;
+                lost_busy += ev.time - interval.start;
+                interval.end = ev.time;
+                aborted[state.current] = 1;
+                ++aborted_count;
+                state.busy = false;
+                state.current = -1;
+            }
+            for (TaskId tid : state.readyQueue) {
+                aborted[tid] = 1;
+                ++aborted_count;
+            }
+            state.readyQueue.clear();
+            break;
+          }
         }
     }
 
-    require(completed == n_tasks, "task graph did not complete: ",
-            completed, " of ", n_tasks,
-            " tasks ran (dependency cycle?)");
+    if (outcome != nullptr) {
+        outcome->failed = completed != n_tasks;
+        outcome->completedTasks = completed;
+        outcome->abortedTasks = aborted_count;
+        outcome->unreachedTasks = n_tasks - completed - aborted_count;
+        outcome->lostBusySeconds = lost_busy;
+        outcome->wastedWallSeconds = outcome->failed
+            ? std::max(result.makespan, last_fail_time)
+            : 0.0;
+    }
+
+    // An incomplete run is a reportable outcome when an injected
+    // failure explains it; otherwise it is a dependency cycle and a
+    // user error either way.
+    const bool failure_explains = outcome != nullptr
+        && outcome->failed && outcome->failuresApplied > 0;
+    if (completed != n_tasks && !failure_explains) {
+        fatal("task graph did not complete: ", completed, " of ",
+              n_tasks, " tasks ran; never became ready (dependency "
+              "cycle?): ", describeNeverReady(graph, remaining));
+    }
     return result;
 }
 

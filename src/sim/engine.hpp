@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/task_graph.hpp"
 
 namespace amped {
@@ -45,6 +46,16 @@ struct SimResult
     double utilization(ResourceId id) const;
 };
 
+/** Outcome of a fault-injected run: schedule + failure accounting. */
+struct FaultSimResult
+{
+    /** Surviving schedule; partial when failure.failed is true. */
+    SimResult result;
+
+    /** What (if anything) went wrong and how much it cost. */
+    FailureOutcome failure;
+};
+
 /**
  * Runs a task graph to completion.
  */
@@ -58,9 +69,36 @@ class Engine
      *        the graph can be re-run, counters are rebuilt).
      * @return Makespan and per-resource statistics.
      * @throws UserError when the graph contains a dependency cycle
-     *         (some tasks never become ready).
+     *         (some tasks never become ready); the message names the
+     *         first few never-ready tasks.
      */
     SimResult run(TaskGraph &graph) const;
+
+    /**
+     * Executes the graph under a fault plan.
+     *
+     * Task durations and delivery latencies are scaled by the plan's
+     * per-resource multipliers.  At each scheduled failure the
+     * resource dies: its in-flight task is aborted (the busy interval
+     * is truncated at the failure instant), its queued tasks are
+     * dropped, and tasks that later become ready on it are aborted
+     * immediately.  Surviving resources keep executing whatever is
+     * still reachable, so the result holds the partial schedule of
+     * the failed attempt.  A failure is reported in the returned
+     * FailureOutcome — never thrown.
+     *
+     * A zero plan (all multipliers exactly 1, no failures) reproduces
+     * the fault-free run(graph) result bit-identically.
+     *
+     * @throws UserError when the plan was generated for a different
+     *         resource set, or when the graph has a dependency cycle
+     *         that no injected failure explains.
+     */
+    FaultSimResult run(TaskGraph &graph, const FaultPlan &plan) const;
+
+  private:
+    SimResult runImpl(TaskGraph &graph, const FaultPlan *plan,
+                      FailureOutcome *outcome) const;
 };
 
 } // namespace sim

@@ -1,0 +1,175 @@
+#include "fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace amped {
+namespace sim {
+
+namespace {
+
+/** Checks that @p p is a probability. */
+void
+requireProbability(double p, const char *name)
+{
+    require(std::isfinite(p) && p >= 0.0 && p <= 1.0, "FaultSpec.",
+            name, " must be a probability in [0, 1], got ", p);
+}
+
+/** Checks a [min, max] multiplier range. */
+void
+requireMultiplierRange(double lo, double hi, const char *name)
+{
+    require(std::isfinite(lo) && std::isfinite(hi) && lo > 0.0
+            && lo <= hi,
+            "FaultSpec.", name, " range must satisfy 0 < min <= max, "
+            "got [", lo, ", ", hi, "]");
+}
+
+} // namespace
+
+void
+FaultSpec::validate() const
+{
+    requireProbability(stragglerProbability, "stragglerProbability");
+    requireProbability(linkDegradationProbability,
+                       "linkDegradationProbability");
+    requireMultiplierRange(stragglerSlowdownMin, stragglerSlowdownMax,
+                           "stragglerSlowdown");
+    requireMultiplierRange(linkSlowdownMin, linkSlowdownMax,
+                           "linkSlowdown");
+    require(std::isfinite(linkLatencyJitter) && linkLatencyJitter >= 0.0
+            && linkLatencyJitter < 1.0,
+            "FaultSpec.linkLatencyJitter must be in [0, 1), got ",
+            linkLatencyJitter);
+    require(std::isfinite(failureRate) && failureRate >= 0.0,
+            "FaultSpec.failureRate must be finite and >= 0, got ",
+            failureRate);
+    require(std::isfinite(failureHorizon) && failureHorizon >= 0.0,
+            "FaultSpec.failureHorizon must be finite and >= 0, got ",
+            failureHorizon);
+    for (const FailureEvent &f : failures) {
+        require(f.resource >= 0,
+                "FaultSpec explicit failure resource id must be >= 0, "
+                "got ", f.resource);
+        require(std::isfinite(f.time) && f.time >= 0.0,
+                "FaultSpec explicit failure time must be finite and "
+                ">= 0, got ", f.time);
+    }
+}
+
+bool
+FaultSpec::zero() const
+{
+    return stragglerProbability == 0.0
+        && linkDegradationProbability == 0.0
+        && linkLatencyJitter == 0.0
+        && (failureRate == 0.0 || failureHorizon == 0.0)
+        && failures.empty();
+}
+
+FaultPlan::FaultPlan(const TaskGraph &graph)
+    : durationMultipliers_(graph.resourceCount(), 1.0),
+      latencyMultipliers_(graph.resourceCount(), 1.0)
+{}
+
+FaultPlan
+FaultPlan::generate(const TaskGraph &graph, const FaultSpec &spec)
+{
+    spec.validate();
+    FaultPlan plan(graph);
+    const auto n_resources =
+        static_cast<ResourceId>(graph.resourceCount());
+    Rng rng(spec.seed);
+
+    // One pass over the resources in id order, drawing from a single
+    // generator: the realization depends only on (seed, resource
+    // kinds in id order), never on thread count or map iteration.
+    for (ResourceId r = 0; r < n_resources; ++r) {
+        switch (graph.resource(r).kind) {
+          case ResourceKind::device:
+            if (spec.stragglerProbability > 0.0
+                && rng.bernoulli(spec.stragglerProbability)) {
+                plan.durationMultipliers_[r] = rng.uniformReal(
+                    spec.stragglerSlowdownMin,
+                    spec.stragglerSlowdownMax);
+            }
+            break;
+          case ResourceKind::channel:
+            if (spec.linkDegradationProbability > 0.0
+                && rng.bernoulli(spec.linkDegradationProbability)) {
+                plan.durationMultipliers_[r] = rng.uniformReal(
+                    spec.linkSlowdownMin, spec.linkSlowdownMax);
+            }
+            if (spec.linkLatencyJitter > 0.0) {
+                plan.latencyMultipliers_[r] = rng.uniformReal(
+                    1.0 - spec.linkLatencyJitter,
+                    1.0 + spec.linkLatencyJitter);
+            }
+            break;
+        }
+    }
+
+    // Exponential first-arrival failure per device over the horizon.
+    if (spec.failureRate > 0.0 && spec.failureHorizon > 0.0) {
+        for (ResourceId r = 0; r < n_resources; ++r) {
+            if (graph.resource(r).kind != ResourceKind::device)
+                continue;
+            const double u = rng.uniformReal(0.0, 1.0);
+            const double t = -std::log1p(-u) / spec.failureRate;
+            if (t < spec.failureHorizon)
+                plan.failures_.push_back(FailureEvent{r, t});
+        }
+    }
+
+    for (const FailureEvent &f : spec.failures) {
+        require(f.resource < n_resources, "FaultSpec explicit failure "
+                "names resource ", f.resource, " but the graph has "
+                "only ", graph.resourceCount(), " resources");
+        plan.failures_.push_back(f);
+    }
+
+    std::sort(plan.failures_.begin(), plan.failures_.end(),
+              [](const FailureEvent &a, const FailureEvent &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.resource < b.resource;
+              });
+    return plan;
+}
+
+double
+FaultPlan::durationMultiplier(ResourceId resource) const
+{
+    AMPED_ASSERT(resource >= 0 && static_cast<std::size_t>(resource)
+                 < durationMultipliers_.size(),
+                 "FaultPlan resource id out of range");
+    return durationMultipliers_[resource];
+}
+
+double
+FaultPlan::latencyMultiplier(ResourceId resource) const
+{
+    AMPED_ASSERT(resource >= 0 && static_cast<std::size_t>(resource)
+                 < latencyMultipliers_.size(),
+                 "FaultPlan resource id out of range");
+    return latencyMultipliers_[resource];
+}
+
+bool
+FaultPlan::zero() const
+{
+    if (!failures_.empty())
+        return false;
+    const auto is_one = [](double m) { return m == 1.0; };
+    return std::all_of(durationMultipliers_.begin(),
+                       durationMultipliers_.end(), is_one)
+        && std::all_of(latencyMultipliers_.begin(),
+                       latencyMultipliers_.end(), is_one);
+}
+
+} // namespace sim
+} // namespace amped

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Fault injection for the discrete-event cluster simulator.
+ *
+ * The paper (and the simulator standing in for its HGX-2 validation
+ * runs) assumes perfectly homogeneous, failure-free accelerators.  At
+ * production scale that assumption dominates the error of any
+ * time-to-train prediction: slow ranks ("stragglers") stretch every
+ * collective they participate in, degraded links stretch every
+ * transfer they carry, and device failures abort whole steps.  This
+ * module describes those perturbations:
+ *
+ *  - FaultSpec: the *distribution* of faults — per-device straggler
+ *    probability and slowdown range, per-link degradation and latency
+ *    jitter, a device failure rate over a time horizon, plus
+ *    explicitly scheduled failures.  Seeded; the same spec and seed
+ *    always produce the same faults (common/rng.hpp).
+ *
+ *  - FaultPlan: the *realization* of a spec against one TaskGraph —
+ *    a duration/latency multiplier per resource and a sorted list of
+ *    failure events.  Engine::run(graph, plan) executes the graph
+ *    under the plan; a failure aborts the failed resource's in-flight
+ *    and queued tasks and the run reports a FailureOutcome instead of
+ *    throwing.
+ *
+ * A default-constructed ("zero") spec realizes to multipliers of
+ * exactly 1.0 and no failures; running any graph under it is
+ * bit-identical to the fault-free Engine::run(graph) path, which is
+ * what lets the resilience tests anchor against the existing goldens.
+ */
+
+#ifndef AMPED_SIM_FAULT_HPP
+#define AMPED_SIM_FAULT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/task_graph.hpp"
+
+namespace amped {
+
+class Rng;
+
+namespace sim {
+
+/** One scheduled resource failure: @p resource dies at @p time. */
+struct FailureEvent
+{
+    ResourceId resource = -1; ///< Device or channel that fails.
+    double time = 0.0;        ///< Failure instant in seconds; >= 0.
+};
+
+/**
+ * Distribution of faults to inject, realized per graph by
+ * FaultPlan::generate.  All knobs default to "no fault".
+ */
+struct FaultSpec
+{
+    /** Seed for the deterministic realization. */
+    std::uint64_t seed = 0x5eed5eedULL;
+
+    /** Probability that a device is a straggler. */
+    double stragglerProbability = 0.0;
+
+    /** Straggler compute-duration multiplier range (>= 1 typical). */
+    double stragglerSlowdownMin = 1.0;
+    double stragglerSlowdownMax = 1.0;
+
+    /** Probability that a channel is degraded. */
+    double linkDegradationProbability = 0.0;
+
+    /** Degraded-channel serialization multiplier range. */
+    double linkSlowdownMin = 1.0;
+    double linkSlowdownMax = 1.0;
+
+    /**
+     * Per-channel latency jitter: every channel's delivery latency is
+     * scaled by a factor drawn uniformly from [1 - j, 1 + j].  Must
+     * be in [0, 1).
+     */
+    double linkLatencyJitter = 0.0;
+
+    /**
+     * Device failure rate in failures per device-second, sampled as
+     * an exponential first-arrival time per device over
+     * [0, failureHorizon).  0 disables sampling.
+     */
+    double failureRate = 0.0;
+
+    /** Sampling horizon for failureRate, in seconds. */
+    double failureHorizon = 0.0;
+
+    /** Explicitly scheduled failures (applied on top of sampling). */
+    std::vector<FailureEvent> failures;
+
+    /** @throws UserError on out-of-range knobs. */
+    void validate() const;
+
+    /** True when the spec can only realize to a no-op plan. */
+    bool zero() const;
+};
+
+/**
+ * A FaultSpec realized against one graph: per-resource multipliers
+ * plus the failure schedule.  Value type; cheap to copy.
+ */
+class FaultPlan
+{
+  public:
+    /** A no-op plan for @p graph (all multipliers 1, no failures). */
+    explicit FaultPlan(const TaskGraph &graph);
+
+    /**
+     * Realizes @p spec against @p graph.  Deterministic: resources
+     * are visited in id order drawing from a single Rng seeded with
+     * spec.seed, so the same (graph shape, spec) pair always yields
+     * the same plan.
+     *
+     * @throws UserError when the spec is invalid or an explicit
+     *         failure names a resource the graph does not have.
+     */
+    static FaultPlan generate(const TaskGraph &graph,
+                              const FaultSpec &spec);
+
+    /** Occupancy-duration multiplier of @p resource. */
+    double durationMultiplier(ResourceId resource) const;
+
+    /** Post-occupancy latency multiplier of @p resource. */
+    double latencyMultiplier(ResourceId resource) const;
+
+    /** Failure schedule, sorted by (time, resource). */
+    const std::vector<FailureEvent> &failures() const
+    {
+        return failures_;
+    }
+
+    /** Number of resources the plan was built for. */
+    std::size_t resourceCount() const
+    {
+        return durationMultipliers_.size();
+    }
+
+    /** True when the plan perturbs nothing. */
+    bool zero() const;
+
+  private:
+    std::vector<double> durationMultipliers_;
+    std::vector<double> latencyMultipliers_;
+    std::vector<FailureEvent> failures_;
+};
+
+/**
+ * Outcome of a fault-injected run.  When no failure fired (or every
+ * failure landed after the last task delivered), @c failed is false
+ * and the SimResult next to it is the complete schedule.
+ */
+struct FailureOutcome
+{
+    /** True when some task never delivered because of a failure. */
+    bool failed = false;
+
+    /** Number of failure events that were applied to live resources. */
+    std::size_t failuresApplied = 0;
+
+    /** First applied failure (valid when failuresApplied > 0). */
+    double firstFailureTime = 0.0;
+    ResourceId firstFailedResource = -1;
+
+    /** Tasks that delivered their outputs. */
+    std::size_t completedTasks = 0;
+
+    /**
+     * Tasks killed by a failure: the in-flight task of the failed
+     * resource, its queued tasks, and tasks that became ready on a
+     * dead resource afterwards.
+     */
+    std::size_t abortedTasks = 0;
+
+    /** Tasks whose dependencies never delivered (downstream loss). */
+    std::size_t unreachedTasks = 0;
+
+    /** Truncated occupancy of aborted in-flight tasks (seconds). */
+    double lostBusySeconds = 0.0;
+
+    /**
+     * Wall-clock invested in an attempt that did not complete (the
+     * partial run's makespan): the time a checkpoint/restart scheme
+     * would have to redo.  0 when the run completed.
+     */
+    double wastedWallSeconds = 0.0;
+};
+
+} // namespace sim
+} // namespace amped
+
+#endif // AMPED_SIM_FAULT_HPP

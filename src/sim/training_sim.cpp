@@ -38,6 +38,28 @@ TrainingSimulator::setGradientBits(double bits)
     gradientBits_ = bits;
 }
 
+void
+TrainingSimulator::setFaultSpec(FaultSpec spec)
+{
+    spec.validate();
+    faultSpec_ = std::move(spec);
+}
+
+SimOutcome
+TrainingSimulator::finishRun(TaskGraph &graph,
+                             const std::vector<ResourceId> &devices) const
+{
+    Engine engine;
+    if (!faultSpec_)
+        return makeOutcome(engine.run(graph), devices);
+    const FaultPlan plan = FaultPlan::generate(graph, *faultSpec_);
+    FaultSimResult fault_run = engine.run(graph, plan);
+    SimOutcome outcome =
+        makeOutcome(std::move(fault_run.result), devices);
+    outcome.failure = fault_run.failure;
+    return outcome;
+}
+
 double
 TrainingSimulator::layerForwardTime(std::int64_t layer, double batch,
                                     double eff) const
@@ -170,8 +192,7 @@ TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
         graph.addDependency(reduced[d], task);
     }
 
-    Engine engine;
-    return makeOutcome(engine.run(graph), device_ids);
+    return finishRun(graph, device_ids);
 }
 
 SimOutcome
@@ -283,8 +304,7 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
         }
     }
 
-    Engine engine;
-    return makeOutcome(engine.run(graph), all_devices);
+    return finishRun(graph, all_devices);
 }
 
 SimOutcome
@@ -452,8 +472,7 @@ TrainingSimulator::simulateDataPipelineStep(
         }
     }
 
-    Engine engine;
-    return makeOutcome(engine.run(graph), all_devices);
+    return finishRun(graph, all_devices);
 }
 
 SimOutcome
@@ -506,8 +525,7 @@ TrainingSimulator::simulateAllToAll(std::int64_t participants,
         previous = std::move(received);
     }
 
-    Engine engine;
-    return makeOutcome(engine.run(graph), device_ids);
+    return finishRun(graph, device_ids);
 }
 
 SimOutcome
@@ -603,8 +621,7 @@ TrainingSimulator::simulateMoeStep(
     add_pass(1.0, "fwd");
     add_pass(backwardMultiplier_, "bwd");
 
-    Engine engine;
-    return makeOutcome(engine.run(graph), device_ids);
+    return finishRun(graph, device_ids);
 }
 
 SimOutcome
@@ -720,8 +737,12 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
         graph.addDependency(bwd[s][num_microbatches - 1], task);
     }
 
-    Engine engine;
-    auto outcome = makeOutcome(engine.run(graph), device_ids);
+    auto outcome = finishRun(graph, device_ids);
+    if (outcome.failure.failed) {
+        // An aborted step has no complete residency trace: some
+        // microbatches never ran their forward or backward.
+        return outcome;
+    }
 
     // Activation residency: a microbatch is live on a stage from its
     // forward's end to its backward's start.  Sweep start/end events
@@ -819,8 +840,7 @@ TrainingSimulator::simulateTensorParallelStep(std::int64_t devices,
     add_sharded_pass(1.0, "fwd");
     add_sharded_pass(backwardMultiplier_, "bwd");
 
-    Engine engine;
-    return makeOutcome(engine.run(graph), device_ids);
+    return finishRun(graph, device_ids);
 }
 
 } // namespace sim

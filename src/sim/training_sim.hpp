@@ -26,6 +26,7 @@
 #define AMPED_SIM_TRAINING_SIM_HPP
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "hw/accelerator.hpp"
@@ -33,6 +34,7 @@
 #include "model/op_counter.hpp"
 #include "net/link.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace amped {
 namespace sim {
@@ -44,6 +46,15 @@ struct SimOutcome
     std::vector<double> deviceUtilization; ///< Busy fraction per device.
     SimResult raw;                ///< Full engine result (traces).
     std::vector<ResourceId> deviceIds; ///< Device resource ids.
+
+    /**
+     * Failure accounting when a fault spec is installed (see
+     * TrainingSimulator::setFaultSpec).  When failure.failed is
+     * true the step did not finish: stepTime is the partial makespan
+     * of the aborted attempt.  Default-initialized (no failure) on
+     * fault-free runs.
+     */
+    FailureOutcome failure;
 
     /**
      * Peak simultaneously-live microbatches per pipeline stage
@@ -165,6 +176,27 @@ class TrainingSimulator
     /** Gradient element precision in bits (default 32). */
     void setGradientBits(double bits);
 
+    /**
+     * Installs a fault spec: every subsequent simulate* call
+     * realizes it (FaultPlan::generate, deterministic in spec.seed
+     * and the schedule's resource layout) and runs the step under
+     * the resulting plan.  The outcome's failure field reports what
+     * happened; a spec for which FaultSpec::zero() holds reproduces
+     * fault-free results bit-identically.
+     *
+     * @throws UserError when the spec is invalid.
+     */
+    void setFaultSpec(FaultSpec spec);
+
+    /** Removes the installed fault spec (fault-free runs again). */
+    void clearFaultSpec() { faultSpec_.reset(); }
+
+    /** The installed fault spec, if any. */
+    const std::optional<FaultSpec> &faultSpec() const
+    {
+        return faultSpec_;
+    }
+
   private:
     /**
      * Appends a chunked ring all-reduce over @p devices to @p graph.
@@ -195,12 +227,20 @@ class TrainingSimulator
     makeOutcome(SimResult result,
                 const std::vector<ResourceId> &devices);
 
+    /**
+     * Runs @p graph — fault-free, or under the installed fault spec
+     * realized against this graph — and builds the outcome.
+     */
+    SimOutcome finishRun(TaskGraph &graph,
+                         const std::vector<ResourceId> &devices) const;
+
     model::OpCounter opCounter_;
     hw::AcceleratorConfig accel_;
     hw::MicrobatchEfficiency efficiency_;
     net::LinkConfig link_;
     double backwardMultiplier_ = 2.0;
     double gradientBits_ = 32.0;
+    std::optional<FaultSpec> faultSpec_;
 };
 
 } // namespace sim

@@ -10,15 +10,52 @@
 #define AMPED_TESTS_SIM_TEST_UTIL_HPP
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/engine.hpp"
 #include "sim/task_graph.hpp"
 
 namespace amped {
 namespace sim {
 namespace testutil {
+
+/**
+ * Canonical string form of a run — every interval of every resource
+ * at full precision — so two runs can be compared byte-for-byte.
+ */
+inline std::string
+traceFingerprint(const SimResult &result)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << result.makespan << '\n';
+    for (std::size_t r = 0; r < result.resources.size(); ++r) {
+        for (const auto &interval : result.resources[r].intervals) {
+            oss << r << ' ' << interval.task << ' '
+                << interval.start << ' ' << interval.end << '\n';
+        }
+    }
+    return oss.str();
+}
+
+/** Canonical string form of a FailureOutcome (byte-comparable). */
+inline std::string
+failureFingerprint(const FailureOutcome &failure)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << failure.failed << ' ' << failure.failuresApplied << ' '
+        << failure.firstFailureTime << ' '
+        << failure.firstFailedResource << ' '
+        << failure.completedTasks << ' ' << failure.abortedTasks
+        << ' ' << failure.unreachedTasks << ' '
+        << failure.lostBusySeconds << ' '
+        << failure.wastedWallSeconds << '\n';
+    return oss.str();
+}
 
 /** A generated DAG plus the ground truth used by the assertions. */
 struct RandomGraph

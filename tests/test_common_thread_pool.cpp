@@ -89,6 +89,29 @@ TEST(ThreadPoolTest, ExceptionsPropagateAndPoolSurvives)
     EXPECT_EQ(100, count.load());
 }
 
+TEST(ThreadPoolTest, LowestIndexExceptionWinsAtOneAndFourThreads)
+{
+    // When several indices throw, the exception surfaced must be the
+    // one a serial run would hit first — the lowest index — at every
+    // thread count, so diagnostics do not depend on scheduling.
+    const auto run = [](unsigned threads) {
+        ThreadPool pool(threads);
+        std::string message;
+        try {
+            pool.parallelFor(1000, 4, [](std::size_t i) {
+                if (i == 137 || i == 138 || i == 901)
+                    throw std::runtime_error(
+                        "boom at " + std::to_string(i));
+            });
+        } catch (const std::runtime_error &error) {
+            message = error.what();
+        }
+        return message;
+    };
+    EXPECT_EQ(run(1), "boom at 137");
+    EXPECT_EQ(run(4), "boom at 137");
+}
+
 TEST(ThreadPoolTest, ExceptionOnSerialPathPropagates)
 {
     ThreadPool pool(1);

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "common/log.hpp"
 #include "explore/ablation.hpp"
 #include "explore/explorer.hpp"
 #include "hw/presets.hpp"
@@ -104,6 +107,73 @@ TEST(ExplorerTest, MultipleBatchSizesCrossProduct)
     const auto result =
         explorer.sweep(mappings, {64.0, 128.0, 256.0}, testJob());
     EXPECT_EQ(result.entries.size(), 6u);
+}
+
+TEST(ExplorerTest, BrokenPointIsNanPinnedNotFatal)
+{
+    // A sweep grid with an intentionally broken point (an infinite
+    // batch-count override passes job validation but yields an
+    // infinite total time) must complete, NaN-pin that point, warn
+    // once, and return every other point untouched.
+    Explorer explorer(testModel());
+    const std::vector<mapping::ParallelismConfig> mappings = {
+        mapping::makeMapping(4, 1, 1, 1, 1, 4),
+    };
+    std::vector<core::TrainingJob> jobs;
+    jobs.push_back(testJob());
+    core::TrainingJob poison = testJob();
+    poison.numBatchesOverride =
+        std::numeric_limits<double>::infinity();
+    jobs.push_back(poison);
+
+    testing::internal::CaptureStderr();
+    const auto result = explorer.sweepJobs(mappings, jobs);
+    const std::string stderr_text =
+        testing::internal::GetCapturedStderr();
+
+    EXPECT_EQ(result.failed, 1u);
+    EXPECT_EQ(result.skipped, 0u);
+    ASSERT_EQ(result.entries.size(), 2u);
+    EXPECT_TRUE(std::isfinite(result.entries[0].result.totalTime));
+    EXPECT_GT(result.entries[0].result.totalTime, 0.0);
+    EXPECT_TRUE(std::isnan(result.entries[1].result.totalTime));
+    EXPECT_TRUE(std::isnan(result.entries[1].result.timePerBatch));
+
+    // Exactly one warning, naming the failure mode.
+    EXPECT_NE(stderr_text.find("warn"), std::string::npos)
+        << stderr_text;
+    EXPECT_NE(stderr_text.find("non-finite total time"),
+              std::string::npos)
+        << stderr_text;
+    EXPECT_EQ(std::count(stderr_text.begin(), stderr_text.end(),
+                         '\n'),
+              1)
+        << stderr_text;
+}
+
+TEST(ExplorerTest, NanPinnedEntriesRankLastAndNeverWinBest)
+{
+    Explorer explorer(testModel());
+    const std::vector<mapping::ParallelismConfig> mappings = {
+        mapping::makeMapping(4, 1, 1, 1, 1, 4),
+        mapping::makeMapping(1, 1, 4, 1, 1, 4),
+    };
+    core::TrainingJob poison = testJob();
+    poison.numBatchesOverride =
+        std::numeric_limits<double>::infinity();
+    log::Silencer quiet;
+    auto result = explorer.sweepJobs(mappings, {testJob(), poison});
+    EXPECT_EQ(result.failed, 2u);
+    ASSERT_EQ(result.entries.size(), 4u);
+
+    const auto best = Explorer::best(result);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(std::isfinite(best->result.totalTime));
+
+    Explorer::sortByTime(result.entries);
+    EXPECT_TRUE(std::isfinite(result.entries.front().result.totalTime));
+    EXPECT_TRUE(std::isnan(result.entries[2].result.totalTime));
+    EXPECT_TRUE(std::isnan(result.entries[3].result.totalTime));
 }
 
 TEST(ExplorerTest, TablesContainMappingsAndPhases)

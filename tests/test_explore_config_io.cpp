@@ -166,6 +166,75 @@ TEST(ConfigIoTest, DiagnosticsNameTheProblem)
         std::string::npos);
 }
 
+TEST(ConfigIoTest, RejectsNanAndNonPositiveNumericValues)
+{
+    // NaN, negative and zero counts/frequencies/bandwidths must be
+    // rejected at load time with the offending key named, not leak
+    // into the model as NaN times or divisions by zero.
+
+    // NaN frequency.
+    EXPECT_NE(
+        diagnosticOf([] {
+            acceleratorFromConfig(KeyValueConfig::fromString(
+                "frequency-ghz = nan\ncores = 8\nmac-units = 4\n"
+                "mac-width = 64\nnonlin-units = 8\nnonlin-width = 4\n"
+                "memory-gb = 16\noffchip-gbits = 100\n"));
+        }).find("config key 'frequency-ghz'"),
+        std::string::npos);
+
+    // Zero core count.
+    EXPECT_NE(
+        diagnosticOf([] {
+            acceleratorFromConfig(KeyValueConfig::fromString(
+                "frequency-ghz = 1.0\ncores = 0\nmac-units = 4\n"
+                "mac-width = 64\nnonlin-units = 8\nnonlin-width = 4\n"
+                "memory-gb = 16\noffchip-gbits = 100\n"));
+        }).find("config key 'cores'"),
+        std::string::npos);
+
+    // Negative bandwidth.
+    EXPECT_NE(
+        diagnosticOf([] {
+            systemFromConfig(KeyValueConfig::fromString(
+                "nodes = 4\nper-node = 4\nintra-gbits = -100\n"
+                "inter-gbits = 200\n"));
+        }).find("config key 'intra-gbits'"),
+        std::string::npos);
+
+    // Negative latency (latencies may be zero but not negative).
+    EXPECT_NE(
+        diagnosticOf([] {
+            systemFromConfig(KeyValueConfig::fromString(
+                "nodes = 4\nper-node = 4\nintra-gbits = 100\n"
+                "inter-gbits = 200\ninter-latency-us = -1\n"));
+        }).find("config key 'inter-latency-us'"),
+        std::string::npos);
+
+    // Zero layer count.
+    EXPECT_NE(
+        diagnosticOf([] {
+            modelFromConfig(KeyValueConfig::fromString(
+                "layers = 0\nhidden = 512\nheads = 8\nseq = 128\n"
+                "vocab = 1000\n"));
+        }).find("config key 'layers'"),
+        std::string::npos);
+
+    // NaN memory capacity.
+    EXPECT_NE(
+        diagnosticOf([] {
+            acceleratorFromConfig(KeyValueConfig::fromString(
+                "frequency-ghz = 1.0\ncores = 8\nmac-units = 4\n"
+                "mac-width = 64\nnonlin-units = 8\nnonlin-width = 4\n"
+                "memory-gb = nan\noffchip-gbits = 100\n"));
+        }).find("config key 'memory-gb'"),
+        std::string::npos);
+
+    // Zero latency stays legal (a zero-latency link is meaningful).
+    EXPECT_NO_THROW(systemFromConfig(KeyValueConfig::fromString(
+        "nodes = 4\nper-node = 4\nintra-gbits = 100\n"
+        "inter-gbits = 200\nintra-latency-us = 0\n")));
+}
+
 } // namespace
 } // namespace explore
 } // namespace amped

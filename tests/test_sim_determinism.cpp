@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/task_graph.hpp"
 
 #include "sim_test_util.hpp"
@@ -20,21 +23,7 @@ namespace amped {
 namespace sim {
 namespace {
 
-/** Canonical string form of a run: every interval of every resource. */
-std::string
-traceFingerprint(const SimResult &result)
-{
-    std::ostringstream oss;
-    oss.precision(17);
-    oss << result.makespan << '\n';
-    for (std::size_t r = 0; r < result.resources.size(); ++r) {
-        for (const auto &interval : result.resources[r].intervals) {
-            oss << r << ' ' << interval.task << ' '
-                << interval.start << ' ' << interval.end << '\n';
-        }
-    }
-    return oss.str();
-}
+using testutil::traceFingerprint;
 
 /** Structural fingerprint of a generated graph. */
 std::string
@@ -127,6 +116,81 @@ TEST(SeedDeterminism, EngineRerunIsIdentical)
     const auto first = engine.run(rg.graph);
     const auto second = engine.run(rg.graph);
     EXPECT_EQ(traceFingerprint(first), traceFingerprint(second));
+}
+
+/** A fault spec that exercises every perturbation class. */
+FaultSpec
+spicyFaultSpec(std::uint64_t seed)
+{
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.stragglerProbability = 0.5;
+    spec.stragglerSlowdownMin = 1.1;
+    spec.stragglerSlowdownMax = 2.0;
+    spec.linkDegradationProbability = 0.4;
+    spec.linkSlowdownMin = 1.2;
+    spec.linkSlowdownMax = 3.0;
+    spec.linkLatencyJitter = 0.2;
+    spec.failureRate = 0.3;
+    spec.failureHorizon = 2.0;
+    return spec;
+}
+
+TEST(FaultDeterminism, SameSeedSameFaultPlanAndOutcome)
+{
+    for (std::uint64_t seed : {1ULL, 7ULL, 0x5eed5eedULL}) {
+        Rng graph_rng(seed);
+        auto rg = testutil::makeRandomGraph(graph_rng);
+        const auto spec = spicyFaultSpec(seed);
+        const auto plan_a = FaultPlan::generate(rg.graph, spec);
+        const auto plan_b = FaultPlan::generate(rg.graph, spec);
+        ASSERT_EQ(plan_a.failures().size(), plan_b.failures().size());
+        for (std::size_t i = 0; i < plan_a.failures().size(); ++i) {
+            EXPECT_EQ(plan_a.failures()[i].resource,
+                      plan_b.failures()[i].resource);
+            EXPECT_EQ(plan_a.failures()[i].time,
+                      plan_b.failures()[i].time);
+        }
+        Engine engine;
+        const auto first = engine.run(rg.graph, plan_a);
+        const auto second = engine.run(rg.graph, plan_b);
+        EXPECT_EQ(traceFingerprint(first.result),
+                  traceFingerprint(second.result))
+            << "seed " << seed;
+        EXPECT_EQ(testutil::failureFingerprint(first.failure),
+                  testutil::failureFingerprint(second.failure))
+            << "seed " << seed;
+    }
+}
+
+TEST(FaultDeterminism, OutcomeIsByteIdenticalAcrossThreadCounts)
+{
+    // The ISSUE contract: same seed + same FaultPlan must yield a
+    // byte-identical FailureOutcome whether replications run on one
+    // worker or four.  Each replication writes its fingerprints into
+    // its own slot; the concatenation is then compared across pools
+    // (the same mechanism AMPED_THREADS=1 vs =4 exercises in CI).
+    constexpr std::size_t replications = 24;
+    const auto run_all = [&](unsigned threads) {
+        ThreadPool pool(threads);
+        std::vector<std::string> fingerprints(replications);
+        pool.parallelFor(replications, 1, [&](std::size_t r) {
+            Rng graph_rng(100 + r);
+            auto rg = testutil::makeRandomGraph(graph_rng);
+            const auto spec = spicyFaultSpec(100 + r);
+            const auto plan = FaultPlan::generate(rg.graph, spec);
+            Engine engine;
+            const auto outcome = engine.run(rg.graph, plan);
+            fingerprints[r] =
+                testutil::traceFingerprint(outcome.result)
+                + testutil::failureFingerprint(outcome.failure);
+        });
+        std::string all;
+        for (const auto &fp : fingerprints)
+            all += fp;
+        return all;
+    };
+    EXPECT_EQ(run_all(1), run_all(4));
 }
 
 } // namespace

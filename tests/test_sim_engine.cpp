@@ -136,7 +136,50 @@ TEST(EngineTest, CycleIsReportedNotHung)
     graph.addDependency(a, b);
     graph.addDependency(b, a);
     Engine engine;
-    EXPECT_THROW(engine.run(graph), UserError);
+    // The diagnostic must name the stuck tasks (id + label), not
+    // just say "did not complete".
+    try {
+        engine.run(graph);
+        FAIL() << "expected a UserError";
+    } catch (const UserError &error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("never became ready"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("#0 'a'"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("#1 'b'"), std::string::npos)
+            << message;
+    }
+}
+
+TEST(EngineTest, CycleDiagnosticTruncatesLongStuckLists)
+{
+    // Six mutually-stuck tasks: the message lists the first four and
+    // summarizes the rest as "(+2 more)".
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    std::vector<TaskId> tasks;
+    for (int t = 0; t < 6; ++t)
+        tasks.push_back(graph.addCompute(
+            dev, 1.0, "t" + std::to_string(t)));
+    for (int t = 0; t < 6; ++t)
+        graph.addDependency(tasks[(t + 1) % 6], tasks[t]);
+    Engine engine;
+    try {
+        engine.run(graph);
+        FAIL() << "expected a UserError";
+    } catch (const UserError &error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("#0 't0'"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("#3 't3'"), std::string::npos)
+            << message;
+        EXPECT_EQ(message.find("#4 't4'"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("(+2 more)"), std::string::npos)
+            << message;
+    }
 }
 
 TEST(EngineTest, RerunningAGraphGivesSameResult)

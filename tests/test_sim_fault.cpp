@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Tests for the fault-injection layer: FaultSpec validation,
+ * deterministic FaultPlan realization, zero-plan bit-identity with
+ * the fault-free engine (including every TrainingSimulator
+ * schedule), straggler/link perturbation semantics, and failure
+ * abort/accounting semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/training_sim.hpp"
+
+#include "sim_test_util.hpp"
+
+namespace amped {
+namespace sim {
+namespace {
+
+TEST(FaultSpecTest, DefaultSpecIsZeroAndValid)
+{
+    FaultSpec spec;
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_TRUE(spec.zero());
+}
+
+TEST(FaultSpecTest, ValidationNamesBadKnobs)
+{
+    const auto diagnostic = [](FaultSpec spec) {
+        try {
+            spec.validate();
+        } catch (const UserError &error) {
+            return std::string(error.what());
+        }
+        ADD_FAILURE() << "expected a UserError";
+        return std::string();
+    };
+
+    FaultSpec bad_prob;
+    bad_prob.stragglerProbability = 1.5;
+    EXPECT_NE(diagnostic(bad_prob).find("stragglerProbability"),
+              std::string::npos);
+
+    FaultSpec bad_range;
+    bad_range.stragglerSlowdownMin = 2.0;
+    bad_range.stragglerSlowdownMax = 1.0;
+    EXPECT_NE(diagnostic(bad_range).find("stragglerSlowdown"),
+              std::string::npos);
+
+    FaultSpec bad_jitter;
+    bad_jitter.linkLatencyJitter = 1.0;
+    EXPECT_NE(diagnostic(bad_jitter).find("linkLatencyJitter"),
+              std::string::npos);
+
+    FaultSpec bad_rate;
+    bad_rate.failureRate = -1.0;
+    EXPECT_NE(diagnostic(bad_rate).find("failureRate"),
+              std::string::npos);
+
+    FaultSpec bad_event;
+    bad_event.failures.push_back(FailureEvent{0, -1.0});
+    EXPECT_NE(diagnostic(bad_event).find("failure time"),
+              std::string::npos);
+}
+
+TEST(FaultPlanTest, ZeroSpecRealizesToZeroPlan)
+{
+    TaskGraph graph;
+    graph.addDevice("d0");
+    graph.addChannel("c0");
+    const auto plan = FaultPlan::generate(graph, FaultSpec{});
+    EXPECT_TRUE(plan.zero());
+    EXPECT_EQ(plan.durationMultiplier(0), 1.0);
+    EXPECT_EQ(plan.latencyMultiplier(1), 1.0);
+    EXPECT_TRUE(plan.failures().empty());
+}
+
+TEST(FaultPlanTest, MultipliersLandInTheConfiguredRanges)
+{
+    TaskGraph graph;
+    for (int d = 0; d < 8; ++d)
+        graph.addDevice("d" + std::to_string(d));
+    for (int c = 0; c < 8; ++c)
+        graph.addChannel("c" + std::to_string(c));
+
+    FaultSpec spec;
+    spec.stragglerProbability = 1.0;
+    spec.stragglerSlowdownMin = 1.5;
+    spec.stragglerSlowdownMax = 2.5;
+    spec.linkDegradationProbability = 1.0;
+    spec.linkSlowdownMin = 3.0;
+    spec.linkSlowdownMax = 4.0;
+    spec.linkLatencyJitter = 0.25;
+    const auto plan = FaultPlan::generate(graph, spec);
+
+    for (ResourceId r = 0; r < 8; ++r) {
+        EXPECT_GE(plan.durationMultiplier(r), 1.5);
+        EXPECT_LE(plan.durationMultiplier(r), 2.5);
+        // Compute latency is never jittered.
+        EXPECT_EQ(plan.latencyMultiplier(r), 1.0);
+    }
+    for (ResourceId r = 8; r < 16; ++r) {
+        EXPECT_GE(plan.durationMultiplier(r), 3.0);
+        EXPECT_LE(plan.durationMultiplier(r), 4.0);
+        EXPECT_GE(plan.latencyMultiplier(r), 0.75);
+        EXPECT_LE(plan.latencyMultiplier(r), 1.25);
+    }
+    EXPECT_FALSE(plan.zero());
+}
+
+TEST(FaultPlanTest, ExplicitFailureMustNameAGraphResource)
+{
+    TaskGraph graph;
+    graph.addDevice("d0");
+    FaultSpec spec;
+    spec.failures.push_back(FailureEvent{5, 1.0});
+    EXPECT_THROW(FaultPlan::generate(graph, spec), UserError);
+}
+
+TEST(FaultPlanTest, SampledFailuresRespectTheHorizon)
+{
+    TaskGraph graph;
+    for (int d = 0; d < 64; ++d)
+        graph.addDevice("d" + std::to_string(d));
+    FaultSpec spec;
+    spec.failureRate = 1.0; // MTBF of 1 s: most devices fail early.
+    spec.failureHorizon = 2.0;
+    const auto plan = FaultPlan::generate(graph, spec);
+    EXPECT_FALSE(plan.failures().empty());
+    double previous = 0.0;
+    for (const auto &failure : plan.failures()) {
+        EXPECT_GE(failure.time, 0.0);
+        EXPECT_LT(failure.time, spec.failureHorizon);
+        EXPECT_GE(failure.time, previous); // sorted by time
+        previous = failure.time;
+    }
+}
+
+TEST(FaultEngineTest, ZeroPlanIsBitIdenticalToFaultFreeRun)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng rng(seed);
+        auto rg = testutil::makeRandomGraph(rng);
+        Engine engine;
+        const auto plain = engine.run(rg.graph);
+        const auto faulted =
+            engine.run(rg.graph, FaultPlan(rg.graph));
+        EXPECT_EQ(testutil::traceFingerprint(plain),
+                  testutil::traceFingerprint(faulted.result))
+            << "seed " << seed;
+        EXPECT_FALSE(faulted.failure.failed);
+        EXPECT_EQ(faulted.failure.completedTasks,
+                  rg.graph.taskCount());
+        EXPECT_EQ(faulted.failure.abortedTasks, 0u);
+        EXPECT_EQ(faulted.failure.wastedWallSeconds, 0.0);
+    }
+}
+
+TEST(FaultEngineTest, StragglerMultiplierScalesCompute)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    graph.addCompute(dev, 1.0, "work");
+    FaultSpec spec;
+    spec.stragglerProbability = 1.0;
+    spec.stragglerSlowdownMin = 2.0;
+    spec.stragglerSlowdownMax = 2.0;
+    const auto plan = FaultPlan::generate(graph, spec);
+    Engine engine;
+    const auto outcome = engine.run(graph, plan);
+    EXPECT_DOUBLE_EQ(outcome.result.makespan, 2.0);
+    EXPECT_FALSE(outcome.failure.failed);
+}
+
+TEST(FaultEngineTest, LinkDegradationScalesSerializationAndLatency)
+{
+    TaskGraph graph;
+    const auto ch = graph.addChannel("c0");
+    // 1 s serialization + 0.5 s latency fault-free.
+    graph.addTransfer(ch, 1e9, 1e9, 0.5, "xfer");
+    FaultSpec spec;
+    spec.linkDegradationProbability = 1.0;
+    spec.linkSlowdownMin = 3.0;
+    spec.linkSlowdownMax = 3.0;
+    spec.linkLatencyJitter = 0.2;
+    const auto plan = FaultPlan::generate(graph, spec);
+    Engine engine;
+    const auto outcome = engine.run(graph, plan);
+    // 3 s serialization plus latency in [0.4, 0.6].
+    EXPECT_GE(outcome.result.makespan, 3.4);
+    EXPECT_LE(outcome.result.makespan, 3.6);
+}
+
+TEST(FaultEngineTest, FailureAbortsInFlightAndTruncatesInterval)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    const auto a = graph.addCompute(dev, 1.0, "a");
+    const auto b = graph.addCompute(dev, 1.0, "b");
+    graph.addDependency(a, b);
+    FaultSpec spec;
+    spec.failures.push_back(FailureEvent{dev, 0.5});
+    const auto plan = FaultPlan::generate(graph, spec);
+    Engine engine;
+    const auto outcome = engine.run(graph, plan);
+
+    EXPECT_TRUE(outcome.failure.failed);
+    EXPECT_EQ(outcome.failure.failuresApplied, 1u);
+    EXPECT_DOUBLE_EQ(outcome.failure.firstFailureTime, 0.5);
+    EXPECT_EQ(outcome.failure.firstFailedResource, dev);
+    EXPECT_EQ(outcome.failure.completedTasks, 0u);
+    EXPECT_EQ(outcome.failure.abortedTasks, 1u);  // a, in flight
+    EXPECT_EQ(outcome.failure.unreachedTasks, 1u); // b, never ready
+    EXPECT_DOUBLE_EQ(outcome.failure.lostBusySeconds, 0.5);
+    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds, 0.5);
+
+    const auto &intervals = outcome.result.resources[dev].intervals;
+    ASSERT_EQ(intervals.size(), 1u);
+    EXPECT_DOUBLE_EQ(intervals[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(intervals[0].end, 0.5); // truncated at failure
+    EXPECT_DOUBLE_EQ(outcome.result.resources[dev].busyTime, 0.5);
+}
+
+TEST(FaultEngineTest, FailureDropsQueuedTasks)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    graph.addCompute(dev, 1.0, "t0");
+    graph.addCompute(dev, 1.0, "t1"); // queued behind t0
+    FaultSpec spec;
+    spec.failures.push_back(FailureEvent{dev, 0.25});
+    const auto plan = FaultPlan::generate(graph, spec);
+    Engine engine;
+    const auto outcome = engine.run(graph, plan);
+    EXPECT_TRUE(outcome.failure.failed);
+    EXPECT_EQ(outcome.failure.completedTasks, 0u);
+    EXPECT_EQ(outcome.failure.abortedTasks, 2u);
+    EXPECT_EQ(outcome.failure.unreachedTasks, 0u);
+}
+
+TEST(FaultEngineTest, SurvivingResourcesKeepExecuting)
+{
+    TaskGraph graph;
+    const auto d0 = graph.addDevice("d0");
+    const auto d1 = graph.addDevice("d1");
+    graph.addCompute(d0, 2.0, "doomed");
+    graph.addCompute(d1, 3.0, "survivor");
+    FaultSpec spec;
+    spec.failures.push_back(FailureEvent{d0, 1.0});
+    const auto plan = FaultPlan::generate(graph, spec);
+    Engine engine;
+    const auto outcome = engine.run(graph, plan);
+    EXPECT_TRUE(outcome.failure.failed);
+    EXPECT_EQ(outcome.failure.completedTasks, 1u);
+    EXPECT_EQ(outcome.failure.abortedTasks, 1u);
+    // The survivor's delivery at t = 3 sets the partial makespan,
+    // which is what a restart would have to redo.
+    EXPECT_DOUBLE_EQ(outcome.result.makespan, 3.0);
+    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds, 3.0);
+}
+
+TEST(FaultEngineTest, FailureAfterCompletionIsBenign)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    graph.addCompute(dev, 1.0, "work");
+    FaultSpec spec;
+    spec.failures.push_back(FailureEvent{dev, 10.0});
+    const auto plan = FaultPlan::generate(graph, spec);
+    Engine engine;
+    const auto outcome = engine.run(graph, plan);
+    EXPECT_FALSE(outcome.failure.failed);
+    EXPECT_EQ(outcome.failure.failuresApplied, 1u);
+    EXPECT_EQ(outcome.failure.completedTasks, 1u);
+    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds, 0.0);
+}
+
+TEST(FaultEngineTest, CutThroughMessageSurvivesChannelFailure)
+{
+    // The channel is released at serialization end; a failure during
+    // the in-flight latency window must not revoke the delivery.
+    TaskGraph graph;
+    const auto ch = graph.addChannel("c0");
+    graph.addTransfer(ch, 1e9, 1e9, 1.0, "xfer"); // ser 1 s, lat 1 s
+    FaultSpec spec;
+    spec.failures.push_back(FailureEvent{ch, 1.5});
+    const auto plan = FaultPlan::generate(graph, spec);
+    Engine engine;
+    const auto outcome = engine.run(graph, plan);
+    EXPECT_FALSE(outcome.failure.failed);
+    EXPECT_EQ(outcome.failure.completedTasks, 1u);
+    EXPECT_DOUBLE_EQ(outcome.result.makespan, 2.0);
+}
+
+TEST(FaultEngineTest, PlanForDifferentGraphIsRejected)
+{
+    TaskGraph small;
+    small.addDevice("d0");
+    TaskGraph big;
+    big.addDevice("d0");
+    big.addDevice("d1");
+    big.addCompute(0, 1.0, "t");
+    Engine engine;
+    EXPECT_THROW(engine.run(big, FaultPlan(small)), UserError);
+}
+
+TEST(FaultEngineTest, CycleStillReportedUnderZeroFaultPlan)
+{
+    TaskGraph graph;
+    const auto dev = graph.addDevice("d0");
+    const auto a = graph.addCompute(dev, 1.0, "a");
+    const auto b = graph.addCompute(dev, 1.0, "b");
+    graph.addDependency(a, b);
+    graph.addDependency(b, a);
+    Engine engine;
+    EXPECT_THROW(engine.run(graph, FaultPlan(graph)), UserError);
+}
+
+// ---------------------------------------------------------------
+// TrainingSimulator integration.
+// ---------------------------------------------------------------
+
+TrainingSimulator
+makeSim()
+{
+    return TrainingSimulator(
+        model::presets::tinyTest(), hw::presets::tinyTest(),
+        hw::MicrobatchEfficiency(0.8, 4.0),
+        net::LinkConfig{"intra", 1e-6, 2.4e12});
+}
+
+TEST(FaultSimulatorTest, ZeroSpecReproducesEverySchedule)
+{
+    // Acceptance criterion: with a zero-fault FaultPlan every
+    // TrainingSimulator schedule reproduces the fault-free
+    // SimOutcome exactly (bit-identical step time and trace).
+    const net::LinkConfig inter{"inter", 1.2e-6, 2e11};
+    auto plain = makeSim();
+    auto faulted = makeSim();
+    faulted.setFaultSpec(FaultSpec{});
+    ASSERT_TRUE(faulted.faultSpec().has_value());
+    ASSERT_TRUE(faulted.faultSpec()->zero());
+
+    auto moe_cfg = model::presets::tinyTest();
+    moe_cfg.moe.numExperts = 4;
+    moe_cfg.moe.moeLayerInterval = 2;
+    TrainingSimulator moe_plain(
+        moe_cfg, hw::presets::tinyTest(),
+        hw::MicrobatchEfficiency(0.8, 4.0),
+        net::LinkConfig{"intra", 1e-6, 2.4e12});
+    TrainingSimulator moe_faulted(
+        moe_cfg, hw::presets::tinyTest(),
+        hw::MicrobatchEfficiency(0.8, 4.0),
+        net::LinkConfig{"intra", 1e-6, 2.4e12});
+    moe_faulted.setFaultSpec(FaultSpec{});
+
+    const std::vector<std::pair<std::string,
+                                std::pair<SimOutcome, SimOutcome>>>
+        runs = {
+            {"dp",
+             {plain.simulateDataParallelStep(4, 8.0),
+              faulted.simulateDataParallelStep(4, 8.0)}},
+            {"gpipe",
+             {plain.simulateGPipeStep(2, 4.0, 4),
+              faulted.simulateGPipeStep(2, 4.0, 4)}},
+            {"tp",
+             {plain.simulateTensorParallelStep(4, 8.0),
+              faulted.simulateTensorParallelStep(4, 8.0)}},
+            {"hdp",
+             {plain.simulateHierarchicalDataParallelStep(2, 2, 8.0,
+                                                         inter),
+              faulted.simulateHierarchicalDataParallelStep(2, 2, 8.0,
+                                                           inter)}},
+            {"dpxpp",
+             {plain.simulateDataPipelineStep(2, 2, 4.0, 2, inter),
+              faulted.simulateDataPipelineStep(2, 2, 4.0, 2, inter)}},
+            {"a2a",
+             {plain.simulateAllToAll(4, 1e6, 16.0, inter),
+              faulted.simulateAllToAll(4, 1e6, 16.0, inter)}},
+            {"moe",
+             {moe_plain.simulateMoeStep(2, 8.0, inter),
+              moe_faulted.simulateMoeStep(2, 8.0, inter)}},
+        };
+    for (const auto &[name, pair] : runs) {
+        const auto &[reference, zero_fault] = pair;
+        EXPECT_EQ(reference.stepTime, zero_fault.stepTime)
+            << name << ": step time must be bit-identical";
+        EXPECT_EQ(testutil::traceFingerprint(reference.raw),
+                  testutil::traceFingerprint(zero_fault.raw))
+            << name;
+        EXPECT_FALSE(zero_fault.failure.failed) << name;
+        EXPECT_EQ(zero_fault.failure.abortedTasks, 0u) << name;
+        EXPECT_EQ(reference.peakMicrobatchesInFlight,
+                  zero_fault.peakMicrobatchesInFlight)
+            << name;
+    }
+}
+
+TEST(FaultSimulatorTest, StragglersStretchTheStep)
+{
+    auto sim = makeSim();
+    const auto reference = sim.simulateDataParallelStep(4, 8.0);
+    FaultSpec spec;
+    spec.stragglerProbability = 1.0;
+    spec.stragglerSlowdownMin = 2.0;
+    spec.stragglerSlowdownMax = 2.0;
+    sim.setFaultSpec(spec);
+    const auto straggled = sim.simulateDataParallelStep(4, 8.0);
+    EXPECT_FALSE(straggled.failure.failed);
+    EXPECT_GT(straggled.stepTime, reference.stepTime);
+    // All-compute phases double; the ring all-reduce does not, so
+    // the step lands strictly below 2x.
+    EXPECT_LT(straggled.stepTime, 2.0 * reference.stepTime + 1e-12);
+}
+
+TEST(FaultSimulatorTest, DeviceFailureReportsNotThrows)
+{
+    auto sim = makeSim();
+    FaultSpec spec;
+    // Device resource 0 is the first resource every schedule adds.
+    spec.failures.push_back(FailureEvent{0, 1e-9});
+    sim.setFaultSpec(spec);
+    const auto outcome = sim.simulateDataParallelStep(4, 8.0);
+    EXPECT_TRUE(outcome.failure.failed);
+    EXPECT_EQ(outcome.failure.firstFailedResource, 0);
+    EXPECT_GT(outcome.failure.abortedTasks
+                  + outcome.failure.unreachedTasks,
+              0u);
+}
+
+TEST(FaultSimulatorTest, FailedGPipeStepSkipsResidencyPostProcessing)
+{
+    auto sim = makeSim();
+    FaultSpec spec;
+    spec.failures.push_back(FailureEvent{0, 1e-9});
+    sim.setFaultSpec(spec);
+    // Must not throw despite missing fwd/bwd intervals.
+    const auto outcome = sim.simulateGPipeStep(2, 4.0, 4);
+    EXPECT_TRUE(outcome.failure.failed);
+    EXPECT_TRUE(outcome.peakMicrobatchesInFlight.empty());
+}
+
+TEST(FaultSimulatorTest, ClearFaultSpecRestoresFaultFreeRuns)
+{
+    auto sim = makeSim();
+    const auto reference = sim.simulateDataParallelStep(2, 8.0);
+    FaultSpec spec;
+    spec.stragglerProbability = 1.0;
+    spec.stragglerSlowdownMin = 3.0;
+    spec.stragglerSlowdownMax = 3.0;
+    sim.setFaultSpec(spec);
+    EXPECT_GT(sim.simulateDataParallelStep(2, 8.0).stepTime,
+              reference.stepTime);
+    sim.clearFaultSpec();
+    EXPECT_EQ(sim.simulateDataParallelStep(2, 8.0).stepTime,
+              reference.stepTime);
+}
+
+} // namespace
+} // namespace sim
+} // namespace amped

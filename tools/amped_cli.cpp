@@ -8,6 +8,8 @@
  *   breakdown  per-phase time split for one mapping (Fig. 3 view)
  *   memory     per-device memory footprint and ZeRO comparison
  *   scale      strong-scaling sweep: best mapping per node count
+ *   resilience expected time-to-train under failures with
+ *              checkpoint/restart (Daly-optimal interval by default)
  *   report     full markdown report (prediction+memory+energy)
  *   presets    list the built-in model/accelerator/interconnect names
  *
@@ -23,7 +25,9 @@
  *       --dp-inter 6 --zero 2
  */
 
+#include <cmath>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -31,8 +35,10 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "common/thread_pool.hpp"
 #include "core/amped_model.hpp"
 #include "core/memory_model.hpp"
+#include "core/resilience.hpp"
 #include "explore/explorer.hpp"
 #include "explore/report.hpp"
 #include "explore/config_io.hpp"
@@ -363,6 +369,116 @@ cmdScale(const std::vector<std::string> &args)
 }
 
 int
+cmdResilience(const std::vector<std::string> &args)
+{
+    ArgParser parser;
+    addCommonOptions(parser);
+    addMappingOptions(parser);
+    parser.addOption("device-mtbf-years",
+                     "per-device mean time between failures in years "
+                     "(0 = failure-free)", "5");
+    parser.addOption("restart-minutes",
+                     "restart cost after a failure (detect, reload, "
+                     "rewind)", "10");
+    parser.addOption("interval-minutes",
+                     "checkpoint interval (0 = Daly optimal)", "0");
+    parser.addOption("storage-gbits",
+                     "per-device checkpoint write bandwidth", "200");
+    parser.addOption("storage-latency-us",
+                     "checkpoint storage latency", "100");
+    parser.addOption("mc-replications",
+                     "Monte-Carlo cross-check replications (0 = "
+                     "analytic only)", "0");
+    parser.addOption("mc-seed", "Monte-Carlo base seed", "1");
+    parser.parse(args);
+
+    const auto model = modelFrom(parser);
+    const auto m = mappingFrom(parser);
+    const auto job = jobFrom(parser);
+    const auto result = model.evaluate(m, job);
+
+    const core::MemoryModel memory(model.opCounter(),
+                                   model.accelerator());
+    const auto footprint =
+        memory.footprint(m, job.batchSize, result.microbatchSize);
+    const double ckpt_bytes = core::checkpointBytes(footprint);
+    const net::LinkConfig storage{
+        "storage", parser.getDouble("storage-latency-us") * 1e-6,
+        units::gigabitsPerSecond(parser.getDouble("storage-gbits"))};
+
+    core::ResilienceConfig config;
+    const double mtbf_years = parser.getDouble("device-mtbf-years");
+    require(mtbf_years >= 0.0,
+            "--device-mtbf-years must be >= 0, got ", mtbf_years);
+    const double per_device_rate =
+        mtbf_years > 0.0 ? 1.0 / (mtbf_years * 365.25 * 86400.0)
+                         : 0.0;
+    config.mtbfSeconds = core::clusterMtbfSeconds(
+        per_device_rate, model.system().totalAccelerators());
+    config.checkpointWriteSeconds =
+        core::checkpointWriteSeconds(ckpt_bytes, storage);
+    config.restartSeconds =
+        parser.getDouble("restart-minutes") * 60.0;
+    config.checkpointIntervalSeconds =
+        parser.getDouble("interval-minutes") * 60.0;
+    if (config.checkpointIntervalSeconds == 0.0
+        && !std::isfinite(config.mtbfSeconds)) {
+        // Failure-free cluster: Daly says "never checkpoint".
+        config.checkpointIntervalSeconds =
+            std::numeric_limits<double>::infinity();
+    }
+
+    const auto estimate =
+        core::estimateTimeToTrain(result.totalTime, config);
+    const auto days = [](double seconds) {
+        return units::formatFixed(seconds / 86400.0, 2) + " days";
+    };
+    std::cout << "mapping:            " << m.toString() << "\n"
+              << "checkpoint size:    "
+              << units::formatFixed(ckpt_bytes / 1e9, 2)
+              << " GB/device (params + optimizer)\n"
+              << "checkpoint write:   "
+              << units::formatDuration(config.checkpointWriteSeconds)
+              << "\n"
+              << "cluster MTBF:       "
+              << (std::isfinite(config.mtbfSeconds)
+                      ? units::formatDuration(config.mtbfSeconds)
+                      : std::string("infinite"))
+              << "\n"
+              << "checkpoint every:   "
+              << (std::isfinite(estimate.intervalSeconds)
+                      ? units::formatDuration(
+                            estimate.intervalSeconds)
+                      : std::string("never"))
+              << " (" << estimate.segmentCount << " segments)\n"
+              << "failure-free solve: " << days(estimate.solveSeconds)
+              << "\n"
+              << "expected failures:  "
+              << units::formatFixed(estimate.expectedFailures, 1)
+              << "\n"
+              << "expected training:  "
+              << days(estimate.expectedSeconds) << " (+"
+              << units::formatFixed(
+                     100.0 * estimate.overheadFraction(), 2)
+              << " % over the failure-free solve)\n";
+
+    const auto replications =
+        static_cast<std::size_t>(parser.getInt("mc-replications"));
+    if (replications > 0) {
+        const auto stats = core::monteCarloTimeToTrain(
+            result.totalTime, config, replications,
+            static_cast<std::uint64_t>(parser.getInt("mc-seed")),
+            ThreadPool::shared(),
+            static_cast<std::size_t>(parser.getInt("threads")));
+        std::cout << "Monte-Carlo check:  "
+                  << days(stats.meanSeconds) << " +/- "
+                  << days(stats.standardError) << " ("
+                  << stats.replications << " replications)\n";
+    }
+    return 0;
+}
+
+int
 cmdPresets()
 {
     auto print = [](const char *label,
@@ -382,8 +498,8 @@ int
 usage()
 {
     std::cout
-        << "usage: amped <evaluate|breakdown|explore|memory|scale|report|presets> "
-           "[options]\n"
+        << "usage: amped <evaluate|breakdown|explore|memory|scale|"
+           "resilience|report|presets> [options]\n"
            "run 'amped <subcommand> --help' style options are shown "
            "on any parse error.\n";
     return 2;
@@ -409,6 +525,8 @@ main(int argc, char **argv)
             return cmdMemory(args);
         if (command == "scale")
             return cmdScale(args);
+        if (command == "resilience")
+            return cmdResilience(args);
         if (command == "report")
             return cmdReport(args);
         if (command == "presets")

@@ -53,6 +53,7 @@ const std::vector<std::string> kBenches = {
     "ablation_design_choices",
     "energy_case_study2",
     "baseline_comparison",
+    "resilience_case_study",
     "perf_microbench",
 };
 
