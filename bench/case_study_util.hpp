@@ -31,10 +31,17 @@ namespace bench {
 
 /**
  * The harness side of the golden workflow: parses the bench's
- * command line (the only supported option is `--golden-out <path>`),
- * collects metrics during the run, and writes the canonical golden
- * record on finish().  Without --golden-out the collected record is
- * simply dropped, so harnesses call add() unconditionally.
+ * command line (`--golden-out <path>`, plus the observability
+ * outputs `--trace-out <path>` and `--report-out <path>`), collects
+ * metrics during the run, and writes the canonical golden record on
+ * finish().  Without --golden-out the collected record is simply
+ * dropped, so harnesses call add() unconditionally.
+ *
+ * --trace-out / --report-out are parsed for every harness; the
+ * harnesses that run the discrete-event simulator consume them via
+ * tracePath() / reportPath() and write Chrome-trace / run-report
+ * JSON next to the golden record.  Harnesses with nothing to trace
+ * ignore them.
  *
  * Usage in a harness main:
  * @code
@@ -58,15 +65,30 @@ class GoldenOut
                 require(i + 1 < argc,
                         "--golden-out needs a file path");
                 path_ = argv[++i];
+            } else if (arg == "--trace-out") {
+                require(i + 1 < argc,
+                        "--trace-out needs a file path");
+                tracePath_ = argv[++i];
+            } else if (arg == "--report-out") {
+                require(i + 1 < argc,
+                        "--report-out needs a file path");
+                reportPath_ = argv[++i];
             } else {
                 fatal("unknown bench option '", arg,
-                      "' (supported: --golden-out <path>)");
+                      "' (supported: --golden-out <path>, "
+                      "--trace-out <path>, --report-out <path>)");
             }
         }
     }
 
     /** True when --golden-out was given. */
     bool enabled() const { return !path_.empty(); }
+
+    /** Chrome-trace output path ("" when --trace-out not given). */
+    const std::string &tracePath() const { return tracePath_; }
+
+    /** Run-report output path ("" when --report-out not given). */
+    const std::string &reportPath() const { return reportPath_; }
 
     /** Records one metric (NaN = infeasible point). */
     void
@@ -95,6 +117,8 @@ class GoldenOut
 
   private:
     std::string path_;
+    std::string tracePath_;
+    std::string reportPath_;
     ::amped::testing::GoldenRecord record_;
 };
 

@@ -16,6 +16,8 @@
 #include "hw/presets.hpp"
 #include "model/presets.hpp"
 #include "net/system_config.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/run_report.hpp"
 #include "sim/trace.hpp"
 #include "sim/training_sim.hpp"
 #include "validate/calibrations.hpp"
@@ -30,6 +32,8 @@ main(int argc, char **argv)
                  "runs (simulated HGX-2) ===\n\n";
 
     const auto eff = validate::calibrations::minGptHgx2();
+    obs::ChromeTraceBuilder trace;
+    obs::RunReportBuilder report;
 
     {
         std::cout << "--- DP x 8, minGPT 85M (one training step) ---\n";
@@ -50,6 +54,8 @@ main(int argc, char **argv)
              d < outcome.deviceUtilization.size(); ++d)
             golden.add("fig1/dp8/gpu" + std::to_string(d) + "/util",
                        outcome.deviceUtilization[d]);
+        trace.addRun(*outcome.graph, outcome.raw, "dp8");
+        report.addSimulation("dp8", outcome);
     }
 
     {
@@ -72,6 +78,15 @@ main(int argc, char **argv)
              d < outcome.deviceUtilization.size(); ++d)
             golden.add("fig1/pp4/stage" + std::to_string(d) + "/util",
                        outcome.deviceUtilization[d]);
+        trace.addRun(*outcome.graph, outcome.raw, "pp4");
+        report.addSimulation("pp4", outcome);
+    }
+
+    if (!golden.tracePath().empty())
+        trace.writeFile(golden.tracePath());
+    if (!golden.reportPath().empty()) {
+        report.setMetrics(obs::MetricsRegistry::global());
+        report.writeFile(golden.reportPath());
     }
     return golden.finish();
 }

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "case_study_util.hpp"
 #include "core/amped_model.hpp"
@@ -45,36 +46,43 @@ main(int argc, char **argv)
         double predicted; // analytic total time
         double simulated; // DES total time
     };
-    std::vector<Point> points;
+    // Each grid point is independent: compute them in parallel into
+    // pre-sized slots, then render serially in grid order so the
+    // table and golden bytes never depend on the thread count.
+    const std::vector<std::int64_t> gpu_counts{1, 2, 4, 8, 16};
+    std::vector<Point> points(gpu_counts.size());
 
-    for (std::int64_t gpus : {1, 2, 4, 8, 16}) {
-        const double batch = per_gpu_batch *
-                             static_cast<double>(gpus);
-        const double batches = total_samples / batch;
+    ThreadPool::shared().parallelFor(
+        gpu_counts.size(), /*chunk=*/1, [&](std::size_t i) {
+            const std::int64_t gpus = gpu_counts[i];
+            const double batch =
+                per_gpu_batch * static_cast<double>(gpus);
+            const double batches = total_samples / batch;
 
-        // Analytic prediction.
-        core::AmpedModel amped_model(
-            model_cfg, accel, eff, net::presets::hgx2(gpus),
-            validate::calibrations::nvswitchOptions(gpus));
-        core::TrainingJob job;
-        job.batchSize = batch;
-        job.numBatchesOverride = batches;
-        const auto mapping =
-            mapping::makeMapping(1, 1, gpus, 1, 1, 1);
-        const double predicted =
-            amped_model.evaluate(mapping, job).totalTime;
+            // Analytic prediction.
+            core::AmpedModel amped_model(
+                model_cfg, accel, eff, net::presets::hgx2(gpus),
+                validate::calibrations::nvswitchOptions(gpus));
+            core::TrainingJob job;
+            job.batchSize = batch;
+            job.numBatchesOverride = batches;
+            const auto mapping =
+                mapping::makeMapping(1, 1, gpus, 1, 1, 1);
+            const double predicted =
+                amped_model.evaluate(mapping, job).totalTime;
 
-        // Simulated "experimental" run.
-        sim::TrainingSimulator simulator(
-            model_cfg, accel, eff, net::presets::nvlinkV100());
-        simulator.setBackwardMultiplier(3.0); // match recompute conv.
-        const double simulated =
-            simulator.simulateDataParallelStep(gpus, per_gpu_batch)
-                .stepTime *
-            batches;
+            // Simulated "experimental" run.
+            sim::TrainingSimulator simulator(
+                model_cfg, accel, eff, net::presets::nvlinkV100());
+            simulator.setBackwardMultiplier(3.0); // recompute conv.
+            const double simulated =
+                simulator
+                    .simulateDataParallelStep(gpus, per_gpu_batch)
+                    .stepTime *
+                batches;
 
-        points.push_back({gpus, predicted, simulated});
-    }
+            points[i] = {gpus, predicted, simulated};
+        });
 
     TextTable table({"GPUs", "Experimental (sim)", "Predicted (AMPeD)",
                      "disagreement (%)"});

@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "case_study_util.hpp"
 #include "core/amped_model.hpp"
@@ -47,38 +48,44 @@ main(int argc, char **argv)
         double predicted;
         double simulated;
     };
-    std::vector<Point> points;
+    // Grid points are independent: fill pre-sized slots in parallel,
+    // render serially below — output bytes never depend on threads.
+    const std::vector<std::int64_t> gpu_counts{2, 4, 8, 16};
+    std::vector<Point> points(gpu_counts.size());
 
-    for (std::int64_t gpus : {2, 4, 8, 16}) {
-        // Batch scales with the pipeline depth until the memory cap.
-        const double batch =
-            std::min(base_microbatch * static_cast<double>(gpus),
-                     max_global_batch);
-        const double microbatch = batch / static_cast<double>(gpus);
-        const double batches = total_samples / batch;
+    ThreadPool::shared().parallelFor(
+        gpu_counts.size(), /*chunk=*/1, [&](std::size_t i) {
+            const std::int64_t gpus = gpu_counts[i];
+            // Batch scales with pipeline depth until the memory cap.
+            const double batch =
+                std::min(base_microbatch * static_cast<double>(gpus),
+                         max_global_batch);
+            const double microbatch =
+                batch / static_cast<double>(gpus);
+            const double batches = total_samples / batch;
 
-        core::AmpedModel amped_model(
-            model_cfg, accel, eff, net::presets::hgx2(gpus),
-            validate::calibrations::nvswitchOptions(gpus));
-        core::TrainingJob job;
-        job.batchSize = batch;
-        job.numBatchesOverride = batches;
-        // N_ub = N_PP (paper Sec. V-B).
-        const auto mapping =
-            mapping::makeMapping(1, gpus, 1, 1, 1, 1);
-        const double predicted =
-            amped_model.evaluate(mapping, job).totalTime;
+            core::AmpedModel amped_model(
+                model_cfg, accel, eff, net::presets::hgx2(gpus),
+                validate::calibrations::nvswitchOptions(gpus));
+            core::TrainingJob job;
+            job.batchSize = batch;
+            job.numBatchesOverride = batches;
+            // N_ub = N_PP (paper Sec. V-B).
+            const auto mapping =
+                mapping::makeMapping(1, gpus, 1, 1, 1, 1);
+            const double predicted =
+                amped_model.evaluate(mapping, job).totalTime;
 
-        sim::TrainingSimulator simulator(
-            model_cfg, accel, eff, net::presets::nvlinkV100());
-        simulator.setBackwardMultiplier(3.0);
-        const double simulated =
-            simulator.simulateGPipeStep(gpus, microbatch, gpus)
-                .stepTime *
-            batches;
+            sim::TrainingSimulator simulator(
+                model_cfg, accel, eff, net::presets::nvlinkV100());
+            simulator.setBackwardMultiplier(3.0);
+            const double simulated =
+                simulator.simulateGPipeStep(gpus, microbatch, gpus)
+                    .stepTime *
+                batches;
 
-        points.push_back({gpus, predicted, simulated});
-    }
+            points[i] = {gpus, predicted, simulated};
+        });
 
     TextTable table({"GPUs", "Experimental (sim)", "Predicted (AMPeD)",
                      "disagreement (%)"});

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Pins the observability outputs next to Fig. 1: the structured run
+ * report (schema version, analytical section, simulator sections,
+ * metrics snapshot) and the Chrome-trace export for the same minGPT
+ * validation runs the figure uses.
+ *
+ * Every golden value is read *back out of the built JSON documents*
+ * rather than from the in-memory structs, so the golden file pins
+ * the serialized schema: a renamed key, a broken number format, or a
+ * lost section changes the golden even if the underlying numbers
+ * survive.  Run with --trace-out / --report-out to write the
+ * documents themselves (CI validates them with `python3 -m
+ * json.tool`).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "case_study_util.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/run_report.hpp"
+#include "sim/training_sim.hpp"
+#include "validate/calibrations.hpp"
+
+namespace {
+
+/** tasks_by_category lookup, 0 when the category is absent. */
+double
+categoryCount(const amped::obs::Json &simulation,
+              const std::string &category)
+{
+    const auto &categories = simulation.at("tasks_by_category");
+    if (!categories.contains(category))
+        return 0.0;
+    return categories.at(category).asDouble();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace amped;
+    bench::GoldenOut golden(argc, argv);
+
+    std::cout << "=== Observability: run report + Chrome trace for "
+                 "the Fig. 1 validation runs ===\n\n";
+
+    const auto eff = validate::calibrations::minGptHgx2();
+    obs::ChromeTraceBuilder trace;
+    obs::RunReportBuilder report;
+
+    // Analytical side: minGPT 85M, DP x 8 on one HGX-2 node (the
+    // Fig. 2a 8-GPU point), 100 fixed-size batches.
+    core::AmpedModel amped_model(
+        model::presets::minGpt85M(), hw::presets::v100Sxm3(), eff,
+        net::presets::hgx2(8),
+        validate::calibrations::nvswitchOptions(8));
+    core::TrainingJob job;
+    job.batchSize = 8.0 * 32.0;
+    job.numBatchesOverride = 100.0;
+    const auto evaluation = amped_model.evaluate(
+        mapping::makeMapping(1, 1, 8, 1, 1, 1), job);
+    report.setAnalytical(evaluation);
+
+    obs::Json config = obs::Json::object();
+    config.set("model", "mingpt");
+    config.set("accelerator", "v100-sxm3");
+    config.set("schedules", "dp8,pp4");
+    report.setConfig(std::move(config));
+
+    // Simulated side: the two Fig. 1 runs.
+    {
+        sim::TrainingSimulator simulator(
+            model::presets::minGpt85M(), hw::presets::v100Sxm3(),
+            eff, net::presets::nvlinkV100());
+        simulator.setBackwardMultiplier(3.0);
+        const auto outcome =
+            simulator.simulateDataParallelStep(8, 32.0);
+        trace.addRun(*outcome.graph, outcome.raw, "dp8");
+        report.addSimulation("dp8", outcome);
+    }
+    {
+        sim::TrainingSimulator simulator(
+            model::presets::minGptPipeline(),
+            hw::presets::v100Sxm3(), eff,
+            net::presets::nvlinkV100());
+        simulator.setBackwardMultiplier(3.0);
+        const auto outcome = simulator.simulateGPipeStep(4, 8.0, 4);
+        trace.addRun(*outcome.graph, outcome.raw, "pp4");
+        report.addSimulation("pp4", outcome);
+    }
+    report.setMetrics(obs::MetricsRegistry::global());
+
+    // Pin the *serialized* documents: read every golden value back
+    // out of the JSON (and round-trip the trace through the parser).
+    const obs::Json doc = report.build();
+    golden.add("obs/report/schema_version",
+               doc.at("schema_version").asDouble());
+
+    const auto &analytical = doc.at("analytical");
+    const double time_per_batch =
+        analytical.at("time_per_batch_seconds").asDouble();
+    double breakdown_sum = 0.0;
+    for (const auto &[label, seconds] :
+         analytical.at("breakdown").members()) {
+        (void)label;
+        breakdown_sum += seconds.asDouble();
+    }
+    golden.add("obs/report/analytical/time_per_batch_s",
+               time_per_batch);
+    golden.add("obs/report/analytical/breakdown_abs_residual_s",
+               std::abs(breakdown_sum - time_per_batch));
+    golden.add("obs/report/analytical/training_days",
+               analytical.at("training_days").asDouble());
+
+    const auto &simulations = doc.at("simulations");
+    const auto &dp8 = simulations.at(std::size_t{0});
+    const auto &pp4 = simulations.at(std::size_t{1});
+    golden.add("obs/report/dp8/step_time_s",
+               dp8.at("step_time_seconds").asDouble());
+    golden.add("obs/report/dp8/task_count",
+               dp8.at("task_count").asDouble());
+    golden.add("obs/report/dp8/forward_tasks",
+               categoryCount(dp8, "forward"));
+    golden.add("obs/report/dp8/backward_tasks",
+               categoryCount(dp8, "backward"));
+    golden.add("obs/report/dp8/collective_tasks",
+               categoryCount(dp8, "collective"));
+    golden.add("obs/report/dp8/update_tasks",
+               categoryCount(dp8, "update"));
+    golden.add("obs/report/pp4/step_time_s",
+               pp4.at("step_time_seconds").asDouble());
+    golden.add("obs/report/pp4/task_count",
+               pp4.at("task_count").asDouble());
+    golden.add("obs/report/pp4/p2p_tasks",
+               categoryCount(pp4, "p2p"));
+    golden.add("obs/report/pp4/update_tasks",
+               categoryCount(pp4, "update"));
+
+    // The deterministic metrics snapshot rides along in the report;
+    // engine-run counters are workload-derived, so they golden-pin.
+    const auto &metrics = doc.at("metrics");
+    golden.add("obs/report/metrics/sim_engine_runs",
+               metrics.at("sim.engine.runs").asDouble());
+    golden.add("obs/report/metrics/sim_engine_tasks_completed",
+               metrics.at("sim.engine.tasks_completed").asDouble());
+
+    // Trace: parse the serialized document back and pin shape facts.
+    const std::string trace_json = trace.toJsonString();
+    const obs::Json parsed = obs::Json::parse(trace_json);
+    golden.add("obs/trace/event_count",
+               static_cast<double>(
+                   parsed.at("traceEvents").size()));
+    golden.add("obs/trace/roundtrip_ok",
+               parsed.dump(2) + "\n" == trace_json ? 1.0 : 0.0);
+
+    std::cout << "report sections: analytical + "
+              << simulations.size() << " simulations + "
+              << metrics.members().size() << " metrics\n"
+              << "trace events: "
+              << parsed.at("traceEvents").size() << "\n";
+
+    if (!golden.tracePath().empty())
+        trace.writeFile(golden.tracePath());
+    if (!golden.reportPath().empty())
+        report.writeFile(golden.reportPath());
+    return golden.finish();
+}

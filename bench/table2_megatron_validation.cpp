@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "case_study_util.hpp"
 #include "core/amped_model.hpp"
@@ -53,32 +54,45 @@ main(int argc, char **argv)
                      "(%)"});
     std::vector<validate::ValidationRow> rows;
 
-    for (const auto &row : validate::table2Rows()) {
-        const auto model_cfg = modelFor(row.modelName);
+    // Rows are independent model evaluations: compute in parallel
+    // into pre-sized slots, render serially in row order so the
+    // table and golden bytes never depend on the thread count.
+    const auto table_rows = validate::table2Rows();
+    std::vector<double> tflops_by_row(table_rows.size(), 0.0);
+    ThreadPool::shared().parallelFor(
+        table_rows.size(), /*chunk=*/1, [&](std::size_t i) {
+            const auto &row = table_rows[i];
+            const auto model_cfg = modelFor(row.modelName);
 
-        net::SystemConfig system;
-        system.name = "Selene-like A100";
-        system.numNodes = row.pp * row.dp;
-        system.acceleratorsPerNode = 8;
-        system.intraLink = net::presets::nvlinkA100();
-        system.interLink = net::presets::hdrInfiniband();
-        system.nicsPerNode = 8;
+            net::SystemConfig system;
+            system.name = "Selene-like A100";
+            system.numNodes = row.pp * row.dp;
+            system.acceleratorsPerNode = 8;
+            system.intraLink = net::presets::nvlinkA100();
+            system.interLink = net::presets::hdrInfiniband();
+            system.nicsPerNode = 8;
 
-        core::AmpedModel amped_model(
-            model_cfg, hw::presets::a100(),
-            validate::calibrations::megatronTable2(), system,
-            validate::calibrations::nvswitchOptions(8));
+            core::AmpedModel amped_model(
+                model_cfg, hw::presets::a100(),
+                validate::calibrations::megatronTable2(), system,
+                validate::calibrations::nvswitchOptions(8));
 
-        core::TrainingJob job;
-        job.batchSize = row.batchSize;
-        job.numBatchesOverride = 1.0;
-        job.microbatching.microbatchSizeOverride = row.microbatch;
+            core::TrainingJob job;
+            job.batchSize = row.batchSize;
+            job.numBatchesOverride = 1.0;
+            job.microbatching.microbatchSizeOverride =
+                row.microbatch;
 
-        const auto mapping = mapping::makeMapping(
-            8, 1, 1, 1, row.pp, row.dp);
-        const auto result = amped_model.evaluate(mapping, job);
-        const double tflops =
-            result.achievedFlopsPerGpu / units::tera;
+            const auto mapping =
+                mapping::makeMapping(8, 1, 1, 1, row.pp, row.dp);
+            const auto result = amped_model.evaluate(mapping, job);
+            tflops_by_row[i] =
+                result.achievedFlopsPerGpu / units::tera;
+        });
+
+    for (std::size_t i = 0; i < table_rows.size(); ++i) {
+        const auto &row = table_rows[i];
+        const double tflops = tflops_by_row[i];
 
         rows.push_back(validate::makeRow(row.modelName, tflops,
                                          row.publishedTflops));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "case_study_util.hpp"
 #include "core/amped_model.hpp"
@@ -50,41 +51,48 @@ main(int argc, char **argv)
         double analyticTime;
         double simTime;
     };
-    std::vector<Point> points;
+    // Independent grid points: compute in parallel into pre-sized
+    // slots, render serially below (thread-count-invariant bytes).
+    const std::vector<std::int64_t> gpu_counts{2, 4, 8};
+    std::vector<Point> points(gpu_counts.size());
 
-    for (std::int64_t gpus : {2, 4, 8}) {
-        net::SystemConfig system;
-        system.name = "P100 PCIe node";
-        system.numNodes = 1;
-        system.acceleratorsPerNode = gpus;
-        system.intraLink = net::presets::pcie3();
-        system.interLink = net::presets::edrInfiniband(); // unused
-        system.nicsPerNode = 1;
+    ThreadPool::shared().parallelFor(
+        gpu_counts.size(), /*chunk=*/1, [&](std::size_t i) {
+            const std::int64_t gpus = gpu_counts[i];
+            net::SystemConfig system;
+            system.name = "P100 PCIe node";
+            system.numNodes = 1;
+            system.acceleratorsPerNode = gpus;
+            system.intraLink = net::presets::pcie3();
+            system.interLink =
+                net::presets::edrInfiniband(); // unused
+            system.nicsPerNode = 1;
 
-        core::AmpedModel amped_model(model_cfg, accel, eff, system,
-                                     options);
-        core::TrainingJob job;
-        job.batchSize = microbatch * num_microbatches;
-        job.numBatchesOverride = 1.0;
-        job.microbatching.numMicrobatchesOverride = num_microbatches;
+            core::AmpedModel amped_model(model_cfg, accel, eff,
+                                         system, options);
+            core::TrainingJob job;
+            job.batchSize = microbatch * num_microbatches;
+            job.numBatchesOverride = 1.0;
+            job.microbatching.numMicrobatchesOverride =
+                num_microbatches;
 
-        const auto mapping =
-            mapping::makeMapping(1, gpus, 1, 1, 1, 1);
-        const double analytic =
-            amped_model.evaluate(mapping, job).timePerBatch;
+            const auto mapping =
+                mapping::makeMapping(1, gpus, 1, 1, 1, 1);
+            const double analytic =
+                amped_model.evaluate(mapping, job).timePerBatch;
 
-        sim::TrainingSimulator simulator(model_cfg, accel, eff,
-                                         net::presets::pcie3());
-        simulator.setBackwardMultiplier(
-            options.backwardComputeMultiplier);
-        const double simulated =
-            simulator
-                .simulateGPipeStep(gpus, microbatch,
-                                   static_cast<std::int64_t>(
-                                       num_microbatches))
-                .stepTime;
-        points.push_back({gpus, analytic, simulated});
-    }
+            sim::TrainingSimulator simulator(model_cfg, accel, eff,
+                                             net::presets::pcie3());
+            simulator.setBackwardMultiplier(
+                options.backwardComputeMultiplier);
+            const double simulated =
+                simulator
+                    .simulateGPipeStep(gpus, microbatch,
+                                       static_cast<std::int64_t>(
+                                           num_microbatches))
+                    .stepTime;
+            points[i] = {gpus, analytic, simulated};
+        });
 
     TextTable table({"GPUs", "published [26]", "paper-AMPeD",
                      "this-repo analytic", "this-repo simulator"});

@@ -6,6 +6,8 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.hpp"
+
 namespace amped {
 
 unsigned
@@ -71,6 +73,20 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
                         const std::function<void(std::size_t)> &fn,
                         std::size_t max_workers)
 {
+    // Counters fire for every call — including the n == 0 early-out
+    // and the serial path — so the totals depend only on the
+    // workload, not on how many threads ended up running it.
+    auto &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &calls_counter =
+        metrics.counter("threadpool.parallel_for.calls");
+    static obs::Counter &indices_counter =
+        metrics.counter("threadpool.parallel_for.indices");
+    static obs::Histogram &loop_seconds = metrics.histogram(
+        "threadpool.parallel_for.seconds", /*timing=*/true);
+    calls_counter.add(1);
+    indices_counter.add(n);
+    obs::ScopedTimer timer(loop_seconds);
+
     if (n == 0)
         return;
     if (chunk == 0)

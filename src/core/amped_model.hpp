@@ -129,6 +129,12 @@ class AmpedModel
     /** The evaluator options. */
     const ModelOptions &options() const { return options_; }
 
+    /** The microbatch-efficiency curve eff(ub). */
+    const hw::MicrobatchEfficiency &efficiency() const
+    {
+        return efficiency_;
+    }
+
   private:
     /** Effective inter-node link (NIC-aggregated bandwidth). */
     net::LinkConfig interLinkEffective() const;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace amped {
 namespace core {
@@ -209,6 +210,14 @@ monteCarloTimeToTrain(double solve_seconds,
             ">= 0, got ", solve_seconds);
     require(replications >= 1,
             "monteCarloTimeToTrain: need >= 1 replication");
+
+    auto &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &replications_counter =
+        metrics.counter("core.monte_carlo.replications");
+    static obs::Histogram &mc_seconds = metrics.histogram(
+        "core.monte_carlo.seconds", /*timing=*/true);
+    replications_counter.add(replications);
+    obs::ScopedTimer timer(mc_seconds);
 
     const double tau = resolveInterval(config);
     const Segmentation seg =

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 
 namespace amped {
 namespace explore {
@@ -56,6 +60,162 @@ timeKey(const SweepEntry &entry)
                          : t;
 }
 
+// ---------------------------------------------------------------------
+// sweepAll memoization: repeated sweeps over identical (model, memory
+// model, batch sizes, job) tuples — the pattern of a CLI serving
+// repeated queries — skip the grid entirely.  The canonical key
+// string captures every input that can influence the result; its
+// FNV-1a hash indexes the cache and the full key is verified on a
+// hit, so a hash collision degrades to a miss instead of a wrong
+// answer.  The sweep thread count is deliberately NOT part of the
+// key: sweeps are byte-identical at every thread count.
+// ---------------------------------------------------------------------
+
+/** Streams one value followed by a separator. */
+template <typename T>
+void
+keyPart(std::ostringstream &oss, const T &value)
+{
+    oss << value << '|';
+}
+
+void
+keyLink(std::ostringstream &oss, const net::LinkConfig &link)
+{
+    keyPart(oss, link.name);
+    keyPart(oss, link.latencySeconds);
+    keyPart(oss, link.bandwidthBits);
+}
+
+/**
+ * Canonical description of everything a sweepAll result depends on.
+ */
+std::string
+sweepCacheKey(const core::AmpedModel &model,
+              const std::optional<core::MemoryModel> &memory_model,
+              const std::vector<double> &batch_sizes,
+              const core::TrainingJob &job, unsigned threads)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+
+    // Results are byte-identical across thread counts, but keying on
+    // the setting keeps the serial-vs-parallel differential tests
+    // honest: a sweep with a different thread count re-executes
+    // instead of returning the other configuration's cached result.
+    keyPart(oss, threads);
+
+    const auto &cfg = model.opCounter().config();
+    keyPart(oss, cfg.name);
+    keyPart(oss, cfg.numLayers);
+    keyPart(oss, cfg.hiddenSize);
+    keyPart(oss, cfg.numHeads);
+    keyPart(oss, cfg.seqLength);
+    keyPart(oss, cfg.vocabSize);
+    keyPart(oss, cfg.ffnHiddenSize);
+    keyPart(oss, cfg.moe.numExperts);
+    keyPart(oss, cfg.moe.expertsPerToken);
+    keyPart(oss, cfg.moe.moeLayerInterval);
+
+    const auto &ops = model.opCounter().options();
+    keyPart(oss, ops.softmaxOpsPerScore);
+    keyPart(oss, ops.geluOpsPerElement);
+    keyPart(oss, ops.layerNormOpsPerElement);
+    keyPart(oss, ops.residualOpsPerElement);
+    keyPart(oss, ops.activationRecompute);
+    keyPart(oss, ops.includeEmbeddingFlops);
+
+    const auto &accel = model.accelerator();
+    keyPart(oss, accel.name);
+    keyPart(oss, accel.frequency);
+    keyPart(oss, accel.numCores);
+    keyPart(oss, accel.numMacUnits);
+    keyPart(oss, accel.macUnitWidth);
+    keyPart(oss, accel.numNonlinUnits);
+    keyPart(oss, accel.nonlinUnitWidth);
+    keyPart(oss, accel.memoryBytes);
+    keyPart(oss, accel.offChipBandwidthBits);
+    keyPart(oss, accel.precisions.parameterBits);
+    keyPart(oss, accel.precisions.activationBits);
+    keyPart(oss, accel.precisions.nonlinearBits);
+    keyPart(oss, accel.precisions.macUnitBits);
+    keyPart(oss, accel.precisions.nonlinearUnitBits);
+
+    const auto &eff = model.efficiency();
+    keyPart(oss, eff.a());
+    keyPart(oss, eff.b());
+    keyPart(oss, eff.floor());
+    keyPart(oss, eff.criticalUb());
+    keyPart(oss, eff.decayPerUb());
+
+    const auto &system = model.system();
+    keyPart(oss, system.name);
+    keyPart(oss, system.numNodes);
+    keyPart(oss, system.acceleratorsPerNode);
+    keyPart(oss, system.nicsPerNode);
+    keyPart(oss, system.interIsPooledFabric);
+    keyLink(oss, system.intraLink);
+    keyLink(oss, system.interLink);
+
+    const auto &opts = model.options();
+    keyPart(oss, opts.bubbleOverlapRatio);
+    keyPart(oss, opts.zeroDpOverhead);
+    keyPart(oss, opts.backwardComputeMultiplier);
+    keyPart(oss, opts.backwardCommMultiplier);
+    keyPart(oss, opts.ppCommMultiplier);
+    keyPart(oss, opts.gradientBits);
+    keyPart(oss, opts.hierarchicalGradAllReduce);
+    keyPart(oss, opts.intraTopologyFactorOverride);
+    keyPart(oss, opts.interTopologyFactorOverride);
+    keyPart(oss, opts.enableMoeComm);
+
+    keyPart(oss, memory_model.has_value());
+    if (memory_model) {
+        const auto &mem = memory_model->options();
+        keyPart(oss, static_cast<int>(mem.zeroStage));
+        keyPart(oss, mem.optimizerBytesPerParam);
+        keyPart(oss, mem.activationRecompute);
+        keyPart(oss, mem.activationsInFlightOverride);
+        keyPart(oss, mem.workspaceBytes);
+    }
+
+    keyPart(oss, job.batchSize);
+    keyPart(oss, job.totalTrainingTokens);
+    keyPart(oss, job.numBatchesOverride);
+    keyPart(oss, job.microbatching.microbatchSizeOverride);
+    keyPart(oss, job.microbatching.numMicrobatchesOverride);
+
+    keyPart(oss, batch_sizes.size());
+    for (const double batch : batch_sizes)
+        keyPart(oss, batch);
+
+    return oss.str();
+}
+
+struct SweepCacheEntry
+{
+    std::string key;   ///< Full canonical key (collision guard).
+    SweepResult result;
+};
+
+/** Cleared wholesale when full; sweeps are cheap to recompute. */
+constexpr std::size_t kSweepCacheCapacity = 64;
+
+std::mutex &
+sweepCacheMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::unordered_map<std::uint64_t, SweepCacheEntry> &
+sweepCache()
+{
+    static auto *cache =
+        new std::unordered_map<std::uint64_t, SweepCacheEntry>();
+    return *cache;
+}
+
 } // namespace
 
 Explorer::Explorer(core::AmpedModel model) : model_(std::move(model)) {}
@@ -86,8 +246,24 @@ Explorer::sweepJobs(
     const std::vector<mapping::ParallelismConfig> &mappings,
     const std::vector<core::TrainingJob> &jobs) const
 {
+    auto &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &points_counter =
+        metrics.counter("explore.sweep.points");
+    static obs::Counter &feasible_counter =
+        metrics.counter("explore.sweep.feasible");
+    static obs::Counter &infeasible_counter =
+        metrics.counter("explore.sweep.infeasible");
+    static obs::Counter &over_memory_counter =
+        metrics.counter("explore.sweep.over_memory");
+    static obs::Counter &failed_counter =
+        metrics.counter("explore.sweep.failed");
+    static obs::Histogram &sweep_seconds =
+        metrics.histogram("explore.sweep.seconds", /*timing=*/true);
+    obs::ScopedTimer timer(sweep_seconds);
+
     SweepResult out;
     const std::size_t count = mappings.size() * jobs.size();
+    points_counter.add(count);
     if (count == 0)
         return out;
 
@@ -179,6 +355,10 @@ Explorer::sweepJobs(
         }
         }
     }
+    feasible_counter.add(out.entries.size() - out.failed);
+    infeasible_counter.add(out.skipped);
+    over_memory_counter.add(out.memorySkipped);
+    failed_counter.add(out.failed);
     return out;
 }
 
@@ -186,9 +366,39 @@ SweepResult
 Explorer::sweepAll(const std::vector<double> &batch_sizes,
                    const core::TrainingJob &job_template) const
 {
+    auto &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &hits =
+        metrics.counter("explore.sweep_cache.hits");
+    static obs::Counter &misses =
+        metrics.counter("explore.sweep_cache.misses");
+
+    const std::string key = sweepCacheKey(
+        model_, memoryModel_, batch_sizes, job_template, threads_);
+    const std::uint64_t hash = fnv1a64(key);
+    {
+        std::lock_guard<std::mutex> lock(sweepCacheMutex());
+        const auto it = sweepCache().find(hash);
+        if (it != sweepCache().end() && it->second.key == key) {
+            hits.add(1);
+            return it->second.result;
+        }
+    }
+    misses.add(1);
+
     mapping::MappingSpace space(model_.system());
     const std::int64_t max_pp = model_.opCounter().config().numLayers;
-    return sweep(space.enumerate(max_pp), batch_sizes, job_template);
+    SweepResult result =
+        sweep(space.enumerate(max_pp), batch_sizes, job_template);
+
+    {
+        std::lock_guard<std::mutex> lock(sweepCacheMutex());
+        auto &cache = sweepCache();
+        if (cache.size() >= kSweepCacheCapacity &&
+            cache.find(hash) == cache.end())
+            cache.clear();
+        cache[hash] = SweepCacheEntry{key, result};
+    }
+    return result;
 }
 
 std::optional<SweepEntry>

@@ -52,6 +52,10 @@ class MicrobatchEfficiency
     double a() const { return a_; }
     double b() const { return b_; }
     double floor() const { return floor_; }
+    /** Decay onset microbatch size; 0 when decay is disabled. */
+    double criticalUb() const { return criticalUb_; }
+    /** Efficiency lost per unit microbatch beyond the onset. */
+    double decayPerUb() const { return decayPerUb_; }
 
   private:
     double a_;

@@ -1,0 +1,216 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace amped::obs {
+
+namespace {
+
+constexpr double kSecondsToMicros = 1e6;
+
+// Tiebreak ranks at equal timestamps: metadata first, then slices,
+// then flow terminations, then flow starts and instants.  Keeping a
+// flow finish ("f") after the slice it binds to at the same ts is
+// what makes Perfetto attach the arrow to the receiving slice.
+constexpr int kOrderMetadata = 0;
+constexpr int kOrderSlice = 1;
+constexpr int kOrderInstant = 2;
+constexpr int kOrderFlow = 3;
+
+/** Per-task view of one run: the interval that executed it. */
+struct TaskTrace
+{
+    bool ran = false;
+    double start = 0.0;
+    double end = 0.0;
+};
+
+} // namespace
+
+void
+ChromeTraceBuilder::addEvent(double ts, int order, Json json)
+{
+    events_.push_back(PendingEvent{ts, order, std::move(json)});
+}
+
+void
+ChromeTraceBuilder::addRun(const sim::TaskGraph &graph,
+                           const sim::SimResult &result,
+                           const std::string &run_label,
+                           const std::vector<sim::FailureEvent> &failures)
+{
+    require(result.resources.size() == graph.resourceCount(),
+            "chrome trace: result has ", result.resources.size(),
+            " resources but the graph has ", graph.resourceCount());
+    require(result.deliveryTime.size() == graph.taskCount(),
+            "chrome trace: result tracks ",
+            result.deliveryTime.size(),
+            " task delivery times but the graph has ",
+            graph.taskCount(), " tasks (was the result produced by "
+            "Engine::run on this graph?)");
+
+    const int pid = nextPid_++;
+
+    // Process + thread naming metadata.
+    addEvent(0.0, kOrderMetadata,
+             Json::object()
+                 .set("name", "process_name")
+                 .set("ph", "M")
+                 .set("pid", pid)
+                 .set("args",
+                      Json::object().set("name", run_label)));
+    for (std::size_t r = 0; r < graph.resourceCount(); ++r) {
+        const auto &resource =
+            graph.resource(static_cast<sim::ResourceId>(r));
+        addEvent(0.0, kOrderMetadata,
+                 Json::object()
+                     .set("name", "thread_name")
+                     .set("ph", "M")
+                     .set("pid", pid)
+                     .set("tid", r)
+                     .set("args",
+                          Json::object().set("name", resource.name)));
+    }
+
+    // Complete (X) events from busy intervals; remember where each
+    // task ran for the flow edges below.
+    std::vector<TaskTrace> traces(graph.taskCount());
+    for (std::size_t r = 0; r < result.resources.size(); ++r) {
+        for (const auto &interval : result.resources[r].intervals) {
+            const auto &task = graph.task(interval.task);
+            auto &trace =
+                traces[static_cast<std::size_t>(interval.task)];
+            trace.ran = true;
+            trace.start = interval.start;
+            trace.end = interval.end;
+            Json args = Json::object();
+            args.set("task", static_cast<std::int64_t>(interval.task));
+            args.set("kind", task.kind == sim::TaskKind::compute
+                                 ? "compute"
+                                 : "transfer");
+            Json event = Json::object();
+            event.set("name", task.label);
+            event.set("cat", task.category.empty() ? "task"
+                                                   : task.category);
+            event.set("ph", "X");
+            event.set("ts", interval.start * kSecondsToMicros);
+            event.set("dur",
+                      (interval.end - interval.start) *
+                          kSecondsToMicros);
+            event.set("pid", pid);
+            event.set("tid", r);
+            event.set("args", std::move(args));
+            addEvent(interval.start * kSecondsToMicros, kOrderSlice,
+                     std::move(event));
+        }
+    }
+
+    // Flow (s/f) events: one arrow per transfer→successor edge whose
+    // endpoints both executed — the message leaves the channel slice
+    // and lands on the successor's first instant.
+    for (std::size_t t = 0; t < graph.taskCount(); ++t) {
+        const auto &task =
+            graph.task(static_cast<sim::TaskId>(t));
+        if (task.kind != sim::TaskKind::transfer || !traces[t].ran)
+            continue;
+        for (const sim::TaskId succ : task.successors) {
+            const auto &target =
+                traces[static_cast<std::size_t>(succ)];
+            if (!target.ran)
+                continue;
+            const std::uint64_t flow_id = nextFlowId_++;
+            const auto &succ_task = graph.task(succ);
+            addEvent(traces[t].end * kSecondsToMicros, kOrderFlow,
+                     Json::object()
+                         .set("name", task.label)
+                         .set("cat", "flow")
+                         .set("ph", "s")
+                         .set("id", flow_id)
+                         .set("ts",
+                              traces[t].end * kSecondsToMicros)
+                         .set("pid", pid)
+                         .set("tid",
+                              static_cast<std::int64_t>(
+                                  task.resource)));
+            addEvent(target.start * kSecondsToMicros, kOrderFlow,
+                     Json::object()
+                         .set("name", task.label)
+                         .set("cat", "flow")
+                         .set("ph", "f")
+                         .set("bp", "e")
+                         .set("id", flow_id)
+                         .set("ts",
+                              target.start * kSecondsToMicros)
+                         .set("pid", pid)
+                         .set("tid",
+                              static_cast<std::int64_t>(
+                                  succ_task.resource)));
+        }
+    }
+
+    // Failures as instant events on the dying resource's track.
+    for (const auto &failure : failures) {
+        require(failure.resource >= 0 &&
+                    failure.resource < static_cast<sim::ResourceId>(
+                                           graph.resourceCount()),
+                "chrome trace: failure event resource ",
+                failure.resource, " out of range");
+        addEvent(failure.time * kSecondsToMicros, kOrderInstant,
+                 Json::object()
+                     .set("name",
+                          "fail: " +
+                              graph.resource(failure.resource).name)
+                     .set("cat", "fault")
+                     .set("ph", "i")
+                     .set("s", "t")
+                     .set("ts", failure.time * kSecondsToMicros)
+                     .set("pid", pid)
+                     .set("tid",
+                          static_cast<std::int64_t>(
+                              failure.resource)));
+    }
+}
+
+Json
+ChromeTraceBuilder::build() const
+{
+    std::vector<const PendingEvent *> ordered;
+    ordered.reserve(events_.size());
+    for (const auto &event : events_)
+        ordered.push_back(&event);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const PendingEvent *a, const PendingEvent *b) {
+                         if (a->ts != b->ts)
+                             return a->ts < b->ts;
+                         return a->order < b->order;
+                     });
+    Json trace_events = Json::array();
+    for (const PendingEvent *event : ordered)
+        trace_events.push(event->json);
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(trace_events));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+std::string
+ChromeTraceBuilder::toJsonString() const
+{
+    return build().dump(2) + "\n";
+}
+
+void
+ChromeTraceBuilder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    require(out.good(), "chrome trace: cannot open '", path,
+            "' for writing");
+    out << toJsonString();
+    require(out.good(), "chrome trace: write to '", path,
+            "' failed");
+}
+
+} // namespace amped::obs

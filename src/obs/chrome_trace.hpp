@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto exporter for simulator runs.
+ *
+ * Converts `sim::SimResult` busy intervals plus the task metadata of
+ * the executed `sim::TaskGraph` into the Trace Event Format JSON that
+ * `chrome://tracing` and https://ui.perfetto.dev accept:
+ *
+ *  - one *process* (pid) per added run, named after the run label;
+ *  - one *thread* (tid) per resource, named after the device/channel
+ *    (thread metadata events keep the resource order stable);
+ *  - an `X` (complete) event per busy interval, with the task label
+ *    as the event name, the task category as `cat`, and the task id
+ *    / kind in `args`;
+ *  - `s`/`f` (flow) events for every transfer→successor edge, so the
+ *    viewer draws the message send→receive arrows;
+ *  - `i` (instant) events for injected resource failures.
+ *
+ * Event timestamps are microseconds (the format's unit); simulator
+ * seconds are scaled by 1e6.  Events are emitted sorted by timestamp
+ * so consumers that stream the array see monotonic `ts`.
+ */
+
+#ifndef AMPED_OBS_CHROME_TRACE_HPP
+#define AMPED_OBS_CHROME_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/task_graph.hpp"
+
+namespace amped::obs {
+
+/** Accumulates simulator runs into one Chrome-trace JSON document. */
+class ChromeTraceBuilder
+{
+  public:
+    /**
+     * Adds every busy interval, flow edge, and failure instant of
+     * one engine run as a new trace process.
+     *
+     * @param graph The graph that produced @p result (task labels,
+     *        categories, successor edges).
+     * @param result The engine run over exactly that graph.
+     * @param run_label Process name in the viewer (e.g. "dp8").
+     * @param failures Applied failure events rendered as instant
+     *        events (pass FailureOutcome::events; empty when
+     *        fault-free).
+     * @throws UserError when result and graph disagree on resource
+     *         or task counts.
+     */
+    void addRun(const sim::TaskGraph &graph,
+                const sim::SimResult &result,
+                const std::string &run_label,
+                const std::vector<sim::FailureEvent> &failures = {});
+
+    /** Number of events accumulated so far. */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /**
+     * The full document: `{"traceEvents": [...], "displayTimeUnit":
+     * "ms"}` with events sorted by `ts` (metadata events first).
+     */
+    Json build() const;
+
+    /** `build()` serialized with two-space indentation. */
+    std::string toJsonString() const;
+
+    /** Writes `toJsonString()` to @p path (UserError on failure). */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct PendingEvent
+    {
+        double ts = 0.0;   ///< Microseconds.
+        int order = 0;     ///< Tiebreak: metadata < slices < flows.
+        Json json;
+    };
+
+    void addEvent(double ts, int order, Json json);
+
+    std::vector<PendingEvent> events_;
+    int nextPid_ = 1;
+    std::uint64_t nextFlowId_ = 1;
+};
+
+} // namespace amped::obs
+
+#endif // AMPED_OBS_CHROME_TRACE_HPP

@@ -1,0 +1,209 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace amped::obs {
+
+double
+Histogram::upperBound(int index)
+{
+    AMPED_ASSERT(index >= 0 && index < kNumBounds,
+                 "histogram bucket index out of range");
+    return kFirstUpperBound * std::pow(kBucketRatio, index);
+}
+
+void
+Histogram::observe(double value)
+{
+    // Find the first bound >= value; log2 gives the bucket directly
+    // because the geometry is a fixed power-of-two ladder.
+    int index = kNumBounds;
+    if (!(value > kFirstUpperBound)) {
+        // Also catches NaN and negatives: pin them to bucket 0 so a
+        // bad observation can never corrupt the bucket array.
+        index = 0;
+    } else {
+        const double exponent =
+            std::ceil(std::log2(value / kFirstUpperBound));
+        if (exponent < kNumBounds)
+            index = static_cast<int>(exponent);
+    }
+    buckets_[static_cast<std::size_t>(index)]
+        .fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // No atomic<double>::fetch_add before C++20 on all toolchains:
+    // CAS loop keeps the sum lock-free and portable.
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Entry
+{
+    MetricKind kind;
+    bool timing = false;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+};
+
+namespace {
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::counter: return "counter";
+      case MetricKind::gauge: return "gauge";
+      case MetricKind::histogram: return "histogram";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry() = default;
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry &
+MetricsRegistry::lookup(const std::string &name, MetricKind kind,
+                        bool timing)
+{
+    require(!name.empty(), "metrics: empty metric name");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        auto entry = std::make_unique<Entry>();
+        entry->kind = kind;
+        entry->timing = timing;
+        it = entries_.emplace(name, std::move(entry)).first;
+    }
+    require(it->second->kind == kind, "metrics: '", name,
+            "' already registered as ", kindName(it->second->kind),
+            ", requested as ", kindName(kind));
+    return *it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return lookup(name, MetricKind::counter, false).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return lookup(name, MetricKind::gauge, false).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, bool timing)
+{
+    return lookup(name, MetricKind::histogram, timing).histogram;
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSnapshot> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_) {
+        MetricSnapshot snap;
+        snap.name = name;
+        snap.kind = entry->kind;
+        snap.timing = entry->timing;
+        switch (entry->kind) {
+          case MetricKind::counter:
+            snap.count = entry->counter.value();
+            break;
+          case MetricKind::gauge:
+            snap.value = entry->gauge.value();
+            break;
+          case MetricKind::histogram:
+            snap.count = entry->histogram.count();
+            snap.value = entry->histogram.sum();
+            snap.buckets.reserve(Histogram::kNumBounds + 1);
+            for (int i = 0; i <= Histogram::kNumBounds; ++i)
+                snap.buckets.push_back(
+                    entry->histogram.bucketCount(i));
+            break;
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderText(RenderMode mode) const
+{
+    std::ostringstream oss;
+    for (const auto &snap : snapshot()) {
+        switch (snap.kind) {
+          case MetricKind::counter:
+            oss << snap.name << '\t' << snap.count << '\n';
+            break;
+          case MetricKind::gauge:
+            oss << snap.name << '\t'
+                << formatDouble(snap.value) << '\n';
+            break;
+          case MetricKind::histogram:
+            oss << snap.name << ".count\t" << snap.count << '\n';
+            if (mode == RenderMode::full) {
+                oss << snap.name << ".sum\t"
+                    << formatDouble(snap.value) << '\n';
+                for (int i = 0; i < Histogram::kNumBounds; ++i) {
+                    const auto n =
+                        snap.buckets[static_cast<std::size_t>(i)];
+                    if (n == 0)
+                        continue;
+                    oss << snap.name << ".le."
+                        << formatDouble(Histogram::upperBound(i))
+                        << '\t' << n << '\n';
+                }
+                if (snap.buckets.back() != 0)
+                    oss << snap.name << ".le.inf\t"
+                        << snap.buckets.back() << '\n';
+            }
+            break;
+        }
+    }
+    return oss.str();
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, entry] : entries_) {
+        entry->counter.reset();
+        entry->gauge.reset();
+        entry->histogram.reset();
+    }
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked intentionally: instrumentation in static destructors of
+    // other TUs may still touch the registry at shutdown.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+} // namespace amped::obs

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Thread-safe metrics registry: counters, gauges, and log-spaced
+ * histograms with scoped wall-clock timers.
+ *
+ * Design goals (DESIGN.md `src/obs`):
+ *
+ *  - Hot-path friendly: after the first name lookup every update is a
+ *    single relaxed atomic op; callers cache `Counter &` references in
+ *    function-local statics.  The registry never removes or moves a
+ *    metric, so references stay valid for the process lifetime.
+ *
+ *  - Deterministic snapshots: `snapshot()` orders metrics by name and
+ *    `renderText(RenderMode::deterministic)` omits every wall-clock
+ *    derived value (timing sums and buckets) so the rendered text is
+ *    byte-stable across `AMPED_THREADS=N` for a fixed workload.  The
+ *    full mode adds sums and non-empty buckets for humans.
+ *
+ *  - No compiled dependencies: only the header-only error machinery,
+ *    so `amped_obs` sits below `amped_common` and the thread pool
+ *    itself can be instrumented without a dependency cycle.
+ */
+
+#ifndef AMPED_OBS_METRICS_HPP
+#define AMPED_OBS_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace amped::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    { value_.fetch_add(n, std::memory_order_relaxed); }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Histogram over fixed log-spaced buckets.
+ *
+ * Bucket i counts observations in (upperBound(i-1), upperBound(i)]
+ * with upperBound(i) = kFirstUpperBound * kBucketRatio^i; one final
+ * overflow bucket catches everything above the last bound.  The
+ * geometry is compile-time fixed (1 ns first bound, ratio 2, 64
+ * bounds, reaching ~1.8e10 s) so snapshots from different runs and
+ * different thread counts are structurally identical.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kNumBounds = 64;
+    static constexpr double kFirstUpperBound = 1e-9;
+    static constexpr double kBucketRatio = 2.0;
+
+    /** Upper bound of bucket @p index (inclusive). */
+    static double upperBound(int index);
+
+    void observe(double value);
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of observed values (not atomic w.r.t. count; advisory). */
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    std::uint64_t
+    bucketCount(int index) const
+    {
+        return buckets_[static_cast<std::size_t>(index)]
+            .load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    // +1 overflow bucket for values above the last bound.
+    std::array<std::atomic<std::uint64_t>, kNumBounds + 1> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { counter, gauge, histogram };
+
+/** Value-copy of one metric, taken under the registry lock. */
+struct MetricSnapshot
+{
+    std::string name;
+    MetricKind kind = MetricKind::counter;
+    /// Histogram only: values are wall-clock seconds and therefore
+    /// non-deterministic across runs/thread counts.
+    bool timing = false;
+    std::uint64_t count = 0;   ///< counter value / histogram count
+    double value = 0.0;        ///< gauge value / histogram sum
+    /// Histogram only: kNumBounds+1 cumulative-free bucket counts.
+    std::vector<std::uint64_t> buckets;
+};
+
+/** What `renderText` may include. */
+enum class RenderMode {
+    /// Counters, gauges, and histogram counts only — byte-stable
+    /// across thread counts for a fixed workload.
+    deterministic,
+    /// Adds histogram sums and non-empty buckets (wall-clock data).
+    full,
+};
+
+/**
+ * Named metric store.  Creation is lazy and idempotent; asking for an
+ * existing name with a different kind throws UserError.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    // Out of line: Entry is incomplete here, and owning instances
+    // (tests use registry-per-test) need to destroy the entries.
+    ~MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name, bool timing = false);
+
+    /** Name-sorted value copies of every registered metric. */
+    std::vector<MetricSnapshot> snapshot() const;
+
+    /**
+     * One metric per line, name-sorted:
+     * `name<TAB>value` for counters/gauges, `name.count<TAB>n` for
+     * histograms (plus `.sum` / `.le.<bound>` lines in full mode).
+     */
+    std::string renderText(RenderMode mode) const;
+
+    /** Zeroes every metric's values; names/kinds stay registered. */
+    void resetAll();
+
+    /** Process-wide registry used by all built-in instrumentation. */
+    static MetricsRegistry &global();
+
+  private:
+    struct Entry;
+
+    Entry &lookup(const std::string &name, MetricKind kind,
+                  bool timing);
+
+    mutable std::mutex mutex_;
+    // map keeps snapshot() naturally name-sorted; unique_ptr keeps
+    // metric addresses stable across rehash-free inserts.
+    std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+/**
+ * Records elapsed wall-clock seconds into a timing histogram on
+ * destruction.  Usage:
+ *
+ *     static auto &h = MetricsRegistry::global()
+ *         .histogram("engine.run.seconds", true);
+ *     ScopedTimer timer(h);
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &histogram)
+        : histogram_(&histogram),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        const auto elapsed =
+            std::chrono::steady_clock::now() - start_;
+        histogram_->observe(
+            std::chrono::duration<double>(elapsed).count());
+    }
+
+  private:
+    Histogram *histogram_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace amped::obs
+
+#endif // AMPED_OBS_METRICS_HPP

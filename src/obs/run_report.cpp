@@ -1,0 +1,203 @@
+#include "obs/run_report.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace amped::obs {
+
+Json
+analyticalJson(const core::EvaluationResult &result)
+{
+    Json breakdown = Json::object();
+    for (const auto &[label, seconds] : result.perBatch.phases())
+        breakdown.set(label, seconds);
+    Json out = Json::object();
+    out.set("time_per_batch_seconds", result.timePerBatch);
+    out.set("breakdown", std::move(breakdown));
+    out.set("breakdown_total_seconds", result.perBatch.total());
+    out.set("computation_seconds", result.perBatch.computation());
+    out.set("communication_seconds",
+            result.perBatch.communication());
+    out.set("num_batches", result.numBatches);
+    out.set("total_time_seconds", result.totalTime);
+    out.set("training_days", result.trainingDays());
+    out.set("microbatch_size", result.microbatchSize);
+    out.set("num_microbatches", result.numMicrobatches);
+    out.set("efficiency", result.efficiency);
+    out.set("achieved_flops_per_gpu", result.achievedFlopsPerGpu);
+    out.set("tokens_per_second", result.tokensPerSecond);
+    return out;
+}
+
+Json
+simulationJson(const std::string &label,
+               const sim::SimOutcome &outcome)
+{
+    require(outcome.graph != nullptr,
+            "run report: SimOutcome carries no task graph (was it "
+            "produced by TrainingSimulator?)");
+    const sim::TaskGraph &graph = *outcome.graph;
+
+    Json devices = Json::array();
+    for (std::size_t i = 0; i < outcome.deviceIds.size(); ++i) {
+        const sim::ResourceId id = outcome.deviceIds[i];
+        Json device = Json::object();
+        device.set("name", graph.resource(id).name);
+        device.set("utilization", outcome.deviceUtilization[i]);
+        device.set("busy_seconds",
+                   outcome.raw.resources[static_cast<std::size_t>(id)]
+                       .busyTime);
+        devices.push(std::move(device));
+    }
+
+    // Category histogram over the *whole* graph (including tasks an
+    // injected failure prevented from running).
+    std::map<std::string, std::int64_t> by_category;
+    for (std::size_t t = 0; t < graph.taskCount(); ++t) {
+        const auto &task = graph.task(static_cast<sim::TaskId>(t));
+        ++by_category[task.category.empty() ? "uncategorized"
+                                            : task.category];
+    }
+    Json categories = Json::object();
+    for (const auto &[category, count] : by_category)
+        categories.set(category, count);
+
+    Json out = Json::object();
+    out.set("label", label);
+    out.set("step_time_seconds", outcome.stepTime);
+    out.set("makespan_seconds", outcome.raw.makespan);
+    out.set("task_count",
+            static_cast<std::int64_t>(graph.taskCount()));
+    out.set("resource_count",
+            static_cast<std::int64_t>(graph.resourceCount()));
+    out.set("tasks_by_category", std::move(categories));
+    out.set("devices", std::move(devices));
+    if (!outcome.peakMicrobatchesInFlight.empty()) {
+        Json peaks = Json::array();
+        for (const std::int64_t peak :
+             outcome.peakMicrobatchesInFlight)
+            peaks.push(peak);
+        out.set("peak_microbatches_in_flight", std::move(peaks));
+    }
+    if (outcome.failure.failed ||
+        outcome.failure.failuresApplied > 0) {
+        const auto &f = outcome.failure;
+        Json failure = Json::object();
+        failure.set("failed", f.failed);
+        failure.set("failures_applied",
+                    static_cast<std::int64_t>(f.failuresApplied));
+        failure.set("first_failure_time_seconds",
+                    f.firstFailureTime);
+        failure.set("first_failed_resource",
+                    static_cast<std::int64_t>(f.firstFailedResource));
+        failure.set("completed_tasks",
+                    static_cast<std::int64_t>(f.completedTasks));
+        failure.set("aborted_tasks",
+                    static_cast<std::int64_t>(f.abortedTasks));
+        failure.set("unreached_tasks",
+                    static_cast<std::int64_t>(f.unreachedTasks));
+        failure.set("lost_busy_seconds", f.lostBusySeconds);
+        failure.set("wasted_wall_seconds", f.wastedWallSeconds);
+        Json events = Json::array();
+        for (const auto &event : f.events) {
+            events.push(Json::object()
+                            .set("resource",
+                                 static_cast<std::int64_t>(
+                                     event.resource))
+                            .set("time_seconds", event.time));
+        }
+        failure.set("events", std::move(events));
+        out.set("failure", std::move(failure));
+    }
+    return out;
+}
+
+Json
+metricsJson(const MetricsRegistry &registry, RenderMode mode)
+{
+    Json out = Json::object();
+    for (const auto &snap : registry.snapshot()) {
+        switch (snap.kind) {
+          case MetricKind::counter:
+            out.set(snap.name, snap.count);
+            break;
+          case MetricKind::gauge:
+            out.set(snap.name, snap.value);
+            break;
+          case MetricKind::histogram:
+            out.set(snap.name + ".count", snap.count);
+            if (mode == RenderMode::full)
+                out.set(snap.name + ".sum", snap.value);
+            break;
+        }
+    }
+    return out;
+}
+
+RunReportBuilder::RunReportBuilder()
+    : simulations_(Json::array())
+{}
+
+RunReportBuilder &
+RunReportBuilder::setConfig(Json config)
+{
+    config_ = std::move(config);
+    hasConfig_ = true;
+    return *this;
+}
+
+RunReportBuilder &
+RunReportBuilder::setAnalytical(const core::EvaluationResult &r)
+{
+    analytical_ = analyticalJson(r);
+    hasAnalytical_ = true;
+    return *this;
+}
+
+RunReportBuilder &
+RunReportBuilder::addSimulation(const std::string &label,
+                                const sim::SimOutcome &outcome)
+{
+    simulations_.push(simulationJson(label, outcome));
+    return *this;
+}
+
+RunReportBuilder &
+RunReportBuilder::setMetrics(const MetricsRegistry &registry,
+                             RenderMode mode)
+{
+    metrics_ = metricsJson(registry, mode);
+    hasMetrics_ = true;
+    return *this;
+}
+
+Json
+RunReportBuilder::build() const
+{
+    Json doc = Json::object();
+    doc.set("schema_version", kRunReportSchemaVersion);
+    doc.set("generator", "amped");
+    if (hasConfig_)
+        doc.set("config", config_);
+    if (hasAnalytical_)
+        doc.set("analytical", analytical_);
+    if (simulations_.size() > 0)
+        doc.set("simulations", simulations_);
+    if (hasMetrics_)
+        doc.set("metrics", metrics_);
+    return doc;
+}
+
+void
+RunReportBuilder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    require(out.good(), "run report: cannot open '", path,
+            "' for writing");
+    out << build().dump(2) << "\n";
+    require(out.good(), "run report: write to '", path, "' failed");
+}
+
+} // namespace amped::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Structured run report: one JSON document unifying the analytical
+ * breakdown, simulator outcomes, failure accounting, and a metrics
+ * snapshot behind a versioned schema.
+ *
+ * Schema (version 1), all sections optional except the envelope:
+ *
+ *     {
+ *       "schema_version": 1,
+ *       "generator": "amped",
+ *       "config": { ... caller-provided echo of the inputs ... },
+ *       "analytical": {
+ *         "time_per_batch_seconds": ...,
+ *         "breakdown": { "<phase label>": seconds, ... },
+ *         "breakdown_total_seconds": ...,   // == time_per_batch
+ *         "num_batches": ..., "total_time_seconds": ...,
+ *         "training_days": ..., "microbatch_size": ...,
+ *         "num_microbatches": ..., "efficiency": ...,
+ *         "achieved_flops_per_gpu": ..., "tokens_per_second": ...
+ *       },
+ *       "simulations": [ {
+ *         "label": ..., "step_time_seconds": ...,
+ *         "makespan_seconds": ..., "task_count": ...,
+ *         "tasks_by_category": { "forward": n, ... },
+ *         "devices": [ {"name":..., "utilization":...,
+ *                       "busy_seconds":...} ],
+ *         "failure": { ... only under fault injection ... }
+ *       } ],
+ *       "metrics": { "<name>": value, ... }   // deterministic render
+ *     }
+ *
+ * Numbers are emitted exactly (shortest round-trip doubles), so the
+ * analytical section reproduces `core::AmpedModel` results to the
+ * last bit — the acceptance bar of matching the model to 1e-9 holds
+ * by construction.
+ */
+
+#ifndef AMPED_OBS_RUN_REPORT_HPP
+#define AMPED_OBS_RUN_REPORT_HPP
+
+#include <string>
+
+#include "core/amped_model.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/training_sim.hpp"
+
+namespace amped::obs {
+
+/** Current run-report schema version. */
+constexpr int kRunReportSchemaVersion = 1;
+
+/** The `analytical` section for one model evaluation. */
+Json analyticalJson(const core::EvaluationResult &result);
+
+/** One entry of the `simulations` array. */
+Json simulationJson(const std::string &label,
+                    const sim::SimOutcome &outcome);
+
+/**
+ * The `metrics` section: a flat name→value object from the
+ * registry's snapshot.  @p mode deterministic keeps the report
+ * byte-stable across thread counts (timing histograms contribute
+ * only their counts).
+ */
+Json metricsJson(const MetricsRegistry &registry, RenderMode mode);
+
+/** Assembles the versioned envelope. */
+class RunReportBuilder
+{
+  public:
+    RunReportBuilder();
+
+    /** Echoes the run inputs (free-form object). */
+    RunReportBuilder &setConfig(Json config);
+
+    /** Fills the analytical section from a model evaluation. */
+    RunReportBuilder &setAnalytical(const core::EvaluationResult &r);
+
+    /** Appends one simulated schedule. */
+    RunReportBuilder &addSimulation(const std::string &label,
+                                    const sim::SimOutcome &outcome);
+
+    /** Attaches a metrics snapshot (deterministic render). */
+    RunReportBuilder &setMetrics(const MetricsRegistry &registry,
+                                 RenderMode mode =
+                                     RenderMode::deterministic);
+
+    /** The final document. */
+    Json build() const;
+
+    /** Writes `build()` (2-space indent) to @p path. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    Json config_;
+    Json analytical_;
+    Json simulations_;
+    Json metrics_;
+    bool hasConfig_ = false;
+    bool hasAnalytical_ = false;
+    bool hasMetrics_ = false;
+};
+
+} // namespace amped::obs
+
+#endif // AMPED_OBS_RUN_REPORT_HPP

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace amped {
 namespace sim {
@@ -18,6 +19,15 @@ SimResult::utilization(ResourceId id) const
     if (makespan <= 0.0)
         return 0.0;
     return resources[id].busyTime / makespan;
+}
+
+double
+SimResult::deliveredAt(TaskId task) const
+{
+    require(task >= 0 &&
+                task < static_cast<TaskId>(deliveryTime.size()),
+            "deliveredAt: invalid task id ", task);
+    return deliveryTime[task];
 }
 
 namespace {
@@ -78,8 +88,11 @@ describeNeverReady(const TaskGraph &graph,
             continue;
         if (listed > 0)
             described += ", ";
-        described += "#" + std::to_string(t) + " '"
-            + graph.task(static_cast<TaskId>(t)).label + "'";
+        described += "#";
+        described += std::to_string(t);
+        described += " '";
+        described += graph.task(static_cast<TaskId>(t)).label;
+        described += "'";
         ++listed;
     }
     if (never_ready > listed) {
@@ -112,6 +125,18 @@ SimResult
 Engine::runImpl(TaskGraph &graph, const FaultPlan *plan,
                 FailureOutcome *outcome) const
 {
+    auto &metrics = obs::MetricsRegistry::global();
+    static obs::Counter &runs_counter =
+        metrics.counter("sim.engine.runs");
+    static obs::Counter &tasks_counter =
+        metrics.counter("sim.engine.tasks_completed");
+    static obs::Counter &failures_counter =
+        metrics.counter("sim.engine.failures_applied");
+    static obs::Histogram &run_seconds =
+        metrics.histogram("sim.engine.run.seconds", true);
+    runs_counter.add(1);
+    obs::ScopedTimer timer(run_seconds);
+
     const std::size_t n_tasks = graph.taskCount();
     const std::size_t n_resources = graph.resourceCount();
 
@@ -150,6 +175,7 @@ Engine::runImpl(TaskGraph &graph, const FaultPlan *plan,
 
     SimResult result;
     result.resources.resize(n_resources);
+    result.deliveryTime.assign(n_tasks, -1.0);
     std::vector<ResourceState> states(n_resources);
     std::vector<char> dead(n_resources, 0);
     std::vector<char> aborted(plan != nullptr ? n_tasks : 0, 0);
@@ -208,6 +234,7 @@ Engine::runImpl(TaskGraph &graph, const FaultPlan *plan,
             if (plan != nullptr && aborted[ev.task])
                 break;
             ++completed;
+            result.deliveryTime[ev.task] = ev.time;
             result.makespan = std::max(result.makespan, ev.time);
             for (TaskId succ : graph.task(ev.task).successors) {
                 AMPED_ASSERT(remaining[succ] > 0,
@@ -224,6 +251,7 @@ Engine::runImpl(TaskGraph &graph, const FaultPlan *plan,
                 break;
             dead[rid] = 1;
             ++outcome->failuresApplied;
+            outcome->events.push_back(FailureEvent{rid, ev.time});
             if (outcome->failuresApplied == 1) {
                 outcome->firstFailureTime = ev.time;
                 outcome->firstFailedResource = rid;
@@ -259,6 +287,10 @@ Engine::runImpl(TaskGraph &graph, const FaultPlan *plan,
           }
         }
     }
+
+    tasks_counter.add(completed);
+    if (outcome != nullptr)
+        failures_counter.add(outcome->failuresApplied);
 
     if (outcome != nullptr) {
         outcome->failed = completed != n_tasks;

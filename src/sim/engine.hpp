@@ -42,8 +42,19 @@ struct SimResult
     double makespan = 0.0;             ///< Last delivery time.
     std::vector<ResourceStats> resources; ///< Indexed by ResourceId.
 
+    /**
+     * Delivery instant of each task, indexed by TaskId; -1 for tasks
+     * that never delivered (aborted or unreached under faults).
+     * Trace export pairs these with busy intervals to draw
+     * send→receive flow edges.
+     */
+    std::vector<double> deliveryTime;
+
     /** Busy fraction of a resource: busy / makespan (0 if empty). */
     double utilization(ResourceId id) const;
+
+    /** Delivery instant of @p task, or -1 if it never delivered. */
+    double deliveredAt(TaskId task) const;
 };
 
 /** Outcome of a fault-injected run: schedule + failure accounting. */

@@ -188,6 +188,14 @@ struct FailureOutcome
      * would have to redo.  0 when the run completed.
      */
     double wastedWallSeconds = 0.0;
+
+    /**
+     * The failure events that were actually applied to live
+     * resources, in application order (trace export renders them as
+     * instant events).  A subset of the plan: events scheduled on an
+     * already-dead resource are skipped.
+     */
+    std::vector<FailureEvent> events;
 };
 
 } // namespace sim

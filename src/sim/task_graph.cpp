@@ -23,7 +23,7 @@ TaskGraph::addChannel(std::string name)
 
 TaskId
 TaskGraph::addCompute(ResourceId device, double duration,
-                      std::string label)
+                      std::string label, std::string category)
 {
     require(device >= 0 &&
                 device < static_cast<ResourceId>(resources_.size()),
@@ -36,6 +36,7 @@ TaskGraph::addCompute(ResourceId device, double duration,
     task.resource = device;
     task.duration = duration;
     task.label = std::move(label);
+    task.category = std::move(category);
     tasks_.push_back(std::move(task));
     return static_cast<TaskId>(tasks_.size() - 1);
 }
@@ -43,7 +44,7 @@ TaskGraph::addCompute(ResourceId device, double duration,
 TaskId
 TaskGraph::addTransfer(ResourceId channel, double bits,
                        double bandwidth_bits, double latency,
-                       std::string label)
+                       std::string label, std::string category)
 {
     require(channel >= 0 &&
                 channel < static_cast<ResourceId>(resources_.size()),
@@ -60,6 +61,7 @@ TaskGraph::addTransfer(ResourceId channel, double bits,
     task.duration = bits / bandwidth_bits;
     task.latency = latency;
     task.label = std::move(label);
+    task.category = std::move(category);
     tasks_.push_back(std::move(task));
     return static_cast<TaskId>(tasks_.size() - 1);
 }

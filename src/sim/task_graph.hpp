@@ -56,6 +56,10 @@ struct Task
     double duration = 0.0;     ///< Occupancy time in seconds.
     double latency = 0.0;      ///< Post-occupancy delivery delay.
     std::string label;         ///< For traces and debugging.
+    /// Coarse schedule phase for trace export ("forward",
+    /// "backward", "update", "collective", "p2p", ...).  Optional;
+    /// empty means unclassified.
+    std::string category;
     std::vector<TaskId> successors; ///< Dependent tasks.
     std::int32_t dependencyCount = 0; ///< Incoming edge count.
 };
@@ -85,9 +89,10 @@ class TaskGraph
      * @param device A device resource id.
      * @param duration Seconds of occupancy; >= 0.
      * @param label Trace label.
+     * @param category Optional schedule phase for trace export.
      */
     TaskId addCompute(ResourceId device, double duration,
-                      std::string label);
+                      std::string label, std::string category = {});
 
     /**
      * Adds a transfer task.
@@ -97,10 +102,11 @@ class TaskGraph
      * @param bandwidth_bits Channel bandwidth in bits/s; > 0.
      * @param latency Link latency in seconds; >= 0.
      * @param label Trace label.
+     * @param category Optional schedule phase for trace export.
      */
     TaskId addTransfer(ResourceId channel, double bits,
                        double bandwidth_bits, double latency,
-                       std::string label);
+                       std::string label, std::string category = {});
 
     /**
      * Adds a dependency: @p successor cannot start before

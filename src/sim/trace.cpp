@@ -32,7 +32,16 @@ renderUtilizationTimeline(const SimResult &result,
 {
     require(width >= 1, "renderUtilizationTimeline: width must be >= 1");
     require(devices.size() == names.size(),
-            "renderUtilizationTimeline: need one name per device");
+            "renderUtilizationTimeline: need one name per device "
+            "(got ", devices.size(), " devices, ", names.size(),
+            " names)");
+    for (const ResourceId id : devices) {
+        require(id >= 0 && id < static_cast<ResourceId>(
+                                    result.resources.size()),
+                "renderUtilizationTimeline: device id ", id,
+                " out of range (result has ",
+                result.resources.size(), " resources)");
+    }
     if (result.makespan <= 0.0)
         return "(empty trace)\n";
 

@@ -49,14 +49,21 @@ SimOutcome
 TrainingSimulator::finishRun(TaskGraph &graph,
                              const std::vector<ResourceId> &devices) const
 {
+    // The graph moves into shared ownership so the outcome can carry
+    // it for trace export; the caller's graph is left moved-from.
+    auto shared = std::make_shared<TaskGraph>(std::move(graph));
     Engine engine;
-    if (!faultSpec_)
-        return makeOutcome(engine.run(graph), devices);
-    const FaultPlan plan = FaultPlan::generate(graph, *faultSpec_);
-    FaultSimResult fault_run = engine.run(graph, plan);
-    SimOutcome outcome =
-        makeOutcome(std::move(fault_run.result), devices);
-    outcome.failure = fault_run.failure;
+    SimOutcome outcome;
+    if (!faultSpec_) {
+        outcome = makeOutcome(engine.run(*shared), devices);
+    } else {
+        const FaultPlan plan =
+            FaultPlan::generate(*shared, *faultSpec_);
+        FaultSimResult fault_run = engine.run(*shared, plan);
+        outcome = makeOutcome(std::move(fault_run.result), devices);
+        outcome.failure = std::move(fault_run.failure);
+    }
+    outcome.graph = std::move(shared);
     return outcome;
 }
 
@@ -114,7 +121,7 @@ TrainingSimulator::appendRingAllReduce(
             label << label_prefix << "-step" << step << "-d" << d;
             const TaskId transfer = graph.addTransfer(
                 channels[d], chunk_bits, link_.bandwidthBits,
-                link_.latencySeconds, label.str());
+                link_.latencySeconds, label.str(), "collective");
             // The sender must hold the chunk from the previous step.
             graph.addDependency(previous[d], transfer);
             received[to] = transfer;
@@ -156,7 +163,8 @@ TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
                 layerForwardTime(l, per_device_batch, eff);
             const TaskId task = graph.addCompute(
                 device_ids[d], fwd,
-                "fwd-l" + std::to_string(l) + "-d" + std::to_string(d));
+                "fwd-l" + std::to_string(l) + "-d" + std::to_string(d),
+                "forward");
             if (prev >= 0)
                 graph.addDependency(prev, task);
             prev = task;
@@ -167,7 +175,8 @@ TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
                 layerForwardTime(l, per_device_batch, eff);
             const TaskId task = graph.addCompute(
                 device_ids[d], bwd,
-                "bwd-l" + std::to_string(l) + "-d" + std::to_string(d));
+                "bwd-l" + std::to_string(l) + "-d" + std::to_string(d),
+                "backward");
             graph.addDependency(prev, task);
             prev = task;
         }
@@ -188,7 +197,8 @@ TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
                                                   eff, l);
         }
         const TaskId task = graph.addCompute(
-            device_ids[d], update, "update-d" + std::to_string(d));
+            device_ids[d], update, "update-d" + std::to_string(d),
+            "update");
         graph.addDependency(reduced[d], task);
     }
 
@@ -247,7 +257,8 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
             const TaskId task = graph.addCompute(
                 devices[n][d], (1.0 + backwardMultiplier_) * fwd,
                 "fwd+bwd-n" + std::to_string(n) + "g" +
-                    std::to_string(d));
+                    std::to_string(d),
+                "compute");
             done[n][d] = task;
         }
     }
@@ -277,7 +288,8 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
                     inter_link.bandwidthBits,
                     inter_link.latencySeconds,
                     "inter-ar-s" + std::to_string(step) + "-n" +
-                        std::to_string(n));
+                        std::to_string(n),
+                    "collective");
                 graph.addDependency(previous[n], transfer);
                 received[(n + 1) % nodes] = transfer;
             }
@@ -298,7 +310,8 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
                 grad_bits / static_cast<double>(devices_per_node),
                 link_.bandwidthBits, link_.latencySeconds,
                 "bcast-n" + std::to_string(n) + "-" +
-                    std::to_string(d));
+                    std::to_string(d),
+                "collective");
             graph.addDependency(previous, transfer);
             previous = transfer;
         }
@@ -385,7 +398,8 @@ TrainingSimulator::simulateDataPipelineStep(
                 const TaskId task = graph.addCompute(
                     devices[r][s], stage_fwd[s],
                     "f-r" + std::to_string(r) + "m" +
-                        std::to_string(m) + "s" + std::to_string(s));
+                        std::to_string(m) + "s" + std::to_string(s),
+                    "forward");
                 fwd[s][m] = task;
                 if (s > 0) {
                     const TaskId transfer = graph.addTransfer(
@@ -393,7 +407,8 @@ TrainingSimulator::simulateDataPipelineStep(
                         link_.bandwidthBits, link_.latencySeconds,
                         "fx-r" + std::to_string(r) + "m" +
                             std::to_string(m) + "s" +
-                            std::to_string(s - 1));
+                            std::to_string(s - 1),
+                        "p2p");
                     graph.addDependency(fwd[s - 1][m], transfer);
                     graph.addDependency(transfer, task);
                 }
@@ -407,7 +422,8 @@ TrainingSimulator::simulateDataPipelineStep(
                     devices[r][s],
                     backwardMultiplier_ * stage_fwd[s],
                     "b-r" + std::to_string(r) + "m" +
-                        std::to_string(m) + "s" + std::to_string(s));
+                        std::to_string(m) + "s" + std::to_string(s),
+                    "backward");
                 bwd[s][m] = task;
                 graph.addDependency(fwd[s][m], task);
                 if (s < stages - 1) {
@@ -416,7 +432,8 @@ TrainingSimulator::simulateDataPipelineStep(
                         link_.latencySeconds,
                         "bx-r" + std::to_string(r) + "m" +
                             std::to_string(m) + "s" +
-                            std::to_string(s + 1));
+                            std::to_string(s + 1),
+                        "p2p");
                     graph.addDependency(bwd[s + 1][m], transfer);
                     graph.addDependency(transfer, task);
                 }
@@ -446,7 +463,8 @@ TrainingSimulator::simulateDataPipelineStep(
                         dp_link.latencySeconds,
                         "dpar-s" + std::to_string(s) + "-" +
                             std::to_string(step) + "-" +
-                            std::to_string(r));
+                            std::to_string(r),
+                        "collective");
                     graph.addDependency(previous[r], transfer);
                     received[(r + 1) % replicas] = transfer;
                 }
@@ -467,7 +485,8 @@ TrainingSimulator::simulateDataPipelineStep(
             const TaskId task = graph.addCompute(
                 devices[r][s], update,
                 "upd-r" + std::to_string(r) + "s" +
-                    std::to_string(s));
+                    std::to_string(s),
+                "update");
             graph.addDependency(reduced[r], task);
         }
     }
@@ -504,7 +523,8 @@ TrainingSimulator::simulateAllToAll(std::int64_t participants,
     std::vector<TaskId> previous(participants);
     for (std::int64_t p = 0; p < participants; ++p) {
         previous[p] = graph.addCompute(device_ids[p], 0.0,
-                                       "ready" + std::to_string(p));
+                                       "ready" + std::to_string(p),
+                                       "compute");
     }
     const double chunk_bits = participants > 1
                                   ? elements * bits_per_element /
@@ -518,7 +538,8 @@ TrainingSimulator::simulateAllToAll(std::int64_t participants,
                 egress[p], chunk_bits, link.bandwidthBits,
                 link.latencySeconds,
                 "a2a-r" + std::to_string(round) + "-p" +
-                    std::to_string(p));
+                    std::to_string(p),
+                "a2a");
             graph.addDependency(previous[p], transfer);
             received[to] = transfer;
         }
@@ -571,7 +592,8 @@ TrainingSimulator::simulateMoeStep(
                     egress[n], chunk, inter_link.bandwidthBits,
                     inter_link.latencySeconds,
                     tag + "-r" + std::to_string(round) + "-n" +
-                        std::to_string(n));
+                        std::to_string(n),
+                    "a2a");
                 graph.addDependency(previous[n], transfer);
                 received[to] = transfer;
             }
@@ -604,7 +626,8 @@ TrainingSimulator::simulateMoeStep(
                     multiplier *
                         layerForwardTime(l, per_node_batch, eff),
                     tag + "-l" + std::to_string(l) + "-n" +
-                        std::to_string(n));
+                        std::to_string(n),
+                    tag == "fwd" ? "forward" : "backward");
                 if (frontier[n] >= 0)
                     graph.addDependency(frontier[n], task);
                 computes[n] = task;
@@ -685,14 +708,16 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
         for (std::int64_t s = 0; s < stages; ++s) {
             const TaskId task = graph.addCompute(
                 device_ids[s], stage_fwd_time[s],
-                "fwd-m" + std::to_string(m) + "-s" + std::to_string(s));
+                "fwd-m" + std::to_string(m) + "-s" + std::to_string(s),
+                "forward");
             fwd[s][m] = task;
             if (s > 0) {
                 const TaskId transfer = graph.addTransfer(
                     fwd_channels[s - 1], act_bits, link_.bandwidthBits,
                     link_.latencySeconds,
                     "fwd-xfer-m" + std::to_string(m) + "-s" +
-                        std::to_string(s - 1));
+                        std::to_string(s - 1),
+                    "p2p");
                 graph.addDependency(fwd[s - 1][m], transfer);
                 graph.addDependency(transfer, task);
             }
@@ -707,7 +732,8 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
         for (std::int64_t s = stages - 1; s >= 0; --s) {
             const TaskId task = graph.addCompute(
                 device_ids[s], backwardMultiplier_ * stage_fwd_time[s],
-                "bwd-m" + std::to_string(m) + "-s" + std::to_string(s));
+                "bwd-m" + std::to_string(m) + "-s" + std::to_string(s),
+                "backward");
             bwd[s][m] = task;
             // The stage's own forward of this microbatch must be done.
             graph.addDependency(fwd[s][m], task);
@@ -716,7 +742,8 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
                     bwd_channels[s], act_bits, link_.bandwidthBits,
                     link_.latencySeconds,
                     "bwd-xfer-m" + std::to_string(m) + "-s" +
-                        std::to_string(s + 1));
+                        std::to_string(s + 1),
+                    "p2p");
                 graph.addDependency(bwd[s + 1][m], transfer);
                 graph.addDependency(transfer, task);
             }
@@ -733,7 +760,8 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
                                                   eff, layer);
         }
         const TaskId task = graph.addCompute(
-            device_ids[s], update, "update-s" + std::to_string(s));
+            device_ids[s], update, "update-s" + std::to_string(s),
+            "update");
         graph.addDependency(bwd[s][num_microbatches - 1], task);
     }
 
@@ -824,7 +852,8 @@ TrainingSimulator::simulateTensorParallelStep(std::int64_t devices,
                         device_ids[d], shard / 2.0,
                         tag + "-l" + std::to_string(l) + "-h" +
                             std::to_string(half) + "-d" +
-                            std::to_string(d));
+                            std::to_string(d),
+                        tag == "fwd" ? "forward" : "backward");
                     if (frontier[d] >= 0)
                         graph.addDependency(frontier[d], task);
                     computes[d] = task;

@@ -26,6 +26,7 @@
 #define AMPED_SIM_TRAINING_SIM_HPP
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -55,6 +56,14 @@ struct SimOutcome
      * fault-free runs.
      */
     FailureOutcome failure;
+
+    /**
+     * The executed task graph (labels, categories, dependency
+     * edges), kept alive for trace export: the Chrome-trace exporter
+     * joins raw.resources intervals and raw.deliveryTime against the
+     * tasks by id.  Never null after a simulate* call.
+     */
+    std::shared_ptr<const TaskGraph> graph;
 
     /**
      * Peak simultaneously-live microbatches per pipeline stage

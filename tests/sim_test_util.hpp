@@ -67,6 +67,19 @@ struct RandomGraph
     std::size_t numResources = 0;
 };
 
+/**
+ * `prefix + std::to_string(i)` via appends.  operator+(const char*,
+ * std::string&&) trips a GCC 12 -Wrestrict false positive once the
+ * surrounding calls inline; plain appends don't.
+ */
+inline std::string
+indexedName(const char *prefix, std::int64_t i)
+{
+    std::string name(prefix);
+    name += std::to_string(i);
+    return name;
+}
+
 /** Random layered DAG: edges only go to later tasks (acyclic). */
 inline RandomGraph
 makeRandomGraph(Rng &rng)
@@ -77,10 +90,10 @@ makeRandomGraph(Rng &rng)
     std::vector<ResourceId> devices, channels;
     for (std::int64_t d = 0; d < n_devices; ++d)
         devices.push_back(
-            out.graph.addDevice("d" + std::to_string(d)));
+            out.graph.addDevice(indexedName("d", d)));
     for (std::int64_t c = 0; c < n_channels; ++c)
         channels.push_back(
-            out.graph.addChannel("c" + std::to_string(c)));
+            out.graph.addChannel(indexedName("c", c)));
     out.numResources =
         static_cast<std::size_t>(n_devices + n_channels);
 
@@ -91,7 +104,7 @@ makeRandomGraph(Rng &rng)
             const auto device = devices[static_cast<std::size_t>(
                 rng.uniformInt(0, n_devices - 1))];
             out.graph.addCompute(device, duration,
-                                 "t" + std::to_string(t));
+                                 indexedName("t", t));
             out.durations.push_back(duration);
             out.latencies.push_back(0.0);
             out.taskOwner.push_back(device);
@@ -102,7 +115,7 @@ makeRandomGraph(Rng &rng)
             const auto channel = channels[static_cast<std::size_t>(
                 rng.uniformInt(0, n_channels - 1))];
             out.graph.addTransfer(channel, bits, bw, latency,
-                                  "t" + std::to_string(t));
+                                  indexedName("t", t));
             out.durations.push_back(bits / bw);
             out.latencies.push_back(latency);
             out.taskOwner.push_back(channel);

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the structured run report: schema envelope, the
+ * acceptance bar that the serialized analytical breakdown reproduces
+ * `core::AmpedModel` to 1e-9, and the simulation/metrics sections.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/amped_model.hpp"
+#include "hw/presets.hpp"
+#include "mapping/parallelism.hpp"
+#include "model/presets.hpp"
+#include "net/system_config.hpp"
+#include "obs/run_report.hpp"
+#include "sim/training_sim.hpp"
+
+namespace amped {
+namespace obs {
+namespace {
+
+net::SystemConfig
+testSystem()
+{
+    net::SystemConfig sys;
+    sys.name = "test-2x4";
+    sys.numNodes = 2;
+    sys.acceleratorsPerNode = 4;
+    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
+    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.nicsPerNode = 4;
+    return sys;
+}
+
+core::EvaluationResult
+testEvaluation()
+{
+    const core::AmpedModel model(model::presets::tinyTest(),
+                                 hw::presets::tinyTest(),
+                                 hw::MicrobatchEfficiency(0.8, 4.0),
+                                 testSystem());
+    core::TrainingJob job;
+    job.batchSize = 64.0;
+    job.numBatchesOverride = 100.0;
+    return model.evaluate(mapping::makeMapping(4, 1, 1, 1, 2, 1),
+                          job);
+}
+
+sim::SimOutcome
+testOutcome()
+{
+    sim::TrainingSimulator simulator(
+        model::presets::tinyTest(), hw::presets::tinyTest(),
+        hw::MicrobatchEfficiency(0.8, 4.0),
+        net::LinkConfig{"intra", 1e-6, 2.4e12});
+    return simulator.simulateDataParallelStep(4, 8.0);
+}
+
+TEST(RunReportTest, AnalyticalBreakdownMatchesModelTo1em9)
+{
+    const auto result = testEvaluation();
+    const Json section = analyticalJson(result);
+
+    // The serialized numbers must reproduce the evaluator exactly:
+    // sum the breakdown back up *from the JSON* and compare.
+    double total = 0.0;
+    for (const auto &[label, seconds] :
+         section.at("breakdown").members())
+        total += seconds.asDouble();
+    EXPECT_NEAR(total, result.timePerBatch, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        section.at("time_per_batch_seconds").asDouble(),
+        result.timePerBatch);
+    EXPECT_DOUBLE_EQ(
+        section.at("breakdown_total_seconds").asDouble(),
+        result.perBatch.total());
+
+    // ... and survive a serialize -> parse round trip bit-exactly.
+    const Json reparsed = Json::parse(section.dump(2));
+    EXPECT_DOUBLE_EQ(
+        reparsed.at("time_per_batch_seconds").asDouble(),
+        result.timePerBatch);
+    EXPECT_DOUBLE_EQ(reparsed.at("training_days").asDouble(),
+                     result.trainingDays());
+}
+
+TEST(RunReportTest, AnalyticalSectionHasAllSchemaFields)
+{
+    const Json section = analyticalJson(testEvaluation());
+    for (const char *field :
+         {"time_per_batch_seconds", "breakdown",
+          "breakdown_total_seconds", "computation_seconds",
+          "communication_seconds", "num_batches",
+          "total_time_seconds", "training_days", "microbatch_size",
+          "num_microbatches", "efficiency",
+          "achieved_flops_per_gpu", "tokens_per_second"})
+        EXPECT_TRUE(section.contains(field)) << field;
+}
+
+TEST(RunReportTest, SimulationSectionCountsTasksAndDevices)
+{
+    const auto outcome = testOutcome();
+    const Json section = simulationJson("dp4", outcome);
+    EXPECT_EQ(section.at("label").asString(), "dp4");
+    EXPECT_DOUBLE_EQ(section.at("step_time_seconds").asDouble(),
+                     outcome.stepTime);
+    EXPECT_EQ(section.at("task_count").asInt(),
+              static_cast<std::int64_t>(outcome.graph->taskCount()));
+    EXPECT_EQ(section.at("devices").size(), 4u);
+    // Every graph task lands in exactly one category bucket.
+    std::int64_t categorized = 0;
+    for (const auto &[category, count] :
+         section.at("tasks_by_category").members())
+        categorized += count.asInt();
+    EXPECT_EQ(categorized, section.at("task_count").asInt());
+    // Fault-free run: no failure section.
+    EXPECT_FALSE(section.contains("failure"));
+}
+
+TEST(RunReportTest, SimulationSectionRequiresGraph)
+{
+    sim::SimOutcome empty;
+    EXPECT_THROW(simulationJson("bad", empty), UserError);
+}
+
+TEST(RunReportTest, MetricsSectionFollowsRenderMode)
+{
+    MetricsRegistry registry;
+    registry.counter("runs").add(2);
+    registry.histogram("wait.seconds", true).observe(0.25);
+
+    const Json det =
+        metricsJson(registry, RenderMode::deterministic);
+    EXPECT_EQ(det.at("runs").asInt(), 2);
+    EXPECT_EQ(det.at("wait.seconds.count").asInt(), 1);
+    EXPECT_FALSE(det.contains("wait.seconds.sum"));
+
+    const Json full = metricsJson(registry, RenderMode::full);
+    EXPECT_DOUBLE_EQ(full.at("wait.seconds.sum").asDouble(), 0.25);
+}
+
+TEST(RunReportTest, BuilderAssemblesVersionedEnvelope)
+{
+    MetricsRegistry registry;
+    registry.counter("runs").add(1);
+
+    RunReportBuilder builder;
+    builder.setConfig(Json::object().set("model", "tiny"))
+        .setAnalytical(testEvaluation())
+        .addSimulation("dp4", testOutcome())
+        .setMetrics(registry);
+    const Json report = builder.build();
+
+    EXPECT_EQ(report.at("schema_version").asInt(),
+              kRunReportSchemaVersion);
+    EXPECT_EQ(report.at("generator").asString(), "amped");
+    EXPECT_EQ(report.at("config").at("model").asString(), "tiny");
+    EXPECT_EQ(report.at("simulations").size(), 1u);
+    EXPECT_EQ(report.at("metrics").at("runs").asInt(), 1);
+    // Envelope order is fixed by the schema: version first.
+    EXPECT_EQ(report.members()[0].first, "schema_version");
+
+    // The document is valid JSON end to end.
+    const std::string text = report.dump(2);
+    EXPECT_EQ(Json::parse(text).dump(2), text);
+}
+
+TEST(RunReportTest, EmptyBuilderStillEmitsEnvelope)
+{
+    const Json report = RunReportBuilder().build();
+    EXPECT_EQ(report.at("schema_version").asInt(),
+              kRunReportSchemaVersion);
+    EXPECT_FALSE(report.contains("config"));
+    EXPECT_FALSE(report.contains("analytical"));
+    EXPECT_FALSE(report.contains("simulations"));
+    EXPECT_FALSE(report.contains("metrics"));
+}
+
+} // namespace
+} // namespace obs
+} // namespace amped

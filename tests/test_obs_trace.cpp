@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event exporter: document validity
+ * (parse round-trip), monotonic timestamps, flow-event pairing, and
+ * failure instants — the trace-side acceptance criteria of the
+ * observability subsystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/task_graph.hpp"
+
+namespace amped {
+namespace obs {
+namespace {
+
+/**
+ * Two devices linked by one channel: fwd on gpu0, a transfer, then
+ * bwd on gpu1.  The transfer edge is what produces the flow pair.
+ */
+sim::TaskGraph
+makePipelineGraph()
+{
+    sim::TaskGraph graph;
+    const auto d0 = graph.addDevice("gpu0");
+    const auto d1 = graph.addDevice("gpu1");
+    const auto ch = graph.addChannel("link01");
+    const auto fwd = graph.addCompute(d0, 1.0, "fwd", "forward");
+    const auto xfer = graph.addTransfer(ch, 8e9, 1e10, 1e-6,
+                                        "act-xfer", "p2p");
+    const auto bwd = graph.addCompute(d1, 2.0, "bwd", "backward");
+    graph.addDependency(fwd, xfer);
+    graph.addDependency(xfer, bwd);
+    return graph;
+}
+
+TEST(ChromeTraceTest, DocumentParsesAndRoundTrips)
+{
+    auto graph = makePipelineGraph();
+    sim::Engine engine;
+    const auto result = engine.run(graph);
+
+    ChromeTraceBuilder builder;
+    builder.addRun(graph, result, "pipe");
+    EXPECT_GT(builder.eventCount(), 0u);
+
+    const std::string text = builder.toJsonString();
+    const Json doc = Json::parse(text);
+    EXPECT_TRUE(doc.contains("traceEvents"));
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    // Serialization is a fixpoint: parse(dump) == dump.
+    EXPECT_EQ(doc.dump(2) + "\n", text);
+}
+
+TEST(ChromeTraceTest, TimestampsAreMonotonicAndScaledToMicros)
+{
+    auto graph = makePipelineGraph();
+    sim::Engine engine;
+    const auto result = engine.run(graph);
+
+    ChromeTraceBuilder builder;
+    builder.addRun(graph, result, "pipe");
+    const Json doc = builder.build();
+    double previous = -1.0;
+    double max_end = 0.0;
+    for (const Json &event : doc.at("traceEvents").items()) {
+        if (!event.contains("ts"))
+            continue; // metadata events carry no timestamp
+        const double ts = event.at("ts").asDouble();
+        EXPECT_GE(ts, previous);
+        previous = ts;
+        if (event.at("ph").asString() == "X")
+            max_end = std::max(max_end,
+                               ts + event.at("dur").asDouble());
+    }
+    // Simulator seconds are scaled by 1e6: the pipeline makespan in
+    // microseconds bounds every slice end.
+    EXPECT_NEAR(max_end, result.makespan * 1e6, 1e-6);
+    EXPECT_GT(max_end, 2e6); // fwd (1 s) + bwd (2 s) at least
+}
+
+TEST(ChromeTraceTest, SliceEventsCarryLabelsAndCategories)
+{
+    auto graph = makePipelineGraph();
+    sim::Engine engine;
+    const auto result = engine.run(graph);
+
+    ChromeTraceBuilder builder;
+    builder.addRun(graph, result, "pipe");
+    const Json doc = builder.build();
+    bool saw_fwd = false;
+    for (const Json &event : doc.at("traceEvents").items()) {
+        if (event.at("ph").asString() != "X")
+            continue;
+        if (event.at("name").asString() == "fwd") {
+            saw_fwd = true;
+            EXPECT_EQ(event.at("cat").asString(), "forward");
+            EXPECT_DOUBLE_EQ(event.at("dur").asDouble(), 1e6);
+        }
+    }
+    EXPECT_TRUE(saw_fwd);
+}
+
+TEST(ChromeTraceTest, FlowEventsPairUpPerTransferEdge)
+{
+    auto graph = makePipelineGraph();
+    sim::Engine engine;
+    const auto result = engine.run(graph);
+
+    ChromeTraceBuilder builder;
+    builder.addRun(graph, result, "pipe");
+    const Json doc = builder.build();
+    std::vector<std::int64_t> starts;
+    std::vector<std::int64_t> finishes;
+    for (const Json &event : doc.at("traceEvents").items()) {
+        const std::string ph = event.at("ph").asString();
+        if (ph == "s")
+            starts.push_back(event.at("id").asInt());
+        else if (ph == "f")
+            finishes.push_back(event.at("id").asInt());
+    }
+    // One transfer edge -> exactly one send/receive arrow, with the
+    // same flow id on both halves.
+    ASSERT_EQ(starts.size(), 1u);
+    std::sort(starts.begin(), starts.end());
+    std::sort(finishes.begin(), finishes.end());
+    EXPECT_EQ(starts, finishes);
+}
+
+TEST(ChromeTraceTest, FailuresBecomeInstantEvents)
+{
+    auto graph = makePipelineGraph();
+    sim::Engine engine;
+    const auto result = engine.run(graph);
+
+    ChromeTraceBuilder builder;
+    builder.addRun(graph, result, "faulty",
+                   {sim::FailureEvent{0, 0.5}});
+    const Json doc = builder.build();
+    std::size_t instants = 0;
+    for (const Json &event : doc.at("traceEvents").items()) {
+        if (event.at("ph").asString() != "i")
+            continue;
+        ++instants;
+        EXPECT_DOUBLE_EQ(event.at("ts").asDouble(), 0.5e6);
+    }
+    EXPECT_EQ(instants, 1u);
+}
+
+TEST(ChromeTraceTest, RunsGetDistinctPids)
+{
+    auto graph = makePipelineGraph();
+    sim::Engine engine;
+    const auto result = engine.run(graph);
+
+    ChromeTraceBuilder builder;
+    builder.addRun(graph, result, "first");
+    builder.addRun(graph, result, "second");
+    const Json doc = builder.build();
+    std::vector<std::int64_t> pids;
+    for (const Json &event : doc.at("traceEvents").items())
+        if (event.at("ph").asString() == "X")
+            pids.push_back(event.at("pid").asInt());
+    ASSERT_FALSE(pids.empty());
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+    EXPECT_EQ(pids.size(), 2u);
+}
+
+TEST(ChromeTraceTest, MismatchedResultAndGraphThrow)
+{
+    auto graph = makePipelineGraph();
+    sim::Engine engine;
+    const auto result = engine.run(graph);
+
+    sim::TaskGraph other;
+    other.addDevice("lonely");
+    other.addCompute(0, 1.0, "only");
+    ChromeTraceBuilder builder;
+    EXPECT_THROW(builder.addRun(other, result, "bad"), UserError);
+}
+
+} // namespace
+} // namespace obs
+} // namespace amped

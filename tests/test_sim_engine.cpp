@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "sim/engine.hpp"
 #include "sim/task_graph.hpp"
+#include "sim_test_util.hpp"
 
 namespace amped {
 namespace sim {
@@ -115,7 +116,7 @@ TEST(EngineTest, FifoOrderIsDeterministic)
         TaskGraph graph;
         const auto dev = graph.addDevice("d0");
         for (int i = 0; i < 10; ++i)
-            graph.addCompute(dev, 1.0, "t" + std::to_string(i));
+            graph.addCompute(dev, 1.0, testutil::indexedName("t", i));
         Engine engine;
         const auto result = engine.run(graph);
         ASSERT_EQ(result.resources[dev].intervals.size(), 10u);
@@ -162,7 +163,7 @@ TEST(EngineTest, CycleDiagnosticTruncatesLongStuckLists)
     std::vector<TaskId> tasks;
     for (int t = 0; t < 6; ++t)
         tasks.push_back(graph.addCompute(
-            dev, 1.0, "t" + std::to_string(t)));
+            dev, 1.0, testutil::indexedName("t", t)));
     for (int t = 0; t < 6; ++t)
         graph.addDependency(tasks[(t + 1) % 6], tasks[t]);
     Engine engine;

@@ -65,10 +65,24 @@ TEST(TimelineTest, ValidatesArguments)
     SimResult result;
     result.makespan = 1.0;
     result.resources.resize(1);
-    EXPECT_THROW(
-        renderUtilizationTimeline(result, {0}, {"a", "b"}, 10),
-        UserError);
+    // Mismatched devices/names report both counts in the message.
+    try {
+        renderUtilizationTimeline(result, {0}, {"a", "b"}, 10);
+        FAIL() << "expected UserError";
+    } catch (const UserError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("one name per device"),
+                  std::string::npos);
+        EXPECT_NE(what.find("1 devices"), std::string::npos);
+        EXPECT_NE(what.find("2 names"), std::string::npos);
+    }
     EXPECT_THROW(renderUtilizationTimeline(result, {0}, {"a"}, 0),
+                 UserError);
+    // Device ids outside the result's resource range are rejected
+    // rather than read out of bounds.
+    EXPECT_THROW(renderUtilizationTimeline(result, {1}, {"b"}, 10),
+                 UserError);
+    EXPECT_THROW(renderUtilizationTimeline(result, {-1}, {"b"}, 10),
                  UserError);
 }
 

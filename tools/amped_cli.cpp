@@ -11,6 +11,9 @@
  *   resilience expected time-to-train under failures with
  *              checkpoint/restart (Daly-optimal interval by default)
  *   report     full markdown report (prediction+memory+energy)
+ *   trace      simulate one training step from a key = value config
+ *              file and export a Chrome-trace (chrome://tracing /
+ *              Perfetto) JSON and/or a structured JSON run report
  *   presets    list the built-in model/accelerator/interconnect names
  *
  * Custom hardware/models load from key = value files via
@@ -33,6 +36,7 @@
 
 #include "common/arg_parser.hpp"
 #include "common/error.hpp"
+#include "common/keyval.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "common/thread_pool.hpp"
@@ -44,6 +48,9 @@
 #include "explore/config_io.hpp"
 #include "explore/registry.hpp"
 #include "net/system_config.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/run_report.hpp"
+#include "sim/training_sim.hpp"
 #include "validate/calibrations.hpp"
 
 namespace {
@@ -478,6 +485,160 @@ cmdResilience(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * `amped trace`: one simulated training step, described by a
+ * key = value config file, exported as a Chrome-trace JSON (open in
+ * chrome://tracing or https://ui.perfetto.dev) and/or a structured
+ * run report that also carries the analytical AMPeD prediction for
+ * the same configuration.
+ *
+ * Config keys (see examples/configs/):
+ *   model     = model preset (default mingpt)
+ *   accel     = accelerator preset (default v100)
+ *   link      = interconnect preset for the device link
+ *               (default nvlink-v100)
+ *   schedule  = dp | gpipe | tp        (default dp)
+ *   devices   = DP replicas / pipeline stages / TP shards (default 8)
+ *   per-device-batch = per-replica batch for dp/tp (default 32)
+ *   microbatch       = GPipe microbatch size (default 8)
+ *   num-microbatches = GPipe microbatch count (default devices)
+ *   eff-a, eff-b, eff-floor = efficiency curve (default 0.9/30/0.25)
+ *   backward-multiplier     = backward/forward ratio (default 3)
+ */
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    ArgParser parser;
+    parser.addOption("config", "key = value run description file",
+                     "");
+    parser.addOption("trace-out",
+                     "Chrome-trace JSON output path (optional)", "");
+    parser.addOption("report-out",
+                     "run-report JSON output path (optional)", "");
+    parser.parse(args);
+    require(!parser.get("config").empty(),
+            "trace: --config <file> is required");
+
+    const auto config =
+        KeyValueConfig::fromFile(parser.get("config"));
+    config.requireOnly({"model", "accel", "link", "schedule",
+                        "devices", "per-device-batch", "microbatch",
+                        "num-microbatches", "eff-a", "eff-b",
+                        "eff-floor", "backward-multiplier"});
+
+    const std::string model_name =
+        config.getString("model", "mingpt");
+    const std::string accel_name = config.getString("accel", "v100");
+    const std::string link_name =
+        config.getString("link", "nvlink-v100");
+    const std::string schedule =
+        config.getString("schedule", "dp");
+    const std::int64_t devices = config.getInt("devices", 8);
+    require(devices >= 1, "trace: devices must be >= 1, got ",
+            devices);
+
+    const auto model_cfg = explore::modelByName(model_name);
+    const auto accel = explore::acceleratorByName(accel_name);
+    const auto link = explore::interconnectByName(link_name);
+    const double eff_a = config.getDouble("eff-a", 0.9);
+    const hw::MicrobatchEfficiency eff(
+        eff_a, config.getDouble("eff-b", 30.0),
+        std::min(config.getDouble("eff-floor", 0.25), eff_a));
+
+    // Simulated step.
+    sim::TrainingSimulator simulator(model_cfg, accel, eff, link);
+    simulator.setBackwardMultiplier(
+        config.getDouble("backward-multiplier", 3.0));
+
+    sim::SimOutcome outcome;
+    mapping::ParallelismConfig mapping;
+    double batch = 0.0;
+    core::TrainingJob job;
+    if (schedule == "dp") {
+        const double per_device =
+            config.getDouble("per-device-batch", 32.0);
+        outcome =
+            simulator.simulateDataParallelStep(devices, per_device);
+        mapping = mapping::makeMapping(1, 1, devices, 1, 1, 1);
+        batch = per_device * static_cast<double>(devices);
+    } else if (schedule == "gpipe") {
+        const double microbatch =
+            config.getDouble("microbatch", 8.0);
+        const std::int64_t num_microbatches =
+            config.getInt("num-microbatches", devices);
+        outcome = simulator.simulateGPipeStep(devices, microbatch,
+                                              num_microbatches);
+        mapping = mapping::makeMapping(1, devices, 1, 1, 1, 1);
+        batch =
+            microbatch * static_cast<double>(num_microbatches);
+        job.microbatching.numMicrobatchesOverride =
+            static_cast<double>(num_microbatches);
+    } else if (schedule == "tp") {
+        const double tp_batch =
+            config.getDouble("per-device-batch", 32.0);
+        outcome =
+            simulator.simulateTensorParallelStep(devices, tp_batch);
+        mapping = mapping::makeMapping(devices, 1, 1, 1, 1, 1);
+        batch = tp_batch;
+    } else {
+        fatal("trace: unknown schedule '", schedule,
+              "' (supported: dp, gpipe, tp)");
+    }
+
+    // Matching analytical prediction: one node of `devices`
+    // accelerators on the same link, one batch.
+    net::SystemConfig system;
+    system.name = "1x" + std::to_string(devices) + " " + accel_name;
+    system.numNodes = 1;
+    system.acceleratorsPerNode = devices;
+    system.intraLink = link;
+    system.interLink = explore::interconnectByName("hdr");
+    system.nicsPerNode = devices;
+    core::AmpedModel amped_model(
+        model_cfg, accel, eff, system,
+        validate::calibrations::nvswitchOptions(devices));
+    job.batchSize = batch;
+    job.numBatchesOverride = 1.0;
+    const auto evaluation = amped_model.evaluate(mapping, job);
+
+    obs::Json config_echo = obs::Json::object();
+    config_echo.set("config_file", parser.get("config"));
+    config_echo.set("model", model_name);
+    config_echo.set("accelerator", accel_name);
+    config_echo.set("link", link_name);
+    config_echo.set("schedule", schedule);
+    config_echo.set("devices", devices);
+    config_echo.set("batch", batch);
+
+    if (!parser.get("trace-out").empty()) {
+        obs::ChromeTraceBuilder trace;
+        trace.addRun(*outcome.graph, outcome.raw, schedule,
+                     outcome.failure.events);
+        trace.writeFile(parser.get("trace-out"));
+        std::cout << "trace:  " << parser.get("trace-out") << " ("
+                  << trace.eventCount() << " events)\n";
+    }
+    if (!parser.get("report-out").empty()) {
+        obs::RunReportBuilder report;
+        report.setConfig(std::move(config_echo))
+            .setAnalytical(evaluation)
+            .addSimulation(schedule, outcome)
+            .setMetrics(obs::MetricsRegistry::global());
+        report.writeFile(parser.get("report-out"));
+        std::cout << "report: " << parser.get("report-out") << "\n";
+    }
+
+    std::cout << "schedule:        " << schedule << " x " << devices
+              << " (" << model_name << " on " << accel_name
+              << ")\n"
+              << "simulated step:  "
+              << units::formatDuration(outcome.stepTime) << "\n"
+              << "analytic batch:  "
+              << units::formatDuration(evaluation.timePerBatch)
+              << "\n";
+    return 0;
+}
+
 int
 cmdPresets()
 {
@@ -499,7 +660,7 @@ usage()
 {
     std::cout
         << "usage: amped <evaluate|breakdown|explore|memory|scale|"
-           "resilience|report|presets> [options]\n"
+           "resilience|report|trace|presets> [options]\n"
            "run 'amped <subcommand> --help' style options are shown "
            "on any parse error.\n";
     return 2;
@@ -529,6 +690,8 @@ main(int argc, char **argv)
             return cmdResilience(args);
         if (command == "report")
             return cmdReport(args);
+        if (command == "trace")
+            return cmdTrace(args);
         if (command == "presets")
             return cmdPresets();
         std::cerr << "unknown subcommand '" << command << "'\n";

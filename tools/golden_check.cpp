@@ -55,6 +55,7 @@ const std::vector<std::string> kBenches = {
     "baseline_comparison",
     "resilience_case_study",
     "perf_microbench",
+    "obs_run_report",
 };
 
 /**
