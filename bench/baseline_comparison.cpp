@@ -58,8 +58,8 @@ main(int argc, char **argv)
         const auto result =
             amped_model.evaluate(config.mapping, job);
         const double roof =
-            roofline.timePerBatch(config.mapping, job) * batches /
-            units::day;
+            roofline.timePerBatch(config.mapping, job).value() *
+            batches / units::day;
         const double amped_days = result.trainingDays();
         const std::string prefix =
             "baseline/config" + std::to_string(config_index++);

@@ -51,7 +51,8 @@ main(int argc, char **argv)
                  "B = 8192, EDR, A100 TDP 400 W) ===\n\n";
 
     const double batch = 8192.0;
-    const core::PowerSpec spec{400.0, 0.25}; // idle at 25 % of TDP
+    const core::PowerSpec spec{Watts{400.0},
+                               0.25}; // idle at 25 % of TDP
     const core::EnergyModel energy(spec);
 
     TextTable table({"acc+NICs/node", "DP energy (MWh)",
@@ -77,9 +78,9 @@ main(int argc, char **argv)
             continue;
 
         const double dp_mwh =
-            energy.trainingEnergyJoules(*dp, workers) / 3.6e9;
+            energy.trainingEnergyJoules(*dp, workers).value() / 3.6e9;
         const double pp_mwh =
-            energy.trainingEnergyJoules(*pp, workers) / 3.6e9;
+            energy.trainingEnergyJoules(*pp, workers).value() / 3.6e9;
         const double break_even =
             core::EnergyModel::breakEvenIdleFraction(*pp, *dp);
         const double bubble_share =

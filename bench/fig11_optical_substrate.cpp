@@ -49,10 +49,10 @@ evaluateBar(const Bar &bar)
     // H100 at 8-bit operand precision (paper: "We assume 8-bit
     // precision").
     hw::AcceleratorConfig accel = hw::presets::h100();
-    accel.precisions.parameterBits = 8.0;
-    accel.precisions.activationBits = 8.0;
-    accel.precisions.nonlinearBits = 8.0;
-    accel.offChipBandwidthBits *= bar.offChipScale;
+    accel.precisions.parameterBits = Bits{8.0};
+    accel.precisions.activationBits = Bits{8.0};
+    accel.precisions.nonlinearBits = Bits{8.0};
+    accel.offChipBandwidth *= bar.offChipScale;
 
     net::SystemConfig system;
     system.acceleratorsPerNode = bar.acceleratorsPerNode;
@@ -63,7 +63,7 @@ evaluateBar(const Bar &bar)
                            .scaledBandwidth(bar.offChipScale);
     if (bar.fibersPerNode > 0) {
         system.interLink =
-            net::presets::opticalFiber(accel.offChipBandwidthBits);
+            net::presets::opticalFiber(accel.offChipBandwidth);
         system.nicsPerNode = bar.fibersPerNode;
         system.interIsPooledFabric = true; // switched photonic fabric
         system.name = "optical " + bar.label;
@@ -76,7 +76,7 @@ evaluateBar(const Bar &bar)
     core::ModelOptions options =
         validate::calibrations::nvswitchOptions(
             bar.acceleratorsPerNode);
-    options.gradientBits = 32.0;
+    options.gradientBits = Bits{32.0};
 
     core::AmpedModel model(model::presets::glamMoE(), accel,
                            validate::calibrations::caseStudy3(),

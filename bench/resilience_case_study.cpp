@@ -92,35 +92,38 @@ main(int argc, char **argv)
         const auto footprint =
             memory.footprint(m, batch, result->microbatchSize);
         const double ckpt_bytes = core::checkpointBytes(footprint);
-        const double delta =
+        const Seconds delta =
             core::checkpointWriteSeconds(ckpt_bytes, storage_link);
 
         const std::string base = "resilience/DP" + std::to_string(dp);
         golden.add(base + "/solve_days", solve / 86400.0);
         golden.add(base + "/ckpt_gb", ckpt_bytes / 1e9);
-        golden.add(base + "/ckpt_write_s", delta);
+        golden.add(base + "/ckpt_write_s", delta.value());
 
         for (const auto &rate : rates) {
             core::ResilienceConfig config;
             config.mtbfSeconds =
                 core::clusterMtbfSeconds(rate.perDeviceRate, devices);
             config.checkpointWriteSeconds = delta;
-            config.restartSeconds = 600.0; // detect + reload + rewind
+            config.restartSeconds = Seconds{600.0}; // detect+reload+rewind
             for (const auto &interval : intervals) {
-                config.checkpointIntervalSeconds = interval.seconds;
+                config.checkpointIntervalSeconds =
+                    Seconds{interval.seconds};
                 if (interval.seconds == 0.0
-                    && !std::isfinite(config.mtbfSeconds)) {
+                    && !std::isfinite(config.mtbfSeconds.value())) {
                     // Daly on a failure-free cluster = never
                     // checkpoint; the estimate is just the solve
                     // time, so skip the degenerate cell.
                     continue;
                 }
                 const auto estimate =
-                    core::estimateTimeToTrain(solve, config);
+                    core::estimateTimeToTrain(Seconds{solve},
+                                              config);
                 const std::string key = base + "/rate_" + rate.label
                     + "/tau_" + interval.label;
                 golden.add(key + "/expected_days",
-                           estimate.expectedSeconds / 86400.0);
+                           estimate.expectedSeconds.value()
+                               / 86400.0);
                 golden.add(key + "/overhead_pct",
                            100.0 * estimate.overheadFraction());
                 golden.add(key + "/expected_failures",
@@ -128,11 +131,13 @@ main(int argc, char **argv)
                 table.addRow(
                     {std::to_string(dp), m.toString(),
                      units::formatFixed(ckpt_bytes / 1e9, 1),
-                     units::formatFixed(delta, 1), rate.label,
+                     units::formatFixed(delta.value(), 1), rate.label,
                      interval.label,
-                     units::formatFixed(estimate.intervalSeconds, 0),
+                     units::formatFixed(estimate.intervalSeconds.value(),
+                                        0),
                      units::formatFixed(
-                         estimate.expectedSeconds / 86400.0, 2),
+                         estimate.expectedSeconds.value() / 86400.0,
+                         2),
                      units::formatFixed(
                          100.0 * estimate.overheadFraction(), 2)
                          + " %",
@@ -160,33 +165,37 @@ main(int argc, char **argv)
         config.mtbfSeconds = core::clusterMtbfSeconds(1e-6, devices);
         config.checkpointWriteSeconds = core::checkpointWriteSeconds(
             core::checkpointBytes(footprint), storage_link);
-        config.restartSeconds = 600.0;
+        config.restartSeconds = Seconds{600.0};
         const auto estimate =
-            core::estimateTimeToTrain(result->totalTime, config);
+            core::estimateTimeToTrain(Seconds{result->totalTime},
+                                      config);
         const auto stats = core::monteCarloTimeToTrain(
-            result->totalTime, config, 256, 0x5eed5eedULL,
+            Seconds{result->totalTime}, config, 256, 0x5eed5eedULL,
             ThreadPool::shared());
         std::cout << "\nMC cross-check (DP16, rate 1e-6, Daly tau): "
                   << "analytic "
                   << units::formatFixed(
-                         estimate.expectedSeconds / 86400.0, 2)
+                         estimate.expectedSeconds.value() / 86400.0,
+                         2)
                   << " days vs MC "
-                  << units::formatFixed(stats.meanSeconds / 86400.0, 2)
+                  << units::formatFixed(
+                         stats.meanSeconds.value() / 86400.0, 2)
                   << " +/- "
                   << units::formatFixed(
-                         stats.standardError / 86400.0, 2)
+                         stats.standardError.value() / 86400.0, 2)
                   << " days (" << stats.replications
                   << " replications)\n";
         golden.add("resilience/mc/analytic_days",
-                   estimate.expectedSeconds / 86400.0);
+                   estimate.expectedSeconds.value() / 86400.0);
         golden.add("resilience/mc/mean_days",
-                   stats.meanSeconds / 86400.0);
+                   stats.meanSeconds.value() / 86400.0);
         golden.add("resilience/mc/stddev_days",
-                   stats.stddevSeconds / 86400.0);
+                   stats.stddevSeconds.value() / 86400.0);
         golden.add("resilience/mc/gap_in_std_errors",
-                   std::abs(stats.meanSeconds
-                            - estimate.expectedSeconds)
-                       / stats.standardError);
+                   std::abs((stats.meanSeconds
+                             - estimate.expectedSeconds)
+                                .value())
+                       / stats.standardError.value());
     }
     std::cout
         << "\nreading: at the optimistic rate the Daly interval "

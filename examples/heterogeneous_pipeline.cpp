@@ -66,7 +66,8 @@ main(int argc, char **argv)
         job.batchSize = 64.0;
         job.numBatchesOverride = 1000.0;
 
-        const net::LinkConfig hop{"hop", 2e-6, 2.4e12};
+        const net::LinkConfig hop{"hop", Seconds{2e-6},
+                                  BitsPerSecond{2.4e12}};
         core::HeterogeneousPipelineModel even_model(counter, stages,
                                                     hop);
         const auto even = even_model.evaluate(job);

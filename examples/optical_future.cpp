@@ -53,8 +53,8 @@ main(int argc, char **argv)
             system.intraLink = is_moe ? net::presets::nvlinkH100()
                                       : net::presets::nvlinkA100();
             system.interLink = net::LinkConfig{
-                "swept-inter", 1e-6,
-                units::gigabitsPerSecond(gbits)};
+                "swept-inter", Seconds{1e-6},
+                units::gigabitsPerSecondBw(gbits)};
             system.nicsPerNode = 8;
             system.interIsPooledFabric = gbits > 400.0;
 

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Compile-time dimensional analysis for the unit conventions of
+ * units.hpp.
+ *
+ * Every AMPeD equation mixes times (seconds), data sizes (bits),
+ * bandwidths (bits/s), compute work (FLOPs), compute rates (FLOP/s),
+ * clock frequencies (Hz) and energies (joules).  Historically those
+ * all travelled as raw `double`s, so a Gb-vs-GB or bits-vs-bytes slip
+ * silently skewed every figure.  This header makes the dimension part
+ * of the type:
+ *
+ *     Bits    traffic  = ...;
+ *     Seconds transfer = traffic / link.bandwidth;   // ok
+ *     Seconds broken   = traffic + transfer;         // compile error
+ *
+ * Design rules (DESIGN.md "Dimensional correctness"):
+ *
+ *  - A Quantity<Dim> is a single double tagged with a dimension
+ *    vector (time, information, compute, energy exponents).  It is
+ *    trivially copyable and exactly the size of a double — the
+ *    abstraction costs nothing at run time.
+ *  - Same-dimension quantities add, subtract and compare.  Products
+ *    and quotients combine dimensions at compile time
+ *    (Bits / BitsPerSecond -> Seconds, Flops / FlopsPerSecond ->
+ *    Seconds, Seconds * Hertz -> dimensionless double).  A fully
+ *    cancelled dimension collapses to plain double, so ratios and
+ *    cycle counts flow back into ordinary arithmetic.
+ *  - Construction from a raw double is explicit, and the only way
+ *    back out is the explicit .value() escape hatch.  Raw doubles are
+ *    confined to I/O boundaries (config parsing, report/JSON/CSV
+ *    emission, golden records) and to documented nonlinear internals
+ *    (e.g. sqrt in Daly's interval); tools/lint_units enforces that
+ *    public seams do not regrow raw unit-suffixed doubles.
+ *  - All quantities are stored in the canonical units of units.hpp
+ *    (seconds, bits, bits/s, FLOPs, FLOP/s, Hz, joules).  There are
+ *    no scaled types: converting vendor units (GB/s, Gb/s, hours)
+ *    happens in named constructors that reuse the units:: helpers.
+ *
+ * Formatting reuses the existing units:: helpers, so typed values
+ * render exactly like the raw doubles they replaced.
+ */
+
+#ifndef AMPED_COMMON_QUANTITY_HPP
+#define AMPED_COMMON_QUANTITY_HPP
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+#include "common/units.hpp"
+
+namespace amped {
+namespace units {
+
+/**
+ * A dimension vector: exponents of the four base dimensions AMPeD
+ * needs.  (No length/mass/temperature — this is a performance model,
+ * not a physics engine.)  Cycles are deliberately dimensionless so
+ * that Seconds * Hertz collapses to a plain double cycle count.
+ */
+template <int TimeE, int InfoE, int ComputeE, int EnergyE>
+struct Dimension
+{
+    static constexpr int time = TimeE;       ///< seconds exponent
+    static constexpr int info = InfoE;       ///< bits exponent
+    static constexpr int compute = ComputeE; ///< FLOPs exponent
+    static constexpr int energy = EnergyE;   ///< joules exponent
+
+    static constexpr bool dimensionless =
+        TimeE == 0 && InfoE == 0 && ComputeE == 0 && EnergyE == 0;
+};
+
+/** Dimension of a product. */
+template <typename A, typename B>
+using MulDimension = Dimension<A::time + B::time, A::info + B::info,
+                               A::compute + B::compute,
+                               A::energy + B::energy>;
+
+/** Dimension of a quotient. */
+template <typename A, typename B>
+using DivDimension = Dimension<A::time - B::time, A::info - B::info,
+                               A::compute - B::compute,
+                               A::energy - B::energy>;
+
+/** Dimension of a reciprocal. */
+template <typename A>
+using InverseDimension =
+    Dimension<-A::time, -A::info, -A::compute, -A::energy>;
+
+template <typename Dim>
+class Quantity;
+
+/**
+ * Result type of dimension arithmetic: a fully cancelled dimension
+ * collapses to plain double so ratios (Bits / Bits, Seconds * Hertz)
+ * re-enter ordinary arithmetic without an escape hatch.
+ */
+template <typename Dim>
+using QuantityOrDouble =
+    std::conditional_t<Dim::dimensionless, double, Quantity<Dim>>;
+
+namespace detail {
+
+template <typename Dim>
+constexpr QuantityOrDouble<Dim>
+make(double value)
+{
+    if constexpr (Dim::dimensionless)
+        return value;
+    else
+        return Quantity<Dim>{value};
+}
+
+} // namespace detail
+
+/**
+ * A double tagged with a compile-time dimension.  Zero-overhead:
+ * trivially copyable, sizeof(double), every operation inlines to the
+ * identical double arithmetic (the golden files are byte-identical
+ * before and after the typed refactor).
+ */
+template <typename Dim>
+class Quantity
+{
+  public:
+    using dimension = Dim;
+
+    /** Zero-initialized, like the `double x = 0.0` it replaces. */
+    constexpr Quantity() = default;
+
+    /** Explicit: raw doubles enter only where a unit is asserted. */
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /** The raw canonical-unit value — the explicit escape hatch. */
+    constexpr double value() const { return value_; }
+
+    // --- same-dimension arithmetic -------------------------------
+    constexpr Quantity operator-() const { return Quantity{-value_}; }
+
+    constexpr Quantity &
+    operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator*=(double scale)
+    {
+        value_ *= scale;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator/=(double scale)
+    {
+        value_ /= scale;
+        return *this;
+    }
+
+    friend constexpr Quantity
+    operator+(Quantity a, Quantity b)
+    {
+        return Quantity{a.value_ + b.value_};
+    }
+
+    friend constexpr Quantity
+    operator-(Quantity a, Quantity b)
+    {
+        return Quantity{a.value_ - b.value_};
+    }
+
+    // --- scalar scaling ------------------------------------------
+    friend constexpr Quantity
+    operator*(Quantity q, double scale)
+    {
+        return Quantity{q.value_ * scale};
+    }
+
+    friend constexpr Quantity
+    operator*(double scale, Quantity q)
+    {
+        return Quantity{scale * q.value_};
+    }
+
+    friend constexpr Quantity
+    operator/(Quantity q, double scale)
+    {
+        return Quantity{q.value_ / scale};
+    }
+
+    /** double / Quantity inverts the dimension (1 / rate). */
+    friend constexpr QuantityOrDouble<InverseDimension<Dim>>
+    operator/(double scale, Quantity q)
+    {
+        return detail::make<InverseDimension<Dim>>(scale / q.value_);
+    }
+
+    // --- comparisons (same dimension only) -----------------------
+    friend constexpr bool
+    operator==(Quantity a, Quantity b)
+    {
+        return a.value_ == b.value_;
+    }
+    friend constexpr bool
+    operator!=(Quantity a, Quantity b)
+    {
+        return a.value_ != b.value_;
+    }
+    friend constexpr bool
+    operator<(Quantity a, Quantity b)
+    {
+        return a.value_ < b.value_;
+    }
+    friend constexpr bool
+    operator<=(Quantity a, Quantity b)
+    {
+        return a.value_ <= b.value_;
+    }
+    friend constexpr bool
+    operator>(Quantity a, Quantity b)
+    {
+        return a.value_ > b.value_;
+    }
+    friend constexpr bool
+    operator>=(Quantity a, Quantity b)
+    {
+        return a.value_ >= b.value_;
+    }
+
+    /**
+     * Streams the raw canonical-unit value, so log lines, cache keys
+     * and error messages render exactly as the doubles did.
+     */
+    friend std::ostream &
+    operator<<(std::ostream &os, Quantity q)
+    {
+        return os << q.value_;
+    }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Dimension-combining product. */
+template <typename DA, typename DB>
+constexpr QuantityOrDouble<MulDimension<DA, DB>>
+operator*(Quantity<DA> a, Quantity<DB> b)
+{
+    return detail::make<MulDimension<DA, DB>>(a.value() * b.value());
+}
+
+/** Dimension-combining quotient; same dimensions cancel to double. */
+template <typename DA, typename DB>
+constexpr QuantityOrDouble<DivDimension<DA, DB>>
+operator/(Quantity<DA> a, Quantity<DB> b)
+{
+    return detail::make<DivDimension<DA, DB>>(a.value() / b.value());
+}
+
+// ---------------------------------------------------------------------
+// The named quantities of Table IV (canonical units of units.hpp).
+// ---------------------------------------------------------------------
+
+/** Time in seconds. */
+using Seconds = Quantity<Dimension<1, 0, 0, 0>>;
+
+/** Frequency in cycles per second; Seconds * Hertz -> double cycles. */
+using Hertz = Quantity<Dimension<-1, 0, 0, 0>>;
+
+/** Data size in bits (Table IV convention). */
+using Bits = Quantity<Dimension<0, 1, 0, 0>>;
+
+/** Bandwidth in bits per second. */
+using BitsPerSecond = Quantity<Dimension<-1, 1, 0, 0>>;
+
+/** Compute work in FLOPs (1 MAC = 2 FLOPs, DESIGN.md Sec. 3). */
+using Flops = Quantity<Dimension<0, 0, 1, 0>>;
+
+/** Compute rate in FLOP per second. */
+using FlopsPerSecond = Quantity<Dimension<-1, 0, 1, 0>>;
+
+/** Reciprocal throughput C_MAC / C_nonlin (Eq. 3-4), s/FLOP. */
+using SecondsPerFlop = Quantity<Dimension<1, 0, -1, 0>>;
+
+/** Energy in joules. */
+using Joules = Quantity<Dimension<0, 0, 0, 1>>;
+
+/** Power in watts (J/s). */
+using Watts = Quantity<Dimension<-1, 0, 0, 1>>;
+
+// ---------------------------------------------------------------------
+// Dimension algebra the model relies on, enforced at compile time.
+// ---------------------------------------------------------------------
+
+static_assert(std::is_same_v<decltype(Bits{} / BitsPerSecond{}), Seconds>,
+              "bits / (bits/s) must be seconds");
+static_assert(
+    std::is_same_v<decltype(Flops{} / FlopsPerSecond{}), Seconds>,
+    "FLOPs / (FLOP/s) must be seconds");
+static_assert(std::is_same_v<decltype(Seconds{} * Hertz{}), double>,
+              "seconds * Hz must be a dimensionless cycle count");
+static_assert(std::is_same_v<decltype(Flops{} * SecondsPerFlop{}), Seconds>,
+              "FLOPs * (s/FLOP) must be seconds");
+static_assert(
+    std::is_same_v<decltype(1.0 / FlopsPerSecond{}), SecondsPerFlop>,
+    "1 / (FLOP/s) must be s/FLOP");
+static_assert(
+    std::is_same_v<decltype(BitsPerSecond{} * Seconds{}), Bits>,
+    "(bits/s) * s must be bits");
+static_assert(std::is_same_v<decltype(Joules{} / Seconds{}), Watts>,
+              "J / s must be W");
+static_assert(std::is_same_v<decltype(Watts{} * Seconds{}), Joules>,
+              "W * s must be J");
+static_assert(std::is_same_v<decltype(Seconds{} / Seconds{}), double>,
+              "a same-dimension ratio must collapse to double");
+static_assert(std::is_trivially_copyable_v<Seconds> &&
+                  sizeof(Seconds) == sizeof(double),
+              "Quantity must stay a zero-overhead double wrapper");
+
+// ---------------------------------------------------------------------
+// Typed vendor-unit constructors (reuse the double helpers above so
+// the conversion factors live in exactly one place).
+// ---------------------------------------------------------------------
+
+/** GB/s (vendor datasheet convention) as a typed bandwidth. */
+constexpr BitsPerSecond
+gigabytesPerSecondBw(double gbps)
+{
+    return BitsPerSecond{gigabytesPerSecond(gbps)};
+}
+
+/** Gb/s (network-card convention) as a typed bandwidth. */
+constexpr BitsPerSecond
+gigabitsPerSecondBw(double gbps)
+{
+    return BitsPerSecond{gigabitsPerSecond(gbps)};
+}
+
+/** Bytes (storage convention) as typed bits. */
+constexpr Bits
+bytesToBits(double bytes)
+{
+    return Bits{bytes * bitsPerByte};
+}
+
+// ---------------------------------------------------------------------
+// Formatting: typed overloads of the units:: helpers, so reports and
+// benches render quantities without reaching for .value().
+// ---------------------------------------------------------------------
+
+/** Adaptive duration formatting (formatDuration). */
+inline std::string
+format(Seconds s)
+{
+    return formatDuration(s.value());
+}
+
+/** Compute-rate formatting (formatFlops). */
+inline std::string
+format(FlopsPerSecond rate)
+{
+    return formatFlops(rate.value());
+}
+
+/** Bandwidth formatting (formatBandwidth). */
+inline std::string
+format(BitsPerSecond bw)
+{
+    return formatBandwidth(bw.value());
+}
+
+/** Data-size formatting: SI count suffix plus the unit. */
+inline std::string
+format(Bits bits)
+{
+    return formatCount(bits.value()) + "bit";
+}
+
+} // namespace units
+
+// The model namespaces use the type names pervasively; lift them to
+// amped:: so seams read `units::Seconds`-free (mirrors how error.hpp
+// lifts require()).
+using units::Bits;
+using units::BitsPerSecond;
+using units::Flops;
+using units::FlopsPerSecond;
+using units::Hertz;
+using units::Joules;
+using units::Seconds;
+using units::SecondsPerFlop;
+using units::Watts;
+
+} // namespace amped
+
+/** std::hash support (cache keys of typed configs). */
+template <typename Dim>
+struct std::hash<amped::units::Quantity<Dim>>
+{
+    std::size_t
+    operator()(amped::units::Quantity<Dim> q) const noexcept
+    {
+        return std::hash<double>{}(q.value());
+    }
+};
+
+#endif // AMPED_COMMON_QUANTITY_HPP

@@ -46,12 +46,11 @@ AmpedModel::AmpedModel(model::TransformerConfig model_config,
 net::LinkConfig
 AmpedModel::interLinkEffective() const
 {
-    return net::LinkConfig{"inter-effective",
-                           system_.interLatencySeconds(),
-                           system_.perStreamInterBandwidthBits()};
+    return net::LinkConfig{"inter-effective", system_.interLatency(),
+                           system_.perStreamInterBandwidth()};
 }
 
-double
+Seconds
 AmpedModel::forwardComputeTime(std::int64_t layer, double batch,
                                double efficiency_value) const
 {
@@ -59,7 +58,7 @@ AmpedModel::forwardComputeTime(std::int64_t layer, double batch,
                                    efficiency_value, layer, batch);
 }
 
-double
+Seconds
 AmpedModel::weightUpdateTime(std::int64_t layer,
                              double efficiency_value) const
 {
@@ -67,35 +66,35 @@ AmpedModel::weightUpdateTime(std::int64_t layer,
                                  layer);
 }
 
-double
+Seconds
 AmpedModel::tpIntraCommTime(const mapping::ParallelismConfig &mapping,
                             double replica_batch) const
 {
     if (mapping.tpIntra <= 1)
-        return 0.0;
+        return Seconds{0.0};
     const double n_act =
         opCounter_.activationsTensorParallel(replica_batch);
-    const double s_act = accel_.precisions.activationBits;
+    const Bits s_act = accel_.precisions.activationBits;
     return net::allReduceTime(mapping.tpIntra, n_act, s_act,
                               system_.intraLink,
                               options_.intraTopologyFactorOverride);
 }
 
-double
+Seconds
 AmpedModel::tpInterCommTime(const mapping::ParallelismConfig &mapping,
                             double replica_batch) const
 {
     if (mapping.tpInter <= 1)
-        return 0.0;
+        return Seconds{0.0};
     const double n_act =
         opCounter_.activationsTensorParallel(replica_batch);
-    const double s_act = accel_.precisions.activationBits;
+    const Bits s_act = accel_.precisions.activationBits;
     return net::allReduceTime(mapping.tpInter, n_act, s_act,
                               interLinkEffective(),
                               options_.interTopologyFactorOverride);
 }
 
-double
+Seconds
 AmpedModel::ppCommTime(const mapping::ParallelismConfig &mapping,
                        double replica_batch) const
 {
@@ -103,58 +102,56 @@ AmpedModel::ppCommTime(const mapping::ParallelismConfig &mapping,
         static_cast<double>(opCounter_.config().numLayers);
     const double n_act =
         opCounter_.activationsPipelineParallel(replica_batch);
-    const double s_act = accel_.precisions.activationBits;
+    const Bits s_act = accel_.precisions.activationBits;
 
-    double intra = 0.0;
+    Seconds intra{0.0};
     if (mapping.ppIntra > 1) {
         intra = net::pointToPointTime(n_act, s_act, system_.intraLink) /
                 layers;
     }
-    double inter = 0.0;
+    Seconds inter{0.0};
     if (mapping.ppInter > 1) {
         // A pipeline hop is node-to-node: every NIC participates
         // (scatter-gather of the activation slices), so the hop sees
         // the node-aggregate bandwidth rather than one stream's
         // share.
-        const net::LinkConfig hop{"inter-hop",
-                                  system_.interLatencySeconds(),
-                                  system_.interBandwidthBits()};
+        const net::LinkConfig hop{"inter-hop", system_.interLatency(),
+                                  system_.interBandwidth()};
         inter = net::pointToPointTime(n_act, s_act, hop) / layers;
     }
     return std::max(intra, inter);
 }
 
-double
+Seconds
 AmpedModel::moeCommTime(std::int64_t layer, double replica_batch) const
 {
     if (!options_.enableMoeComm)
-        return 0.0;
+        return Seconds{0.0};
     const double n_act = opCounter_.activationsMoe(layer, replica_batch);
     if (n_act == 0.0)
-        return 0.0;
-    const double s_act = accel_.precisions.activationBits;
+        return Seconds{0.0};
+    const Bits s_act = accel_.precisions.activationBits;
     // Two all-to-all exchanges per expert layer (dispatch +
     // combine).  On a pooled fabric (photonic substrate) the
     // exchange sees the node-aggregate bandwidth; with conventional
     // per-accelerator NICs each exchange stream rides its own NIC.
-    const double inter_bw = system_.interIsPooledFabric
-                                ? system_.interBandwidthBits()
-                                : system_.perStreamInterBandwidthBits();
+    const BitsPerSecond inter_bw =
+        system_.interIsPooledFabric ? system_.interBandwidth()
+                                    : system_.perStreamInterBandwidth();
     return 2.0 * net::allToAllTime(system_.numNodes, n_act, s_act,
                                    system_.intraLink,
-                                   system_.interLatencySeconds(),
-                                   inter_bw);
+                                   system_.interLatency(), inter_bw);
 }
 
-double
+Seconds
 AmpedModel::gradCommTime(const mapping::ParallelismConfig &mapping,
-                         std::int64_t layer, double &intra_part,
-                         double &inter_part) const
+                         std::int64_t layer, Seconds &intra_part,
+                         Seconds &inter_part) const
 {
-    intra_part = 0.0;
-    inter_part = 0.0;
+    intra_part = Seconds{0.0};
+    inter_part = Seconds{0.0};
     if (mapping.dp() <= 1)
-        return 0.0;
+        return Seconds{0.0};
 
     // Gradients of layer l are sharded across TP ranks and live on a
     // single pipeline stage; stages reduce concurrently, so the
@@ -162,9 +159,9 @@ AmpedModel::gradCommTime(const mapping::ParallelismConfig &mapping,
     // N_g accounting for expert-parallel sharding on MoE layers.
     const double n_g = opCounter_.gradientsPerLayer(layer) /
                        static_cast<double>(mapping.tp() * mapping.pp());
-    const double s_g = options_.gradientBits > 0.0
-                           ? options_.gradientBits
-                           : accel_.precisions.parameterBits;
+    const Bits s_g = options_.gradientBits > Bits{0.0}
+                         ? options_.gradientBits
+                         : accel_.precisions.parameterBits;
 
     if (options_.hierarchicalGradAllReduce) {
         intra_part = net::allReduceTime(
@@ -206,27 +203,32 @@ AmpedModel::evaluate(const mapping::ParallelismConfig &mapping,
     Breakdown bd;
 
     // --- Computation (Eq. 2-4, Eq. 12), scaled by all workers (Eq. 1).
-    double fwd_total = 0.0;
-    double update_total = 0.0;
+    // Breakdown is a plain-double reporting struct, so typed Seconds
+    // unwrap via .value() at the assignment boundary.
+    Seconds fwd_total{0.0};
+    Seconds update_total{0.0};
     for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
         fwd_total += forwardComputeTime(l, batch, eff);
         update_total += weightUpdateTime(l, eff);
     }
-    bd.computeForward = fwd_total / workers;
+    bd.computeForward = (fwd_total / workers).value();
     bd.computeBackward =
-        options_.backwardComputeMultiplier * fwd_total / workers;
-    bd.weightUpdate = update_total / workers;
+        (options_.backwardComputeMultiplier * fwd_total / workers)
+            .value();
+    bd.weightUpdate = (update_total / workers).value();
 
     // --- Forward communication (Eq. 5-7, 9) summed over layers.
     const double zero_factor = 1.0 + options_.zeroDpOverhead;
     const double bwd_factor = options_.backwardCommMultiplier;
     const double layers = static_cast<double>(cfg.numLayers);
 
-    const double tp_intra_layer = tpIntraCommTime(mapping, replica_batch);
-    const double tp_inter_layer = tpInterCommTime(mapping, replica_batch);
-    const double pp_layer = ppCommTime(mapping, replica_batch);
+    const Seconds tp_intra_layer =
+        tpIntraCommTime(mapping, replica_batch);
+    const Seconds tp_inter_layer =
+        tpInterCommTime(mapping, replica_batch);
+    const Seconds pp_layer = ppCommTime(mapping, replica_batch);
 
-    double moe_total_fwd = 0.0;
+    Seconds moe_total_fwd{0.0};
     for (std::int64_t l = 0; l < cfg.numLayers; ++l)
         moe_total_fwd += moeCommTime(l, replica_batch);
 
@@ -240,18 +242,20 @@ AmpedModel::evaluate(const mapping::ParallelismConfig &mapping,
     const double stage_overlap =
         1.0 / static_cast<double>(mapping.pp());
     const double fb = zero_factor * (1.0 + bwd_factor);
-    bd.commTpIntra = fb * tp_intra_layer * layers * stage_overlap;
-    bd.commTpInter = fb * tp_inter_layer * layers * stage_overlap;
+    bd.commTpIntra =
+        (fb * tp_intra_layer * layers * stage_overlap).value();
+    bd.commTpInter =
+        (fb * tp_inter_layer * layers * stage_overlap).value();
     bd.commPp =
-        fb * pp_layer * layers * options_.ppCommMultiplier;
-    bd.commMoe = fb * moe_total_fwd * stage_overlap;
+        (fb * pp_layer * layers * options_.ppCommMultiplier).value();
+    bd.commMoe = (fb * moe_total_fwd * stage_overlap).value();
 
     // --- Gradient all-reduce (Eq. 10-11) summed over layers.
     for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
-        double intra = 0.0, inter = 0.0;
+        Seconds intra{0.0}, inter{0.0};
         gradCommTime(mapping, l, intra, inter);
-        bd.commGradIntra += intra;
-        bd.commGradInter += inter;
+        bd.commGradIntra += intra.value();
+        bd.commGradInter += inter.value();
     }
 
     // --- Pipeline bubble (Eq. 8): R (N_PP - 1)/N_ub times the useful

@@ -90,32 +90,32 @@ class AmpedModel
     // -----------------------------------------------------------------
 
     /** U_f(l) of Eq. 2 for the full global batch. */
-    double forwardComputeTime(std::int64_t layer, double batch,
-                              double efficiency_value) const;
+    Seconds forwardComputeTime(std::int64_t layer, double batch,
+                               double efficiency_value) const;
 
     /** U_w(l) of Eq. 12. */
-    double weightUpdateTime(std::int64_t layer,
-                            double efficiency_value) const;
+    Seconds weightUpdateTime(std::int64_t layer,
+                             double efficiency_value) const;
 
     /** M_f,TP,intra(l) of Eq. 6 (per-replica batch passed in). */
-    double tpIntraCommTime(const mapping::ParallelismConfig &mapping,
-                           double replica_batch) const;
+    Seconds tpIntraCommTime(const mapping::ParallelismConfig &mapping,
+                            double replica_batch) const;
 
     /** M_f,TP,inter(l): Eq. 6 on the inter-node tier. */
-    double tpInterCommTime(const mapping::ParallelismConfig &mapping,
-                           double replica_batch) const;
+    Seconds tpInterCommTime(const mapping::ParallelismConfig &mapping,
+                            double replica_batch) const;
 
     /** max(M_f,PP,intra, M_f,PP,inter)(l) of Eq. 5/7. */
-    double ppCommTime(const mapping::ParallelismConfig &mapping,
-                      double replica_batch) const;
+    Seconds ppCommTime(const mapping::ParallelismConfig &mapping,
+                       double replica_batch) const;
 
     /** M_f,MoE(l) of Eq. 9. */
-    double moeCommTime(std::int64_t layer, double replica_batch) const;
+    Seconds moeCommTime(std::int64_t layer, double replica_batch) const;
 
     /** M_g(l) of Eq. 10-11 (both tiers summed). */
-    double gradCommTime(const mapping::ParallelismConfig &mapping,
-                        std::int64_t layer, double &intra_part,
-                        double &inter_part) const;
+    Seconds gradCommTime(const mapping::ParallelismConfig &mapping,
+                         std::int64_t layer, Seconds &intra_part,
+                         Seconds &inter_part) const;
 
     /** The operation counter (model-side knob access). */
     const model::OpCounter &opCounter() const { return opCounter_; }

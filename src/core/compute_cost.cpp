@@ -3,36 +3,37 @@
 namespace amped {
 namespace core {
 
-double
+Seconds
 layerForwardComputeTime(const model::OpCounter &counter,
                         const hw::AcceleratorConfig &accel,
                         double efficiency, std::int64_t layer,
                         double batch)
 {
-    const double c_mac = hw::cMac(accel, efficiency);
-    const double c_non = hw::cNonlin(accel);
+    const SecondsPerFlop c_mac = hw::cMac(accel, efficiency);
+    const SecondsPerFlop c_non = hw::cNonlin(accel);
     const double mac_factor = hw::macPrecisionFactor(accel.precisions);
     const double non_factor =
         hw::nonlinPrecisionFactor(accel.precisions);
 
-    double time = 0.0;
+    Seconds time{0.0};
     for (const auto &op : counter.layerOps(layer, batch)) {
         // One MAC = 2 FLOPs against the FLOP-rate peak (DESIGN.md
         // Sec. 3).
-        time += 2.0 * op.macs * c_mac * mac_factor;
-        time += op.nonlinear * c_non * non_factor;
+        time += Flops{2.0 * op.macs} * c_mac * mac_factor;
+        time += Flops{op.nonlinear} * c_non * non_factor;
     }
     return time;
 }
 
-double
+Seconds
 layerWeightUpdateTime(const model::OpCounter &counter,
                       const hw::AcceleratorConfig &accel,
                       double efficiency, std::int64_t layer)
 {
-    const double c_mac = hw::cMac(accel, efficiency);
+    const SecondsPerFlop c_mac = hw::cMac(accel, efficiency);
     const double mac_factor = hw::macPrecisionFactor(accel.precisions);
-    return 2.0 * counter.weightsPerLayer(layer) * c_mac * mac_factor;
+    return Flops{2.0 * counter.weightsPerLayer(layer)} * c_mac *
+           mac_factor;
 }
 
 } // namespace core

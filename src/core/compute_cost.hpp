@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/quantity.hpp"
 #include "hw/accelerator.hpp"
 #include "model/op_counter.hpp"
 
@@ -22,15 +23,15 @@ namespace core {
  * U_f(l) of Eq. 2: forward compute time of one layer for @p batch
  * sequences on one accelerator running at eff = @p efficiency.
  */
-double layerForwardComputeTime(const model::OpCounter &counter,
-                               const hw::AcceleratorConfig &accel,
-                               double efficiency, std::int64_t layer,
-                               double batch);
+Seconds layerForwardComputeTime(const model::OpCounter &counter,
+                                const hw::AcceleratorConfig &accel,
+                                double efficiency, std::int64_t layer,
+                                double batch);
 
 /** U_w(l) of Eq. 12: weight-update time of one layer. */
-double layerWeightUpdateTime(const model::OpCounter &counter,
-                             const hw::AcceleratorConfig &accel,
-                             double efficiency, std::int64_t layer);
+Seconds layerWeightUpdateTime(const model::OpCounter &counter,
+                              const hw::AcceleratorConfig &accel,
+                              double efficiency, std::int64_t layer);
 
 } // namespace core
 } // namespace amped

@@ -10,7 +10,8 @@ namespace core {
 void
 PowerSpec::validate() const
 {
-    require(tdpWatts > 0.0, "PowerSpec: tdpWatts must be positive");
+    require(tdpWatts > Watts{0.0},
+            "PowerSpec: tdpWatts must be positive");
     require(idleFraction >= 0.0 && idleFraction <= 1.0,
             "PowerSpec: idleFraction must be in [0, 1], got ",
             idleFraction);
@@ -21,7 +22,7 @@ EnergyModel::EnergyModel(PowerSpec spec) : spec_(spec)
     spec_.validate();
 }
 
-double
+Joules
 EnergyModel::energyPerBatchJoules(const EvaluationResult &result,
                                   std::int64_t workers) const
 {
@@ -30,19 +31,19 @@ EnergyModel::energyPerBatchJoules(const EvaluationResult &result,
     const double idle = result.perBatch.bubble;
     const double busy = result.timePerBatch - idle;
     AMPED_ASSERT(busy >= -1e-12, "negative busy time in breakdown");
-    const double per_device =
-        spec_.tdpWatts * (busy + spec_.idleFraction * idle);
+    const Joules per_device =
+        spec_.tdpWatts * Seconds{busy + spec_.idleFraction * idle};
     return per_device * static_cast<double>(workers);
 }
 
-double
+Joules
 EnergyModel::trainingEnergyJoules(const EvaluationResult &result,
                                   std::int64_t workers) const
 {
     return energyPerBatchJoules(result, workers) * result.numBatches;
 }
 
-double
+Watts
 EnergyModel::averagePowerWatts(const EvaluationResult &result) const
 {
     require(result.timePerBatch > 0.0,

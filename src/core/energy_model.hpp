@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "common/quantity.hpp"
 #include "core/amped_model.hpp"
 
 namespace amped {
@@ -28,8 +29,8 @@ namespace core {
 /** Accelerator power characteristics. */
 struct PowerSpec
 {
-    /** Full-execution power draw per accelerator in watts. */
-    double tdpWatts = 400.0;
+    /** Full-execution power draw per accelerator. */
+    Watts tdpWatts{400.0};
 
     /** Idle (low-power state) draw as a fraction of TDP, in [0, 1]. */
     double idleFraction = 0.3;
@@ -51,15 +52,15 @@ class EnergyModel
      * busy time (everything except the pipeline bubble) at TDP,
      * bubble time at idle power.
      */
-    double energyPerBatchJoules(const EvaluationResult &result,
+    Joules energyPerBatchJoules(const EvaluationResult &result,
                                 std::int64_t workers) const;
 
     /** Whole-job energy: per-batch energy x batch count. */
-    double trainingEnergyJoules(const EvaluationResult &result,
+    Joules trainingEnergyJoules(const EvaluationResult &result,
                                 std::int64_t workers) const;
 
-    /** Mean power draw per accelerator over a batch, watts. */
-    double averagePowerWatts(const EvaluationResult &result) const;
+    /** Mean power draw per accelerator over a batch. */
+    Watts averagePowerWatts(const EvaluationResult &result) const;
 
     /**
      * Break-even idle fraction between a bubbly configuration and a

@@ -45,7 +45,7 @@ HeterogeneousPipelineModel::stageTime(std::size_t stage_index,
 {
     const auto &stage = stages_[stage_index];
     const double eff = stage.efficiency(microbatch);
-    double fwd = 0.0;
+    Seconds fwd{0.0};
     for (std::int64_t l = 0; l < stage.numLayers; ++l) {
         fwd += layerForwardComputeTime(counter_, stage.accelerator,
                                        eff, first_layer + l,
@@ -53,12 +53,11 @@ HeterogeneousPipelineModel::stageTime(std::size_t stage_index,
     }
     // TP inside the stage shards the compute; its all-reduce cost is
     // charged per layer on the stage's off-chip link.
-    double tp_comm = 0.0;
+    Seconds tp_comm{0.0};
     if (stage.tpDegree > 1) {
         fwd /= static_cast<double>(stage.tpDegree);
-        const net::LinkConfig intra{
-            "stage-intra", 1e-6,
-            stage.accelerator.offChipBandwidthBits};
+        const net::LinkConfig intra{"stage-intra", Seconds{1e-6},
+                                    stage.accelerator.offChipBandwidth};
         tp_comm = static_cast<double>(stage.numLayers) *
                   net::allReduceTime(
                       stage.tpDegree,
@@ -66,7 +65,7 @@ HeterogeneousPipelineModel::stageTime(std::size_t stage_index,
                       stage.accelerator.precisions.activationBits,
                       intra);
     }
-    return (1.0 + backwardMultiplier_) * (fwd + tp_comm);
+    return ((1.0 + backwardMultiplier_) * (fwd + tp_comm)).value();
 }
 
 HeterogeneousResult
@@ -105,12 +104,13 @@ HeterogeneousPipelineModel::evaluate(const TrainingJob &job) const
     // Hop communication: each boundary moves the whole per-batch
     // activation volume once (forward + backward).
     if (stages_.size() > 1) {
-        const double act_bits =
+        const Bits act_bits =
             counter_.activationsPipelineParallel(job.batchSize) *
             stages_.front().accelerator.precisions.activationBits;
         result.hopCommTime =
-            2.0 * (hopLink_.latencySeconds * n_ub +
-                   act_bits / hopLink_.bandwidthBits);
+            (2.0 * (hopLink_.latency * n_ub +
+                    act_bits / hopLink_.bandwidth))
+                .value();
     }
 
     result.timePerBatch = n_ub * result.bottleneckTime + ramp +
@@ -139,10 +139,11 @@ HeterogeneousPipelineModel::balanceLayers(
         const double tp = static_cast<double>(stages[s].tpDegree);
         cost[s].resize(layers);
         for (std::int64_t l = 0; l < layers; ++l) {
-            cost[s][l] = layerForwardComputeTime(
-                             counter, stages[s].accelerator, eff, l,
-                             microbatch) /
-                         tp;
+            cost[s][l] = (layerForwardComputeTime(
+                              counter, stages[s].accelerator, eff, l,
+                              microbatch) /
+                          tp)
+                             .value();
         }
     }
 

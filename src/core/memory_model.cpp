@@ -83,7 +83,7 @@ MemoryModel::activationBytesPerMicrobatch(
     const double ffn = static_cast<double>(cfg.ffnHiddenSize);
     const double a = static_cast<double>(cfg.numHeads);
     const double act_bytes =
-        accel_.precisions.activationBits / units::bitsPerByte;
+        accel_.precisions.activationBits.value() / units::bitsPerByte;
 
     const double layers_per_stage =
         static_cast<double>(cfg.numLayers) /
@@ -119,7 +119,7 @@ MemoryModel::footprint(const mapping::ParallelismConfig &mapping,
     const double params = residentParameters(mapping);
     const double dp = static_cast<double>(mapping.dp());
     const double param_bytes_each =
-        accel_.precisions.parameterBits / units::bitsPerByte;
+        accel_.precisions.parameterBits.value() / units::bitsPerByte;
 
     MemoryFootprint fp;
     fp.parameterBytes = params * param_bytes_each;

@@ -7,6 +7,8 @@
 #ifndef AMPED_CORE_OPTIONS_HPP
 #define AMPED_CORE_OPTIONS_HPP
 
+#include "common/quantity.hpp"
+
 namespace amped {
 namespace core {
 
@@ -58,7 +60,7 @@ struct ModelOptions
      * Gradient element precision S_g in bits; 0 = use the parameter
      * precision of the accelerator.
      */
-    double gradientBits = 0.0;
+    Bits gradientBits{0.0};
 
     /**
      * Use the two-stage hierarchical gradient all-reduce of Eq. 10;

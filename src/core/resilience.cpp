@@ -56,14 +56,14 @@ segment(double solve, double tau, double delta)
 }
 
 /** The checkpoint interval a config resolves to for a given run. */
-double
+Seconds
 resolveInterval(const ResilienceConfig &config)
 {
-    if (config.checkpointIntervalSeconds > 0.0)
+    if (config.checkpointIntervalSeconds > Seconds{0.0})
         return config.checkpointIntervalSeconds;
-    if (!std::isfinite(config.mtbfSeconds))
-        return std::numeric_limits<double>::infinity();
-    require(config.checkpointWriteSeconds > 0.0,
+    if (!std::isfinite(config.mtbfSeconds.value()))
+        return Seconds{std::numeric_limits<double>::infinity()};
+    require(config.checkpointWriteSeconds > Seconds{0.0},
             "ResilienceConfig: cannot derive a Daly interval with a "
             "zero checkpoint write cost under a finite MTBF; set "
             "checkpointIntervalSeconds explicitly");
@@ -76,18 +76,20 @@ resolveInterval(const ResilienceConfig &config)
 void
 ResilienceConfig::validate() const
 {
-    require(mtbfSeconds > 0.0 && !std::isnan(mtbfSeconds),
+    require(mtbfSeconds > Seconds{0.0}
+            && !std::isnan(mtbfSeconds.value()),
             "ResilienceConfig.mtbfSeconds must be > 0 (infinity = "
             "failure-free), got ", mtbfSeconds);
-    require(std::isfinite(checkpointWriteSeconds)
-            && checkpointWriteSeconds >= 0.0,
+    require(std::isfinite(checkpointWriteSeconds.value())
+            && checkpointWriteSeconds >= Seconds{0.0},
             "ResilienceConfig.checkpointWriteSeconds must be finite "
             "and >= 0, got ", checkpointWriteSeconds);
-    require(std::isfinite(restartSeconds) && restartSeconds >= 0.0,
+    require(std::isfinite(restartSeconds.value())
+            && restartSeconds >= Seconds{0.0},
             "ResilienceConfig.restartSeconds must be finite and "
             ">= 0, got ", restartSeconds);
-    require(!std::isnan(checkpointIntervalSeconds)
-            && checkpointIntervalSeconds >= 0.0,
+    require(!std::isnan(checkpointIntervalSeconds.value())
+            && checkpointIntervalSeconds >= Seconds{0.0},
             "ResilienceConfig.checkpointIntervalSeconds must be >= 0 "
             "(0 = Daly optimal), got ", checkpointIntervalSeconds);
 }
@@ -95,7 +97,7 @@ ResilienceConfig::validate() const
 double
 ResilienceEstimate::overheadFraction() const
 {
-    if (solveSeconds <= 0.0)
+    if (solveSeconds <= Seconds{0.0})
         return 0.0;
     return (expectedSeconds - solveSeconds) / solveSeconds;
 }
@@ -106,7 +108,7 @@ checkpointBytes(const MemoryFootprint &footprint)
     return footprint.parameterBytes + footprint.optimizerBytes;
 }
 
-double
+Seconds
 checkpointWriteSeconds(double bytes,
                        const net::LinkConfig &storage_link)
 {
@@ -114,11 +116,11 @@ checkpointWriteSeconds(double bytes,
             "checkpointWriteSeconds: bytes must be finite and >= 0, "
             "got ", bytes);
     storage_link.validate();
-    return bytes * 8.0 / storage_link.bandwidthBits
-        + storage_link.latencySeconds;
+    return Bits{bytes * 8.0} / storage_link.bandwidth
+        + storage_link.latency;
 }
 
-double
+Seconds
 clusterMtbfSeconds(double device_failures_per_second,
                    std::int64_t devices)
 {
@@ -129,52 +131,60 @@ clusterMtbfSeconds(double device_failures_per_second,
     require(devices >= 1, "clusterMtbfSeconds: need >= 1 device, "
             "got ", devices);
     if (device_failures_per_second == 0.0)
-        return std::numeric_limits<double>::infinity();
-    return 1.0
-        / (device_failures_per_second
-           * static_cast<double>(devices));
+        return Seconds{std::numeric_limits<double>::infinity()};
+    return Seconds{1.0
+                   / (device_failures_per_second
+                      * static_cast<double>(devices))};
 }
 
-double
-dalyOptimalInterval(double delta, double mtbf)
+Seconds
+dalyOptimalInterval(Seconds delta, Seconds mtbf)
 {
-    require(std::isfinite(delta) && delta > 0.0,
+    // Nonlinear internals (sqrt of a seconds-squared product) fall
+    // outside the dimension algebra; unwrap once, compute in raw
+    // doubles, and re-wrap the result.
+    const double d = delta.value();
+    const double m = mtbf.value();
+    require(std::isfinite(d) && d > 0.0,
             "dalyOptimalInterval: checkpoint cost must be > 0, got ",
             delta);
-    require(mtbf > 0.0 && !std::isnan(mtbf),
+    require(m > 0.0 && !std::isnan(m),
             "dalyOptimalInterval: MTBF must be > 0, got ", mtbf);
-    if (!std::isfinite(mtbf))
-        return std::numeric_limits<double>::infinity();
-    if (delta >= 2.0 * mtbf)
+    if (!std::isfinite(m))
+        return Seconds{std::numeric_limits<double>::infinity()};
+    if (d >= 2.0 * m)
         return mtbf;
-    const double half = delta / (2.0 * mtbf);
-    return std::sqrt(2.0 * delta * mtbf)
-        * (1.0 + std::sqrt(half) / 3.0 + half / 9.0)
-        - delta;
+    const double half = d / (2.0 * m);
+    return Seconds{std::sqrt(2.0 * d * m)
+                       * (1.0 + std::sqrt(half) / 3.0 + half / 9.0)
+                   - d};
 }
 
-double
-expectedSegmentSeconds(double wall, double mtbf, double restart)
+Seconds
+expectedSegmentSeconds(Seconds wall, Seconds mtbf, Seconds restart)
 {
-    AMPED_ASSERT(wall >= 0.0 && restart >= 0.0 && mtbf > 0.0,
+    AMPED_ASSERT(wall >= Seconds{0.0} && restart >= Seconds{0.0}
+                     && mtbf > Seconds{0.0},
                  "expectedSegmentSeconds preconditions violated");
-    if (!std::isfinite(mtbf) || wall == 0.0)
+    if (!std::isfinite(mtbf.value()) || wall == Seconds{0.0})
         return wall;
     return (mtbf + restart) * std::expm1(wall / mtbf);
 }
 
 ResilienceEstimate
-estimateTimeToTrain(double solve_seconds,
+estimateTimeToTrain(Seconds solve_seconds,
                     const ResilienceConfig &config)
 {
     config.validate();
-    require(std::isfinite(solve_seconds) && solve_seconds >= 0.0,
+    require(std::isfinite(solve_seconds.value())
+            && solve_seconds >= Seconds{0.0},
             "estimateTimeToTrain: solve time must be finite and "
             ">= 0, got ", solve_seconds);
 
-    const double tau = resolveInterval(config);
+    const Seconds tau = resolveInterval(config);
     const Segmentation seg =
-        segment(solve_seconds, tau, config.checkpointWriteSeconds);
+        segment(solve_seconds.value(), tau.value(),
+                config.checkpointWriteSeconds.value());
     const auto full = static_cast<double>(seg.count - 1);
 
     ResilienceEstimate est;
@@ -185,27 +195,32 @@ estimateTimeToTrain(double solve_seconds,
         solve_seconds + full * config.checkpointWriteSeconds;
     est.expectedSeconds =
         full
-            * expectedSegmentSeconds(seg.fullWall, config.mtbfSeconds,
+            * expectedSegmentSeconds(Seconds{seg.fullWall},
+                                     config.mtbfSeconds,
                                      config.restartSeconds)
-        + expectedSegmentSeconds(seg.lastWall, config.mtbfSeconds,
+        + expectedSegmentSeconds(Seconds{seg.lastWall},
+                                 config.mtbfSeconds,
                                  config.restartSeconds);
-    if (std::isfinite(config.mtbfSeconds)) {
+    if (std::isfinite(config.mtbfSeconds.value())) {
         // Retries per segment follow e^{L/M} - 1 in expectation.
         est.expectedFailures =
-            full * std::expm1(seg.fullWall / config.mtbfSeconds)
-            + std::expm1(seg.lastWall / config.mtbfSeconds);
+            full
+                * std::expm1(seg.fullWall
+                             / config.mtbfSeconds.value())
+            + std::expm1(seg.lastWall / config.mtbfSeconds.value());
     }
     return est;
 }
 
 MonteCarloStats
-monteCarloTimeToTrain(double solve_seconds,
+monteCarloTimeToTrain(Seconds solve_seconds,
                       const ResilienceConfig &config,
                       std::size_t replications, std::uint64_t seed,
                       ThreadPool &pool, std::size_t max_workers)
 {
     config.validate();
-    require(std::isfinite(solve_seconds) && solve_seconds >= 0.0,
+    require(std::isfinite(solve_seconds.value())
+            && solve_seconds >= Seconds{0.0},
             "monteCarloTimeToTrain: solve time must be finite and "
             ">= 0, got ", solve_seconds);
     require(replications >= 1,
@@ -219,11 +234,14 @@ monteCarloTimeToTrain(double solve_seconds,
     replications_counter.add(replications);
     obs::ScopedTimer timer(mc_seconds);
 
-    const double tau = resolveInterval(config);
+    // The replication walk is raw double arithmetic; unwrap the typed
+    // inputs once at the boundary.
+    const Seconds tau = resolveInterval(config);
     const Segmentation seg =
-        segment(solve_seconds, tau, config.checkpointWriteSeconds);
-    const double mtbf = config.mtbfSeconds;
-    const double restart = config.restartSeconds;
+        segment(solve_seconds.value(), tau.value(),
+                config.checkpointWriteSeconds.value());
+    const double mtbf = config.mtbfSeconds.value();
+    const double restart = config.restartSeconds.value();
 
     // Walks one segment to completion under exponential failures.
     const auto run_segment = [&](double wall, Rng &rng) {
@@ -266,8 +284,8 @@ monteCarloTimeToTrain(double solve_seconds,
 
     MonteCarloStats stats;
     stats.replications = replications;
-    stats.meanSeconds = mean;
-    stats.stddevSeconds = std::sqrt(var);
+    stats.meanSeconds = Seconds{mean};
+    stats.stddevSeconds = Seconds{std::sqrt(var)};
     stats.standardError =
         stats.stddevSeconds
         / std::sqrt(static_cast<double>(replications));

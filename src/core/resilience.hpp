@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/quantity.hpp"
 #include "core/memory_model.hpp"
 #include "net/link.hpp"
 
@@ -54,19 +55,19 @@ struct ResilienceConfig
      * infinity for a failure-free cluster.  For homogeneous devices
      * use clusterMtbfSeconds().
      */
-    double mtbfSeconds = std::numeric_limits<double>::infinity();
+    Seconds mtbfSeconds{std::numeric_limits<double>::infinity()};
 
-    /** Checkpoint write cost delta in seconds (>= 0). */
-    double checkpointWriteSeconds = 0.0;
+    /** Checkpoint write cost delta (>= 0). */
+    Seconds checkpointWriteSeconds{0.0};
 
-    /** Restart cost R in seconds (>= 0): detect, reload, rewind. */
-    double restartSeconds = 0.0;
+    /** Restart cost R (>= 0): detect, reload, rewind. */
+    Seconds restartSeconds{0.0};
 
     /**
      * Checkpoint interval tau in work seconds (> 0), or 0 to use
      * dalyOptimalInterval(checkpointWriteSeconds, mtbfSeconds).
      */
-    double checkpointIntervalSeconds = 0.0;
+    Seconds checkpointIntervalSeconds{0.0};
 
     /** @throws UserError on out-of-range knobs. */
     void validate() const;
@@ -75,12 +76,12 @@ struct ResilienceConfig
 /** Expected-time-to-train estimate. */
 struct ResilienceEstimate
 {
-    double expectedSeconds = 0.0;     ///< E[completion] with failures.
-    double failureFreeSeconds = 0.0;  ///< Work + checkpoint writes.
-    double solveSeconds = 0.0;        ///< Pure work W (no overheads).
-    double intervalSeconds = 0.0;     ///< Interval tau actually used.
-    double expectedFailures = 0.0;    ///< E[failure count].
-    std::size_t segmentCount = 0;     ///< Checkpointed segments k.
+    Seconds expectedSeconds{0.0};    ///< E[completion] with failures.
+    Seconds failureFreeSeconds{0.0}; ///< Work + checkpoint writes.
+    Seconds solveSeconds{0.0};       ///< Pure work W (no overheads).
+    Seconds intervalSeconds{0.0};    ///< Interval tau actually used.
+    double expectedFailures = 0.0;   ///< E[failure count].
+    std::size_t segmentCount = 0;    ///< Checkpointed segments k.
 
     /** (expected - solve) / solve; 0 when solve is 0. */
     double overheadFraction() const;
@@ -89,9 +90,9 @@ struct ResilienceEstimate
 /** Monte-Carlo statistics over replications of the renewal process. */
 struct MonteCarloStats
 {
-    double meanSeconds = 0.0;
-    double stddevSeconds = 0.0;
-    double standardError = 0.0; ///< stddev / sqrt(replications).
+    Seconds meanSeconds{0.0};
+    Seconds stddevSeconds{0.0};
+    Seconds standardError{0.0}; ///< stddev / sqrt(replications).
     std::size_t replications = 0;
 };
 
@@ -108,8 +109,8 @@ double checkpointBytes(const MemoryFootprint &footprint);
  *
  * @throws UserError when bytes is negative or the link is invalid.
  */
-double checkpointWriteSeconds(double bytes,
-                              const net::LinkConfig &storage_link);
+Seconds checkpointWriteSeconds(double bytes,
+                               const net::LinkConfig &storage_link);
 
 /**
  * Cluster MTBF for @p devices homogeneous devices failing
@@ -118,8 +119,8 @@ double checkpointWriteSeconds(double bytes,
  *
  * @throws UserError when the rate is negative or devices < 1.
  */
-double clusterMtbfSeconds(double device_failures_per_second,
-                          std::int64_t devices);
+Seconds clusterMtbfSeconds(double device_failures_per_second,
+                           std::int64_t devices);
 
 /**
  * Daly's higher-order optimum checkpoint interval for write cost
@@ -133,7 +134,7 @@ double clusterMtbfSeconds(double device_failures_per_second,
  *
  * @throws UserError unless delta > 0 and mtbf > 0.
  */
-double dalyOptimalInterval(double delta, double mtbf);
+Seconds dalyOptimalInterval(Seconds delta, Seconds mtbf);
 
 /**
  * Expected wall time to complete a segment of fault-free wall length
@@ -141,8 +142,8 @@ double dalyOptimalInterval(double delta, double mtbf);
  * cost @p restart: (M + R)(e^{L/M} - 1); @p wall when the MTBF is
  * infinite.
  */
-double expectedSegmentSeconds(double wall, double mtbf,
-                              double restart);
+Seconds expectedSegmentSeconds(Seconds wall, Seconds mtbf,
+                               Seconds restart);
 
 /**
  * Expected time-to-train for @p solve_seconds of work under
@@ -152,7 +153,7 @@ double expectedSegmentSeconds(double wall, double mtbf,
  *         negative/non-finite, or no checkpoint interval is usable
  *         (interval 0 with zero write cost and finite MTBF).
  */
-ResilienceEstimate estimateTimeToTrain(double solve_seconds,
+ResilienceEstimate estimateTimeToTrain(Seconds solve_seconds,
                                        const ResilienceConfig &config);
 
 /**
@@ -171,7 +172,7 @@ ResilienceEstimate estimateTimeToTrain(double solve_seconds,
  * @param max_workers Optional per-call parallelism cap (0 = pool).
  */
 MonteCarloStats
-monteCarloTimeToTrain(double solve_seconds,
+monteCarloTimeToTrain(Seconds solve_seconds,
                       const ResilienceConfig &config,
                       std::size_t replications, std::uint64_t seed,
                       ThreadPool &pool, std::size_t max_workers = 0);

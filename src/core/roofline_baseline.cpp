@@ -16,28 +16,28 @@ RooflineBaseline::RooflineBaseline(model::OpCounter counter,
     system_.validate();
 }
 
-double
+Seconds
 RooflineBaseline::computeTime(double batch) const
 {
     require(batch > 0.0, "roofline: batch must be positive");
-    const double total_flops = counter_.modelFlopsPerBatch(batch);
-    const double aggregate_peak =
+    const Flops total_flops{counter_.modelFlopsPerBatch(batch)};
+    const FlopsPerSecond aggregate_peak =
         accel_.peakMacFlops() *
         static_cast<double>(system_.totalAccelerators());
     return total_flops / aggregate_peak;
 }
 
-double
+Seconds
 RooflineBaseline::communicationTime(
     const mapping::ParallelismConfig &mapping, double batch) const
 {
     mapping.validate();
     const auto &cfg = counter_.config();
-    const double s_act = accel_.precisions.activationBits;
-    const double s_g = accel_.precisions.parameterBits;
+    const Bits s_act = accel_.precisions.activationBits;
+    const Bits s_g = accel_.precisions.parameterBits;
 
     // Every byte the training step moves, lumped together.
-    double bits = 0.0;
+    Bits bits{0.0};
     if (mapping.tp() > 1) {
         bits += counter_.activationsTensorParallel(batch) * s_act *
                 static_cast<double>(cfg.numLayers) * 2.0; // fwd+bwd
@@ -53,13 +53,13 @@ RooflineBaseline::communicationTime(
 
     // Everything flows through "the network": aggregate inter-node
     // bandwidth of the whole system (the roofline's single number).
-    const double network_bits_per_second =
-        system_.interBandwidthBits() *
+    const BitsPerSecond network_bandwidth =
+        system_.interBandwidth() *
         static_cast<double>(system_.numNodes);
-    return bits / network_bits_per_second;
+    return bits / network_bandwidth;
 }
 
-double
+Seconds
 RooflineBaseline::timePerBatch(
     const mapping::ParallelismConfig &mapping,
     const TrainingJob &job) const

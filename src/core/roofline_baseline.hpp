@@ -15,6 +15,7 @@
 #ifndef AMPED_CORE_ROOFLINE_BASELINE_HPP
 #define AMPED_CORE_ROOFLINE_BASELINE_HPP
 
+#include "common/quantity.hpp"
 #include "core/training_job.hpp"
 #include "hw/accelerator.hpp"
 #include "mapping/parallelism.hpp"
@@ -45,15 +46,15 @@ class RooflineBaseline
      * pipeline hops, gradients) at the aggregate inter-node
      * bandwidth — ignoring who communicates with whom.
      */
-    double timePerBatch(const mapping::ParallelismConfig &mapping,
-                        const TrainingJob &job) const;
+    Seconds timePerBatch(const mapping::ParallelismConfig &mapping,
+                         const TrainingJob &job) const;
 
     /** Compute-only component of the estimate. */
-    double computeTime(double batch) const;
+    Seconds computeTime(double batch) const;
 
     /** Communication component of the estimate. */
-    double communicationTime(const mapping::ParallelismConfig &mapping,
-                             double batch) const;
+    Seconds communicationTime(const mapping::ParallelismConfig &mapping,
+                              double batch) const;
 
   private:
     model::OpCounter counter_;

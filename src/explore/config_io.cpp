@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/quantity.hpp"
 #include "common/units.hpp"
 
 namespace amped {
@@ -96,8 +97,10 @@ acceleratorFromConfig(const KeyValueConfig &config)
                         "precision-nonlin-unit"});
     hw::AcceleratorConfig cfg;
     cfg.name = config.getString("name", "custom-accelerator");
+    // Config files are an I/O boundary: raw doubles get their units
+    // tagged exactly once, here.
     cfg.frequency =
-        getPositiveDouble(config, "frequency-ghz") * units::giga;
+        Hertz{getPositiveDouble(config, "frequency-ghz") * units::giga};
     cfg.numCores = getPositiveInt(config, "cores");
     cfg.numMacUnits = getPositiveInt(config, "mac-units");
     cfg.macUnitWidth = getPositiveInt(config, "mac-width");
@@ -105,18 +108,18 @@ acceleratorFromConfig(const KeyValueConfig &config)
     cfg.nonlinUnitWidth = getPositiveInt(config, "nonlin-width");
     cfg.memoryBytes =
         getPositiveDouble(config, "memory-gb") * units::giga;
-    cfg.offChipBandwidthBits = units::gigabitsPerSecond(
+    cfg.offChipBandwidth = units::gigabitsPerSecondBw(
         getPositiveDouble(config, "offchip-gbits"));
     cfg.precisions.parameterBits =
-        getPositiveDouble(config, "precision-param", 16.0);
+        Bits{getPositiveDouble(config, "precision-param", 16.0)};
     cfg.precisions.activationBits =
-        getPositiveDouble(config, "precision-act", 16.0);
+        Bits{getPositiveDouble(config, "precision-act", 16.0)};
     cfg.precisions.nonlinearBits =
-        getPositiveDouble(config, "precision-nonlin", 16.0);
+        Bits{getPositiveDouble(config, "precision-nonlin", 16.0)};
     cfg.precisions.macUnitBits =
-        getPositiveDouble(config, "precision-mac-unit", 16.0);
+        Bits{getPositiveDouble(config, "precision-mac-unit", 16.0)};
     cfg.precisions.nonlinearUnitBits =
-        getPositiveDouble(config, "precision-nonlin-unit", 16.0);
+        Bits{getPositiveDouble(config, "precision-nonlin-unit", 16.0)};
     cfg.validate();
     return cfg;
 }
@@ -142,13 +145,15 @@ systemFromConfig(const KeyValueConfig &config)
         getPositiveInt(config, "nics", sys.acceleratorsPerNode);
     sys.intraLink = net::LinkConfig{
         "intra",
-        getNonNegativeDouble(config, "intra-latency-us", 2.0) * 1e-6,
-        units::gigabitsPerSecond(
+        Seconds{getNonNegativeDouble(config, "intra-latency-us", 2.0) *
+                1e-6},
+        units::gigabitsPerSecondBw(
             getPositiveDouble(config, "intra-gbits"))};
     sys.interLink = net::LinkConfig{
         "inter",
-        getNonNegativeDouble(config, "inter-latency-us", 1.2) * 1e-6,
-        units::gigabitsPerSecond(
+        Seconds{getNonNegativeDouble(config, "inter-latency-us", 1.2) *
+                1e-6},
+        units::gigabitsPerSecondBw(
             getPositiveDouble(config, "inter-gbits"))};
     sys.interIsPooledFabric =
         config.getInt("pooled-fabric", 0) != 0;

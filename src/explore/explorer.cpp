@@ -83,8 +83,8 @@ void
 keyLink(std::ostringstream &oss, const net::LinkConfig &link)
 {
     keyPart(oss, link.name);
-    keyPart(oss, link.latencySeconds);
-    keyPart(oss, link.bandwidthBits);
+    keyPart(oss, link.latency);
+    keyPart(oss, link.bandwidth);
 }
 
 /**
@@ -134,7 +134,7 @@ sweepCacheKey(const core::AmpedModel &model,
     keyPart(oss, accel.numNonlinUnits);
     keyPart(oss, accel.nonlinUnitWidth);
     keyPart(oss, accel.memoryBytes);
-    keyPart(oss, accel.offChipBandwidthBits);
+    keyPart(oss, accel.offChipBandwidth);
     keyPart(oss, accel.precisions.parameterBits);
     keyPart(oss, accel.precisions.activationBits);
     keyPart(oss, accel.precisions.nonlinearBits);

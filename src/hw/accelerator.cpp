@@ -10,17 +10,20 @@ namespace hw {
 void
 Precisions::validate() const
 {
-    require(parameterBits > 0.0, "parameterBits must be positive");
-    require(activationBits > 0.0, "activationBits must be positive");
-    require(nonlinearBits > 0.0, "nonlinearBits must be positive");
-    require(macUnitBits > 0.0, "macUnitBits must be positive");
-    require(nonlinearUnitBits > 0.0, "nonlinearUnitBits must be positive");
+    require(parameterBits > Bits{0.0}, "parameterBits must be positive");
+    require(activationBits > Bits{0.0},
+            "activationBits must be positive");
+    require(nonlinearBits > Bits{0.0}, "nonlinearBits must be positive");
+    require(macUnitBits > Bits{0.0}, "macUnitBits must be positive");
+    require(nonlinearUnitBits > Bits{0.0},
+            "nonlinearUnitBits must be positive");
 }
 
 void
 AcceleratorConfig::validate() const
 {
-    require(frequency > 0.0, name, ": frequency must be positive");
+    require(frequency > Hertz{0.0}, name,
+            ": frequency must be positive");
     require(numCores > 0, name, ": numCores must be positive");
     require(numMacUnits > 0, name, ": numMacUnits must be positive");
     require(macUnitWidth > 0, name, ": macUnitWidth must be positive");
@@ -29,24 +32,30 @@ AcceleratorConfig::validate() const
     require(nonlinUnitWidth > 0, name,
             ": nonlinUnitWidth must be positive");
     require(memoryBytes > 0.0, name, ": memoryBytes must be positive");
-    require(offChipBandwidthBits > 0.0, name,
-            ": offChipBandwidthBits must be positive");
+    require(offChipBandwidth > BitsPerSecond{0.0}, name,
+            ": offChipBandwidth must be positive");
     precisions.validate();
 }
 
-double
+FlopsPerSecond
 AcceleratorConfig::peakMacFlops() const
 {
-    return frequency * static_cast<double>(numCores) *
-           static_cast<double>(numMacUnits) *
-           static_cast<double>(macUnitWidth);
+    // W_FU is FLOPs per cycle; cycles are dimensionless, so scaling
+    // the clock rate by the device-total FLOPs-per-cycle and tagging
+    // one FLOP per cycle yields FLOP/s without touching the value.
+    const Hertz scaled = frequency * static_cast<double>(numCores) *
+                         static_cast<double>(numMacUnits) *
+                         static_cast<double>(macUnitWidth);
+    return Flops{1.0} * scaled;
 }
 
-double
+FlopsPerSecond
 AcceleratorConfig::peakNonlinOps() const
 {
-    return frequency * static_cast<double>(numNonlinUnits) *
-           static_cast<double>(nonlinUnitWidth);
+    const Hertz scaled = frequency *
+                         static_cast<double>(numNonlinUnits) *
+                         static_cast<double>(nonlinUnitWidth);
+    return Flops{1.0} * scaled;
 }
 
 double
@@ -64,7 +73,7 @@ nonlinPrecisionFactor(const Precisions &p)
     return std::max(1.0, std::ceil(ratio));
 }
 
-double
+SecondsPerFlop
 cMac(const AcceleratorConfig &accel, double efficiency)
 {
     require(efficiency > 0.0 && efficiency <= 1.0,
@@ -72,7 +81,7 @@ cMac(const AcceleratorConfig &accel, double efficiency)
     return 1.0 / (accel.peakMacFlops() * efficiency);
 }
 
-double
+SecondsPerFlop
 cNonlin(const AcceleratorConfig &accel)
 {
     return 1.0 / accel.peakNonlinOps();

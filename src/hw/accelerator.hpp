@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/quantity.hpp"
+
 namespace amped {
 namespace hw {
 
@@ -36,11 +38,11 @@ namespace hw {
  */
 struct Precisions
 {
-    double parameterBits = 16.0;     ///< S_p.
-    double activationBits = 16.0;    ///< S_act.
-    double nonlinearBits = 16.0;     ///< S_nonlin.
-    double macUnitBits = 16.0;       ///< S_FU_MAC.
-    double nonlinearUnitBits = 16.0; ///< S_FU_nonlin.
+    Bits parameterBits{16.0};     ///< S_p.
+    Bits activationBits{16.0};    ///< S_act.
+    Bits nonlinearBits{16.0};     ///< S_nonlin.
+    Bits macUnitBits{16.0};       ///< S_FU_MAC.
+    Bits nonlinearUnitBits{16.0}; ///< S_FU_nonlin.
 
     /** Validates that every precision is positive. */
     void validate() const;
@@ -54,8 +56,8 @@ struct AcceleratorConfig
     /** Display name ("NVIDIA A100", ...). */
     std::string name = "unnamed";
 
-    /** Clock frequency f in cycles/s. */
-    double frequency = 0.0;
+    /** Clock frequency f. */
+    Hertz frequency;
 
     /** Number of compute cores (SMs), N_cores. */
     std::int64_t numCores = 0;
@@ -79,10 +81,10 @@ struct AcceleratorConfig
     double memoryBytes = 0.0;
 
     /**
-     * Off-chip bandwidth in bits/s (the per-accelerator intra-node
-     * bandwidth, BW_intra in Table IV).
+     * Off-chip bandwidth (the per-accelerator intra-node bandwidth,
+     * BW_intra in Table IV).
      */
-    double offChipBandwidthBits = 0.0;
+    BitsPerSecond offChipBandwidth;
 
     /** Operand / functional-unit precisions. */
     Precisions precisions;
@@ -93,11 +95,11 @@ struct AcceleratorConfig
      */
     void validate() const;
 
-    /** Peak MAC-pipeline throughput f N_cores N_FU W_FU in FLOP/s. */
-    double peakMacFlops() const;
+    /** Peak MAC-pipeline throughput f N_cores N_FU W_FU. */
+    FlopsPerSecond peakMacFlops() const;
 
-    /** Peak nonlinear throughput f N_FU_nonlin W_FU_nonlin in op/s. */
-    double peakNonlinOps() const;
+    /** Peak nonlinear throughput f N_FU_nonlin W_FU_nonlin. */
+    FlopsPerSecond peakNonlinOps() const;
 };
 
 /** ceil(max(S_p, S_act) / S_FU_MAC), never below 1 (Eq. 2). */
@@ -113,13 +115,13 @@ double nonlinPrecisionFactor(const Precisions &p);
  * @param accel Accelerator description.
  * @param efficiency eff(ub) in (0, 1].
  */
-double cMac(const AcceleratorConfig &accel, double efficiency);
+SecondsPerFlop cMac(const AcceleratorConfig &accel, double efficiency);
 
 /**
  * Reciprocal nonlinear throughput C_nonlin =
  * (f N_FU_nonlin W_FU_nonlin)^-1 in seconds per op (Eq. 4).
  */
-double cNonlin(const AcceleratorConfig &accel);
+SecondsPerFlop cNonlin(const AcceleratorConfig &accel);
 
 } // namespace hw
 } // namespace amped

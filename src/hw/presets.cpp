@@ -1,5 +1,6 @@
 #include "presets.hpp"
 
+#include "common/quantity.hpp"
 #include "common/units.hpp"
 
 namespace amped {
@@ -11,14 +12,14 @@ tinyTest()
 {
     AcceleratorConfig cfg;
     cfg.name = "tiny-test";
-    cfg.frequency = 1e9;
+    cfg.frequency = Hertz{1e9};
     cfg.numCores = 4;
     cfg.numMacUnits = 2;
     cfg.macUnitWidth = 16;
     cfg.numNonlinUnits = 16;
     cfg.nonlinUnitWidth = 2;
     cfg.memoryBytes = 4.0 * units::giga;
-    cfg.offChipBandwidthBits = units::gigabytesPerSecond(50.0);
+    cfg.offChipBandwidth = units::gigabytesPerSecondBw(50.0);
     cfg.validate();
     return cfg;
 }
@@ -30,7 +31,7 @@ v100Sxm3()
     // clock 1530 MHz.  Peak FP16: 1.53e9 * 80 * 8 * 128 = 125 TFLOP/s.
     AcceleratorConfig cfg;
     cfg.name = "NVIDIA V100 SXM3";
-    cfg.frequency = 1.53e9;
+    cfg.frequency = Hertz{1.53e9};
     cfg.numCores = 80;
     cfg.numMacUnits = 8;
     cfg.macUnitWidth = 128;
@@ -38,7 +39,7 @@ v100Sxm3()
     cfg.nonlinUnitWidth = 4;
     cfg.memoryBytes = 32.0 * units::giga;
     // NVLink2: 6 links x 50 GB/s = 300 GB/s aggregate.
-    cfg.offChipBandwidthBits = units::gigabytesPerSecond(300.0);
+    cfg.offChipBandwidth = units::gigabytesPerSecondBw(300.0);
     cfg.validate();
     return cfg;
 }
@@ -50,7 +51,7 @@ p100Pcie()
     // FP16: 1.48e9 * 56 * 4 * 64 = 21.2 TFLOP/s.
     AcceleratorConfig cfg;
     cfg.name = "NVIDIA P100 PCIe";
-    cfg.frequency = 1.48e9;
+    cfg.frequency = Hertz{1.48e9};
     cfg.numCores = 56;
     cfg.numMacUnits = 4;
     cfg.macUnitWidth = 64;
@@ -58,7 +59,7 @@ p100Pcie()
     cfg.nonlinUnitWidth = 4;
     cfg.memoryBytes = 16.0 * units::giga;
     // PCIe 3.0 x16: ~15.75 GB/s.
-    cfg.offChipBandwidthBits = units::gigabytesPerSecond(15.75);
+    cfg.offChipBandwidth = units::gigabytesPerSecondBw(15.75);
     cfg.validate();
     return cfg;
 }
@@ -69,14 +70,14 @@ a100()
     // Table IV row 1.  Peak: 1.41e9 * 108 * 4 * 512 = 312 TFLOP/s.
     AcceleratorConfig cfg;
     cfg.name = "NVIDIA A100";
-    cfg.frequency = 1.41e9;
+    cfg.frequency = Hertz{1.41e9};
     cfg.numCores = 108;
     cfg.numMacUnits = 4;
     cfg.macUnitWidth = 512;
     cfg.numNonlinUnits = 192;
     cfg.nonlinUnitWidth = 4;
     cfg.memoryBytes = 80.0 * units::giga;
-    cfg.offChipBandwidthBits = 2.4e12; // Table IV BW_intra.
+    cfg.offChipBandwidth = BitsPerSecond{2.4e12}; // Table IV.
     cfg.validate();
     return cfg;
 }
@@ -87,14 +88,14 @@ h100()
     // Table IV row 2.  Peak: 1.8e9 * 132 * 4 * 1024 = 973 TFLOP/s.
     AcceleratorConfig cfg;
     cfg.name = "NVIDIA H100";
-    cfg.frequency = 1.8e9;
+    cfg.frequency = Hertz{1.8e9};
     cfg.numCores = 132;
     cfg.numMacUnits = 4;
     cfg.macUnitWidth = 1024;
     cfg.numNonlinUnits = 320;
     cfg.nonlinUnitWidth = 4;
     cfg.memoryBytes = 80.0 * units::giga;
-    cfg.offChipBandwidthBits = 3.6e12; // Table IV BW_intra.
+    cfg.offChipBandwidth = BitsPerSecond{3.6e12}; // Table IV.
     cfg.validate();
     return cfg;
 }

@@ -5,91 +5,91 @@
 namespace amped {
 namespace net {
 
-double
+Seconds
 allReduceTime(std::int64_t participants, double elements,
-              double bits_per_element, const LinkConfig &link,
+              Bits bits_per_element, const LinkConfig &link,
               double topology_factor)
 {
     require(participants >= 1,
             "allReduceTime: participants must be >= 1, got ",
             participants);
     require(elements >= 0.0, "allReduceTime: negative element count");
-    require(bits_per_element > 0.0,
+    require(bits_per_element > Bits{0.0},
             "allReduceTime: bits per element must be positive");
     if (participants == 1)
-        return 0.0;
+        return Seconds{0.0};
     const double factor = topology_factor >= 0.0
                               ? topology_factor
                               : topology::ringAllReduce(participants);
-    const double latency_term = link.latencySeconds * factor *
-                                static_cast<double>(participants);
-    const double bandwidth_term =
-        elements * bits_per_element / link.bandwidthBits * factor;
+    const Seconds latency_term = link.latency * factor *
+                                 static_cast<double>(participants);
+    const Seconds bandwidth_term =
+        elements * bits_per_element / link.bandwidth * factor;
     return latency_term + bandwidth_term;
 }
 
-double
-pointToPointTime(double elements, double bits_per_element,
+Seconds
+pointToPointTime(double elements, Bits bits_per_element,
                  const LinkConfig &link)
 {
     require(elements >= 0.0, "pointToPointTime: negative element count");
-    require(bits_per_element > 0.0,
+    require(bits_per_element > Bits{0.0},
             "pointToPointTime: bits per element must be positive");
-    return link.latencySeconds +
-           elements * bits_per_element / link.bandwidthBits;
+    return link.latency +
+           elements * bits_per_element / link.bandwidth;
 }
 
-double
+Seconds
 allToAllTime(std::int64_t num_nodes, double elements,
-             double bits_per_element, const LinkConfig &intra,
-             double inter_latency, double inter_bandwidth_bits)
+             Bits bits_per_element, const LinkConfig &intra,
+             Seconds inter_latency, BitsPerSecond inter_bandwidth)
 {
     require(num_nodes >= 1, "allToAllTime: num_nodes must be >= 1, got ",
             num_nodes);
     require(elements >= 0.0, "allToAllTime: negative element count");
-    require(bits_per_element > 0.0,
+    require(bits_per_element > Bits{0.0},
             "allToAllTime: bits per element must be positive");
-    require(inter_bandwidth_bits > 0.0,
+    require(inter_bandwidth > BitsPerSecond{0.0},
             "allToAllTime: inter bandwidth must be positive");
     if (num_nodes == 1) {
         // Purely intra-node exchange; latency still applies once per
         // participant pair but the topology factor is zero, so the
         // whole pattern collapses to a local shuffle.
-        return 0.0;
+        return Seconds{0.0};
     }
     const double nd = static_cast<double>(num_nodes);
     const double factor = topology::pairwiseAllToAll(num_nodes);
-    const double latency_term = inter_latency * factor * nd;
-    const double data_bits = elements * bits_per_element;
-    const double bandwidth_term =
-        data_bits * factor *
-        (1.0 / (nd * intra.bandwidthBits) +
-         (nd - 1.0) / (nd * inter_bandwidth_bits));
+    const Seconds latency_term = inter_latency * factor * nd;
+    const Bits data_bits = elements * bits_per_element;
+    // Seconds per bit of the blended intra/inter path.
+    const auto path_cost = 1.0 / (nd * intra.bandwidth) +
+                           (nd - 1.0) / (nd * inter_bandwidth);
+    const Seconds bandwidth_term = data_bits * factor * path_cost;
     return latency_term + bandwidth_term;
 }
 
-double
+Seconds
 hierarchicalAllReduceTime(std::int64_t intra_participants,
                           std::int64_t inter_participants,
-                          double elements, double bits_per_element,
-                          const LinkConfig &intra, double inter_latency,
-                          double inter_bandwidth_bits)
+                          double elements, Bits bits_per_element,
+                          const LinkConfig &intra, Seconds inter_latency,
+                          BitsPerSecond inter_bandwidth)
 {
     require(intra_participants >= 1,
             "hierarchicalAllReduceTime: intra participants must be >= 1");
     require(inter_participants >= 1,
             "hierarchicalAllReduceTime: inter participants must be >= 1");
-    require(inter_bandwidth_bits > 0.0,
+    require(inter_bandwidth > BitsPerSecond{0.0},
             "hierarchicalAllReduceTime: inter bandwidth must be "
             "positive");
 
-    const double intra_time = allReduceTime(
+    const Seconds intra_time = allReduceTime(
         intra_participants, elements, bits_per_element, intra);
 
-    double inter_time = 0.0;
+    Seconds inter_time{0.0};
     if (inter_participants > 1) {
         const LinkConfig inter_link{"inter", inter_latency,
-                                    inter_bandwidth_bits};
+                                    inter_bandwidth};
         inter_time = allReduceTime(inter_participants, elements,
                                    bits_per_element, inter_link);
     }

@@ -41,9 +41,9 @@ namespace net {
  * @param topology_factor Pass a custom T; negative selects the ring
  *        default 2 (N-1)/N.
  */
-double allReduceTime(std::int64_t participants, double elements,
-                     double bits_per_element, const LinkConfig &link,
-                     double topology_factor = -1.0);
+Seconds allReduceTime(std::int64_t participants, double elements,
+                      Bits bits_per_element, const LinkConfig &link,
+                      double topology_factor = -1.0);
 
 /**
  * One point-to-point transfer (pipeline hop): C + bits / BW.
@@ -52,8 +52,8 @@ double allReduceTime(std::int64_t participants, double elements,
  * @param bits_per_element Precision of each element.
  * @param link Link traversed.
  */
-double pointToPointTime(double elements, double bits_per_element,
-                        const LinkConfig &link);
+Seconds pointToPointTime(double elements, Bits bits_per_element,
+                         const LinkConfig &link);
 
 /**
  * Pairwise-exchange all-to-all across @p num_nodes nodes (paper
@@ -66,9 +66,10 @@ double pointToPointTime(double elements, double bits_per_element,
  * 1/N_nodes and cross nodes otherwise (uniform routing, perfect load
  * balance).
  */
-double allToAllTime(std::int64_t num_nodes, double elements,
-                    double bits_per_element, const LinkConfig &intra,
-                    double inter_latency, double inter_bandwidth_bits);
+Seconds allToAllTime(std::int64_t num_nodes, double elements,
+                     Bits bits_per_element, const LinkConfig &intra,
+                     Seconds inter_latency,
+                     BitsPerSecond inter_bandwidth);
 
 /**
  * Hierarchical all-reduce: reduce within each node over @p intra,
@@ -80,16 +81,16 @@ double allToAllTime(std::int64_t num_nodes, double elements,
  * @param elements Elements reduced.
  * @param bits_per_element Precision of each element.
  * @param intra Intra-node link.
- * @param inter_latency Inter-node latency in seconds.
- * @param inter_bandwidth_bits Aggregate inter-node bandwidth.
+ * @param inter_latency Inter-node latency.
+ * @param inter_bandwidth Aggregate inter-node bandwidth.
  */
-double hierarchicalAllReduceTime(std::int64_t intra_participants,
-                                 std::int64_t inter_participants,
-                                 double elements,
-                                 double bits_per_element,
-                                 const LinkConfig &intra,
-                                 double inter_latency,
-                                 double inter_bandwidth_bits);
+Seconds hierarchicalAllReduceTime(std::int64_t intra_participants,
+                                  std::int64_t inter_participants,
+                                  double elements,
+                                  Bits bits_per_element,
+                                  const LinkConfig &intra,
+                                  Seconds inter_latency,
+                                  BitsPerSecond inter_bandwidth);
 
 } // namespace net
 } // namespace amped

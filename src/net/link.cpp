@@ -10,17 +10,18 @@ namespace net {
 void
 LinkConfig::validate() const
 {
-    require(latencySeconds >= 0.0, name,
-            ": link latency must be non-negative, got ", latencySeconds);
-    require(bandwidthBits > 0.0, name,
-            ": link bandwidth must be positive, got ", bandwidthBits);
+    require(latency >= Seconds{0.0}, name,
+            ": link latency must be non-negative, got ", latency);
+    require(bandwidth > BitsPerSecond{0.0}, name,
+            ": link bandwidth must be positive, got ", bandwidth);
 }
 
-double
-LinkConfig::transferTime(double bits) const
+Seconds
+LinkConfig::transferTime(Bits bits) const
 {
-    require(bits >= 0.0, name, ": transfer size must be non-negative");
-    return bits / bandwidthBits;
+    require(bits >= Bits{0.0}, name,
+            ": transfer size must be non-negative");
+    return bits / bandwidth;
 }
 
 LinkConfig
@@ -29,7 +30,7 @@ LinkConfig::scaledBandwidth(double factor) const
     require(factor > 0.0, name,
             ": bandwidth scale factor must be positive, got ", factor);
     LinkConfig scaled = *this;
-    scaled.bandwidthBits *= factor;
+    scaled.bandwidth *= factor;
     return scaled;
 }
 

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/quantity.hpp"
+
 namespace amped {
 namespace net {
 
@@ -28,11 +30,11 @@ struct LinkConfig
     /** Display name ("NVLink3", "HDR InfiniBand", ...). */
     std::string name = "unnamed";
 
-    /** Per-message latency C in seconds. */
-    double latencySeconds = 0.0;
+    /** Per-message latency C. */
+    Seconds latency;
 
-    /** Bandwidth BW in bits per second. */
-    double bandwidthBits = 0.0;
+    /** Bandwidth BW (Table IV quotes bits per second). */
+    BitsPerSecond bandwidth;
 
     /**
      * Validates the link (latency >= 0, bandwidth > 0).
@@ -41,7 +43,7 @@ struct LinkConfig
     void validate() const;
 
     /** Pure serialization time for @p bits over this link. */
-    double transferTime(double bits) const;
+    Seconds transferTime(Bits bits) const;
 
     /** Returns a copy with the bandwidth scaled by @p factor. */
     LinkConfig scaledBandwidth(double factor) const;

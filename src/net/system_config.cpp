@@ -26,22 +26,22 @@ SystemConfig::totalAccelerators() const
     return numNodes * acceleratorsPerNode;
 }
 
-double
-SystemConfig::intraBandwidthBits() const
+BitsPerSecond
+SystemConfig::intraBandwidth() const
 {
-    return intraLink.bandwidthBits;
+    return intraLink.bandwidth;
 }
 
-double
-SystemConfig::interBandwidthBits() const
+BitsPerSecond
+SystemConfig::interBandwidth() const
 {
-    return interLink.bandwidthBits * static_cast<double>(nicsPerNode);
+    return interLink.bandwidth * static_cast<double>(nicsPerNode);
 }
 
-double
-SystemConfig::perStreamInterBandwidthBits() const
+BitsPerSecond
+SystemConfig::perStreamInterBandwidth() const
 {
-    return interBandwidthBits() /
+    return interBandwidth() /
            static_cast<double>(acceleratorsPerNode);
 }
 
@@ -54,10 +54,10 @@ tinyTest()
     sys.name = "tiny-test-2x2";
     sys.numNodes = 2;
     sys.acceleratorsPerNode = 2;
-    sys.intraLink = LinkConfig{"test-intra", 1e-6,
-                               units::gigabytesPerSecond(100.0)};
-    sys.interLink = LinkConfig{"test-inter", 5e-6,
-                               units::gigabitsPerSecond(100.0)};
+    sys.intraLink = LinkConfig{"test-intra", Seconds{1e-6},
+                               units::gigabytesPerSecondBw(100.0)};
+    sys.interLink = LinkConfig{"test-inter", Seconds{5e-6},
+                               units::gigabitsPerSecondBw(100.0)};
     sys.nicsPerNode = 1;
     sys.validate();
     return sys;
@@ -67,56 +67,58 @@ LinkConfig
 nvlinkV100()
 {
     // NVLink2 + NVSwitch: 300 GB/s per GPU aggregate.
-    return LinkConfig{"NVLink2+NVSwitch", 2e-6,
-                      units::gigabytesPerSecond(300.0)};
+    return LinkConfig{"NVLink2+NVSwitch", Seconds{2e-6},
+                      units::gigabytesPerSecondBw(300.0)};
 }
 
 LinkConfig
 nvlinkA100()
 {
-    return LinkConfig{"NVLink3", 2e-6, 2.4e12}; // Table IV.
+    return LinkConfig{"NVLink3", Seconds{2e-6},
+                      BitsPerSecond{2.4e12}}; // Table IV.
 }
 
 LinkConfig
 nvlinkH100()
 {
-    return LinkConfig{"NVLink4", 2e-6, 3.6e12}; // Table IV.
+    return LinkConfig{"NVLink4", Seconds{2e-6},
+                      BitsPerSecond{3.6e12}}; // Table IV.
 }
 
 LinkConfig
 pcie3()
 {
-    return LinkConfig{"PCIe3 x16", 5e-6,
-                      units::gigabytesPerSecond(15.75)};
+    return LinkConfig{"PCIe3 x16", Seconds{5e-6},
+                      units::gigabytesPerSecondBw(15.75)};
 }
 
 LinkConfig
 edrInfiniband()
 {
-    return LinkConfig{"EDR InfiniBand", 1.5e-6,
-                      units::gigabitsPerSecond(100.0)};
+    return LinkConfig{"EDR InfiniBand", Seconds{1.5e-6},
+                      units::gigabitsPerSecondBw(100.0)};
 }
 
 LinkConfig
 hdrInfiniband()
 {
-    return LinkConfig{"HDR InfiniBand", 1.2e-6,
-                      units::gigabitsPerSecond(200.0)};
+    return LinkConfig{"HDR InfiniBand", Seconds{1.2e-6},
+                      units::gigabitsPerSecondBw(200.0)};
 }
 
 LinkConfig
 ndrInfiniband()
 {
-    return LinkConfig{"NDR InfiniBand", 1.0e-6,
-                      units::gigabitsPerSecond(400.0)};
+    return LinkConfig{"NDR InfiniBand", Seconds{1.0e-6},
+                      units::gigabitsPerSecondBw(400.0)};
 }
 
 LinkConfig
-opticalFiber(double off_chip_bits)
+opticalFiber(BitsPerSecond off_chip)
 {
-    require(off_chip_bits > 0.0,
+    require(off_chip > BitsPerSecond{0.0},
             "opticalFiber: off-chip bandwidth must be positive");
-    return LinkConfig{"optical fiber", 2e-7, off_chip_bits};
+    return LinkConfig{"optical fiber", Seconds{2e-7}, off_chip};
 }
 
 SystemConfig

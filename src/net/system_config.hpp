@@ -64,34 +64,33 @@ struct SystemConfig
     /** Total accelerator count numNodes * acceleratorsPerNode. */
     std::int64_t totalAccelerators() const;
 
-    /** Effective intra-node bandwidth BW_intra in bits/s. */
-    double intraBandwidthBits() const;
+    /** Effective intra-node bandwidth BW_intra. */
+    BitsPerSecond intraBandwidth() const;
 
     /**
-     * Aggregate per-node inter-node bandwidth in bits/s: one NIC's
-     * bandwidth times the NIC count.
+     * Aggregate per-node inter-node bandwidth: one NIC's bandwidth
+     * times the NIC count.
      */
-    double interBandwidthBits() const;
+    BitsPerSecond interBandwidth() const;
 
     /**
-     * Per-communication-stream inter-node bandwidth BW_inter in
-     * bits/s: the node aggregate divided by the accelerators sharing
-     * it.  This is the bandwidth one accelerator's ring / all-to-all
-     * stream sees, and the BW_inter every AMPeD equation uses: with
-     * one NIC per accelerator (Case Studies I and II) it equals one
-     * NIC's bandwidth; with one optical fiber per accelerator (Case
-     * Study III, Opt. 1) it equals the accelerator's off-chip
-     * bandwidth; in the larger substrate configurations (Opt. 2) it
-     * shrinks because not every accelerator sits on the substrate
-     * edge.
+     * Per-communication-stream inter-node bandwidth BW_inter: the
+     * node aggregate divided by the accelerators sharing it.  This is
+     * the bandwidth one accelerator's ring / all-to-all stream sees,
+     * and the BW_inter every AMPeD equation uses: with one NIC per
+     * accelerator (Case Studies I and II) it equals one NIC's
+     * bandwidth; with one optical fiber per accelerator (Case Study
+     * III, Opt. 1) it equals the accelerator's off-chip bandwidth; in
+     * the larger substrate configurations (Opt. 2) it shrinks because
+     * not every accelerator sits on the substrate edge.
      */
-    double perStreamInterBandwidthBits() const;
+    BitsPerSecond perStreamInterBandwidth() const;
 
-    /** Inter-node link latency C_inter in seconds. */
-    double interLatencySeconds() const { return interLink.latencySeconds; }
+    /** Inter-node link latency C_inter. */
+    Seconds interLatency() const { return interLink.latency; }
 
-    /** Intra-node link latency C_intra in seconds. */
-    double intraLatencySeconds() const { return intraLink.latencySeconds; }
+    /** Intra-node link latency C_intra. */
+    Seconds intraLatency() const { return intraLink.latency; }
 };
 
 namespace presets {
@@ -125,9 +124,9 @@ LinkConfig ndrInfiniband();
  * substrate (Case Study III): carries the accelerator's full
  * off-chip bandwidth with sub-microsecond latency.
  *
- * @param off_chip_bits Per-accelerator off-chip bandwidth in bits/s.
+ * @param off_chip Per-accelerator off-chip bandwidth.
  */
-LinkConfig opticalFiber(double off_chip_bits);
+LinkConfig opticalFiber(BitsPerSecond off_chip);
 
 /**
  * HGX-2 validation node (Table I): single node, up to 16 V100s on

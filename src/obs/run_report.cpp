@@ -98,8 +98,8 @@ simulationJson(const std::string &label,
                     static_cast<std::int64_t>(f.abortedTasks));
         failure.set("unreached_tasks",
                     static_cast<std::int64_t>(f.unreachedTasks));
-        failure.set("lost_busy_seconds", f.lostBusySeconds);
-        failure.set("wasted_wall_seconds", f.wastedWallSeconds);
+        failure.set("lost_busy_seconds", f.lostBusySeconds.value());
+        failure.set("wasted_wall_seconds", f.wastedWallSeconds.value());
         Json events = Json::array();
         for (const auto &event : f.events) {
             events.push(Json::object()

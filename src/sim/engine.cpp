@@ -297,10 +297,10 @@ Engine::runImpl(TaskGraph &graph, const FaultPlan *plan,
         outcome->completedTasks = completed;
         outcome->abortedTasks = aborted_count;
         outcome->unreachedTasks = n_tasks - completed - aborted_count;
-        outcome->lostBusySeconds = lost_busy;
+        outcome->lostBusySeconds = Seconds{lost_busy};
         outcome->wastedWallSeconds = outcome->failed
-            ? std::max(result.makespan, last_fail_time)
-            : 0.0;
+            ? Seconds{std::max(result.makespan, last_fail_time)}
+            : Seconds{0.0};
     }
 
     // An incomplete run is a reportable outcome when an injected

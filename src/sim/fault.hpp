@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "sim/task_graph.hpp"
 
 namespace amped {
@@ -179,15 +180,15 @@ struct FailureOutcome
     /** Tasks whose dependencies never delivered (downstream loss). */
     std::size_t unreachedTasks = 0;
 
-    /** Truncated occupancy of aborted in-flight tasks (seconds). */
-    double lostBusySeconds = 0.0;
+    /** Truncated occupancy of aborted in-flight tasks. */
+    Seconds lostBusySeconds{0.0};
 
     /**
      * Wall-clock invested in an attempt that did not complete (the
      * partial run's makespan): the time a checkpoint/restart scheme
      * would have to redo.  0 when the run completed.
      */
-    double wastedWallSeconds = 0.0;
+    Seconds wastedWallSeconds{0.0};
 
     /**
      * The failure events that were actually applied to live

@@ -22,7 +22,7 @@ TaskGraph::addChannel(std::string name)
 }
 
 TaskId
-TaskGraph::addCompute(ResourceId device, double duration,
+TaskGraph::addCompute(ResourceId device, Seconds duration,
                       std::string label, std::string category)
 {
     require(device >= 0 &&
@@ -30,11 +30,11 @@ TaskGraph::addCompute(ResourceId device, double duration,
             "addCompute: invalid resource id ", device);
     require(resources_[device].kind == ResourceKind::device,
             "addCompute: resource ", device, " is not a device");
-    require(duration >= 0.0, "addCompute: negative duration");
+    require(duration >= Seconds{0.0}, "addCompute: negative duration");
     Task task;
     task.kind = TaskKind::compute;
     task.resource = device;
-    task.duration = duration;
+    task.duration = duration.value();
     task.label = std::move(label);
     task.category = std::move(category);
     tasks_.push_back(std::move(task));
@@ -42,8 +42,8 @@ TaskGraph::addCompute(ResourceId device, double duration,
 }
 
 TaskId
-TaskGraph::addTransfer(ResourceId channel, double bits,
-                       double bandwidth_bits, double latency,
+TaskGraph::addTransfer(ResourceId channel, Bits bits,
+                       BitsPerSecond bandwidth, Seconds latency,
                        std::string label, std::string category)
 {
     require(channel >= 0 &&
@@ -51,15 +51,16 @@ TaskGraph::addTransfer(ResourceId channel, double bits,
             "addTransfer: invalid resource id ", channel);
     require(resources_[channel].kind == ResourceKind::channel,
             "addTransfer: resource ", channel, " is not a channel");
-    require(bits >= 0.0, "addTransfer: negative size");
-    require(bandwidth_bits > 0.0,
+    require(bits >= Bits{0.0}, "addTransfer: negative size");
+    require(bandwidth > BitsPerSecond{0.0},
             "addTransfer: bandwidth must be positive");
-    require(latency >= 0.0, "addTransfer: negative latency");
+    require(latency >= Seconds{0.0}, "addTransfer: negative latency");
     Task task;
     task.kind = TaskKind::transfer;
     task.resource = channel;
-    task.duration = bits / bandwidth_bits;
-    task.latency = latency;
+    // The simulator core stays in raw doubles; unwrap at this seam.
+    task.duration = (bits / bandwidth).value();
+    task.latency = latency.value();
     task.label = std::move(label);
     task.category = std::move(category);
     tasks_.push_back(std::move(task));

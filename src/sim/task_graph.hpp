@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "common/quantity.hpp"
+
 namespace amped {
 namespace sim {
 
@@ -87,11 +89,11 @@ class TaskGraph
      * Adds a compute task.
      *
      * @param device A device resource id.
-     * @param duration Seconds of occupancy; >= 0.
+     * @param duration Occupancy time; >= 0.
      * @param label Trace label.
      * @param category Optional schedule phase for trace export.
      */
-    TaskId addCompute(ResourceId device, double duration,
+    TaskId addCompute(ResourceId device, Seconds duration,
                       std::string label, std::string category = {});
 
     /**
@@ -99,13 +101,13 @@ class TaskGraph
      *
      * @param channel A channel resource id.
      * @param bits Message size; >= 0.
-     * @param bandwidth_bits Channel bandwidth in bits/s; > 0.
-     * @param latency Link latency in seconds; >= 0.
+     * @param bandwidth Channel bandwidth; > 0.
+     * @param latency Link latency; >= 0.
      * @param label Trace label.
      * @param category Optional schedule phase for trace export.
      */
-    TaskId addTransfer(ResourceId channel, double bits,
-                       double bandwidth_bits, double latency,
+    TaskId addTransfer(ResourceId channel, Bits bits,
+                       BitsPerSecond bandwidth, Seconds latency,
                        std::string label, std::string category = {});
 
     /**

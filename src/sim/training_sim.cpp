@@ -32,9 +32,10 @@ TrainingSimulator::setBackwardMultiplier(double multiplier)
 }
 
 void
-TrainingSimulator::setGradientBits(double bits)
+TrainingSimulator::setGradientBits(Bits bits)
 {
-    require(bits > 0.0, "gradient bits must be positive, got ", bits);
+    require(bits > Bits{0.0}, "gradient bits must be positive, got ",
+            bits);
     gradientBits_ = bits;
 }
 
@@ -67,7 +68,7 @@ TrainingSimulator::finishRun(TaskGraph &graph,
     return outcome;
 }
 
-double
+Seconds
 TrainingSimulator::layerForwardTime(std::int64_t layer, double batch,
                                     double eff) const
 {
@@ -92,7 +93,7 @@ TrainingSimulator::makeOutcome(SimResult result,
 std::vector<TaskId>
 TrainingSimulator::appendRingAllReduce(
     TaskGraph &graph, std::int64_t device_count,
-    const std::vector<ResourceId> &channels, double bits,
+    const std::vector<ResourceId> &channels, Bits bits,
     const std::vector<TaskId> &entry_tasks,
     const std::string &label_prefix) const
 {
@@ -105,8 +106,7 @@ TrainingSimulator::appendRingAllReduce(
                      static_cast<std::size_t>(device_count),
                  "one channel per ring hop required");
 
-    const double chunk_bits =
-        bits / static_cast<double>(device_count);
+    const Bits chunk_bits = bits / static_cast<double>(device_count);
     const std::int64_t steps = 2 * (device_count - 1);
 
     // previous[i]: the task device i must finish before sending in
@@ -120,8 +120,8 @@ TrainingSimulator::appendRingAllReduce(
             std::ostringstream label;
             label << label_prefix << "-step" << step << "-d" << d;
             const TaskId transfer = graph.addTransfer(
-                channels[d], chunk_bits, link_.bandwidthBits,
-                link_.latencySeconds, label.str(), "collective");
+                channels[d], chunk_bits, link_.bandwidth,
+                link_.latency, label.str(), "collective");
             // The sender must hold the chunk from the previous step.
             graph.addDependency(previous[d], transfer);
             received[to] = transfer;
@@ -159,7 +159,7 @@ TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
     for (std::int64_t d = 0; d < devices; ++d) {
         TaskId prev = -1;
         for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
-            const double fwd =
+            const Seconds fwd =
                 layerForwardTime(l, per_device_batch, eff);
             const TaskId task = graph.addCompute(
                 device_ids[d], fwd,
@@ -170,7 +170,7 @@ TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
             prev = task;
         }
         for (std::int64_t l = cfg.numLayers - 1; l >= 0; --l) {
-            const double bwd =
+            const Seconds bwd =
                 backwardMultiplier_ *
                 layerForwardTime(l, per_device_batch, eff);
             const TaskId task = graph.addCompute(
@@ -184,14 +184,14 @@ TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
     }
 
     // Chunked ring all-reduce of all gradients.
-    const double grad_bits =
+    const Bits grad_bits =
         opCounter_.totalLayerWeights() * gradientBits_;
     const auto reduced = appendRingAllReduce(
         graph, devices, channel_ids, grad_bits, last_bwd, "allreduce");
 
     // Weight update once gradients are in.
     for (std::int64_t d = 0; d < devices; ++d) {
-        double update = 0.0;
+        Seconds update{0.0};
         for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
             update += core::layerWeightUpdateTime(opCounter_, accel_,
                                                   eff, l);
@@ -222,7 +222,7 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
 
     const auto &cfg = opCounter_.config();
     const double eff = efficiency_(per_device_batch);
-    const double grad_bits =
+    const Bits grad_bits =
         opCounter_.totalLayerWeights() * gradientBits_;
 
     TaskGraph graph;
@@ -251,7 +251,7 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
         nodes, std::vector<TaskId>(devices_per_node));
     for (std::int64_t n = 0; n < nodes; ++n) {
         for (std::int64_t d = 0; d < devices_per_node; ++d) {
-            double fwd = 0.0;
+            Seconds fwd{0.0};
             for (std::int64_t l = 0; l < cfg.numLayers; ++l)
                 fwd += layerForwardTime(l, per_device_batch, eff);
             const TaskId task = graph.addCompute(
@@ -278,15 +278,14 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
         leader_entry[n] = reduced[n][0];
     std::vector<TaskId> leader_done = leader_entry;
     if (nodes > 1) {
-        const double chunk = grad_bits / static_cast<double>(nodes);
+        const Bits chunk = grad_bits / static_cast<double>(nodes);
         std::vector<TaskId> previous = leader_entry;
         for (std::int64_t step = 0; step < 2 * (nodes - 1); ++step) {
             std::vector<TaskId> received(nodes);
             for (std::int64_t n = 0; n < nodes; ++n) {
                 const TaskId transfer = graph.addTransfer(
-                    inter_channels[n], chunk,
-                    inter_link.bandwidthBits,
-                    inter_link.latencySeconds,
+                    inter_channels[n], chunk, inter_link.bandwidth,
+                    inter_link.latency,
                     "inter-ar-s" + std::to_string(step) + "-n" +
                         std::to_string(n),
                     "collective");
@@ -308,7 +307,7 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
             const TaskId transfer = graph.addTransfer(
                 intra_channels[n][d],
                 grad_bits / static_cast<double>(devices_per_node),
-                link_.bandwidthBits, link_.latencySeconds,
+                link_.bandwidth, link_.latency,
                 "bcast-n" + std::to_string(n) + "-" +
                     std::to_string(d),
                 "collective");
@@ -372,8 +371,8 @@ TrainingSimulator::simulateDataPipelineStep(
     // Stage compute times and gradient shards.
     const std::int64_t base = cfg.numLayers / stages;
     const std::int64_t extra = cfg.numLayers % stages;
-    std::vector<double> stage_fwd(stages, 0.0);
-    std::vector<double> stage_grad_bits(stages, 0.0);
+    std::vector<Seconds> stage_fwd(stages, Seconds{0.0});
+    std::vector<Bits> stage_grad_bits(stages, Bits{0.0});
     std::int64_t layer = 0;
     for (std::int64_t s = 0; s < stages; ++s) {
         const std::int64_t count = base + (s < extra ? 1 : 0);
@@ -383,7 +382,7 @@ TrainingSimulator::simulateDataPipelineStep(
                 opCounter_.gradientsPerLayer(layer) * gradientBits_;
         }
     }
-    const double act_bits =
+    const Bits act_bits =
         opCounter_.activationsPipelineParallel(microbatch) *
         accel_.precisions.activationBits;
 
@@ -403,8 +402,8 @@ TrainingSimulator::simulateDataPipelineStep(
                 fwd[s][m] = task;
                 if (s > 0) {
                     const TaskId transfer = graph.addTransfer(
-                        fwd_ch[r][s - 1], act_bits,
-                        link_.bandwidthBits, link_.latencySeconds,
+                        fwd_ch[r][s - 1], act_bits, link_.bandwidth,
+                        link_.latency,
                         "fx-r" + std::to_string(r) + "m" +
                             std::to_string(m) + "s" +
                             std::to_string(s - 1),
@@ -428,8 +427,8 @@ TrainingSimulator::simulateDataPipelineStep(
                 graph.addDependency(fwd[s][m], task);
                 if (s < stages - 1) {
                     const TaskId transfer = graph.addTransfer(
-                        bwd_ch[r][s], act_bits, link_.bandwidthBits,
-                        link_.latencySeconds,
+                        bwd_ch[r][s], act_bits, link_.bandwidth,
+                        link_.latency,
                         "bx-r" + std::to_string(r) + "m" +
                             std::to_string(m) + "s" +
                             std::to_string(s + 1),
@@ -451,7 +450,7 @@ TrainingSimulator::simulateDataPipelineStep(
             entries[r] = last_bwd[r][s];
         std::vector<TaskId> reduced = entries;
         if (replicas > 1) {
-            const double chunk =
+            const Bits chunk =
                 stage_grad_bits[s] / static_cast<double>(replicas);
             std::vector<TaskId> previous = entries;
             for (std::int64_t step = 0; step < 2 * (replicas - 1);
@@ -459,8 +458,8 @@ TrainingSimulator::simulateDataPipelineStep(
                 std::vector<TaskId> received(replicas);
                 for (std::int64_t r = 0; r < replicas; ++r) {
                     const TaskId transfer = graph.addTransfer(
-                        dp_ch[s][r], chunk, dp_link.bandwidthBits,
-                        dp_link.latencySeconds,
+                        dp_ch[s][r], chunk, dp_link.bandwidth,
+                        dp_link.latency,
                         "dpar-s" + std::to_string(s) + "-" +
                             std::to_string(step) + "-" +
                             std::to_string(r),
@@ -476,7 +475,7 @@ TrainingSimulator::simulateDataPipelineStep(
         for (std::int64_t q = 0; q < s; ++q)
             layer += base + (q < extra ? 1 : 0);
         const std::int64_t count = base + (s < extra ? 1 : 0);
-        double update = 0.0;
+        Seconds update{0.0};
         for (std::int64_t i = 0; i < count; ++i) {
             update += core::layerWeightUpdateTime(opCounter_, accel_,
                                                   eff, layer + i);
@@ -497,13 +496,13 @@ TrainingSimulator::simulateDataPipelineStep(
 SimOutcome
 TrainingSimulator::simulateAllToAll(std::int64_t participants,
                                     double elements,
-                                    double bits_per_element,
+                                    Bits bits_per_element,
                                     const net::LinkConfig &link) const
 {
     require(participants >= 1,
             "all-to-all: need >= 1 participant, got ", participants);
     require(elements >= 0.0, "all-to-all: negative element count");
-    require(bits_per_element > 0.0,
+    require(bits_per_element > Bits{0.0},
             "all-to-all: bits per element must be positive");
     link.validate();
 
@@ -522,21 +521,21 @@ TrainingSimulator::simulateAllToAll(std::int64_t participants,
     // peer in N-1 pairwise rounds.
     std::vector<TaskId> previous(participants);
     for (std::int64_t p = 0; p < participants; ++p) {
-        previous[p] = graph.addCompute(device_ids[p], 0.0,
+        previous[p] = graph.addCompute(device_ids[p], Seconds{0.0},
                                        "ready" + std::to_string(p),
                                        "compute");
     }
-    const double chunk_bits = participants > 1
-                                  ? elements * bits_per_element /
-                                        static_cast<double>(participants)
-                                  : 0.0;
+    const Bits chunk_bits =
+        participants > 1
+            ? elements * bits_per_element /
+                  static_cast<double>(participants)
+            : Bits{0.0};
     for (std::int64_t round = 1; round < participants; ++round) {
         std::vector<TaskId> received(participants);
         for (std::int64_t p = 0; p < participants; ++p) {
             const std::int64_t to = (p + round) % participants;
             const TaskId transfer = graph.addTransfer(
-                egress[p], chunk_bits, link.bandwidthBits,
-                link.latencySeconds,
+                egress[p], chunk_bits, link.bandwidth, link.latency,
                 "a2a-r" + std::to_string(round) + "-p" +
                     std::to_string(p),
                 "a2a");
@@ -578,19 +577,19 @@ TrainingSimulator::simulateMoeStep(
 
     // Appends one pairwise all-to-all round set; returns the tasks
     // each node waits on afterwards.
-    auto all_to_all = [&](std::vector<TaskId> entry, double bits,
+    auto all_to_all = [&](std::vector<TaskId> entry, Bits bits,
                           const std::string &tag) {
         if (nodes == 1)
             return entry;
-        const double chunk = bits / static_cast<double>(nodes);
+        const Bits chunk = bits / static_cast<double>(nodes);
         std::vector<TaskId> previous = std::move(entry);
         for (std::int64_t round = 1; round < nodes; ++round) {
             std::vector<TaskId> received(nodes);
             for (std::int64_t n = 0; n < nodes; ++n) {
                 const std::int64_t to = (n + round) % nodes;
                 const TaskId transfer = graph.addTransfer(
-                    egress[n], chunk, inter_link.bandwidthBits,
-                    inter_link.latencySeconds,
+                    egress[n], chunk, inter_link.bandwidth,
+                    inter_link.latency,
                     tag + "-r" + std::to_string(round) + "-n" +
                         std::to_string(n),
                     "a2a");
@@ -602,7 +601,7 @@ TrainingSimulator::simulateMoeStep(
         return previous;
     };
 
-    const double moe_bits =
+    const Bits moe_bits =
         opCounter_.activationsMoe(
             cfg.moe.moeLayerInterval - 1, per_node_batch) *
         accel_.precisions.activationBits;
@@ -687,7 +686,7 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
     // stages.
     const std::int64_t base = cfg.numLayers / stages;
     const std::int64_t extra = cfg.numLayers % stages;
-    std::vector<double> stage_fwd_time(stages, 0.0);
+    std::vector<Seconds> stage_fwd_time(stages, Seconds{0.0});
     std::int64_t layer = 0;
     for (std::int64_t s = 0; s < stages; ++s) {
         const std::int64_t count = base + (s < extra ? 1 : 0);
@@ -697,7 +696,7 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
         }
     }
 
-    const double act_bits =
+    const Bits act_bits =
         opCounter_.activationsPipelineParallel(microbatch) *
         accel_.precisions.activationBits;
 
@@ -713,8 +712,8 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
             fwd[s][m] = task;
             if (s > 0) {
                 const TaskId transfer = graph.addTransfer(
-                    fwd_channels[s - 1], act_bits, link_.bandwidthBits,
-                    link_.latencySeconds,
+                    fwd_channels[s - 1], act_bits, link_.bandwidth,
+                    link_.latency,
                     "fwd-xfer-m" + std::to_string(m) + "-s" +
                         std::to_string(s - 1),
                     "p2p");
@@ -739,8 +738,8 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
             graph.addDependency(fwd[s][m], task);
             if (s < stages - 1) {
                 const TaskId transfer = graph.addTransfer(
-                    bwd_channels[s], act_bits, link_.bandwidthBits,
-                    link_.latencySeconds,
+                    bwd_channels[s], act_bits, link_.bandwidth,
+                    link_.latency,
                     "bwd-xfer-m" + std::to_string(m) + "-s" +
                         std::to_string(s + 1),
                     "p2p");
@@ -754,7 +753,7 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
     layer = 0;
     for (std::int64_t s = 0; s < stages; ++s) {
         const std::int64_t count = base + (s < extra ? 1 : 0);
-        double update = 0.0;
+        Seconds update{0.0};
         for (std::int64_t i = 0; i < count; ++i, ++layer) {
             update += core::layerWeightUpdateTime(opCounter_, accel_,
                                                   eff, layer);
@@ -831,7 +830,7 @@ TrainingSimulator::simulateTensorParallelStep(std::int64_t devices,
 
     // Each all-reduce moves b s h activation elements (half of
     // N_act_TP = 2 b s h, which covers both per-layer reductions).
-    const double act_bits =
+    const Bits act_bits =
         opCounter_.activationsPipelineParallel(batch) *
         accel_.precisions.activationBits;
 
@@ -840,7 +839,7 @@ TrainingSimulator::simulateTensorParallelStep(std::int64_t devices,
     auto add_sharded_pass = [&](double multiplier,
                                 const std::string &tag) {
         for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
-            const double shard =
+            const Seconds shard =
                 multiplier * layerForwardTime(l, batch, eff) /
                 static_cast<double>(devices);
             // Half the layer (attention), all-reduce, second half

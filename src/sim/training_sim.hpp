@@ -160,8 +160,7 @@ class TrainingSimulator
      * per rank on @p link.
      */
     SimOutcome simulateAllToAll(std::int64_t participants,
-                                double elements,
-                                double bits_per_element,
+                                double elements, Bits bits_per_element,
                                 const net::LinkConfig &link) const;
 
     /**
@@ -182,8 +181,8 @@ class TrainingSimulator
     /** Backward/forward compute ratio (default 2.0). */
     void setBackwardMultiplier(double multiplier);
 
-    /** Gradient element precision in bits (default 32). */
-    void setGradientBits(double bits);
+    /** Gradient element precision (default 32 bits). */
+    void setGradientBits(Bits bits);
 
     /**
      * Installs a fault spec: every subsequent simulate* call
@@ -223,13 +222,13 @@ class TrainingSimulator
     std::vector<TaskId>
     appendRingAllReduce(TaskGraph &graph, std::int64_t device_count,
                         const std::vector<ResourceId> &channels,
-                        double bits,
+                        Bits bits,
                         const std::vector<TaskId> &entry_tasks,
                         const std::string &label_prefix) const;
 
-    /** Forward compute seconds of one layer at a given batch. */
-    double layerForwardTime(std::int64_t layer, double batch,
-                            double eff) const;
+    /** Forward compute time of one layer at a given batch. */
+    Seconds layerForwardTime(std::int64_t layer, double batch,
+                             double eff) const;
 
     /** Builds the SimOutcome from an engine run. */
     static SimOutcome
@@ -248,7 +247,7 @@ class TrainingSimulator
     hw::MicrobatchEfficiency efficiency_;
     net::LinkConfig link_;
     double backwardMultiplier_ = 2.0;
-    double gradientBits_ = 32.0;
+    Bits gradientBits_{32.0};
     std::optional<FaultSpec> faultSpec_;
 };
 

@@ -72,7 +72,7 @@ caseStudyOptions()
 {
     core::ModelOptions options = nvswitchOptions(8);
     options.bubbleOverlapRatio = 0.1; // interleaved pipeline schedule
-    options.gradientBits = 32.0;      // fp32 gradient all-reduce
+    options.gradientBits = Bits{32.0};      // fp32 gradient all-reduce
     return options;
 }
 

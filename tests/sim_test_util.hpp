@@ -103,7 +103,7 @@ makeRandomGraph(Rng &rng)
             const double duration = rng.uniformReal(0.0, 2.0);
             const auto device = devices[static_cast<std::size_t>(
                 rng.uniformInt(0, n_devices - 1))];
-            out.graph.addCompute(device, duration,
+            out.graph.addCompute(device, Seconds{duration},
                                  indexedName("t", t));
             out.durations.push_back(duration);
             out.latencies.push_back(0.0);
@@ -114,7 +114,8 @@ makeRandomGraph(Rng &rng)
             const double latency = rng.uniformReal(0.0, 0.01);
             const auto channel = channels[static_cast<std::size_t>(
                 rng.uniformInt(0, n_channels - 1))];
-            out.graph.addTransfer(channel, bits, bw, latency,
+            out.graph.addTransfer(channel, Bits{bits}, BitsPerSecond{bw},
+                                  Seconds{latency},
                                   indexedName("t", t));
             out.durations.push_back(bits / bw);
             out.latencies.push_back(latency);

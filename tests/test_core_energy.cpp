@@ -28,29 +28,29 @@ resultWith(double time_per_batch, double bubble, double num_batches)
 
 TEST(EnergyModelTest, BusyOnlyRunDrawsTdp)
 {
-    EnergyModel energy(PowerSpec{400.0, 0.3});
+    EnergyModel energy(PowerSpec{Watts{400.0}, 0.3});
     const auto r = resultWith(10.0, 0.0, 100.0);
-    EXPECT_DOUBLE_EQ(energy.energyPerBatchJoules(r, 1), 4000.0);
-    EXPECT_DOUBLE_EQ(energy.trainingEnergyJoules(r, 1), 400000.0);
-    EXPECT_DOUBLE_EQ(energy.averagePowerWatts(r), 400.0);
+    EXPECT_DOUBLE_EQ(energy.energyPerBatchJoules(r, 1).value(), 4000.0);
+    EXPECT_DOUBLE_EQ(energy.trainingEnergyJoules(r, 1).value(), 400000.0);
+    EXPECT_DOUBLE_EQ(energy.averagePowerWatts(r).value(), 400.0);
 }
 
 TEST(EnergyModelTest, BubblesDrawIdlePower)
 {
-    EnergyModel energy(PowerSpec{400.0, 0.25});
+    EnergyModel energy(PowerSpec{Watts{400.0}, 0.25});
     // Half the batch is bubble.
     const auto r = resultWith(10.0, 5.0, 1.0);
     // 5 s x 400 W + 5 s x 100 W = 2500 J.
-    EXPECT_DOUBLE_EQ(energy.energyPerBatchJoules(r, 1), 2500.0);
-    EXPECT_DOUBLE_EQ(energy.averagePowerWatts(r), 250.0);
+    EXPECT_DOUBLE_EQ(energy.energyPerBatchJoules(r, 1).value(), 2500.0);
+    EXPECT_DOUBLE_EQ(energy.averagePowerWatts(r).value(), 250.0);
 }
 
 TEST(EnergyModelTest, EnergyScalesWithWorkers)
 {
-    EnergyModel energy(PowerSpec{400.0, 0.3});
+    EnergyModel energy(PowerSpec{Watts{400.0}, 0.3});
     const auto r = resultWith(10.0, 2.0, 1.0);
-    EXPECT_DOUBLE_EQ(energy.energyPerBatchJoules(r, 8),
-                     8.0 * energy.energyPerBatchJoules(r, 1));
+    EXPECT_DOUBLE_EQ(energy.energyPerBatchJoules(r, 8).value(),
+                     (8.0 * energy.energyPerBatchJoules(r, 1)).value());
     EXPECT_THROW(energy.energyPerBatchJoules(r, 0), UserError);
 }
 
@@ -76,11 +76,11 @@ TEST(EnergyModelTest, BreakEvenMatchesPaperScenario)
     EXPECT_LT(f, 1.0);
 
     // Below break-even, the bubbly config uses less energy.
-    EnergyModel cheap_idle(PowerSpec{400.0, f - 0.05});
+    EnergyModel cheap_idle(PowerSpec{Watts{400.0}, f - 0.05});
     EXPECT_LT(cheap_idle.trainingEnergyJoules(bubbly, 1),
               cheap_idle.trainingEnergyJoules(reference, 1));
     // Above it, more.
-    EnergyModel dear_idle(PowerSpec{400.0, f + 0.05});
+    EnergyModel dear_idle(PowerSpec{Watts{400.0}, f + 0.05});
     EXPECT_GT(dear_idle.trainingEnergyJoules(bubbly, 1),
               dear_idle.trainingEnergyJoules(reference, 1));
 }
@@ -100,10 +100,10 @@ TEST(EnergyModelTest, BreakEvenDegenerateCases)
 
 TEST(EnergyModelTest, SpecValidation)
 {
-    EXPECT_THROW(EnergyModel(PowerSpec{0.0, 0.3}), UserError);
-    EXPECT_THROW(EnergyModel(PowerSpec{400.0, -0.1}), UserError);
-    EXPECT_THROW(EnergyModel(PowerSpec{400.0, 1.5}), UserError);
-    EXPECT_NO_THROW(EnergyModel(PowerSpec{400.0, 0.0}));
+    EXPECT_THROW(EnergyModel(PowerSpec{Watts{0.0}, 0.3}), UserError);
+    EXPECT_THROW(EnergyModel(PowerSpec{Watts{400.0}, -0.1}), UserError);
+    EXPECT_THROW(EnergyModel(PowerSpec{Watts{400.0}, 1.5}), UserError);
+    EXPECT_NO_THROW(EnergyModel(PowerSpec{Watts{400.0}, 0.0}));
 }
 
 } // namespace

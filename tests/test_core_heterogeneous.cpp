@@ -24,7 +24,8 @@ counter()
 net::LinkConfig
 hopLink()
 {
-    return net::LinkConfig{"hop", 2e-6, 2.4e12};
+    return net::LinkConfig{"hop", Seconds{2e-6},
+                           BitsPerSecond{2.4e12}};
 }
 
 HeterogeneousStage

@@ -24,8 +24,10 @@ testSystem()
     sys.name = "test-2x4";
     sys.numNodes = 2;
     sys.acceleratorsPerNode = 4;
-    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
-    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.intraLink =
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    sys.interLink =
+        net::LinkConfig{"inter", Seconds{2e-6}, BitsPerSecond{2e11}};
     sys.nicsPerNode = 4;
     return sys;
 }
@@ -96,7 +98,7 @@ TEST(AmpedModelTest, TpIntraCommMatchesEqSix)
     const auto result = model.evaluate(m, testJob());
     // Replica batch = 64 / 2 = 32; per layer Eq. 6, x layers,
     // x (1 + backward multiplier = 2).
-    const double per_layer = model.tpIntraCommTime(m, 32.0);
+    const double per_layer = model.tpIntraCommTime(m, 32.0).value();
     EXPECT_GT(per_layer, 0.0);
     EXPECT_NEAR(result.perBatch.commTpIntra, per_layer * 4.0 * 2.0,
                 1e-15);
@@ -216,7 +218,7 @@ TEST(AmpedModelTest, ZeroDpOverheadScalesForwardComm)
 TEST(AmpedModelTest, GradientBitsOverrideScalesGradComm)
 {
     ModelOptions wide;
-    wide.gradientBits = 32.0; // default is parameter precision 16
+    wide.gradientBits = Bits{32.0}; // default: parameter precision 16
     const auto m = mapping::makeMapping(1, 1, 4, 1, 1, 2);
     const auto narrow = testModel().evaluate(m, testJob());
     const auto wide_r = testModel(wide).evaluate(m, testJob());
@@ -266,7 +268,7 @@ TEST(AmpedModelTest, AchievedFlopsNeverExceedPeak)
         mapping::makeMapping(4, 1, 1, 1, 2, 1), testJob(256.0));
     EXPECT_GT(result.achievedFlopsPerGpu, 0.0);
     EXPECT_LT(result.achievedFlopsPerGpu,
-              model.accelerator().peakMacFlops());
+              model.accelerator().peakMacFlops().value());
 }
 
 TEST(AmpedModelTest, HigherEfficiencyMeansFasterTraining)
@@ -287,7 +289,7 @@ TEST(AmpedModelTest, FasterInterconnectNeverHurts)
     const auto m = mapping::makeMapping(1, 1, 4, 2, 1, 1);
     auto slow_sys = testSystem();
     auto fast_sys = testSystem();
-    fast_sys.interLink.bandwidthBits *= 10.0;
+    fast_sys.interLink.bandwidth *= 10.0;
     AmpedModel slow(model::presets::tinyTest(),
                     hw::presets::tinyTest(),
                     hw::MicrobatchEfficiency(0.8, 4.0), slow_sys);

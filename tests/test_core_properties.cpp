@@ -25,8 +25,10 @@ propertySystem()
     sys.name = "prop-8x4";
     sys.numNodes = 8;
     sys.acceleratorsPerNode = 4;
-    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
-    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.intraLink =
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    sys.interLink =
+        net::LinkConfig{"inter", Seconds{2e-6}, BitsPerSecond{2e11}};
     sys.nicsPerNode = 4;
     return sys;
 }
@@ -76,7 +78,7 @@ TEST_P(MappingInvariants, AchievedThroughputBelowEffectivePeak)
     // Model FLOPs (4x fwd incl. embeddings) can slightly exceed the
     // time-charged FLOPs (embeddings are metric-only), so allow 5 %.
     EXPECT_LT(result.achievedFlopsPerGpu,
-              1.05 * model.accelerator().peakMacFlops());
+              1.05 * model.accelerator().peakMacFlops().value());
 }
 
 TEST_P(MappingInvariants, FasterLinksNeverSlowTraining)
@@ -86,8 +88,8 @@ TEST_P(MappingInvariants, FasterLinksNeverSlowTraining)
         propertyModel().evaluate(m, propertyJob(512.0));
 
     auto fast_sys = propertySystem();
-    fast_sys.intraLink.bandwidthBits *= 4.0;
-    fast_sys.interLink.bandwidthBits *= 4.0;
+    fast_sys.intraLink.bandwidth *= 4.0;
+    fast_sys.interLink.bandwidth *= 4.0;
     const auto fast =
         propertyModel(fast_sys).evaluate(m, propertyJob(512.0));
     EXPECT_LE(fast.timePerBatch, base.timePerBatch + 1e-15);
@@ -149,9 +151,10 @@ TEST(RandomizedInvariants, RandomModelsAndSystemsStayConsistent)
         sys.numNodes = 1 << rng.uniformInt(0, 3);
         sys.acceleratorsPerNode = 1 << rng.uniformInt(0, 3);
         sys.nicsPerNode = sys.acceleratorsPerNode;
-        sys.intraLink.bandwidthBits =
-            rng.uniformReal(1e11, 5e12);
-        sys.interLink.bandwidthBits = rng.uniformReal(5e10, 1e12);
+        sys.intraLink.bandwidth =
+            BitsPerSecond{rng.uniformReal(1e11, 5e12)};
+        sys.interLink.bandwidth =
+            BitsPerSecond{rng.uniformReal(5e10, 1e12)};
 
         AmpedModel model(cfg, hw::presets::tinyTest(),
                          hw::MicrobatchEfficiency(

@@ -33,9 +33,9 @@ TEST(ResilienceConfigTest, DefaultIsValidAndFailureFree)
 {
     ResilienceConfig config;
     EXPECT_NO_THROW(config.validate());
-    const auto estimate = estimateTimeToTrain(123.0, config);
-    EXPECT_DOUBLE_EQ(estimate.expectedSeconds, 123.0);
-    EXPECT_DOUBLE_EQ(estimate.failureFreeSeconds, 123.0);
+    const auto estimate = estimateTimeToTrain(Seconds{123.0}, config);
+    EXPECT_DOUBLE_EQ(estimate.expectedSeconds.value(), 123.0);
+    EXPECT_DOUBLE_EQ(estimate.failureFreeSeconds.value(), 123.0);
     EXPECT_DOUBLE_EQ(estimate.expectedFailures, 0.0);
     EXPECT_DOUBLE_EQ(estimate.overheadFraction(), 0.0);
     EXPECT_EQ(estimate.segmentCount, 1u);
@@ -54,23 +54,23 @@ TEST(ResilienceConfigTest, ValidationNamesTheField)
     };
 
     ResilienceConfig bad_mtbf;
-    bad_mtbf.mtbfSeconds = 0.0;
+    bad_mtbf.mtbfSeconds = Seconds{0.0};
     EXPECT_NE(diagnostic(bad_mtbf).find("mtbfSeconds"),
               std::string::npos);
 
     ResilienceConfig bad_write;
-    bad_write.checkpointWriteSeconds = -1.0;
+    bad_write.checkpointWriteSeconds = Seconds{-1.0};
     EXPECT_NE(diagnostic(bad_write).find("checkpointWriteSeconds"),
               std::string::npos);
 
     ResilienceConfig bad_restart;
     bad_restart.restartSeconds =
-        std::numeric_limits<double>::quiet_NaN();
+        Seconds{std::numeric_limits<double>::quiet_NaN()};
     EXPECT_NE(diagnostic(bad_restart).find("restartSeconds"),
               std::string::npos);
 
     ResilienceConfig bad_interval;
-    bad_interval.checkpointIntervalSeconds = -5.0;
+    bad_interval.checkpointIntervalSeconds = Seconds{-5.0};
     EXPECT_NE(diagnostic(bad_interval).find(
                   "checkpointIntervalSeconds"),
               std::string::npos);
@@ -88,17 +88,18 @@ TEST(ResilienceHelpersTest, CheckpointBytesIsParamsPlusOptimizer)
 
 TEST(ResilienceHelpersTest, CheckpointWriteTimeFollowsTheLink)
 {
-    const net::LinkConfig link{"storage", 0.5, 8e9}; // 1 GB/s
+    const net::LinkConfig link{"storage", Seconds{0.5},
+                               BitsPerSecond{8e9}}; // 1 GB/s
     // 2e9 bytes => 16e9 bits / 8e9 bits/s = 2 s, plus 0.5 s latency.
-    EXPECT_DOUBLE_EQ(checkpointWriteSeconds(2e9, link), 2.5);
+    EXPECT_DOUBLE_EQ(checkpointWriteSeconds(2e9, link).value(), 2.5);
     EXPECT_THROW(checkpointWriteSeconds(-1.0, link), UserError);
 }
 
 TEST(ResilienceHelpersTest, ClusterMtbfShrinksWithScale)
 {
-    EXPECT_DOUBLE_EQ(clusterMtbfSeconds(1e-6, 1), 1e6);
-    EXPECT_DOUBLE_EQ(clusterMtbfSeconds(1e-6, 1000), 1e3);
-    EXPECT_EQ(clusterMtbfSeconds(0.0, 1000), kInf);
+    EXPECT_DOUBLE_EQ(clusterMtbfSeconds(1e-6, 1).value(), 1e6);
+    EXPECT_DOUBLE_EQ(clusterMtbfSeconds(1e-6, 1000).value(), 1e3);
+    EXPECT_EQ(clusterMtbfSeconds(0.0, 1000).value(), kInf);
     EXPECT_THROW(clusterMtbfSeconds(-1.0, 4), UserError);
     EXPECT_THROW(clusterMtbfSeconds(1e-6, 0), UserError);
 }
@@ -110,55 +111,82 @@ TEST(ResilienceDalyTest, MatchesTheHigherOrderFormula)
     const double expected = std::sqrt(2.0 * delta * mtbf)
                             * (1.0 + x / 3.0 + x * x / 9.0)
                             - delta;
-    EXPECT_DOUBLE_EQ(dalyOptimalInterval(delta, mtbf), expected);
+    EXPECT_DOUBLE_EQ(dalyOptimalInterval(Seconds{delta},
+                                         Seconds{mtbf})
+                         .value(),
+                     expected);
 }
 
 TEST(ResilienceDalyTest, ClampsToMtbfWhenWritesDominate)
 {
     // delta >= 2M: checkpointing as often as the optimum suggests is
     // impossible; Daly prescribes tau = M.
-    EXPECT_DOUBLE_EQ(dalyOptimalInterval(10.0, 4.0), 4.0);
-    EXPECT_EQ(dalyOptimalInterval(10.0, kInf), kInf);
-    EXPECT_THROW(dalyOptimalInterval(0.0, 100.0), UserError);
-    EXPECT_THROW(dalyOptimalInterval(10.0, 0.0), UserError);
+    EXPECT_DOUBLE_EQ(
+        dalyOptimalInterval(Seconds{10.0}, Seconds{4.0}).value(),
+        4.0);
+    EXPECT_EQ(dalyOptimalInterval(Seconds{10.0}, Seconds{kInf}).value(),
+              kInf);
+    EXPECT_THROW(dalyOptimalInterval(Seconds{0.0}, Seconds{100.0}),
+                 UserError);
+    EXPECT_THROW(dalyOptimalInterval(Seconds{10.0}, Seconds{0.0}),
+                 UserError);
 }
 
 TEST(ResilienceRenewalTest, SegmentExpectationLimits)
 {
     // Infinite MTBF: no failures, expectation is the wall itself.
-    EXPECT_DOUBLE_EQ(expectedSegmentSeconds(7.0, kInf, 30.0), 7.0);
+    EXPECT_DOUBLE_EQ(expectedSegmentSeconds(Seconds{7.0}, Seconds{kInf},
+                                            Seconds{30.0})
+                         .value(),
+                     7.0);
     // Zero wall costs nothing.
-    EXPECT_DOUBLE_EQ(expectedSegmentSeconds(0.0, 100.0, 30.0), 0.0);
+    EXPECT_DOUBLE_EQ(expectedSegmentSeconds(Seconds{0.0}, Seconds{100.0},
+                                            Seconds{30.0})
+                         .value(),
+                     0.0);
     // Short segment, long MTBF: expectation ~ wall (first-order
     // (M+R)(L/M) = L (1 + R/M) -> L).
-    EXPECT_NEAR(expectedSegmentSeconds(1.0, 1e9, 10.0), 1.0, 1e-6);
+    EXPECT_NEAR(expectedSegmentSeconds(Seconds{1.0}, Seconds{1e9},
+                                       Seconds{10.0})
+                    .value(),
+                1.0, 1e-6);
     // Exact closed form at a nontrivial point.
     const double wall = 50.0, mtbf = 100.0, restart = 20.0;
     EXPECT_DOUBLE_EQ(
-        expectedSegmentSeconds(wall, mtbf, restart),
+        expectedSegmentSeconds(Seconds{wall}, Seconds{mtbf},
+                               Seconds{restart})
+            .value(),
         (mtbf + restart) * std::expm1(wall / mtbf));
     // Failures only make things slower.
-    EXPECT_GT(expectedSegmentSeconds(50.0, 100.0, 0.0), 50.0);
+    EXPECT_GT(expectedSegmentSeconds(Seconds{50.0}, Seconds{100.0},
+                                     Seconds{0.0})
+                  .value(),
+              50.0);
 }
 
 TEST(ResilienceEstimateTest, SegmentationFollowsTheConvention)
 {
     ResilienceConfig config;
-    config.mtbfSeconds = 1e6;
-    config.checkpointWriteSeconds = 2.0;
-    config.restartSeconds = 5.0;
-    config.checkpointIntervalSeconds = 10.0;
-    const auto estimate = estimateTimeToTrain(35.0, config);
+    config.mtbfSeconds = Seconds{1e6};
+    config.checkpointWriteSeconds = Seconds{2.0};
+    config.restartSeconds = Seconds{5.0};
+    config.checkpointIntervalSeconds = Seconds{10.0};
+    const auto estimate = estimateTimeToTrain(Seconds{35.0}, config);
     // 35 s at tau = 10 -> 4 segments: 3 of wall 12 (10 work + 2
     // write) and a final one of wall 5 with no trailing checkpoint.
     EXPECT_EQ(estimate.segmentCount, 4u);
-    EXPECT_DOUBLE_EQ(estimate.intervalSeconds, 10.0);
-    EXPECT_DOUBLE_EQ(estimate.solveSeconds, 35.0);
-    EXPECT_DOUBLE_EQ(estimate.failureFreeSeconds, 35.0 + 3 * 2.0);
+    EXPECT_DOUBLE_EQ(estimate.intervalSeconds.value(), 10.0);
+    EXPECT_DOUBLE_EQ(estimate.solveSeconds.value(), 35.0);
+    EXPECT_DOUBLE_EQ(estimate.failureFreeSeconds.value(),
+                     35.0 + 3 * 2.0);
     const double expected =
-        3.0 * expectedSegmentSeconds(12.0, 1e6, 5.0)
-        + expectedSegmentSeconds(5.0, 1e6, 5.0);
-    EXPECT_DOUBLE_EQ(estimate.expectedSeconds, expected);
+        3.0 * expectedSegmentSeconds(Seconds{12.0}, Seconds{1e6},
+                                     Seconds{5.0})
+                  .value()
+        + expectedSegmentSeconds(Seconds{5.0}, Seconds{1e6},
+                                 Seconds{5.0})
+              .value();
+    EXPECT_DOUBLE_EQ(estimate.expectedSeconds.value(), expected);
     EXPECT_GT(estimate.expectedSeconds, estimate.failureFreeSeconds);
     EXPECT_GT(estimate.overheadFraction(), 0.0);
 }
@@ -166,12 +194,13 @@ TEST(ResilienceEstimateTest, SegmentationFollowsTheConvention)
 TEST(ResilienceEstimateTest, ZeroIntervalDerivesDaly)
 {
     ResilienceConfig config;
-    config.mtbfSeconds = 3600.0;
-    config.checkpointWriteSeconds = 10.0;
-    config.restartSeconds = 30.0;
-    const auto estimate = estimateTimeToTrain(36000.0, config);
-    EXPECT_DOUBLE_EQ(estimate.intervalSeconds,
-                     dalyOptimalInterval(10.0, 3600.0));
+    config.mtbfSeconds = Seconds{3600.0};
+    config.checkpointWriteSeconds = Seconds{10.0};
+    config.restartSeconds = Seconds{30.0};
+    const auto estimate = estimateTimeToTrain(Seconds{36000.0}, config);
+    EXPECT_DOUBLE_EQ(estimate.intervalSeconds.value(),
+                     dalyOptimalInterval(Seconds{10.0}, Seconds{3600.0})
+                         .value());
     EXPECT_GT(estimate.expectedFailures, 0.0);
 }
 
@@ -180,9 +209,9 @@ TEST(ResilienceEstimateTest, UnderivableIntervalIsRejected)
     // Finite MTBF but zero write cost and no explicit interval:
     // Daly's optimum degenerates to zero-length segments.
     ResilienceConfig config;
-    config.mtbfSeconds = 100.0;
-    EXPECT_THROW(estimateTimeToTrain(10.0, config), UserError);
-    EXPECT_THROW(estimateTimeToTrain(-1.0, ResilienceConfig{}),
+    config.mtbfSeconds = Seconds{100.0};
+    EXPECT_THROW(estimateTimeToTrain(Seconds{10.0}, config), UserError);
+    EXPECT_THROW(estimateTimeToTrain(Seconds{-1.0}, ResilienceConfig{}),
                  UserError);
 }
 
@@ -192,12 +221,13 @@ TEST(ResilienceEstimateTest, DalyIntervalIsNearOptimal)
     // itself — a property check that the formula is actually placed
     // at (near) the minimum of the expected-time curve.
     ResilienceConfig config;
-    config.mtbfSeconds = 2000.0;
-    config.checkpointWriteSeconds = 15.0;
-    config.restartSeconds = 60.0;
-    const double solve = 40000.0;
-    const double tau = dalyOptimalInterval(15.0, 2000.0);
-    const auto at = [&](double interval) {
+    config.mtbfSeconds = Seconds{2000.0};
+    config.checkpointWriteSeconds = Seconds{15.0};
+    config.restartSeconds = Seconds{60.0};
+    const Seconds solve{40000.0};
+    const Seconds tau =
+        dalyOptimalInterval(Seconds{15.0}, Seconds{2000.0});
+    const auto at = [&](Seconds interval) {
         ResilienceConfig c = config;
         c.checkpointIntervalSeconds = interval;
         return estimateTimeToTrain(solve, c).expectedSeconds;
@@ -217,52 +247,54 @@ TEST(ResilienceMonteCarloTest, AgreesWithClosedFormWithinError)
     // a small absolute floor makes the test deterministic for the
     // fixed seed while still failing on any real modeling mismatch.
     ResilienceConfig config;
-    config.mtbfSeconds = 500.0;
-    config.checkpointWriteSeconds = 5.0;
-    config.restartSeconds = 20.0;
-    config.checkpointIntervalSeconds = 100.0;
-    const double solve = 1000.0;
+    config.mtbfSeconds = Seconds{500.0};
+    config.checkpointWriteSeconds = Seconds{5.0};
+    config.restartSeconds = Seconds{20.0};
+    config.checkpointIntervalSeconds = Seconds{100.0};
+    const Seconds solve{1000.0};
     const auto estimate = estimateTimeToTrain(solve, config);
     ThreadPool pool(4);
     const auto stats = monteCarloTimeToTrain(solve, config, 4000,
                                              0xd1ffULL, pool);
     EXPECT_EQ(stats.replications, 4000u);
-    EXPECT_GT(stats.stddevSeconds, 0.0);
-    EXPECT_NEAR(stats.meanSeconds, estimate.expectedSeconds,
-                5.0 * stats.standardError + 1e-9);
+    EXPECT_GT(stats.stddevSeconds.value(), 0.0);
+    EXPECT_NEAR(stats.meanSeconds.value(),
+                estimate.expectedSeconds.value(),
+                5.0 * stats.standardError.value() + 1e-9);
 }
 
 TEST(ResilienceMonteCarloTest, FailureFreeClusterIsExact)
 {
     ResilienceConfig config;
-    config.checkpointWriteSeconds = 2.0;
-    config.checkpointIntervalSeconds = 10.0;
+    config.checkpointWriteSeconds = Seconds{2.0};
+    config.checkpointIntervalSeconds = Seconds{10.0};
     ThreadPool pool(2);
     const auto stats =
-        monteCarloTimeToTrain(35.0, config, 64, 1ULL, pool);
+        monteCarloTimeToTrain(Seconds{35.0}, config, 64, 1ULL, pool);
     // No randomness survives an infinite MTBF: every replication is
     // exactly the failure-free wall time.
-    EXPECT_DOUBLE_EQ(stats.meanSeconds, 35.0 + 3 * 2.0);
-    EXPECT_DOUBLE_EQ(stats.stddevSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(stats.meanSeconds.value(), 35.0 + 3 * 2.0);
+    EXPECT_DOUBLE_EQ(stats.stddevSeconds.value(), 0.0);
 }
 
 TEST(ResilienceMonteCarloTest, ByteIdenticalAcrossThreadCounts)
 {
     ResilienceConfig config;
-    config.mtbfSeconds = 300.0;
-    config.checkpointWriteSeconds = 5.0;
-    config.restartSeconds = 15.0;
-    config.checkpointIntervalSeconds = 60.0;
+    config.mtbfSeconds = Seconds{300.0};
+    config.checkpointWriteSeconds = Seconds{5.0};
+    config.restartSeconds = Seconds{15.0};
+    config.checkpointIntervalSeconds = Seconds{60.0};
     ThreadPool one(1), four(4);
     const auto a =
-        monteCarloTimeToTrain(2000.0, config, 512, 42ULL, one);
+        monteCarloTimeToTrain(Seconds{2000.0}, config, 512, 42ULL, one);
     const auto b =
-        monteCarloTimeToTrain(2000.0, config, 512, 42ULL, four);
+        monteCarloTimeToTrain(Seconds{2000.0}, config, 512, 42ULL,
+                              four);
     // Bitwise, not approximate: per-slot writes + index-order
     // reduction make the parallel sum order-independent.
-    EXPECT_EQ(a.meanSeconds, b.meanSeconds);
-    EXPECT_EQ(a.stddevSeconds, b.stddevSeconds);
-    EXPECT_EQ(a.standardError, b.standardError);
+    EXPECT_EQ(a.meanSeconds.value(), b.meanSeconds.value());
+    EXPECT_EQ(a.stddevSeconds.value(), b.stddevSeconds.value());
+    EXPECT_EQ(a.standardError.value(), b.standardError.value());
 }
 
 // ---------------------------------------------------------------
@@ -289,7 +321,8 @@ TEST(ResilienceSimDifferentialTest, SimulatorRenewalMatchesAnalytic)
     sim::TrainingSimulator sim(
         model::presets::tinyTest(), hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6},
+                            BitsPerSecond{2.4e12}});
     const double step_time =
         sim.simulateDataParallelStep(devices, per_device_batch)
             .stepTime;
@@ -301,7 +334,10 @@ TEST(ResilienceSimDifferentialTest, SimulatorRenewalMatchesAnalytic)
     const double cluster_mtbf = device_mtbf / devices;
     const double restart = 0.5 * step_time;
     const double analytic =
-        expectedSegmentSeconds(step_time, cluster_mtbf, restart);
+        expectedSegmentSeconds(Seconds{step_time},
+                               Seconds{cluster_mtbf},
+                               Seconds{restart})
+            .value();
 
     constexpr std::size_t replications = 600;
     std::vector<double> totals(replications);
@@ -310,7 +346,8 @@ TEST(ResilienceSimDifferentialTest, SimulatorRenewalMatchesAnalytic)
         sim::TrainingSimulator worker(
             model::presets::tinyTest(), hw::presets::tinyTest(),
             hw::MicrobatchEfficiency(0.8, 4.0),
-            net::LinkConfig{"intra", 1e-6, 2.4e12});
+            net::LinkConfig{"intra", Seconds{1e-6},
+                            BitsPerSecond{2.4e12}});
         double elapsed = 0.0;
         for (int attempt = 0; attempt < 200; ++attempt) {
             sim::FaultSpec spec;

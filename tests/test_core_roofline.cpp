@@ -23,8 +23,10 @@ testSystem()
     sys.name = "rf-4x4";
     sys.numNodes = 4;
     sys.acceleratorsPerNode = 4;
-    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
-    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.intraLink =
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    sys.interLink =
+        net::LinkConfig{"inter", Seconds{2e-6}, BitsPerSecond{2e11}};
     sys.nicsPerNode = 4;
     return sys;
 }
@@ -41,10 +43,10 @@ TEST(RooflineTest, ComputeTimeIsFlopsOverAggregatePeak)
 {
     const auto rf = makeRoofline();
     model::OpCounter counter(model::presets::tinyTest());
-    const double expected =
-        counter.modelFlopsPerBatch(64.0) /
+    const Seconds expected =
+        Flops{counter.modelFlopsPerBatch(64.0)} /
         (hw::presets::tinyTest().peakMacFlops() * 16.0);
-    EXPECT_DOUBLE_EQ(rf.computeTime(64.0), expected);
+    EXPECT_DOUBLE_EQ(rf.computeTime(64.0).value(), expected.value());
 }
 
 TEST(RooflineTest, MappingBlindWithinSameParallelismKinds)
@@ -54,11 +56,11 @@ TEST(RooflineTest, MappingBlindWithinSameParallelismKinds)
     job.batchSize = 64.0;
     job.numBatchesOverride = 1.0;
     // Same kinds (TP+DP), different placement: identical estimate.
-    const double a = rf.timePerBatch(
+    const Seconds a = rf.timePerBatch(
         mapping::makeMapping(4, 1, 1, 1, 1, 4), job);
-    const double b = rf.timePerBatch(
+    const Seconds b = rf.timePerBatch(
         mapping::makeMapping(1, 1, 4, 4, 1, 1), job);
-    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_DOUBLE_EQ(a.value(), b.value());
 }
 
 TEST(RooflineTest, AlwaysOptimisticVsAmped)
@@ -72,7 +74,7 @@ TEST(RooflineTest, AlwaysOptimisticVsAmped)
     job.numBatchesOverride = 1.0;
     for (const auto &m :
          mapping::MappingSpace(testSystem()).enumerate(4)) {
-        const double roof = rf.timePerBatch(m, job);
+        const double roof = rf.timePerBatch(m, job).value();
         const double full = amped.evaluate(m, job).timePerBatch;
         EXPECT_LT(roof, full) << m.toString();
     }
@@ -81,9 +83,9 @@ TEST(RooflineTest, AlwaysOptimisticVsAmped)
 TEST(RooflineTest, CommunicationGrowsWithParallelKinds)
 {
     const auto rf = makeRoofline();
-    const double none = rf.communicationTime(
+    const Seconds none = rf.communicationTime(
         mapping::makeMapping(4, 1, 1, 4, 1, 1), 64.0); // TP only
-    const double with_dp = rf.communicationTime(
+    const Seconds with_dp = rf.communicationTime(
         mapping::makeMapping(4, 1, 1, 1, 1, 4), 64.0); // TP + DP
     EXPECT_GT(with_dp, none);
 }

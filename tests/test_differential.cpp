@@ -174,7 +174,7 @@ dataPipelineGrid(const model::TransformerConfig &model_cfg)
     const double microbatch = 8.0;
     const std::int64_t n_ub = 4;
     auto simulator = makeSimulator(model_cfg);
-    simulator.setGradientBits(16.0);
+    simulator.setGradientBits(Bits{16.0});
     std::vector<GridPoint> grid;
     for (const auto &[replicas, stages] :
          std::vector<std::pair<std::int64_t, std::int64_t>>{
@@ -184,7 +184,7 @@ dataPipelineGrid(const model::TransformerConfig &model_cfg)
                       std::to_string(stages);
         core::ModelOptions options =
             validate::calibrations::validationOptions();
-        options.gradientBits = 16.0;
+        options.gradientBits = Bits{16.0};
         core::AmpedModel model(model_cfg, hw::presets::v100Sxm3(),
                                gridEfficiency(),
                                net::presets::hgx2(replicas * stages),

@@ -29,8 +29,10 @@ testSystem()
     sys.name = "test-4x4";
     sys.numNodes = 4;
     sys.acceleratorsPerNode = 4;
-    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
-    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.intraLink =
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    sys.interLink =
+        net::LinkConfig{"inter", Seconds{2e-6}, BitsPerSecond{2e11}};
     sys.nicsPerNode = 4;
     return sys;
 }

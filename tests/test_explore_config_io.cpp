@@ -69,9 +69,10 @@ TEST(ConfigIoTest, AcceleratorFromDocument)
     const auto accel = acceleratorFromConfig(config);
     EXPECT_EQ(accel.name, "doc-accel");
     // Reconstructs the A100's 312 TFLOP/s peak.
-    EXPECT_NEAR(accel.peakMacFlops() / 1e12, 312.0, 1.0);
-    EXPECT_DOUBLE_EQ(accel.precisions.parameterBits, 16.0); // default
-    EXPECT_DOUBLE_EQ(accel.offChipBandwidthBits, 2.4e12);
+    EXPECT_NEAR(accel.peakMacFlops().value() / 1e12, 312.0, 1.0);
+    EXPECT_DOUBLE_EQ(accel.precisions.parameterBits.value(),
+                     16.0); // default
+    EXPECT_DOUBLE_EQ(accel.offChipBandwidth.value(), 2.4e12);
 }
 
 TEST(ConfigIoTest, AcceleratorPrecisionOverrides)
@@ -82,9 +83,9 @@ TEST(ConfigIoTest, AcceleratorPrecisionOverrides)
         "memory-gb = 80\noffchip-gbits = 3600\n"
         "precision-param = 8\nprecision-act = 8\n");
     const auto accel = acceleratorFromConfig(config);
-    EXPECT_DOUBLE_EQ(accel.precisions.parameterBits, 8.0);
-    EXPECT_DOUBLE_EQ(accel.precisions.activationBits, 8.0);
-    EXPECT_DOUBLE_EQ(accel.precisions.nonlinearBits, 16.0);
+    EXPECT_DOUBLE_EQ(accel.precisions.parameterBits.value(), 8.0);
+    EXPECT_DOUBLE_EQ(accel.precisions.activationBits.value(), 8.0);
+    EXPECT_DOUBLE_EQ(accel.precisions.nonlinearBits.value(), 16.0);
 }
 
 TEST(ConfigIoTest, SystemFromDocument)
@@ -100,10 +101,10 @@ TEST(ConfigIoTest, SystemFromDocument)
     EXPECT_EQ(sys.totalAccelerators(), 64);
     EXPECT_EQ(sys.nicsPerNode, 4); // defaults to per-node
     EXPECT_TRUE(sys.interIsPooledFabric);
-    EXPECT_DOUBLE_EQ(sys.intraBandwidthBits(), 2.4e12);
-    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidthBits(), 2e11);
+    EXPECT_DOUBLE_EQ(sys.intraBandwidth().value(), 2.4e12);
+    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidth().value(), 2e11);
     // Default latencies applied.
-    EXPECT_DOUBLE_EQ(sys.interLatencySeconds(), 1.2e-6);
+    EXPECT_DOUBLE_EQ(sys.interLatency().value(), 1.2e-6);
 }
 
 TEST(ConfigIoTest, SystemRejectsMissingBandwidth)

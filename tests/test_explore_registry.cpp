@@ -33,7 +33,7 @@ TEST(RegistryTest, EveryListedAcceleratorResolves)
         const auto cfg = acceleratorByName(name);
         EXPECT_NO_THROW(cfg.validate()) << name;
     }
-    EXPECT_NEAR(acceleratorByName("A100").peakMacFlops() / 1e12,
+    EXPECT_NEAR(acceleratorByName("A100").peakMacFlops().value() / 1e12,
                 312.0, 1.0);
 }
 
@@ -43,7 +43,7 @@ TEST(RegistryTest, EveryListedInterconnectResolves)
         const auto link = interconnectByName(name);
         EXPECT_NO_THROW(link.validate()) << name;
     }
-    EXPECT_DOUBLE_EQ(interconnectByName("hdr").bandwidthBits, 2e11);
+    EXPECT_DOUBLE_EQ(interconnectByName("hdr").bandwidth.value(), 2e11);
 }
 
 TEST(RegistryTest, UnknownNamesListAlternatives)

@@ -21,8 +21,10 @@ reportModel()
     sys.name = "report-4x4";
     sys.numNodes = 4;
     sys.acceleratorsPerNode = 4;
-    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
-    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.intraLink =
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    sys.interLink =
+        net::LinkConfig{"inter", Seconds{2e-6}, BitsPerSecond{2e11}};
     sys.nicsPerNode = 4;
     return core::AmpedModel(model::presets::minGpt85M(),
                             hw::presets::v100Sxm3(),
@@ -79,7 +81,7 @@ TEST(ReportTest, FitsVerdictIsStated)
 TEST(ReportTest, PowerSpecFlowsIntoEnergySection)
 {
     ReportOptions options;
-    options.power.tdpWatts = 250.0; // V100 TDP
+    options.power.tdpWatts = Watts{250.0}; // V100 TDP
     const auto report = generateReport(
         reportModel(), mapping::makeMapping(4, 1, 1, 1, 1, 4),
         reportJob(), options);

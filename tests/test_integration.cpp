@@ -284,10 +284,10 @@ TEST(CaseStudy3Reproduction, OpticalSubstrateOrdering)
     auto evaluate = [](std::int64_t per_node,
                        std::int64_t fibers, double off_chip_scale) {
         hw::AcceleratorConfig accel = hw::presets::h100();
-        accel.precisions.parameterBits = 8.0;
-        accel.precisions.activationBits = 8.0;
-        accel.precisions.nonlinearBits = 8.0;
-        accel.offChipBandwidthBits *= off_chip_scale;
+        accel.precisions.parameterBits = Bits{8.0};
+        accel.precisions.activationBits = Bits{8.0};
+        accel.precisions.nonlinearBits = Bits{8.0};
+        accel.offChipBandwidth *= off_chip_scale;
 
         net::SystemConfig system;
         system.name = "cs3";
@@ -297,7 +297,7 @@ TEST(CaseStudy3Reproduction, OpticalSubstrateOrdering)
             net::presets::nvlinkH100().scaledBandwidth(off_chip_scale);
         if (fibers > 0) {
             system.interLink = net::presets::opticalFiber(
-                accel.offChipBandwidthBits);
+                accel.offChipBandwidth);
             system.nicsPerNode = fibers;
             system.interIsPooledFabric = true;
         } else {
@@ -306,7 +306,7 @@ TEST(CaseStudy3Reproduction, OpticalSubstrateOrdering)
         }
         core::ModelOptions options =
             validate::calibrations::nvswitchOptions(per_node);
-        options.gradientBits = 32.0;
+        options.gradientBits = Bits{32.0};
         core::AmpedModel amped(model::presets::glamMoE(), accel,
                                validate::calibrations::caseStudy3(),
                                system, options);

@@ -18,21 +18,21 @@ namespace {
 
 TEST(LinkTest, TransferTimeAndScaling)
 {
-    LinkConfig link{"t", 1e-6, 1e9};
-    EXPECT_DOUBLE_EQ(link.transferTime(1e9), 1.0);
-    EXPECT_DOUBLE_EQ(link.transferTime(0.0), 0.0);
+    LinkConfig link{"t", Seconds{1e-6}, BitsPerSecond{1e9}};
+    EXPECT_DOUBLE_EQ(link.transferTime(Bits{1e9}).value(), 1.0);
+    EXPECT_DOUBLE_EQ(link.transferTime(Bits{0.0}).value(), 0.0);
     const auto doubled = link.scaledBandwidth(2.0);
-    EXPECT_DOUBLE_EQ(doubled.bandwidthBits, 2e9);
-    EXPECT_DOUBLE_EQ(doubled.latencySeconds, 1e-6);
+    EXPECT_DOUBLE_EQ(doubled.bandwidth.value(), 2e9);
+    EXPECT_DOUBLE_EQ(doubled.latency.value(), 1e-6);
     EXPECT_THROW(link.scaledBandwidth(0.0), UserError);
-    EXPECT_THROW(link.transferTime(-1.0), UserError);
+    EXPECT_THROW(link.transferTime(Bits{-1.0}), UserError);
 }
 
 TEST(LinkTest, ValidationCatchesBadFields)
 {
-    LinkConfig bad{"b", -1.0, 1e9};
+    LinkConfig bad{"b", Seconds{-1.0}, BitsPerSecond{1e9}};
     EXPECT_THROW(bad.validate(), UserError);
-    bad = LinkConfig{"b", 1e-6, 0.0};
+    bad = LinkConfig{"b", Seconds{1e-6}, BitsPerSecond{0.0}};
     EXPECT_THROW(bad.validate(), UserError);
 }
 
@@ -92,55 +92,61 @@ TEST(TopologyTest, HierarchicalRingComposesDimensions)
 
 TEST(CollectivesTest, AllReduceZeroForSingleRank)
 {
-    LinkConfig link{"t", 1e-6, 1e12};
-    EXPECT_DOUBLE_EQ(allReduceTime(1, 1e9, 16.0, link), 0.0);
+    LinkConfig link{"t", Seconds{1e-6}, BitsPerSecond{1e12}};
+    EXPECT_DOUBLE_EQ(allReduceTime(1, 1e9, Bits{16.0}, link).value(),
+                     0.0);
 }
 
 TEST(CollectivesTest, AllReduceMatchesEqSixForm)
 {
-    LinkConfig link{"t", 2e-6, 2.4e12};
+    LinkConfig link{"t", Seconds{2e-6}, BitsPerSecond{2.4e12}};
     const std::int64_t n = 8;
     const double elements = 1e9, bits = 16.0;
     const double factor = topology::ringAllReduce(n);
     const double expected =
         2e-6 * factor * 8.0 + elements * bits / 2.4e12 * factor;
-    EXPECT_DOUBLE_EQ(allReduceTime(n, elements, bits, link), expected);
+    EXPECT_DOUBLE_EQ(allReduceTime(n, elements, Bits{bits}, link).value(),
+                     expected);
 }
 
 TEST(CollectivesTest, AllReduceHonorsTopologyOverride)
 {
-    LinkConfig link{"t", 0.0, 1e12};
-    const double with_ring = allReduceTime(4, 1e9, 16.0, link);
-    const double with_override =
-        allReduceTime(4, 1e9, 16.0, link, 1.0);
+    LinkConfig link{"t", Seconds{0.0}, BitsPerSecond{1e12}};
+    const Seconds with_ring = allReduceTime(4, 1e9, Bits{16.0}, link);
+    const Seconds with_override =
+        allReduceTime(4, 1e9, Bits{16.0}, link, 1.0);
     EXPECT_DOUBLE_EQ(with_override / with_ring, 1.0 / 1.5);
 }
 
 TEST(CollectivesTest, AllReduceDecreasesWithBandwidth)
 {
-    LinkConfig slow{"s", 1e-6, 1e11};
-    LinkConfig fast{"f", 1e-6, 1e12};
-    EXPECT_GT(allReduceTime(8, 1e9, 16.0, slow),
-              allReduceTime(8, 1e9, 16.0, fast));
+    LinkConfig slow{"s", Seconds{1e-6}, BitsPerSecond{1e11}};
+    LinkConfig fast{"f", Seconds{1e-6}, BitsPerSecond{1e12}};
+    EXPECT_GT(allReduceTime(8, 1e9, Bits{16.0}, slow),
+              allReduceTime(8, 1e9, Bits{16.0}, fast));
 }
 
 TEST(CollectivesTest, PointToPointIsAlphaBeta)
 {
-    LinkConfig link{"t", 5e-6, 1e9};
-    EXPECT_DOUBLE_EQ(pointToPointTime(1e9, 1.0, link), 5e-6 + 1.0);
-    EXPECT_DOUBLE_EQ(pointToPointTime(0.0, 16.0, link), 5e-6);
+    LinkConfig link{"t", Seconds{5e-6}, BitsPerSecond{1e9}};
+    EXPECT_DOUBLE_EQ(pointToPointTime(1e9, Bits{1.0}, link).value(),
+                     5e-6 + 1.0);
+    EXPECT_DOUBLE_EQ(pointToPointTime(0.0, Bits{16.0}, link).value(),
+                     5e-6);
 }
 
 TEST(CollectivesTest, AllToAllZeroForSingleNode)
 {
-    LinkConfig intra{"i", 1e-6, 1e12};
-    EXPECT_DOUBLE_EQ(allToAllTime(1, 1e9, 16.0, intra, 1e-6, 1e11),
+    LinkConfig intra{"i", Seconds{1e-6}, BitsPerSecond{1e12}};
+    EXPECT_DOUBLE_EQ(allToAllTime(1, 1e9, Bits{16.0}, intra,
+                                  Seconds{1e-6}, BitsPerSecond{1e11})
+                         .value(),
                      0.0);
 }
 
 TEST(CollectivesTest, AllToAllMatchesEqNineForm)
 {
-    LinkConfig intra{"i", 1e-6, 2.4e12};
+    LinkConfig intra{"i", Seconds{1e-6}, BitsPerSecond{2.4e12}};
     const std::int64_t nodes = 4;
     const double elements = 1e8, bits = 16.0;
     const double inter_lat = 1.2e-6, inter_bw = 2e11;
@@ -149,34 +155,42 @@ TEST(CollectivesTest, AllToAllMatchesEqNineForm)
         inter_lat * t_moe * 4.0 +
         elements * bits * t_moe *
             (1.0 / (4.0 * 2.4e12) + 3.0 / (4.0 * 2e11));
-    EXPECT_DOUBLE_EQ(
-        allToAllTime(nodes, elements, bits, intra, inter_lat, inter_bw),
-        expected);
+    EXPECT_DOUBLE_EQ(allToAllTime(nodes, elements, Bits{bits}, intra,
+                                  Seconds{inter_lat},
+                                  BitsPerSecond{inter_bw})
+                         .value(),
+                     expected);
 }
 
 TEST(CollectivesTest, HierarchicalIsSumOfStages)
 {
-    LinkConfig intra{"i", 1e-6, 2.4e12};
-    const double inter_lat = 1.2e-6, inter_bw = 2e11;
-    const double elements = 1e8, bits = 16.0;
-    const double total = hierarchicalAllReduceTime(
+    LinkConfig intra{"i", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    const Seconds inter_lat{1.2e-6};
+    const BitsPerSecond inter_bw{2e11};
+    const double elements = 1e8;
+    const Bits bits{16.0};
+    const Seconds total = hierarchicalAllReduceTime(
         8, 16, elements, bits, intra, inter_lat, inter_bw);
-    const double intra_only = allReduceTime(8, elements, bits, intra);
+    const Seconds intra_only = allReduceTime(8, elements, bits, intra);
     const LinkConfig inter{"x", inter_lat, inter_bw};
-    const double inter_only =
+    const Seconds inter_only =
         allReduceTime(16, elements, bits, inter);
-    EXPECT_DOUBLE_EQ(total, intra_only + inter_only);
+    EXPECT_DOUBLE_EQ(total.value(), (intra_only + inter_only).value());
 }
 
 TEST(CollectivesTest, HierarchicalSingleTierDegenerates)
 {
-    LinkConfig intra{"i", 1e-6, 2.4e12};
-    EXPECT_DOUBLE_EQ(
-        hierarchicalAllReduceTime(8, 1, 1e8, 16.0, intra, 1e-6, 1e11),
-        allReduceTime(8, 1e8, 16.0, intra));
-    EXPECT_DOUBLE_EQ(
-        hierarchicalAllReduceTime(1, 1, 1e8, 16.0, intra, 1e-6, 1e11),
-        0.0);
+    LinkConfig intra{"i", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    EXPECT_DOUBLE_EQ(hierarchicalAllReduceTime(8, 1, 1e8, Bits{16.0},
+                                               intra, Seconds{1e-6},
+                                               BitsPerSecond{1e11})
+                         .value(),
+                     allReduceTime(8, 1e8, Bits{16.0}, intra).value());
+    EXPECT_DOUBLE_EQ(hierarchicalAllReduceTime(1, 1, 1e8, Bits{16.0},
+                                               intra, Seconds{1e-6},
+                                               BitsPerSecond{1e11})
+                         .value(),
+                     0.0);
 }
 
 TEST(SystemTest, TotalsAndBandwidths)
@@ -184,11 +198,11 @@ TEST(SystemTest, TotalsAndBandwidths)
     auto sys = presets::a100Cluster1024();
     EXPECT_EQ(sys.totalAccelerators(), 1024);
     EXPECT_EQ(sys.numNodes, 128);
-    EXPECT_DOUBLE_EQ(sys.intraBandwidthBits(), 2.4e12);
+    EXPECT_DOUBLE_EQ(sys.intraBandwidth().value(), 2.4e12);
     // 8 HDR NICs * 200 Gbit/s = 1.6 Tbit/s aggregate.
-    EXPECT_DOUBLE_EQ(sys.interBandwidthBits(), 1.6e12);
+    EXPECT_DOUBLE_EQ(sys.interBandwidth().value(), 1.6e12);
     // Shared by 8 accelerators -> 200 Gbit/s per stream.
-    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidthBits(), 2e11);
+    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidth().value(), 2e11);
 }
 
 TEST(SystemTest, LowEndClusterKeeps1024Accelerators)
@@ -199,7 +213,7 @@ TEST(SystemTest, LowEndClusterKeeps1024Accelerators)
         EXPECT_EQ(sys.acceleratorsPerNode, per_node);
         EXPECT_EQ(sys.nicsPerNode, per_node);
         // 1 EDR NIC per accelerator -> per-stream 100 Gbit/s.
-        EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidthBits(),
+        EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidth().value(),
                          units::gigabitsPerSecond(100.0));
     }
     EXPECT_THROW(presets::lowEndCluster(3), UserError);
@@ -219,16 +233,15 @@ TEST(SystemTest, H100ClusterMatchesCaseStudyIII)
     const auto sys = presets::h100Cluster3072();
     EXPECT_EQ(sys.totalAccelerators(), 3072);
     // 8 NDR NICs shared by 8 H100s: 400 Gbit/s per stream.
-    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidthBits(), 4e11);
+    EXPECT_DOUBLE_EQ(sys.perStreamInterBandwidth().value(), 4e11);
 }
 
 TEST(SystemTest, OpticalFiberLinkCarriesOffChipBandwidth)
 {
-    const auto fiber = presets::opticalFiber(3.6e12);
-    EXPECT_DOUBLE_EQ(fiber.bandwidthBits, 3.6e12);
-    EXPECT_LT(fiber.latencySeconds,
-              presets::ndrInfiniband().latencySeconds);
-    EXPECT_THROW(presets::opticalFiber(0.0), UserError);
+    const auto fiber = presets::opticalFiber(BitsPerSecond{3.6e12});
+    EXPECT_DOUBLE_EQ(fiber.bandwidth.value(), 3.6e12);
+    EXPECT_LT(fiber.latency, presets::ndrInfiniband().latency);
+    EXPECT_THROW(presets::opticalFiber(BitsPerSecond{0.0}), UserError);
 }
 
 TEST(SystemTest, ValidationCatchesBadFields)
@@ -241,23 +254,27 @@ TEST(SystemTest, ValidationCatchesBadFields)
     check([](SystemConfig &s) { s.numNodes = 0; });
     check([](SystemConfig &s) { s.acceleratorsPerNode = 0; });
     check([](SystemConfig &s) { s.nicsPerNode = 0; });
-    check([](SystemConfig &s) { s.intraLink.bandwidthBits = 0.0; });
-    check([](SystemConfig &s) { s.interLink.latencySeconds = -1.0; });
+    check([](SystemConfig &s) {
+        s.intraLink.bandwidth = BitsPerSecond{0.0};
+    });
+    check([](SystemConfig &s) {
+        s.interLink.latency = Seconds{-1.0};
+    });
 }
 
 TEST(SystemTest, InterconnectPresetBandwidthOrdering)
 {
     // EDR < HDR < NDR < NVLink3 < NVLink4.
-    EXPECT_LT(presets::edrInfiniband().bandwidthBits,
-              presets::hdrInfiniband().bandwidthBits);
-    EXPECT_LT(presets::hdrInfiniband().bandwidthBits,
-              presets::ndrInfiniband().bandwidthBits);
-    EXPECT_LT(presets::ndrInfiniband().bandwidthBits,
-              presets::nvlinkA100().bandwidthBits);
-    EXPECT_LT(presets::nvlinkA100().bandwidthBits,
-              presets::nvlinkH100().bandwidthBits);
-    EXPECT_LT(presets::pcie3().bandwidthBits,
-              presets::nvlinkV100().bandwidthBits);
+    EXPECT_LT(presets::edrInfiniband().bandwidth,
+              presets::hdrInfiniband().bandwidth);
+    EXPECT_LT(presets::hdrInfiniband().bandwidth,
+              presets::ndrInfiniband().bandwidth);
+    EXPECT_LT(presets::ndrInfiniband().bandwidth,
+              presets::nvlinkA100().bandwidth);
+    EXPECT_LT(presets::nvlinkA100().bandwidth,
+              presets::nvlinkH100().bandwidth);
+    EXPECT_LT(presets::pcie3().bandwidth,
+              presets::nvlinkV100().bandwidth);
 }
 
 } // namespace

@@ -29,8 +29,10 @@ testSystem()
     sys.name = "test-2x4";
     sys.numNodes = 2;
     sys.acceleratorsPerNode = 4;
-    sys.intraLink = net::LinkConfig{"intra", 1e-6, 2.4e12};
-    sys.interLink = net::LinkConfig{"inter", 2e-6, 2e11};
+    sys.intraLink =
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    sys.interLink =
+        net::LinkConfig{"inter", Seconds{2e-6}, BitsPerSecond{2e11}};
     sys.nicsPerNode = 4;
     return sys;
 }
@@ -55,7 +57,7 @@ testOutcome()
     sim::TrainingSimulator simulator(
         model::presets::tinyTest(), hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}});
     return simulator.simulateDataParallelStep(4, 8.0);
 }
 

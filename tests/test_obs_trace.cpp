@@ -34,10 +34,12 @@ makePipelineGraph()
     const auto d0 = graph.addDevice("gpu0");
     const auto d1 = graph.addDevice("gpu1");
     const auto ch = graph.addChannel("link01");
-    const auto fwd = graph.addCompute(d0, 1.0, "fwd", "forward");
-    const auto xfer = graph.addTransfer(ch, 8e9, 1e10, 1e-6,
+    const auto fwd = graph.addCompute(d0, Seconds{1.0}, "fwd", "forward");
+    const auto xfer = graph.addTransfer(ch, Bits{8e9},
+                                        BitsPerSecond{1e10},
+                                        Seconds{1e-6},
                                         "act-xfer", "p2p");
-    const auto bwd = graph.addCompute(d1, 2.0, "bwd", "backward");
+    const auto bwd = graph.addCompute(d1, Seconds{2.0}, "bwd", "backward");
     graph.addDependency(fwd, xfer);
     graph.addDependency(xfer, bwd);
     return graph;
@@ -184,7 +186,7 @@ TEST(ChromeTraceTest, MismatchedResultAndGraphThrow)
 
     sim::TaskGraph other;
     other.addDevice("lonely");
-    other.addCompute(0, 1.0, "only");
+    other.addCompute(0, Seconds{1.0}, "only");
     ChromeTraceBuilder builder;
     EXPECT_THROW(builder.addRun(other, result, "bad"), UserError);
 }

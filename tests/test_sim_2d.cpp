@@ -24,14 +24,14 @@ makeSim()
     TrainingSimulator sim(
         model::presets::tinyTest(), hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}});
     return sim;
 }
 
 net::LinkConfig
 dpLink()
 {
-    return net::LinkConfig{"dp", 2e-6, 2e11};
+    return net::LinkConfig{"dp", Seconds{2e-6}, BitsPerSecond{2e11}};
 }
 
 TEST(DataPipelineSimTest, DegeneratesToPureGPipe)
@@ -85,7 +85,7 @@ TEST(DataPipelineSimTest, MatchesAnalyticCombinedPrediction)
     TrainingSimulator simulator(model_cfg, accel, eff,
                                 net::presets::nvlinkV100());
     simulator.setBackwardMultiplier(3.0);
-    simulator.setGradientBits(16.0);
+    simulator.setGradientBits(Bits{16.0});
 
     const double microbatch = 8.0;
     const std::int64_t stages = 4, replicas = 2, n_ub = 4;
@@ -96,7 +96,7 @@ TEST(DataPipelineSimTest, MatchesAnalyticCombinedPrediction)
     net::SystemConfig system = net::presets::hgx2(8);
     core::ModelOptions options =
         validate::calibrations::validationOptions();
-    options.gradientBits = 16.0;
+    options.gradientBits = Bits{16.0};
     core::AmpedModel amped(model_cfg, accel, eff, system, options);
     core::TrainingJob job;
     job.batchSize =

@@ -23,13 +23,15 @@ makeSim()
     return TrainingSimulator(
         model::presets::tinyTest(), hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6},
+                        BitsPerSecond{2.4e12}});
 }
 
 net::LinkConfig
 interLink()
 {
-    return net::LinkConfig{"inter", 2e-6, 2e11};
+    return net::LinkConfig{"inter", Seconds{2e-6},
+                           BitsPerSecond{2e11}};
 }
 
 TEST(HierarchicalDpSimTest, SingleNodeMatchesFlatDp)
@@ -58,10 +60,14 @@ TEST(HierarchicalDpSimTest, TracksAnalyticHierarchicalAllReduce)
     const double comm_sim = outcome.stepTime - solo.stepTime;
 
     const double grads = sim.opCounter().totalLayerWeights();
-    const net::LinkConfig intra{"intra", 1e-6, 2.4e12};
-    const double analytic = net::hierarchicalAllReduceTime(
-        per_node, nodes, grads, 32.0, intra,
-        interLink().latencySeconds, interLink().bandwidthBits);
+    const net::LinkConfig intra{"intra", Seconds{1e-6},
+                                BitsPerSecond{2.4e12}};
+    const double analytic =
+        net::hierarchicalAllReduceTime(per_node, nodes, grads,
+                                       Bits{32.0}, intra,
+                                       interLink().latency,
+                                       interLink().bandwidth)
+            .value();
     // The simulated schedule adds the final broadcast; expect
     // agreement within ~40 % (same order, same dominant term).
     EXPECT_GT(comm_sim, 0.5 * analytic);
@@ -72,7 +78,7 @@ TEST(HierarchicalDpSimTest, SlowerInterconnectDominates)
 {
     const auto sim = makeSim();
     net::LinkConfig slow = interLink();
-    slow.bandwidthBits /= 10.0;
+    slow.bandwidth /= 10.0;
     const double fast_time =
         sim.simulateHierarchicalDataParallelStep(4, 4, 8.0,
                                                  interLink())
@@ -101,7 +107,7 @@ TEST(AllToAllSimTest, SingleParticipantIsFree)
 {
     const auto sim = makeSim();
     const auto outcome =
-        sim.simulateAllToAll(1, 1e6, 16.0, interLink());
+        sim.simulateAllToAll(1, 1e6, Bits{16.0}, interLink());
     EXPECT_DOUBLE_EQ(outcome.stepTime, 0.0);
 }
 
@@ -111,13 +117,13 @@ TEST(AllToAllSimTest, MatchesPairwiseExchangeBandwidthTerm)
     const std::int64_t n = 8;
     const double elements = 1e8, bits = 16.0;
     const auto outcome =
-        sim.simulateAllToAll(n, elements, bits, interLink());
+        sim.simulateAllToAll(n, elements, Bits{bits}, interLink());
     // Pairwise exchange: N-1 rounds of (data/N) per egress link,
     // serialized per rank: total = (N-1)/N * data / BW + latencies.
     const double expected =
         net::topology::pairwiseAllToAll(n) * elements * bits /
-            interLink().bandwidthBits +
-        interLink().latencySeconds;
+            interLink().bandwidth.value() +
+        interLink().latency.value();
     EXPECT_NEAR(outcome.stepTime / expected, 1.0, 0.01);
 }
 
@@ -126,9 +132,9 @@ TEST(AllToAllSimTest, ScalesWithParticipantsTowardFullPayload)
     const auto sim = makeSim();
     const double elements = 1e8, bits = 16.0;
     const double t2 =
-        sim.simulateAllToAll(2, elements, bits, interLink()).stepTime;
+        sim.simulateAllToAll(2, elements, Bits{bits}, interLink()).stepTime;
     const double t16 =
-        sim.simulateAllToAll(16, elements, bits, interLink())
+        sim.simulateAllToAll(16, elements, Bits{bits}, interLink())
             .stepTime;
     // (N-1)/N grows from 0.5 toward 1: t16 ~ 1.875 x t2.
     EXPECT_NEAR(t16 / t2, 1.875, 0.02);
@@ -149,7 +155,8 @@ TEST(MoeStepSimTest, AllToAllCostEmergesOnExpertLayers)
     TrainingSimulator moe_sim(
         cfg, hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6},
+                        BitsPerSecond{2.4e12}});
 
     const auto single = moe_sim.simulateMoeStep(1, 8.0, interLink());
     const auto multi = moe_sim.simulateMoeStep(4, 8.0, interLink());
@@ -165,8 +172,8 @@ TEST(MoeStepSimTest, AllToAllCostEmergesOnExpertLayers)
     const double payload_bits =
         counter.activationsMoe(1, 8.0) * 16.0;
     const double per_exchange =
-        3.0 * (payload_bits / 4.0 / interLink().bandwidthBits +
-               interLink().latencySeconds);
+        3.0 * (payload_bits / 4.0 / interLink().bandwidth.value() +
+               interLink().latency.value());
     const double expected = 2.0 * 2.0 * 2.0 * per_exchange;
     EXPECT_NEAR((multi.stepTime - single.stepTime) / expected, 1.0,
                 0.05);
@@ -180,9 +187,10 @@ TEST(MoeStepSimTest, FasterInterconnectShrinksTheGap)
     TrainingSimulator moe_sim(
         cfg, hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6},
+                        BitsPerSecond{2.4e12}});
     net::LinkConfig fast = interLink();
-    fast.bandwidthBits *= 10.0;
+    fast.bandwidth *= 10.0;
     const double slow_time =
         moe_sim.simulateMoeStep(4, 8.0, interLink()).stepTime;
     const double fast_time =
@@ -193,11 +201,11 @@ TEST(MoeStepSimTest, FasterInterconnectShrinksTheGap)
 TEST(AllToAllSimTest, RejectsBadArguments)
 {
     const auto sim = makeSim();
-    EXPECT_THROW(sim.simulateAllToAll(0, 1e6, 16.0, interLink()),
+    EXPECT_THROW(sim.simulateAllToAll(0, 1e6, Bits{16.0}, interLink()),
                  UserError);
-    EXPECT_THROW(sim.simulateAllToAll(4, -1.0, 16.0, interLink()),
+    EXPECT_THROW(sim.simulateAllToAll(4, -1.0, Bits{16.0}, interLink()),
                  UserError);
-    EXPECT_THROW(sim.simulateAllToAll(4, 1e6, 0.0, interLink()),
+    EXPECT_THROW(sim.simulateAllToAll(4, 1e6, Bits{0.0}, interLink()),
                  UserError);
 }
 

@@ -19,7 +19,7 @@ TEST(EngineTest, SingleComputeTask)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    graph.addCompute(dev, 2.5, "work");
+    graph.addCompute(dev, Seconds{2.5}, "work");
     Engine engine;
     const auto result = engine.run(graph);
     EXPECT_DOUBLE_EQ(result.makespan, 2.5);
@@ -31,8 +31,8 @@ TEST(EngineTest, IndependentTasksOnOneResourceSerialize)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    graph.addCompute(dev, 1.0, "a");
-    graph.addCompute(dev, 2.0, "b");
+    graph.addCompute(dev, Seconds{1.0}, "a");
+    graph.addCompute(dev, Seconds{2.0}, "b");
     Engine engine;
     EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 3.0);
 }
@@ -42,8 +42,8 @@ TEST(EngineTest, IndependentTasksOnTwoResourcesOverlap)
     TaskGraph graph;
     const auto d0 = graph.addDevice("d0");
     const auto d1 = graph.addDevice("d1");
-    graph.addCompute(d0, 1.0, "a");
-    graph.addCompute(d1, 2.0, "b");
+    graph.addCompute(d0, Seconds{1.0}, "a");
+    graph.addCompute(d1, Seconds{2.0}, "b");
     Engine engine;
     EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 2.0);
 }
@@ -53,8 +53,8 @@ TEST(EngineTest, DependencyChainsAddUp)
     TaskGraph graph;
     const auto d0 = graph.addDevice("d0");
     const auto d1 = graph.addDevice("d1");
-    const auto a = graph.addCompute(d0, 1.0, "a");
-    const auto b = graph.addCompute(d1, 2.0, "b");
+    const auto a = graph.addCompute(d0, Seconds{1.0}, "a");
+    const auto b = graph.addCompute(d1, Seconds{2.0}, "b");
     graph.addDependency(a, b);
     Engine engine;
     EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 3.0);
@@ -66,11 +66,11 @@ TEST(EngineTest, TransferAddsSerializationAndLatency)
     const auto d0 = graph.addDevice("d0");
     const auto ch = graph.addChannel("c");
     const auto d1 = graph.addDevice("d1");
-    const auto produce = graph.addCompute(d0, 1.0, "produce");
+    const auto produce = graph.addCompute(d0, Seconds{1.0}, "produce");
     // 1e9 bits over 1e9 bits/s = 1 s serialization + 0.5 s latency.
     const auto transfer =
-        graph.addTransfer(ch, 1e9, 1e9, 0.5, "xfer");
-    const auto consume = graph.addCompute(d1, 1.0, "consume");
+        graph.addTransfer(ch, Bits{1e9}, BitsPerSecond{1e9}, Seconds{0.5}, "xfer");
+    const auto consume = graph.addCompute(d1, Seconds{1.0}, "consume");
     graph.addDependency(produce, transfer);
     graph.addDependency(transfer, consume);
     Engine engine;
@@ -84,8 +84,8 @@ TEST(EngineTest, CutThroughFreesChannelBeforeDelivery)
     // delivery is at 2 * serialization + latency, not 2 * (s + l).
     TaskGraph graph;
     const auto ch = graph.addChannel("c");
-    graph.addTransfer(ch, 1e9, 1e9, 0.5, "t0");
-    graph.addTransfer(ch, 1e9, 1e9, 0.5, "t1");
+    graph.addTransfer(ch, Bits{1e9}, BitsPerSecond{1e9}, Seconds{0.5}, "t0");
+    graph.addTransfer(ch, Bits{1e9}, BitsPerSecond{1e9}, Seconds{0.5}, "t1");
     Engine engine;
     EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 2.5);
 }
@@ -95,10 +95,10 @@ TEST(EngineTest, DiamondDependencies)
     TaskGraph graph;
     const auto d = graph.addDevice("d0");
     const auto e = graph.addDevice("d1");
-    const auto a = graph.addCompute(d, 1.0, "a");
-    const auto b = graph.addCompute(d, 1.0, "b");
-    const auto c = graph.addCompute(e, 1.0, "c");
-    const auto join = graph.addCompute(d, 1.0, "join");
+    const auto a = graph.addCompute(d, Seconds{1.0}, "a");
+    const auto b = graph.addCompute(d, Seconds{1.0}, "b");
+    const auto c = graph.addCompute(e, Seconds{1.0}, "c");
+    const auto join = graph.addCompute(d, Seconds{1.0}, "join");
     graph.addDependency(a, b);
     graph.addDependency(a, c);
     graph.addDependency(b, join);
@@ -116,7 +116,7 @@ TEST(EngineTest, FifoOrderIsDeterministic)
         TaskGraph graph;
         const auto dev = graph.addDevice("d0");
         for (int i = 0; i < 10; ++i)
-            graph.addCompute(dev, 1.0, testutil::indexedName("t", i));
+            graph.addCompute(dev, Seconds{1.0}, testutil::indexedName("t", i));
         Engine engine;
         const auto result = engine.run(graph);
         ASSERT_EQ(result.resources[dev].intervals.size(), 10u);
@@ -132,8 +132,8 @@ TEST(EngineTest, CycleIsReportedNotHung)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    const auto a = graph.addCompute(dev, 1.0, "a");
-    const auto b = graph.addCompute(dev, 1.0, "b");
+    const auto a = graph.addCompute(dev, Seconds{1.0}, "a");
+    const auto b = graph.addCompute(dev, Seconds{1.0}, "b");
     graph.addDependency(a, b);
     graph.addDependency(b, a);
     Engine engine;
@@ -163,7 +163,7 @@ TEST(EngineTest, CycleDiagnosticTruncatesLongStuckLists)
     std::vector<TaskId> tasks;
     for (int t = 0; t < 6; ++t)
         tasks.push_back(graph.addCompute(
-            dev, 1.0, testutil::indexedName("t", t)));
+            dev, Seconds{1.0}, testutil::indexedName("t", t)));
     for (int t = 0; t < 6; ++t)
         graph.addDependency(tasks[(t + 1) % 6], tasks[t]);
     Engine engine;
@@ -187,8 +187,8 @@ TEST(EngineTest, RerunningAGraphGivesSameResult)
 {
     TaskGraph graph;
     const auto d0 = graph.addDevice("d0");
-    const auto a = graph.addCompute(d0, 1.0, "a");
-    const auto b = graph.addCompute(d0, 2.0, "b");
+    const auto a = graph.addCompute(d0, Seconds{1.0}, "a");
+    const auto b = graph.addCompute(d0, Seconds{2.0}, "b");
     graph.addDependency(a, b);
     Engine engine;
     const double first = engine.run(graph).makespan;
@@ -201,8 +201,8 @@ TEST(EngineTest, UtilizationReflectsIdleTime)
     TaskGraph graph;
     const auto d0 = graph.addDevice("d0");
     const auto d1 = graph.addDevice("d1");
-    const auto a = graph.addCompute(d0, 3.0, "a");
-    const auto b = graph.addCompute(d1, 1.0, "b");
+    const auto a = graph.addCompute(d0, Seconds{3.0}, "a");
+    const auto b = graph.addCompute(d1, Seconds{1.0}, "b");
     graph.addDependency(a, b);
     Engine engine;
     const auto result = engine.run(graph);
@@ -216,14 +216,14 @@ TEST(TaskGraphTest, ValidationOfBuilders)
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
     const auto ch = graph.addChannel("c");
-    EXPECT_THROW(graph.addCompute(ch, 1.0, "on-channel"), UserError);
-    EXPECT_THROW(graph.addTransfer(dev, 1.0, 1.0, 0.0, "on-device"),
+    EXPECT_THROW(graph.addCompute(ch, Seconds{1.0}, "on-channel"), UserError);
+    EXPECT_THROW(graph.addTransfer(dev, Bits{1.0}, BitsPerSecond{1.0}, Seconds{0.0}, "on-device"),
                  UserError);
-    EXPECT_THROW(graph.addCompute(dev, -1.0, "negative"), UserError);
-    EXPECT_THROW(graph.addTransfer(ch, 1.0, 0.0, 0.0, "no-bw"),
+    EXPECT_THROW(graph.addCompute(dev, Seconds{-1.0}, "negative"), UserError);
+    EXPECT_THROW(graph.addTransfer(ch, Bits{1.0}, BitsPerSecond{0.0}, Seconds{0.0}, "no-bw"),
                  UserError);
-    EXPECT_THROW(graph.addCompute(99, 1.0, "bad-id"), UserError);
-    const auto t = graph.addCompute(dev, 1.0, "ok");
+    EXPECT_THROW(graph.addCompute(99, Seconds{1.0}, "bad-id"), UserError);
+    const auto t = graph.addCompute(dev, Seconds{1.0}, "ok");
     EXPECT_THROW(graph.addDependency(t, t), UserError);
     EXPECT_THROW(graph.addDependency(t, 99), UserError);
 }
@@ -232,8 +232,8 @@ TEST(TaskGraphTest, ZeroDurationTasksComplete)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    const auto a = graph.addCompute(dev, 0.0, "a");
-    const auto b = graph.addCompute(dev, 0.0, "b");
+    const auto a = graph.addCompute(dev, Seconds{0.0}, "a");
+    const auto b = graph.addCompute(dev, Seconds{0.0}, "b");
     graph.addDependency(a, b);
     Engine engine;
     EXPECT_DOUBLE_EQ(engine.run(graph).makespan, 0.0);

@@ -158,7 +158,7 @@ TEST(FaultEngineTest, ZeroPlanIsBitIdenticalToFaultFreeRun)
         EXPECT_EQ(faulted.failure.completedTasks,
                   rg.graph.taskCount());
         EXPECT_EQ(faulted.failure.abortedTasks, 0u);
-        EXPECT_EQ(faulted.failure.wastedWallSeconds, 0.0);
+        EXPECT_EQ(faulted.failure.wastedWallSeconds.value(), 0.0);
     }
 }
 
@@ -166,7 +166,7 @@ TEST(FaultEngineTest, StragglerMultiplierScalesCompute)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    graph.addCompute(dev, 1.0, "work");
+    graph.addCompute(dev, Seconds{1.0}, "work");
     FaultSpec spec;
     spec.stragglerProbability = 1.0;
     spec.stragglerSlowdownMin = 2.0;
@@ -183,7 +183,7 @@ TEST(FaultEngineTest, LinkDegradationScalesSerializationAndLatency)
     TaskGraph graph;
     const auto ch = graph.addChannel("c0");
     // 1 s serialization + 0.5 s latency fault-free.
-    graph.addTransfer(ch, 1e9, 1e9, 0.5, "xfer");
+    graph.addTransfer(ch, Bits{1e9}, BitsPerSecond{1e9}, Seconds{0.5}, "xfer");
     FaultSpec spec;
     spec.linkDegradationProbability = 1.0;
     spec.linkSlowdownMin = 3.0;
@@ -201,8 +201,8 @@ TEST(FaultEngineTest, FailureAbortsInFlightAndTruncatesInterval)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    const auto a = graph.addCompute(dev, 1.0, "a");
-    const auto b = graph.addCompute(dev, 1.0, "b");
+    const auto a = graph.addCompute(dev, Seconds{1.0}, "a");
+    const auto b = graph.addCompute(dev, Seconds{1.0}, "b");
     graph.addDependency(a, b);
     FaultSpec spec;
     spec.failures.push_back(FailureEvent{dev, 0.5});
@@ -217,8 +217,8 @@ TEST(FaultEngineTest, FailureAbortsInFlightAndTruncatesInterval)
     EXPECT_EQ(outcome.failure.completedTasks, 0u);
     EXPECT_EQ(outcome.failure.abortedTasks, 1u);  // a, in flight
     EXPECT_EQ(outcome.failure.unreachedTasks, 1u); // b, never ready
-    EXPECT_DOUBLE_EQ(outcome.failure.lostBusySeconds, 0.5);
-    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(outcome.failure.lostBusySeconds.value(), 0.5);
+    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds.value(), 0.5);
 
     const auto &intervals = outcome.result.resources[dev].intervals;
     ASSERT_EQ(intervals.size(), 1u);
@@ -231,8 +231,8 @@ TEST(FaultEngineTest, FailureDropsQueuedTasks)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    graph.addCompute(dev, 1.0, "t0");
-    graph.addCompute(dev, 1.0, "t1"); // queued behind t0
+    graph.addCompute(dev, Seconds{1.0}, "t0");
+    graph.addCompute(dev, Seconds{1.0}, "t1"); // queued behind t0
     FaultSpec spec;
     spec.failures.push_back(FailureEvent{dev, 0.25});
     const auto plan = FaultPlan::generate(graph, spec);
@@ -249,8 +249,8 @@ TEST(FaultEngineTest, SurvivingResourcesKeepExecuting)
     TaskGraph graph;
     const auto d0 = graph.addDevice("d0");
     const auto d1 = graph.addDevice("d1");
-    graph.addCompute(d0, 2.0, "doomed");
-    graph.addCompute(d1, 3.0, "survivor");
+    graph.addCompute(d0, Seconds{2.0}, "doomed");
+    graph.addCompute(d1, Seconds{3.0}, "survivor");
     FaultSpec spec;
     spec.failures.push_back(FailureEvent{d0, 1.0});
     const auto plan = FaultPlan::generate(graph, spec);
@@ -262,14 +262,14 @@ TEST(FaultEngineTest, SurvivingResourcesKeepExecuting)
     // The survivor's delivery at t = 3 sets the partial makespan,
     // which is what a restart would have to redo.
     EXPECT_DOUBLE_EQ(outcome.result.makespan, 3.0);
-    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds, 3.0);
+    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds.value(), 3.0);
 }
 
 TEST(FaultEngineTest, FailureAfterCompletionIsBenign)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    graph.addCompute(dev, 1.0, "work");
+    graph.addCompute(dev, Seconds{1.0}, "work");
     FaultSpec spec;
     spec.failures.push_back(FailureEvent{dev, 10.0});
     const auto plan = FaultPlan::generate(graph, spec);
@@ -278,7 +278,7 @@ TEST(FaultEngineTest, FailureAfterCompletionIsBenign)
     EXPECT_FALSE(outcome.failure.failed);
     EXPECT_EQ(outcome.failure.failuresApplied, 1u);
     EXPECT_EQ(outcome.failure.completedTasks, 1u);
-    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(outcome.failure.wastedWallSeconds.value(), 0.0);
 }
 
 TEST(FaultEngineTest, CutThroughMessageSurvivesChannelFailure)
@@ -287,7 +287,7 @@ TEST(FaultEngineTest, CutThroughMessageSurvivesChannelFailure)
     // the in-flight latency window must not revoke the delivery.
     TaskGraph graph;
     const auto ch = graph.addChannel("c0");
-    graph.addTransfer(ch, 1e9, 1e9, 1.0, "xfer"); // ser 1 s, lat 1 s
+    graph.addTransfer(ch, Bits{1e9}, BitsPerSecond{1e9}, Seconds{1.0}, "xfer"); // ser 1 s, lat 1 s
     FaultSpec spec;
     spec.failures.push_back(FailureEvent{ch, 1.5});
     const auto plan = FaultPlan::generate(graph, spec);
@@ -305,7 +305,7 @@ TEST(FaultEngineTest, PlanForDifferentGraphIsRejected)
     TaskGraph big;
     big.addDevice("d0");
     big.addDevice("d1");
-    big.addCompute(0, 1.0, "t");
+    big.addCompute(0, Seconds{1.0}, "t");
     Engine engine;
     EXPECT_THROW(engine.run(big, FaultPlan(small)), UserError);
 }
@@ -314,8 +314,8 @@ TEST(FaultEngineTest, CycleStillReportedUnderZeroFaultPlan)
 {
     TaskGraph graph;
     const auto dev = graph.addDevice("d0");
-    const auto a = graph.addCompute(dev, 1.0, "a");
-    const auto b = graph.addCompute(dev, 1.0, "b");
+    const auto a = graph.addCompute(dev, Seconds{1.0}, "a");
+    const auto b = graph.addCompute(dev, Seconds{1.0}, "b");
     graph.addDependency(a, b);
     graph.addDependency(b, a);
     Engine engine;
@@ -332,7 +332,7 @@ makeSim()
     return TrainingSimulator(
         model::presets::tinyTest(), hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}});
 }
 
 TEST(FaultSimulatorTest, ZeroSpecReproducesEverySchedule)
@@ -340,7 +340,7 @@ TEST(FaultSimulatorTest, ZeroSpecReproducesEverySchedule)
     // Acceptance criterion: with a zero-fault FaultPlan every
     // TrainingSimulator schedule reproduces the fault-free
     // SimOutcome exactly (bit-identical step time and trace).
-    const net::LinkConfig inter{"inter", 1.2e-6, 2e11};
+    const net::LinkConfig inter{"inter", Seconds{1.2e-6}, BitsPerSecond{2e11}};
     auto plain = makeSim();
     auto faulted = makeSim();
     faulted.setFaultSpec(FaultSpec{});
@@ -353,11 +353,11 @@ TEST(FaultSimulatorTest, ZeroSpecReproducesEverySchedule)
     TrainingSimulator moe_plain(
         moe_cfg, hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}});
     TrainingSimulator moe_faulted(
         moe_cfg, hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}});
     moe_faulted.setFaultSpec(FaultSpec{});
 
     const std::vector<std::pair<std::string,
@@ -381,8 +381,8 @@ TEST(FaultSimulatorTest, ZeroSpecReproducesEverySchedule)
              {plain.simulateDataPipelineStep(2, 2, 4.0, 2, inter),
               faulted.simulateDataPipelineStep(2, 2, 4.0, 2, inter)}},
             {"a2a",
-             {plain.simulateAllToAll(4, 1e6, 16.0, inter),
-              faulted.simulateAllToAll(4, 1e6, 16.0, inter)}},
+             {plain.simulateAllToAll(4, 1e6, Bits{16.0}, inter),
+              faulted.simulateAllToAll(4, 1e6, Bits{16.0}, inter)}},
             {"moe",
              {moe_plain.simulateMoeStep(2, 8.0, inter),
               moe_faulted.simulateMoeStep(2, 8.0, inter)}},

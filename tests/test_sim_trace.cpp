@@ -38,8 +38,8 @@ TEST(TimelineTest, RendersOneRowPerDevice)
     TaskGraph graph;
     const auto d0 = graph.addDevice("gpu0");
     const auto d1 = graph.addDevice("gpu1");
-    const auto a = graph.addCompute(d0, 2.0, "a");
-    const auto b = graph.addCompute(d1, 2.0, "b");
+    const auto a = graph.addCompute(d0, Seconds{2.0}, "a");
+    const auto b = graph.addCompute(d1, Seconds{2.0}, "b");
     graph.addDependency(a, b);
     Engine engine;
     const auto result = engine.run(graph);

@@ -24,7 +24,7 @@ makeSim()
     return TrainingSimulator(
         model::presets::tinyTest(), hw::presets::tinyTest(),
         hw::MicrobatchEfficiency(0.8, 4.0),
-        net::LinkConfig{"intra", 1e-6, 2.4e12});
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}});
 }
 
 /** Pure compute time of forward+backward+update on one device. */
@@ -39,9 +39,11 @@ singleDeviceComputeTime(const TrainingSimulator &sim, double batch,
     for (std::int64_t l = 0; l < counter.config().numLayers; ++l) {
         total += (1.0 + backward_multiplier) *
                  core::layerForwardComputeTime(counter, accel,
-                                               eff(batch), l, batch);
+                                               eff(batch), l, batch)
+                     .value();
         total += core::layerWeightUpdateTime(counter, accel,
-                                             eff(batch), l);
+                                             eff(batch), l)
+                     .value();
     }
     return total;
 }
@@ -65,9 +67,11 @@ TEST(DataParallelSimTest, StepTimeIsComputePlusRing)
     // Ring all-reduce lower bound from the analytical model (chunked
     // ring, gradients at 32 bits).
     const double grad_bits = sim.opCounter().totalLayerWeights() * 32.0;
-    const net::LinkConfig link{"intra", 1e-6, 2.4e12};
+    const net::LinkConfig link{"intra", Seconds{1e-6},
+                               BitsPerSecond{2.4e12}};
     const double ring =
-        net::allReduceTime(n, grad_bits / 32.0, 32.0, link);
+        net::allReduceTime(n, grad_bits / 32.0, Bits{32.0}, link)
+            .value();
     EXPECT_GT(outcome.stepTime, compute);
     // The simulated ring should be close to the analytic form (the
     // analytic latency term counts N hops vs 2(N-1) simulated, so
@@ -209,7 +213,8 @@ TEST(TensorParallelSimTest, SingleDeviceMatchesComputeOnly)
     double compute = 0.0;
     for (std::int64_t l = 0; l < 4; ++l) {
         compute += 3.0 * core::layerForwardComputeTime(
-                             counter, accel, eff(8.0), l, 8.0);
+                                   counter, accel, eff(8.0), l, 8.0)
+                             .value();
     }
     EXPECT_NEAR(outcome.stepTime, compute, 1e-12);
 }
@@ -229,10 +234,10 @@ TEST(TrainingSimTest, GradientBitsScaleRingCost)
 {
     auto sim = makeSim();
     const double t32 = sim.simulateDataParallelStep(4, 8.0).stepTime;
-    sim.setGradientBits(16.0);
+    sim.setGradientBits(Bits{16.0});
     const double t16 = sim.simulateDataParallelStep(4, 8.0).stepTime;
     EXPECT_LT(t16, t32);
-    EXPECT_THROW(sim.setGradientBits(0.0), UserError);
+    EXPECT_THROW(sim.setGradientBits(Bits{0.0}), UserError);
 }
 
 } // namespace

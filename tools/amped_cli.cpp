@@ -304,7 +304,7 @@ cmdReport(const std::vector<std::string> &args)
     require(stage >= 0 && stage <= 3, "--zero must be 0..3, got ",
             stage);
     options.memory.zeroStage = static_cast<core::ZeroStage>(stage);
-    options.power.tdpWatts = parser.getDouble("tdp");
+    options.power.tdpWatts = Watts{parser.getDouble("tdp")};
     options.power.idleFraction = parser.getDouble("idle-fraction");
 
     std::cout << explore::generateReport(modelFrom(parser),
@@ -410,8 +410,10 @@ cmdResilience(const std::vector<std::string> &args)
         memory.footprint(m, job.batchSize, result.microbatchSize);
     const double ckpt_bytes = core::checkpointBytes(footprint);
     const net::LinkConfig storage{
-        "storage", parser.getDouble("storage-latency-us") * 1e-6,
-        units::gigabitsPerSecond(parser.getDouble("storage-gbits"))};
+        "storage",
+        Seconds{parser.getDouble("storage-latency-us") * 1e-6},
+        units::gigabitsPerSecondBw(
+            parser.getDouble("storage-gbits"))};
 
     core::ResilienceConfig config;
     const double mtbf_years = parser.getDouble("device-mtbf-years");
@@ -425,18 +427,18 @@ cmdResilience(const std::vector<std::string> &args)
     config.checkpointWriteSeconds =
         core::checkpointWriteSeconds(ckpt_bytes, storage);
     config.restartSeconds =
-        parser.getDouble("restart-minutes") * 60.0;
+        Seconds{parser.getDouble("restart-minutes") * 60.0};
     config.checkpointIntervalSeconds =
-        parser.getDouble("interval-minutes") * 60.0;
-    if (config.checkpointIntervalSeconds == 0.0
-        && !std::isfinite(config.mtbfSeconds)) {
+        Seconds{parser.getDouble("interval-minutes") * 60.0};
+    if (config.checkpointIntervalSeconds.value() == 0.0
+        && !std::isfinite(config.mtbfSeconds.value())) {
         // Failure-free cluster: Daly says "never checkpoint".
         config.checkpointIntervalSeconds =
-            std::numeric_limits<double>::infinity();
+            Seconds{std::numeric_limits<double>::infinity()};
     }
 
     const auto estimate =
-        core::estimateTimeToTrain(result.totalTime, config);
+        core::estimateTimeToTrain(Seconds{result.totalTime}, config);
     const auto days = [](double seconds) {
         return units::formatFixed(seconds / 86400.0, 2) + " days";
     };
@@ -445,26 +447,28 @@ cmdResilience(const std::vector<std::string> &args)
               << units::formatFixed(ckpt_bytes / 1e9, 2)
               << " GB/device (params + optimizer)\n"
               << "checkpoint write:   "
-              << units::formatDuration(config.checkpointWriteSeconds)
+              << units::formatDuration(
+                     config.checkpointWriteSeconds.value())
               << "\n"
               << "cluster MTBF:       "
-              << (std::isfinite(config.mtbfSeconds)
-                      ? units::formatDuration(config.mtbfSeconds)
+              << (std::isfinite(config.mtbfSeconds.value())
+                      ? units::formatDuration(
+                            config.mtbfSeconds.value())
                       : std::string("infinite"))
               << "\n"
               << "checkpoint every:   "
-              << (std::isfinite(estimate.intervalSeconds)
+              << (std::isfinite(estimate.intervalSeconds.value())
                       ? units::formatDuration(
-                            estimate.intervalSeconds)
+                            estimate.intervalSeconds.value())
                       : std::string("never"))
               << " (" << estimate.segmentCount << " segments)\n"
-              << "failure-free solve: " << days(estimate.solveSeconds)
+              << "failure-free solve: " << days(estimate.solveSeconds.value())
               << "\n"
               << "expected failures:  "
               << units::formatFixed(estimate.expectedFailures, 1)
               << "\n"
               << "expected training:  "
-              << days(estimate.expectedSeconds) << " (+"
+              << days(estimate.expectedSeconds.value()) << " (+"
               << units::formatFixed(
                      100.0 * estimate.overheadFraction(), 2)
               << " % over the failure-free solve)\n";
@@ -473,13 +477,13 @@ cmdResilience(const std::vector<std::string> &args)
         static_cast<std::size_t>(parser.getInt("mc-replications"));
     if (replications > 0) {
         const auto stats = core::monteCarloTimeToTrain(
-            result.totalTime, config, replications,
+            Seconds{result.totalTime}, config, replications,
             static_cast<std::uint64_t>(parser.getInt("mc-seed")),
             ThreadPool::shared(),
             static_cast<std::size_t>(parser.getInt("threads")));
         std::cout << "Monte-Carlo check:  "
-                  << days(stats.meanSeconds) << " +/- "
-                  << days(stats.standardError) << " ("
+                  << days(stats.meanSeconds.value()) << " +/- "
+                  << days(stats.standardError.value()) << " ("
                   << stats.replications << " replications)\n";
     }
     return 0;
