@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fixture for the lint_units self-test: every declaration below is a
+ * violation the checker must flag.  Never include this header.
+ */
+
+#ifndef AMPED_TESTS_LINT_FIXTURES_BAD_HEADER_HPP
+#define AMPED_TESTS_LINT_FIXTURES_BAD_HEADER_HPP
+
+namespace amped_lint_fixture {
+
+// A raw-double bandwidth parameter: exactly the bug class the
+// quantity layer exists to prevent.
+double transferTime(double linkBandwidthBitsPerSec,
+                    double payloadBits);
+
+struct BadConfig
+{
+    double stepSeconds = 0.0;       // should be Seconds
+    double clockHz = 0.0;           // should be Hertz
+    double budgetJoules = 0.0;      // should be Joules
+    double peak_flops = 0.0;        // snake_case is caught too
+};
+
+// Not violations: the names carry no dimension suffix, and
+// commented-out code such as `double oldLatencySeconds;` inside
+// this comment must be ignored.
+double ratio(double numerator, double denominator);
+
+} // namespace amped_lint_fixture
+
+#endif // AMPED_TESTS_LINT_FIXTURES_BAD_HEADER_HPP

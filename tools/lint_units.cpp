@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Project lint: no raw `double` with a dimension-implying name in
+ * public headers.
+ *
+ * The quantity layer (src/common/quantity.hpp) makes units part of
+ * the type system; a declaration like `double linkBandwidthBitsPerSec`
+ * defeats it silently.  This checker walks header files and flags any
+ * `double` declaration -- parameter, field, or function return --
+ * whose identifier ends in a dimension suffix (Seconds, Bits,
+ * PerSecond/PerSec, Hz/Hertz, Flops, Joules, Watts, in CamelCase or
+ * snake_case), unless the file:identifier pair appears in the
+ * allowlist.  The allowlist is for genuine I/O boundaries (string
+ * formatters, CLI parsing) and quantities outside the modeled
+ * dimension set (tokens/s); each entry should say why.
+ *
+ * Usage:
+ *   lint_units --root DIR [--root DIR]... [--allowlist FILE] [FILE...]
+ *
+ * Exits 0 when no violations were found, 1 otherwise, 2 on usage or
+ * I/O errors.  Violations print as `file:line: ...`, one per line.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** file-path suffix -> identifier pairs that are deliberately raw. */
+struct Allowlist
+{
+    std::vector<std::pair<std::string, std::string>> entries;
+
+    bool allows(const std::string &path, const std::string &name) const
+    {
+        for (const auto &[suffix, ident] : entries) {
+            if (ident != name)
+                continue;
+            if (path.size() >= suffix.size() &&
+                path.compare(path.size() - suffix.size(),
+                             suffix.size(), suffix) == 0)
+                return true;
+        }
+        return false;
+    }
+};
+
+bool
+loadAllowlist(const fs::path &file, Allowlist &out)
+{
+    std::ifstream in(file);
+    if (!in) {
+        std::cerr << "lint_units: cannot read allowlist " << file
+                  << "\n";
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        // Trim.
+        const auto b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        const auto e = line.find_last_not_of(" \t\r");
+        line = line.substr(b, e - b + 1);
+        const auto colon = line.rfind(':');
+        if (colon == std::string::npos) {
+            std::cerr << "lint_units: malformed allowlist entry '"
+                      << line << "' (want path-suffix:identifier)\n";
+            return false;
+        }
+        out.entries.emplace_back(line.substr(0, colon),
+                                 line.substr(colon + 1));
+    }
+    return true;
+}
+
+/** Lowercases and strips underscores: BitsPerSec -> bitspersec. */
+std::string
+normalized(const std::string &ident)
+{
+    std::string out;
+    out.reserve(ident.size());
+    for (char c : ident) {
+        if (c == '_')
+            continue;
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** True when the identifier names a dimension the type system owns. */
+bool
+hasDimensionSuffix(const std::string &ident)
+{
+    static const char *const kSuffixes[] = {
+        "seconds", "persecond", "persec", "bits",  "hz",
+        "hertz",   "flops",     "joules", "watts",
+    };
+    const std::string norm = normalized(ident);
+    for (const char *suffix : kSuffixes) {
+        if (endsWith(norm, suffix))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Strips line and block comments and string/char literals so the
+ * declaration regex never matches prose.  @p in_block carries the
+ * block-comment state across lines.
+ */
+std::string
+stripCommentsAndStrings(const std::string &line, bool &in_block)
+{
+    std::string out;
+    out.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (in_block) {
+            if (line[i] == '*' && i + 1 < line.size() &&
+                line[i + 1] == '/') {
+                in_block = false;
+                ++i;
+            }
+            continue;
+        }
+        const char c = line[i];
+        if (c == '/' && i + 1 < line.size()) {
+            if (line[i + 1] == '/')
+                break; // rest of line is a comment
+            if (line[i + 1] == '*') {
+                in_block = true;
+                ++i;
+                continue;
+            }
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < line.size()) {
+                if (line[i] == '\\')
+                    ++i;
+                else if (line[i] == quote)
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+struct Violation
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string ident;
+};
+
+void
+scanFile(const fs::path &path, const Allowlist &allow,
+         std::vector<Violation> &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "lint_units: cannot read " << path << "\n";
+        return;
+    }
+    // `double` immediately followed by an identifier: catches
+    // parameters, struct fields, and return types of declarations.
+    static const std::regex decl(R"(\bdouble\s+(\w+))");
+    std::string line;
+    std::size_t lineno = 0;
+    bool in_block = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::string code = stripCommentsAndStrings(line, in_block);
+        for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                            decl);
+             it != std::sregex_iterator(); ++it) {
+            const std::string ident = (*it)[1].str();
+            if (!hasDimensionSuffix(ident))
+                continue;
+            if (allow.allows(path.generic_string(), ident))
+                continue;
+            out.push_back({path.generic_string(), lineno, ident});
+        }
+    }
+}
+
+bool
+isHeader(const fs::path &p)
+{
+    const auto ext = p.extension().string();
+    return ext == ".hpp" || ext == ".h";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<fs::path> roots;
+    std::vector<fs::path> files;
+    Allowlist allow;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" || arg == "--allowlist") {
+            if (i + 1 >= argc) {
+                std::cerr << "lint_units: " << arg
+                          << " needs a value\n";
+                return 2;
+            }
+            const std::string value = argv[++i];
+            if (arg == "--root")
+                roots.emplace_back(value);
+            else if (!loadAllowlist(value, allow))
+                return 2;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: lint_units --root DIR [--root DIR]..."
+                         " [--allowlist FILE] [FILE...]\n";
+            return 0;
+        } else {
+            files.emplace_back(arg);
+        }
+    }
+    if (roots.empty() && files.empty()) {
+        std::cerr << "lint_units: nothing to scan (pass --root or "
+                     "files)\n";
+        return 2;
+    }
+
+    for (const auto &root : roots) {
+        std::error_code ec;
+        auto iter = fs::recursive_directory_iterator(root, ec);
+        if (ec) {
+            std::cerr << "lint_units: cannot open root " << root
+                      << ": " << ec.message() << "\n";
+            return 2;
+        }
+        for (const auto &entry : iter) {
+            if (entry.is_regular_file() && isHeader(entry.path()))
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Violation> violations;
+    for (const auto &file : files)
+        scanFile(file, allow, violations);
+
+    for (const auto &v : violations) {
+        std::cerr << v.file << ":" << v.line << ": raw double '"
+                  << v.ident
+                  << "' has a dimension-implying name; use a typed "
+                     "quantity from common/quantity.hpp or add a "
+                     "justified allowlist entry\n";
+    }
+    std::cerr << "lint_units: scanned " << files.size()
+              << " header(s), " << violations.size()
+              << " violation(s)\n";
+    return violations.empty() ? 0 : 1;
+}
