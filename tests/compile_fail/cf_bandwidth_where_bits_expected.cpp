@@ -1,0 +1,21 @@
+// Passing a bandwidth where a data size is expected — the historical
+// Gb-vs-GB class of bug — must fail to compile.
+#include "common/quantity.hpp"
+
+namespace {
+
+double
+payloadBytes(amped::Bits bits)
+{
+    return bits.value() / 8.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace amped;
+    return static_cast<int>(
+        payloadBytes(BitsPerSecond{1e9})); // must NOT compile
+}

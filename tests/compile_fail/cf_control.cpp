@@ -1,0 +1,18 @@
+// Positive control: idiomatic quantity usage must compile, or every
+// negative test in this directory is vacuous.
+#include "common/quantity.hpp"
+
+int
+main()
+{
+    using namespace amped;
+    const Bits traffic{1e9};
+    const BitsPerSecond bandwidth{2e9};
+    const Seconds transfer = traffic / bandwidth;
+    const double cycles = transfer * Hertz{1.4e9};
+    const Joules energy = Watts{400.0} * transfer;
+    return (cycles > 0.0 && energy.value() > 0.0 &&
+            transfer.value() > 0.0)
+               ? 0
+               : 1;
+}

@@ -1,0 +1,19 @@
+// Quantity construction from a raw double is explicit: an implicit
+// conversion would let an unit-less literal sneak into a typed seam.
+#include "common/quantity.hpp"
+
+namespace {
+
+amped::Seconds
+coolDown()
+{
+    return 1.5; // must NOT compile: requires Seconds{1.5}
+}
+
+} // namespace
+
+int
+main()
+{
+    return coolDown().value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+// Dimension arithmetic must propagate: bits * (bits/s) is not a
+// time, so binding the product to Seconds must fail even though both
+// operands are "network-ish" quantities.
+#include "common/quantity.hpp"
+
+int
+main()
+{
+    using namespace amped;
+    const Seconds broken =
+        Bits{1e9} * BitsPerSecond{1e9}; // must NOT compile
+    return broken.value() > 0.0 ? 0 : 1;
+}

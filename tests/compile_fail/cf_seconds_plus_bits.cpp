@@ -1,0 +1,14 @@
+// Adding a time to a data size is dimensionally meaningless; the
+// quantity layer must reject it.
+#include "common/quantity.hpp"
+
+int
+main()
+{
+    using namespace amped;
+    const Seconds s{1.0};
+    const Bits b{8.0};
+    const auto broken = s + b; // must NOT compile
+    (void)broken;
+    return 0;
+}
