@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the compile-time dimensional-analysis layer
+ * (common/quantity.hpp).  The dimension-algebra laws are enforced by
+ * static_asserts inside the header itself and by the negative
+ * compilation tests in tests/compile_fail/; here we pin down the
+ * numeric behavior: constexpr evaluation, the canonical-unit
+ * constructors (including the GB/s-vs-Gb/s factor-of-8 trap), and
+ * that formatting typed values matches formatting the raw doubles
+ * they wrap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <type_traits>
+
+#include "common/quantity.hpp"
+#include "common/units.hpp"
+
+namespace amped {
+namespace {
+
+// ---------------------------------------------------------------------
+// Constexpr behavior: the whole layer must be usable in constant
+// expressions, so misuse surfaces at compile time even in constexpr
+// contexts.
+// ---------------------------------------------------------------------
+
+constexpr Seconds kTransfer = Bits{1e9} / BitsPerSecond{2e9};
+static_assert(kTransfer.value() == 0.5,
+              "1 Gbit over 2 Gbit/s is half a second");
+
+constexpr Seconds kCompute = Flops{6e12} / FlopsPerSecond{3e12};
+static_assert(kCompute.value() == 2.0,
+              "6 TFLOP at 3 TFLOP/s is two seconds");
+
+constexpr double kCycles = Seconds{2.0} * Hertz{1.4e9};
+static_assert(kCycles == 2.8e9,
+              "seconds * Hz collapses to a plain cycle count");
+
+constexpr Joules kEnergy = Watts{400.0} * Seconds{3.0};
+static_assert(kEnergy.value() == 1200.0, "W * s accumulates J");
+
+constexpr double kRatio = Seconds{3.0} / Seconds{6.0};
+static_assert(kRatio == 0.5, "same-dimension ratios are doubles");
+
+constexpr SecondsPerFlop kCost = 1.0 / FlopsPerSecond{2.0};
+static_assert(kCost.value() == 0.5, "1 / rate inverts the dimension");
+
+static_assert((Seconds{1.5} + Seconds{2.5}).value() == 4.0);
+static_assert((Seconds{4.0} - Seconds{1.0}).value() == 3.0);
+static_assert((-Seconds{2.0}).value() == -2.0);
+static_assert((Seconds{2.0} * 3.0).value() == 6.0);
+static_assert((3.0 * Seconds{2.0}).value() == 6.0);
+static_assert((Seconds{6.0} / 3.0).value() == 2.0);
+static_assert(Seconds{1.0} < Seconds{2.0});
+static_assert(Seconds{2.0} == Seconds{2.0});
+static_assert(Seconds{} .value() == 0.0,
+              "default construction zero-initializes");
+
+// ---------------------------------------------------------------------
+// The GB/s-vs-Gb/s trap: the two vendor-unit constructors differ by
+// exactly the bits-per-byte factor of 8.  This is the slip the typed
+// layer exists to catch, so the factor is pinned both constexpr and
+// at run time.
+// ---------------------------------------------------------------------
+
+static_assert(units::gigabytesPerSecondBw(1.0).value() == 8e9,
+              "1 GB/s is 8e9 bit/s");
+static_assert(units::gigabitsPerSecondBw(1.0).value() == 1e9,
+              "1 Gb/s is 1e9 bit/s");
+static_assert(units::gigabytesPerSecondBw(25.0).value() ==
+                  8.0 * units::gigabitsPerSecondBw(25.0).value(),
+              "GB/s and Gb/s constructors differ by exactly x8");
+static_assert(units::bytesToBits(1.0).value() == 8.0);
+
+TEST(Quantity, VendorUnitConstructorsMatchDoubleHelpers)
+{
+    // The typed constructors must reuse the double helpers' factors,
+    // not restate them.
+    EXPECT_DOUBLE_EQ(units::gigabytesPerSecondBw(2.4).value(),
+                     units::gigabytesPerSecond(2.4));
+    EXPECT_DOUBLE_EQ(units::gigabitsPerSecondBw(200.0).value(),
+                     units::gigabitsPerSecond(200.0));
+    EXPECT_DOUBLE_EQ(units::bytesToBits(512.0).value(),
+                     512.0 * units::bitsPerByte);
+}
+
+// ---------------------------------------------------------------------
+// Arithmetic round trips at run time (compound assignment is not
+// usable in the static_asserts above without constexpr lambdas).
+// ---------------------------------------------------------------------
+
+TEST(Quantity, CompoundAssignmentMatchesDoubleArithmetic)
+{
+    Seconds t{1.0};
+    t += Seconds{2.0};
+    EXPECT_DOUBLE_EQ(t.value(), 3.0);
+    t -= Seconds{0.5};
+    EXPECT_DOUBLE_EQ(t.value(), 2.5);
+    t *= 4.0;
+    EXPECT_DOUBLE_EQ(t.value(), 10.0);
+    t /= 2.0;
+    EXPECT_DOUBLE_EQ(t.value(), 5.0);
+}
+
+TEST(Quantity, DimensionCombiningProductsAndQuotients)
+{
+    const Bits data = BitsPerSecond{3e9} * Seconds{2.0};
+    EXPECT_DOUBLE_EQ(data.value(), 6e9);
+
+    const Watts power = Joules{100.0} / Seconds{4.0};
+    EXPECT_DOUBLE_EQ(power.value(), 25.0);
+
+    const Seconds compute = Flops{10.0} * SecondsPerFlop{0.25};
+    EXPECT_DOUBLE_EQ(compute.value(), 2.5);
+
+    // Fully cancelled dimensions re-enter double arithmetic.
+    const double utilization =
+        FlopsPerSecond{5e12} / FlopsPerSecond{2e13};
+    EXPECT_DOUBLE_EQ(utilization, 0.25);
+}
+
+// ---------------------------------------------------------------------
+// Formatting: typed format() must render exactly what the raw-double
+// helpers render, because reports and golden files were produced
+// with the latter.
+// ---------------------------------------------------------------------
+
+TEST(Quantity, FormatMatchesRawDoubleHelpers)
+{
+    const double raw_seconds[] = {5.32e-4, 1.24, 3.5 * 3600.0,
+                                  18.2 * 86400.0};
+    for (double s : raw_seconds) {
+        EXPECT_EQ(units::format(Seconds{s}),
+                  units::formatDuration(s));
+    }
+
+    EXPECT_EQ(units::format(FlopsPerSecond{3.12e14}),
+              units::formatFlops(3.12e14));
+    EXPECT_EQ(units::format(BitsPerSecond{2.4e12}),
+              units::formatBandwidth(2.4e12));
+    EXPECT_EQ(units::format(Bits{1.45e11}),
+              units::formatCount(1.45e11) + "bit");
+}
+
+TEST(Quantity, StreamInsertionMatchesRawDouble)
+{
+    std::ostringstream typed;
+    typed << Seconds{0.125} << " " << BitsPerSecond{2.4e12};
+    std::ostringstream raw;
+    raw << 0.125 << " " << 2.4e12;
+    EXPECT_EQ(typed.str(), raw.str());
+}
+
+TEST(Quantity, HashMatchesUnderlyingDouble)
+{
+    // Cache keys built from typed configs must hash like the doubles
+    // they replaced.
+    EXPECT_EQ(std::hash<Seconds>{}(Seconds{1.5}),
+              std::hash<double>{}(1.5));
+    EXPECT_EQ(std::hash<BitsPerSecond>{}(BitsPerSecond{2e11}),
+              std::hash<double>{}(2e11));
+}
+
+} // namespace
+} // namespace amped
