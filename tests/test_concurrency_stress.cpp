@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Concurrency stress tests for the shared-state surfaces that the
+ * ThreadSanitizer CI job watches: the process-wide sweepAll
+ * memoization cache, the metrics registry, and concurrent thread
+ * pools sharing the global instrumentation counters.
+ *
+ * These tests pass trivially under a data-race-free implementation;
+ * their value is the *interleavings* they force when the suite runs
+ * under TSan (ci.yml `tsan` job, AMPED_THREADS=4): cache fill races
+ * between identical keys, snapshot-during-write on the registry, and
+ * counter updates from pools owned by different host threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "explore/explorer.hpp"
+#include "hw/presets.hpp"
+#include "model/presets.hpp"
+#include "obs/metrics.hpp"
+
+namespace amped {
+namespace {
+
+net::SystemConfig
+stressSystem()
+{
+    net::SystemConfig sys;
+    sys.name = "stress-4x4";
+    sys.numNodes = 4;
+    sys.acceleratorsPerNode = 4;
+    sys.intraLink =
+        net::LinkConfig{"intra", Seconds{1e-6}, BitsPerSecond{2.4e12}};
+    sys.interLink =
+        net::LinkConfig{"inter", Seconds{2e-6}, BitsPerSecond{2e11}};
+    sys.nicsPerNode = 4;
+    return sys;
+}
+
+core::AmpedModel
+stressModel()
+{
+    return core::AmpedModel(model::presets::tinyTest(),
+                            hw::presets::tinyTest(),
+                            hw::MicrobatchEfficiency(0.8, 4.0),
+                            stressSystem());
+}
+
+core::TrainingJob
+stressJob()
+{
+    core::TrainingJob job;
+    job.batchSize = 256.0;
+    job.numBatchesOverride = 10.0;
+    return job;
+}
+
+/**
+ * Several host threads issue the *same* sweepAll key at once.  The
+ * first round races the cache-fill path (miss -> evaluate -> insert
+ * under the same key from every thread); later rounds race lookups
+ * against the insert.  Every caller must observe an identical grid.
+ */
+TEST(ConcurrencyStressTest, ConcurrentSweepAllSameKeyAgree)
+{
+    constexpr int kCallers = 4;
+    // A batch size no other test uses, so round one really does
+    // start from a cold cache entry and races the fill.
+    const std::vector<double> batches{208.0};
+
+    std::vector<explore::SweepResult> results(kCallers);
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&, t] {
+            explore::Explorer explorer(stressModel());
+            explorer.setThreads(2);
+            results[static_cast<std::size_t>(t)] =
+                explorer.sweepAll(batches, stressJob());
+        });
+    }
+    for (auto &caller : callers)
+        caller.join();
+
+    const auto &first = results.front();
+    ASSERT_GT(first.entries.size(), 0u);
+    for (const auto &result : results) {
+        ASSERT_EQ(result.entries.size(), first.entries.size());
+        EXPECT_EQ(result.skipped, first.skipped);
+        for (std::size_t i = 0; i < first.entries.size(); ++i) {
+            // Bitwise equality: cached and freshly evaluated grids
+            // must be indistinguishable.
+            EXPECT_EQ(result.entries[i].result.totalTime,
+                      first.entries[i].result.totalTime);
+            EXPECT_EQ(result.entries[i].batchSize,
+                      first.entries[i].batchSize);
+        }
+    }
+}
+
+/**
+ * Distinct keys from concurrent callers: races insertions against
+ * each other (rehash during lookup is the classic unordered_map
+ * race) and, with enough keys, the capacity-eviction path.
+ */
+TEST(ConcurrencyStressTest, ConcurrentSweepAllDistinctKeys)
+{
+    constexpr int kCallers = 4;
+    std::vector<explore::SweepResult> results(kCallers);
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&, t] {
+            explore::Explorer explorer(stressModel());
+            explorer.setThreads(2);
+            // Unique batch size per caller -> unique cache key.
+            const std::vector<double> batches{212.0 + 4.0 * t};
+            results[static_cast<std::size_t>(t)] =
+                explorer.sweepAll(batches, stressJob());
+        });
+    }
+    for (auto &caller : callers)
+        caller.join();
+
+    for (int t = 0; t < kCallers; ++t) {
+        const auto &result = results[static_cast<std::size_t>(t)];
+        ASSERT_GT(result.entries.size(), 0u);
+        for (const auto &entry : result.entries)
+            EXPECT_EQ(entry.batchSize, 212.0 + 4.0 * t);
+    }
+}
+
+/**
+ * Readers snapshot and render the registry while writers are
+ * mid-update.  TSan flags any unguarded read of counter/gauge/
+ * histogram state; the final totals check that no update was lost.
+ */
+TEST(ConcurrencyStressTest, SnapshotDuringConcurrentWrites)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter &counter = registry.counter("stress.items");
+    obs::Gauge &gauge = registry.gauge("stress.level");
+    obs::Histogram &histogram = registry.histogram("stress.seconds", true);
+
+    constexpr int kWriters = 3;
+    constexpr int kOpsPerWriter = 20000;
+    std::atomic<bool> stop{false};
+
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const auto snap = registry.snapshot();
+            EXPECT_GE(snap.size(), 3u);
+            const std::string text =
+                registry.renderText(obs::RenderMode::deterministic);
+            EXPECT_NE(text.find("stress.items"), std::string::npos);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            for (int i = 0; i < kOpsPerWriter; ++i) {
+                counter.add(1);
+                gauge.set(static_cast<double>(w));
+                histogram.observe(1e-6 * (i + 1));
+            }
+        });
+    }
+    for (auto &writer : writers)
+        writer.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    const auto snap = registry.snapshot();
+    for (const auto &metric : snap) {
+        if (metric.name == "stress.items") {
+            EXPECT_EQ(metric.count, static_cast<std::uint64_t>(
+                                        kWriters * kOpsPerWriter));
+        }
+        if (metric.name == "stress.seconds") {
+            EXPECT_EQ(metric.count, static_cast<std::uint64_t>(
+                                        kWriters * kOpsPerWriter));
+        }
+    }
+}
+
+/**
+ * Each host thread owns its own pool (the Explorer-under-concurrent-
+ * callers shape).  The per-index writes are private, but all pools
+ * bump the same global instrumentation counters, which is exactly
+ * the cross-pool state TSan needs to see contended.
+ */
+TEST(ConcurrencyStressTest, ConcurrentPoolsFromDistinctOwners)
+{
+    constexpr int kOwners = 3;
+    constexpr std::size_t kItems = 5000;
+
+    std::vector<std::vector<double>> outputs(
+        kOwners, std::vector<double>(kItems, 0.0));
+    std::vector<std::thread> owners;
+    owners.reserve(kOwners);
+    for (int o = 0; o < kOwners; ++o) {
+        owners.emplace_back([&, o] {
+            ThreadPool pool(2);
+            auto &out = outputs[static_cast<std::size_t>(o)];
+            pool.parallelFor(kItems, 64, [&](std::size_t i) {
+                out[i] = std::sqrt(static_cast<double>(i + 1));
+            });
+        });
+    }
+    for (auto &owner : owners)
+        owner.join();
+
+    for (const auto &out : outputs) {
+        for (std::size_t i = 0; i < kItems; ++i)
+            ASSERT_EQ(out[i], std::sqrt(static_cast<double>(i + 1)));
+    }
+}
+
+} // namespace
+} // namespace amped
