@@ -76,6 +76,8 @@ class Json
     Json &push(Json value);
     const std::vector<Json> &items() const;
     std::size_t size() const;
+    /** Array/object: true when size() == 0.  @throws on scalars. */
+    bool empty() const { return size() == 0; }
     const Json &at(std::size_t index) const;
 
     /**

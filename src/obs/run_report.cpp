@@ -183,7 +183,7 @@ RunReportBuilder::build() const
         doc.set("config", config_);
     if (hasAnalytical_)
         doc.set("analytical", analytical_);
-    if (simulations_.size() > 0)
+    if (!simulations_.empty())
         doc.set("simulations", simulations_);
     if (hasMetrics_)
         doc.set("metrics", metrics_);

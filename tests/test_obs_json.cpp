@@ -69,6 +69,20 @@ TEST(ObsJsonTest, ArrayPushAndAccess)
     EXPECT_THROW(Json(1).set("k", 2), UserError);
 }
 
+TEST(ObsJsonTest, EmptyMirrorsSize)
+{
+    EXPECT_TRUE(Json::array().empty());
+    EXPECT_TRUE(Json::object().empty());
+    Json arr = Json::array();
+    arr.push(1);
+    EXPECT_FALSE(arr.empty());
+    Json obj = Json::object();
+    obj.set("k", 1);
+    EXPECT_FALSE(obj.empty());
+    // Scalars have no emptiness, matching size().
+    EXPECT_THROW(Json(1).empty(), UserError);
+}
+
 TEST(ObsJsonTest, DumpCompactAndPretty)
 {
     Json obj = Json::object();
