@@ -11,6 +11,11 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <string_view>
 
 #include "case_study_util.hpp"
@@ -21,6 +26,7 @@
 #include "mapping/parallelism.hpp"
 #include "model/presets.hpp"
 #include "net/system_config.hpp"
+#include "obs/json.hpp"
 #include "sim/training_sim.hpp"
 #include "validate/calibrations.hpp"
 
@@ -153,6 +159,66 @@ BM_ParallelSweepSpeedup(benchmark::State &state)
 }
 BENCHMARK(BM_ParallelSweepSpeedup)->UseRealTime();
 
+/** The 360-mapping space of the 1024-GPU case-study system. */
+const std::vector<mapping::ParallelismConfig> &
+sweepGridMappings()
+{
+    static const std::vector<mapping::ParallelismConfig> mappings =
+        mapping::MappingSpace(net::presets::a100Cluster1024())
+            .enumerate();
+    return mappings;
+}
+
+/**
+ * Scalar-vs-batch sweep throughput on an *un-memoized* sweep
+ * (Explorer::sweep; sweepAll would serve repeat iterations from its
+ * result cache and measure a hash lookup instead of evaluation).
+ * Arg 0 selects the engine (0 = scalar, 1 = batch), arg 1 the thread
+ * cap (0 = AMPED_THREADS or all cores).  Items are grid points;
+ * bytes are the EvaluationResult payload produced per point, so
+ * items_per_second is directly comparable across engines.
+ */
+void
+BM_SweepEngineThroughput(benchmark::State &state)
+{
+    explore::Explorer explorer(caseStudyModel());
+    explorer.setBatchMode(state.range(0) != 0);
+    explorer.setThreads(static_cast<unsigned>(state.range(1)));
+    static const std::vector<double> batches = [] {
+        std::vector<double> b;
+        b.reserve(16);
+        for (int i = 0; i < 16; ++i)
+            b.push_back(2048.0 + 512.0 * i);
+        return b;
+    }();
+    core::TrainingJob job;
+    job.batchSize = 8192.0;
+    job.totalTrainingTokens = 300e9;
+
+    std::size_t points = 0;
+    for (auto _ : state) {
+        const auto sweep =
+            explorer.sweep(sweepGridMappings(), batches, job);
+        benchmark::DoNotOptimize(&sweep);
+        points = sweep.entries.size() + sweep.skipped +
+                 sweep.memorySkipped;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(points));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(points *
+                                  sizeof(core::EvaluationResult)));
+    state.counters["points"] = static_cast<double>(points);
+}
+BENCHMARK(BM_SweepEngineThroughput)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->UseRealTime();
+
 void
 BM_SimulateDataParallelStep(benchmark::State &state)
 {
@@ -259,6 +325,194 @@ runGoldenMode(int argc, char **argv)
     return golden.finish();
 }
 
+/**
+ * Sweep-throughput bench mode (the CI perf gate).  Runs the same
+ * un-memoized (mapping x batch) grid through the scalar and the
+ * batched engine, writes a machine-readable JSON record
+ * (BENCH_sweep.json: grid size, threads, per-engine seconds /
+ * items_per_sec / bytes_per_sec, batch-over-scalar speedup), and —
+ * when a baseline file is given — fails if the speedup regressed by
+ * more than the allowed fraction.
+ *
+ * The gate compares the *speedup ratio*, not absolute throughput:
+ * the ratio is dimensionless and machine-relative, so the checked-in
+ * baseline stays meaningful across runner generations, while an
+ * absolute items/sec floor would flake on every hardware change.
+ *
+ *   --sweep-bench-out PATH        write the JSON record (required)
+ *   --sweep-baseline PATH         compare against this JSON record
+ *   --sweep-max-regression FRAC   allowed speedup loss (default 0.30)
+ *   --sweep-batches N             batch-size count (default 2800,
+ *                                 x360 mappings = 1,008,000 points)
+ *   --sweep-threads N             thread cap (0 = AMPED_THREADS)
+ *
+ * As a free differential check, the mode also fails when the two
+ * engines disagree on any sweep counter.
+ */
+int
+runSweepBenchMode(int argc, char **argv)
+{
+    std::string out_path;
+    std::string baseline_path;
+    double max_regression = 0.30;
+    std::size_t num_batches = 2800;
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        const char *value =
+            i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--sweep-bench-out" && value)
+            out_path = argv[++i];
+        else if (arg == "--sweep-baseline" && value)
+            baseline_path = argv[++i];
+        else if (arg == "--sweep-max-regression" && value)
+            max_regression = std::strtod(argv[++i], nullptr);
+        else if (arg == "--sweep-batches" && value)
+            num_batches = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (arg == "--sweep-threads" && value)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else {
+            std::fprintf(stderr,
+                         "perf_microbench: unknown sweep-bench "
+                         "argument '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    const auto &mappings = sweepGridMappings();
+    std::vector<double> batches;
+    batches.reserve(num_batches);
+    for (std::size_t i = 0; i < num_batches; ++i)
+        batches.push_back(2048.0 + 8.0 * static_cast<double>(i));
+    core::TrainingJob job;
+    job.batchSize = 8192.0;
+    job.totalTrainingTokens = 300e9;
+
+    explore::Explorer explorer(caseStudyModel());
+    explorer.setThreads(threads);
+
+    const std::size_t points = mappings.size() * batches.size();
+    const double bytes_per_point =
+        static_cast<double>(sizeof(core::EvaluationResult));
+    using clock = std::chrono::steady_clock;
+    explore::SweepResult sweeps[2];
+    double seconds[2] = {0.0, 0.0};
+    for (int engine = 0; engine < 2; ++engine) {
+        explorer.setBatchMode(engine == 1);
+        const auto t0 = clock::now();
+        sweeps[engine] = explorer.sweep(mappings, batches, job);
+        const auto t1 = clock::now();
+        seconds[engine] =
+            std::chrono::duration<double>(t1 - t0).count();
+        std::fprintf(
+            stderr, "%-6s engine: %zu points in %.3f s (%.0f/s)\n",
+            engine == 1 ? "batch" : "scalar", points,
+            seconds[engine],
+            static_cast<double>(points) / seconds[engine]);
+    }
+
+    if (sweeps[0].entries.size() != sweeps[1].entries.size() ||
+        sweeps[0].skipped != sweeps[1].skipped ||
+        sweeps[0].memorySkipped != sweeps[1].memorySkipped ||
+        sweeps[0].failed != sweeps[1].failed) {
+        std::fprintf(stderr,
+                     "perf_microbench: engine mismatch — scalar "
+                     "(%zu entries, %zu/%zu/%zu counters) vs batch "
+                     "(%zu entries, %zu/%zu/%zu counters)\n",
+                     sweeps[0].entries.size(), sweeps[0].skipped,
+                     sweeps[0].memorySkipped, sweeps[0].failed,
+                     sweeps[1].entries.size(), sweeps[1].skipped,
+                     sweeps[1].memorySkipped, sweeps[1].failed);
+        return 1;
+    }
+
+    const double speedup =
+        seconds[1] > 0.0 ? seconds[0] / seconds[1] : 0.0;
+
+    auto run_record = [&](int engine) {
+        obs::Json run = obs::Json::object();
+        run.set("engine", engine == 1 ? "batch" : "scalar");
+        run.set("seconds", seconds[engine]);
+        run.set("items_per_sec",
+                static_cast<double>(points) / seconds[engine]);
+        run.set("bytes_per_sec",
+                static_cast<double>(points) * bytes_per_point /
+                    seconds[engine]);
+        return run;
+    };
+    obs::Json grid = obs::Json::object();
+    grid.set("mappings", mappings.size());
+    grid.set("batch_sizes", batches.size());
+    grid.set("points", points);
+    obs::Json thread_info = obs::Json::object();
+    thread_info.set("requested",
+                    threads != 0
+                        ? threads
+                        : ThreadPool::defaultThreadCount());
+    thread_info.set("pool", ThreadPool::shared().threadCount());
+    obs::Json counters = obs::Json::object();
+    counters.set("entries", sweeps[0].entries.size());
+    counters.set("skipped", sweeps[0].skipped);
+    counters.set("memory_skipped", sweeps[0].memorySkipped);
+    counters.set("failed", sweeps[0].failed);
+    obs::Json root = obs::Json::object();
+    root.set("schema_version", 1);
+    root.set("kind", "amped.sweep_bench");
+    root.set("grid", std::move(grid));
+    root.set("threads", std::move(thread_info));
+    root.set("bytes_per_point", bytes_per_point);
+    root.set("counters", std::move(counters));
+    obs::Json runs = obs::Json::array();
+    runs.push(run_record(0));
+    runs.push(run_record(1));
+    root.set("runs", std::move(runs));
+    root.set("speedup", speedup);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr,
+                     "perf_microbench: cannot write '%s'\n",
+                     out_path.c_str());
+        return 2;
+    }
+    out << root.dump(2) << "\n";
+    out.close();
+    std::fprintf(stderr, "batch-over-scalar speedup: %.2fx -> %s\n",
+                 speedup, out_path.c_str());
+
+    if (baseline_path.empty())
+        return 0;
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "perf_microbench: cannot read baseline '%s'\n",
+                     baseline_path.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto baseline = obs::Json::parse(text.str());
+    const double base_speedup = baseline.at("speedup").asDouble();
+    const double floor = base_speedup * (1.0 - max_regression);
+    std::fprintf(stderr,
+                 "baseline speedup %.2fx, floor %.2fx (max "
+                 "regression %.0f%%)\n",
+                 base_speedup, floor, 100.0 * max_regression);
+    if (speedup < floor) {
+        std::fprintf(stderr,
+                     "perf_microbench: FAIL — speedup %.2fx fell "
+                     "below the %.2fx floor\n",
+                     speedup, floor);
+        return 1;
+    }
+    std::fprintf(stderr, "perf gate passed (%.2fx >= %.2fx)\n",
+                 speedup, floor);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -267,6 +521,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::string_view(argv[i]) == "--golden-out")
             return runGoldenMode(argc, argv);
+        if (std::string_view(argv[i]) == "--sweep-bench-out")
+            return runSweepBenchMode(argc, argv);
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Batch-friendly, memoized evaluation of the AMPeD model terms.
+ *
+ * The design-space sweeps (paper Sec. VI) evaluate the same additive
+ * model at up to millions of (mapping, job) grid points.  The scalar
+ * evaluator (core::AmpedModel::evaluate) re-derives every per-layer
+ * sum — forward compute, weight update, MoE all-to-all, gradient
+ * all-reduce — from scratch at every point, allocating a
+ * std::vector<SublayerOps> per layer per point.  Across a grid those
+ * sums only depend on a handful of distinct inputs:
+ *
+ *   - forward compute:   (global batch, eff(ub))
+ *   - weight update:     eff(ub)
+ *   - MoE forward comm:  per-replica batch
+ *   - gradient comm:     (N_TP * N_PP, dpIntra, dpInter)
+ *   - model FLOPs:       global batch
+ *
+ * SweepTermCache deduplicates those inputs, computes each distinct
+ * sum once (in parallel), and serves the results to the batched sweep
+ * kernels (explore/batch.cpp) as O(1) array lookups.
+ *
+ * Bit-exactness contract: every cached value is produced by the same
+ * floating-point operations, in the same order, on the same inputs as
+ * the scalar evaluator — per-layer sub-accumulators included — so a
+ * sweep evaluated through this cache is byte-identical to one
+ * evaluated through AmpedModel::evaluate.  tests/test_explore_batch.cpp
+ * asserts this property over randomized grids; the goldens pin it for
+ * the paper's case studies.  Any change to the scalar term order must
+ * be mirrored here (and vice versa), or the property test fails.
+ *
+ * Failure semantics: registration never throws.  If computing a
+ * cached sum throws (the scalar path would throw the same exception
+ * at every point sharing the inputs), the entry is poisoned and the
+ * lookup rethrows an exception of the same category (UserError vs
+ * other) with the same message, so the sweep engine classifies the
+ * point exactly as the scalar engine would (skip vs NaN-pin).
+ *
+ * Thread safety: construction and register*() calls are
+ * single-threaded; prime() fills all registered entries (internally
+ * parallel); after prime() returns, every lookup and per-point term
+ * function is const and safe to call concurrently.
+ */
+
+#ifndef AMPED_CORE_BATCH_TERMS_HPP
+#define AMPED_CORE_BATCH_TERMS_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/amped_model.hpp"
+#include "hw/accelerator.hpp"
+#include "net/system_config.hpp"
+
+namespace amped {
+namespace core {
+
+/**
+ * Memoized per-term evaluator for batched sweeps.  See the file
+ * comment for the contract.
+ */
+class SweepTermCache
+{
+  public:
+    /** Accumulated gradient all-reduce times (Eq. 10-11). */
+    struct GradTotals
+    {
+        Seconds intra{0.0}; ///< Sum over layers of the intra stage.
+        Seconds inter{0.0}; ///< Sum over layers of the inter stage.
+    };
+
+    /**
+     * @param model The evaluator whose terms are cached.  The model
+     *        must outlive the cache (the cache keeps references).
+     */
+    explicit SweepTermCache(const AmpedModel &model);
+
+    // -----------------------------------------------------------------
+    // Registration: dedup by value, return a stable entry id.
+    // Single-threaded; ids are valid after the next prime() call.
+    // -----------------------------------------------------------------
+
+    /** Sum over layers of U_f(l, batch, eff) (Eq. 2). */
+    std::size_t registerForwardCompute(double batch, double eff);
+
+    /** Sum over layers of U_w(l, eff) (Eq. 12). */
+    std::size_t registerWeightUpdate(double eff);
+
+    /** Sum over layers of M_f,MoE(l, replica_batch) (Eq. 9). */
+    std::size_t registerMoeForward(double replica_batch);
+
+    /** Sums over layers of the gradient all-reduce (Eq. 10-11). */
+    std::size_t registerGrad(const mapping::ParallelismConfig &mapping);
+
+    /** OpCounter::modelFlopsPerBatch(batch). */
+    std::size_t registerModelFlops(double batch);
+
+    /**
+     * Computes every registered entry that has not been primed yet.
+     * Parallelized on the shared ThreadPool (results are
+     * deterministic: each entry is an independent pure computation).
+     *
+     * @param max_workers Parallelism cap (0 = whole pool).
+     */
+    void prime(unsigned max_workers = 0);
+
+    // -----------------------------------------------------------------
+    // Lookups: const, thread-safe after prime().  Poisoned entries
+    // rethrow the recorded failure (same category and message the
+    // scalar path would produce).
+    // -----------------------------------------------------------------
+
+    Seconds forwardComputeTotal(std::size_t id) const;
+    Seconds weightUpdateTotal(std::size_t id) const;
+    Seconds moeForwardTotal(std::size_t id) const;
+    GradTotals gradTotals(std::size_t id) const;
+    double modelFlopsPerBatch(std::size_t id) const;
+
+    // -----------------------------------------------------------------
+    // Per-point terms: cheap closed forms with no layer loop, computed
+    // from the const parameter snapshots.  Bit-exact mirrors of the
+    // corresponding AmpedModel member functions.
+    // -----------------------------------------------------------------
+
+    /** Mirrors AmpedModel::tpIntraCommTime. */
+    Seconds tpIntraCommTime(std::int64_t tp_intra,
+                            double replica_batch) const;
+
+    /** Mirrors AmpedModel::tpInterCommTime. */
+    Seconds tpInterCommTime(std::int64_t tp_inter,
+                            double replica_batch) const;
+
+    /** Mirrors AmpedModel::ppCommTime. */
+    Seconds ppCommTime(std::int64_t pp_intra, std::int64_t pp_inter,
+                       double replica_batch) const;
+
+    /** The model whose terms are cached. */
+    const AmpedModel &model() const { return model_; }
+
+  private:
+    /** How a cached computation ended. */
+    enum class Outcome : std::uint8_t
+    {
+        pending,   ///< Registered, not primed yet.
+        ok,        ///< value fields valid.
+        userError, ///< Scalar path throws UserError(message).
+        error      ///< Scalar path throws std::runtime_error(message).
+    };
+
+    /** One memoized sum (two values cover the two-part grad case). */
+    struct Entry
+    {
+        double keyA = 0.0; ///< First input (batch / eff / replica...).
+        double keyB = 0.0; ///< Second input when the key is a pair.
+        std::int64_t intA = 0, intB = 0, intC = 0; ///< Grad key parts.
+        double value = 0.0;
+        double value2 = 0.0;
+        Outcome outcome = Outcome::pending;
+        std::string message;
+    };
+
+    /** Exact-match dedup key over two doubles (bit patterns). */
+    struct PairKey
+    {
+        std::uint64_t a = 0, b = 0;
+        bool operator==(const PairKey &o) const
+        {
+            return a == o.a && b == o.b;
+        }
+    };
+    struct PairKeyHash
+    {
+        std::size_t operator()(const PairKey &k) const;
+    };
+
+    /** Exact-match dedup key over three integers. */
+    struct TripleKey
+    {
+        std::int64_t a = 0, b = 0, c = 0;
+        bool operator==(const TripleKey &o) const
+        {
+            return a == o.a && b == o.b && c == o.c;
+        }
+    };
+    struct TripleKeyHash
+    {
+        std::size_t operator()(const TripleKey &k) const;
+    };
+
+    /** Per-sublayer constants of one layer's forward pass. */
+    struct OpTerm
+    {
+        double macs2 = 0.0;    ///< 2.0 * SublayerOps::macs.
+        double nonlinear = 0.0; ///< SublayerOps::nonlinear.
+    };
+
+    /** Per-batch table of every layer's forward-op constants. */
+    struct OpsTable
+    {
+        double batch = 0.0;
+        std::vector<OpTerm> terms;        ///< All layers, flattened.
+        std::vector<std::uint32_t> layerEnd; ///< End index per layer.
+        Outcome outcome = Outcome::pending;
+        std::string message;
+    };
+
+    void primeOpsTable(OpsTable &table) const;
+    void primeForwardCompute(Entry &entry) const;
+    void primeWeightUpdate(Entry &entry) const;
+    void primeMoeForward(Entry &entry) const;
+    void primeGrad(Entry &entry) const;
+    void primeModelFlops(Entry &entry) const;
+
+    /** Rethrows a poisoned entry's recorded failure. */
+    static void rethrow(const Entry &entry);
+
+    const AmpedModel &model_;
+    hw::ComputeRateSnapshot rates_;
+    net::SystemSnapshot system_;
+
+    // Per-layer constants captured once at construction.
+    std::vector<double> weights2_;   ///< 2.0 * weightsPerLayer(l).
+    std::vector<double> gradients_;  ///< gradientsPerLayer(l).
+    bool moeActive_ = false; ///< enableMoeComm and >= 1 MoE layer.
+
+    std::unordered_map<PairKey, std::size_t, PairKeyHash> forwardIds_;
+    std::unordered_map<std::uint64_t, std::size_t> updateIds_;
+    std::unordered_map<std::uint64_t, std::size_t> moeIds_;
+    std::unordered_map<TripleKey, std::size_t, TripleKeyHash> gradIds_;
+    std::unordered_map<std::uint64_t, std::size_t> flopsIds_;
+    std::unordered_map<std::uint64_t, std::size_t> opsTableIds_;
+
+    std::vector<Entry> forward_;
+    std::vector<Entry> update_;
+    std::vector<Entry> moe_;
+    std::vector<Entry> grad_;
+    std::vector<Entry> flops_;
+    std::vector<OpsTable> opsTables_;
+    std::vector<std::size_t> forwardOpsTable_; ///< forward id -> table.
+    /** Representative mapping per grad entry (same key => same sums). */
+    std::vector<mapping::ParallelismConfig> gradMappings_;
+};
+
+} // namespace core
+} // namespace amped
+
+#endif // AMPED_CORE_BATCH_TERMS_HPP

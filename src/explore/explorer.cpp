@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -13,6 +15,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "explore/batch.hpp"
 #include "obs/metrics.hpp"
 
 namespace amped {
@@ -21,34 +24,15 @@ namespace explore {
 namespace {
 
 /**
- * Pins every numeric field of a result to NaN — the golden layer's
- * marker for "this point has no value" — so a degraded sweep point
- * renders as `nan` in tables/CSVs instead of a bogus number.
+ * Construction-time engine default: the batched SoA kernels unless
+ * AMPED_SWEEP_ENGINE=scalar asks for the historical per-point loop
+ * (escape hatch; the two engines are byte-identical).
  */
-core::EvaluationResult
-nanPinnedResult()
+bool
+defaultBatchMode()
 {
-    const double nan = std::numeric_limits<double>::quiet_NaN();
-    core::EvaluationResult result;
-    result.perBatch.computeForward = nan;
-    result.perBatch.computeBackward = nan;
-    result.perBatch.weightUpdate = nan;
-    result.perBatch.commTpIntra = nan;
-    result.perBatch.commTpInter = nan;
-    result.perBatch.commPp = nan;
-    result.perBatch.commMoe = nan;
-    result.perBatch.commGradIntra = nan;
-    result.perBatch.commGradInter = nan;
-    result.perBatch.bubble = nan;
-    result.timePerBatch = nan;
-    result.numBatches = nan;
-    result.totalTime = nan;
-    result.microbatchSize = nan;
-    result.numMicrobatches = nan;
-    result.efficiency = nan;
-    result.achievedFlopsPerGpu = nan;
-    result.tokensPerSecond = nan;
-    return result;
+    const char *env = std::getenv("AMPED_SWEEP_ENGINE");
+    return env == nullptr || std::string_view(env) != "scalar";
 }
 
 /** Sort key mapping NaN to +infinity (strict weak ordering safe). */
@@ -196,9 +180,15 @@ struct SweepCacheEntry
 {
     std::string key;   ///< Full canonical key (collision guard).
     SweepResult result;
+    std::uint64_t stamp = 0; ///< Recency stamp (larger = fresher).
 };
 
-/** Cleared wholesale when full; sweeps are cheap to recompute. */
+/**
+ * At capacity the least-recently-used entry is evicted (recency =
+ * last hit or insertion), so a working set of repeated queries stays
+ * resident even while one-off sweeps churn through the cache.
+ * Evictions are published as `explore.sweep_cache.evictions`.
+ */
 constexpr std::size_t kSweepCacheCapacity = 64;
 
 std::mutex &
@@ -216,9 +206,19 @@ sweepCache()
     return *cache;
 }
 
+/** Monotonic recency clock; guarded by sweepCacheMutex(). */
+std::uint64_t &
+sweepCacheClock()
+{
+    static std::uint64_t clock = 0;
+    return clock;
+}
+
 } // namespace
 
-Explorer::Explorer(core::AmpedModel model) : model_(std::move(model)) {}
+Explorer::Explorer(core::AmpedModel model)
+    : model_(std::move(model)), batchMode_(defaultBatchMode())
+{}
 
 void
 Explorer::setMemoryModel(core::MemoryModel memory_model)
@@ -266,6 +266,31 @@ Explorer::sweepJobs(
     points_counter.add(count);
     if (count == 0)
         return out;
+
+    if (batchMode_) {
+        out = sweepJobsBatched(
+            model_, memoryModel_ ? &*memoryModel_ : nullptr, mappings,
+            jobs,
+            threads_ > 0 ? threads_
+                         : ThreadPool::defaultThreadCount());
+    } else {
+        out = sweepJobsScalar(mappings, jobs);
+    }
+
+    feasible_counter.add(out.entries.size() - out.failed);
+    infeasible_counter.add(out.skipped);
+    over_memory_counter.add(out.memorySkipped);
+    failed_counter.add(out.failed);
+    return out;
+}
+
+SweepResult
+Explorer::sweepJobsScalar(
+    const std::vector<mapping::ParallelismConfig> &mappings,
+    const std::vector<core::TrainingJob> &jobs) const
+{
+    SweepResult out;
+    const std::size_t count = mappings.size() * jobs.size();
 
     // Grid order is mapping-major (all jobs of mapping 0, then
     // mapping 1, ...), matching the historical serial double loop.
@@ -355,10 +380,6 @@ Explorer::sweepJobs(
         }
         }
     }
-    feasible_counter.add(out.entries.size() - out.failed);
-    infeasible_counter.add(out.skipped);
-    over_memory_counter.add(out.memorySkipped);
-    failed_counter.add(out.failed);
     return out;
 }
 
@@ -371,6 +392,8 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
         metrics.counter("explore.sweep_cache.hits");
     static obs::Counter &misses =
         metrics.counter("explore.sweep_cache.misses");
+    static obs::Counter &evictions =
+        metrics.counter("explore.sweep_cache.evictions");
 
     const std::string key = sweepCacheKey(
         model_, memoryModel_, batch_sizes, job_template, threads_);
@@ -380,6 +403,7 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
         const auto it = sweepCache().find(hash);
         if (it != sweepCache().end() && it->second.key == key) {
             hits.add(1);
+            it->second.stamp = ++sweepCacheClock();
             return it->second.result;
         }
     }
@@ -394,9 +418,19 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
         std::lock_guard<std::mutex> lock(sweepCacheMutex());
         auto &cache = sweepCache();
         if (cache.size() >= kSweepCacheCapacity &&
-            cache.find(hash) == cache.end())
-            cache.clear();
-        cache[hash] = SweepCacheEntry{key, result};
+            cache.find(hash) == cache.end()) {
+            // Evict only the least-recently-used entry (the capacity
+            // is small enough that a linear scan beats maintaining an
+            // intrusive list).
+            auto lru = cache.begin();
+            for (auto it = cache.begin(); it != cache.end(); ++it)
+                if (it->second.stamp < lru->second.stamp)
+                    lru = it;
+            cache.erase(lru);
+            evictions.add(1);
+        }
+        cache[hash] =
+            SweepCacheEntry{key, result, ++sweepCacheClock()};
     }
     return result;
 }

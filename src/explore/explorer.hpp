@@ -121,6 +121,24 @@ class Explorer
     unsigned threads() const { return threads_; }
 
     /**
+     * Selects the sweep evaluation engine.  true (the default) runs
+     * the batched structure-of-arrays kernels (explore/batch.hpp);
+     * false runs the historical scalar per-point loop.  The two
+     * engines are byte-identical — entries, counters, NaN pinning and
+     * warning lines — so this only trades wall clock; the scalar path
+     * is kept as the differential-testing reference and as an escape
+     * hatch.
+     *
+     * The construction-time default honours the AMPED_SWEEP_ENGINE
+     * environment variable: "scalar" starts Explorers on the scalar
+     * path, "batch" (or unset, or anything else) on the batched one.
+     */
+    void setBatchMode(bool batched) { batchMode_ = batched; }
+
+    /** True when sweeps run the batched SoA engine. */
+    bool batchMode() const { return batchMode_; }
+
+    /**
      * The entry with the lowest total training time, if any.
      * NaN-pinned (failed) entries rank last, so they are only
      * returned when nothing real was evaluated.
@@ -150,9 +168,15 @@ class Explorer
     void clearMemoryModel() { memoryModel_.reset(); }
 
   private:
+    /** The historical per-point evaluation loop (reference engine). */
+    SweepResult sweepJobsScalar(
+        const std::vector<mapping::ParallelismConfig> &mappings,
+        const std::vector<core::TrainingJob> &jobs) const;
+
     core::AmpedModel model_;
     std::optional<core::MemoryModel> memoryModel_;
     unsigned threads_ = 0;
+    bool batchMode_;
 };
 
 /**

@@ -87,5 +87,17 @@ cNonlin(const AcceleratorConfig &accel)
     return 1.0 / accel.peakNonlinOps();
 }
 
+ComputeRateSnapshot
+computeRateSnapshot(const AcceleratorConfig &accel)
+{
+    accel.validate();
+    ComputeRateSnapshot snap;
+    snap.peakMacFlops = accel.peakMacFlops();
+    snap.cNonlin = cNonlin(accel);
+    snap.macFactor = macPrecisionFactor(accel.precisions);
+    snap.nonlinFactor = nonlinPrecisionFactor(accel.precisions);
+    return snap;
+}
+
 } // namespace hw
 } // namespace amped

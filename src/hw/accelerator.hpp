@@ -102,6 +102,26 @@ struct AcceleratorConfig
     FlopsPerSecond peakNonlinOps() const;
 };
 
+/**
+ * Immutable snapshot of every accelerator-derived rate the compute
+ * equations read per evaluation.  The scalar evaluator re-derives
+ * these from the AcceleratorConfig on every call (they are cheap);
+ * the batched sweep kernels (core::SweepTermCache) capture them once
+ * and reuse them across millions of grid points.  Every field is the
+ * bit-exact result of the corresponding helper below, so a
+ * snapshot-based evaluation reproduces the scalar path exactly.
+ */
+struct ComputeRateSnapshot
+{
+    FlopsPerSecond peakMacFlops;  ///< AcceleratorConfig::peakMacFlops().
+    SecondsPerFlop cNonlin;       ///< hw::cNonlin(accel).
+    double macFactor = 1.0;       ///< hw::macPrecisionFactor.
+    double nonlinFactor = 1.0;    ///< hw::nonlinPrecisionFactor.
+};
+
+/** Captures the derived compute rates of @p accel (validated). */
+ComputeRateSnapshot computeRateSnapshot(const AcceleratorConfig &accel);
+
 /** ceil(max(S_p, S_act) / S_FU_MAC), never below 1 (Eq. 2). */
 double macPrecisionFactor(const Precisions &p);
 

@@ -45,6 +45,27 @@ SystemConfig::perStreamInterBandwidth() const
            static_cast<double>(acceleratorsPerNode);
 }
 
+SystemSnapshot
+SystemConfig::snapshot() const
+{
+    validate();
+    SystemSnapshot snap;
+    snap.numNodes = numNodes;
+    snap.interIsPooledFabric = interIsPooledFabric;
+    snap.intraLink = intraLink;
+    // The link names match the ad-hoc LinkConfigs the scalar
+    // evaluator builds (AmpedModel::interLinkEffective and
+    // ppCommTime's hop link); names never enter the math.
+    snap.interEffective = LinkConfig{"inter-effective", interLatency(),
+                                     perStreamInterBandwidth()};
+    snap.interHop =
+        LinkConfig{"inter-hop", interLatency(), interBandwidth()};
+    snap.interLatency = interLatency();
+    snap.interBandwidth = interBandwidth();
+    snap.perStreamInterBandwidth = perStreamInterBandwidth();
+    return snap;
+}
+
 namespace presets {
 
 SystemConfig

@@ -91,6 +91,33 @@ struct SystemConfig
 
     /** Intra-node link latency C_intra. */
     Seconds intraLatency() const { return intraLink.latency; }
+
+    /** Captures the derived link parameters (see SystemSnapshot). */
+    struct SystemSnapshot snapshot() const;
+};
+
+/**
+ * Immutable snapshot of every system-derived link parameter the
+ * communication equations read per evaluation.  The scalar evaluator
+ * re-derives these per call — including re-constructing the
+ * "inter-effective" and "inter-hop" LinkConfigs (a heap-allocated
+ * name string each) on every sweep point.  The batched sweep kernels
+ * capture them once; every field is the bit-exact result of the
+ * corresponding SystemConfig accessor, so snapshot-based evaluation
+ * reproduces the scalar path exactly.
+ */
+struct SystemSnapshot
+{
+    std::int64_t numNodes = 0;          ///< SystemConfig::numNodes.
+    bool interIsPooledFabric = false;   ///< Pooled-fabric flag.
+    LinkConfig intraLink;               ///< The intra-node link.
+    /** {"inter-effective", interLatency(), perStreamInterBandwidth()}. */
+    LinkConfig interEffective;
+    /** {"inter-hop", interLatency(), interBandwidth()}. */
+    LinkConfig interHop;
+    Seconds interLatency;               ///< SystemConfig::interLatency().
+    BitsPerSecond interBandwidth;       ///< Node-aggregate inter BW.
+    BitsPerSecond perStreamInterBandwidth; ///< One stream's share.
 };
 
 namespace presets {

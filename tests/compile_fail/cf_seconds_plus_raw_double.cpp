@@ -1,0 +1,17 @@
+// The batch kernels' boundary rule (DESIGN.md): values crossing
+// from a raw-double SoA column back into model code must be
+// re-wrapped explicitly -- `time + Seconds{column[i]}`.  Adding a
+// bare column element to a quantity must not compile, or the
+// wrapping discipline is unenforceable.
+#include <vector>
+
+#include "common/quantity.hpp"
+
+int
+main()
+{
+    using namespace amped;
+    const std::vector<double> column = {1.0, 2.0};
+    const Seconds total = Seconds{3.0} + column[0];
+    return total.value() > 0.0 ? 0 : 1;
+}

@@ -7,6 +7,8 @@
 #ifndef AMPED_TESTS_LINT_FIXTURES_BAD_HEADER_HPP
 #define AMPED_TESTS_LINT_FIXTURES_BAD_HEADER_HPP
 
+#include <vector>
+
 namespace amped_lint_fixture {
 
 // A raw-double bandwidth parameter: exactly the bug class the
@@ -22,10 +24,25 @@ struct BadConfig
     double peak_flops = 0.0;        // snake_case is caught too
 };
 
+// Raw-double *columns* defeat the quantity layer wholesale: a
+// structure-of-arrays batch kernel that leaked its column type
+// into a public header would look exactly like this.
+std::vector<double> stageSeconds(int stages);
+
+struct BadColumns
+{
+    std::vector<double> linkBandwidthsBitsPerSec; // per-link column
+    std::vector<double> phase_seconds;            // snake_case too
+};
+
+void accumulate(const std::vector<double> &sampleJoules);
+
 // Not violations: the names carry no dimension suffix, and
 // commented-out code such as `double oldLatencySeconds;` inside
-// this comment must be ignored.
+// this comment must be ignored.  Dimensionless columns (batch
+// sizes, ratios) stay legal: `std::vector<double> batchSizes;`.
 double ratio(double numerator, double denominator);
+std::vector<double> batchSizes(int count);
 
 } // namespace amped_lint_fixture
 

@@ -10,7 +10,11 @@
  * whose identifier ends in a dimension suffix (Seconds, Bits,
  * PerSecond/PerSec, Hz/Hertz, Flops, Joules, Watts, in CamelCase or
  * snake_case), unless the file:identifier pair appears in the
- * allowlist.  The allowlist is for genuine I/O boundaries (string
+ * allowlist.  `std::vector<double>` declarations are held to the
+ * same rule: raw-double *columns* with a dimension-implying name
+ * are how the SoA batch kernels would leak into public headers
+ * (DESIGN.md "Quantity boundary rule") -- columns stay internal to
+ * .cpp files, and anything public is typed or dimensionless.  The allowlist is for genuine I/O boundaries (string
  * formatters, CLI parsing) and quantities outside the modeled
  * dimension set (tokens/s); each entry should say why.
  *
@@ -176,6 +180,7 @@ struct Violation
     std::string file;
     std::size_t line = 0;
     std::string ident;
+    bool column = false; ///< std::vector<double> rather than double.
 };
 
 void
@@ -190,6 +195,10 @@ scanFile(const fs::path &path, const Allowlist &allow,
     // `double` immediately followed by an identifier: catches
     // parameters, struct fields, and return types of declarations.
     static const std::regex decl(R"(\bdouble\s+(\w+))");
+    // A raw-double column (value, reference or pointer form):
+    // `std::vector<double> stageSeconds`, `vector<double> &xSecs`.
+    static const std::regex col_decl(
+        R"(\bvector\s*<\s*double\s*>\s*[&*]?\s*(\w+))");
     std::string line;
     std::size_t lineno = 0;
     bool in_block = false;
@@ -205,6 +214,17 @@ scanFile(const fs::path &path, const Allowlist &allow,
             if (allow.allows(path.generic_string(), ident))
                 continue;
             out.push_back({path.generic_string(), lineno, ident});
+        }
+        for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                            col_decl);
+             it != std::sregex_iterator(); ++it) {
+            const std::string ident = (*it)[1].str();
+            if (!hasDimensionSuffix(ident))
+                continue;
+            if (allow.allows(path.generic_string(), ident))
+                continue;
+            out.push_back(
+                {path.generic_string(), lineno, ident, true});
         }
     }
 }
@@ -272,11 +292,17 @@ main(int argc, char **argv)
         scanFile(file, allow, violations);
 
     for (const auto &v : violations) {
-        std::cerr << v.file << ":" << v.line << ": raw double '"
+        std::cerr << v.file << ":" << v.line << ": raw "
+                  << (v.column ? "double column (std::vector"
+                                 "<double>) '"
+                               : "double '")
                   << v.ident
                   << "' has a dimension-implying name; use a typed "
-                     "quantity from common/quantity.hpp or add a "
-                     "justified allowlist entry\n";
+                     "quantity from common/quantity.hpp"
+                  << (v.column ? " per element, keep the column "
+                                 "internal to a .cpp file,"
+                               : "")
+                  << " or add a justified allowlist entry\n";
     }
     std::cerr << "lint_units: scanned " << files.size()
               << " header(s), " << violations.size()
