@@ -453,6 +453,68 @@ SweepTermCache::modelFlopsPerBatch(std::size_t id) const
     return entry.value;
 }
 
+namespace {
+
+/** Converts a primed entry into the non-throwing probe form. */
+SweepTermCache::Probe
+probeEntry(double value, double value2, bool ok, bool user_error)
+{
+    SweepTermCache::Probe probe;
+    if (ok) {
+        probe.status = SweepTermCache::LookupStatus::ok;
+        probe.value = value;
+        probe.value2 = value2;
+    } else {
+        probe.status = user_error
+                           ? SweepTermCache::LookupStatus::userError
+                           : SweepTermCache::LookupStatus::error;
+    }
+    return probe;
+}
+
+} // namespace
+
+SweepTermCache::Probe
+SweepTermCache::probeForwardCompute(std::size_t id) const
+{
+    const Entry &entry = forward_[id];
+    AMPED_ASSERT(entry.outcome != Outcome::pending,
+                 "SweepTermCache probe before prime()");
+    return probeEntry(entry.value, 0.0, entry.outcome == Outcome::ok,
+                      entry.outcome == Outcome::userError);
+}
+
+SweepTermCache::Probe
+SweepTermCache::probeWeightUpdate(std::size_t id) const
+{
+    const Entry &entry = update_[id];
+    AMPED_ASSERT(entry.outcome != Outcome::pending,
+                 "SweepTermCache probe before prime()");
+    return probeEntry(entry.value, 0.0, entry.outcome == Outcome::ok,
+                      entry.outcome == Outcome::userError);
+}
+
+SweepTermCache::Probe
+SweepTermCache::probeMoeForward(std::size_t id) const
+{
+    const Entry &entry = moe_[id];
+    AMPED_ASSERT(entry.outcome != Outcome::pending,
+                 "SweepTermCache probe before prime()");
+    return probeEntry(entry.value, 0.0, entry.outcome == Outcome::ok,
+                      entry.outcome == Outcome::userError);
+}
+
+SweepTermCache::Probe
+SweepTermCache::probeGrad(std::size_t id) const
+{
+    const Entry &entry = grad_[id];
+    AMPED_ASSERT(entry.outcome != Outcome::pending,
+                 "SweepTermCache probe before prime()");
+    return probeEntry(entry.value, entry.value2,
+                      entry.outcome == Outcome::ok,
+                      entry.outcome == Outcome::userError);
+}
+
 Seconds
 SweepTermCache::tpIntraCommTime(std::int64_t tp_intra,
                                 double replica_batch) const

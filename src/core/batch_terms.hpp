@@ -119,6 +119,37 @@ class SweepTermCache
     double modelFlopsPerBatch(std::size_t id) const;
 
     // -----------------------------------------------------------------
+    // Probes: non-throwing variants of the lookups above for the
+    // branch-and-bound optimizer's bound assembly (explore/optimizer).
+    // A bound computation touches every registered entry of a search
+    // cell, including poisoned ones; probes report the recorded
+    // outcome as a status instead of rethrowing so the optimizer can
+    // classify the cell (evaluate everything vs provably infeasible)
+    // without exception round-trips.
+    // -----------------------------------------------------------------
+
+    /** How a probed entry's computation ended. */
+    enum class LookupStatus : std::uint8_t
+    {
+        ok,        ///< value (and value2 for grad) valid.
+        userError, ///< The throwing lookup raises UserError.
+        error      ///< The throwing lookup raises std::runtime_error.
+    };
+
+    /** Non-throwing lookup result. */
+    struct Probe
+    {
+        LookupStatus status = LookupStatus::ok;
+        double value = 0.0;  ///< Same scalar the lookup returns.
+        double value2 = 0.0; ///< Grad inter sum; unused otherwise.
+    };
+
+    Probe probeForwardCompute(std::size_t id) const;
+    Probe probeWeightUpdate(std::size_t id) const;
+    Probe probeMoeForward(std::size_t id) const;
+    Probe probeGrad(std::size_t id) const;
+
+    // -----------------------------------------------------------------
     // Per-point terms: cheap closed forms with no layer loop, computed
     // from the const parameter snapshots.  Bit-exact mirrors of the
     // corresponding AmpedModel member functions.

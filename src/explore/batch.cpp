@@ -1,15 +1,8 @@
 #include "batch.hpp"
 
-#include <cmath>
-#include <cstdint>
 #include <limits>
-#include <unordered_map>
-#include <utility>
 
-#include "common/error.hpp"
-#include "common/log.hpp"
-#include "common/thread_pool.hpp"
-#include "core/batch_terms.hpp"
+#include "explore/sweep_kernel.hpp"
 
 namespace amped {
 namespace explore {
@@ -40,162 +33,6 @@ nanPinnedResult()
     return result;
 }
 
-namespace {
-
-/** Mirrors the scalar sweep's per-point classification. */
-enum class PointStatus : unsigned char
-{
-    infeasible,
-    overMemory,
-    feasible,
-    failedPoint
-};
-
-/** How a pre-computed sub-step ended (0 = fine). */
-enum FailKind : unsigned char
-{
-    kOk = 0,
-    kUserError = 1, ///< Scalar path throws UserError here.
-    kError = 2      ///< Scalar path throws another std::exception.
-};
-
-/** Grid-constant facts about one mapping. */
-struct MappingInfo
-{
-    FailKind kind = kOk;  ///< validateFor(system) outcome.
-    std::string message;  ///< what() when kind == kError.
-    std::uint32_t classIdx = 0; ///< (dp, pp) class index.
-    double workers = 0.0; ///< double(totalWorkers()).
-    double ppD = 0.0;     ///< double(pp()).
-    double stageOverlap = 0.0; ///< 1.0 / double(pp()).
-    std::int64_t pp = 1;
-    std::int64_t tpIntra = 1;
-    std::int64_t tpInter = 1;
-    std::int64_t ppIntra = 1;
-    std::int64_t ppInter = 1;
-    std::size_t gradId = 0;
-};
-
-/** Grid-constant facts about one job. */
-struct JobInfo
-{
-    FailKind validKind = kOk; ///< job.validate() outcome.
-    std::string validMessage;
-    FailKind nbKind = kOk; ///< job.numBatches(seq) outcome.
-    std::string nbMessage;
-    double batch = 0.0;
-    double numBatches = 0.0;
-    std::size_t flopsId = 0;
-};
-
-/**
- * Per-(job x (dp, pp)-class) microbatching facts.  The microbatch
- * size, microbatch count and per-replica batch depend on the mapping
- * only through dp() and pp(), so one row serves every mapping in the
- * class.
- */
-struct JcEntry
-{
-    FailKind ubKind = kOk; ///< microbatchSize outcome.
-    std::string ubMessage;
-    /**
-     * First failure of the remaining pre-term steps, recorded in
-     * scalar evaluation order: numMicrobatches, then efficiency.
-     */
-    FailKind preKind = kOk;
-    std::string preMessage;
-    double ub = 0.0;
-    double nub = 0.0;
-    double eff = 0.0;
-    double replicaBatch = 0.0;
-    std::size_t fwdId = 0;
-    std::size_t updId = 0;
-    std::size_t moeId = 0;
-};
-
-/** Exact-match key for a (dp, pp) mapping class. */
-struct DpPpKey
-{
-    std::int64_t dp = 0;
-    std::int64_t pp = 0;
-    bool operator==(const DpPpKey &o) const
-    {
-        return dp == o.dp && pp == o.pp;
-    }
-};
-
-struct DpPpKeyHash
-{
-    std::size_t operator()(const DpPpKey &k) const
-    {
-        // Degrees are small powers of two; a shifted xor is enough.
-        return static_cast<std::size_t>(k.dp) * 1315423911u ^
-               static_cast<std::size_t>(k.pp);
-    }
-};
-
-/**
- * Output columns for one block of grid points (structure of arrays).
- * Raw doubles on purpose: Quantity types are unwrapped at this
- * boundary and re-wrapped when the block is reduced, the same
- * boundary core::Breakdown draws for the scalar path.
- */
-struct BlockColumns
-{
-    std::vector<PointStatus> status;
-    std::vector<std::string> failures;
-    std::vector<double> computeForward;
-    std::vector<double> computeBackward;
-    std::vector<double> weightUpdate;
-    std::vector<double> commTpIntra;
-    std::vector<double> commTpInter;
-    std::vector<double> commPp;
-    std::vector<double> commMoe;
-    std::vector<double> commGradIntra;
-    std::vector<double> commGradInter;
-    std::vector<double> bubble;
-    std::vector<double> timePerBatch;
-    std::vector<double> numBatches;
-    std::vector<double> totalTime;
-    std::vector<double> microbatchSize;
-    std::vector<double> numMicrobatches;
-    std::vector<double> efficiency;
-    std::vector<double> achievedFlopsPerGpu;
-    std::vector<double> tokensPerSecond;
-
-    void resize(std::size_t n)
-    {
-        status.assign(n, PointStatus::infeasible);
-        failures.assign(n, std::string());
-        computeForward.assign(n, 0.0);
-        computeBackward.assign(n, 0.0);
-        weightUpdate.assign(n, 0.0);
-        commTpIntra.assign(n, 0.0);
-        commTpInter.assign(n, 0.0);
-        commPp.assign(n, 0.0);
-        commMoe.assign(n, 0.0);
-        commGradIntra.assign(n, 0.0);
-        commGradInter.assign(n, 0.0);
-        bubble.assign(n, 0.0);
-        timePerBatch.assign(n, 0.0);
-        numBatches.assign(n, 0.0);
-        totalTime.assign(n, 0.0);
-        microbatchSize.assign(n, 0.0);
-        numMicrobatches.assign(n, 0.0);
-        efficiency.assign(n, 0.0);
-        achievedFlopsPerGpu.assign(n, 0.0);
-        tokensPerSecond.assign(n, 0.0);
-    }
-};
-
-/** Points per SoA block: caps column memory at a few megabytes. */
-constexpr std::size_t kBlockPoints = 1 << 16;
-
-/** Grid points per work-queue grab inside a block. */
-constexpr std::size_t kPointChunk = 256;
-
-} // namespace
-
 SweepResult
 sweepJobsBatched(
     const core::AmpedModel &model,
@@ -203,374 +40,11 @@ sweepJobsBatched(
     const std::vector<mapping::ParallelismConfig> &mappings,
     const std::vector<core::TrainingJob> &jobs, unsigned max_workers)
 {
-    SweepResult out;
-    const std::size_t num_jobs = jobs.size();
-    const std::size_t count = mappings.size() * num_jobs;
-    if (count == 0)
-        return out;
-
-    const auto &cfg = model.opCounter().config();
-    const double layers_d = static_cast<double>(cfg.numLayers);
-    const double seq_d = static_cast<double>(cfg.seqLength);
-    const auto &options = model.options();
-    const double bwd_compute = options.backwardComputeMultiplier;
-    const double zero_factor = 1.0 + options.zeroDpOverhead;
-    const double bwd_factor = options.backwardCommMultiplier;
-    const double fb = zero_factor * (1.0 + bwd_factor);
-    const double pp_mult = options.ppCommMultiplier;
-    const double bubble_ratio = options.bubbleOverlapRatio;
-
-    core::SweepTermCache cache(model);
-
-    // ---- Per-mapping constants and (dp, pp) class assignment. ------
-    std::vector<MappingInfo> mapping_infos(mappings.size());
-    std::vector<std::size_t> class_representative; // mapping index
-    std::unordered_map<DpPpKey, std::uint32_t, DpPpKeyHash> class_ids;
-    for (std::size_t i = 0; i < mappings.size(); ++i) {
-        const auto &m = mappings[i];
-        MappingInfo &info = mapping_infos[i];
-        try {
-            m.validateFor(model.system());
-        } catch (const UserError &) {
-            info.kind = kUserError;
-        } catch (const std::exception &e) {
-            info.kind = kError;
-            info.message = e.what();
-        }
-        info.pp = m.pp();
-        info.ppD = static_cast<double>(m.pp());
-        info.stageOverlap = 1.0 / static_cast<double>(m.pp());
-        info.workers = static_cast<double>(m.totalWorkers());
-        info.tpIntra = m.tpIntra;
-        info.tpInter = m.tpInter;
-        info.ppIntra = m.ppIntra;
-        info.ppInter = m.ppInter;
-        if (info.kind == kOk)
-            info.gradId = cache.registerGrad(m);
-        const DpPpKey key{m.dp(), m.pp()};
-        const auto it = class_ids.find(key);
-        if (it != class_ids.end()) {
-            info.classIdx = it->second;
-        } else {
-            info.classIdx =
-                static_cast<std::uint32_t>(class_representative.size());
-            class_ids.emplace(key, info.classIdx);
-            class_representative.push_back(i);
-        }
-    }
-    const std::size_t num_classes = class_representative.size();
-
-    // ---- Per-job constants. ----------------------------------------
-    std::vector<JobInfo> job_infos(num_jobs);
-    for (std::size_t j = 0; j < num_jobs; ++j) {
-        const auto &job = jobs[j];
-        JobInfo &info = job_infos[j];
-        info.batch = job.batchSize;
-        try {
-            job.validate();
-        } catch (const UserError &) {
-            info.validKind = kUserError;
-        } catch (const std::exception &e) {
-            info.validKind = kError;
-            info.validMessage = e.what();
-        }
-        try {
-            info.numBatches = job.numBatches(cfg.seqLength);
-        } catch (const UserError &) {
-            info.nbKind = kUserError;
-        } catch (const std::exception &e) {
-            info.nbKind = kError;
-            info.nbMessage = e.what();
-        }
-        info.flopsId = cache.registerModelFlops(job.batchSize);
-    }
-
-    // ---- (job x class) microbatching table + term registration. ----
-    std::vector<JcEntry> jc(num_jobs * num_classes);
-    for (std::size_t j = 0; j < num_jobs; ++j) {
-        const auto &job = jobs[j];
-        for (std::size_t c = 0; c < num_classes; ++c) {
-            const auto &rep = mappings[class_representative[c]];
-            JcEntry &entry = jc[c * num_jobs + j];
-            try {
-                entry.ub = job.microbatching.microbatchSize(
-                    job.batchSize, rep);
-            } catch (const UserError &e) {
-                entry.ubKind = kUserError;
-                entry.ubMessage = e.what();
-            } catch (const std::exception &e) {
-                entry.ubKind = kError;
-                entry.ubMessage = e.what();
-            }
-            if (entry.ubKind != kOk)
-                continue;
-            try {
-                entry.nub = job.microbatching.numMicrobatches(
-                    job.batchSize, rep);
-            } catch (const UserError &e) {
-                entry.preKind = kUserError;
-                entry.preMessage = e.what();
-            } catch (const std::exception &e) {
-                entry.preKind = kError;
-                entry.preMessage = e.what();
-            }
-            if (entry.preKind == kOk) {
-                try {
-                    entry.eff = model.efficiency()(entry.ub);
-                } catch (const UserError &e) {
-                    entry.preKind = kUserError;
-                    entry.preMessage = e.what();
-                } catch (const std::exception &e) {
-                    entry.preKind = kError;
-                    entry.preMessage = e.what();
-                }
-            }
-            entry.replicaBatch =
-                job.batchSize / static_cast<double>(rep.dp());
-            if (entry.preKind != kOk)
-                continue;
-            entry.fwdId = cache.registerForwardCompute(job.batchSize,
-                                                       entry.eff);
-            entry.updId = cache.registerWeightUpdate(entry.eff);
-            entry.moeId = cache.registerMoeForward(entry.replicaBatch);
-        }
-    }
-
-    cache.prime(max_workers);
-
-    // ---- Column kernels over fixed-size blocks. --------------------
-    const auto evaluate_point = [&](std::size_t index,
-                                    std::size_t slot,
-                                    BlockColumns &cols) {
-        const MappingInfo &mi = mapping_infos[index / num_jobs];
-        const JobInfo &ji = job_infos[index % num_jobs];
-        const JcEntry &entry =
-            jc[mi.classIdx * num_jobs + index % num_jobs];
-
-        const auto fail = [&](const std::string &message) {
-            cols.status[slot] = PointStatus::failedPoint;
-            cols.failures[slot] = message;
-        };
-
-        // The scalar path's exact step order: with a memory model the
-        // microbatch size and the fit check run before any mapping /
-        // job validation (Explorer's screening lambda), otherwise the
-        // microbatch size is first derived inside evaluate(), after
-        // the validations.
-        if (memory_model != nullptr) {
-            if (entry.ubKind == kUserError)
-                return; // infeasible (the default status)
-            if (entry.ubKind == kError)
-                return fail(entry.ubMessage);
-            try {
-                if (!memory_model->fits(mappings[index / num_jobs],
-                                        ji.batch, entry.ub)) {
-                    cols.status[slot] = PointStatus::overMemory;
-                    return;
-                }
-            } catch (const UserError &) {
-                return;
-            } catch (const std::exception &e) {
-                return fail(e.what());
-            }
-        }
-        if (mi.kind == kUserError)
-            return;
-        if (mi.kind == kError)
-            return fail(mi.message);
-        if (ji.validKind == kUserError)
-            return;
-        if (ji.validKind == kError)
-            return fail(ji.validMessage);
-        if (memory_model == nullptr) {
-            if (entry.ubKind == kUserError)
-                return;
-            if (entry.ubKind == kError)
-                return fail(entry.ubMessage);
-        }
-        if (entry.preKind == kUserError)
-            return;
-        if (entry.preKind == kError)
-            return fail(entry.preMessage);
-
-        try {
-            // Mirrors evaluate()'s assembly expression by expression;
-            // Quantity math unwraps into the raw columns exactly
-            // where the scalar path unwraps into Breakdown.
-            const Seconds fwd_total =
-                cache.forwardComputeTotal(entry.fwdId);
-            const Seconds update_total =
-                cache.weightUpdateTotal(entry.updId);
-            const double compute_forward =
-                (fwd_total / mi.workers).value();
-            const double compute_backward =
-                (bwd_compute * fwd_total / mi.workers).value();
-            cols.computeForward[slot] = compute_forward;
-            cols.computeBackward[slot] = compute_backward;
-            cols.weightUpdate[slot] =
-                (update_total / mi.workers).value();
-
-            const Seconds tp_intra_layer =
-                cache.tpIntraCommTime(mi.tpIntra, entry.replicaBatch);
-            const Seconds tp_inter_layer =
-                cache.tpInterCommTime(mi.tpInter, entry.replicaBatch);
-            const Seconds pp_layer = cache.ppCommTime(
-                mi.ppIntra, mi.ppInter, entry.replicaBatch);
-            const Seconds moe_total =
-                cache.moeForwardTotal(entry.moeId);
-            const double comm_tp_intra =
-                (fb * tp_intra_layer * layers_d * mi.stageOverlap)
-                    .value();
-            const double comm_tp_inter =
-                (fb * tp_inter_layer * layers_d * mi.stageOverlap)
-                    .value();
-            const double comm_pp =
-                (fb * pp_layer * layers_d * pp_mult).value();
-            const double comm_moe =
-                (fb * moe_total * mi.stageOverlap).value();
-            cols.commTpIntra[slot] = comm_tp_intra;
-            cols.commTpInter[slot] = comm_tp_inter;
-            cols.commPp[slot] = comm_pp;
-            cols.commMoe[slot] = comm_moe;
-
-            const core::SweepTermCache::GradTotals grad =
-                cache.gradTotals(mi.gradId);
-            cols.commGradIntra[slot] = grad.intra.value();
-            cols.commGradInter[slot] = grad.inter.value();
-
-            double bubble = 0.0;
-            if (mi.pp > 1) {
-                const double useful = compute_forward +
-                                      compute_backward + comm_tp_intra +
-                                      comm_tp_inter + comm_pp +
-                                      comm_moe;
-                bubble = bubble_ratio * (mi.ppD - 1.0) / entry.nub *
-                         useful;
-            }
-            cols.bubble[slot] = bubble;
-
-            // Breakdown::total() over the same ten columns.
-            core::Breakdown bd;
-            bd.computeForward = compute_forward;
-            bd.computeBackward = compute_backward;
-            bd.weightUpdate = cols.weightUpdate[slot];
-            bd.commTpIntra = comm_tp_intra;
-            bd.commTpInter = comm_tp_inter;
-            bd.commPp = comm_pp;
-            bd.commMoe = comm_moe;
-            bd.commGradIntra = cols.commGradIntra[slot];
-            bd.commGradInter = cols.commGradInter[slot];
-            bd.bubble = bubble;
-            const double time_per_batch = bd.total();
-            cols.timePerBatch[slot] = time_per_batch;
-
-            // evaluate() derives N_batch here; reproduce its failure
-            // position so exception classification matches.
-            if (ji.nbKind == kUserError)
-                return;
-            if (ji.nbKind == kError)
-                return fail(ji.nbMessage);
-            cols.numBatches[slot] = ji.numBatches;
-            cols.totalTime[slot] = ji.numBatches * time_per_batch;
-            cols.microbatchSize[slot] = entry.ub;
-            cols.numMicrobatches[slot] = entry.nub;
-            cols.efficiency[slot] = entry.eff;
-            cols.achievedFlopsPerGpu[slot] =
-                cache.modelFlopsPerBatch(ji.flopsId) /
-                (time_per_batch * mi.workers);
-            cols.tokensPerSecond[slot] =
-                ji.batch * seq_d / time_per_batch;
-        } catch (const UserError &) {
-            cols.status[slot] = PointStatus::infeasible;
-            return;
-        } catch (const std::exception &e) {
-            return fail(e.what());
-        }
-
-        if (!std::isfinite(cols.totalTime[slot]))
-            return fail("non-finite total time");
-        cols.status[slot] = PointStatus::feasible;
-    };
-
-    BlockColumns cols;
-    for (std::size_t base = 0; base < count; base += kBlockPoints) {
-        const std::size_t block =
-            std::min(kBlockPoints, count - base);
-        cols.resize(block);
-
-        const std::size_t chunks =
-            (block + kPointChunk - 1) / kPointChunk;
-        ThreadPool::shared().parallelFor(
-            chunks, /*chunk=*/1,
-            [&](std::size_t chunk_index) {
-                const std::size_t begin = chunk_index * kPointChunk;
-                const std::size_t end =
-                    std::min(begin + kPointChunk, block);
-                for (std::size_t slot = begin; slot < end; ++slot)
-                    evaluate_point(base + slot, slot, cols);
-            },
-            max_workers > 0 ? max_workers
-                            : ThreadPool::defaultThreadCount());
-
-        // Serial grid-order reduction: entries, counters and warning
-        // lines come out byte-identical to the scalar path at any
-        // thread count.
-        for (std::size_t slot = 0; slot < block; ++slot) {
-            const std::size_t index = base + slot;
-            switch (cols.status[slot]) {
-            case PointStatus::feasible: {
-                SweepEntry entry;
-                entry.mapping = mappings[index / num_jobs];
-                entry.batchSize = jobs[index % num_jobs].batchSize;
-                core::EvaluationResult &r = entry.result;
-                r.perBatch.computeForward = cols.computeForward[slot];
-                r.perBatch.computeBackward =
-                    cols.computeBackward[slot];
-                r.perBatch.weightUpdate = cols.weightUpdate[slot];
-                r.perBatch.commTpIntra = cols.commTpIntra[slot];
-                r.perBatch.commTpInter = cols.commTpInter[slot];
-                r.perBatch.commPp = cols.commPp[slot];
-                r.perBatch.commMoe = cols.commMoe[slot];
-                r.perBatch.commGradIntra = cols.commGradIntra[slot];
-                r.perBatch.commGradInter = cols.commGradInter[slot];
-                r.perBatch.bubble = cols.bubble[slot];
-                r.timePerBatch = cols.timePerBatch[slot];
-                r.numBatches = cols.numBatches[slot];
-                r.totalTime = cols.totalTime[slot];
-                r.microbatchSize = cols.microbatchSize[slot];
-                r.numMicrobatches = cols.numMicrobatches[slot];
-                r.efficiency = cols.efficiency[slot];
-                r.achievedFlopsPerGpu =
-                    cols.achievedFlopsPerGpu[slot];
-                r.tokensPerSecond = cols.tokensPerSecond[slot];
-                out.entries.push_back(std::move(entry));
-                break;
-            }
-            case PointStatus::infeasible:
-                ++out.skipped;
-                break;
-            case PointStatus::overMemory:
-                ++out.memorySkipped;
-                break;
-            case PointStatus::failedPoint: {
-                const auto &m = mappings[index / num_jobs];
-                const double batch =
-                    jobs[index % num_jobs].batchSize;
-                log::warn("sweep point ", m.toString(), " batch ",
-                          batch, " failed (", cols.failures[slot],
-                          "); pinning it to nan");
-                SweepEntry entry;
-                entry.mapping = m;
-                entry.batchSize = batch;
-                entry.result = nanPinnedResult();
-                out.entries.push_back(std::move(entry));
-                ++out.failed;
-                break;
-            }
-            }
-        }
-    }
-    return out;
+    if (mappings.size() * jobs.size() == 0)
+        return SweepResult{};
+    const SweepKernel kernel(model, memory_model, mappings, jobs,
+                             max_workers);
+    return kernel.sweepGrid(max_workers);
 }
 
 } // namespace explore

@@ -1,0 +1,549 @@
+#include "sweep_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "explore/batch.hpp"
+
+namespace amped {
+namespace explore {
+
+namespace {
+
+/** Exact-match key for a (dp, pp) mapping class. */
+struct DpPpKey
+{
+    std::int64_t dp = 0;
+    std::int64_t pp = 0;
+    bool operator==(const DpPpKey &o) const
+    {
+        return dp == o.dp && pp == o.pp;
+    }
+};
+
+struct DpPpKeyHash
+{
+    std::size_t operator()(const DpPpKey &k) const
+    {
+        // Degrees are small powers of two; a shifted xor is enough.
+        return static_cast<std::size_t>(k.dp) * 1315423911u ^
+               static_cast<std::size_t>(k.pp);
+    }
+};
+
+/** Points per SoA block: caps column memory at a few megabytes. */
+constexpr std::size_t kBlockPoints = 1 << 16;
+
+/** Grid points per work-queue grab inside a block. */
+constexpr std::size_t kPointChunk = 256;
+
+} // namespace
+
+/**
+ * Output columns for one block of grid points (structure of arrays).
+ * Raw doubles on purpose: Quantity types are unwrapped at this
+ * boundary and re-wrapped when the block is reduced, the same
+ * boundary core::Breakdown draws for the scalar path.  The struct
+ * lives in this translation unit only — raw-double columns with
+ * dimension-implying names never enter a public header (the
+ * tools/lint_units "Quantity boundary rule").
+ */
+struct BlockColumns
+{
+    std::vector<PointStatus> status;
+    std::vector<std::string> failures;
+    std::vector<double> computeForward;
+    std::vector<double> computeBackward;
+    std::vector<double> weightUpdate;
+    std::vector<double> commTpIntra;
+    std::vector<double> commTpInter;
+    std::vector<double> commPp;
+    std::vector<double> commMoe;
+    std::vector<double> commGradIntra;
+    std::vector<double> commGradInter;
+    std::vector<double> bubble;
+    std::vector<double> timePerBatch;
+    std::vector<double> numBatches;
+    std::vector<double> totalTime;
+    std::vector<double> microbatchSize;
+    std::vector<double> numMicrobatches;
+    std::vector<double> efficiency;
+    std::vector<double> achievedFlopsPerGpu;
+    std::vector<double> tokensPerSecond;
+
+    void resize(std::size_t n)
+    {
+        status.assign(n, PointStatus::infeasible);
+        failures.assign(n, std::string());
+        computeForward.assign(n, 0.0);
+        computeBackward.assign(n, 0.0);
+        weightUpdate.assign(n, 0.0);
+        commTpIntra.assign(n, 0.0);
+        commTpInter.assign(n, 0.0);
+        commPp.assign(n, 0.0);
+        commMoe.assign(n, 0.0);
+        commGradIntra.assign(n, 0.0);
+        commGradInter.assign(n, 0.0);
+        bubble.assign(n, 0.0);
+        timePerBatch.assign(n, 0.0);
+        numBatches.assign(n, 0.0);
+        totalTime.assign(n, 0.0);
+        microbatchSize.assign(n, 0.0);
+        numMicrobatches.assign(n, 0.0);
+        efficiency.assign(n, 0.0);
+        achievedFlopsPerGpu.assign(n, 0.0);
+        tokensPerSecond.assign(n, 0.0);
+    }
+};
+
+namespace {
+
+/** Copies one feasible slot's columns into an EvaluationResult. */
+void
+packResult(const BlockColumns &cols, std::size_t slot,
+           core::EvaluationResult &r)
+{
+    r.perBatch.computeForward = cols.computeForward[slot];
+    r.perBatch.computeBackward = cols.computeBackward[slot];
+    r.perBatch.weightUpdate = cols.weightUpdate[slot];
+    r.perBatch.commTpIntra = cols.commTpIntra[slot];
+    r.perBatch.commTpInter = cols.commTpInter[slot];
+    r.perBatch.commPp = cols.commPp[slot];
+    r.perBatch.commMoe = cols.commMoe[slot];
+    r.perBatch.commGradIntra = cols.commGradIntra[slot];
+    r.perBatch.commGradInter = cols.commGradInter[slot];
+    r.perBatch.bubble = cols.bubble[slot];
+    r.timePerBatch = cols.timePerBatch[slot];
+    r.numBatches = cols.numBatches[slot];
+    r.totalTime = cols.totalTime[slot];
+    r.microbatchSize = cols.microbatchSize[slot];
+    r.numMicrobatches = cols.numMicrobatches[slot];
+    r.efficiency = cols.efficiency[slot];
+    r.achievedFlopsPerGpu = cols.achievedFlopsPerGpu[slot];
+    r.tokensPerSecond = cols.tokensPerSecond[slot];
+}
+
+} // namespace
+
+SweepKernel::SweepKernel(
+    const core::AmpedModel &model,
+    const core::MemoryModel *memory_model,
+    const std::vector<mapping::ParallelismConfig> &mappings,
+    const std::vector<core::TrainingJob> &jobs, unsigned max_workers)
+    : model_(model), memoryModel_(memory_model), mappings_(mappings),
+      jobs_(jobs), cache_(model)
+{
+    const auto &cfg = model_.opCounter().config();
+    layersD_ = static_cast<double>(cfg.numLayers);
+    seqD_ = static_cast<double>(cfg.seqLength);
+    const auto &options = model_.options();
+    bwdCompute_ = options.backwardComputeMultiplier;
+    const double zero_factor = 1.0 + options.zeroDpOverhead;
+    const double bwd_factor = options.backwardCommMultiplier;
+    fb_ = zero_factor * (1.0 + bwd_factor);
+    ppMult_ = options.ppCommMultiplier;
+    bubbleRatio_ = options.bubbleOverlapRatio;
+
+    const std::size_t num_jobs = jobs_.size();
+
+    // ---- Per-mapping constants and (dp, pp) class assignment. ------
+    mappingInfos_.resize(mappings_.size());
+    std::vector<std::size_t> class_representative; // mapping index
+    std::unordered_map<DpPpKey, std::uint32_t, DpPpKeyHash> class_ids;
+    for (std::size_t i = 0; i < mappings_.size(); ++i) {
+        const auto &m = mappings_[i];
+        MappingInfo &info = mappingInfos_[i];
+        try {
+            m.validateFor(model_.system());
+        } catch (const UserError &) {
+            info.kind = kUserError;
+        } catch (const std::exception &e) {
+            info.kind = kError;
+            info.message = e.what();
+        }
+        info.pp = m.pp();
+        info.ppD = static_cast<double>(m.pp());
+        info.stageOverlap = 1.0 / static_cast<double>(m.pp());
+        info.workers = static_cast<double>(m.totalWorkers());
+        info.tpIntra = m.tpIntra;
+        info.tpInter = m.tpInter;
+        info.ppIntra = m.ppIntra;
+        info.ppInter = m.ppInter;
+        if (info.kind == kOk)
+            info.gradId = cache_.registerGrad(m);
+        const DpPpKey key{m.dp(), m.pp()};
+        const auto it = class_ids.find(key);
+        if (it != class_ids.end()) {
+            info.classIdx = it->second;
+        } else {
+            info.classIdx =
+                static_cast<std::uint32_t>(class_representative.size());
+            class_ids.emplace(key, info.classIdx);
+            class_representative.push_back(i);
+            classMembers_.emplace_back();
+        }
+        classMembers_[info.classIdx].push_back(i);
+    }
+    const std::size_t num_classes = class_representative.size();
+
+    // ---- Per-job constants. ----------------------------------------
+    jobInfos_.resize(num_jobs);
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+        const auto &job = jobs_[j];
+        JobInfo &info = jobInfos_[j];
+        info.batch = job.batchSize;
+        try {
+            job.validate();
+        } catch (const UserError &) {
+            info.validKind = kUserError;
+        } catch (const std::exception &e) {
+            info.validKind = kError;
+            info.validMessage = e.what();
+        }
+        try {
+            info.numBatches = job.numBatches(cfg.seqLength);
+        } catch (const UserError &) {
+            info.nbKind = kUserError;
+        } catch (const std::exception &e) {
+            info.nbKind = kError;
+            info.nbMessage = e.what();
+        }
+        info.flopsId = cache_.registerModelFlops(job.batchSize);
+    }
+
+    // ---- (job x class) microbatching table + term registration. ----
+    jc_.resize(num_jobs * num_classes);
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+        const auto &job = jobs_[j];
+        for (std::size_t c = 0; c < num_classes; ++c) {
+            const auto &rep = mappings_[class_representative[c]];
+            JcEntry &entry = jc_[c * num_jobs + j];
+            try {
+                entry.ub = job.microbatching.microbatchSize(
+                    job.batchSize, rep);
+            } catch (const UserError &e) {
+                entry.ubKind = kUserError;
+                entry.ubMessage = e.what();
+            } catch (const std::exception &e) {
+                entry.ubKind = kError;
+                entry.ubMessage = e.what();
+            }
+            if (entry.ubKind != kOk)
+                continue;
+            try {
+                entry.nub = job.microbatching.numMicrobatches(
+                    job.batchSize, rep);
+            } catch (const UserError &e) {
+                entry.preKind = kUserError;
+                entry.preMessage = e.what();
+            } catch (const std::exception &e) {
+                entry.preKind = kError;
+                entry.preMessage = e.what();
+            }
+            if (entry.preKind == kOk) {
+                try {
+                    entry.eff = model_.efficiency()(entry.ub);
+                } catch (const UserError &e) {
+                    entry.preKind = kUserError;
+                    entry.preMessage = e.what();
+                } catch (const std::exception &e) {
+                    entry.preKind = kError;
+                    entry.preMessage = e.what();
+                }
+            }
+            entry.replicaBatch =
+                job.batchSize / static_cast<double>(rep.dp());
+            if (entry.preKind != kOk)
+                continue;
+            entry.fwdId = cache_.registerForwardCompute(job.batchSize,
+                                                        entry.eff);
+            entry.updId = cache_.registerWeightUpdate(entry.eff);
+            entry.moeId = cache_.registerMoeForward(entry.replicaBatch);
+        }
+    }
+
+    cache_.prime(max_workers);
+}
+
+void
+SweepKernel::evaluatePointInto(std::size_t index, std::size_t slot,
+                               BlockColumns &cols) const
+{
+    const std::size_t num_jobs = jobs_.size();
+    const MappingInfo &mi = mappingInfos_[index / num_jobs];
+    const JobInfo &ji = jobInfos_[index % num_jobs];
+    const JcEntry &entry =
+        jc_[mi.classIdx * num_jobs + index % num_jobs];
+
+    const auto fail = [&](const std::string &message) {
+        cols.status[slot] = PointStatus::failedPoint;
+        cols.failures[slot] = message;
+    };
+
+    // The scalar path's exact step order: with a memory model the
+    // microbatch size and the fit check run before any mapping /
+    // job validation (Explorer's screening lambda), otherwise the
+    // microbatch size is first derived inside evaluate(), after
+    // the validations.
+    if (memoryModel_ != nullptr) {
+        if (entry.ubKind == kUserError)
+            return; // infeasible (the default status)
+        if (entry.ubKind == kError)
+            return fail(entry.ubMessage);
+        try {
+            if (!memoryModel_->fits(mappings_[index / num_jobs],
+                                    ji.batch, entry.ub)) {
+                cols.status[slot] = PointStatus::overMemory;
+                return;
+            }
+        } catch (const UserError &) {
+            return;
+        } catch (const std::exception &e) {
+            return fail(e.what());
+        }
+    }
+    if (mi.kind == kUserError)
+        return;
+    if (mi.kind == kError)
+        return fail(mi.message);
+    if (ji.validKind == kUserError)
+        return;
+    if (ji.validKind == kError)
+        return fail(ji.validMessage);
+    if (memoryModel_ == nullptr) {
+        if (entry.ubKind == kUserError)
+            return;
+        if (entry.ubKind == kError)
+            return fail(entry.ubMessage);
+    }
+    if (entry.preKind == kUserError)
+        return;
+    if (entry.preKind == kError)
+        return fail(entry.preMessage);
+
+    try {
+        // Mirrors evaluate()'s assembly expression by expression;
+        // Quantity math unwraps into the raw columns exactly
+        // where the scalar path unwraps into Breakdown.
+        const Seconds fwd_total =
+            cache_.forwardComputeTotal(entry.fwdId);
+        const Seconds update_total =
+            cache_.weightUpdateTotal(entry.updId);
+        const double compute_forward =
+            (fwd_total / mi.workers).value();
+        const double compute_backward =
+            (bwdCompute_ * fwd_total / mi.workers).value();
+        cols.computeForward[slot] = compute_forward;
+        cols.computeBackward[slot] = compute_backward;
+        cols.weightUpdate[slot] =
+            (update_total / mi.workers).value();
+
+        const Seconds tp_intra_layer =
+            cache_.tpIntraCommTime(mi.tpIntra, entry.replicaBatch);
+        const Seconds tp_inter_layer =
+            cache_.tpInterCommTime(mi.tpInter, entry.replicaBatch);
+        const Seconds pp_layer = cache_.ppCommTime(
+            mi.ppIntra, mi.ppInter, entry.replicaBatch);
+        const Seconds moe_total =
+            cache_.moeForwardTotal(entry.moeId);
+        const double comm_tp_intra =
+            (fb_ * tp_intra_layer * layersD_ * mi.stageOverlap)
+                .value();
+        const double comm_tp_inter =
+            (fb_ * tp_inter_layer * layersD_ * mi.stageOverlap)
+                .value();
+        const double comm_pp =
+            (fb_ * pp_layer * layersD_ * ppMult_).value();
+        const double comm_moe =
+            (fb_ * moe_total * mi.stageOverlap).value();
+        cols.commTpIntra[slot] = comm_tp_intra;
+        cols.commTpInter[slot] = comm_tp_inter;
+        cols.commPp[slot] = comm_pp;
+        cols.commMoe[slot] = comm_moe;
+
+        const core::SweepTermCache::GradTotals grad =
+            cache_.gradTotals(mi.gradId);
+        cols.commGradIntra[slot] = grad.intra.value();
+        cols.commGradInter[slot] = grad.inter.value();
+
+        double bubble = 0.0;
+        if (mi.pp > 1) {
+            const double useful = compute_forward +
+                                  compute_backward + comm_tp_intra +
+                                  comm_tp_inter + comm_pp +
+                                  comm_moe;
+            bubble = bubbleRatio_ * (mi.ppD - 1.0) / entry.nub *
+                     useful;
+        }
+        cols.bubble[slot] = bubble;
+
+        // Breakdown::total() over the same ten columns.
+        core::Breakdown bd;
+        bd.computeForward = compute_forward;
+        bd.computeBackward = compute_backward;
+        bd.weightUpdate = cols.weightUpdate[slot];
+        bd.commTpIntra = comm_tp_intra;
+        bd.commTpInter = comm_tp_inter;
+        bd.commPp = comm_pp;
+        bd.commMoe = comm_moe;
+        bd.commGradIntra = cols.commGradIntra[slot];
+        bd.commGradInter = cols.commGradInter[slot];
+        bd.bubble = bubble;
+        const double time_per_batch = bd.total();
+        cols.timePerBatch[slot] = time_per_batch;
+
+        // evaluate() derives N_batch here; reproduce its failure
+        // position so exception classification matches.
+        if (ji.nbKind == kUserError)
+            return;
+        if (ji.nbKind == kError)
+            return fail(ji.nbMessage);
+        cols.numBatches[slot] = ji.numBatches;
+        cols.totalTime[slot] = ji.numBatches * time_per_batch;
+        cols.microbatchSize[slot] = entry.ub;
+        cols.numMicrobatches[slot] = entry.nub;
+        cols.efficiency[slot] = entry.eff;
+        cols.achievedFlopsPerGpu[slot] =
+            cache_.modelFlopsPerBatch(ji.flopsId) /
+            (time_per_batch * mi.workers);
+        cols.tokensPerSecond[slot] =
+            ji.batch * seqD_ / time_per_batch;
+    } catch (const UserError &) {
+        cols.status[slot] = PointStatus::infeasible;
+        return;
+    } catch (const std::exception &e) {
+        return fail(e.what());
+    }
+
+    if (!std::isfinite(cols.totalTime[slot]))
+        return fail("non-finite total time");
+    cols.status[slot] = PointStatus::feasible;
+}
+
+SweepResult
+SweepKernel::sweepGrid(unsigned max_workers) const
+{
+    SweepResult out;
+    const std::size_t num_jobs = jobs_.size();
+    const std::size_t count = numPoints();
+    if (count == 0)
+        return out;
+
+    BlockColumns cols;
+    for (std::size_t base = 0; base < count; base += kBlockPoints) {
+        const std::size_t block =
+            std::min(kBlockPoints, count - base);
+        cols.resize(block);
+
+        const std::size_t chunks =
+            (block + kPointChunk - 1) / kPointChunk;
+        ThreadPool::shared().parallelFor(
+            chunks, /*chunk=*/1,
+            [&](std::size_t chunk_index) {
+                const std::size_t begin = chunk_index * kPointChunk;
+                const std::size_t end =
+                    std::min(begin + kPointChunk, block);
+                for (std::size_t slot = begin; slot < end; ++slot)
+                    evaluatePointInto(base + slot, slot, cols);
+            },
+            max_workers > 0 ? max_workers
+                            : ThreadPool::defaultThreadCount());
+
+        // Serial grid-order reduction: entries, counters and warning
+        // lines come out byte-identical to the scalar path at any
+        // thread count.
+        for (std::size_t slot = 0; slot < block; ++slot) {
+            const std::size_t index = base + slot;
+            switch (cols.status[slot]) {
+            case PointStatus::feasible: {
+                SweepEntry entry;
+                entry.mapping = mappings_[index / num_jobs];
+                entry.batchSize = jobs_[index % num_jobs].batchSize;
+                packResult(cols, slot, entry.result);
+                out.entries.push_back(std::move(entry));
+                break;
+            }
+            case PointStatus::infeasible:
+                ++out.skipped;
+                break;
+            case PointStatus::overMemory:
+                ++out.memorySkipped;
+                break;
+            case PointStatus::failedPoint: {
+                const auto &m = mappings_[index / num_jobs];
+                const double batch =
+                    jobs_[index % num_jobs].batchSize;
+                log::warn("sweep point ", m.toString(), " batch ",
+                          batch, " failed (", cols.failures[slot],
+                          "); pinning it to nan");
+                SweepEntry entry;
+                entry.mapping = m;
+                entry.batchSize = batch;
+                entry.result = nanPinnedResult();
+                out.entries.push_back(std::move(entry));
+                ++out.failed;
+                break;
+            }
+            }
+        }
+    }
+    return out;
+}
+
+void
+SweepKernel::evaluatePoints(const std::vector<std::size_t> &indices,
+                            std::vector<Outcome> &outcomes,
+                            unsigned max_workers) const
+{
+    const std::size_t count = indices.size();
+    if (count == 0)
+        return;
+
+    BlockColumns cols;
+    for (std::size_t base = 0; base < count; base += kBlockPoints) {
+        const std::size_t block =
+            std::min(kBlockPoints, count - base);
+        cols.resize(block);
+
+        const std::size_t chunks =
+            (block + kPointChunk - 1) / kPointChunk;
+        ThreadPool::shared().parallelFor(
+            chunks, /*chunk=*/1,
+            [&](std::size_t chunk_index) {
+                const std::size_t begin = chunk_index * kPointChunk;
+                const std::size_t end =
+                    std::min(begin + kPointChunk, block);
+                for (std::size_t slot = begin; slot < end; ++slot)
+                    evaluatePointInto(indices[base + slot], slot,
+                                      cols);
+            },
+            max_workers > 0 ? max_workers
+                            : ThreadPool::defaultThreadCount());
+
+        for (std::size_t slot = 0; slot < block; ++slot) {
+            Outcome outcome;
+            outcome.status = cols.status[slot];
+            switch (cols.status[slot]) {
+            case PointStatus::feasible:
+                packResult(cols, slot, outcome.result);
+                break;
+            case PointStatus::failedPoint:
+                outcome.failure = std::move(cols.failures[slot]);
+                outcome.result = nanPinnedResult();
+                break;
+            case PointStatus::infeasible:
+            case PointStatus::overMemory:
+                break;
+            }
+            outcomes.push_back(std::move(outcome));
+        }
+    }
+}
+
+} // namespace explore
+} // namespace amped

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The shared per-point evaluation kernel behind the batched sweep
+ * engine and the branch-and-bound strategy optimizer.
+ *
+ * explore/batch.hpp documents the batched structure-of-arrays sweep;
+ * this header factors its machinery into a reusable object so that
+ * explore/optimizer.hpp can evaluate *individual* surviving grid
+ * points through the exact same code path.  A SweepKernel owns, for
+ * one (mappings x jobs) grid:
+ *
+ *  1. The grid-constant tables: per-mapping facts (MappingInfo),
+ *     per-job facts (JobInfo), and the (job x (dp, pp)-class) table
+ *     of microbatching facts (JcEntry).  Two mappings share a class
+ *     when they agree on the total data-parallel and pipeline
+ *     degrees; within a class every compute term of the additive
+ *     model is constant and only the communication terms vary with
+ *     the intra/inter split.
+ *  2. A primed core::SweepTermCache serving every distinct per-layer
+ *     sum as an O(1) lookup.
+ *  3. The per-point evaluator that classifies a grid point as
+ *     feasible / infeasible / over-memory / failed and assembles its
+ *     core::EvaluationResult — bit-identical to the scalar
+ *     AmpedModel::evaluate path (the contract in
+ *     core/batch_terms.hpp), regardless of whether the point is
+ *     reached by the full-grid block sweep (sweepGrid) or by an
+ *     index list (evaluatePoints).
+ *
+ * The class tables and the term cache are deliberately exposed
+ * read-only: the optimizer's admissible lower bounds are assembled
+ * from exactly these values (DESIGN.md "Branch-and-bound over the
+ * additive model"), so any change to the evaluation order here is a
+ * change to the bound's contract as well.
+ */
+
+#ifndef AMPED_EXPLORE_SWEEP_KERNEL_HPP
+#define AMPED_EXPLORE_SWEEP_KERNEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/batch_terms.hpp"
+#include "core/memory_model.hpp"
+#include "explore/explorer.hpp"
+
+namespace amped {
+namespace explore {
+
+/** Mirrors the scalar sweep's per-point classification. */
+enum class PointStatus : unsigned char
+{
+    infeasible,
+    overMemory,
+    feasible,
+    failedPoint
+};
+
+/** How a pre-computed sub-step ended (0 = fine). */
+enum FailKind : unsigned char
+{
+    kOk = 0,
+    kUserError = 1, ///< Scalar path throws UserError here.
+    kError = 2      ///< Scalar path throws another std::exception.
+};
+
+/** Grid-constant facts about one mapping. */
+struct MappingInfo
+{
+    FailKind kind = kOk;  ///< validateFor(system) outcome.
+    std::string message;  ///< what() when kind == kError.
+    std::uint32_t classIdx = 0; ///< (dp, pp) class index.
+    double workers = 0.0; ///< double(totalWorkers()).
+    double ppD = 0.0;     ///< double(pp()).
+    double stageOverlap = 0.0; ///< 1.0 / double(pp()).
+    std::int64_t pp = 1;
+    std::int64_t tpIntra = 1;
+    std::int64_t tpInter = 1;
+    std::int64_t ppIntra = 1;
+    std::int64_t ppInter = 1;
+    std::size_t gradId = 0;
+};
+
+/** Grid-constant facts about one job. */
+struct JobInfo
+{
+    FailKind validKind = kOk; ///< job.validate() outcome.
+    std::string validMessage;
+    FailKind nbKind = kOk; ///< job.numBatches(seq) outcome.
+    std::string nbMessage;
+    double batch = 0.0;
+    double numBatches = 0.0;
+    std::size_t flopsId = 0;
+};
+
+/**
+ * Per-(job x (dp, pp)-class) microbatching facts.  The microbatch
+ * size, microbatch count and per-replica batch depend on the mapping
+ * only through dp() and pp(), so one row serves every mapping in the
+ * class.
+ */
+struct JcEntry
+{
+    FailKind ubKind = kOk; ///< microbatchSize outcome.
+    std::string ubMessage;
+    /**
+     * First failure of the remaining pre-term steps, recorded in
+     * scalar evaluation order: numMicrobatches, then efficiency.
+     */
+    FailKind preKind = kOk;
+    std::string preMessage;
+    double ub = 0.0;
+    double nub = 0.0;
+    double eff = 0.0;
+    double replicaBatch = 0.0;
+    std::size_t fwdId = 0;
+    std::size_t updId = 0;
+    std::size_t moeId = 0;
+};
+
+/** SoA output columns for one block of points (sweep_kernel.cpp). */
+struct BlockColumns;
+
+/**
+ * One grid's evaluation state: constant tables, primed term cache
+ * and the exact per-point evaluator.  Construction is
+ * single-threaded apart from the internally parallel cache prime;
+ * afterwards every member function is const and thread-safe.
+ *
+ * The mapping and job vectors are held by reference and must outlive
+ * the kernel (both callers — sweepJobsBatched and the Optimizer —
+ * own them for the duration of the search).
+ */
+class SweepKernel
+{
+  public:
+    /**
+     * Builds the tables and primes the term cache for one grid.
+     *
+     * @param model The evaluator (const; never mutated).
+     * @param memory_model Optional memory screen (nullptr = off).
+     * @param mappings Grid rows (mapping-major order).
+     * @param jobs Grid columns.
+     * @param max_workers Parallelism cap for priming (0 = pool).
+     */
+    SweepKernel(const core::AmpedModel &model,
+                const core::MemoryModel *memory_model,
+                const std::vector<mapping::ParallelismConfig> &mappings,
+                const std::vector<core::TrainingJob> &jobs,
+                unsigned max_workers);
+
+    /** Outcome of evaluating one grid point exactly. */
+    struct Outcome
+    {
+        PointStatus status = PointStatus::infeasible;
+        std::string failure; ///< Set when status == failedPoint.
+        /** Valid when feasible; NaN-pinned when failed. */
+        core::EvaluationResult result;
+    };
+
+    /**
+     * Evaluates the whole grid with the batched SoA block loop and
+     * reduces it in grid order — the engine behind sweepJobsBatched
+     * (see explore/batch.hpp for the byte-identity contract).
+     */
+    SweepResult sweepGrid(unsigned max_workers) const;
+
+    /**
+     * Evaluates an arbitrary list of grid indices (index = mapping
+     * index * numJobs() + job index) and appends one Outcome per
+     * index, in list order.  Evaluation runs on the shared pool;
+     * results are deterministic at any worker count.
+     */
+    void evaluatePoints(const std::vector<std::size_t> &indices,
+                        std::vector<Outcome> &outcomes,
+                        unsigned max_workers) const;
+
+    std::size_t numMappings() const { return mappings_.size(); }
+    std::size_t numJobs() const { return jobs_.size(); }
+    std::size_t numPoints() const
+    {
+        return mappings_.size() * jobs_.size();
+    }
+
+    /** Number of distinct (dp, pp) mapping classes. */
+    std::size_t numClasses() const { return classMembers_.size(); }
+
+    const MappingInfo &mappingInfo(std::size_t mapping_index) const
+    {
+        return mappingInfos_[mapping_index];
+    }
+
+    const JobInfo &jobInfo(std::size_t job_index) const
+    {
+        return jobInfos_[job_index];
+    }
+
+    const JcEntry &jcEntry(std::uint32_t class_index,
+                           std::size_t job_index) const
+    {
+        return jc_[class_index * jobs_.size() + job_index];
+    }
+
+    /** Mapping indices belonging to one class, ascending. */
+    const std::vector<std::size_t> &
+    classMembers(std::uint32_t class_index) const
+    {
+        return classMembers_[class_index];
+    }
+
+    const mapping::ParallelismConfig &
+    mappingAt(std::size_t mapping_index) const
+    {
+        return mappings_[mapping_index];
+    }
+
+    const core::TrainingJob &jobAt(std::size_t job_index) const
+    {
+        return jobs_[job_index];
+    }
+
+    /** The primed term cache (bound-side probes live here). */
+    const core::SweepTermCache &termCache() const { return cache_; }
+
+    const core::AmpedModel &model() const { return model_; }
+
+    /** The memory screen, or nullptr when screening is off. */
+    const core::MemoryModel *memoryScreen() const
+    {
+        return memoryModel_;
+    }
+
+  private:
+    /** The exact per-point evaluator (columns stay in the .cpp). */
+    void evaluatePointInto(std::size_t index, std::size_t slot,
+                           BlockColumns &cols) const;
+
+    const core::AmpedModel &model_;
+    const core::MemoryModel *memoryModel_;
+    const std::vector<mapping::ParallelismConfig> &mappings_;
+    const std::vector<core::TrainingJob> &jobs_;
+
+    // Model-option scalars hoisted once (names match batch.cpp).
+    double layersD_ = 0.0;
+    double seqD_ = 0.0;
+    double bwdCompute_ = 0.0;
+    double fb_ = 0.0;
+    double ppMult_ = 0.0;
+    double bubbleRatio_ = 0.0;
+
+    core::SweepTermCache cache_;
+    std::vector<MappingInfo> mappingInfos_;
+    std::vector<JobInfo> jobInfos_;
+    std::vector<JcEntry> jc_;
+    std::vector<std::vector<std::size_t>> classMembers_;
+};
+
+} // namespace explore
+} // namespace amped
+
+#endif // AMPED_EXPLORE_SWEEP_KERNEL_HPP

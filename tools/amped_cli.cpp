@@ -44,6 +44,7 @@
 #include "core/memory_model.hpp"
 #include "core/resilience.hpp"
 #include "explore/explorer.hpp"
+#include "explore/optimizer.hpp"
 #include "explore/report.hpp"
 #include "explore/config_io.hpp"
 #include "explore/registry.hpp"
@@ -242,6 +243,86 @@ cmdExplore(const std::vector<std::string> &args)
         std::cout << explore::sweepCsv(sweep.entries);
     else
         std::cout << explore::sweepTable(sweep.entries);
+    return 0;
+}
+
+/** Parses a comma-separated batch list ("2048,4096,8192"). */
+std::vector<double>
+batchListFrom(const ArgParser &parser)
+{
+    const std::string list = parser.get("batches");
+    if (list.empty())
+        return {parser.getDouble("batch")};
+    std::vector<double> batches;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string token = list.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        try {
+            std::size_t used = 0;
+            const double value = std::stod(token, &used);
+            require(used == token.size() && value > 0.0,
+                    "--batches entry '", token,
+                    "' is not a positive number");
+            batches.push_back(value);
+        } catch (const UserError &) {
+            throw;
+        } catch (const std::exception &) {
+            throw UserError("--batches entry '" + token +
+                            "' is not a positive number");
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return batches;
+}
+
+int
+cmdOptimize(const std::vector<std::string> &args)
+{
+    ArgParser parser;
+    addCommonOptions(parser);
+    parser.addOption("top", "how many strategies to return", "5");
+    parser.addOption("batches",
+                     "comma-separated batch sizes to search "
+                     "(empty = just --batch)", "");
+    parser.addOption("ep", "expert-parallel degree N_EP", "1");
+    parser.addFlag("memory-check",
+                   "prune mappings that exceed device memory");
+    parser.addFlag("csv", "emit CSV instead of an aligned table");
+    parser.parse(args);
+
+    explore::Optimizer optimizer(modelFrom(parser));
+    optimizer.setThreads(
+        static_cast<unsigned>(parser.getInt("threads")));
+    if (parser.getFlag("memory-check")) {
+        optimizer.setMemoryModel(core::MemoryModel(
+            model::OpCounter(modelConfigFrom(parser)),
+            acceleratorConfigFrom(parser)));
+    }
+
+    explore::OptimizerRequest request;
+    request.batchSizes = batchListFrom(parser);
+    request.jobTemplate = jobFrom(parser);
+    request.topK =
+        static_cast<std::size_t>(parser.getInt("top"));
+    request.expertParallel = parser.getInt("ep");
+    const auto result = optimizer.optimize(request);
+
+    const auto &c = result.counters;
+    std::cerr << result.topK.size() << " strategies found; "
+              << c.points << " points searched: " << c.evaluated
+              << " evaluated, " << c.prunedByBound
+              << " pruned by bound, " << c.prunedByMemory
+              << " pruned by memory, " << c.skippedInfeasible
+              << " infeasible\n";
+    if (parser.getFlag("csv"))
+        std::cout << explore::sweepCsv(result.topK);
+    else
+        std::cout << explore::sweepTable(result.topK);
     return 0;
 }
 
@@ -663,8 +744,8 @@ int
 usage()
 {
     std::cout
-        << "usage: amped <evaluate|breakdown|explore|memory|scale|"
-           "resilience|report|trace|presets> [options]\n"
+        << "usage: amped <evaluate|breakdown|explore|optimize|memory|"
+           "scale|resilience|report|trace|presets> [options]\n"
            "run 'amped <subcommand> --help' style options are shown "
            "on any parse error.\n";
     return 2;
@@ -686,6 +767,8 @@ main(int argc, char **argv)
             return cmdEvaluate(args, /*breakdown=*/true);
         if (command == "explore")
             return cmdExplore(args);
+        if (command == "optimize")
+            return cmdOptimize(args);
         if (command == "memory")
             return cmdMemory(args);
         if (command == "scale")

@@ -56,6 +56,7 @@ const std::vector<std::string> kBenches = {
     "resilience_case_study",
     "perf_microbench",
     "obs_run_report",
+    "optimizer_case_study",
 };
 
 /**
