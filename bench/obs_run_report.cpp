@@ -150,6 +150,33 @@ main(int argc, char **argv)
     golden.add("obs/report/metrics/sim_engine_tasks_completed",
                metrics.at("sim.engine.tasks_completed").asDouble());
 
+    // Schema v2 guarantee: the cancellation and admission-queue
+    // families are present in *every* report — zeros here, because
+    // this run installs no token and mounts no queue.
+    golden.add("obs/report/metrics/cancel_tokens",
+               metrics.at("common.cancel.tokens").asDouble());
+    golden.add("obs/report/metrics/cancel_requests",
+               metrics.at("common.cancel.requests").asDouble());
+    golden.add("obs/report/metrics/cancel_checkpoints",
+               metrics.at("common.cancel.checkpoints").asDouble());
+    golden.add("obs/report/metrics/cancel_observed",
+               metrics.at("common.cancel.observed").asDouble());
+    golden.add("obs/report/metrics/cancel_latency_count",
+               metrics.at("common.cancel.latency_seconds.count")
+                   .asDouble());
+    golden.add("obs/report/metrics/queue_depth",
+               metrics.at("common.queue.depth").asDouble());
+    golden.add("obs/report/metrics/queue_submitted",
+               metrics.at("common.queue.submitted").asDouble());
+    golden.add("obs/report/metrics/queue_rejected",
+               metrics.at("common.queue.rejected").asDouble());
+    golden.add("obs/report/metrics/queue_shed",
+               metrics.at("common.queue.shed").asDouble());
+    golden.add("obs/report/metrics/queue_expired",
+               metrics.at("common.queue.expired").asDouble());
+    golden.add("obs/report/metrics/queue_retries",
+               metrics.at("common.queue.retries").asDouble());
+
     // Trace: parse the serialized document back and pin shape facts.
     const std::string trace_json = trace.toJsonString();
     const obs::Json parsed = obs::Json::parse(trace_json);

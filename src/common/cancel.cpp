@@ -1,0 +1,266 @@
+#include "cancel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace amped {
+
+const char *
+toString(RunStatus status)
+{
+    switch (status) {
+    case RunStatus::Completed:
+        return "completed";
+    case RunStatus::Cancelled:
+        return "cancelled";
+    case RunStatus::DeadlineExceeded:
+        return "deadline-exceeded";
+    }
+    return "unknown";
+}
+
+namespace {
+
+class SteadyClock final : public Clock
+{
+  public:
+    double nowSeconds() const override
+    {
+        // steady_clock reads CLOCK_MONOTONIC, which POSIX lists as
+        // async-signal-safe — cancel() relies on that.
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+            .count();
+    }
+};
+
+} // namespace
+
+const Clock &
+Clock::steady()
+{
+    static const SteadyClock clock;
+    return clock;
+}
+
+Deadline
+Deadline::after(double seconds, const Clock &clock)
+{
+    Deadline deadline;
+    deadline.clock_ = &clock;
+    deadline.expiry_ = clock.nowSeconds() + seconds;
+    return deadline;
+}
+
+bool
+Deadline::expired() const
+{
+    return clock_ != nullptr && clock_->nowSeconds() >= expiry_;
+}
+
+double
+Deadline::remainingSeconds() const
+{
+    if (clock_ == nullptr)
+        return std::numeric_limits<double>::infinity();
+    return std::max(0.0, expiry_ - clock_->nowSeconds());
+}
+
+/**
+ * Shared token state.  Everything the signal-context cancel() path
+ * touches is a lock-free atomic or a pre-resolved pointer; the
+ * registry lookup (which takes a mutex) happens once in make().
+ */
+struct CancelToken::State
+{
+    std::shared_ptr<State> parent;
+    Deadline deadline;
+
+    /** The time source pairing cancel() stamps with latency reads. */
+    const Clock *clock = &Clock::steady();
+
+    std::atomic<bool> cancelled{false};
+    /** When the first cancel() landed (clock seconds); inf = never. */
+    std::atomic<double> requestSeconds{
+        std::numeric_limits<double>::infinity()};
+    /** Latched by the first checkpoint that observes a stop. */
+    std::atomic<bool> observed{false};
+    std::atomic<std::uint64_t> checkpoints{0};
+    /** tripAfterCheckpoints seam; 0 = disabled. */
+    std::atomic<std::uint64_t> tripAt{0};
+
+    // Metric handles, shared down the child chain (one registry per
+    // token tree).  Never null on a live state.
+    obs::Counter *tokensCounter = nullptr;
+    obs::Counter *requestsCounter = nullptr;
+    obs::Counter *checkpointsCounter = nullptr;
+    obs::Counter *observedCounter = nullptr;
+    obs::Histogram *latencyHistogram = nullptr;
+};
+
+CancelToken
+CancelToken::make(Deadline deadline, obs::MetricsRegistry *registry)
+{
+    obs::MetricsRegistry &reg =
+        registry != nullptr ? *registry
+                            : obs::MetricsRegistry::global();
+    auto state = std::make_shared<State>();
+    state->deadline = deadline;
+    if (deadline.clock() != nullptr)
+        state->clock = deadline.clock();
+    state->tokensCounter = &reg.counter("common.cancel.tokens");
+    state->requestsCounter = &reg.counter("common.cancel.requests");
+    state->checkpointsCounter =
+        &reg.counter("common.cancel.checkpoints");
+    state->observedCounter = &reg.counter("common.cancel.observed");
+    state->latencyHistogram = &reg.histogram(
+        "common.cancel.latency_seconds", /*timing=*/true);
+    state->tokensCounter->add(1);
+
+    CancelToken token;
+    token.state_ = std::move(state);
+    return token;
+}
+
+CancelToken
+CancelToken::child(Deadline deadline) const
+{
+    if (state_ == nullptr)
+        return make(deadline);
+    auto state = std::make_shared<State>();
+    state->parent = state_;
+    state->deadline = deadline;
+    state->clock = deadline.clock() != nullptr ? deadline.clock()
+                                               : state_->clock;
+    state->tokensCounter = state_->tokensCounter;
+    state->requestsCounter = state_->requestsCounter;
+    state->checkpointsCounter = state_->checkpointsCounter;
+    state->observedCounter = state_->observedCounter;
+    state->latencyHistogram = state_->latencyHistogram;
+    state->tokensCounter->add(1);
+
+    CancelToken token;
+    token.state_ = std::move(state);
+    return token;
+}
+
+void
+CancelToken::cancel() const
+{
+    if (state_ == nullptr)
+        return;
+    // Stamp the request time first so any checkpoint that sees the
+    // flag also sees a finite stamp (relaxed is fine: the stamp only
+    // feeds the advisory latency histogram).
+    double expected = std::numeric_limits<double>::infinity();
+    state_->requestSeconds.compare_exchange_strong(
+        expected, state_->clock->nowSeconds(),
+        std::memory_order_relaxed);
+    if (!state_->cancelled.exchange(true, std::memory_order_release))
+        state_->requestsCounter->add(1);
+}
+
+bool
+CancelToken::cancelRequested() const
+{
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+}
+
+RunStatus
+CancelToken::status() const
+{
+    if (state_ == nullptr)
+        return RunStatus::Completed;
+    // Explicit cancellation anywhere in the chain wins over deadline
+    // expiry anywhere in the chain.
+    for (const State *s = state_.get(); s != nullptr;
+         s = s->parent.get())
+        if (s->cancelled.load(std::memory_order_acquire))
+            return RunStatus::Cancelled;
+    for (const State *s = state_.get(); s != nullptr;
+         s = s->parent.get())
+        if (s->deadline.expired())
+            return RunStatus::DeadlineExceeded;
+    return RunStatus::Completed;
+}
+
+RunStatus
+CancelToken::checkpoint() const
+{
+    if (state_ == nullptr)
+        return RunStatus::Completed;
+    state_->checkpointsCounter->add(1);
+    const std::uint64_t seen =
+        state_->checkpoints.fetch_add(1, std::memory_order_relaxed) +
+        1;
+    const std::uint64_t trip =
+        state_->tripAt.load(std::memory_order_relaxed);
+    if (trip != 0 && seen >= trip)
+        cancel();
+
+    const RunStatus result = status();
+    if (result == RunStatus::Completed)
+        return result;
+
+    bool expected = false;
+    if (state_->observed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+        // First observation: record request-to-checkpoint latency.
+        // Reference time: the earliest trigger found on the chain —
+        // the cancel() stamp for explicit requests, the expiry for
+        // deadlines — read against that node's own clock so manual
+        // test clocks measure deterministically.
+        double latency = 0.0;
+        if (result == RunStatus::Cancelled) {
+            for (const State *s = state_.get(); s != nullptr;
+                 s = s->parent.get()) {
+                if (!s->cancelled.load(std::memory_order_acquire))
+                    continue;
+                const double stamp = s->requestSeconds.load(
+                    std::memory_order_relaxed);
+                if (std::isfinite(stamp))
+                    latency = std::max(
+                        0.0, s->clock->nowSeconds() - stamp);
+                break;
+            }
+        } else {
+            for (const State *s = state_.get(); s != nullptr;
+                 s = s->parent.get()) {
+                if (!s->deadline.expired())
+                    continue;
+                latency = std::max(
+                    0.0, s->deadline.clock()->nowSeconds() -
+                             s->deadline.expirySeconds());
+                break;
+            }
+        }
+        state_->observedCounter->add(1);
+        state_->latencyHistogram->observe(latency);
+    }
+    return result;
+}
+
+void
+CancelToken::tripAfterCheckpoints(std::uint64_t n) const
+{
+    if (state_ != nullptr)
+        state_->tripAt.store(n, std::memory_order_relaxed);
+}
+
+void
+registerCancellationMetrics(obs::MetricsRegistry &registry)
+{
+    registry.counter("common.cancel.tokens");
+    registry.counter("common.cancel.requests");
+    registry.counter("common.cancel.checkpoints");
+    registry.counter("common.cancel.observed");
+    registry.histogram("common.cancel.latency_seconds",
+                       /*timing=*/true);
+}
+
+} // namespace amped

@@ -73,6 +73,15 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
                         const std::function<void(std::size_t)> &fn,
                         std::size_t max_workers)
 {
+    parallelFor(n, chunk, fn, CancelToken(), max_workers);
+}
+
+RunStatus
+ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
+                        const std::function<void(std::size_t)> &fn,
+                        const CancelToken &token,
+                        std::size_t max_workers)
+{
     // Counters fire for every call — including the n == 0 early-out
     // and the serial path — so the totals depend only on the
     // workload, not on how many threads ended up running it.
@@ -88,7 +97,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
     obs::ScopedTimer timer(loop_seconds);
 
     if (n == 0)
-        return;
+        return RunStatus::Completed;
     if (chunk == 0)
         chunk = 1;
 
@@ -99,9 +108,17 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
     parallelism = std::min(parallelism, task_count);
 
     if (parallelism <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
+        for (std::size_t begin = 0; begin < n; begin += chunk) {
+            if (token.installed()) {
+                const RunStatus status = token.status();
+                if (status != RunStatus::Completed)
+                    return status;
+            }
+            const std::size_t end = std::min(begin + chunk, n);
+            for (std::size_t i = begin; i < end; ++i)
+                fn(i);
+        }
+        return RunStatus::Completed;
     }
 
     // Shared loop state.  Helpers may still be queued when the
@@ -113,6 +130,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
         std::atomic<std::size_t> cursor{0};
         std::atomic<std::size_t> pending{0};
         std::atomic<bool> abort{false};
+        std::atomic<bool> stopped{false}; ///< Token observed a stop.
         std::mutex doneMutex;
         std::condition_variable done;
         std::mutex errorMutex;
@@ -122,8 +140,16 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
     auto state = std::make_shared<LoopState>();
     const std::function<void(std::size_t)> *body = &fn;
 
-    auto drain = [state, n, chunk, body] {
+    auto drain = [state, n, chunk, body, token] {
         while (!state->abort.load(std::memory_order_relaxed)) {
+            if (token.installed() &&
+                token.status() != RunStatus::Completed) {
+                // Abandon remaining chunks at this boundary; peers
+                // notice through the shared abort flag.
+                state->stopped.store(true, std::memory_order_relaxed);
+                state->abort.store(true, std::memory_order_relaxed);
+                return;
+            }
             const std::size_t begin =
                 state->cursor.fetch_add(chunk, std::memory_order_relaxed);
             if (begin >= n)
@@ -185,6 +211,10 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
 
     if (state->error)
         std::rethrow_exception(state->error);
+
+    if (state->stopped.load(std::memory_order_relaxed))
+        return token.status();
+    return RunStatus::Completed;
 }
 
 } // namespace amped

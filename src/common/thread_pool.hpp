@@ -37,6 +37,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
+
 namespace amped {
 
 /**
@@ -95,6 +97,25 @@ class ThreadPool
     void parallelFor(std::size_t n, std::size_t chunk,
                      const std::function<void(std::size_t)> &fn,
                      std::size_t max_workers = 0);
+
+    /**
+     * Cancellable parallelFor: additionally polls @p token
+     * (status(), not checkpoint() — chunk boundaries are not
+     * deterministic observation points) at every chunk boundary and
+     * abandons remaining chunks once it answers non-Completed.
+     *
+     * Returns Completed when every index ran; otherwise the token's
+     * stop status.  On a stop, which indices ran is scheduling-
+     * dependent — callers needing deterministic partial results must
+     * checkpoint *between* parallelFor calls (the block/wave
+     * discipline in common/cancel.hpp) and discard the loop's
+     * output.  An inert token makes this identical to the plain
+     * overload.
+     */
+    RunStatus parallelFor(std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t)> &fn,
+                          const CancelToken &token,
+                          std::size_t max_workers = 0);
 
     /**
      * AMPED_THREADS when set to a positive integer, otherwise

@@ -1,0 +1,216 @@
+#include "work_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace amped {
+
+WorkQueue::WorkQueue(WorkQueueOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : &Clock::steady()),
+      jitter_(options.jitterSeed)
+{
+    require(options_.capacity >= 1,
+            "WorkQueue: capacity must be >= 1, got ",
+            options_.capacity);
+    require(options_.maxAttempts >= 1,
+            "WorkQueue: maxAttempts must be >= 1, got ",
+            options_.maxAttempts);
+    require(options_.initialBackoffSeconds >= 0.0 &&
+                std::isfinite(options_.initialBackoffSeconds),
+            "WorkQueue: initialBackoffSeconds must be finite and "
+            ">= 0, got ",
+            options_.initialBackoffSeconds);
+    require(options_.backoffMultiplier >= 1.0,
+            "WorkQueue: backoffMultiplier must be >= 1, got ",
+            options_.backoffMultiplier);
+    require(options_.maxBackoffSeconds >=
+                options_.initialBackoffSeconds,
+            "WorkQueue: maxBackoffSeconds (",
+            options_.maxBackoffSeconds,
+            ") must be >= initialBackoffSeconds (",
+            options_.initialBackoffSeconds, ")");
+
+    obs::MetricsRegistry &reg =
+        options_.registry != nullptr ? *options_.registry
+                                     : obs::MetricsRegistry::global();
+    depthGauge_ = &reg.gauge("common.queue.depth");
+    submittedCounter_ = &reg.counter("common.queue.submitted");
+    completedCounter_ = &reg.counter("common.queue.completed");
+    rejectedCounter_ = &reg.counter("common.queue.rejected");
+    shedCounter_ = &reg.counter("common.queue.shed");
+    expiredCounter_ = &reg.counter("common.queue.expired");
+    retriesCounter_ = &reg.counter("common.queue.retries");
+    failedCounter_ = &reg.counter("common.queue.failed");
+    publishDepth();
+}
+
+double
+WorkQueue::nowSeconds() const
+{
+    return clock_->nowSeconds();
+}
+
+double
+WorkQueue::backoffSeconds(unsigned retry_index)
+{
+    double backoff = options_.initialBackoffSeconds;
+    for (unsigned i = 1; i < retry_index; ++i)
+        backoff *= options_.backoffMultiplier;
+    backoff = std::min(backoff, options_.maxBackoffSeconds);
+    // Jitter factor in [0.5, 1): decorrelates retry storms without
+    // ever exceeding the nominal backoff; the stream is seeded per
+    // queue, so retry schedules are reproducible.
+    return backoff * (0.5 + 0.5 * jitter_.uniformReal(0.0, 1.0));
+}
+
+void
+WorkQueue::publishDepth()
+{
+    depthGauge_->set(static_cast<double>(items_.size()));
+}
+
+WorkQueue::Admission
+WorkQueue::submit(std::function<void()> task, Deadline deadline)
+{
+    Admission admission;
+    if (items_.size() >= options_.capacity) {
+        if (options_.policy == OverloadPolicy::rejectNewest) {
+            rejectedCounter_->add(1);
+            return admission; // accepted == false
+        }
+        // shedOldest: the head has waited longest; drop it.
+        WorkItemResult shed;
+        shed.id = items_.front().id;
+        shed.outcome = ItemOutcome::shed;
+        shed.attempts = items_.front().attempts;
+        items_.pop_front();
+        shedCounter_->add(1);
+        admission.shedItem = std::move(shed);
+    }
+
+    Item item;
+    item.id = nextId_++;
+    item.task = std::move(task);
+    item.deadline = deadline;
+    item.notBeforeSeconds = -std::numeric_limits<double>::infinity();
+    items_.push_back(std::move(item));
+    submittedCounter_->add(1);
+    publishDepth();
+
+    admission.accepted = true;
+    admission.id = items_.back().id;
+    return admission;
+}
+
+std::vector<WorkItemResult>
+WorkQueue::drainReady()
+{
+    std::vector<WorkItemResult> results;
+    for (;;) {
+        // First runnable item in admission order; retries re-enter
+        // at the back with a notBefore gate, so a backing-off item
+        // never starves the items admitted after it.
+        const double now = nowSeconds();
+        auto it = std::find_if(
+            items_.begin(), items_.end(), [now](const Item &item) {
+                return item.notBeforeSeconds <= now;
+            });
+        if (it == items_.end())
+            break;
+
+        Item item = std::move(*it);
+        items_.erase(it);
+
+        if (item.deadline.expired()) {
+            expiredCounter_->add(1);
+            WorkItemResult result;
+            result.id = item.id;
+            result.outcome = ItemOutcome::expired;
+            result.attempts = item.attempts;
+            results.push_back(std::move(result));
+            continue;
+        }
+
+        ++item.attempts;
+        bool transient = false;
+        std::string error;
+        try {
+            item.task();
+        } catch (const TransientError &e) {
+            transient = true;
+            error = e.what();
+        } catch (const std::exception &e) {
+            error = e.what();
+            WorkItemResult result;
+            result.id = item.id;
+            result.outcome = ItemOutcome::failed;
+            result.attempts = item.attempts;
+            result.error = std::move(error);
+            failedCounter_->add(1);
+            results.push_back(std::move(result));
+            continue;
+        }
+
+        if (!transient) {
+            completedCounter_->add(1);
+            WorkItemResult result;
+            result.id = item.id;
+            result.outcome = ItemOutcome::completed;
+            result.attempts = item.attempts;
+            results.push_back(std::move(result));
+            continue;
+        }
+
+        if (item.attempts >= options_.maxAttempts) {
+            failedCounter_->add(1);
+            WorkItemResult result;
+            result.id = item.id;
+            result.outcome = ItemOutcome::failed;
+            result.attempts = item.attempts;
+            result.error = std::move(error);
+            results.push_back(std::move(result));
+            continue;
+        }
+
+        // Transient failure with attempts left: back off and requeue.
+        retriesCounter_->add(1);
+        item.lastError = std::move(error);
+        item.notBeforeSeconds =
+            nowSeconds() + backoffSeconds(item.attempts);
+        items_.push_back(std::move(item));
+    }
+    publishDepth();
+    return results;
+}
+
+double
+WorkQueue::nextReadySeconds() const
+{
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const Item &item : items_)
+        earliest = std::min(earliest, item.notBeforeSeconds);
+    // An item admitted with no backoff is runnable immediately.
+    return std::max(earliest, nowSeconds());
+}
+
+void
+registerWorkQueueMetrics(obs::MetricsRegistry &registry)
+{
+    registry.gauge("common.queue.depth");
+    registry.counter("common.queue.submitted");
+    registry.counter("common.queue.completed");
+    registry.counter("common.queue.rejected");
+    registry.counter("common.queue.shed");
+    registry.counter("common.queue.expired");
+    registry.counter("common.queue.retries");
+    registry.counter("common.queue.failed");
+}
+
+} // namespace amped

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Bounded admission queue with overload shedding, per-item
+ * deadlines, and retry-with-backoff — the backpressure substrate the
+ * ROADMAP's `amped serve` service will mount in front of the
+ * evaluation engines.
+ *
+ * Design: the queue is *caller-driven* and synchronous.  It owns no
+ * threads; submit() admits (or sheds/rejects) work and drainReady()
+ * runs whatever is runnable at the clock's current time on the
+ * calling thread.  A service loop alternates the two; tests drive
+ * them with a ManualClock so every behavior — capacity rejection,
+ * shed-oldest, queued-deadline expiry, exponential backoff — is
+ * exactly reproducible without sleeping.
+ *
+ * Failure taxonomy (mirrors the sweep engines' UserError / error
+ * split, DESIGN.md "Cancellation and overload control"):
+ *
+ *  - TransientError: the designated "try again" class (downstream
+ *    briefly overloaded, resource momentarily unavailable).  The
+ *    item is re-enqueued with exponential backoff plus seeded jitter
+ *    until WorkQueueOptions::maxAttempts is exhausted.
+ *  - Any other exception: a permanent failure; the item finishes
+ *    with ItemOutcome::failed and its message, no retry.
+ *
+ * Observability (`common.queue.*`): depth gauge plus submitted /
+ * completed / rejected / shed / expired / retries / failed counters.
+ */
+
+#ifndef AMPED_COMMON_WORK_QUEUE_HPP
+#define AMPED_COMMON_WORK_QUEUE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/rng.hpp"
+
+namespace amped {
+
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+} // namespace obs
+
+/**
+ * The designated transient failure class: a task throwing this is
+ * retried with backoff; any other exception fails it permanently.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(std::string message)
+        : std::runtime_error(std::move(message))
+    {}
+};
+
+/** What to do with new work when the queue is full. */
+enum class OverloadPolicy : unsigned char
+{
+    rejectNewest, ///< Refuse the incoming item (caller sees it).
+    shedOldest,   ///< Drop the oldest queued item, admit the new one.
+};
+
+/** Queue sizing, retry, and injection knobs. */
+struct WorkQueueOptions
+{
+    /** Maximum queued items (>= 1). */
+    std::size_t capacity = 64;
+
+    OverloadPolicy policy = OverloadPolicy::rejectNewest;
+
+    /** Total runs of one item, first attempt included (>= 1). */
+    unsigned maxAttempts = 3;
+
+    /** Backoff before retry k (1-based): min(maxBackoffSeconds,
+     *  initialBackoffSeconds * backoffMultiplier^(k-1)), scaled by a
+     *  jitter factor in [0.5, 1). */
+    double initialBackoffSeconds = 0.05;
+    double backoffMultiplier = 2.0;
+    double maxBackoffSeconds = 5.0;
+
+    /** Seed of the jitter stream (deterministic per queue). */
+    std::uint64_t jitterSeed = 0;
+
+    /** Time source (nullptr = the steady monotonic clock). */
+    const Clock *clock = nullptr;
+
+    /** Metrics destination (nullptr = the global registry). */
+    obs::MetricsRegistry *registry = nullptr;
+};
+
+/** How one admitted item ended. */
+enum class ItemOutcome : unsigned char
+{
+    completed, ///< Task ran and returned.
+    expired,   ///< Deadline passed while queued; task never ran.
+    shed,      ///< Dropped by shed-oldest overload handling.
+    failed,    ///< Permanent failure (non-transient throw or
+               ///< transient failures exhausting maxAttempts).
+};
+
+/** Terminal record for one item (returned by drainReady / submit). */
+struct WorkItemResult
+{
+    std::uint64_t id = 0;    ///< Admission id (from submit()).
+    ItemOutcome outcome = ItemOutcome::completed;
+    unsigned attempts = 0;   ///< Times the task actually ran.
+    std::string error;       ///< Last failure message, if any.
+};
+
+/**
+ * Bounded FIFO admission queue.  Not thread-safe: the service loop
+ * owning it serializes submit/drain (the evaluation work itself
+ * parallelizes on the ThreadPool underneath).
+ */
+class WorkQueue
+{
+  public:
+    explicit WorkQueue(WorkQueueOptions options = {});
+
+    /** Outcome of one submit() call. */
+    struct Admission
+    {
+        bool accepted = false;
+        std::uint64_t id = 0; ///< Valid when accepted.
+        /** The item dropped to make room (shedOldest only). */
+        std::optional<WorkItemResult> shedItem;
+    };
+
+    /**
+     * Admits @p task, applying the overload policy at capacity.
+     *
+     * @param task The work to run (may throw; see the taxonomy).
+     * @param deadline Per-item expiry: an item still queued (or
+     *        awaiting retry) past it finishes as expired without
+     *        running.  never() = none.
+     */
+    Admission submit(std::function<void()> task,
+                     Deadline deadline = Deadline());
+
+    /** Items currently queued (including ones backing off). */
+    std::size_t depth() const { return items_.size(); }
+
+    /**
+     * Runs every item that is runnable now — admission order, skipping
+     * items still backing off — until none is runnable, and returns
+     * the terminal results produced (completed / expired / failed).
+     * Items whose retry backoff has not elapsed stay queued; advance
+     * the clock (or wait) and call again.
+     */
+    std::vector<WorkItemResult> drainReady();
+
+    /**
+     * Clock seconds at which the earliest queued item becomes
+     * runnable; +infinity when the queue is empty.  A service loop
+     * sleeps until this; tests advance their ManualClock to it.
+     */
+    double nextReadySeconds() const;
+
+    const WorkQueueOptions &options() const { return options_; }
+
+  private:
+    struct Item
+    {
+        std::uint64_t id = 0;
+        std::function<void()> task;
+        Deadline deadline;
+        unsigned attempts = 0;      ///< Runs so far.
+        double notBeforeSeconds = 0.0; ///< Backoff gate.
+        std::string lastError;
+    };
+
+    double nowSeconds() const;
+    double backoffSeconds(unsigned retry_index);
+    void publishDepth();
+
+    WorkQueueOptions options_;
+    const Clock *clock_;
+    std::deque<Item> items_;
+    std::uint64_t nextId_ = 1;
+    Rng jitter_;
+
+    obs::Gauge *depthGauge_;
+    obs::Counter *submittedCounter_;
+    obs::Counter *completedCounter_;
+    obs::Counter *rejectedCounter_;
+    obs::Counter *shedCounter_;
+    obs::Counter *expiredCounter_;
+    obs::Counter *retriesCounter_;
+    obs::Counter *failedCounter_;
+};
+
+/**
+ * Pre-registers every `common.queue.*` metric in @p registry (the
+ * run-report schema v2 guarantee, as registerCancellationMetrics).
+ */
+void registerWorkQueueMetrics(obs::MetricsRegistry &registry);
+
+} // namespace amped
+
+#endif // AMPED_COMMON_WORK_QUEUE_HPP

@@ -324,8 +324,8 @@ SweepTermCache::primeModelFlops(Entry &entry) const
     }
 }
 
-void
-SweepTermCache::prime(unsigned max_workers)
+RunStatus
+SweepTermCache::prime(unsigned max_workers, const CancelToken &token)
 {
     const std::size_t workers =
         max_workers > 0 ? max_workers
@@ -337,12 +337,14 @@ SweepTermCache::prime(unsigned max_workers)
         if (opsTables_[i].outcome == Outcome::pending)
             pending_tables.push_back(i);
     if (!pending_tables.empty()) {
-        ThreadPool::shared().parallelFor(
+        const RunStatus status = ThreadPool::shared().parallelFor(
             pending_tables.size(), /*chunk=*/1,
             [&](std::size_t i) {
                 primeOpsTable(opsTables_[pending_tables[i]]);
             },
-            workers);
+            token, workers);
+        if (status != RunStatus::Completed)
+            return status;
     }
 
     // Phase 2: every pending entry, each an independent pure
@@ -368,9 +370,9 @@ SweepTermCache::prime(unsigned max_workers)
     collect(kGrad, grad_);
     collect(kFlops, flops_);
     if (work.empty())
-        return;
+        return RunStatus::Completed;
 
-    ThreadPool::shared().parallelFor(
+    return ThreadPool::shared().parallelFor(
         work.size(), /*chunk=*/8,
         [&](std::size_t i) {
             const auto [kind, index] = work[i];
@@ -392,7 +394,7 @@ SweepTermCache::prime(unsigned max_workers)
                 break;
             }
         },
-        workers);
+        token, workers);
 }
 
 void

@@ -50,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/amped_model.hpp"
 #include "hw/accelerator.hpp"
 #include "net/system_config.hpp"
@@ -102,9 +103,15 @@ class SweepTermCache
      * Parallelized on the shared ThreadPool (results are
      * deterministic: each entry is an independent pure computation).
      *
+     * Cancellable: @p token is polled between phases and between
+     * parallelFor chunks.  On a stop, unfilled entries stay pending —
+     * a later prime() (with a fresh token) completes them; lookups
+     * before that assert.  Inert token = always Completed.
+     *
      * @param max_workers Parallelism cap (0 = whole pool).
      */
-    void prime(unsigned max_workers = 0);
+    RunStatus prime(unsigned max_workers = 0,
+                    const CancelToken &token = {});
 
     // -----------------------------------------------------------------
     // Lookups: const, thread-safe after prime().  Poisoned entries

@@ -216,7 +216,8 @@ MonteCarloStats
 monteCarloTimeToTrain(Seconds solve_seconds,
                       const ResilienceConfig &config,
                       std::size_t replications, std::uint64_t seed,
-                      ThreadPool &pool, std::size_t max_workers)
+                      ThreadPool &pool, std::size_t max_workers,
+                      const CancelToken &token)
 {
     config.validate();
     require(std::isfinite(solve_seconds.value())
@@ -258,37 +259,65 @@ monteCarloTimeToTrain(Seconds solve_seconds,
     };
 
     // Per-replication slots keep the reduction independent of
-    // scheduling; Rng(seed + r) decouples replications.
+    // scheduling; Rng(seed + r) decouples replications, which is
+    // also what makes the cancelled prefix exact: the first
+    // `completed` slots of a stopped run hold the same draws a full
+    // run puts there.  One checkpoint per fixed-size block is the
+    // deterministic stop granularity.
+    constexpr std::size_t kBlockReplications = 4096;
     std::vector<double> totals(replications, 0.0);
-    pool.parallelFor(
-        replications, 16,
-        [&](std::size_t r) {
-            Rng rng(seed + static_cast<std::uint64_t>(r));
-            double total = 0.0;
-            for (std::size_t s = 0; s + 1 < seg.count; ++s)
-                total += run_segment(seg.fullWall, rng);
-            total += run_segment(seg.lastWall, rng);
-            totals[r] = total;
-        },
-        max_workers);
-
-    double sum = 0.0;
-    for (double t : totals)
-        sum += t;
-    const double mean = sum / static_cast<double>(replications);
-    double var = 0.0;
-    for (double t : totals)
-        var += (t - mean) * (t - mean);
-    if (replications > 1)
-        var /= static_cast<double>(replications - 1);
+    std::size_t completed = 0;
+    RunStatus run_status = RunStatus::Completed;
+    for (std::size_t base = 0; base < replications;
+         base += kBlockReplications) {
+        const RunStatus stop = token.checkpoint();
+        if (stop != RunStatus::Completed) {
+            run_status = stop;
+            break;
+        }
+        const std::size_t block =
+            std::min(kBlockReplications, replications - base);
+        const RunStatus loop = pool.parallelFor(
+            block, 16,
+            [&](std::size_t i) {
+                const std::size_t r = base + i;
+                Rng rng(seed + static_cast<std::uint64_t>(r));
+                double total = 0.0;
+                for (std::size_t s = 0; s + 1 < seg.count; ++s)
+                    total += run_segment(seg.fullWall, rng);
+                total += run_segment(seg.lastWall, rng);
+                totals[r] = total;
+            },
+            token, max_workers);
+        if (loop != RunStatus::Completed) {
+            // Mid-block stop: slots are torn; drop the whole block.
+            run_status = loop;
+            break;
+        }
+        completed += block;
+    }
 
     MonteCarloStats stats;
-    stats.replications = replications;
+    stats.status = run_status;
+    stats.replications = completed;
+    if (completed == 0)
+        return stats;
+
+    double sum = 0.0;
+    for (std::size_t r = 0; r < completed; ++r)
+        sum += totals[r];
+    const double mean = sum / static_cast<double>(completed);
+    double var = 0.0;
+    for (std::size_t r = 0; r < completed; ++r)
+        var += (totals[r] - mean) * (totals[r] - mean);
+    if (completed > 1)
+        var /= static_cast<double>(completed - 1);
+
     stats.meanSeconds = Seconds{mean};
     stats.stddevSeconds = Seconds{std::sqrt(var)};
     stats.standardError =
         stats.stddevSeconds
-        / std::sqrt(static_cast<double>(replications));
+        / std::sqrt(static_cast<double>(completed));
     return stats;
 }
 

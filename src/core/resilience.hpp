@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/cancel.hpp"
 #include "common/quantity.hpp"
 #include "core/memory_model.hpp"
 #include "net/link.hpp"
@@ -93,7 +94,19 @@ struct MonteCarloStats
     Seconds meanSeconds{0.0};
     Seconds stddevSeconds{0.0};
     Seconds standardError{0.0}; ///< stddev / sqrt(replications).
+
+    /**
+     * Replications the statistics actually cover.  Equals the request
+     * when status is Completed; on a stop it is the whole number of
+     * replication blocks finished before the checkpoint that
+     * observed it (replication r always uses Rng(seed + r), so the
+     * prefix statistics are the same ones a full run computes over
+     * its first `replications` slots).
+     */
     std::size_t replications = 0;
+
+    /** How the estimation ended (see common/cancel.hpp). */
+    RunStatus status = RunStatus::Completed;
 };
 
 /**
@@ -166,16 +179,24 @@ ResilienceEstimate estimateTimeToTrain(Seconds solve_seconds,
  * index-order reduction, so the statistics are byte-identical for
  * every thread count / @p max_workers cap.
  *
+ * Cancellable: replications run in fixed-size blocks with one
+ * token checkpoint before each block, so a stop yields statistics
+ * over a deterministic replication prefix (MonteCarloStats::status /
+ * replications).  A stop before the first block completes returns
+ * zeroed statistics with replications == 0.
+ *
  * @param replications Number of replications (>= 1).
  * @param seed Base seed; replication r uses Rng(seed + r).
  * @param pool Worker pool (e.g. ThreadPool::shared()).
  * @param max_workers Optional per-call parallelism cap (0 = pool).
+ * @param token Cooperative stop request (inert by default).
  */
 MonteCarloStats
 monteCarloTimeToTrain(Seconds solve_seconds,
                       const ResilienceConfig &config,
                       std::size_t replications, std::uint64_t seed,
-                      ThreadPool &pool, std::size_t max_workers = 0);
+                      ThreadPool &pool, std::size_t max_workers = 0,
+                      const CancelToken &token = {});
 
 } // namespace core
 } // namespace amped

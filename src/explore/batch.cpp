@@ -38,12 +38,13 @@ sweepJobsBatched(
     const core::AmpedModel &model,
     const core::MemoryModel *memory_model,
     const std::vector<mapping::ParallelismConfig> &mappings,
-    const std::vector<core::TrainingJob> &jobs, unsigned max_workers)
+    const std::vector<core::TrainingJob> &jobs, unsigned max_workers,
+    const CancelToken &token)
 {
     if (mappings.size() * jobs.size() == 0)
         return SweepResult{};
     const SweepKernel kernel(model, memory_model, mappings, jobs,
-                             max_workers);
+                             max_workers, token);
     return kernel.sweepGrid(max_workers);
 }
 

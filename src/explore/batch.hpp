@@ -35,13 +35,23 @@
 #ifndef AMPED_EXPLORE_BATCH_HPP
 #define AMPED_EXPLORE_BATCH_HPP
 
+#include <cstddef>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/memory_model.hpp"
 #include "explore/explorer.hpp"
 
 namespace amped {
 namespace explore {
+
+/**
+ * Points per SoA block: caps column memory at a few megabytes, and —
+ * because both sweep engines call CancelToken::checkpoint() exactly
+ * once per block — defines the cancellation granularity: a stopped
+ * sweep's result is always a whole number of blocks.
+ */
+inline constexpr std::size_t kSweepBlockPoints = std::size_t{1} << 16;
 
 /**
  * Evaluates the (mapping x job) grid with the batched SoA engine.
@@ -52,18 +62,23 @@ namespace explore {
  * as the scalar path classifies it, failed points are NaN-pinned with
  * the same warning line, and entries come out in grid order.
  *
+ * Cancellable: @p token is checkpointed between blocks; a stop
+ * returns the deterministic block-prefix described by
+ * SweepResult::status / visitedPoints / cancelledUnvisited.
+ *
  * @param model The evaluator (const; never mutated).
  * @param memory_model Optional memory screen (nullptr = disabled).
  * @param mappings Grid rows (mapping-major order).
  * @param jobs Grid columns.
  * @param max_workers Parallelism cap (0 = whole shared pool).
+ * @param token Cooperative stop request (inert by default).
  */
 SweepResult
 sweepJobsBatched(const core::AmpedModel &model,
                  const core::MemoryModel *memory_model,
                  const std::vector<mapping::ParallelismConfig> &mappings,
                  const std::vector<core::TrainingJob> &jobs,
-                 unsigned max_workers);
+                 unsigned max_workers, const CancelToken &token = {});
 
 /**
  * A result with every numeric field pinned to NaN — the golden

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/quantity.hpp"
 #include "common/units.hpp"
+#include "mapping/parallelism.hpp"
 
 namespace amped {
 namespace explore {
@@ -165,6 +166,31 @@ net::SystemConfig
 systemFromFile(const std::string &path)
 {
     return systemFromConfig(KeyValueConfig::fromFile(path));
+}
+
+std::size_t
+preflightGridPoints(const net::SystemConfig &system,
+                    std::int64_t max_pipeline, std::size_t num_jobs,
+                    std::size_t max_grid_points)
+{
+    require(num_jobs >= 1,
+            "preflightGridPoints: need >= 1 job variant, got ",
+            num_jobs);
+    const std::size_t mappings =
+        mapping::MappingSpace(system).enumerate(max_pipeline).size();
+    const std::size_t points = mappings * num_jobs;
+    if (max_grid_points != 0 && points > max_grid_points) {
+        throw UserError(
+            "sweep grid has " + std::to_string(points) + " points ("
+            + std::to_string(mappings) + " mappings of nodes = "
+            + std::to_string(system.numNodes) + " x per-node = "
+            + std::to_string(system.acceleratorsPerNode) + " times "
+            + std::to_string(num_jobs)
+            + " batch/job variants), exceeding --max-grid-points = "
+            + std::to_string(max_grid_points)
+            + "; shrink the cluster or batch list, or raise the cap");
+    }
+    return points;
 }
 
 } // namespace explore

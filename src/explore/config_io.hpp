@@ -54,6 +54,27 @@ net::SystemConfig systemFromConfig(const KeyValueConfig &config);
 /** Loads a system config file. */
 net::SystemConfig systemFromFile(const std::string &path);
 
+/**
+ * Admission preflight for sweep-style commands: computes the exact
+ * grid size a sweep over @p system would enumerate — every valid
+ * (tp, pp, dp) mapping (capped at @p max_pipeline total pipeline
+ * stages; 0 = uncapped) times @p num_jobs job variants — and rejects
+ * it up front when it exceeds @p max_grid_points.
+ *
+ * The rejection names the responsible inputs (nodes, per-node,
+ * batch-list length, the cap) and the computed point count, so an
+ * over-ambitious config file fails in milliseconds with an
+ * actionable message instead of soaking the machine for hours.
+ *
+ * @return The computed grid point count (mappings x jobs).
+ * @throws UserError when the grid exceeds @p max_grid_points
+ *         (0 = unlimited, never throws).
+ */
+std::size_t preflightGridPoints(const net::SystemConfig &system,
+                                std::int64_t max_pipeline,
+                                std::size_t num_jobs,
+                                std::size_t max_grid_points);
+
 } // namespace explore
 } // namespace amped
 

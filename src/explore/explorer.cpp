@@ -272,7 +272,8 @@ Explorer::sweepJobs(
             model_, memoryModel_ ? &*memoryModel_ : nullptr, mappings,
             jobs,
             threads_ > 0 ? threads_
-                         : ThreadPool::defaultThreadCount());
+                         : ThreadPool::defaultThreadCount(),
+            token_);
     } else {
         out = sweepJobsScalar(mappings, jobs);
     }
@@ -341,44 +342,71 @@ Explorer::sweepJobsScalar(
         }
     };
 
-    // A point costs microseconds; chunks of 8 keep the cursor cold.
-    ThreadPool::shared().parallelFor(
-        count, /*chunk=*/8, evaluatePoint,
-        threads_ > 0 ? threads_ : ThreadPool::defaultThreadCount());
+    // Blocked like the batched engine (kSweepBlockPoints points per
+    // block, one checkpoint before each), so the two engines share
+    // one cancellation granularity and produce the same deterministic
+    // prefixes.  A point costs microseconds; chunks of 8 keep the
+    // cursor cold.
+    for (std::size_t base = 0; base < count;
+         base += kSweepBlockPoints) {
+        const RunStatus stop = token_.checkpoint();
+        if (stop != RunStatus::Completed) {
+            out.status = stop;
+            out.cancelledUnvisited = count - base;
+            return out;
+        }
 
-    for (std::size_t index = 0; index < count; ++index) {
-        switch (status[index]) {
-        case PointStatus::feasible: {
-            SweepEntry entry;
-            entry.mapping = mappings[index / jobs.size()];
-            entry.batchSize = jobs[index % jobs.size()].batchSize;
-            entry.result = std::move(results[index]);
-            out.entries.push_back(std::move(entry));
-            break;
+        const std::size_t block =
+            std::min(kSweepBlockPoints, count - base);
+        const RunStatus loop = ThreadPool::shared().parallelFor(
+            block, /*chunk=*/8,
+            [&](std::size_t i) { evaluatePoint(base + i); }, token_,
+            threads_ > 0 ? threads_
+                         : ThreadPool::defaultThreadCount());
+        if (loop != RunStatus::Completed) {
+            // Mid-block stop: slots are torn; discard the block.
+            out.status = loop;
+            out.cancelledUnvisited = count - base;
+            return out;
         }
-        case PointStatus::infeasible:
-            ++out.skipped;
-            break;
-        case PointStatus::overMemory:
-            ++out.memorySkipped;
-            break;
-        case PointStatus::failedPoint: {
-            // Serial reduction loop: warnings come out in grid order
-            // at every thread count.
-            const auto &m = mappings[index / jobs.size()];
-            const double batch = jobs[index % jobs.size()].batchSize;
-            log::warn("sweep point ", m.toString(), " batch ", batch,
-                      " failed (", failures[index],
-                      "); pinning it to nan");
-            SweepEntry entry;
-            entry.mapping = m;
-            entry.batchSize = batch;
-            entry.result = nanPinnedResult();
-            out.entries.push_back(std::move(entry));
-            ++out.failed;
-            break;
+
+        for (std::size_t index = base; index < base + block;
+             ++index) {
+            switch (status[index]) {
+            case PointStatus::feasible: {
+                SweepEntry entry;
+                entry.mapping = mappings[index / jobs.size()];
+                entry.batchSize = jobs[index % jobs.size()].batchSize;
+                entry.result = std::move(results[index]);
+                out.entries.push_back(std::move(entry));
+                break;
+            }
+            case PointStatus::infeasible:
+                ++out.skipped;
+                break;
+            case PointStatus::overMemory:
+                ++out.memorySkipped;
+                break;
+            case PointStatus::failedPoint: {
+                // Serial reduction loop: warnings come out in grid
+                // order at every thread count.
+                const auto &m = mappings[index / jobs.size()];
+                const double batch =
+                    jobs[index % jobs.size()].batchSize;
+                log::warn("sweep point ", m.toString(), " batch ",
+                          batch, " failed (", failures[index],
+                          "); pinning it to nan");
+                SweepEntry entry;
+                entry.mapping = m;
+                entry.batchSize = batch;
+                entry.result = nanPinnedResult();
+                out.entries.push_back(std::move(entry));
+                ++out.failed;
+                break;
+            }
+            }
         }
-        }
+        out.visitedPoints += block;
     }
     return out;
 }
@@ -413,6 +441,13 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
     const std::int64_t max_pp = model_.opCounter().config().numLayers;
     SweepResult result =
         sweep(space.enumerate(max_pp), batch_sizes, job_template);
+
+    // Never memoize a stopped sweep: its prefix is valid for this
+    // caller but would silently serve as "the full grid" to the next
+    // one.  (Serving a cached *complete* result to a deadline-bounded
+    // caller is fine — the work is already done.)
+    if (result.status != RunStatus::Completed)
+        return result;
 
     {
         std::lock_guard<std::mutex> lock(sweepCacheMutex());

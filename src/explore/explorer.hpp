@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/amped_model.hpp"
 #include "core/memory_model.hpp"
 
@@ -58,6 +59,24 @@ struct SweepResult
      * kill a design-space exploration.
      */
     std::size_t failed = 0;
+
+    /**
+     * How the sweep ended.  Completed means the whole grid was
+     * evaluated.  Cancelled / DeadlineExceeded mean the sweep stopped
+     * at a block checkpoint: entries / skipped / memorySkipped /
+     * failed then describe exactly the first visitedPoints grid
+     * points — bit-identical to the same prefix of a full run at any
+     * thread count (the determinism contract in common/cancel.hpp).
+     */
+    RunStatus status = RunStatus::Completed;
+
+    /** Grid points actually evaluated (== the grid size when
+     *  Completed). */
+    std::size_t visitedPoints = 0;
+
+    /** Grid points never visited because the sweep stopped; always
+     *  visitedPoints + cancelledUnvisited == grid size. */
+    std::size_t cancelledUnvisited = 0;
 };
 
 /**
@@ -121,6 +140,21 @@ class Explorer
     unsigned threads() const { return threads_; }
 
     /**
+     * Installs a cancellation token observed by every subsequent
+     * sweep: the grid is checkpointed between SoA blocks
+     * (explore::kSweepBlockPoints points), and a stop produces a
+     * deterministic prefix result (see SweepResult::status).  The
+     * default inert token costs nothing and never stops anything.
+     */
+    void setCancelToken(CancelToken token)
+    {
+        token_ = std::move(token);
+    }
+
+    /** The installed cancellation token (inert by default). */
+    const CancelToken &cancelToken() const { return token_; }
+
+    /**
      * Selects the sweep evaluation engine.  true (the default) runs
      * the batched structure-of-arrays kernels (explore/batch.hpp);
      * false runs the historical scalar per-point loop.  The two
@@ -177,6 +211,7 @@ class Explorer
     std::optional<core::MemoryModel> memoryModel_;
     unsigned threads_ = 0;
     bool batchMode_;
+    CancelToken token_;
 };
 
 /**

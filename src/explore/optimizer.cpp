@@ -291,8 +291,13 @@ Optimizer::optimizeOver(
     const core::MemoryModel *memory_model =
         memoryModel_ ? &*memoryModel_ : nullptr;
     const SweepKernel kernel(model_, memory_model, mappings, jobs,
-                             threads_);
+                             threads_, token_);
     out.counters.cells = kernel.numClasses() * num_jobs;
+    if (kernel.primeStatus() != RunStatus::Completed) {
+        out.status = kernel.primeStatus();
+        out.counters.cancelledUnvisited = count;
+        return out;
+    }
 
     BoundScalars sc;
     const auto &options = model_.options();
@@ -309,7 +314,7 @@ Optimizer::optimizeOver(
     std::vector<double> bounds(count);
     const unsigned workers =
         threads_ > 0 ? threads_ : ThreadPool::defaultThreadCount();
-    ThreadPool::shared().parallelFor(
+    const RunStatus screen_status = ThreadPool::shared().parallelFor(
         mappings.size(), /*chunk=*/16,
         [&](std::size_t m) {
             for (std::size_t j = 0; j < num_jobs; ++j) {
@@ -318,7 +323,13 @@ Optimizer::optimizeOver(
                     kernel, memory_model, sc, m, j, bounds[index]);
             }
         },
-        workers);
+        token_, workers);
+    if (screen_status != RunStatus::Completed) {
+        // Screen slots are torn; nothing was dispositioned yet.
+        out.status = screen_status;
+        out.counters.cancelledUnvisited = count;
+        return out;
+    }
 
     std::vector<std::size_t> order;
     order.reserve(count);
@@ -358,12 +369,22 @@ Optimizer::optimizeOver(
     std::size_t wave_cap =
         std::max<std::size_t>(kFirstWavePoints, request.topK);
     std::vector<SweepKernel::Outcome> outcomes;
-    const auto flush = [&]() {
+    const auto flush = [&]() -> RunStatus {
         if (wave.empty())
-            return;
+            return RunStatus::Completed;
+        // THE wave-boundary checkpoint: the only deterministic stop
+        // point of the search.  Waves are built from the (thread-
+        // count-independent) bound order, so "stop before wave N"
+        // yields identical best-so-far results on any machine.
+        const RunStatus stop = token_.checkpoint();
+        if (stop != RunStatus::Completed)
+            return stop;
         outcomes.clear();
         outcomes.reserve(wave.size());
-        kernel.evaluatePoints(wave, outcomes, threads_);
+        const RunStatus eval =
+            kernel.evaluatePoints(wave, outcomes, threads_);
+        if (eval != RunStatus::Completed)
+            return eval; // Wave discarded whole; heap untouched.
         for (std::size_t i = 0; i < wave.size(); ++i) {
             const std::size_t index = wave[i];
             SweepKernel::Outcome &outcome = outcomes[i];
@@ -406,24 +427,40 @@ Optimizer::optimizeOver(
         wave.clear();
         if (heap.size() == request.topK)
             kth_key = heap.front().key;
+        return RunStatus::Completed;
     };
 
+    std::size_t consumed = 0; // Order entries dispositioned so far.
+    RunStatus search = RunStatus::Completed;
     for (const std::size_t index : order) {
         // Strictly-greater prune: a bound above the k-th best key
         // means the exact time is strictly above it too (bound <=
         // exact), so the point cannot displace any ranked entry.
         if (heap.size() == request.topK && bounds[index] > kth_key) {
             ++out.counters.prunedByBound;
+            ++consumed;
             continue;
         }
         wave.push_back(index);
+        ++consumed;
         if (wave.size() >= wave_cap) {
-            flush();
+            search = flush();
+            if (search != RunStatus::Completed)
+                break;
             wave_cap =
                 std::min(wave_cap * kWaveGrowth, kMaxWavePoints);
         }
     }
-    flush();
+    if (search == RunStatus::Completed)
+        search = flush();
+    if (search != RunStatus::Completed) {
+        // A stopped flush leaves its wave queued, not evaluated:
+        // those points plus the never-consumed tail of the visit
+        // order complete the disposition partition.
+        out.status = search;
+        out.counters.cancelledUnvisited =
+            wave.size() + (order.size() - consumed);
+    }
 
     std::sort_heap(heap.begin(), heap.end(), heap_cmp);
     out.topK.reserve(heap.size());
@@ -436,7 +473,10 @@ Optimizer::optimizeOver(
     infeasible_counter.add(out.counters.skippedInfeasible);
 
     // ---- Heterogeneity-aware refinement of the winner. -------------
-    if (!request.heterogeneousStages.empty() && !out.topK.empty() &&
+    // Only a Completed search is refined: a best-so-far winner from a
+    // stopped search may not be the real one.
+    if (out.status == RunStatus::Completed &&
+        !request.heterogeneousStages.empty() && !out.topK.empty() &&
         std::isfinite(out.topK.front().result.totalTime)) {
         const SweepEntry &best = out.topK.front();
         std::vector<core::HeterogeneousStage> stages =

@@ -92,12 +92,13 @@ struct OptimizerRequest
 
 /**
  * Search accounting.  Every grid point lands in exactly one of the
- * four disposition buckets:
+ * five disposition buckets:
  *
  *   points = prunedByMemory + prunedByBound + skippedInfeasible
- *          + evaluated
+ *          + evaluated + cancelledUnvisited
  *
- * and the evaluated bucket splits by exact outcome:
+ * (cancelledUnvisited is zero on a Completed search) and the
+ * evaluated bucket splits by exact outcome:
  *
  *   evaluated = feasible + infeasible + overMemory + failed
  *
@@ -116,6 +117,8 @@ struct OptimizerCounters
     std::size_t infeasible = 0; ///< Evaluated, UserError.
     std::size_t overMemory = 0; ///< Evaluated, memory check failed.
     std::size_t failed = 0;     ///< Evaluated, NaN-pinned.
+    /** Points never dispositioned because the search stopped. */
+    std::size_t cancelledUnvisited = 0;
 };
 
 /** The heterogeneity-aware refinement of the winning strategy. */
@@ -141,8 +144,23 @@ struct OptimizerResult
 
     OptimizerCounters counters;
 
-    /** Set when the request carried heterogeneous stages and the
-     *  search produced a finite winner. */
+    /**
+     * How the search ended.  Completed means every grid point was
+     * dispositioned and topK is the exact answer.  Cancelled /
+     * DeadlineExceeded mean the search stopped at a wave checkpoint:
+     * topK is then the deterministic best-so-far over the evaluated
+     * prefix — an explicit *incomplete* ranking, never a silently
+     * wrong one (counters.cancelledUnvisited says how much of the
+     * grid was never considered).  Wave boundaries are thread-count
+     * independent, so a tripped search yields identical partial
+     * results at every thread count.
+     */
+    RunStatus status = RunStatus::Completed;
+
+    /** Set when the request carried heterogeneous stages, the search
+     *  Completed, and it produced a finite winner.  (A best-so-far
+     *  winner from a stopped search is not refined: it may not be
+     *  the real winner.) */
     std::optional<HeterogeneousPlan> heterogeneous;
 };
 
@@ -182,6 +200,21 @@ class Optimizer
     unsigned threads() const { return threads_; }
 
     /**
+     * Installs a cancellation token observed by every subsequent
+     * search: the cache prime and the feasibility screen abandon at
+     * chunk boundaries, and the wave loop checkpoints once per
+     * evaluation wave — see OptimizerResult::status for what a stop
+     * returns.  The default inert token costs nothing.
+     */
+    void setCancelToken(CancelToken token)
+    {
+        token_ = std::move(token);
+    }
+
+    /** The installed cancellation token (inert by default). */
+    const CancelToken &cancelToken() const { return token_; }
+
+    /**
      * Enables the memory screen: points whose footprint exceeds the
      * device capacity are pruned before evaluation and counted in
      * OptimizerCounters::prunedByMemory.
@@ -198,6 +231,7 @@ class Optimizer
     core::AmpedModel model_;
     std::optional<core::MemoryModel> memoryModel_;
     unsigned threads_ = 0;
+    CancelToken token_;
 };
 
 } // namespace explore

@@ -36,9 +36,6 @@ struct DpPpKeyHash
     }
 };
 
-/** Points per SoA block: caps column memory at a few megabytes. */
-constexpr std::size_t kBlockPoints = 1 << 16;
-
 /** Grid points per work-queue grab inside a block. */
 constexpr std::size_t kPointChunk = 256;
 
@@ -134,9 +131,10 @@ SweepKernel::SweepKernel(
     const core::AmpedModel &model,
     const core::MemoryModel *memory_model,
     const std::vector<mapping::ParallelismConfig> &mappings,
-    const std::vector<core::TrainingJob> &jobs, unsigned max_workers)
+    const std::vector<core::TrainingJob> &jobs, unsigned max_workers,
+    CancelToken token)
     : model_(model), memoryModel_(memory_model), mappings_(mappings),
-      jobs_(jobs), cache_(model)
+      jobs_(jobs), token_(std::move(token)), cache_(model)
 {
     const auto &cfg = model_.opCounter().config();
     layersD_ = static_cast<double>(cfg.numLayers);
@@ -267,7 +265,7 @@ SweepKernel::SweepKernel(
         }
     }
 
-    cache_.prime(max_workers);
+    primeStatus_ = cache_.prime(max_workers, token_);
 }
 
 void
@@ -433,16 +431,31 @@ SweepKernel::sweepGrid(unsigned max_workers) const
     const std::size_t count = numPoints();
     if (count == 0)
         return out;
+    // A stop during cache priming needs no special case: the token
+    // is latched, so the first block checkpoint below observes it
+    // (recording the cancellation latency exactly once) and returns
+    // before any pending cache entry could be read.
 
     BlockColumns cols;
-    for (std::size_t base = 0; base < count; base += kBlockPoints) {
+    for (std::size_t base = 0; base < count;
+         base += kSweepBlockPoints) {
+        // THE deterministic cancellation point: exactly one
+        // checkpoint per block, before evaluating it, so a stopped
+        // sweep's result is always a whole number of reduced blocks.
+        const RunStatus stop = token_.checkpoint();
+        if (stop != RunStatus::Completed) {
+            out.status = stop;
+            out.cancelledUnvisited = count - base;
+            return out;
+        }
+
         const std::size_t block =
-            std::min(kBlockPoints, count - base);
+            std::min(kSweepBlockPoints, count - base);
         cols.resize(block);
 
         const std::size_t chunks =
             (block + kPointChunk - 1) / kPointChunk;
-        ThreadPool::shared().parallelFor(
+        const RunStatus loop = ThreadPool::shared().parallelFor(
             chunks, /*chunk=*/1,
             [&](std::size_t chunk_index) {
                 const std::size_t begin = chunk_index * kPointChunk;
@@ -451,8 +464,16 @@ SweepKernel::sweepGrid(unsigned max_workers) const
                 for (std::size_t slot = begin; slot < end; ++slot)
                     evaluatePointInto(base + slot, slot, cols);
             },
+            token_,
             max_workers > 0 ? max_workers
                             : ThreadPool::defaultThreadCount());
+        if (loop != RunStatus::Completed) {
+            // Mid-block stop: the block's columns are torn, so it is
+            // discarded whole — the published prefix stays exact.
+            out.status = loop;
+            out.cancelledUnvisited = count - base;
+            return out;
+        }
 
         // Serial grid-order reduction: entries, counters and warning
         // lines come out byte-identical to the scalar path at any
@@ -491,28 +512,38 @@ SweepKernel::sweepGrid(unsigned max_workers) const
             }
             }
         }
+        out.visitedPoints += block;
     }
     return out;
 }
 
-void
+RunStatus
 SweepKernel::evaluatePoints(const std::vector<std::size_t> &indices,
                             std::vector<Outcome> &outcomes,
                             unsigned max_workers) const
 {
+    if (primeStatus_ != RunStatus::Completed)
+        return primeStatus_;
     const std::size_t count = indices.size();
     if (count == 0)
-        return;
+        return RunStatus::Completed;
 
     BlockColumns cols;
-    for (std::size_t base = 0; base < count; base += kBlockPoints) {
+    for (std::size_t base = 0; base < count;
+         base += kSweepBlockPoints) {
+        // Passive poll only — checkpoint discipline belongs to the
+        // caller (the optimizer checkpoints between waves).
+        const RunStatus stop = token_.status();
+        if (stop != RunStatus::Completed)
+            return stop;
+
         const std::size_t block =
-            std::min(kBlockPoints, count - base);
+            std::min(kSweepBlockPoints, count - base);
         cols.resize(block);
 
         const std::size_t chunks =
             (block + kPointChunk - 1) / kPointChunk;
-        ThreadPool::shared().parallelFor(
+        const RunStatus loop = ThreadPool::shared().parallelFor(
             chunks, /*chunk=*/1,
             [&](std::size_t chunk_index) {
                 const std::size_t begin = chunk_index * kPointChunk;
@@ -522,8 +553,11 @@ SweepKernel::evaluatePoints(const std::vector<std::size_t> &indices,
                     evaluatePointInto(indices[base + slot], slot,
                                       cols);
             },
+            token_,
             max_workers > 0 ? max_workers
                             : ThreadPool::defaultThreadCount());
+        if (loop != RunStatus::Completed)
+            return loop; // Torn block: discard, outcomes untouched.
 
         for (std::size_t slot = 0; slot < block; ++slot) {
             Outcome outcome;
@@ -543,6 +577,7 @@ SweepKernel::evaluatePoints(const std::vector<std::size_t> &indices,
             outcomes.push_back(std::move(outcome));
         }
     }
+    return RunStatus::Completed;
 }
 
 } // namespace explore

@@ -142,12 +142,22 @@ class SweepKernel
      * @param mappings Grid rows (mapping-major order).
      * @param jobs Grid columns.
      * @param max_workers Parallelism cap for priming (0 = pool).
+     * @param token Cooperative stop request, observed by the prime
+     *        (see primeStatus()) and by every subsequent sweepGrid /
+     *        evaluatePoints call.  Inert by default.
      */
     SweepKernel(const core::AmpedModel &model,
                 const core::MemoryModel *memory_model,
                 const std::vector<mapping::ParallelismConfig> &mappings,
                 const std::vector<core::TrainingJob> &jobs,
-                unsigned max_workers);
+                unsigned max_workers, CancelToken token = {});
+
+    /**
+     * How the construction-time cache prime ended.  Non-Completed
+     * means the kernel must not evaluate points (term lookups would
+     * hit unprimed entries); callers surface the status instead.
+     */
+    RunStatus primeStatus() const { return primeStatus_; }
 
     /** Outcome of evaluating one grid point exactly. */
     struct Outcome
@@ -162,6 +172,10 @@ class SweepKernel
      * Evaluates the whole grid with the batched SoA block loop and
      * reduces it in grid order — the engine behind sweepJobsBatched
      * (see explore/batch.hpp for the byte-identity contract).
+     *
+     * The construction token is checkpointed once before each block;
+     * a stop returns the deterministic block-prefix (status /
+     * visitedPoints / cancelledUnvisited set accordingly).
      */
     SweepResult sweepGrid(unsigned max_workers) const;
 
@@ -170,10 +184,15 @@ class SweepKernel
      * index * numJobs() + job index) and appends one Outcome per
      * index, in list order.  Evaluation runs on the shared pool;
      * results are deterministic at any worker count.
+     *
+     * Cancellable via the construction token (passive status() polls
+     * only — the caller owns the checkpoint discipline): on a stop
+     * the partially evaluated block is discarded, so outcomes grew by
+     * a multiple of the block size, and the stop status is returned.
      */
-    void evaluatePoints(const std::vector<std::size_t> &indices,
-                        std::vector<Outcome> &outcomes,
-                        unsigned max_workers) const;
+    RunStatus evaluatePoints(const std::vector<std::size_t> &indices,
+                             std::vector<Outcome> &outcomes,
+                             unsigned max_workers) const;
 
     std::size_t numMappings() const { return mappings_.size(); }
     std::size_t numJobs() const { return jobs_.size(); }
@@ -247,6 +266,9 @@ class SweepKernel
     double fb_ = 0.0;
     double ppMult_ = 0.0;
     double bubbleRatio_ = 0.0;
+
+    CancelToken token_;
+    RunStatus primeStatus_ = RunStatus::Completed;
 
     core::SweepTermCache cache_;
     std::vector<MappingInfo> mappingInfos_;

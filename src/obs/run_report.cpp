@@ -3,7 +3,9 @@
 #include <fstream>
 #include <map>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/work_queue.hpp"
 
 namespace amped::obs {
 
@@ -165,9 +167,14 @@ RunReportBuilder::addSimulation(const std::string &label,
 }
 
 RunReportBuilder &
-RunReportBuilder::setMetrics(const MetricsRegistry &registry,
+RunReportBuilder::setMetrics(MetricsRegistry &registry,
                              RenderMode mode)
 {
+    // Schema v2: the cancellation and admission-queue families are
+    // part of the metrics contract — register them before the
+    // snapshot so they render as zeros when unused.
+    registerCancellationMetrics(registry);
+    registerWorkQueueMetrics(registry);
     metrics_ = metricsJson(registry, mode);
     hasMetrics_ = true;
     return *this;

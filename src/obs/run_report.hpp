@@ -4,10 +4,10 @@
  * breakdown, simulator outcomes, failure accounting, and a metrics
  * snapshot behind a versioned schema.
  *
- * Schema (version 1), all sections optional except the envelope:
+ * Schema (version 2), all sections optional except the envelope:
  *
  *     {
- *       "schema_version": 1,
+ *       "schema_version": 2,
  *       "generator": "amped",
  *       "config": { ... caller-provided echo of the inputs ... },
  *       "analytical": {
@@ -34,6 +34,16 @@
  * analytical section reproduces `core::AmpedModel` results to the
  * last bit — the acceptance bar of matching the model to 1e-9 holds
  * by construction.
+ *
+ * Version history / compatibility:
+ *   v1  original envelope.
+ *   v2  the metrics section now *guarantees* the cancellation and
+ *       admission-queue instrument families (`common.cancel.*`,
+ *       `common.queue.*`): setMetrics pre-registers them, so they
+ *       render (as zeros) even in runs that never installed a token
+ *       or queue.  Purely additive — every v1 key is unchanged and
+ *       v1 readers can consume v2 documents by ignoring the new
+ *       keys — but setMetrics now takes a mutable registry.
  */
 
 #ifndef AMPED_OBS_RUN_REPORT_HPP
@@ -49,7 +59,7 @@
 namespace amped::obs {
 
 /** Current run-report schema version. */
-constexpr int kRunReportSchemaVersion = 1;
+constexpr int kRunReportSchemaVersion = 2;
 
 /** The `analytical` section for one model evaluation. */
 Json analyticalJson(const core::EvaluationResult &result);
@@ -82,8 +92,13 @@ class RunReportBuilder
     RunReportBuilder &addSimulation(const std::string &label,
                                     const sim::SimOutcome &outcome);
 
-    /** Attaches a metrics snapshot (deterministic render). */
-    RunReportBuilder &setMetrics(const MetricsRegistry &registry,
+    /**
+     * Attaches a metrics snapshot (deterministic render).  Takes the
+     * registry mutably because schema v2 pre-registers the
+     * `common.cancel.*` / `common.queue.*` families first, so those
+     * keys appear (as zeros) in every report.
+     */
+    RunReportBuilder &setMetrics(MetricsRegistry &registry,
                                  RenderMode mode =
                                      RenderMode::deterministic);
 

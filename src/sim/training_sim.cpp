@@ -47,9 +47,26 @@ TrainingSimulator::setFaultSpec(FaultSpec spec)
 }
 
 SimOutcome
+TrainingSimulator::stoppedOutcome(RunStatus status)
+{
+    SimOutcome outcome;
+    outcome.status = status;
+    // Keep the "never null after a simulate* call" graph contract.
+    outcome.graph = std::make_shared<TaskGraph>();
+    return outcome;
+}
+
+SimOutcome
 TrainingSimulator::finishRun(TaskGraph &graph,
                              const std::vector<ResourceId> &devices) const
 {
+    // Last look before committing to the engine run (the entry
+    // checkpoint already counted; this one is a passive poll so
+    // graph-building time cannot blow through a deadline unobserved).
+    const RunStatus stop = token_.status();
+    if (stop != RunStatus::Completed)
+        return stoppedOutcome(stop);
+
     // The graph moves into shared ownership so the outcome can carry
     // it for trace export; the caller's graph is left moved-from.
     auto shared = std::make_shared<TaskGraph>(std::move(graph));
@@ -135,6 +152,9 @@ SimOutcome
 TrainingSimulator::simulateDataParallelStep(std::int64_t devices,
                                             double per_device_batch) const
 {
+    if (const RunStatus stop = token_.checkpoint();
+        stop != RunStatus::Completed)
+        return stoppedOutcome(stop);
     require(devices >= 1, "simulateDataParallelStep: need >= 1 device, "
             "got ", devices);
     require(per_device_batch >= 1.0,
@@ -210,6 +230,9 @@ TrainingSimulator::simulateHierarchicalDataParallelStep(
     std::int64_t nodes, std::int64_t devices_per_node,
     double per_device_batch, const net::LinkConfig &inter_link) const
 {
+    if (const RunStatus stop = token_.checkpoint();
+        stop != RunStatus::Completed)
+        return stoppedOutcome(stop);
     require(nodes >= 1, "hierarchical DP: need >= 1 node, got ",
             nodes);
     require(devices_per_node >= 1,
@@ -325,6 +348,9 @@ TrainingSimulator::simulateDataPipelineStep(
     std::int64_t num_microbatches,
     const net::LinkConfig &dp_link) const
 {
+    if (const RunStatus stop = token_.checkpoint();
+        stop != RunStatus::Completed)
+        return stoppedOutcome(stop);
     const auto &cfg = opCounter_.config();
     require(replicas >= 1, "DPxPP: need >= 1 replica, got ", replicas);
     require(stages >= 1 && stages <= cfg.numLayers,
@@ -499,6 +525,9 @@ TrainingSimulator::simulateAllToAll(std::int64_t participants,
                                     Bits bits_per_element,
                                     const net::LinkConfig &link) const
 {
+    if (const RunStatus stop = token_.checkpoint();
+        stop != RunStatus::Completed)
+        return stoppedOutcome(stop);
     require(participants >= 1,
             "all-to-all: need >= 1 participant, got ", participants);
     require(elements >= 0.0, "all-to-all: negative element count");
@@ -553,6 +582,9 @@ TrainingSimulator::simulateMoeStep(
     std::int64_t nodes, double per_node_batch,
     const net::LinkConfig &inter_link) const
 {
+    if (const RunStatus stop = token_.checkpoint();
+        stop != RunStatus::Completed)
+        return stoppedOutcome(stop);
     const auto &cfg = opCounter_.config();
     require(cfg.moe.enabled(),
             "simulateMoeStep: the model has no experts");
@@ -651,6 +683,9 @@ TrainingSimulator::simulateGPipeStep(std::int64_t stages,
                                      double microbatch,
                                      std::int64_t num_microbatches) const
 {
+    if (const RunStatus stop = token_.checkpoint();
+        stop != RunStatus::Completed)
+        return stoppedOutcome(stop);
     const auto &cfg = opCounter_.config();
     require(stages >= 1, "simulateGPipeStep: need >= 1 stage, got ",
             stages);
@@ -808,6 +843,9 @@ SimOutcome
 TrainingSimulator::simulateTensorParallelStep(std::int64_t devices,
                                               double batch) const
 {
+    if (const RunStatus stop = token_.checkpoint();
+        stop != RunStatus::Completed)
+        return stoppedOutcome(stop);
     require(devices >= 1,
             "simulateTensorParallelStep: need >= 1 device, got ",
             devices);

@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "hw/accelerator.hpp"
 #include "hw/efficiency.hpp"
 #include "model/op_counter.hpp"
@@ -73,6 +74,17 @@ struct SimOutcome
      * core::PipelineSchedule::activationsInFlight.
      */
     std::vector<std::int64_t> peakMicrobatchesInFlight;
+
+    /**
+     * How the simulation ended.  A cancellation token installed via
+     * TrainingSimulator::setCancelToken is checkpointed at schedule
+     * entry and polled again before the engine run; a stop returns an
+     * empty outcome (zero step time, no devices, empty — but still
+     * non-null — graph) carrying the stop status.  Steps are never
+     * partially executed: a simulate* call either runs its whole
+     * graph or none of it.
+     */
+    RunStatus status = RunStatus::Completed;
 };
 
 /**
@@ -205,6 +217,20 @@ class TrainingSimulator
         return faultSpec_;
     }
 
+    /**
+     * Installs a cancellation token observed by every subsequent
+     * simulate* call (checkpoint at entry, poll before the engine
+     * run) — see SimOutcome::status.  The default inert token costs
+     * nothing.
+     */
+    void setCancelToken(CancelToken token)
+    {
+        token_ = std::move(token);
+    }
+
+    /** The installed cancellation token (inert by default). */
+    const CancelToken &cancelToken() const { return token_; }
+
   private:
     /**
      * Appends a chunked ring all-reduce over @p devices to @p graph.
@@ -235,6 +261,9 @@ class TrainingSimulator
     makeOutcome(SimResult result,
                 const std::vector<ResourceId> &devices);
 
+    /** An empty outcome carrying a stop status (graph non-null). */
+    static SimOutcome stoppedOutcome(RunStatus status);
+
     /**
      * Runs @p graph — fault-free, or under the installed fault spec
      * realized against this graph — and builds the outcome.
@@ -249,6 +278,7 @@ class TrainingSimulator
     double backwardMultiplier_ = 2.0;
     Bits gradientBits_{32.0};
     std::optional<FaultSpec> faultSpec_;
+    CancelToken token_;
 };
 
 } // namespace sim

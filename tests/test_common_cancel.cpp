@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the cooperative-cancellation substrate
+ * (common/cancel.hpp): deadlines under an injected clock, token
+ * composition (explicit cancel ∥ deadline ∥ parent), the checkpoint
+ * trip seam, latency-histogram accounting, and the zero-cost
+ * guarantee for inert tokens — plus the cancellable
+ * ThreadPool::parallelFor overload built on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace amped {
+namespace {
+
+TEST(DeadlineTest, NeverSetNeverExpires)
+{
+    const Deadline never;
+    EXPECT_FALSE(never.isSet());
+    EXPECT_FALSE(never.expired());
+    EXPECT_EQ(never.remainingSeconds(),
+              std::numeric_limits<double>::infinity());
+    EXPECT_FALSE(Deadline::never().isSet());
+}
+
+TEST(DeadlineTest, ExpiresExactlyWhenClockPasses)
+{
+    ManualClock clock(100.0);
+    const Deadline deadline = Deadline::after(2.5, clock);
+    EXPECT_TRUE(deadline.isSet());
+    EXPECT_FALSE(deadline.expired());
+    EXPECT_DOUBLE_EQ(deadline.remainingSeconds(), 2.5);
+
+    clock.advance(2.5);
+    EXPECT_TRUE(deadline.expired());
+    EXPECT_DOUBLE_EQ(deadline.remainingSeconds(), 0.0);
+
+    clock.advance(10.0);
+    EXPECT_DOUBLE_EQ(deadline.remainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired)
+{
+    ManualClock clock(5.0);
+    EXPECT_TRUE(Deadline::after(0.0, clock).expired());
+    EXPECT_TRUE(Deadline::after(-1.0, clock).expired());
+}
+
+TEST(CancelTokenTest, InertTokenAnswersCompletedForever)
+{
+    const CancelToken inert;
+    EXPECT_FALSE(inert.installed());
+    EXPECT_EQ(inert.status(), RunStatus::Completed);
+    EXPECT_EQ(inert.checkpoint(), RunStatus::Completed);
+    inert.cancel(); // No-op, must not crash.
+    EXPECT_FALSE(inert.cancelRequested());
+    EXPECT_EQ(inert.status(), RunStatus::Completed);
+}
+
+TEST(CancelTokenTest, InertTokenTouchesNoMetrics)
+{
+    obs::MetricsRegistry registry;
+    const CancelToken inert;
+    (void)inert.checkpoint();
+    (void)inert.status();
+    inert.cancel();
+    // Zero-cost when unused: nothing was even registered.
+    EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(CancelTokenTest, ExplicitCancelObservedAtCheckpoint)
+{
+    obs::MetricsRegistry registry;
+    const CancelToken token =
+        CancelToken::make(Deadline(), &registry);
+    EXPECT_TRUE(token.installed());
+    EXPECT_EQ(token.checkpoint(), RunStatus::Completed);
+
+    token.cancel();
+    EXPECT_TRUE(token.cancelRequested());
+    EXPECT_EQ(token.status(), RunStatus::Cancelled);
+    EXPECT_EQ(token.checkpoint(), RunStatus::Cancelled);
+    // Latched: never reverts.
+    EXPECT_EQ(token.checkpoint(), RunStatus::Cancelled);
+}
+
+TEST(CancelTokenTest, DeadlineExpiryProducesDeadlineExceeded)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    const CancelToken token =
+        CancelToken::make(Deadline::after(1.0, clock), &registry);
+
+    EXPECT_EQ(token.status(), RunStatus::Completed);
+    clock.advance(1.0);
+    EXPECT_EQ(token.status(), RunStatus::DeadlineExceeded);
+    EXPECT_EQ(token.checkpoint(), RunStatus::DeadlineExceeded);
+}
+
+TEST(CancelTokenTest, ExplicitCancelWinsOverExpiredDeadline)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    const CancelToken token =
+        CancelToken::make(Deadline::after(1.0, clock), &registry);
+    clock.advance(5.0); // Deadline long gone...
+    token.cancel();     // ...but an explicit request trumps it.
+    EXPECT_EQ(token.status(), RunStatus::Cancelled);
+}
+
+TEST(CancelTokenTest, ChildStopsWhenParentIsCancelled)
+{
+    obs::MetricsRegistry registry;
+    const CancelToken parent =
+        CancelToken::make(Deadline(), &registry);
+    const CancelToken child = parent.child();
+    const CancelToken grandchild = child.child();
+
+    EXPECT_EQ(grandchild.status(), RunStatus::Completed);
+    parent.cancel();
+    EXPECT_EQ(child.status(), RunStatus::Cancelled);
+    EXPECT_EQ(grandchild.status(), RunStatus::Cancelled);
+    // The request lives on the parent, not the child.
+    EXPECT_FALSE(child.cancelRequested());
+}
+
+TEST(CancelTokenTest, ChildDeadlineDoesNotAffectParent)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    const CancelToken parent =
+        CancelToken::make(Deadline(), &registry);
+    const CancelToken child =
+        parent.child(Deadline::after(1.0, clock));
+
+    clock.advance(2.0);
+    EXPECT_EQ(child.status(), RunStatus::DeadlineExceeded);
+    EXPECT_EQ(parent.status(), RunStatus::Completed);
+}
+
+TEST(CancelTokenTest, TripAfterCheckpointsFiresOnExactCount)
+{
+    obs::MetricsRegistry registry;
+    const CancelToken token =
+        CancelToken::make(Deadline(), &registry);
+    token.tripAfterCheckpoints(3);
+
+    EXPECT_EQ(token.checkpoint(), RunStatus::Completed);
+    EXPECT_EQ(token.checkpoint(), RunStatus::Completed);
+    // The third checkpoint trips and reports the stop itself.
+    EXPECT_EQ(token.checkpoint(), RunStatus::Cancelled);
+    EXPECT_EQ(token.status(), RunStatus::Cancelled);
+}
+
+TEST(CancelTokenTest, LatencyHistogramRecordsFirstObservationOnly)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    const CancelToken token =
+        CancelToken::make(Deadline::after(1.0, clock), &registry);
+    auto &latency = registry.histogram(
+        "common.cancel.latency_seconds", /*timing=*/true);
+    auto &observed = registry.counter("common.cancel.observed");
+
+    (void)token.checkpoint(); // Live, nothing to observe.
+    EXPECT_EQ(latency.count(), 0u);
+
+    // The deadline expired at t=1; the first checkpoint to notice
+    // runs at t=1.25, so the recorded latency is exactly 0.25 s.
+    clock.set(1.25);
+    EXPECT_EQ(token.checkpoint(), RunStatus::DeadlineExceeded);
+    EXPECT_EQ(latency.count(), 1u);
+    EXPECT_DOUBLE_EQ(latency.sum(), 0.25);
+    EXPECT_EQ(observed.value(), 1u);
+
+    // Later checkpoints still answer but observe nothing new.
+    clock.set(9.0);
+    EXPECT_EQ(token.checkpoint(), RunStatus::DeadlineExceeded);
+    EXPECT_EQ(latency.count(), 1u);
+    EXPECT_DOUBLE_EQ(latency.sum(), 0.25);
+}
+
+TEST(CancelTokenTest, MetricsCountTokensRequestsCheckpoints)
+{
+    obs::MetricsRegistry registry;
+    const CancelToken root =
+        CancelToken::make(Deadline(), &registry);
+    const CancelToken child = root.child();
+    (void)child;
+    EXPECT_EQ(registry.counter("common.cancel.tokens").value(), 2u);
+
+    (void)root.checkpoint();
+    (void)root.checkpoint();
+    EXPECT_EQ(registry.counter("common.cancel.checkpoints").value(),
+              2u);
+
+    root.cancel();
+    root.cancel(); // Idempotent: one request recorded.
+    EXPECT_EQ(registry.counter("common.cancel.requests").value(), 1u);
+}
+
+TEST(CancelTokenTest, RegisterCancellationMetricsCreatesAllZeros)
+{
+    obs::MetricsRegistry registry;
+    registerCancellationMetrics(registry);
+    const auto snaps = registry.snapshot();
+    ASSERT_EQ(snaps.size(), 5u);
+    for (const auto &snap : snaps) {
+        EXPECT_EQ(snap.count, 0u) << snap.name;
+        EXPECT_EQ(snap.name.rfind("common.cancel.", 0), 0u)
+            << snap.name;
+    }
+}
+
+TEST(RunStatusTest, ToStringIsStable)
+{
+    EXPECT_STREQ(toString(RunStatus::Completed), "completed");
+    EXPECT_STREQ(toString(RunStatus::Cancelled), "cancelled");
+    EXPECT_STREQ(toString(RunStatus::DeadlineExceeded),
+                 "deadline-exceeded");
+}
+
+TEST(ParallelForCancelTest, CompletesWithInertToken)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(1000, 0);
+    const RunStatus status = pool.parallelFor(
+        hits.size(), 16,
+        [&](std::size_t i) { hits[i] = 1; }, CancelToken());
+    EXPECT_EQ(status, RunStatus::Completed);
+    for (const int hit : hits)
+        ASSERT_EQ(hit, 1);
+}
+
+TEST(ParallelForCancelTest, PreCancelledTokenRunsNothing)
+{
+    obs::MetricsRegistry registry;
+    const CancelToken token =
+        CancelToken::make(Deadline(), &registry);
+    token.cancel();
+
+    ThreadPool pool(4);
+    std::atomic<std::size_t> ran{0};
+    const RunStatus status = pool.parallelFor(
+        100000, 8,
+        [&](std::size_t) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+        },
+        token);
+    EXPECT_EQ(status, RunStatus::Cancelled);
+    // Stops at chunk granularity: nothing, or at most the chunks
+    // each worker had already claimed before observing the stop.
+    EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ParallelForCancelTest, SerialPathObservesCancelBetweenChunks)
+{
+    obs::MetricsRegistry registry;
+    const CancelToken token =
+        CancelToken::make(Deadline(), &registry);
+
+    ThreadPool pool(4);
+    std::size_t ran = 0;
+    const RunStatus status = pool.parallelFor(
+        1000, 10,
+        [&](std::size_t i) {
+            ++ran;
+            if (i == 14) // Cancel from inside the second chunk.
+                token.cancel();
+        },
+        token, /*max_workers=*/1);
+    EXPECT_EQ(status, RunStatus::Cancelled);
+    // The cancelling chunk finishes (indices 10..19), later chunks
+    // never start.
+    EXPECT_EQ(ran, 20u);
+}
+
+} // namespace
+} // namespace amped

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the bounded admission queue (common/work_queue.hpp):
+ * overload policies at capacity, queued-deadline expiry, the
+ * transient/permanent failure taxonomy with retry-and-backoff, and
+ * the `common.queue.*` metrics.  Every test drives the queue with an
+ * injected ManualClock, so backoff and expiry are exact — no
+ * sleeping, no wall-clock flakiness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/work_queue.hpp"
+#include "obs/metrics.hpp"
+
+namespace amped {
+namespace {
+
+WorkQueueOptions
+manualOptions(const ManualClock &clock,
+              obs::MetricsRegistry &registry)
+{
+    WorkQueueOptions options;
+    options.clock = &clock;
+    options.registry = &registry;
+    return options;
+}
+
+TEST(WorkQueueTest, DrainRunsItemsInAdmissionOrder)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    WorkQueue queue(manualOptions(clock, registry));
+
+    std::vector<int> ran;
+    const auto a = queue.submit([&] { ran.push_back(1); });
+    const auto b = queue.submit([&] { ran.push_back(2); });
+    const auto c = queue.submit([&] { ran.push_back(3); });
+    ASSERT_TRUE(a.accepted && b.accepted && c.accepted);
+    EXPECT_EQ(queue.depth(), 3u);
+
+    const auto results = queue.drainReady();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].outcome, ItemOutcome::completed);
+        EXPECT_EQ(results[i].attempts, 1u);
+    }
+    EXPECT_EQ(results[0].id, a.id);
+    EXPECT_EQ(results[2].id, c.id);
+    EXPECT_EQ(queue.depth(), 0u);
+    EXPECT_EQ(queue.nextReadySeconds(),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(registry.counter("common.queue.completed").value(), 3u);
+}
+
+TEST(WorkQueueTest, RejectNewestRefusesAtCapacity)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    WorkQueueOptions options = manualOptions(clock, registry);
+    options.capacity = 2;
+    options.policy = OverloadPolicy::rejectNewest;
+    WorkQueue queue(options);
+
+    bool third_ran = false;
+    ASSERT_TRUE(queue.submit([] {}).accepted);
+    ASSERT_TRUE(queue.submit([] {}).accepted);
+    const auto third = queue.submit([&] { third_ran = true; });
+    EXPECT_FALSE(third.accepted);
+    EXPECT_FALSE(third.shedItem.has_value());
+    EXPECT_EQ(queue.depth(), 2u);
+
+    EXPECT_EQ(queue.drainReady().size(), 2u);
+    EXPECT_FALSE(third_ran);
+    EXPECT_EQ(registry.counter("common.queue.rejected").value(), 1u);
+    // `submitted` counts admissions; the rejected item never entered.
+    EXPECT_EQ(registry.counter("common.queue.submitted").value(), 2u);
+}
+
+TEST(WorkQueueTest, ShedOldestDropsHeadAndReportsIt)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    WorkQueueOptions options = manualOptions(clock, registry);
+    options.capacity = 2;
+    options.policy = OverloadPolicy::shedOldest;
+    WorkQueue queue(options);
+
+    bool oldest_ran = false;
+    std::vector<int> ran;
+    const auto oldest = queue.submit([&] { oldest_ran = true; });
+    ASSERT_TRUE(queue.submit([&] { ran.push_back(2); }).accepted);
+    const auto newest = queue.submit([&] { ran.push_back(3); });
+
+    ASSERT_TRUE(newest.accepted);
+    ASSERT_TRUE(newest.shedItem.has_value());
+    EXPECT_EQ(newest.shedItem->id, oldest.id);
+    EXPECT_EQ(newest.shedItem->outcome, ItemOutcome::shed);
+    EXPECT_EQ(newest.shedItem->attempts, 0u);
+    EXPECT_EQ(queue.depth(), 2u);
+
+    EXPECT_EQ(queue.drainReady().size(), 2u);
+    EXPECT_FALSE(oldest_ran);
+    EXPECT_EQ(ran, (std::vector<int>{2, 3}));
+    EXPECT_EQ(registry.counter("common.queue.shed").value(), 1u);
+}
+
+TEST(WorkQueueTest, QueuedDeadlineExpiresWithoutRunning)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    WorkQueue queue(manualOptions(clock, registry));
+
+    bool ran = false;
+    const auto admission = queue.submit(
+        [&] { ran = true; }, Deadline::after(1.0, clock));
+    ASSERT_TRUE(admission.accepted);
+
+    clock.advance(2.0); // Past the item's deadline while queued.
+    const auto results = queue.drainReady();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outcome, ItemOutcome::expired);
+    EXPECT_EQ(results[0].attempts, 0u);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(queue.depth(), 0u);
+    EXPECT_EQ(registry.counter("common.queue.expired").value(), 1u);
+}
+
+TEST(WorkQueueTest, TransientFailureRetriesWithBackoffThenCompletes)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    WorkQueue queue(manualOptions(clock, registry));
+    const auto &opts = queue.options();
+
+    unsigned attempts = 0;
+    queue.submit([&] {
+        if (++attempts < 3)
+            throw TransientError("downstream busy");
+    });
+
+    // Attempt 1 fails; the item stays queued behind a backoff gate
+    // of initialBackoffSeconds scaled by jitter in [0.5, 1).
+    EXPECT_TRUE(queue.drainReady().empty());
+    EXPECT_EQ(queue.depth(), 1u);
+    const double first_gate = queue.nextReadySeconds();
+    EXPECT_GE(first_gate, 0.5 * opts.initialBackoffSeconds);
+    EXPECT_LT(first_gate, opts.initialBackoffSeconds);
+
+    // Not ready yet: draining before the gate runs nothing.
+    EXPECT_TRUE(queue.drainReady().empty());
+    EXPECT_EQ(attempts, 1u);
+
+    // Attempt 2 fails; the gate doubles (base 2 * initial).
+    clock.set(first_gate);
+    EXPECT_TRUE(queue.drainReady().empty());
+    EXPECT_EQ(attempts, 2u);
+    const double second_gate = queue.nextReadySeconds();
+    EXPECT_GE(second_gate - first_gate,
+              0.5 * 2.0 * opts.initialBackoffSeconds);
+    EXPECT_LT(second_gate - first_gate,
+              2.0 * opts.initialBackoffSeconds);
+
+    // Attempt 3 succeeds.
+    clock.set(second_gate);
+    const auto results = queue.drainReady();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outcome, ItemOutcome::completed);
+    EXPECT_EQ(results[0].attempts, 3u);
+    EXPECT_EQ(registry.counter("common.queue.retries").value(), 2u);
+    EXPECT_EQ(registry.counter("common.queue.completed").value(), 1u);
+}
+
+TEST(WorkQueueTest, ExhaustedAttemptsFinishAsFailed)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    WorkQueueOptions options = manualOptions(clock, registry);
+    options.maxAttempts = 2;
+    WorkQueue queue(options);
+
+    queue.submit([] { throw TransientError("still busy"); });
+    EXPECT_TRUE(queue.drainReady().empty()); // Attempt 1, backing off.
+    clock.set(queue.nextReadySeconds());
+    const auto results = queue.drainReady(); // Attempt 2, exhausted.
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outcome, ItemOutcome::failed);
+    EXPECT_EQ(results[0].attempts, 2u);
+    EXPECT_NE(results[0].error.find("still busy"), std::string::npos);
+    EXPECT_EQ(registry.counter("common.queue.retries").value(), 1u);
+    EXPECT_EQ(registry.counter("common.queue.failed").value(), 1u);
+}
+
+TEST(WorkQueueTest, PermanentFailureNeverRetries)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    WorkQueue queue(manualOptions(clock, registry));
+
+    unsigned attempts = 0;
+    queue.submit([&] {
+        ++attempts;
+        throw std::runtime_error("bad request");
+    });
+    const auto results = queue.drainReady();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outcome, ItemOutcome::failed);
+    EXPECT_EQ(results[0].attempts, 1u);
+    EXPECT_EQ(attempts, 1u);
+    EXPECT_NE(results[0].error.find("bad request"),
+              std::string::npos);
+    EXPECT_EQ(registry.counter("common.queue.retries").value(), 0u);
+}
+
+TEST(WorkQueueTest, BackoffJitterIsDeterministicPerSeed)
+{
+    const auto first_gate_for_seed = [](std::uint64_t seed,
+                                        const ManualClock &clock,
+                                        obs::MetricsRegistry &reg) {
+        WorkQueueOptions options;
+        options.clock = &clock;
+        options.registry = &reg;
+        options.jitterSeed = seed;
+        WorkQueue queue(options);
+        queue.submit([] { throw TransientError("again"); });
+        queue.drainReady();
+        return queue.nextReadySeconds();
+    };
+
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    const double gate_a = first_gate_for_seed(7, clock, registry);
+    const double gate_b = first_gate_for_seed(7, clock, registry);
+    EXPECT_EQ(gate_a, gate_b); // Same seed, same schedule — exactly.
+}
+
+TEST(WorkQueueTest, RegisterWorkQueueMetricsCreatesAllZeros)
+{
+    obs::MetricsRegistry registry;
+    registerWorkQueueMetrics(registry);
+    const auto snaps = registry.snapshot();
+    ASSERT_EQ(snaps.size(), 8u);
+    for (const auto &snap : snaps) {
+        EXPECT_EQ(snap.name.rfind("common.queue.", 0), 0u)
+            << snap.name;
+        EXPECT_EQ(snap.count, 0u) << snap.name;
+        EXPECT_EQ(snap.value, 0.0) << snap.name;
+    }
+}
+
+TEST(WorkQueueTest, DepthGaugeTracksQueueAndDrain)
+{
+    ManualClock clock(0.0);
+    obs::MetricsRegistry registry;
+    WorkQueue queue(manualOptions(clock, registry));
+    auto &depth = registry.gauge("common.queue.depth");
+
+    queue.submit([] {});
+    queue.submit([] {});
+    EXPECT_EQ(depth.value(), 2.0);
+    queue.drainReady();
+    EXPECT_EQ(depth.value(), 0.0);
+}
+
+} // namespace
+} // namespace amped

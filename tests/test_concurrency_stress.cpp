@@ -226,5 +226,62 @@ TEST(ConcurrencyStressTest, ConcurrentPoolsFromDistinctOwners)
     }
 }
 
+/**
+ * Cancellation soak: concurrent sweepAll callers share children of
+ * one token while another thread trips it mid-flight.  Under TSan
+ * this races the token's latch against checkpoint polls from every
+ * pool worker *and* races the memo cache's "never cache a stopped
+ * result" path against concurrent fills.  Whatever the
+ * interleaving, each caller must end in a consistent state, and a
+ * final clean call must prove no stopped result leaked into the
+ * cache.
+ */
+TEST(ConcurrencyStressTest, ConcurrentSweepAllRacingSharedCancel)
+{
+    constexpr int kCallers = 4;
+    // A batch size no other test uses -> a cold cache key that the
+    // cancelled and surviving callers fight over.
+    const std::vector<double> batches{216.0};
+
+    const CancelToken parent = CancelToken::make();
+    std::vector<explore::SweepResult> results(kCallers);
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&, t] {
+            explore::Explorer explorer(stressModel());
+            explorer.setThreads(2);
+            explorer.setCancelToken(parent.child());
+            results[static_cast<std::size_t>(t)] =
+                explorer.sweepAll(batches, stressJob());
+        });
+    }
+    std::thread canceller([&] { parent.cancel(); });
+    for (auto &caller : callers)
+        caller.join();
+    canceller.join();
+
+    for (const auto &result : results) {
+        // Every ending is legal under the race; every ending must be
+        // internally consistent.
+        EXPECT_EQ(result.entries.size() + result.skipped +
+                      result.memorySkipped,
+                  result.visitedPoints);
+        if (result.status == RunStatus::Completed)
+            EXPECT_EQ(result.cancelledUnvisited, 0u);
+        else
+            EXPECT_EQ(result.status, RunStatus::Cancelled);
+    }
+
+    // The cache must serve only Completed grids afterwards.
+    explore::Explorer clean_explorer(stressModel());
+    clean_explorer.setThreads(2);
+    const explore::SweepResult clean =
+        clean_explorer.sweepAll(batches, stressJob());
+    EXPECT_EQ(clean.status, RunStatus::Completed);
+    EXPECT_EQ(clean.cancelledUnvisited, 0u);
+    ASSERT_GT(clean.entries.size(), 0u);
+}
+
 } // namespace
 } // namespace amped

@@ -170,6 +170,29 @@ TEST(RunReportTest, BuilderAssemblesVersionedEnvelope)
     EXPECT_EQ(Json::parse(text).dump(2), text);
 }
 
+TEST(RunReportTest, SchemaV2GuaranteesCancelAndQueueMetrics)
+{
+    // Fresh registry, no token or queue ever created: the v2
+    // contract still renders every instrument of both families, as
+    // zeros, so report consumers can rely on the keys existing.
+    MetricsRegistry registry;
+    RunReportBuilder builder;
+    builder.setMetrics(registry);
+    const Json metrics = builder.build().at("metrics");
+
+    for (const char *key :
+         {"common.cancel.tokens", "common.cancel.requests",
+          "common.cancel.checkpoints", "common.cancel.observed",
+          "common.cancel.latency_seconds.count",
+          "common.queue.depth", "common.queue.submitted",
+          "common.queue.completed", "common.queue.rejected",
+          "common.queue.shed", "common.queue.expired",
+          "common.queue.retries", "common.queue.failed"}) {
+        ASSERT_TRUE(metrics.contains(key)) << key;
+        EXPECT_DOUBLE_EQ(metrics.at(key).asDouble(), 0.0) << key;
+    }
+}
+
 TEST(RunReportTest, EmptyBuilderStillEmitsEnvelope)
 {
     const Json report = RunReportBuilder().build();

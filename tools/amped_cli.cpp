@@ -28,13 +28,16 @@
  *       --dp-inter 6 --zero 2
  */
 
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <iostream>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "common/arg_parser.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/keyval.hpp"
 #include "common/table.hpp"
@@ -57,6 +60,87 @@
 namespace {
 
 using namespace amped;
+
+// ---------------------------------------------------------------
+// Cooperative shutdown: main() installs SIGINT/SIGTERM handlers
+// that trip the process-wide root token.  Long-running subcommands
+// derive a child token (optionally deadline-bounded via
+// --deadline-ms), so Ctrl-C stops the sweep at the next block/wave
+// checkpoint and the partial results already computed are still
+// flushed as valid CSV / tables before exit.
+
+std::atomic<int> g_stop_signal{0};
+
+/** Root token tripped by the signal handlers; made in main(). */
+CancelToken g_root_token;
+
+extern "C" void
+handleStopSignal(int signo)
+{
+    // Async-signal-safe: an atomic store plus CancelToken::cancel(),
+    // which is documented to perform only lock-free atomic stores
+    // and a monotonic clock read.
+    g_stop_signal.store(signo, std::memory_order_relaxed);
+    g_root_token.cancel();
+}
+
+void
+installSignalHandlers()
+{
+    g_root_token = CancelToken::make();
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+}
+
+/** Adds the wall-clock budget option shared by long-running runs. */
+void
+addDeadlineOption(ArgParser &parser)
+{
+    parser.addOption("deadline-ms",
+                     "wall-clock budget in milliseconds; the run "
+                     "stops at the next checkpoint once it expires "
+                     "(0 = no deadline)", "0");
+}
+
+/** Child of the root token carrying the --deadline-ms budget. */
+CancelToken
+tokenFrom(const ArgParser &parser)
+{
+    const double ms = parser.getDouble("deadline-ms");
+    require(ms >= 0.0, "--deadline-ms must be >= 0, got ", ms);
+    if (ms == 0.0)
+        return g_root_token.child();
+    return g_root_token.child(Deadline::after(ms / 1000.0));
+}
+
+/**
+ * Exit code for a run that stopped early: 130/143 after a SIGINT/
+ * SIGTERM (the shell convention 128 + signal), 124 when a deadline
+ * expired (the `timeout` utility's convention).
+ */
+int
+stopExitCode(RunStatus status)
+{
+    const int signo = g_stop_signal.load(std::memory_order_relaxed);
+    if (signo == SIGINT)
+        return 130;
+    if (signo == SIGTERM)
+        return 143;
+    if (status == RunStatus::DeadlineExceeded)
+        return 124;
+    return 130;
+}
+
+/** Stderr notice that partial results follow. */
+void
+reportStop(const char *what, RunStatus status, std::size_t visited,
+           std::size_t unvisited)
+{
+    std::cerr << what << " stopped early (" << toString(status)
+              << "): " << visited << " of " << (visited + unvisited)
+              << " grid points visited; partial results below are "
+                 "deterministic and valid\n";
+}
 
 /** Options shared by every subcommand. */
 void
@@ -212,15 +296,26 @@ cmdExplore(const std::vector<std::string> &args)
 {
     ArgParser parser;
     addCommonOptions(parser);
+    addDeadlineOption(parser);
     parser.addOption("top", "how many mappings to print", "10");
+    parser.addOption("max-grid-points",
+                     "reject sweeps whose mapping x batch grid "
+                     "exceeds this many points (0 = unlimited)", "0");
     parser.addFlag("memory-check",
                    "drop mappings that exceed device memory");
     parser.addFlag("csv", "emit CSV instead of an aligned table");
     parser.parse(args);
 
-    explore::Explorer explorer(modelFrom(parser));
+    const auto model = modelFrom(parser);
+    explore::preflightGridPoints(
+        model.system(), model.opCounter().config().numLayers,
+        /*num_jobs=*/1,
+        static_cast<std::size_t>(parser.getInt("max-grid-points")));
+
+    explore::Explorer explorer(model);
     explorer.setThreads(
         static_cast<unsigned>(parser.getInt("threads")));
+    explorer.setCancelToken(tokenFrom(parser));
     if (parser.getFlag("memory-check")) {
         explorer.setMemoryModel(core::MemoryModel(
             model::OpCounter(modelConfigFrom(parser)),
@@ -228,6 +323,9 @@ cmdExplore(const std::vector<std::string> &args)
     }
     auto sweep = explorer.sweepAll({parser.getDouble("batch")},
                                    jobFrom(parser));
+    if (sweep.status != RunStatus::Completed)
+        reportStop("explore", sweep.status, sweep.visitedPoints,
+                   sweep.cancelledUnvisited);
     explore::Explorer::sortByTime(sweep.entries);
     const auto top =
         static_cast<std::size_t>(parser.getInt("top"));
@@ -243,6 +341,8 @@ cmdExplore(const std::vector<std::string> &args)
         std::cout << explore::sweepCsv(sweep.entries);
     else
         std::cout << explore::sweepTable(sweep.entries);
+    if (sweep.status != RunStatus::Completed)
+        return stopExitCode(sweep.status);
     return 0;
 }
 
@@ -285,19 +385,31 @@ cmdOptimize(const std::vector<std::string> &args)
 {
     ArgParser parser;
     addCommonOptions(parser);
+    addDeadlineOption(parser);
     parser.addOption("top", "how many strategies to return", "5");
     parser.addOption("batches",
                      "comma-separated batch sizes to search "
                      "(empty = just --batch)", "");
     parser.addOption("ep", "expert-parallel degree N_EP", "1");
+    parser.addOption("max-grid-points",
+                     "reject searches whose mapping x batch grid "
+                     "exceeds this many points (0 = unlimited)", "0");
     parser.addFlag("memory-check",
                    "prune mappings that exceed device memory");
     parser.addFlag("csv", "emit CSV instead of an aligned table");
     parser.parse(args);
 
-    explore::Optimizer optimizer(modelFrom(parser));
+    const auto model = modelFrom(parser);
+    const auto batches = batchListFrom(parser);
+    explore::preflightGridPoints(
+        model.system(), model.opCounter().config().numLayers,
+        batches.size(),
+        static_cast<std::size_t>(parser.getInt("max-grid-points")));
+
+    explore::Optimizer optimizer(model);
     optimizer.setThreads(
         static_cast<unsigned>(parser.getInt("threads")));
+    optimizer.setCancelToken(tokenFrom(parser));
     if (parser.getFlag("memory-check")) {
         optimizer.setMemoryModel(core::MemoryModel(
             model::OpCounter(modelConfigFrom(parser)),
@@ -305,7 +417,7 @@ cmdOptimize(const std::vector<std::string> &args)
     }
 
     explore::OptimizerRequest request;
-    request.batchSizes = batchListFrom(parser);
+    request.batchSizes = batches;
     request.jobTemplate = jobFrom(parser);
     request.topK =
         static_cast<std::size_t>(parser.getInt("top"));
@@ -313,6 +425,10 @@ cmdOptimize(const std::vector<std::string> &args)
     const auto result = optimizer.optimize(request);
 
     const auto &c = result.counters;
+    if (result.status != RunStatus::Completed)
+        reportStop("optimize", result.status,
+                   c.points - c.cancelledUnvisited,
+                   c.cancelledUnvisited);
     std::cerr << result.topK.size() << " strategies found; "
               << c.points << " points searched: " << c.evaluated
               << " evaluated, " << c.prunedByBound
@@ -323,6 +439,8 @@ cmdOptimize(const std::vector<std::string> &args)
         std::cout << explore::sweepCsv(result.topK);
     else
         std::cout << explore::sweepTable(result.topK);
+    if (result.status != RunStatus::Completed)
+        return stopExitCode(result.status);
     return 0;
 }
 
@@ -478,6 +596,7 @@ cmdResilience(const std::vector<std::string> &args)
                      "Monte-Carlo cross-check replications (0 = "
                      "analytic only)", "0");
     parser.addOption("mc-seed", "Monte-Carlo base seed", "1");
+    addDeadlineOption(parser);
     parser.parse(args);
 
     const auto model = modelFrom(parser);
@@ -561,11 +680,20 @@ cmdResilience(const std::vector<std::string> &args)
             Seconds{result.totalTime}, config, replications,
             static_cast<std::uint64_t>(parser.getInt("mc-seed")),
             ThreadPool::shared(),
-            static_cast<std::size_t>(parser.getInt("threads")));
+            static_cast<std::size_t>(parser.getInt("threads")),
+            tokenFrom(parser));
+        if (stats.status != RunStatus::Completed) {
+            std::cerr << "resilience Monte-Carlo stopped early ("
+                      << toString(stats.status) << "): statistics "
+                      << "cover " << stats.replications << " of "
+                      << replications << " replications\n";
+        }
         std::cout << "Monte-Carlo check:  "
                   << days(stats.meanSeconds.value()) << " +/- "
                   << days(stats.standardError.value()) << " ("
                   << stats.replications << " replications)\n";
+        if (stats.status != RunStatus::Completed)
+            return stopExitCode(stats.status);
     }
     return 0;
 }
@@ -758,6 +886,7 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
+    installSignalHandlers();
     const std::string command = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
     try {
