@@ -73,10 +73,20 @@ class GoldenOut
                 require(i + 1 < argc,
                         "--report-out needs a file path");
                 reportPath_ = argv[++i];
+            } else if (arg == "--bench-out") {
+                require(i + 1 < argc,
+                        "--bench-out needs a file path");
+                benchPath_ = argv[++i];
+            } else if (arg == "--transcript-out") {
+                require(i + 1 < argc,
+                        "--transcript-out needs a file path");
+                transcriptPath_ = argv[++i];
             } else {
                 fatal("unknown bench option '", arg,
                       "' (supported: --golden-out <path>, "
-                      "--trace-out <path>, --report-out <path>)");
+                      "--trace-out <path>, --report-out <path>, "
+                      "--bench-out <path>, --transcript-out "
+                      "<path>)");
             }
         }
     }
@@ -89,6 +99,19 @@ class GoldenOut
 
     /** Run-report output path ("" when --report-out not given). */
     const std::string &reportPath() const { return reportPath_; }
+
+    /** Wall-clock bench record path ("" when --bench-out not
+     *  given); harnesses with timing results (perf numbers that
+     *  cannot live in the deterministic golden) write them here. */
+    const std::string &benchPath() const { return benchPath_; }
+
+    /** Raw transcript path ("" when --transcript-out not given);
+     *  the serve load generator dumps its response lines here for
+     *  external schema validation. */
+    const std::string &transcriptPath() const
+    {
+        return transcriptPath_;
+    }
 
     /** Records one metric (NaN = infeasible point). */
     void
@@ -119,6 +142,8 @@ class GoldenOut
     std::string path_;
     std::string tracePath_;
     std::string reportPath_;
+    std::string benchPath_;
+    std::string transcriptPath_;
     ::amped::testing::GoldenRecord record_;
 };
 

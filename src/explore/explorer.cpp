@@ -184,12 +184,39 @@ struct SweepCacheEntry
 };
 
 /**
- * At capacity the least-recently-used entry is evicted (recency =
- * last hit or insertion), so a working set of repeated queries stays
- * resident even while one-off sweeps churn through the cache.
- * Evictions are published as `explore.sweep_cache.evictions`.
+ * At capacity — an entry-count cap or a resident-byte budget,
+ * whichever bites first — the least-recently-used entry is evicted
+ * (recency = last hit or insertion), so a working set of repeated
+ * queries stays resident even while one-off sweeps churn through the
+ * cache.  Evictions are published as
+ * `explore.sweep_cache.evictions` / `.evicted_bytes`, and occupancy
+ * as the `explore.sweep_cache.bytes` / `.entries` gauges.
  */
 constexpr std::size_t kSweepCacheCapacity = 64;
+
+/** Resident-byte budget for the memoized sweep results. */
+constexpr std::size_t kSweepCacheBudgetBytes = 64u << 20;
+
+/**
+ * Approximate resident footprint of one memo entry: the canonical
+ * key plus the sweep's entry array (the dominant term for any
+ * non-trivial grid).  Advisory accounting for the byte budget, not
+ * an allocator-exact measure.
+ */
+std::size_t
+sweepCacheEntryBytes(const SweepCacheEntry &entry)
+{
+    return sizeof(SweepCacheEntry) + entry.key.size() +
+           entry.result.entries.size() * sizeof(SweepEntry);
+}
+
+/** Tracked resident bytes; guarded by sweepCacheMutex(). */
+std::size_t &
+sweepCacheBytes()
+{
+    static std::size_t bytes = 0;
+    return bytes;
+}
 
 std::mutex &
 sweepCacheMutex()
@@ -422,6 +449,12 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
         metrics.counter("explore.sweep_cache.misses");
     static obs::Counter &evictions =
         metrics.counter("explore.sweep_cache.evictions");
+    static obs::Counter &evicted_bytes =
+        metrics.counter("explore.sweep_cache.evicted_bytes");
+    static obs::Gauge &bytes_gauge =
+        metrics.gauge("explore.sweep_cache.bytes");
+    static obs::Gauge &entries_gauge =
+        metrics.gauge("explore.sweep_cache.entries");
 
     const std::string key = sweepCacheKey(
         model_, memoryModel_, batch_sizes, job_template, threads_);
@@ -452,20 +485,34 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
     {
         std::lock_guard<std::mutex> lock(sweepCacheMutex());
         auto &cache = sweepCache();
-        if (cache.size() >= kSweepCacheCapacity &&
-            cache.find(hash) == cache.end()) {
-            // Evict only the least-recently-used entry (the capacity
-            // is small enough that a linear scan beats maintaining an
-            // intrusive list).
+        SweepCacheEntry fresh{key, result, ++sweepCacheClock()};
+        const std::size_t fresh_bytes = sweepCacheEntryBytes(fresh);
+        if (const auto old = cache.find(hash); old != cache.end()) {
+            sweepCacheBytes() -= sweepCacheEntryBytes(old->second);
+            cache.erase(old);
+        }
+        // Evict down to both caps before inserting.  The capacity is
+        // small enough that a linear LRU scan beats maintaining an
+        // intrusive list.
+        while (!cache.empty() &&
+               (cache.size() >= kSweepCacheCapacity ||
+                sweepCacheBytes() + fresh_bytes >
+                    kSweepCacheBudgetBytes)) {
             auto lru = cache.begin();
             for (auto it = cache.begin(); it != cache.end(); ++it)
                 if (it->second.stamp < lru->second.stamp)
                     lru = it;
+            const std::size_t lru_bytes =
+                sweepCacheEntryBytes(lru->second);
+            sweepCacheBytes() -= lru_bytes;
             cache.erase(lru);
             evictions.add(1);
+            evicted_bytes.add(lru_bytes);
         }
-        cache[hash] =
-            SweepCacheEntry{key, result, ++sweepCacheClock()};
+        sweepCacheBytes() += fresh_bytes;
+        cache[hash] = std::move(fresh);
+        bytes_gauge.set(static_cast<double>(sweepCacheBytes()));
+        entries_gauge.set(static_cast<double>(cache.size()));
     }
     return result;
 }

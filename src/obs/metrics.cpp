@@ -34,13 +34,16 @@ Histogram::observe(double value)
     }
     buckets_[static_cast<std::size_t>(index)]
         .fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
     // No atomic<double>::fetch_add before C++20 on all toolchains:
     // CAS loop keeps the sum lock-free and portable.
     double expected = sum_.load(std::memory_order_relaxed);
     while (!sum_.compare_exchange_weak(expected, expected + value,
                                        std::memory_order_relaxed)) {
     }
+    // Publish bucket and sum before the count becomes visible, so a
+    // reader that acquires count() sees a sum/bucket total covering
+    // at least that many observations (see Histogram::count()).
+    count_.fetch_add(1, std::memory_order_release);
 }
 
 void

@@ -95,13 +95,22 @@ class Histogram
 
     void observe(double value);
 
+    /**
+     * Observations recorded so far.  observe() publishes the bucket
+     * and sum updates *before* incrementing the count (release), and
+     * this load is an acquire: a reader that loads count() first and
+     * then sum() / bucketCount() sees a sum and bucket total that
+     * include at least every counted observation.  Concurrent
+     * snapshots may see sum/buckets run *ahead* of count (an
+     * observation between the two loads), never behind.
+     */
     std::uint64_t
     count() const
     {
-        return count_.load(std::memory_order_relaxed);
+        return count_.load(std::memory_order_acquire);
     }
 
-    /** Sum of observed values (not atomic w.r.t. count; advisory). */
+    /** Sum of observed values (coherent with count(); see there). */
     double sum() const { return sum_.load(std::memory_order_relaxed); }
 
     std::uint64_t

@@ -9,6 +9,23 @@
 
 namespace amped::obs {
 
+void
+registerServeMetrics(MetricsRegistry &registry)
+{
+    registry.counter("serve.requests");
+    registry.counter("serve.responses.ok");
+    registry.counter("serve.responses.error");
+    registry.counter("serve.responses.dropped");
+    registry.counter("serve.cache.hits");
+    registry.counter("serve.cache.misses");
+    registry.counter("serve.cache.evictions");
+    registry.counter("serve.cache.evicted_bytes");
+    registry.gauge("serve.cache.bytes");
+    registry.gauge("serve.cache.entries");
+    registry.histogram("serve.request.latency_seconds",
+                       /*timing=*/true);
+}
+
 Json
 analyticalJson(const core::EvaluationResult &result)
 {
@@ -170,11 +187,12 @@ RunReportBuilder &
 RunReportBuilder::setMetrics(MetricsRegistry &registry,
                              RenderMode mode)
 {
-    // Schema v2: the cancellation and admission-queue families are
-    // part of the metrics contract — register them before the
-    // snapshot so they render as zeros when unused.
+    // Schema v2/v3: the cancellation, admission-queue, and serve
+    // families are part of the metrics contract — register them
+    // before the snapshot so they render as zeros when unused.
     registerCancellationMetrics(registry);
     registerWorkQueueMetrics(registry);
+    registerServeMetrics(registry);
     metrics_ = metricsJson(registry, mode);
     hasMetrics_ = true;
     return *this;

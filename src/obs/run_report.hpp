@@ -4,10 +4,10 @@
  * breakdown, simulator outcomes, failure accounting, and a metrics
  * snapshot behind a versioned schema.
  *
- * Schema (version 2), all sections optional except the envelope:
+ * Schema (version 3), all sections optional except the envelope:
  *
  *     {
- *       "schema_version": 2,
+ *       "schema_version": 3,
  *       "generator": "amped",
  *       "config": { ... caller-provided echo of the inputs ... },
  *       "analytical": {
@@ -44,6 +44,12 @@
  *       or queue.  Purely additive — every v1 key is unchanged and
  *       v1 readers can consume v2 documents by ignoring the new
  *       keys — but setMetrics now takes a mutable registry.
+ *   v3  adds the evaluation-service family (`serve.requests`,
+ *       `serve.responses.{ok,error,dropped}`,
+ *       `serve.cache.{hits,misses,evictions,evicted_bytes,bytes,
+ *       entries}`, `serve.request.latency_seconds`) to the same
+ *       guarantee via registerServeMetrics.  Purely additive again:
+ *       v2 readers ignore the new zero-valued keys.
  */
 
 #ifndef AMPED_OBS_RUN_REPORT_HPP
@@ -59,7 +65,17 @@
 namespace amped::obs {
 
 /** Current run-report schema version. */
-constexpr int kRunReportSchemaVersion = 2;
+constexpr int kRunReportSchemaVersion = 3;
+
+/**
+ * Pre-registers the `serve.*` instrument family (request/response
+ * counters, LRU-cache accounting, and the request latency timing
+ * histogram) so schema-v3 reports render them even in runs that
+ * never constructed a serve::Server.  Lives here rather than in the
+ * serve library because the report layer owns the schema guarantee
+ * and cannot link against serve (it is a lower layer).
+ */
+void registerServeMetrics(MetricsRegistry &registry);
 
 /** The `analytical` section for one model evaluation. */
 Json analyticalJson(const core::EvaluationResult &result);

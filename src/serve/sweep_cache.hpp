@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Byte-budgeted LRU response cache shared across serve requests.
+ *
+ * The Explorer's process-wide sweepAll memo cache (explore/
+ * explorer.cpp) is bounded by entry *count*; a service with a
+ * latency SLO needs a *memory* bound instead, because one cached
+ * 145b-scale sweep result dwarfs a thousand tiny ones.  This class
+ * is the promoted form: it stores the serialized result JSON of
+ * completed sweep / optimize requests keyed by a canonical request
+ * string, accounts the exact byte size of every entry (key + value),
+ * and evicts least-recently-used entries until the configured budget
+ * holds again.
+ *
+ * Caching serialized responses (not SweepResult objects) keeps the
+ * byte accounting exact and makes a hit O(1): the server replays the
+ * stored string into the response envelope without re-rendering.
+ * Only RunStatus::Completed results may be inserted — a cancelled
+ * sweep's prefix is valid for its caller but would silently serve as
+ * "the full grid" to the next one (the same rule the Explorer memo
+ * cache enforces).
+ *
+ * Thread safety: all operations take an internal mutex, so one cache
+ * instance may be shared by a TCP accept loop and tests hammering it
+ * concurrently.
+ *
+ * Observability (registered lazily in the configured registry):
+ *   serve.cache.hits           get() found a fresh entry
+ *   serve.cache.misses         get() found nothing
+ *   serve.cache.evicted_bytes  bytes discarded to regain the budget
+ *   serve.cache.evictions      entries discarded
+ *   serve.cache.bytes          gauge: bytes currently resident
+ *   serve.cache.entries        gauge: entries currently resident
+ */
+
+#ifndef AMPED_SERVE_SWEEP_CACHE_HPP
+#define AMPED_SERVE_SWEEP_CACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace amped {
+
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+} // namespace obs
+
+namespace serve {
+
+/**
+ * Bounded LRU map from canonical request keys to serialized result
+ * JSON, evicting by total resident bytes.
+ */
+class SweepCacheLru
+{
+  public:
+    /**
+     * @param budget_bytes Maximum resident bytes (keys + values).
+     *        Entries are evicted oldest-use first until the budget
+     *        holds; a single entry larger than the whole budget is
+     *        simply not cached.
+     * @param registry Metrics destination (nullptr = the global
+     *        registry).
+     */
+    explicit SweepCacheLru(std::size_t budget_bytes,
+                           obs::MetricsRegistry *registry = nullptr);
+
+    /**
+     * Looks up @p key, refreshing its recency on a hit.
+     *
+     * @return The cached serialized result, or nullopt on a miss.
+     */
+    std::optional<std::string> get(const std::string &key);
+
+    /**
+     * Inserts (or refreshes) @p key -> @p value and evicts
+     * least-recently-used entries until the byte budget holds.
+     * Inserting an entry that alone exceeds the budget is a no-op.
+     */
+    void put(const std::string &key, const std::string &value);
+
+    /** Entries currently resident. */
+    std::size_t size() const;
+
+    /** Bytes currently resident (keys + values). */
+    std::size_t bytes() const;
+
+    /** The configured byte budget. */
+    std::size_t budgetBytes() const { return budgetBytes_; }
+
+    /** Drops every entry (counts as eviction for the metrics). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::string key;   ///< Owned copy (collision-free map key).
+        std::string value; ///< Serialized result JSON.
+        std::uint64_t stamp = 0; ///< Recency (larger = fresher).
+    };
+
+    static std::size_t entryBytes(const Entry &entry)
+    {
+        return entry.key.size() + entry.value.size();
+    }
+
+    /** Evicts LRU entries until bytes_ <= budgetBytes_.  Caller must
+     *  hold mutex_. */
+    void evictToBudget();
+
+    void publishGauges();
+
+    const std::size_t budgetBytes_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_;
+    std::uint64_t clock_ = 0;
+    std::size_t bytes_ = 0;
+
+    obs::Counter *hitsCounter_;
+    obs::Counter *missesCounter_;
+    obs::Counter *evictedBytesCounter_;
+    obs::Counter *evictionsCounter_;
+    obs::Gauge *bytesGauge_;
+    obs::Gauge *entriesGauge_;
+};
+
+} // namespace serve
+} // namespace amped
+
+#endif // AMPED_SERVE_SWEEP_CACHE_HPP

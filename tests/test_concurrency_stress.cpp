@@ -194,6 +194,58 @@ TEST(ConcurrencyStressTest, SnapshotDuringConcurrentWrites)
 }
 
 /**
+ * Pins the Histogram count/sum coherence contract: observe()
+ * publishes the bucket and sum updates before the count (release),
+ * and count() is an acquire load, so a reader that loads count()
+ * *first* must see a sum and bucket total covering at least that
+ * many observations.  Every observation here is exactly 1.0, which
+ * turns the contract into two integer inequalities a racing reader
+ * can check exactly: sum >= count and bucket-total >= count.  Before
+ * the ordering fix, count ran ahead of sum and this test's reader
+ * loop failed within a few thousand iterations.
+ */
+TEST(ConcurrencyStressTest, HistogramCountNeverAheadOfSum)
+{
+    obs::Histogram histogram;
+
+    constexpr int kWriters = 4;
+    constexpr int kOpsPerWriter = 50000;
+    std::atomic<bool> stop{false};
+
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            // Order matters: count first (acquire), then sum and
+            // buckets — the invariant is only one-directional.
+            const std::uint64_t count = histogram.count();
+            const double sum = histogram.sum();
+            std::uint64_t in_buckets = 0;
+            for (int i = 0; i <= obs::Histogram::kNumBounds; ++i)
+                in_buckets += histogram.bucketCount(i);
+            EXPECT_GE(sum, static_cast<double>(count));
+            EXPECT_GE(in_buckets, count);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&] {
+            for (int i = 0; i < kOpsPerWriter; ++i)
+                histogram.observe(1.0);
+        });
+    }
+    for (auto &writer : writers)
+        writer.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(
+                                     kWriters * kOpsPerWriter));
+    EXPECT_DOUBLE_EQ(histogram.sum(),
+                     static_cast<double>(kWriters * kOpsPerWriter));
+}
+
+/**
  * Each host thread owns its own pool (the Explorer-under-concurrent-
  * callers shape).  The per-index writes are private, but all pools
  * bump the same global instrumentation counters, which is exactly

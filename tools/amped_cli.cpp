@@ -14,6 +14,8 @@
  *   trace      simulate one training step from a key = value config
  *              file and export a Chrome-trace (chrome://tracing /
  *              Perfetto) JSON and/or a structured JSON run report
+ *   serve      long-lived JSON evaluation service (stdio pipes or a
+ *              loopback TCP socket; see serve/protocol.hpp)
  *   presets    list the built-in model/accelerator/interconnect names
  *
  * Custom hardware/models load from key = value files via
@@ -54,6 +56,7 @@
 #include "net/system_config.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/run_report.hpp"
+#include "serve/server.hpp"
 #include "sim/training_sim.hpp"
 #include "validate/calibrations.hpp"
 
@@ -852,6 +855,58 @@ cmdTrace(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * `amped serve` — the long-lived evaluation service.  --stdio serves
+ * newline-delimited requests on stdin/stdout (no sockets; what the
+ * tests, the load generator, and CI drive); the default binds a
+ * loopback TCP socket.  SIGINT/SIGTERM trip the root token: an
+ * in-flight sweep stops at its next checkpoint, the partial response
+ * is still flushed, and the process exits 130/143.
+ */
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    ArgParser parser;
+    parser.addOption("config",
+                     "server config file (see examples/configs/"
+                     "serve_default.cfg)", "");
+    parser.addOption("port",
+                     "loopback TCP port (0 = ephemeral)", "7787");
+    parser.addFlag("stdio",
+                   "serve stdin/stdout pipes instead of TCP");
+    parser.addOption("threads",
+                     "sweep worker threads override (-1 = config "
+                     "value)", "-1");
+    parser.parse(args);
+
+    serve::ServerOptions options;
+    if (!parser.get("config").empty()) {
+        options = serve::optionsFromConfig(
+            KeyValueConfig::fromFile(parser.get("config")));
+    }
+    const std::int64_t threads = parser.getInt("threads");
+    if (threads >= 0)
+        options.threads = static_cast<unsigned>(threads);
+
+    serve::Server server(options);
+    server.setCancelToken(g_root_token.child());
+
+    RunStatus status;
+    if (parser.getFlag("stdio")) {
+        status = server.serveStream(std::cin, std::cout);
+    } else {
+        const std::int64_t port = parser.getInt("port");
+        require(port >= 0 && port <= 65535,
+                "--port must be in [0, 65535], got ", port);
+        status = server.serveTcp(static_cast<std::uint16_t>(port));
+    }
+    if (status != RunStatus::Completed) {
+        std::cerr << "serve stopped (" << toString(status) << ")\n";
+        return stopExitCode(status);
+    }
+    return 0;
+}
+
 int
 cmdPresets()
 {
@@ -873,7 +928,7 @@ usage()
 {
     std::cout
         << "usage: amped <evaluate|breakdown|explore|optimize|memory|"
-           "scale|resilience|report|trace|presets> [options]\n"
+           "scale|resilience|report|trace|serve|presets> [options]\n"
            "run 'amped <subcommand> --help' style options are shown "
            "on any parse error.\n";
     return 2;
@@ -908,6 +963,8 @@ main(int argc, char **argv)
             return cmdReport(args);
         if (command == "trace")
             return cmdTrace(args);
+        if (command == "serve")
+            return cmdServe(args);
         if (command == "presets")
             return cmdPresets();
         std::cerr << "unknown subcommand '" << command << "'\n";

@@ -57,6 +57,7 @@ const std::vector<std::string> kBenches = {
     "perf_microbench",
     "obs_run_report",
     "optimizer_case_study",
+    "serve_loadgen",
 };
 
 /**

@@ -9,8 +9,11 @@
 #   deadline: --deadline-ms 1 must stop the run, exit 124 (the
 #             `timeout` convention), report the deadline on stderr,
 #             and still flush well-formed CSV.
+#   serve:    a SIGTERM landing while `amped serve --stdio` is mid-
+#             request must exit 143 and still flush the in-flight
+#             response as valid JSON with run_status "cancelled".
 #
-# Usage: smoke_cancel.sh <amped-binary> <work-dir> <sigint|deadline>
+# Usage: smoke_cancel.sh <amped-binary> <work-dir> <sigint|deadline|serve>
 set -u
 
 AMPED=$1
@@ -88,8 +91,71 @@ deadline)
     echo "deadline smoke ok"
     exit 0
     ;;
+serve)
+    # The same deliberately large grid, phrased as one serve request.
+    REQUEST=$(python3 -c "
+import json
+batches = [256 + 8 * i for i in range(2000)]
+print(json.dumps({'id': 1, 'method': 'optimize', 'params': {
+    'model': '145b', 'nodes': 64, 'per-node': 8,
+    'batches': batches, 'top': 100000}}))
+")
+    # The transcript must hold only well-formed JSON lines, and the
+    # last one must be the in-flight request flushed as a partial
+    # result.  Exit 3 = the run completed before the signal (retry).
+    check_transcript() {
+        python3 - "$WORK/out.jsonl" <<'EOF'
+import json
+import sys
+
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit(3)  # signal landed before the request began
+responses = [json.loads(l) for l in lines]
+last = responses[-1]
+assert last["status"] == "ok", f"unexpected status: {last!r}"
+if last["run_status"] == "completed":
+    sys.exit(3)  # signal landed after the request finished
+assert last["run_status"] == "cancelled", f"unexpected: {last!r}"
+EOF
+    }
+    # As above: the signal must land mid-request, so retry with
+    # shrinking delays when the run wins the race.  $! names the last
+    # pipeline component — the server binary itself, not the feeder
+    # subshell (which dies on its own within 5s).
+    for delay in 0.5 0.3 0.15 0.05; do
+        { printf '%s\n' "$REQUEST"; sleep 5; } |
+            "$AMPED" serve --stdio \
+                >"$WORK/out.jsonl" 2>"$WORK/err.txt" &
+        pid=$!
+        sleep "$delay"
+        kill -TERM "$pid" 2>/dev/null
+        wait "$pid"
+        rc=$?
+        if [ "$rc" -ne 143 ]; then
+            echo "delay ${delay}s: exit $rc (expected 143); retrying" >&2
+            continue
+        fi
+        check_transcript
+        check_rc=$?
+        if [ "$check_rc" -eq 3 ]; then
+            echo "delay ${delay}s: signal missed the request; retrying" >&2
+            continue
+        fi
+        [ "$check_rc" -eq 0 ] || exit 1
+        grep -q "serve stopped (cancelled)" "$WORK/err.txt" || {
+            echo "FAIL: no cancellation notice on stderr" >&2
+            cat "$WORK/err.txt" >&2
+            exit 1
+        }
+        echo "serve smoke ok (SIGTERM after ${delay}s)"
+        exit 0
+    done
+    echo "FAIL: never interrupted a serve request mid-flight" >&2
+    exit 1
+    ;;
 *)
-    echo "usage: smoke_cancel.sh <amped> <work-dir> <sigint|deadline>" >&2
+    echo "usage: smoke_cancel.sh <amped> <work-dir> <sigint|deadline|serve>" >&2
     exit 2
     ;;
 esac
