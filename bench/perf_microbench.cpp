@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "case_study_util.hpp"
+#include "common/parse_num.hpp"
 #include "common/thread_pool.hpp"
 #include "core/amped_model.hpp"
 #include "explore/explorer.hpp"
@@ -366,7 +367,7 @@ runSweepBenchMode(int argc, char **argv)
         else if (arg == "--sweep-baseline" && value)
             baseline_path = argv[++i];
         else if (arg == "--sweep-max-regression" && value)
-            max_regression = std::strtod(argv[++i], nullptr);
+            max_regression = amped::parseDouble(argv[++i]);
         else if (arg == "--sweep-batches" && value)
             num_batches = static_cast<std::size_t>(
                 std::strtoul(argv[++i], nullptr, 10));

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/parse_num.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -35,8 +36,8 @@ main(int argc, char **argv)
 {
     using namespace amped;
 
-    const double true_a = argc > 1 ? std::atof(argv[1]) : 0.8;
-    const double true_b = argc > 2 ? std::atof(argv[2]) : 8.0;
+    const double true_a = argc > 1 ? amped::parseDouble(argv[1]) : 0.8;
+    const double true_b = argc > 2 ? amped::parseDouble(argv[2]) : 8.0;
 
     try {
         const auto model_cfg = model::presets::minGpt85M();

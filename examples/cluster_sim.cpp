@@ -15,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common/parse_num.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
 #include "core/amped_model.hpp"
@@ -31,7 +32,7 @@ main(int argc, char **argv)
     using namespace amped;
 
     const std::int64_t devices = argc > 1 ? std::atoll(argv[1]) : 8;
-    const double microbatch = argc > 2 ? std::atof(argv[2]) : 16.0;
+    const double microbatch = argc > 2 ? amped::parseDouble(argv[2]) : 16.0;
 
     const auto model_cfg = model::presets::minGptPipeline();
     const auto accel = hw::presets::v100Sxm3();

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/parse_num.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -46,7 +47,7 @@ main(int argc, char **argv)
     using namespace amped;
 
     const std::string model_name = argc > 1 ? argv[1] : "145B";
-    const double batch = argc > 2 ? std::atof(argv[2]) : 2048.0;
+    const double batch = argc > 2 ? amped::parseDouble(argv[2]) : 2048.0;
     const auto model_cfg = pickModel(model_name);
     const auto accel = hw::presets::a100();
     const auto system = net::presets::a100Cluster1024();

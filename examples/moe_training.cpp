@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/parse_num.hpp"
 #include "common/table.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
@@ -27,7 +28,7 @@ main(int argc, char **argv)
 {
     using namespace amped;
 
-    const double batch = argc > 1 ? std::atof(argv[1]) : 8192.0;
+    const double batch = argc > 1 ? amped::parseDouble(argv[1]) : 8192.0;
     const auto system = net::presets::h100Cluster3072();
     const auto accel = hw::presets::h100();
     const auto eff = validate::calibrations::caseStudy3();

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/parse_num.hpp"
 #include "common/table.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
@@ -30,7 +31,7 @@ main(int argc, char **argv)
     using namespace amped;
 
     const std::string model_name = argc > 1 ? argv[1] : "145B";
-    const double batch = argc > 2 ? std::atof(argv[2]) : 8192.0;
+    const double batch = argc > 2 ? amped::parseDouble(argv[2]) : 8192.0;
 
     const bool is_moe = model_name == "glam";
     const auto model_cfg = is_moe ? model::presets::glamMoE()

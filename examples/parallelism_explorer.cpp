@@ -20,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/parse_num.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
 #include "explore/explorer.hpp"
@@ -53,7 +54,7 @@ main(int argc, char **argv)
     using namespace amped;
 
     const std::string model_name = argc > 1 ? argv[1] : "145B";
-    const double batch = argc > 2 ? std::atof(argv[2]) : 8192.0;
+    const double batch = argc > 2 ? amped::parseDouble(argv[2]) : 8192.0;
     const std::int64_t nodes = argc > 3 ? std::atoll(argv[3]) : 128;
     const std::int64_t per_node = argc > 4 ? std::atoll(argv[4]) : 8;
     const std::size_t top_k =

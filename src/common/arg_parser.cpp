@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "error.hpp"
+#include "parse_num.hpp"
 
 namespace amped {
 
@@ -71,10 +72,9 @@ double
 ArgParser::getDouble(const std::string &name) const
 {
     const std::string text = get(name);
-    char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    require(end != nullptr && *end == '\0' && !text.empty(),
-            "option --", name, ": '", text, "' is not a number");
+    double value = 0.0;
+    require(tryParseDouble(text.c_str(), value), "option --", name,
+            ": '", text, "' is not a number");
     return value;
 }
 

@@ -178,6 +178,14 @@ class Deadline
  * copies observe (and trip) the same request.  Default-constructed
  * tokens are inert: every query answers Completed at the cost of one
  * null check, and cancel() is a no-op.
+ *
+ * Thread-safety annotations (common/thread_annotations.hpp):
+ * deliberately none.  The shared state is atomics-only — no mutex,
+ * no compound invariant spanning two fields — because cancel() must
+ * stay async-signal-safe (a mutex in a SIGTERM handler can
+ * deadlock).  This is the repo's documented convention: single-word
+ * flags crossed by signal handlers or hot paths stay atomic; state
+ * with multi-field invariants takes a Mutex and AMPED_GUARDED_BY.
  */
 class CancelToken
 {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "error.hpp"
+#include "parse_num.hpp"
 
 namespace amped {
 
@@ -89,10 +90,9 @@ double
 KeyValueConfig::getDouble(const std::string &key) const
 {
     const std::string text = getString(key);
-    char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    require(end != nullptr && *end == '\0' && !text.empty(),
-            "config key '", key, "': '", text, "' is not a number");
+    double value = 0.0;
+    require(tryParseDouble(text.c_str(), value), "config key '", key,
+            "': '", text, "' is not a number");
     return value;
 }
 

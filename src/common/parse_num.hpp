@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Locale-independent double parsing — the one place the repo turns
+ * text into floating point.
+ *
+ * Everything downstream of a parsed double is part of the
+ * determinism contract: goldens, JSON round-trips, config files, CLI
+ * flags.  `std::strtod` and friends read the *current C locale's*
+ * radix character, so a process running under LC_ALL=de_DE.UTF-8
+ * parses "0.5" as 0 and silently corrupts every golden.  The
+ * `no-locale-parse` rule of tools/amped_lint bans strtod / atof /
+ * sscanf-float across the tree; this header is the canonical
+ * replacement they route through.
+ *
+ * Semantics (deliberately the strtod C-locale contract, so swapping
+ * parsers never changed a golden):
+ *
+ *  - leading whitespace is skipped, an optional '+' or '-' sign is
+ *    accepted (std::from_chars itself takes neither);
+ *  - "inf" / "infinity" / "nan" parse case-insensitively;
+ *  - overflow parses to +-HUGE_VAL and underflow to a signed zero,
+ *    exactly as strtod reports them;
+ *  - @p end (when non-null) receives the first unconsumed character,
+ *    strtod-style, and equals @p begin when nothing parsed.
+ *
+ * Implementation: std::from_chars — locale-independent by
+ * specification, and it already accepts inf/infinity/nan — with a
+ * byte-level prefix scan for the leading whitespace and '+'/'-' sign
+ * from_chars does not take.  Header-only so the obs layer (which
+ * links *below* amped_common) can use it.
+ */
+
+#ifndef AMPED_COMMON_PARSE_NUM_HPP
+#define AMPED_COMMON_PARSE_NUM_HPP
+
+#include <cctype>
+#include <charconv>
+#include <cstddef>
+#include <limits>
+#include <system_error>
+
+#if !defined(__cpp_lib_to_chars)
+#include <cstdlib>
+#endif
+
+namespace amped {
+
+/**
+ * Parses a double from the NUL-terminated @p text, strtod-style but
+ * immune to the process locale.
+ *
+ * @param text Input; leading whitespace and an optional sign are
+ *        consumed before the number.
+ * @param end When non-null, receives a pointer to the first
+ *        character after the parsed number — equal to @p text when
+ *        nothing parsed (and 0.0 is returned).
+ * @return The parsed value; +-HUGE_VAL on overflow, a signed zero on
+ *         underflow, 0.0 when nothing parsed.
+ */
+inline double
+parseDouble(const char *text, const char **end = nullptr)
+{
+#if !defined(__cpp_lib_to_chars)
+    // Toolchains without floating-point from_chars (libstdc++ < 11)
+    // fall back to strtod, whose semantics this function mirrors.
+    // That re-opens the locale hole on those toolchains only; every
+    // supported CI compiler has from_chars, and the allowlist entry
+    // no-locale-parse:src/common/parse_num.hpp:strtod documents this
+    // as the one sanctioned use.
+    char *stop = nullptr;
+    const double value = std::strtod(text, &stop);
+    if (end != nullptr)
+        *end = stop == nullptr ? text : stop;
+    return value;
+#else
+    const char *cursor = text;
+    while (*cursor != '\0' &&
+           std::isspace(static_cast<unsigned char>(*cursor)) != 0)
+        ++cursor;
+
+    bool negative = false;
+    const char *digits = cursor;
+    if (*digits == '+' || *digits == '-') {
+        negative = *digits == '-';
+        ++digits;
+    }
+
+    // from_chars needs an end pointer; the NUL terminator bounds the
+    // scan without a strlen pass over long documents.
+    const char *stop = digits;
+    while (*stop != '\0')
+        ++stop;
+
+    double magnitude = 0.0;
+    const auto result = std::from_chars(digits, stop, magnitude);
+    if (result.ec == std::errc()) {
+        if (end != nullptr)
+            *end = result.ptr;
+        return negative ? -magnitude : magnitude;
+    }
+    if (result.ec == std::errc::result_out_of_range) {
+        // from_chars consumed a well-formed number but leaves the
+        // output unmodified on overflow *and* underflow, so decide
+        // from the token which side it fell off: a negative exponent
+        // ("1e-400") or a sub-one mantissa ("0.00...1") underflows
+        // to a signed zero; everything else overflows to +-infinity
+        // — exactly how strtod reports the two cases.
+        if (end != nullptr)
+            *end = result.ptr;
+        const char *exponent = digits;
+        while (exponent != result.ptr && *exponent != 'e' &&
+               *exponent != 'E')
+            ++exponent;
+        bool underflow;
+        if (exponent != result.ptr) {
+            underflow =
+                exponent + 1 != result.ptr && exponent[1] == '-';
+        } else {
+            // No exponent: only a >308-digit integer part can
+            // overflow, so a token starting below one underflowed.
+            underflow = *digits == '0' || *digits == '.';
+        }
+        magnitude =
+            underflow ? 0.0 : std::numeric_limits<double>::infinity();
+        return negative ? -magnitude : magnitude;
+    }
+    // Nothing parsed.
+    if (end != nullptr)
+        *end = text;
+    return 0.0;
+#endif // __cpp_lib_to_chars
+}
+
+/**
+ * Convenience form: true (with @p out set) when @p text holds a
+ * valid double and nothing else (trailing whitespace included is a
+ * failure, matching the strict config/CLI parsers).
+ */
+inline bool
+tryParseDouble(const char *text, double &out)
+{
+    const char *end = nullptr;
+    const double value = parseDouble(text, &end);
+    if (end == text || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace amped
+
+#endif // AMPED_COMMON_PARSE_NUM_HPP

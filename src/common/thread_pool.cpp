@@ -42,7 +42,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     workAvailable_.notify_all();
@@ -56,9 +56,12 @@ ThreadPool::workerMain()
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workAvailable_.wait(
-                lock, [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            // Manual predicate loop: the analysis sees the guarded
+            // reads under the capability, which the lambda-predicate
+            // wait overload would hide from it.
+            while (!stop_ && queue_.empty())
+                workAvailable_.wait(lock);
             if (queue_.empty())
                 return; // stop_ set and nothing left to drain.
             job = std::move(queue_.front());
@@ -131,11 +134,20 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
         std::atomic<std::size_t> pending{0};
         std::atomic<bool> abort{false};
         std::atomic<bool> stopped{false}; ///< Token observed a stop.
-        std::mutex doneMutex;
-        std::condition_variable done;
-        std::mutex errorMutex;
-        std::exception_ptr error;
-        std::size_t errorIndex = 0;
+        Mutex doneMutex;
+        std::condition_variable_any done;
+        Mutex errorMutex;
+        std::exception_ptr error AMPED_GUARDED_BY(errorMutex);
+        std::size_t errorIndex AMPED_GUARDED_BY(errorMutex) = 0;
+
+        /** Lowest-index failure, if any (never under contention:
+         *  callers read it only after every worker quiesced). */
+        std::exception_ptr
+        takeError()
+        {
+            MutexLock lock(errorMutex);
+            return error;
+        }
     };
     auto state = std::make_shared<LoopState>();
     const std::function<void(std::size_t)> *body = &fn;
@@ -167,8 +179,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
                         // is always drained far enough to throw —
                         // making the rethrown exception deterministic
                         // at every thread count.
-                        std::lock_guard<std::mutex> lock(
-                            state->errorMutex);
+                        MutexLock lock(state->errorMutex);
                         if (!state->error || i < state->errorIndex) {
                             state->error = std::current_exception();
                             state->errorIndex = i;
@@ -185,7 +196,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
     const std::size_t helpers = parallelism - 1;
     state->pending.store(helpers, std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (std::size_t i = 0; i < helpers; ++i) {
             queue_.emplace_back([state, drain] {
                 drain();
@@ -193,7 +204,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
                 // pending publishes every per-index write.
                 if (state->pending.fetch_sub(
                         1, std::memory_order_acq_rel) == 1) {
-                    std::lock_guard<std::mutex> lock(state->doneMutex);
+                    MutexLock lock(state->doneMutex);
                     state->done.notify_all();
                 }
             });
@@ -203,14 +214,14 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
 
     drain(); // The caller works too.
 
-    std::unique_lock<std::mutex> lock(state->doneMutex);
-    state->done.wait(lock, [&state] {
-        return state->pending.load(std::memory_order_acquire) == 0;
-    });
-    lock.unlock();
+    {
+        MutexLock lock(state->doneMutex);
+        while (state->pending.load(std::memory_order_acquire) != 0)
+            state->done.wait(lock);
+    }
 
-    if (state->error)
-        std::rethrow_exception(state->error);
+    if (auto error = state->takeError())
+        std::rethrow_exception(error);
 
     if (state->stopped.load(std::memory_order_relaxed))
         return token.status();

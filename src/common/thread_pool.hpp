@@ -33,11 +33,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace amped {
 
@@ -136,10 +136,13 @@ class ThreadPool
 
     unsigned threadCount_;
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable workAvailable_;
-    std::deque<std::function<void()>> queue_;
-    bool stop_ = false;
+    Mutex mutex_;
+    // condition_variable_any waits on MutexLock directly, so the
+    // thread-safety analysis sees the capability held across waits
+    // (see common/thread_annotations.hpp).
+    std::condition_variable_any workAvailable_;
+    std::deque<std::function<void()>> queue_ AMPED_GUARDED_BY(mutex_);
+    bool stop_ AMPED_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace amped

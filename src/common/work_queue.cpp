@@ -48,6 +48,7 @@ WorkQueue::WorkQueue(WorkQueueOptions options)
     expiredCounter_ = &reg.counter("common.queue.expired");
     retriesCounter_ = &reg.counter("common.queue.retries");
     failedCounter_ = &reg.counter("common.queue.failed");
+    SerialSection section(serial_);
     publishDepth();
 }
 
@@ -79,6 +80,7 @@ WorkQueue::publishDepth()
 WorkQueue::Admission
 WorkQueue::submit(std::function<void()> task, Deadline deadline)
 {
+    SerialSection section(serial_);
     Admission admission;
     if (items_.size() >= options_.capacity) {
         if (options_.policy == OverloadPolicy::rejectNewest) {
@@ -112,6 +114,7 @@ WorkQueue::submit(std::function<void()> task, Deadline deadline)
 std::vector<WorkItemResult>
 WorkQueue::drainReady()
 {
+    SerialSection section(serial_);
     std::vector<WorkItemResult> results;
     for (;;) {
         // First runnable item in admission order; retries re-enter
@@ -193,6 +196,7 @@ WorkQueue::drainReady()
 double
 WorkQueue::nextReadySeconds() const
 {
+    SerialSection section(serial_);
     double earliest = std::numeric_limits<double>::infinity();
     for (const Item &item : items_)
         earliest = std::min(earliest, item.notBeforeSeconds);

@@ -41,6 +41,7 @@
 
 #include "common/cancel.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace amped {
 
@@ -120,6 +121,14 @@ struct WorkItemResult
  * Bounded FIFO admission queue.  Not thread-safe: the service loop
  * owning it serializes submit/drain (the evaluation work itself
  * parallelizes on the ThreadPool underneath).
+ *
+ * That contract is machine-checked with a phantom SerialGate
+ * capability (common/thread_annotations.hpp): the queue state is
+ * AMPED_GUARDED_BY(serial_), every public entry point enters the
+ * gate, and private helpers require it — so a new method reaching
+ * the queue without going through a serialized entry point fails
+ * `-Werror=thread-safety`.  The gate costs nothing at run time and
+ * proves access *discipline*, not mutual exclusion.
  */
 class WorkQueue
 {
@@ -147,7 +156,12 @@ class WorkQueue
                      Deadline deadline = Deadline());
 
     /** Items currently queued (including ones backing off). */
-    std::size_t depth() const { return items_.size(); }
+    std::size_t
+    depth() const
+    {
+        SerialSection section(serial_);
+        return items_.size();
+    }
 
     /**
      * Runs every item that is runnable now — admission order, skipping
@@ -179,14 +193,18 @@ class WorkQueue
     };
 
     double nowSeconds() const;
-    double backoffSeconds(unsigned retry_index);
-    void publishDepth();
+    double backoffSeconds(unsigned retry_index)
+        AMPED_REQUIRES(serial_);
+    void publishDepth() AMPED_REQUIRES(serial_);
+
+    /** Phantom capability standing in for "the owning loop". */
+    SerialGate serial_;
 
     WorkQueueOptions options_;
     const Clock *clock_;
-    std::deque<Item> items_;
-    std::uint64_t nextId_ = 1;
-    Rng jitter_;
+    std::deque<Item> items_ AMPED_GUARDED_BY(serial_);
+    std::uint64_t nextId_ AMPED_GUARDED_BY(serial_) = 1;
+    Rng jitter_ AMPED_GUARDED_BY(serial_);
 
     obs::Gauge *depthGauge_;
     obs::Counter *submittedCounter_;

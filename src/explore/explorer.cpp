@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 #include <sstream>
 #include <string_view>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "common/hash.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "explore/batch.hpp"
@@ -210,36 +210,32 @@ sweepCacheEntryBytes(const SweepCacheEntry &entry)
            entry.result.entries.size() * sizeof(SweepEntry);
 }
 
-/** Tracked resident bytes; guarded by sweepCacheMutex(). */
-std::size_t &
-sweepCacheBytes()
+/**
+ * Process-wide memo store behind sweepAll.  One annotated struct
+ * instead of the historical per-datum function-local statics, so
+ * Clang's thread-safety analysis proves that the map, the resident-
+ * byte count, and the recency clock are only touched with the mutex
+ * held (previously the guard was a doc comment).
+ */
+struct SweepMemo
 {
-    static std::size_t bytes = 0;
-    return bytes;
-}
+    Mutex mutex;
+    std::unordered_map<std::uint64_t, SweepCacheEntry> entries
+        AMPED_GUARDED_BY(mutex);
+    std::size_t bytes AMPED_GUARDED_BY(mutex) = 0;
+    /** Monotonic recency clock (larger = fresher). */
+    std::uint64_t clock AMPED_GUARDED_BY(mutex) = 0;
 
-std::mutex &
-sweepCacheMutex()
-{
-    static std::mutex mutex;
-    return mutex;
-}
-
-std::unordered_map<std::uint64_t, SweepCacheEntry> &
-sweepCache()
-{
-    static auto *cache =
-        new std::unordered_map<std::uint64_t, SweepCacheEntry>();
-    return *cache;
-}
-
-/** Monotonic recency clock; guarded by sweepCacheMutex(). */
-std::uint64_t &
-sweepCacheClock()
-{
-    static std::uint64_t clock = 0;
-    return clock;
-}
+    static SweepMemo &
+    instance()
+    {
+        // Leaked intentionally: sweeps issued from static
+        // destructors of other TUs may still hit the memo at
+        // shutdown.
+        static auto *memo = new SweepMemo();
+        return *memo;
+    }
+};
 
 } // namespace
 
@@ -459,12 +455,13 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
     const std::string key = sweepCacheKey(
         model_, memoryModel_, batch_sizes, job_template, threads_);
     const std::uint64_t hash = fnv1a64(key);
+    SweepMemo &memo = SweepMemo::instance();
     {
-        std::lock_guard<std::mutex> lock(sweepCacheMutex());
-        const auto it = sweepCache().find(hash);
-        if (it != sweepCache().end() && it->second.key == key) {
+        MutexLock lock(memo.mutex);
+        const auto it = memo.entries.find(hash);
+        if (it != memo.entries.end() && it->second.key == key) {
             hits.add(1);
-            it->second.stamp = ++sweepCacheClock();
+            it->second.stamp = ++memo.clock;
             return it->second.result;
         }
     }
@@ -483,12 +480,12 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
         return result;
 
     {
-        std::lock_guard<std::mutex> lock(sweepCacheMutex());
-        auto &cache = sweepCache();
-        SweepCacheEntry fresh{key, result, ++sweepCacheClock()};
+        MutexLock lock(memo.mutex);
+        auto &cache = memo.entries;
+        SweepCacheEntry fresh{key, result, ++memo.clock};
         const std::size_t fresh_bytes = sweepCacheEntryBytes(fresh);
         if (const auto old = cache.find(hash); old != cache.end()) {
-            sweepCacheBytes() -= sweepCacheEntryBytes(old->second);
+            memo.bytes -= sweepCacheEntryBytes(old->second);
             cache.erase(old);
         }
         // Evict down to both caps before inserting.  The capacity is
@@ -496,22 +493,21 @@ Explorer::sweepAll(const std::vector<double> &batch_sizes,
         // intrusive list.
         while (!cache.empty() &&
                (cache.size() >= kSweepCacheCapacity ||
-                sweepCacheBytes() + fresh_bytes >
-                    kSweepCacheBudgetBytes)) {
+                memo.bytes + fresh_bytes > kSweepCacheBudgetBytes)) {
             auto lru = cache.begin();
             for (auto it = cache.begin(); it != cache.end(); ++it)
                 if (it->second.stamp < lru->second.stamp)
                     lru = it;
             const std::size_t lru_bytes =
                 sweepCacheEntryBytes(lru->second);
-            sweepCacheBytes() -= lru_bytes;
+            memo.bytes -= lru_bytes;
             cache.erase(lru);
             evictions.add(1);
             evicted_bytes.add(lru_bytes);
         }
-        sweepCacheBytes() += fresh_bytes;
+        memo.bytes += fresh_bytes;
         cache[hash] = std::move(fresh);
-        bytes_gauge.set(static_cast<double>(sweepCacheBytes()));
+        bytes_gauge.set(static_cast<double>(memo.bytes));
         entries_gauge.set(static_cast<double>(cache.size()));
     }
     return result;

@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <locale>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse_num.hpp"
 
 namespace amped::obs {
 
@@ -18,14 +20,19 @@ formatDouble(double value)
         return "nan";
     if (std::isinf(value))
         return value > 0.0 ? "inf" : "-inf";
-    // Shortest precision that survives a strtod round trip (same
-    // policy as testing/golden's formatCanonical).
+    // Shortest precision that survives a parse round trip (same
+    // policy as testing/golden's formatCanonical).  The stream is
+    // pinned to the classic locale and the reparse goes through the
+    // locale-independent parseDouble, so a process-wide
+    // std::locale::global(de_DE) cannot change a single byte of
+    // rendered JSON.
     for (int precision = 1; precision <= 17; ++precision) {
         std::ostringstream oss;
+        oss.imbue(std::locale::classic());
         oss.precision(precision);
         oss << value;
         const std::string text = oss.str();
-        if (std::strtod(text.c_str(), nullptr) == value)
+        if (parseDouble(text.c_str()) == value)
             return text;
     }
     AMPED_ASSERT(false, "17 significant digits must round-trip");
@@ -496,8 +503,9 @@ class Parser
                     "json: malformed number '", text, "'");
             return Json(static_cast<std::int64_t>(v));
         }
-        const double v = std::strtod(text.c_str(), &end);
-        require(end == text.c_str() + text.size(),
+        const char *numEnd = nullptr;
+        const double v = parseDouble(text.c_str(), &numEnd);
+        require(numEnd == text.c_str() + text.size(),
                 "json: malformed number '", text, "'");
         return Json(v);
     }

@@ -10,8 +10,9 @@
  *  - Objects preserve insertion order (a report schema reads better
  *    with `schema_version` first) and reject duplicate keys.
  *  - Numbers serialize with the shortest representation that
- *    round-trips through strtod (same policy as testing/golden), so
- *    emitted files are byte-stable across platforms.
+ *    round-trips through the locale-independent parseDouble (same
+ *    policy as testing/golden), so emitted files are byte-stable
+ *    across platforms and locales.
  *  - Non-finite doubles serialize as `null` (JSON has no NaN/Inf).
  *  - The parser accepts exactly RFC 8259 JSON; it exists for tests
  *    and the CLI, not as a general-purpose library.

@@ -88,7 +88,7 @@ MetricsRegistry::lookup(const std::string &name, MetricKind kind,
                         bool timing)
 {
     require(!name.empty(), "metrics: empty metric name");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end()) {
         auto entry = std::make_unique<Entry>();
@@ -123,7 +123,7 @@ MetricsRegistry::histogram(const std::string &name, bool timing)
 std::vector<MetricSnapshot>
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<MetricSnapshot> out;
     out.reserve(entries_.size());
     for (const auto &[name, entry] : entries_) {
@@ -192,7 +192,7 @@ MetricsRegistry::renderText(RenderMode mode) const
 void
 MetricsRegistry::resetAll()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &[name, entry] : entries_) {
         entry->counter.reset();
         entry->gauge.reset();

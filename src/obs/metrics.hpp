@@ -30,9 +30,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace amped::obs {
 
@@ -194,10 +195,13 @@ class MetricsRegistry
     Entry &lookup(const std::string &name, MetricKind kind,
                   bool timing);
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     // map keeps snapshot() naturally name-sorted; unique_ptr keeps
-    // metric addresses stable across rehash-free inserts.
-    std::map<std::string, std::unique_ptr<Entry>> entries_;
+    // metric addresses stable across rehash-free inserts.  The map
+    // itself is guarded; the *metrics* behind the unique_ptrs are
+    // lock-free atomics updated outside the lock by design.
+    std::map<std::string, std::unique_ptr<Entry>> entries_
+        AMPED_GUARDED_BY(mutex_);
 };
 
 /**

@@ -483,6 +483,7 @@ Server::Server(ServerOptions options)
 void
 Server::setCancelToken(CancelToken token)
 {
+    SerialSection section(serial_);
     rootToken_ = std::move(token);
 }
 
@@ -690,6 +691,7 @@ struct Server::Slot
 std::string
 Server::handleLine(const std::string &line)
 {
+    SerialSection section(serial_);
     if (isBlank(line))
         return "";
 
@@ -735,6 +737,11 @@ Server::handleLine(const std::string &line)
         const Deadline deadline = deadlineFor(request);
         const CancelToken token = rootToken_.child(deadline);
         auto task = [this, &slot, &request, token]() {
+            // This closure only ever runs inside queue_.drainReady()
+            // below — i.e. on the same service loop that already
+            // holds the gate; the analysis cannot follow it through
+            // std::function, so assert instead of re-entering.
+            serial_.assertEntered();
             obs::ScopedTimer timer(latencyHistogram_);
             slot.response = runRequest(request, token);
             slot.hasResponse = true;
@@ -826,6 +833,7 @@ Server::handleLine(const std::string &line)
 RunStatus
 Server::serveStream(std::istream &in, std::ostream &out)
 {
+    SerialSection section(serial_);
     std::string line;
     while (true) {
         if (rootToken_.status() != RunStatus::Completed)
@@ -845,6 +853,7 @@ Server::serveStream(std::istream &in, std::ostream &out)
 RunStatus
 Server::serveTcp(std::uint16_t port)
 {
+    SerialSection section(serial_);
     const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     require(listen_fd >= 0, "serve: cannot create socket");
     const int one = 1;

@@ -37,7 +37,14 @@
  *
  * Thread safety: one Server instance is driven by one service loop
  * thread (the WorkQueue it owns is not thread-safe); the SweepCache
- * and metrics it touches are thread-safe and may be shared.
+ * and metrics it touches are thread-safe and may be shared.  The
+ * single-loop contract is machine-checked with a phantom SerialGate
+ * capability (common/thread_annotations.hpp): the queue and root
+ * token are AMPED_GUARDED_BY(serial_), every entry point enters the
+ * gate, and the dispatch path requires it — so new code reaching the
+ * dispatch state outside a serialized entry point fails
+ * `-Werror=thread-safety`.  boundPort_ stays an atomic because tests
+ * legitimately poll it from another thread while serveTcp runs.
  */
 
 #ifndef AMPED_SERVE_SERVER_HPP
@@ -50,6 +57,7 @@
 
 #include "common/cancel.hpp"
 #include "common/keyval.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/work_queue.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
@@ -169,15 +177,21 @@ class Server
     /** Request deadline: explicit deadline_ms, else the default. */
     Deadline deadlineFor(const Request &request) const;
 
-    /** Runs one admitted request; returns the full ok response. */
+    /** Runs one admitted request; returns the full ok response.
+     *  Part of the serialized dispatch path: admitted tasks assert
+     *  the gate before calling in (see handleLine). */
     obs::Json runRequest(const Request &request,
-                         const CancelToken &token);
+                         const CancelToken &token)
+        AMPED_REQUIRES(serial_);
+
+    /** Phantom capability: "the one service loop driving me". */
+    SerialGate serial_;
 
     ServerOptions options_;
     obs::MetricsRegistry &registry_;
-    WorkQueue queue_;
-    SweepCacheLru cache_;
-    CancelToken rootToken_;
+    WorkQueue queue_ AMPED_GUARDED_BY(serial_);
+    SweepCacheLru cache_; ///< Self-locked; shareable across threads.
+    CancelToken rootToken_ AMPED_GUARDED_BY(serial_);
     std::atomic<std::uint16_t> boundPort_{0};
 
     obs::Counter &requestsCounter_;

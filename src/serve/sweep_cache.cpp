@@ -23,7 +23,7 @@ SweepCacheLru::SweepCacheLru(std::size_t budget_bytes,
 std::optional<std::string>
 SweepCacheLru::get(const std::string &key)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end()) {
         missesCounter_->add(1);
@@ -37,7 +37,7 @@ SweepCacheLru::get(const std::string &key)
 void
 SweepCacheLru::put(const std::string &key, const std::string &value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (key.size() + value.size() > budgetBytes_)
         return;
     auto it = entries_.find(key);
@@ -58,21 +58,21 @@ SweepCacheLru::put(const std::string &key, const std::string &value)
 std::size_t
 SweepCacheLru::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return entries_.size();
 }
 
 std::size_t
 SweepCacheLru::bytes() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return bytes_;
 }
 
 void
 SweepCacheLru::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto &[key, entry] : entries_) {
         evictedBytesCounter_->add(entryBytes(entry));
         evictionsCounter_->add(1);

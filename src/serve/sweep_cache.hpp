@@ -38,10 +38,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_annotations.hpp"
 
 namespace amped {
 
@@ -110,17 +111,17 @@ class SweepCacheLru
         return entry.key.size() + entry.value.size();
     }
 
-    /** Evicts LRU entries until bytes_ <= budgetBytes_.  Caller must
-     *  hold mutex_. */
-    void evictToBudget();
+    /** Evicts LRU entries until bytes_ <= budgetBytes_. */
+    void evictToBudget() AMPED_REQUIRES(mutex_);
 
-    void publishGauges();
+    void publishGauges() AMPED_REQUIRES(mutex_);
 
     const std::size_t budgetBytes_;
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, Entry> entries_;
-    std::uint64_t clock_ = 0;
-    std::size_t bytes_ = 0;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_
+        AMPED_GUARDED_BY(mutex_);
+    std::uint64_t clock_ AMPED_GUARDED_BY(mutex_) = 0;
+    std::size_t bytes_ AMPED_GUARDED_BY(mutex_) = 0;
 
     obs::Counter *hitsCounter_;
     obs::Counter *missesCounter_;

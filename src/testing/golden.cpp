@@ -3,9 +3,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <locale>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse_num.hpp"
 
 namespace amped {
 namespace testing {
@@ -17,13 +19,16 @@ formatCanonical(double value)
         return "nan";
     if (std::isinf(value))
         return value > 0.0 ? "inf" : "-inf";
-    // Shortest precision that survives a strtod round trip.
+    // Shortest precision that survives a parse round trip.  Classic-
+    // locale stream + locale-independent reparse: golden bytes are
+    // identical no matter what locale the process runs under.
     for (int precision = 1; precision <= 17; ++precision) {
         std::ostringstream oss;
+        oss.imbue(std::locale::classic());
         oss.precision(precision);
         oss << value;
         const std::string text = oss.str();
-        if (std::strtod(text.c_str(), nullptr) == value)
+        if (parseDouble(text.c_str()) == value)
             return text;
     }
     AMPED_ASSERT(false, "17 significant digits must round-trip");
@@ -93,11 +98,9 @@ GoldenRecord::parse(std::istream &is, const std::string &source)
         } else if (text == "-inf") {
             value = -HUGE_VAL;
         } else {
-            char *end = nullptr;
-            value = std::strtod(text.c_str(), &end);
-            require(end != nullptr && *end == '\0' && !text.empty(),
-                    source, ":", line_number, ": value '", text,
-                    "' of key '", key, "' is not a number");
+            require(tryParseDouble(text.c_str(), value), source, ":",
+                    line_number, ": value '", text, "' of key '",
+                    key, "' is not a number");
         }
         record.add(key, value);
     }

@@ -1,0 +1,37 @@
+// Control snippet for the thread-safety negatives: correct locking
+// discipline over an AMPED_GUARDED_BY member.  Must compile cleanly
+// under Clang with -Werror=thread-safety, proving that a failure of
+// cf_ts_guarded_by_violation.cpp comes from the capability analysis
+// and not from a broken flag or include path.
+
+#include "common/thread_annotations.hpp"
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        amped::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+    int
+    read()
+    {
+        amped::MutexLock lock(mutex_);
+        return value_;
+    }
+
+  private:
+    amped::Mutex mutex_;
+    int value_ AMPED_GUARDED_BY(mutex_) = 0;
+};
+
+int
+main()
+{
+    Counter counter;
+    counter.increment();
+    return counter.read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Thread-safety negative: reads an AMPED_GUARDED_BY member without
+// holding its mutex.  Clang's -Werror=thread-safety must reject this
+// translation unit; if it ever compiles, the annotation layer has
+// stopped guarding anything (e.g. the macros expanded to nothing
+// under a compiler the gate thought was Clang).
+
+#include "common/thread_annotations.hpp"
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        amped::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+    int
+    racyRead()
+    {
+        return value_; // BAD: no lock held — the analysis must flag
+                       // reading a guarded field without mutex_.
+    }
+
+  private:
+    amped::Mutex mutex_;
+    int value_ AMPED_GUARDED_BY(mutex_) = 0;
+};
+
+int
+main()
+{
+    Counter counter;
+    counter.increment();
+    return counter.racyRead();
+}

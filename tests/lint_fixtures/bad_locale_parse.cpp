@@ -1,0 +1,35 @@
+// amped_lint fixture: every parse call below reads the process
+// locale's radix character, so each must be flagged by the
+// no-locale-parse rule.  Compiled never, scanned always (the
+// WILL_FAIL ctest amped_lint_catches_no_locale_parse runs the rule
+// over this file and asserts a nonzero exit).
+
+#include <cstdio>
+#include <cstdlib>
+
+double
+parseLatencySeconds(const char *text)
+{
+    return std::strtod(text, nullptr); // flagged: strtod
+}
+
+double
+parseBandwidth(const char *text)
+{
+    return atof(text); // flagged: atof
+}
+
+float
+parseRatio(const char *text)
+{
+    char *end = nullptr;
+    return std::strtof(text, &end); // flagged: strtof
+}
+
+double
+parseScanf(const char *text)
+{
+    double value = 0.0;
+    std::sscanf(text, "%lf", &value); // flagged: sscanf
+    return value;
+}

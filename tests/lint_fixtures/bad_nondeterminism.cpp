@@ -1,0 +1,36 @@
+// amped_lint fixture: every call below injects ambient process state
+// (PRNG seeded from nothing, wall clock, hardware entropy, the
+// environment), so each must be flagged by the no-nondeterminism
+// rule.  Compiled never, scanned always (the WILL_FAIL ctest
+// amped_lint_catches_no_nondeterminism runs the rule over this file
+// and asserts a nonzero exit).
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+ambientJitter()
+{
+    std::srand(42);    // flagged: srand
+    return std::rand(); // flagged: rand
+}
+
+long
+wallClockSeed()
+{
+    return std::time(nullptr); // flagged: time
+}
+
+unsigned
+hardwareEntropy()
+{
+    std::random_device device; // flagged: random_device
+    return device();
+}
+
+const char *
+undocumentedSeam()
+{
+    return std::getenv("AMPED_SECRET_KNOB"); // flagged: getenv
+}

@@ -1,0 +1,29 @@
+// amped_lint fixture: a "report" translation unit (filename marks it
+// as an output TU) iterating unordered containers straight into an
+// output stream — hash order is implementation-defined, so the
+// emitted bytes are not stable.  Each range-for below must be
+// flagged by the no-unordered-iteration-in-output rule.  Compiled
+// never, scanned always (the WILL_FAIL ctest
+// amped_lint_catches_unordered_iteration runs the rule over this
+// file and asserts a nonzero exit).
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void
+dumpMetrics(std::ostream &os,
+            const std::unordered_map<std::string, double> &metrics)
+{
+    for (const auto &[key, value] : metrics) // flagged
+        os << key << '\t' << value << '\n';
+}
+
+void
+dumpTags(std::ostream &os,
+         const std::unordered_set<std::string> &tags)
+{
+    for (const auto &tag : tags) // flagged
+        os << tag << '\n';
+}

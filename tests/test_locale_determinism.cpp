@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Locale-independence regression tests: every numeric parse and
+ * format path that feeds goldens, JSON, configs, or CLI flags must
+ * produce byte-identical results under a comma-decimal locale
+ * (de_DE.UTF-8).  This is the test for the PR 10 locale bug fix —
+ * before it, std::strtod under LC_ALL=de_DE.UTF-8 read "0.5" as 0
+ * and silently corrupted every golden.
+ *
+ * Each test installs the locale through an RAII guard (both the C
+ * locale, which strtod/ostringstream's default classic-locale
+ * assumption reads, and the C++ global locale, which freshly
+ * constructed streams imbue) and skips when the container has no
+ * de_DE.UTF-8 (CI generates it via locale-gen; see ci.yml).
+ */
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <locale>
+#include <string>
+
+#include "common/arg_parser.hpp"
+#include "common/keyval.hpp"
+#include "common/parse_num.hpp"
+#include "obs/json.hpp"
+#include "testing/golden.hpp"
+
+namespace amped {
+namespace {
+
+/**
+ * Installs a comma-decimal locale (C and C++ global) for one test
+ * body and restores the previous state on destruction.  `ok()` is
+ * false when the locale is not available on this system.
+ */
+class ScopedCommaLocale
+{
+  public:
+    ScopedCommaLocale()
+    {
+        const char *previous = std::setlocale(LC_ALL, nullptr);
+        previousC_ = previous == nullptr ? "C" : previous;
+        if (std::setlocale(LC_ALL, kName) == nullptr)
+            return;
+        try {
+            previousCpp_ = std::locale::global(std::locale(kName));
+        } catch (const std::runtime_error &) {
+            std::setlocale(LC_ALL, previousC_.c_str());
+            return;
+        }
+        ok_ = true;
+    }
+
+    ~ScopedCommaLocale()
+    {
+        if (ok_)
+            std::locale::global(previousCpp_);
+        std::setlocale(LC_ALL, previousC_.c_str());
+    }
+
+    bool ok() const { return ok_; }
+
+    static constexpr const char *kName = "de_DE.UTF-8";
+
+  private:
+    bool ok_ = false;
+    std::string previousC_;
+    std::locale previousCpp_;
+};
+
+#define SKIP_WITHOUT_COMMA_LOCALE(guard)                               \
+    do {                                                               \
+        if (!(guard).ok())                                             \
+            GTEST_SKIP() << "locale " << ScopedCommaLocale::kName      \
+                         << " not available on this system";           \
+    } while (0)
+
+TEST(LocaleDeterminismTest, LocaleActuallyUsesCommaDecimal)
+{
+    ScopedCommaLocale locale;
+    SKIP_WITHOUT_COMMA_LOCALE(locale);
+    // Sanity: the guard really changed the radix character, so the
+    // tests below are exercising what they claim to.
+    const struct lconv *conv = std::localeconv();
+    ASSERT_NE(conv, nullptr);
+    EXPECT_STREQ(conv->decimal_point, ",");
+}
+
+TEST(LocaleDeterminismTest, ParseDoubleIgnoresLocale)
+{
+    ScopedCommaLocale locale;
+    SKIP_WITHOUT_COMMA_LOCALE(locale);
+    EXPECT_DOUBLE_EQ(parseDouble("0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-2.75e3"), -2750.0);
+    EXPECT_DOUBLE_EQ(parseDouble("  +1e-3"), 1e-3);
+    double value = 0.0;
+    EXPECT_TRUE(tryParseDouble("6.02214076e23", value));
+    EXPECT_DOUBLE_EQ(value, 6.02214076e23);
+    // A comma is NOT a radix character to the canonical parser, in
+    // any locale: "0,5" parses as 0 with ",5" left over.
+    const char *end = nullptr;
+    EXPECT_DOUBLE_EQ(parseDouble("0,5", &end), 0.0);
+    EXPECT_STREQ(end, ",5");
+    EXPECT_FALSE(tryParseDouble("0,5", value));
+}
+
+TEST(LocaleDeterminismTest, JsonNumbersRoundTripByteIdentically)
+{
+    // Reference bytes rendered under the default C locale...
+    obs::Json reference = obs::Json::object();
+    reference.set("ratio", 1.0 / 3.0).set("avogadro", 6.02214076e23);
+    reference.set("tiny", 1e-300).set("neg", -2.5);
+    const std::string expected = reference.dump();
+
+    // ...must be reproduced exactly under the comma locale, both
+    // when formatting and when reparsing.
+    ScopedCommaLocale locale;
+    SKIP_WITHOUT_COMMA_LOCALE(locale);
+    obs::Json comma = obs::Json::object();
+    comma.set("ratio", 1.0 / 3.0).set("avogadro", 6.02214076e23);
+    comma.set("tiny", 1e-300).set("neg", -2.5);
+    EXPECT_EQ(comma.dump(), expected);
+    const obs::Json parsed = obs::Json::parse(expected);
+    EXPECT_DOUBLE_EQ(parsed.at("ratio").asDouble(), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(parsed.at("avogadro").asDouble(), 6.02214076e23);
+    EXPECT_DOUBLE_EQ(parsed.at("tiny").asDouble(), 1e-300);
+    EXPECT_EQ(parsed.dump(), expected);
+}
+
+TEST(LocaleDeterminismTest, GoldenRecordsRoundTripByteIdentically)
+{
+    testing::GoldenRecord reference;
+    reference.add("ratio", 1.0 / 3.0);
+    reference.add("avogadro", 6.02214076e23);
+    reference.add("half", 0.5);
+    const std::string expected = reference.toString();
+
+    ScopedCommaLocale locale;
+    SKIP_WITHOUT_COMMA_LOCALE(locale);
+    testing::GoldenRecord comma;
+    comma.add("ratio", 1.0 / 3.0);
+    comma.add("avogadro", 6.02214076e23);
+    comma.add("half", 0.5);
+    EXPECT_EQ(comma.toString(), expected);
+    // Parsing the golden back under the comma locale recovers the
+    // exact doubles (serialize is shortest-round-trip precision).
+    const testing::GoldenRecord parsed =
+        testing::GoldenRecord::fromString(expected);
+    ASSERT_NE(parsed.find("ratio"), nullptr);
+    EXPECT_EQ(*parsed.find("ratio"), 1.0 / 3.0);
+    ASSERT_NE(parsed.find("avogadro"), nullptr);
+    EXPECT_EQ(*parsed.find("avogadro"), 6.02214076e23);
+    EXPECT_EQ(parsed.toString(), expected);
+}
+
+TEST(LocaleDeterminismTest, KeyValueConfigParsesDotDecimal)
+{
+    ScopedCommaLocale locale;
+    SKIP_WITHOUT_COMMA_LOCALE(locale);
+    const auto config = KeyValueConfig::fromString(
+        "efficiency = 0.42\nbandwidth_scale = 1.5e2\n");
+    EXPECT_DOUBLE_EQ(config.getDouble("efficiency"), 0.42);
+    EXPECT_DOUBLE_EQ(config.getDouble("bandwidth_scale"), 150.0);
+}
+
+TEST(LocaleDeterminismTest, ArgParserParsesDotDecimal)
+{
+    ScopedCommaLocale locale;
+    SKIP_WITHOUT_COMMA_LOCALE(locale);
+    ArgParser parser;
+    parser.addOption("efficiency", "test option", "0.0");
+    parser.parse({"--efficiency", "0.37"});
+    EXPECT_DOUBLE_EQ(parser.getDouble("efficiency"), 0.37);
+}
+
+} // namespace
+} // namespace amped
